@@ -1,0 +1,275 @@
+(* Ablation experiments: remove one load-bearing design choice at a time
+   and show, by measurement, that the construction breaks — evidence that
+   the paper's choices are necessary, not incidental. *)
+
+open Stateless_core
+module Digraph = Stateless_graph.Digraph
+module Builders = Stateless_graph.Builders
+module Circuit = Stateless_circuit.Circuit
+module Two_counter = Stateless_counter.Two_counter
+module D_counter = Stateless_counter.D_counter
+module Compile = Stateless_compile.Compile
+
+let random_labels p state =
+  let card = p.Protocol.space.Label.card in
+  Array.init (Protocol.num_edges p) (fun _ ->
+      p.Protocol.space.Label.decode (Random.State.int state card))
+
+(* ------------------------------------------------------------------ *)
+(* A1 — Claim 5.5 requires an ODD ring                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The 2-counter reaction functions, run verbatim on an even ring. The
+   whole point of oddness is that the two taps feeding node n-1's XOR have
+   delays differing by the odd number n-2; on an even ring the difference
+   is even and the alternation never forms. *)
+let even_ring_two_counter n : (unit, bool * bool) Protocol.t =
+  let g = Builders.ring_bi n in
+  let react j () incoming =
+    let ccw = ref (false, false) and cw = ref (false, false) in
+    Array.iteri
+      (fun k e ->
+        let s = Digraph.src g e in
+        if s = (j + n - 1) mod n then ccw := incoming.(k)
+        else if s = (j + 1) mod n then cw := incoming.(k))
+      (Digraph.in_edges g j);
+    let out = Two_counter.bits n j ~ccw:!ccw ~cw:!cw in
+    (Array.map (fun _ -> out) (Digraph.out_edges g j), 0)
+  in
+  {
+    Protocol.name = Printf.sprintf "two-counter-even-%d" n;
+    graph = g;
+    space = Label.pair Label.bool Label.bool;
+    react;
+  }
+
+(* A run "locks" when, after the burn-in, all nodes' second bits agree (up
+   to a per-node constant) and alternate. On an even ring we can't
+   calibrate corrections, so we test the strongest version any correction
+   could satisfy: each node's second bit individually alternates every
+   step. On odd rings this holds after burn-in; on even rings it fails. *)
+let bits_alternate p n trials seed =
+  let input = Array.make n () in
+  let state = Random.State.make [| seed |] in
+  let all = List.init n Fun.id in
+  let locked = ref 0 in
+  for _ = 1 to trials do
+    let config =
+      ref
+        (Engine.run p ~input
+           ~init:(Protocol.config_of_labels p (random_labels p state))
+           ~schedule:(Schedule.synchronous n)
+           ~steps:((6 * n) + 8))
+    in
+    let ok = ref true in
+    let prev = ref [||] in
+    for step = 0 to (2 * n) - 1 do
+      let bits =
+        Array.init n (fun j ->
+            let e = (Digraph.out_edges p.Protocol.graph j).(0) in
+            snd !config.Protocol.labels.(e))
+      in
+      if step > 0 then
+        Array.iteri
+          (fun j b -> if Bool.equal b !prev.(j) then ok := false)
+          bits;
+      prev := bits;
+      config := Engine.step p ~input !config ~active:all
+    done;
+    if !ok then incr locked
+  done;
+  !locked
+
+let a1 () =
+  Table.print_header
+    "A1  Ablation: the 2-counter needs an odd ring (Claim 5.5)"
+    "run the identical reaction functions on even rings";
+  let widths = [ 6; 8; 18; 8 ] in
+  Table.print_columns widths [ "n"; "parity"; "locked runs"; "check" ];
+  Table.print_rule widths;
+  List.iter
+    (fun n ->
+      let odd = n mod 2 = 1 in
+      let p =
+        if odd then (Two_counter.make n).Two_counter.protocol
+        else even_ring_two_counter n
+      in
+      let locked = bits_alternate p n 25 n in
+      let expected = if odd then locked = 25 else locked < 25 in
+      Table.print_columns widths
+        [
+          string_of_int n;
+          (if odd then "odd" else "even");
+          Printf.sprintf "%d/25" locked;
+          Table.verdict expected;
+        ])
+    [ 5; 7; 4; 6; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* A2 — Theorem 5.4 requires two-tick writes                           *)
+(* ------------------------------------------------------------------ *)
+
+let a2 () =
+  Table.print_header
+    "A2  Ablation: dropping the memory cell breaks the compiler (Thm 5.4)"
+    "the paper's 'retain memory via communication' ping-pong";
+  let widths = [ 14; 10; 14; 14; 8 ] in
+  Table.print_columns widths
+    [ "circuit"; "memory"; "correct runs"; "expected"; "check" ];
+  Table.print_rule widths;
+  let score t c =
+    let n = c.Circuit.n_inputs in
+    let good = ref 0 and total = ref 0 in
+    List.iter
+      (fun code ->
+        let x = Array.init n (fun i -> code land (1 lsl i) <> 0) in
+        incr total;
+        match Compile.run_from t x ~seed:(code + 1) with
+        | Some v when v = Circuit.eval c x -> incr good
+        | _ -> ())
+      (List.init (1 lsl n) Fun.id);
+    (!good, !total)
+  in
+  List.iter
+    (fun (name, c) ->
+      let full = Compile.make c in
+      let ablated = Compile.make ~memory:false c in
+      let g2, t2 = score full c in
+      let g1, t1 = score ablated c in
+      Table.print_columns widths
+        [ name; "yes"; Printf.sprintf "%d/%d" g2 t2; "all"; Table.verdict (g2 = t2) ];
+      Table.print_columns widths
+        [
+          name; "no";
+          Printf.sprintf "%d/%d" g1 t1;
+          "failures";
+          Table.verdict (g1 < t1);
+        ])
+    [ ("equality 4", Circuit.equality 4); ("majority 3", Circuit.majority 3) ];
+  (* Single-tick writes do not change the limit behaviour (the next clock
+     cycle recomputes every gate and heals the stale phase) but cost
+     latency; record the measured convergence-time effect. *)
+  let c = Circuit.equality 4 in
+  let time t x =
+    let input = Compile.ring_input t x in
+    let p = t.Compile.protocol in
+    let init = Protocol.uniform_config p (p.Protocol.space.Label.decode 0) in
+    Option.value ~default:(-1)
+      (Engine.output_stabilization_time p ~input ~init
+         ~schedule:(Schedule.synchronous t.Compile.ring_size)
+         ~max_steps:(4 * Compile.convergence_bound t))
+  in
+  let x = [| true; false; true; false |] in
+  let t2 = time (Compile.make c) x in
+  let t1 = time (Compile.make ~write_ticks:1 c) x in
+  Table.print_note
+    "write_ticks latency on equality-4 (same input, zero init): 2 ticks -> %d steps, 1 tick -> %d steps"
+    t2 t1
+
+(* ------------------------------------------------------------------ *)
+(* A3 — Claim 5.6 requires the phase-gated gap sign                    *)
+(* ------------------------------------------------------------------ *)
+
+let a3 () =
+  Table.print_header
+    "A3  Ablation: ungated gap publication breaks the D-counter (Claim 5.6)"
+    "node 0 must choose the sign of a-b by its 2-counter phase";
+  let widths = [ 6; 6; 10; 14; 8 ] in
+  Table.print_columns widths
+    [ "n"; "D"; "gated"; "agreeing runs"; "check" ];
+  Table.print_rule widths;
+  let agreement gate_g n d =
+    let t = D_counter.make ~gate_g ~n ~d () in
+    let p = D_counter.protocol t in
+    let input = D_counter.input t in
+    let state = Random.State.make [| (n * 13) + d |] in
+    let all = List.init n Fun.id in
+    let locked = ref 0 in
+    for _ = 1 to 20 do
+      let config =
+        ref
+          (Engine.run p ~input
+             ~init:(Protocol.config_of_labels p (random_labels p state))
+             ~schedule:(Schedule.synchronous n)
+             ~steps:(D_counter.burn_in t))
+      in
+      let ok = ref true in
+      let prev = ref (-1) in
+      for _ = 1 to 2 * d do
+        if not (D_counter.agreed t !config) then ok := false;
+        let v = (D_counter.values t !config).(0) in
+        if !prev >= 0 && v <> (!prev + 1) mod d then ok := false;
+        prev := v;
+        config := Engine.step p ~input !config ~active:all
+      done;
+      if !ok then incr locked
+    done;
+    !locked
+  in
+  List.iter
+    (fun (n, d) ->
+      let with_gate = agreement true n d in
+      let without = agreement false n d in
+      Table.print_columns widths
+        [
+          string_of_int n; string_of_int d; "yes";
+          Printf.sprintf "%d/20" with_gate;
+          Table.verdict (with_gate = 20);
+        ];
+      Table.print_columns widths
+        [
+          string_of_int n; string_of_int d; "no";
+          Printf.sprintf "%d/20" without;
+          Table.verdict (without < 20);
+        ])
+    [ (5, 8); (7, 6) ]
+
+(* ------------------------------------------------------------------ *)
+(* A4 — Randomized reactions escape Theorem 3.1 (future work (4))      *)
+(* ------------------------------------------------------------------ *)
+
+let a4 () =
+  Table.print_header
+    "A4  Randomized reactions vs. the (n-1)-fair chase schedule"
+    "Section 7, future work (4): coins beat oblivious adversaries";
+  let widths = [ 4; 22; 24; 8 ] in
+  Table.print_columns widths [ "n"; "deterministic"; "randomized (p=0.25)"; "check" ];
+  Table.print_rule widths;
+  List.iter
+    (fun n ->
+      let det = Clique_example.make n in
+      let input = Clique_example.input n in
+      let schedule = Clique_example.oscillation_schedule n in
+      let det_result =
+        match
+          Engine.run_until_stable det ~input
+            ~init:(Clique_example.oscillation_init det)
+            ~schedule ~max_steps:(500 * n)
+        with
+        | Engine.Oscillating _ -> "oscillates forever"
+        | Engine.Stabilized _ -> "converged?!"
+        | Engine.Exhausted _ -> "no verdict"
+      in
+      let rand = Randomized.lazy_example1 n ~ignite:0.25 in
+      (* Start from the same adversarial labeling: node 0 hot. *)
+      let init =
+        let config = Protocol.uniform_config det false in
+        Array.iter
+          (fun e -> config.Protocol.labels.(e) <- true)
+          (Digraph.out_edges det.Protocol.graph 0);
+        config
+      in
+      let converged, total, worst =
+        Randomized.convergence_rate rand ~input ~init ~schedule
+          ~seeds:(List.init 40 Fun.id) ~quiet:(4 * n) ~max_steps:(800 * n)
+      in
+      Table.print_columns widths
+        [
+          string_of_int n;
+          det_result;
+          Printf.sprintf "%d/%d converge (worst %d)" converged total worst;
+          Table.verdict (det_result = "oscillates forever" && converged = total);
+        ])
+    [ 4; 5; 6 ]
+
+let all = [ ("A1", a1); ("A2", a2); ("A3", a3); ("A4", a4) ]

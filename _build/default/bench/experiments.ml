@@ -1,0 +1,1244 @@
+(* The experiment harness: one function per experiment of DESIGN.md,
+   regenerating every quantitative claim of the paper (see EXPERIMENTS.md
+   for the paper-vs-measured record). *)
+
+open Stateless_core
+module Digraph = Stateless_graph.Digraph
+module Builders = Stateless_graph.Builders
+module Algorithms = Stateless_graph.Algorithms
+module Checker = Stateless_checker.Checker
+module Circuit = Stateless_circuit.Circuit
+module Unroll = Stateless_circuit.Unroll
+module Machine = Stateless_machine.Machine
+module Bp = Stateless_bp.Bp
+module Two_counter = Stateless_counter.Two_counter
+module D_counter = Stateless_counter.D_counter
+module Compile = Stateless_compile.Compile
+module Snake = Stateless_snake.Snake
+module SO = Stateless_pspace.String_oscillation
+module Stateful = Stateless_pspace.Stateful
+module Metanode = Stateless_pspace.Metanode
+module Best_response = Stateless_games.Best_response
+module Spp = Stateless_games.Spp
+module Contagion = Stateless_games.Contagion
+module Feedback = Stateless_games.Feedback
+module Fooling = Stateless_lowerbound.Fooling
+
+let parity bits = Array.fold_left (fun acc b -> acc <> b) false bits
+
+let all_bool_inputs n =
+  List.init (1 lsl n) (fun code ->
+      Array.init n (fun i -> code land (1 lsl (n - 1 - i)) <> 0))
+
+let random_labels p state =
+  let card = p.Protocol.space.Label.card in
+  Array.init (Protocol.num_edges p) (fun _ ->
+      p.Protocol.space.Label.decode (Random.State.int state card))
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Proposition 2.1: radius <= round complexity                    *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  Table.print_header
+    "E1  Radius lower-bounds the round complexity of output stabilization"
+    "Proposition 2.1";
+  let widths = [ 16; 8; 10; 8 ] in
+  Table.print_columns widths [ "graph"; "radius"; "measured R"; "check" ];
+  Table.print_rule widths;
+  List.iter
+    (fun (name, g) ->
+      let n = Digraph.num_nodes g in
+      let radius = Option.get (Algorithms.radius g) in
+      let p = Generic.make g parity in
+      (* Worst observed output-stabilization time over all inputs from the
+         all-true initial labeling (adversarial for this protocol). *)
+      let measured =
+        List.fold_left
+          (fun acc x ->
+            let init =
+              Protocol.uniform_config p (Array.make (n + 1) true)
+            in
+            match
+              Engine.output_stabilization_time p ~input:x ~init
+                ~schedule:(Schedule.synchronous n)
+                ~max_steps:(8 * n * n)
+            with
+            | Some t -> max acc t
+            | None -> acc)
+          0 (all_bool_inputs n)
+      in
+      Table.print_columns widths
+        [
+          name;
+          string_of_int radius;
+          string_of_int measured;
+          Table.verdict (radius <= measured);
+        ])
+    [
+      ("ring_bi 6", Builders.ring_bi 6);
+      ("ring_uni 5", Builders.ring_uni 5);
+      ("clique 4", Builders.clique 4);
+      ("star 5", Builders.star 5);
+      ("path 5", Builders.path_bi 5);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E2 — Proposition 2.2: R <= |Σ|^|E|                                  *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  Table.print_header
+    "E2  Round complexity never exceeds the configuration count"
+    "Proposition 2.2";
+  let widths = [ 18; 12; 14; 8 ] in
+  Table.print_columns widths [ "protocol"; "measured R"; "|Sigma|^|E|"; "check" ];
+  Table.print_rule widths;
+  let row name p input =
+    let bound = Option.get (Protocol.labelings_count p) in
+    let measured =
+      Option.value ~default:(-1)
+        (Engine.synchronous_round_complexity p ~inputs:[ input ]
+           ~max_steps:(4 * bound))
+    in
+    Table.print_columns widths
+      [
+        name;
+        string_of_int measured;
+        string_of_int bound;
+        Table.verdict (measured >= 0 && measured <= bound);
+      ]
+  in
+  List.iter
+    (fun (n, q) ->
+      let p = Extremal.make ~n ~q in
+      row p.Protocol.name p (Extremal.input n))
+    [ (3, 2); (4, 2); (3, 3) ];
+  let p = Clique_example.make 3 in
+  row p.Protocol.name p (Clique_example.input 3)
+
+(* ------------------------------------------------------------------ *)
+(* E3 — Proposition 2.3: the generic protocol                          *)
+(* ------------------------------------------------------------------ *)
+
+let e3 () =
+  Table.print_header
+    "E3  Generic protocol: every f computable with L = n+1, R <= 2n"
+    "Proposition 2.3";
+  let widths = [ 16; 4; 10; 10; 10; 10; 8 ] in
+  Table.print_columns widths
+    [ "graph"; "n"; "L (paper)"; "L (ours)"; "R bound"; "R measured"; "check" ];
+  Table.print_rule widths;
+  let state = Random.State.make [| 31 |] in
+  List.iter
+    (fun (name, g) ->
+      let n = Digraph.num_nodes g in
+      let p = Generic.make g parity in
+      let l_measured = Label.bit_length p.Protocol.space in
+      (* Worst output-stabilization time over all inputs x sampled random
+         initial labelings. *)
+      let measured = ref 0 in
+      let converged = ref true in
+      List.iter
+        (fun x ->
+          for _ = 1 to 8 do
+            let init = Protocol.config_of_labels p (random_labels p state) in
+            match
+              Engine.output_stabilization_time p ~input:x ~init
+                ~schedule:(Schedule.synchronous n)
+                ~max_steps:(8 * n * n)
+            with
+            | Some t -> measured := max !measured t
+            | None -> converged := false
+          done)
+        (all_bool_inputs n);
+      Table.print_columns widths
+        [
+          name;
+          string_of_int n;
+          string_of_int (n + 1);
+          string_of_int l_measured;
+          string_of_int (2 * n);
+          string_of_int !measured;
+          Table.verdict
+            (!converged && l_measured = n + 1 && !measured <= (2 * n) + 1);
+        ])
+    [
+      ("ring_bi 5", Builders.ring_bi 5);
+      ("ring_uni 4", Builders.ring_uni 4);
+      ("clique 4", Builders.clique 4);
+      ("torus 3x3", Builders.torus 3 3);
+      ("random 6", Builders.random_strongly_connected ~seed:5 6 ~extra:4);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E4 — Theorem 3.1 and Example 1: the fairness boundary               *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  Table.print_header
+    "E4  Two stable labelings forbid (n-1)-stabilization; tight at n-2"
+    "Theorem 3.1, Example 1";
+  let widths = [ 4; 8; 22; 22; 8 ] in
+  Table.print_columns widths
+    [ "n"; "stable"; "r = n-2"; "r = n-1"; "check" ];
+  Table.print_rule widths;
+  List.iter
+    (fun n ->
+      let p = Clique_example.make n in
+      let input = Clique_example.input n in
+      let stable = Stability.count_stable_labelings p ~input in
+      let describe r =
+        match Checker.check_label p ~input ~r ~max_states:5_000_000 with
+        | Checker.Stabilizing -> ("stabilizing (proof)", `Stab)
+        | Checker.Oscillating w ->
+            ( Printf.sprintf "oscillates (replay %b)"
+                (Checker.replay p ~input w),
+              `Osc )
+        | Checker.Too_large _ -> (
+            (* Too big to check exhaustively: exhibit the paper's explicit
+               (n-1)-fair oscillation by simulation. *)
+            match
+              Engine.run_until_stable p ~input
+                ~init:(Clique_example.oscillation_init p)
+                ~schedule:(Clique_example.oscillation_schedule n)
+                ~max_steps:(200 * n)
+            with
+            | Engine.Oscillating _ -> ("oscillates (witness run)", `Osc)
+            | _ -> ("no verdict", `Unknown))
+      in
+      let low, low_v = describe (n - 2) in
+      let high, high_v = describe (n - 1) in
+      let ok =
+        stable = 2 && high_v = `Osc && (low_v = `Stab || n > 4)
+      in
+      Table.print_columns widths
+        [ string_of_int n; string_of_int stable; low; high; Table.verdict ok ])
+    [ 3; 4 ];
+  (* For larger n the states-graph is out of reach; the paper's explicit
+     (n-1)-fair schedule still demonstrates the oscillation. *)
+  let widths = [ 4; 26; 8 ] in
+  Table.print_rule widths;
+  Table.print_columns widths [ "n"; "(n-1)-fair chase schedule"; "check" ];
+  List.iter
+    (fun n ->
+      let p = Clique_example.make n in
+      let verdict =
+        match
+          Engine.run_until_stable p ~input:(Clique_example.input n)
+            ~init:(Clique_example.oscillation_init p)
+            ~schedule:(Clique_example.oscillation_schedule n)
+            ~max_steps:(200 * n)
+        with
+        | Engine.Oscillating { period; _ } ->
+            (Printf.sprintf "oscillates, period %d" period, true)
+        | _ -> ("converged?!", false)
+      in
+      Table.print_columns widths
+        [ string_of_int n; fst verdict; Table.verdict (snd verdict) ])
+    [ 5; 6; 8 ]
+
+(* ------------------------------------------------------------------ *)
+(* E5 — Theorem 4.1, regime r <= 2^(n/2): the equality reduction       *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  Table.print_header
+    "E5  Verifying 1-stabilization embeds EQUALITY on 2^Omega(n) bits"
+    "Theorem 4.1 / B.4; snake lengths: Abbott-Katchalski";
+  let widths = [ 4; 10; 12; 8 ] in
+  Table.print_columns widths [ "d"; "s(d) ours"; "s(d) known"; "check" ];
+  Table.print_rule widths;
+  List.iter
+    (fun d ->
+      let s = List.length (Snake.example d) in
+      let known = Snake.best_known d in
+      Table.print_columns widths
+        [
+          string_of_int d; string_of_int s; string_of_int known;
+          Table.verdict (s = known && Snake.is_induced_cycle d (Snake.example d));
+        ])
+    [ 2; 3; 4; 5 ];
+  let widths = [ 4; 12; 26; 8 ] in
+  Table.print_rule widths;
+  Table.print_columns widths [ "d"; "case"; "synchronous behaviour"; "check" ];
+  List.iter
+    (fun d ->
+      let len = List.length (Snake.example d) in
+      let x = Array.init len (fun i -> i mod 2 = 0) in
+      let run y expect_osc label =
+        let t = Snake.Eq_reduction.make d ~x ~y in
+        let osc = Snake.Eq_reduction.synchronously_oscillates t in
+        Table.print_columns widths
+          [
+            string_of_int d;
+            label;
+            (if osc then "oscillates (not 1-stab.)" else "converges");
+            Table.verdict (osc = expect_osc);
+          ]
+      in
+      run (Array.copy x) true "x = y";
+      run (Array.mapi (fun i b -> if i = 1 then not b else b) x) false
+        "x <> y")
+    [ 3; 4 ];
+  Table.print_note
+    "communication lower bound: |S| = s(n-2) >= 0.3 * 2^(n-2) bits of x,y";
+  Table.print_note "exhaustive-over-labelings dichotomy verified in test_snake"
+
+(* ------------------------------------------------------------------ *)
+(* E6 — Theorem 4.1, regime r >= 2^(n/2): the disjointness reduction   *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  Table.print_header
+    "E6  Verifying r-stabilization embeds SET-DISJOINTNESS"
+    "Theorem 4.1 / B.7";
+  let widths = [ 14; 14; 10; 24; 8 ] in
+  Table.print_columns widths
+    [ "Alice's set"; "Bob's set"; "intersect"; "r-fair run (r = q+2)"; "check" ];
+  Table.print_rule widths;
+  let show v =
+    "{"
+    ^ String.concat ","
+        (List.filteri (fun _ _ -> true)
+           (List.concat
+              (List.mapi (fun i b -> if b then [ string_of_int i ] else []) v)))
+    ^ "}"
+  in
+  List.iter
+    (fun (x, y) ->
+      let xv = Array.of_list x and yv = Array.of_list y in
+      let t = Snake.Disj_reduction.make 3 ~q:3 ~x:xv ~y:yv in
+      let intersect =
+        Array.exists2 (fun a b -> a && b) xv yv
+      in
+      let osc = Snake.Disj_reduction.oscillates t in
+      Table.print_columns widths
+        [
+          show (Array.to_list xv);
+          show (Array.to_list yv);
+          string_of_bool intersect;
+          (if osc then "oscillates" else "converges");
+          Table.verdict (osc = intersect);
+        ])
+    [
+      ([ true; false; true ], [ false; false; true ]);
+      ([ true; false; true ], [ false; true; false ]);
+      ([ true; true; true ], [ true; true; true ]);
+      ([ false; false; false ], [ true; true; true ]);
+      ([ true; false; false ], [ true; false; false ]);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E7 — Theorem 4.2: PSPACE-completeness reduction chain               *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  Table.print_header
+    "E7  String-Oscillation <=> stateful <=> stateless (metanode) oscillation"
+    "Theorem 4.2 / B.11 / B.14";
+  let widths = [ 18; 10; 12; 14; 8 ] in
+  Table.print_columns widths
+    [ "instance"; "procedure"; "stateful"; "metanode"; "check" ];
+  Table.print_rule widths;
+  List.iter
+    (fun (name, inst) ->
+      let osc = SO.oscillates inst in
+      let stateful = Stateful.of_instance inst in
+      let stateful_stab = Stateful.synchronous_stabilizing stateful in
+      let mn = Metanode.make stateful in
+      let metanode_result =
+        match SO.oscillating_start inst with
+        | Some start -> (
+            match Stateful.oscillation_seed inst start with
+            | Some seed -> (
+                match
+                  Engine.run_until_stable mn.Metanode.protocol
+                    ~input:(Metanode.input mn) ~init:(Metanode.lift mn seed)
+                    ~schedule:
+                      (Metanode.lift_schedule mn
+                         (Schedule.synchronous stateful.Stateful.n))
+                    ~max_steps:3000
+                with
+                | Engine.Oscillating _ -> `Osc
+                | _ -> `Unexpected)
+            | None -> `Unexpected)
+        | None ->
+            let p = mn.Metanode.protocol in
+            let state = Random.State.make [| 4 |] in
+            let all_converge = ref true in
+            for _ = 1 to 15 do
+              let init = Protocol.config_of_labels p (random_labels p state) in
+              match
+                Engine.run_until_stable p ~input:(Metanode.input mn) ~init
+                  ~schedule:(Schedule.synchronous (Protocol.num_nodes p))
+                  ~max_steps:3000
+              with
+              | Engine.Stabilized _ -> ()
+              | _ -> all_converge := false
+            done;
+            if !all_converge then `Stab else `Unexpected
+      in
+      let agree =
+        osc = not stateful_stab
+        && (metanode_result = if osc then `Osc else `Stab)
+      in
+      Table.print_columns widths
+        [
+          name;
+          (if osc then "oscillates" else "halts");
+          (if stateful_stab then "stabilizing" else "oscillates");
+          (match metanode_result with
+          | `Osc -> "oscillates"
+          | `Stab -> "stabilizing"
+          | `Unexpected -> "UNEXPECTED");
+          Table.verdict agree;
+        ])
+    [
+      ("always_loop", SO.always_loop ~m:2);
+      ("always_halt", SO.always_halt ~m:2);
+      ("zero_loop", SO.zero_loop ~m:2);
+      ("random seed=1", SO.random ~m:2 ~seed:1);
+      ("random seed=5", SO.random ~m:2 ~seed:5);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E8 — Claim 5.5: the 2-counter                                       *)
+(* ------------------------------------------------------------------ *)
+
+let measure_two_counter_lock t =
+  (* Worst time, over random initial labelings, until phases synchronize
+     and stay synchronized-alternating for 2n further steps. *)
+  let p = t.Two_counter.protocol in
+  let n = t.Two_counter.n in
+  let input = Two_counter.input t in
+  let state = Random.State.make [| n |] in
+  let worst = ref 0 in
+  for _ = 1 to 30 do
+    let config = ref (Protocol.config_of_labels p (random_labels p state)) in
+    let locked_at = ref (-1) in
+    let steps = ref 0 in
+    let all = List.init n Fun.id in
+    while !locked_at < 0 && !steps < 20 * n do
+      (* Check: synchronized now and for the next 2n steps. *)
+      let probe = ref !config in
+      let ok = ref true in
+      let prev = ref None in
+      for _ = 0 to (2 * n) - 1 do
+        if not (Two_counter.synchronized t !probe) then ok := false;
+        let ph = (Two_counter.phases t !probe).(0) in
+        (match !prev with
+        | Some q when Bool.equal q ph -> ok := false
+        | _ -> ());
+        prev := Some ph;
+        probe := Engine.step p ~input !probe ~active:all
+      done;
+      if !ok then locked_at := !steps
+      else begin
+        config := Engine.step p ~input !config ~active:all;
+        incr steps
+      end
+    done;
+    worst := max !worst (if !locked_at < 0 then max_int else !locked_at)
+  done;
+  !worst
+
+let e8 () =
+  Table.print_header "E8  The stateless 2-counter on odd rings"
+    "Claim 5.5";
+  let widths = [ 4; 10; 12; 12; 8 ] in
+  Table.print_columns widths
+    [ "n"; "L (bits)"; "lock time"; "burn-in bnd"; "check" ];
+  Table.print_rule widths;
+  List.iter
+    (fun n ->
+      let t = Two_counter.make n in
+      let lock = measure_two_counter_lock t in
+      Table.print_columns widths
+        [
+          string_of_int n;
+          string_of_int (Label.bit_length t.Two_counter.protocol.Protocol.space);
+          string_of_int lock;
+          string_of_int (Two_counter.burn_in t);
+          Table.verdict (lock <= Two_counter.burn_in t);
+        ])
+    [ 3; 5; 7; 9; 11 ]
+
+(* ------------------------------------------------------------------ *)
+(* E9 — Claim 5.6: the D-counter                                       *)
+(* ------------------------------------------------------------------ *)
+
+let measure_d_counter_lock t =
+  let p = D_counter.protocol t in
+  let n = t.D_counter.n and d = t.D_counter.d in
+  let input = D_counter.input t in
+  let state = Random.State.make [| (n * 7) + d |] in
+  let worst = ref 0 in
+  let all = List.init n Fun.id in
+  for _ = 1 to 20 do
+    let config = ref (Protocol.config_of_labels p (random_labels p state)) in
+    let locked_at = ref (-1) in
+    let steps = ref 0 in
+    while !locked_at < 0 && !steps < 30 * n do
+      let probe = ref !config in
+      let ok = ref true in
+      let prev = ref (-1) in
+      for _ = 0 to (2 * d) - 1 do
+        if not (D_counter.agreed t !probe) then ok := false;
+        let v = (D_counter.values t !probe).(0) in
+        if !prev >= 0 && v <> (!prev + 1) mod d then ok := false;
+        prev := v;
+        probe := Engine.step p ~input !probe ~active:all
+      done;
+      if !ok then locked_at := !steps
+      else begin
+        config := Engine.step p ~input !config ~active:all;
+        incr steps
+      end
+    done;
+    worst := max !worst (if !locked_at < 0 then max_int else !locked_at)
+  done;
+  !worst
+
+let e9 () =
+  Table.print_header "E9  The stateless D-counter: a global clock"
+    "Claim 5.6 (paper: R = 4n, L = 2 + 3 log D)";
+  let widths = [ 4; 4; 10; 10; 10; 10; 8 ] in
+  Table.print_columns widths
+    [ "n"; "D"; "L paper"; "L ours"; "R paper"; "lock time"; "check" ];
+  Table.print_rule widths;
+  List.iter
+    (fun (n, d) ->
+      let t = D_counter.make ~n ~d () in
+      let bits v =
+        let rec go acc cap = if cap >= v then acc else go (acc + 1) (2 * cap) in
+        go 0 1
+      in
+      let l_paper = 2 + (3 * bits d) in
+      let lock = measure_d_counter_lock t in
+      Table.print_columns widths
+        [
+          string_of_int n;
+          string_of_int d;
+          string_of_int l_paper;
+          string_of_int (D_counter.label_bits t);
+          string_of_int (4 * n);
+          string_of_int lock;
+          Table.verdict (D_counter.label_bits t = l_paper && lock <= 4 * n + 8);
+        ])
+    [ (3, 4); (5, 8); (5, 16); (7, 10); (9, 32); (11, 6) ]
+
+(* ------------------------------------------------------------------ *)
+(* E10 — Theorem 5.2 and Lemma C.2: unidirectional rings ~ L/poly      *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  Table.print_header
+    "E10a Extremal round complexity on the unidirectional ring"
+    "Lemma C.2: R = n(q-1) achieved, R <= n q in general";
+  let widths = [ 4; 4; 12; 12; 12; 8 ] in
+  Table.print_columns widths
+    [ "n"; "q"; "R predicted"; "R measured"; "bound n*q"; "check" ];
+  Table.print_rule widths;
+  List.iter
+    (fun (n, q) ->
+      let p = Extremal.make ~n ~q in
+      let measured =
+        Option.value ~default:(-1)
+          (Engine.label_stabilization_time p ~input:(Extremal.input n)
+             ~init:(Extremal.slow_init p)
+             ~schedule:(Schedule.synchronous n)
+             ~max_steps:(4 * n * q))
+      in
+      let predicted = Extremal.predicted_rounds ~n ~q in
+      Table.print_columns widths
+        [
+          string_of_int n;
+          string_of_int q;
+          string_of_int predicted;
+          string_of_int measured;
+          string_of_int (Extremal.upper_bound ~n ~q);
+          Table.verdict
+            (measured >= predicted && measured <= Extremal.upper_bound ~n ~q);
+        ])
+    [ (3, 2); (4, 3); (5, 4); (6, 5); (8, 3) ];
+
+  Table.print_header
+    "E10b Machines with advice run on the unidirectional ring"
+    "Theorem 5.2 (L/poly side): labels O(log), self-stabilizing";
+  let widths = [ 16; 4; 6; 10; 12; 12; 8 ] in
+  Table.print_columns widths
+    [ "machine"; "n"; "|Z|"; "L (bits)"; "conv bound"; "worst conv"; "check" ];
+  Table.print_rule widths;
+  let state = Random.State.make [| 77 |] in
+  List.iter
+    (fun m ->
+      let p = Machine.protocol_of_machine m in
+      let n = m.Machine.n in
+      let bound = Machine.convergence_bound m in
+      let worst = ref 0 in
+      let correct = ref true in
+      List.iter
+        (fun x ->
+          let init = Protocol.config_of_labels p (random_labels p state) in
+          (match
+             Engine.outputs_after_convergence p ~input:x ~init
+               ~schedule:(Schedule.synchronous n) ~max_steps:(2 * bound)
+           with
+          | Some outs ->
+              let expect = if Machine.run m x then 1 else 0 in
+              if not (Array.for_all (fun y -> y = expect) outs) then
+                correct := false
+          | None -> correct := false);
+          match
+            Engine.output_stabilization_time p ~input:x ~init
+              ~schedule:(Schedule.synchronous n) ~max_steps:(2 * bound)
+          with
+          | Some t -> worst := max !worst t
+          | None -> correct := false)
+        (all_bool_inputs n);
+      Table.print_columns widths
+        [
+          m.Machine.name;
+          string_of_int n;
+          string_of_int m.Machine.configs;
+          string_of_int (Label.bit_length p.Protocol.space);
+          string_of_int bound;
+          string_of_int !worst;
+          Table.verdict (!correct && !worst <= bound);
+        ])
+    [
+      Machine.parity 4;
+      Machine.majority 3;
+      Machine.mod_count 4 3;
+      Machine.first_equals_last 4;
+      Machine.with_advice 4 [| true; false; true; true |];
+    ];
+
+  Table.print_header
+    "E10c Branching programs <-> unidirectional ring protocols"
+    "Theorem 5.2 (both directions)";
+  let widths = [ 16; 10; 14; 14; 8 ] in
+  Table.print_columns widths
+    [ "program"; "BP size"; "ring L bits"; "roundtrip"; "check" ];
+  Table.print_rule widths;
+  List.iter
+    (fun (name, bp) ->
+      let p = Bp.protocol_of_bp bp in
+      let bp' =
+        Bp.of_uni_protocol p ~start:(p.Protocol.space.Label.decode 0)
+      in
+      let same =
+        List.for_all
+          (fun x -> Bp.eval bp x = Bp.eval bp' x)
+          (all_bool_inputs bp.Bp.n_vars)
+      in
+      Table.print_columns widths
+        [
+          name;
+          string_of_int (Bp.size bp);
+          string_of_int (Label.bit_length p.Protocol.space);
+          (if same then "function preserved" else "BROKEN");
+          Table.verdict same;
+        ])
+    [
+      ("parity 3", Bp.parity 3);
+      ("majority 3", Bp.majority 3);
+      ("equality 4", Bp.equality 4);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E11 — Theorem 5.4: bidirectional rings ~ P/poly                     *)
+(* ------------------------------------------------------------------ *)
+
+let e11 () =
+  Table.print_header
+    "E11a Circuits compiled onto bidirectional rings (P/poly side)"
+    "Theorem 5.4: ring O(|C|), labels 6 + 3 log D, self-stabilizing";
+  let widths = [ 12; 6; 6; 6; 10; 12; 10; 8 ] in
+  Table.print_columns widths
+    [ "circuit"; "|C|"; "ring"; "D"; "L (bits)"; "conv bound"; "inputs ok"; "check" ];
+  Table.print_rule widths;
+  List.iter
+    (fun (name, c) ->
+      let t = Compile.make c in
+      let n = c.Circuit.n_inputs in
+      let ok = ref 0 and total = ref 0 in
+      List.iteri
+        (fun idx x ->
+          incr total;
+          match Compile.run_from t x ~seed:(idx + 1) with
+          | Some v when v = Circuit.eval c x -> incr ok
+          | _ -> ())
+        (all_bool_inputs n);
+      Table.print_columns widths
+        [
+          name;
+          string_of_int (Circuit.size c);
+          string_of_int t.Compile.ring_size;
+          string_of_int t.Compile.clock_period;
+          string_of_int (Compile.label_bits t);
+          string_of_int (Compile.convergence_bound t);
+          Printf.sprintf "%d/%d" !ok !total;
+          Table.verdict (!ok = !total);
+        ])
+    [
+      ("parity 3", Circuit.parity 3);
+      ("majority 3", Circuit.majority 3);
+      ("equality 4", Circuit.equality 4);
+      ("or_all 4", Circuit.or_all 4);
+      ("random s=9", Circuit.random ~seed:9 ~n_inputs:4 ~size:8);
+    ];
+
+  Table.print_header
+    "E11b Protocols unrolled into circuits (converse direction)"
+    "Theorem 5.4: T-round synchronous run = layered circuit";
+  let widths = [ 22; 10; 12; 12; 8 ] in
+  Table.print_columns widths
+    [ "protocol"; "rounds T"; "circuit size"; "computes f"; "check" ];
+  Table.print_rule widths;
+  let g = Builders.ring_bi 3 in
+  let p = Generic.make g parity in
+  let rounds = 7 in
+  let circuit =
+    Unroll.circuit_of_protocol p ~rounds ~init:(Array.make 4 false) ~node:0
+  in
+  let same =
+    List.for_all
+      (fun x -> Circuit.eval circuit x = parity x)
+      (all_bool_inputs 3)
+  in
+  Table.print_columns widths
+    [
+      "generic parity ring3";
+      string_of_int rounds;
+      string_of_int (Circuit.size circuit);
+      string_of_bool same;
+      Table.verdict same;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E12 — Theorem 5.10: the counting lower bound                        *)
+(* ------------------------------------------------------------------ *)
+
+let e12 () =
+  Table.print_header
+    "E12  Some function needs labels of n/4k bits on degree-k graphs"
+    "Theorem 5.10 (vs. the generic upper bound n + 1 of Prop 2.3)";
+  let widths = [ 6; 6; 14; 14; 8 ] in
+  Table.print_columns widths
+    [ "n"; "k"; "lower n/4k"; "upper n+1"; "check" ];
+  Table.print_rule widths;
+  List.iter
+    (fun (n, k) ->
+      let lower = Fooling.counting_bound ~n ~k in
+      Table.print_columns widths
+        [
+          string_of_int n;
+          string_of_int k;
+          Printf.sprintf "%.2f" lower;
+          string_of_int (n + 1);
+          Table.verdict (lower <= float_of_int (n + 1));
+        ])
+    [ (16, 2); (64, 2); (256, 4); (1024, 4); (4096, 8) ];
+  Table.print_note
+    "k=2 covers both ring topologies; the gap lower..upper is where Section 5's";
+  Table.print_note
+    "log-label constructions live for easy functions."
+
+(* ------------------------------------------------------------------ *)
+(* E13 — Theorem 6.2, Corollaries 6.3/6.4: fooling-set lower bounds    *)
+(* ------------------------------------------------------------------ *)
+
+let e13 () =
+  Table.print_header
+    "E13  Fooling sets: label lower bounds for Eq and Maj on the ring"
+    "Theorem 6.2, Corollaries 6.3 / 6.4";
+  let widths = [ 10; 4; 9; 10; 10; 10; 8 ] in
+  Table.print_columns widths
+    [ "function"; "n"; "|S|"; "verified"; "bound"; "paper"; "check" ];
+  Table.print_rule widths;
+  List.iter
+    (fun n ->
+      let s = Fooling.equality_fooling n in
+      let verified =
+        Fooling.verify Fooling.equality_fn ~n s
+        && Fooling.constant_on_cut (Builders.ring_bi n) ~m:(n / 2) s
+      in
+      let bound = Fooling.bound s ~cut:4 in
+      Table.print_columns widths
+        [
+          "Eq"; string_of_int n;
+          string_of_int (List.length s.Fooling.pairs);
+          string_of_bool verified;
+          Printf.sprintf "%.2f" bound;
+          Printf.sprintf "%.2f" (Fooling.equality_paper_bound n);
+          Table.verdict (verified && bound > 0.0);
+        ])
+    [ 6; 8; 10; 12; 16 ];
+  List.iter
+    (fun n ->
+      let s = Fooling.majority_fooling n in
+      let verified = Fooling.verify Fooling.majority_fn ~n s in
+      let bound = Fooling.bound s ~cut:4 in
+      Table.print_columns widths
+        [
+          "Maj"; string_of_int n;
+          string_of_int (List.length s.Fooling.pairs);
+          string_of_bool verified;
+          Printf.sprintf "%.2f" bound;
+          Printf.sprintf "%.2f" (Fooling.majority_paper_bound n);
+          Table.verdict (verified && bound > 0.0);
+        ])
+    [ 6; 8; 10; 12; 16 ];
+  Table.print_note
+    "Eq: our set pins 2 coordinates (bound (n-4)/8 vs paper (n-2)/8) — same";
+  Table.print_note
+    "linear asymptotics; Maj matches the paper's log(n/2)/4 exactly."
+
+(* ------------------------------------------------------------------ *)
+(* E14 — BGP / Stable Paths gadgets                                    *)
+(* ------------------------------------------------------------------ *)
+
+let e14 () =
+  Table.print_header
+    "E14  BGP as stateless best response: the GSW gadget spectrum"
+    "Section 1.1; Theorem 3.1 corollary for routing";
+  let widths = [ 10; 10; 18; 20; 8 ] in
+  Table.print_columns widths
+    [ "gadget"; "solutions"; "synchronous"; "checker r=2"; "check" ];
+  Table.print_rule widths;
+  List.iter
+    (fun (name, spp, expect_solutions, expect_sync, expect_checker) ->
+      let p = Spp.protocol spp in
+      let input = Spp.input spp in
+      let solutions = List.length (Spp.solutions spp) in
+      let sync =
+        match
+          Engine.run_until_stable p ~input
+            ~init:(Protocol.uniform_config p [])
+            ~schedule:(Schedule.synchronous spp.Spp.n)
+            ~max_steps:2000
+        with
+        | Engine.Stabilized _ -> "converges"
+        | Engine.Oscillating _ -> "flaps"
+        | Engine.Exhausted _ -> "unknown"
+      in
+      let checker =
+        match Checker.check_label p ~input ~r:2 ~max_states:5_000_000 with
+        | Checker.Stabilizing -> "2-stabilizing"
+        | Checker.Oscillating _ -> "flapping schedule"
+        | Checker.Too_large _ -> "too large"
+      in
+      Table.print_columns widths
+        [
+          name;
+          string_of_int solutions;
+          sync;
+          checker;
+          Table.verdict
+            (solutions = expect_solutions && sync = expect_sync
+           && checker = expect_checker);
+        ])
+    [
+      ("GOOD", Spp.good_gadget (), 1, "converges", "too large");
+      ("GOOD small", Spp.good_gadget_small (), 1, "converges", "2-stabilizing");
+      ("DISAGREE", Spp.disagree (), 2, "flaps", "flapping schedule");
+      ("BAD", Spp.bad_gadget (), 0, "flaps", "too large");
+    ];
+  (* BAD GADGET's state space defeats the exhaustive checker, but zero
+     solutions already witness divergence under every fair schedule. *)
+  let spp = Spp.bad_gadget () in
+  let p = Spp.protocol spp in
+  (match
+     Engine.run_until_stable p ~input:(Spp.input spp)
+       ~init:(Protocol.uniform_config p [])
+       ~schedule:(Schedule.random_fair ~seed:3 ~r:3 spp.Spp.n)
+       ~max_steps:5000
+   with
+  | Engine.Exhausted _ | Engine.Oscillating _ ->
+      Table.print_note "BAD gadget under a random 3-fair schedule: still flapping after 5000 steps (expected)"
+  | Engine.Stabilized _ ->
+      Table.print_note "BAD gadget converged?! (no solution exists — MISMATCH)")
+
+(* ------------------------------------------------------------------ *)
+(* E15 — Contagion / coordination instability                          *)
+(* ------------------------------------------------------------------ *)
+
+let e15 () =
+  Table.print_header
+    "E15  Technology diffusion: equilibria, cascades, and churn"
+    "Section 1.1 (Morris contagion); Theorem 3.1 corollary";
+  let widths = [ 16; 12; 20; 8 ] in
+  Table.print_columns widths [ "network"; "equilibria"; "behaviour"; "check" ];
+  Table.print_rule widths;
+  (* Full cascade on a grid. *)
+  let g = Builders.grid 3 4 in
+  let game = Contagion.make g ~threshold:0.33 in
+  let p = Best_response.protocol game () in
+  let input = Best_response.input game in
+  let cascade =
+    match
+      Engine.run_until_stable p ~input
+        ~init:(Contagion.seeded_config p [ 0; 1; 4; 5 ])
+        ~schedule:(Schedule.synchronous 12) ~max_steps:200
+    with
+    | Engine.Stabilized { config; _ } ->
+        List.length (Contagion.adopters p config)
+    | _ -> -1
+  in
+  Table.print_columns widths
+    [
+      "grid 3x4"; "(>= 2)";
+      Printf.sprintf "cascade to %d/12" cascade;
+      Table.verdict (cascade = 12);
+    ];
+  (* Instability on the small ring, exhaustively. *)
+  let ring = Builders.ring_bi 3 in
+  let rgame = Contagion.make ring ~threshold:0.5 in
+  let rp = Best_response.protocol rgame () in
+  let rinput = Best_response.input rgame in
+  let equilibria = Stability.count_stable_labelings rp ~input:rinput in
+  let churn =
+    match Checker.check_label rp ~input:rinput ~r:2 ~max_states:2_000_000 with
+    | Checker.Oscillating w ->
+        if Checker.replay rp ~input:rinput w then "2-fair churn (replayed)"
+        else "2-fair churn"
+    | Checker.Stabilizing -> "stabilizing?!"
+    | Checker.Too_large _ -> "too large"
+  in
+  Table.print_columns widths
+    [
+      "ring_bi 3";
+      string_of_int equilibria;
+      churn;
+      Table.verdict (equilibria = 2 && churn = "2-fair churn (replayed)");
+    ];
+  (* The asynchronous-circuit instances from the same corollary. *)
+  let latch = Feedback.nor_latch () in
+  let stable_latch =
+    Stability.count_stable_labelings latch ~input:[| false; false |]
+  in
+  let latch_verdict =
+    match
+      Checker.check_label latch ~input:[| false; false |] ~r:1
+        ~max_states:100_000
+    with
+    | Checker.Oscillating _ -> "metastable"
+    | _ -> "settles?!"
+  in
+  Table.print_columns widths
+    [
+      "NOR latch";
+      string_of_int stable_latch;
+      latch_verdict;
+      Table.verdict (stable_latch = 2 && latch_verdict = "metastable");
+    ];
+  let osc = Feedback.ring_oscillator 3 in
+  let stable_osc = Stability.count_stable_labelings osc ~input:(Array.make 3 ()) in
+  Table.print_columns widths
+    [
+      "inverter ring 3";
+      string_of_int stable_osc;
+      "free-running clock";
+      Table.verdict (stable_osc = 0);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E16 — Section 7, future work (3): other topologies                  *)
+(* ------------------------------------------------------------------ *)
+
+let e16 () =
+  Table.print_header
+    "E16  The generic protocol across topologies (future work 3)"
+    "Prop 2.3 on hypercube, torus, trees, de Bruijn, chordal rings";
+  let widths = [ 18; 4; 6; 8; 10; 10; 8 ] in
+  Table.print_columns widths
+    [ "graph"; "n"; "radius"; "L = n+1"; "R bound 2n"; "R measured"; "check" ];
+  Table.print_rule widths;
+  let state = Random.State.make [| 63 |] in
+  List.iter
+    (fun (name, g) ->
+      let n = Digraph.num_nodes g in
+      let p = Generic.make g parity in
+      let radius = Option.get (Algorithms.radius g) in
+      let measured = ref 0 in
+      let converged = ref true in
+      (* Random inputs x random initial labelings. *)
+      for _ = 1 to 12 do
+        let x = Array.init n (fun _ -> Random.State.bool state) in
+        let init = Protocol.config_of_labels p (random_labels p state) in
+        match
+          Engine.output_stabilization_time p ~input:x ~init
+            ~schedule:(Schedule.synchronous n)
+            ~max_steps:(8 * n * n)
+        with
+        | Some t -> measured := max !measured t
+        | None -> converged := false
+      done;
+      Table.print_columns widths
+        [
+          name;
+          string_of_int n;
+          string_of_int radius;
+          string_of_int (n + 1);
+          string_of_int (2 * n);
+          string_of_int !measured;
+          Table.verdict
+            (!converged && !measured <= (2 * n) + 1 && radius <= !measured);
+        ])
+    [
+      ("hypercube Q3", Builders.hypercube 3);
+      ("torus 3x4", Builders.torus 3 4);
+      ("binary tree d3", Builders.binary_tree 3);
+      ("de Bruijn B(2,3)", Builders.de_bruijn 2 3);
+      ("circulant 9:{1,3}", Builders.circulant 9 [ 1; 3; -1 ]);
+      ("star 8", Builders.star 8);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E17 — Self-stabilization under transient faults                     *)
+(* ------------------------------------------------------------------ *)
+
+let e17 () =
+  Table.print_header
+    "E17  Transient-fault recovery (the promise of Section 2.2, measured)"
+    "corrupt 100% of the labels in steady state; outputs must return";
+  let widths = [ 24; 12; 12; 14; 8 ] in
+  Table.print_columns widths
+    [ "protocol"; "first conv"; "recovery"; "same outputs"; "check" ];
+  Table.print_rule widths;
+  let row name p input init schedule max_steps =
+    let timing =
+      Fault.recovery_time p ~input ~init ~schedule ~seed:7 ~fraction:1.0
+        ~max_steps
+    in
+    let same =
+      Fault.recovers_to_same_outputs p ~input ~init ~schedule ~seed:7
+        ~fraction:1.0 ~max_steps
+    in
+    match (timing, same) with
+    | Some (first, recovery), Some same ->
+        Table.print_columns widths
+          [
+            name;
+            string_of_int first;
+            string_of_int recovery;
+            string_of_bool same;
+            Table.verdict same;
+          ]
+    | _ ->
+        Table.print_columns widths
+          [ name; "-"; "-"; "no recovery"; Table.verdict false ]
+  in
+  let g = Builders.ring_bi 5 in
+  let p = Generic.make g parity in
+  row "generic parity ring5" p
+    [| true; false; true; true; false |]
+    (Protocol.uniform_config p (Array.make 6 false))
+    (Schedule.synchronous 5) 400;
+  let m = Machine.parity 4 in
+  let mp = Machine.protocol_of_machine m in
+  row "machine parity ring4" mp
+    [| true; true; false; true |]
+    (Protocol.uniform_config mp (mp.Protocol.space.Label.decode 0))
+    (Schedule.synchronous 4)
+    (2 * Machine.convergence_bound m);
+  let t = Compile.make (Circuit.majority 3) in
+  let cp = t.Compile.protocol in
+  row "compiled majority3" cp
+    (Compile.ring_input t [| true; false; true |])
+    (Protocol.uniform_config cp (cp.Protocol.space.Label.decode 0))
+    (Schedule.synchronous t.Compile.ring_size)
+    (* The full system is eventually periodic with period 4D (counter
+       phase x clock), so certifying the oscillation needs transient +
+       period steps. *)
+    (4 * Compile.convergence_bound t);
+  let dc = D_counter.make ~n:5 ~d:8 () in
+  let dp = D_counter.protocol dc in
+  (* The counter's outputs tick forever, so measure re-agreement instead:
+     corrupt and check the views re-lock. *)
+  let input = D_counter.input dc in
+  let steady =
+    Engine.run dp ~input
+      ~init:(Protocol.uniform_config dp (dp.Protocol.space.Label.decode 0))
+      ~schedule:(Schedule.synchronous 5)
+      ~steps:(D_counter.burn_in dc)
+  in
+  let damaged = Fault.corrupt dp ~seed:7 ~fraction:1.0 steady in
+  let relocked =
+    let config =
+      ref
+        (Engine.run dp ~input ~init:damaged ~schedule:(Schedule.synchronous 5)
+           ~steps:(D_counter.burn_in dc))
+    in
+    let ok = ref true in
+    for _ = 1 to 8 do
+      if not (D_counter.agreed dc !config) then ok := false;
+      config :=
+        Engine.step dp ~input !config ~active:(List.init 5 Fun.id)
+    done;
+    !ok
+  in
+  Table.print_columns widths
+    [
+      "d-counter n=5 D=8";
+      string_of_int (D_counter.burn_in dc);
+      string_of_int (D_counter.burn_in dc);
+      string_of_bool relocked;
+      Table.verdict relocked;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E18 — Random routing policies: solutions vs. convergence            *)
+(* ------------------------------------------------------------------ *)
+
+let e18 () =
+  Table.print_header
+    "E18  Random SPP instances: how often is BGP safe?"
+    "solutions = stable labelings (Thm 3.1's hypothesis in the wild)";
+  let widths = [ 12; 10; 14; 16; 8 ] in
+  Table.print_columns widths
+    [ "solutions"; "instances"; "sync converges"; "rnd-fair conv."; "check" ];
+  Table.print_rule widths;
+  let buckets = Hashtbl.create 4 in
+  let record key sync fair =
+    let a, b, c =
+      Option.value ~default:(0, 0, 0) (Hashtbl.find_opt buckets key)
+    in
+    Hashtbl.replace buckets key
+      (a + 1, (b + if sync then 1 else 0), (c + if fair then 1 else 0))
+  in
+  for seed = 1 to 40 do
+    let spp = Spp.random_instance ~seed ~n:5 ~degree:3 ~paths_per_node:2 in
+    let p = Spp.protocol spp in
+    let input = Spp.input spp in
+    let solutions = List.length (Spp.solutions spp) in
+    let run schedule =
+      match
+        Engine.run_until_stable p ~input
+          ~init:(Protocol.uniform_config p [])
+          ~schedule ~max_steps:2000
+      with
+      | Engine.Stabilized _ -> true
+      | Engine.Oscillating _ | Engine.Exhausted _ -> false
+    in
+    let sync = run (Schedule.synchronous spp.Spp.n) in
+    let fair = run (Schedule.random_fair ~seed:(seed * 17) ~r:3 spp.Spp.n) in
+    let key =
+      if solutions = 0 then "0" else if solutions = 1 then "1" else ">=2"
+    in
+    record key sync fair
+  done;
+  List.iter
+    (fun key ->
+      match Hashtbl.find_opt buckets key with
+      | None -> ()
+      | Some (total, sync, fair) ->
+          (* Zero solutions forbid convergence; with solutions, runs may
+             or may not find them. *)
+          let consistent =
+            if key = "0" then sync = 0 && fair = 0 else true
+          in
+          Table.print_columns widths
+            [
+              key;
+              string_of_int total;
+              Printf.sprintf "%d/%d" sync total;
+              Printf.sprintf "%d/%d" fair total;
+              Table.verdict consistent;
+            ])
+    [ "0"; "1"; ">=2" ];
+  (if Hashtbl.mem buckets "0" then
+     Table.print_note
+       "0-solution instances cannot converge (Thm 3.1 hypothesis vacuous: no fixed point)"
+   else
+     Table.print_note
+       "no 0-solution instance in this sample: random policies are rarely BAD-gadget-like");
+  Table.print_note
+    "the engineered no-solution case is E14's BAD gadget; >=2 solutions risk DISAGREE-style flapping."
+
+(* ------------------------------------------------------------------ *)
+(* E19 — Silence: the communication dividend of label stabilization    *)
+(* ------------------------------------------------------------------ *)
+
+let e19 () =
+  Table.print_header
+    "E19  Label stabilization = silence (Section 1.4's silent algorithms)"
+    "label changes per synchronous round, after output convergence";
+  let widths = [ 24; 8; 14; 18; 8 ] in
+  Table.print_columns widths
+    [ "protocol"; "edges"; "stabilizes"; "changes/round"; "check" ];
+  Table.print_rule widths;
+  let changes_per_round p input init warmup =
+    let n = Protocol.num_nodes p in
+    let all = List.init n Fun.id in
+    let config =
+      ref (Engine.run p ~input ~init ~schedule:(Schedule.synchronous n)
+             ~steps:warmup)
+    in
+    let total = ref 0 in
+    let rounds = 20 in
+    for _ = 1 to rounds do
+      let next = Engine.step p ~input !config ~active:all in
+      Array.iteri
+        (fun e l ->
+          if
+            p.Protocol.space.Label.encode l
+            <> p.Protocol.space.Label.encode next.Protocol.labels.(e)
+          then incr total)
+        !config.Protocol.labels;
+      config := next
+    done;
+    float_of_int !total /. float_of_int rounds
+  in
+  let row name p input init warmup ~expect_silent =
+    let rate = changes_per_round p input init warmup in
+    let silent = rate = 0.0 in
+    Table.print_columns widths
+      [
+        name;
+        string_of_int (Protocol.num_edges p);
+        (if silent then "labels" else "outputs only");
+        Printf.sprintf "%.1f" rate;
+        Table.verdict (Bool.equal silent expect_silent);
+      ]
+  in
+  let g = Builders.ring_bi 5 in
+  let p = Generic.make g parity in
+  row "generic parity ring5" p
+    [| true; false; true; false; true |]
+    (Protocol.uniform_config p (Array.make 6 true))
+    40 ~expect_silent:true;
+  let m = Machine.parity 4 in
+  let mp = Machine.protocol_of_machine m in
+  row "machine parity ring4" mp
+    [| true; false; true; true |]
+    (Protocol.uniform_config mp (mp.Protocol.space.Label.decode 0))
+    (2 * Machine.convergence_bound m)
+    ~expect_silent:false;
+  let dc = D_counter.make ~n:5 ~d:8 () in
+  let dp = D_counter.protocol dc in
+  row "d-counter n=5 D=8" dp (D_counter.input dc)
+    (Protocol.uniform_config dp (dp.Protocol.space.Label.decode 0))
+    (D_counter.burn_in dc)
+    ~expect_silent:false;
+  let t = Compile.make (Circuit.parity 3) in
+  let cp = t.Compile.protocol in
+  row "compiled parity3" cp
+    (Compile.ring_input t [| true; false; true |])
+    (Protocol.uniform_config cp (cp.Protocol.space.Label.decode 0))
+    (2 * Compile.convergence_bound t)
+    ~expect_silent:false;
+  Table.print_note
+    "the Prop 2.3 protocol is silent after convergence (0 label changes);";
+  Table.print_note
+    "the Section 5 log-label constructions pay perpetual clocking traffic."
+
+let all =
+  [
+    ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
+    ("E17", e17); ("E18", e18); ("E19", e19);
+  ]

@@ -1,0 +1,140 @@
+(* Benchmark & experiment harness.
+
+   Running this executable regenerates every quantitative claim of the
+   paper (experiments E1..E15, one table each — see DESIGN.md for the
+   experiment index and EXPERIMENTS.md for paper-vs-measured), then runs a
+   Bechamel micro-benchmark suite over the core computational kernels. *)
+
+open Bechamel
+open Toolkit
+module Builders = Stateless_graph.Builders
+module Circuit = Stateless_circuit.Circuit
+module Bp = Stateless_bp.Bp
+module Snake = Stateless_snake.Snake
+module Checker = Stateless_checker.Checker
+open Stateless_core
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks of the computational kernels                       *)
+(* ------------------------------------------------------------------ *)
+
+let parity bits = Array.fold_left (fun acc b -> acc <> b) false bits
+
+let bench_engine_step =
+  (* One synchronous step of the Prop 2.3 generic protocol on a 64-ring. *)
+  let n = 60 in
+  let g = Builders.ring_bi n in
+  let p = Generic.make g parity in
+  let input = Array.init n (fun i -> i mod 3 = 0) in
+  let config = Protocol.uniform_config p (Array.make (n + 1) false) in
+  let active = List.init n Fun.id in
+  Test.make ~name:"engine/step generic ring60"
+    (Staged.stage (fun () -> ignore (Engine.step p ~input config ~active)))
+
+let bench_engine_stabilize =
+  (* Full synchronous stabilization of the generic protocol on a 16-ring. *)
+  let n = 16 in
+  let g = Builders.ring_bi n in
+  let p = Generic.make g parity in
+  let input = Array.init n (fun i -> i mod 2 = 0) in
+  let init = Protocol.uniform_config p (Array.make (n + 1) true) in
+  let schedule = Schedule.synchronous n in
+  Test.make ~name:"engine/stabilize generic ring16"
+    (Staged.stage (fun () ->
+         ignore
+           (Engine.run_until_stable p ~input ~init ~schedule
+              ~max_steps:(4 * n * n))))
+
+let bench_checker =
+  (* Exhaustive label 2-stabilization check of Example 1 on K_3. *)
+  let p = Clique_example.make 3 in
+  let input = Clique_example.input 3 in
+  Test.make ~name:"checker/example1 n=3 r=2"
+    (Staged.stage (fun () ->
+         ignore (Checker.check_label p ~input ~r:2 ~max_states:1_000_000)))
+
+let bench_circuit_eval =
+  let c = Circuit.majority 64 in
+  let x = Array.init 64 (fun i -> i mod 2 = 0) in
+  Test.make ~name:"circuit/eval majority64"
+    (Staged.stage (fun () -> ignore (Circuit.eval c x)))
+
+let bench_bp_eval =
+  let bp = Bp.majority 64 in
+  let x = Array.init 64 (fun i -> i mod 3 = 0) in
+  Test.make ~name:"bp/eval majority64"
+    (Staged.stage (fun () -> ignore (Bp.eval bp x)))
+
+let bench_snake_search =
+  Test.make ~name:"snake/search d=4 exact"
+    (Staged.stage (fun () -> ignore (Snake.search 4 ~node_budget:max_int)))
+
+let bench_counter_step =
+  let t = Stateless_counter.D_counter.make ~n:9 ~d:16 () in
+  let p = Stateless_counter.D_counter.protocol t in
+  let input = Stateless_counter.D_counter.input t in
+  let config = Protocol.uniform_config p (p.Protocol.space.Label.decode 0) in
+  let active = List.init 9 Fun.id in
+  Test.make ~name:"counter/step d-counter n=9"
+    (Staged.stage (fun () -> ignore (Engine.step p ~input config ~active)))
+
+let bench_compile_run =
+  let t = Stateless_compile.Compile.make (Circuit.parity 3) in
+  let x = [| true; false; true |] in
+  Test.make ~name:"compile/run parity3 ring"
+    (Staged.stage (fun () -> ignore (Stateless_compile.Compile.run t x)))
+
+let micro_tests =
+  [
+    bench_engine_step; bench_engine_stabilize; bench_checker;
+    bench_circuit_eval; bench_bp_eval; bench_snake_search;
+    bench_counter_step; bench_compile_run;
+  ]
+
+let run_micro_benchmarks () =
+  Printf.printf "\n%s\n" (String.make 78 '=');
+  Printf.printf "Micro-benchmarks (Bechamel, monotonic clock)\n";
+  Printf.printf "%s\n" (String.make 78 '-');
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false
+      ~kde:(Some 1000) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ time_ns ] ->
+              Printf.printf "  %-36s %12.1f ns/run\n" name time_ns
+          | _ -> Printf.printf "  %-36s (no estimate)\n" name)
+        analyzed)
+    micro_tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  print_endline "Stateless Computation — experiment harness";
+  print_endline "(Dolev, Erdmann, Lutz, Schapira, Zair; PODC 2017)";
+  List.iter
+    (fun (id, run) ->
+      let start = Unix.gettimeofday () in
+      run ();
+      Printf.printf "  [%s completed in %.1fs]\n" id
+        (Unix.gettimeofday () -. start))
+    Experiments.all;
+  List.iter
+    (fun (id, run) ->
+      let start = Unix.gettimeofday () in
+      run ();
+      Printf.printf "  [%s completed in %.1fs]\n" id
+        (Unix.gettimeofday () -. start))
+    Ablations.all;
+  run_micro_benchmarks ();
+  Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,27 @@
+(* Minimal fixed-width table printer for the experiment harness. *)
+
+let print_header title paper_ref =
+  Printf.printf "\n%s\n" (String.make 78 '=');
+  Printf.printf "%s\n  [%s]\n" title paper_ref;
+  Printf.printf "%s\n" (String.make 78 '-')
+
+let print_columns widths cells =
+  let line =
+    String.concat " | "
+      (List.map2
+         (fun w c ->
+           let c = if String.length c > w then String.sub c 0 w else c in
+           c ^ String.make (w - String.length c) ' ')
+         widths cells)
+  in
+  Printf.printf "%s\n" line
+
+let print_rule widths =
+  let line =
+    String.concat "-+-" (List.map (fun w -> String.make w '-') widths)
+  in
+  Printf.printf "%s\n" line
+
+let verdict ok = if ok then "ok" else "MISMATCH"
+
+let print_note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n" s) fmt

@@ -1,0 +1,347 @@
+(* Command-line front end for the stateless-computation library.
+
+   Subcommands:
+     simulate  — run a built-in protocol under a chosen schedule
+     check     — exhaustively decide label r-stabilization (Theorem 3.1 lab)
+     snake     — search for snakes-in-the-box (Theorem 4.1's combinatorics)
+     compile   — compile a circuit family member onto a ring (Theorem 5.4)
+     counter   — run the stateless D-counter (Claim 5.6)
+     spp       — run a Stable Paths Problem gadget (BGP motivation) *)
+
+open Cmdliner
+open Stateless_core
+module Checker = Stateless_checker.Checker
+module Circuit = Stateless_circuit.Circuit
+module Compile = Stateless_compile.Compile
+module D_counter = Stateless_counter.D_counter
+module Snake = Stateless_snake.Snake
+module Spp = Stateless_games.Spp
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let nodes_arg =
+  let doc = "Number of nodes." in
+  Arg.(value & opt int 4 & info [ "n"; "nodes" ] ~doc)
+
+let steps_arg =
+  let doc = "Maximum number of steps to simulate." in
+  Arg.(value & opt int 10_000 & info [ "steps" ] ~doc)
+
+let schedule_arg =
+  let doc =
+    "Schedule: 'sync', 'round-robin', 'random:R' (random R-fair), or \
+     'chase' (Example 1's (n-1)-fair adversary)."
+  in
+  Arg.(value & opt string "sync" & info [ "s"; "schedule" ] ~doc)
+
+let schedule_of_spec spec n =
+  match String.split_on_char ':' spec with
+  | [ "sync" ] -> Schedule.synchronous n
+  | [ "round-robin" ] -> Schedule.round_robin n
+  | [ "random"; r ] -> Schedule.random_fair ~seed:7 ~r:(int_of_string r) n
+  | [ "chase" ] -> Clique_example.oscillation_schedule n
+  | _ -> failwith ("unknown schedule: " ^ spec)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let report_outcome = function
+  | Engine.Stabilized { rounds; _ } ->
+      Printf.printf "stabilized after %d steps\n" rounds
+  | Engine.Oscillating { entered; period } ->
+      Printf.printf "oscillates: enters a %d-step cycle at step %d\n" period
+        entered
+  | Engine.Exhausted _ -> print_endline "no verdict within the step budget"
+
+let simulate_cmd =
+  let protocol_arg =
+    let doc =
+      "Protocol: 'example1' (the clique protocol of Example 1), \
+       'oscillator' (odd inverter ring), 'latch' (NOR latch, R=S=0)."
+    in
+    Arg.(value & opt string "example1" & info [ "p"; "protocol" ] ~doc)
+  in
+  let run protocol_name n spec steps =
+    let n = max 2 n in
+    match protocol_name with
+    | "example1" ->
+        let p = Clique_example.make (max 3 n) in
+        let n = max 3 n in
+        let init = Clique_example.oscillation_init p in
+        report_outcome
+          (Engine.run_until_stable p ~input:(Clique_example.input n) ~init
+             ~schedule:(schedule_of_spec spec n) ~max_steps:steps)
+    | "oscillator" ->
+        let p = Stateless_games.Feedback.ring_oscillator n in
+        let init = Protocol.uniform_config p false in
+        report_outcome
+          (Engine.run_until_stable p ~input:(Array.make n ()) ~init
+             ~schedule:(schedule_of_spec spec n) ~max_steps:steps)
+    | "latch" ->
+        let p = Stateless_games.Feedback.nor_latch () in
+        let init = Protocol.uniform_config p false in
+        report_outcome
+          (Engine.run_until_stable p ~input:[| false; false |] ~init
+             ~schedule:(schedule_of_spec spec 2) ~max_steps:steps)
+    | other -> failwith ("unknown protocol: " ^ other)
+  in
+  let info =
+    Cmd.info "simulate" ~doc:"Run a built-in protocol under a schedule"
+  in
+  Cmd.v info Term.(const run $ protocol_arg $ nodes_arg $ schedule_arg $ steps_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let r_arg =
+    let doc = "Fairness parameter r." in
+    Arg.(value & opt int 2 & info [ "r" ] ~doc)
+  in
+  let budget_arg =
+    let doc = "Maximum number of states to explore." in
+    Arg.(value & opt int 5_000_000 & info [ "budget" ] ~doc)
+  in
+  let run n r budget =
+    let n = max 3 n in
+    let p = Clique_example.make n in
+    let input = Clique_example.input n in
+    Printf.printf
+      "Example 1 on K_%d (stable labelings: %d). Checking label \
+       %d-stabilization...\n"
+      n
+      (Stability.count_stable_labelings p ~input)
+      r;
+    match Checker.check_label p ~input ~r ~max_states:budget with
+    | Checker.Stabilizing ->
+        print_endline "STABILIZING (all initial labelings, all r-fair \
+                       schedules)"
+    | Checker.Oscillating w ->
+        Printf.printf
+          "NOT STABILIZING: from labeling #%d play %d steps, then repeat a \
+           %d-step cycle forever (replay check: %b)\n"
+          w.Checker.init_code
+          (List.length w.Checker.prefix)
+          (List.length w.Checker.cycle)
+          (Checker.replay p ~input w)
+    | Checker.Too_large { needed } ->
+        Printf.printf "state space too large: %d states (budget %d)\n" needed
+          budget
+  in
+  let info =
+    Cmd.info "check"
+      ~doc:"Exhaustively decide label r-stabilization of Example 1"
+  in
+  Cmd.v info Term.(const run $ nodes_arg $ r_arg $ budget_arg)
+
+(* ------------------------------------------------------------------ *)
+(* snake                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let snake_cmd =
+  let d_arg =
+    let doc = "Hypercube dimension." in
+    Arg.(value & opt int 4 & info [ "d" ] ~doc)
+  in
+  let budget_arg =
+    let doc = "Search-node budget." in
+    Arg.(value & opt int 2_000_000 & info [ "budget" ] ~doc)
+  in
+  let run d budget =
+    let snake, complete = Snake.search d ~node_budget:budget in
+    Printf.printf "Q_%d: found an induced cycle of length %d (%s search)\n" d
+      (List.length snake)
+      (if complete then "exhaustive" else "budgeted");
+    Printf.printf "  cycle: %s\n"
+      (String.concat " " (List.map string_of_int snake));
+    Printf.printf "  verified induced: %b\n" (Snake.is_induced_cycle d snake);
+    if d <= 7 then
+      Printf.printf "  best known s(%d) = %d\n" d (Snake.best_known d)
+  in
+  let info = Cmd.info "snake" ~doc:"Search for a snake-in-the-box" in
+  Cmd.v info Term.(const run $ d_arg $ budget_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let compile_cmd =
+  let family_arg =
+    let doc = "Circuit family: parity | majority | equality | and | or." in
+    Arg.(value & opt string "majority" & info [ "f"; "family" ] ~doc)
+  in
+  let input_arg =
+    let doc = "Input bits, e.g. 101." in
+    Arg.(value & opt string "101" & info [ "x"; "input" ] ~doc)
+  in
+  let run family input_str =
+    let x =
+      Array.of_seq
+        (Seq.map (fun c -> c = '1') (String.to_seq input_str))
+    in
+    let n = Array.length x in
+    let circuit =
+      match family with
+      | "parity" -> Circuit.parity n
+      | "majority" -> Circuit.majority n
+      | "equality" -> Circuit.equality n
+      | "and" -> Circuit.and_all n
+      | "or" -> Circuit.or_all n
+      | other -> failwith ("unknown family: " ^ other)
+    in
+    let t = Compile.make circuit in
+    Printf.printf
+      "%s_%d: %d gates -> ring of %d nodes, clock D = %d, %d-bit labels\n"
+      family n (Circuit.size circuit) t.Compile.ring_size t.Compile.clock_period
+      (Compile.label_bits t);
+    match Compile.run_from t x ~seed:1 with
+    | Some v ->
+        Printf.printf "ring output: %b (circuit: %b)\n" v (Circuit.eval circuit x)
+    | None -> print_endline "did not converge (bug!)"
+  in
+  let info =
+    Cmd.info "compile" ~doc:"Compile a circuit to a bidirectional ring"
+  in
+  Cmd.v info Term.(const run $ family_arg $ input_arg)
+
+(* ------------------------------------------------------------------ *)
+(* counter                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let counter_cmd =
+  let d_arg =
+    let doc = "Counter modulus D." in
+    Arg.(value & opt int 8 & info [ "d" ] ~doc)
+  in
+  let run n d =
+    let n = if n mod 2 = 0 then n + 1 else n in
+    let n = max 3 n in
+    let t = D_counter.make ~n ~d () in
+    let p = D_counter.protocol t in
+    let input = D_counter.input t in
+    let config =
+      ref
+        (Engine.run p ~input
+           ~init:(Protocol.uniform_config p (p.Protocol.space.Label.decode 0))
+           ~schedule:(Schedule.synchronous n)
+           ~steps:(D_counter.burn_in t))
+    in
+    Printf.printf "D-counter, %d-ring mod %d (%d label bits), after burn-in:\n"
+      n d (D_counter.label_bits t);
+    for _ = 1 to 8 do
+      config := Engine.step p ~input !config ~active:(List.init n Fun.id);
+      let vs = D_counter.values t !config in
+      Printf.printf "  %s  agreed=%b\n"
+        (String.concat " " (Array.to_list (Array.map string_of_int vs)))
+        (D_counter.agreed t !config)
+    done
+  in
+  let info = Cmd.info "counter" ~doc:"Run the stateless D-counter" in
+  Cmd.v info Term.(const run $ nodes_arg $ d_arg)
+
+(* ------------------------------------------------------------------ *)
+(* spp                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let spp_cmd =
+  let gadget_arg =
+    let doc = "Gadget: good | disagree | bad." in
+    Arg.(value & opt string "bad" & info [ "g"; "gadget" ] ~doc)
+  in
+  let run gadget spec steps =
+    let spp =
+      match gadget with
+      | "good" -> Spp.good_gadget ()
+      | "disagree" -> Spp.disagree ()
+      | "bad" -> Spp.bad_gadget ()
+      | other -> failwith ("unknown gadget: " ^ other)
+    in
+    let p = Spp.protocol spp in
+    Printf.printf "%s gadget: %d SPP solutions\n" gadget
+      (List.length (Spp.solutions spp));
+    report_outcome
+      (Engine.run_until_stable p ~input:(Spp.input spp)
+         ~init:(Protocol.uniform_config p [])
+         ~schedule:(schedule_of_spec spec spp.Spp.n)
+         ~max_steps:steps)
+  in
+  let info = Cmd.info "spp" ~doc:"Run a Stable Paths Problem gadget" in
+  Cmd.v info Term.(const run $ gadget_arg $ schedule_arg $ steps_arg)
+
+(* ------------------------------------------------------------------ *)
+(* hunt                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let hunt_cmd =
+  let gadget_arg =
+    let doc = "Target: disagree | bad | example1 | congestion." in
+    Arg.(value & opt string "bad" & info [ "t"; "target" ] ~doc)
+  in
+  let r_arg =
+    let doc = "Fairness parameter r of the sampled schedules." in
+    Arg.(value & opt int 3 & info [ "r" ] ~doc)
+  in
+  let attempts_arg =
+    let doc = "Number of (labeling, schedule) samples." in
+    Arg.(value & opt int 200 & info [ "attempts" ] ~doc)
+  in
+  let run target r attempts n =
+    let report (type l) (p : (unit, l) Protocol.t) nn =
+      let input = Array.make nn () in
+      match
+        Adversary.find_oscillation p ~input ~r ~attempts ~period:(3 * r)
+          ~seed:11 ~max_steps:4000
+      with
+      | Some w ->
+          Printf.printf
+            "found a diverging %d-fair run: enters a %d-step cycle at step %d under schedule '%s' (verified: %b)\n"
+            r w.Adversary.period w.Adversary.entered
+            w.Adversary.schedule.Schedule.name
+            (Adversary.verify p ~input w)
+      | None ->
+          Printf.printf
+            "no oscillation found in %d samples (absence of evidence only)\n"
+            attempts
+    in
+    match target with
+    | "disagree" ->
+        let spp = Spp.disagree () in
+        report (Spp.protocol spp) spp.Spp.n
+    | "bad" ->
+        let spp = Spp.bad_gadget () in
+        report (Spp.protocol spp) spp.Spp.n
+    | "example1" ->
+        let n = max 3 n in
+        report (Clique_example.make n) n
+    | "congestion" ->
+        let game =
+          Stateless_games.Congestion.make ~flows:2 ~capacity:4 ~max_rate:4
+        in
+        report
+          (Stateless_games.Best_response.protocol game ())
+          2
+    | other -> failwith ("unknown target: " ^ other)
+  in
+  let info =
+    Cmd.info "hunt"
+      ~doc:
+        "Sample random r-fair periodic schedules hunting for a replayable          oscillation (for systems too large to check exhaustively)"
+  in
+  Cmd.v info Term.(const run $ gadget_arg $ r_arg $ attempts_arg $ nodes_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "stateless" ~version:"1.0.0"
+      ~doc:"Stateless computation: simulation, verification, compilation"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ simulate_cmd; check_cmd; snake_cmd; compile_cmd; counter_cmd;
+            spp_cmd; hunt_cmd ]))

@@ -1,0 +1,1 @@
+examples/bgp_routing.ml: Array Engine List Printf Protocol Schedule Stability Stateless_checker Stateless_core Stateless_games Stateless_graph String

@@ -1,0 +1,1 @@
+examples/circuit_on_ring.ml: Array List Printf Stateless_circuit Stateless_compile String

@@ -1,0 +1,1 @@
+examples/circuit_on_ring.mli:

@@ -1,0 +1,1 @@
+examples/contagion_cascade.mli:

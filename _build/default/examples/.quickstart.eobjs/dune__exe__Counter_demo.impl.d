@@ -1,0 +1,1 @@
+examples/counter_demo.ml: Array Engine Fun Label List Printf Protocol Random Schedule Stateless_core Stateless_counter String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Clique_example Engine Fun Label List Printf Protocol Schedule Stability Stateless_checker Stateless_core

@@ -1,0 +1,1 @@
+examples/ring_computer.ml: Array Engine Fun Label List Printf Protocol Random Schedule Stateless_bp Stateless_core Stateless_machine String

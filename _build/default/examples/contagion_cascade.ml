@@ -1,0 +1,73 @@
+(* Diffusion of technologies in a social network (Morris's contagion, the
+   paper's reference [23]) as stateless best-response dynamics.
+
+   Agents adopt a technology iff at least half their neighbours did. We
+   seed a corner of a grid community and watch the cascade; then we show
+   the paper's dark side: all-adopt and none-adopt are both equilibria, so
+   by Theorem 3.1 an adversarial (n-1)-fair scheduler can keep the network
+   churning forever. *)
+
+open Stateless_core
+module Best_response = Stateless_games.Best_response
+module Contagion = Stateless_games.Contagion
+module Builders = Stateless_graph.Builders
+module Checker = Stateless_checker.Checker
+
+let show_grid rows cols adopters =
+  for r = 0 to rows - 1 do
+    print_string "  ";
+    for c = 0 to cols - 1 do
+      print_string (if List.mem ((r * cols) + c) adopters then "#" else ".")
+    done;
+    print_newline ()
+  done
+
+let () =
+  let rows = 4 and cols = 5 in
+  let g = Builders.grid rows cols in
+  let game = Contagion.make g ~threshold:0.33 in
+  let p = Best_response.protocol game () in
+  let input = Best_response.input game in
+  let seeds = [ 0; 1; cols; cols + 1 ] in
+
+  Printf.printf "%dx%d community, adopt iff >= 1/3 of neighbours adopted\n"
+    rows cols;
+  print_endline "seeds:";
+  show_grid rows cols seeds;
+
+  let config = ref (Contagion.seeded_config p seeds) in
+  let round = ref 0 in
+  let stable = ref false in
+  while (not !stable) && !round < 20 do
+    incr round;
+    let next =
+      Engine.step p ~input !config
+        ~active:(List.init (rows * cols) Fun.id)
+    in
+    if Contagion.adopters p next = Contagion.adopters p !config then
+      stable := true;
+    config := next
+  done;
+  Printf.printf "after %d rounds (%d adopters):\n" !round
+    (List.length (Contagion.adopters p !config));
+  show_grid rows cols (Contagion.adopters p !config);
+
+  (* The instability corollary, verified exhaustively on a small ring. *)
+  let small = Builders.ring_bi 3 in
+  let small_game = Contagion.make small ~threshold:0.5 in
+  let sp = Best_response.protocol small_game () in
+  let sinput = Best_response.input small_game in
+  Printf.printf
+    "\n3-ring coordination: %d equilibria (stable labelings) -> Theorem 3.1 \
+     forbids %d-stabilization\n"
+    (Stability.count_stable_labelings sp ~input:sinput)
+    2;
+  match Checker.check_label sp ~input:sinput ~r:2 ~max_states:2_000_000 with
+  | Checker.Oscillating w ->
+      Printf.printf
+        "checker: adversarial 2-fair schedule keeps the network churning \
+         (cycle of %d activations, replayed: %b)\n"
+        (List.length w.Checker.cycle)
+        (Checker.replay sp ~input:sinput w)
+  | Checker.Stabilizing -> print_endline "checker: stabilizing?!"
+  | Checker.Too_large _ -> print_endline "checker: too large"

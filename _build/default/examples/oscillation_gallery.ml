@@ -1,0 +1,71 @@
+(* A gallery of divergence: the paper's oscillating systems, rendered as
+   ASCII time/space diagrams.
+
+   Each panel shows node behaviour over time ('#' = 1, '.' = 0). The first
+   two systems never settle because of Theorem 3.1 (two stable labelings +
+   an adversarial-enough schedule); the last two can never settle at all
+   (no stable labeling exists). *)
+
+open Stateless_core
+module Feedback = Stateless_games.Feedback
+module Spp = Stateless_games.Spp
+
+let () =
+  (* 1. Example 1 under the (n-1)-fair chase schedule: the hot token is
+        handed around the clique forever. *)
+  let n = 6 in
+  let p = Clique_example.make n in
+  print_endline "== Example 1 on K_6, (n-1)-fair chase schedule ==";
+  print_string
+    (Render.node_bits_over_time p ~input:(Clique_example.input n)
+       ~init:(Clique_example.oscillation_init p)
+       ~schedule:(Clique_example.oscillation_schedule n)
+       ~steps:14);
+
+  (* ... and the same protocol under the synchronous schedule: converges in
+     two steps. *)
+  print_endline "\n== same protocol, synchronous schedule ==";
+  print_string
+    (Render.node_bits_over_time p ~input:(Clique_example.input n)
+       ~init:(Clique_example.oscillation_init p)
+       ~schedule:(Schedule.synchronous n) ~steps:4);
+
+  (* 2. The coordination game on a ring under a 2-fair churn schedule found
+        by the checker would look similar; here is its synchronous
+        metastability on the NOR latch instead. *)
+  let latch = Feedback.nor_latch () in
+  print_endline "\n== NOR latch, R = S = 0, synchronous (metastability) ==";
+  print_string
+    (Render.node_bits_over_time latch ~input:[| false; false |]
+       ~init:(Protocol.uniform_config latch false)
+       ~schedule:(Schedule.synchronous 2) ~steps:6);
+
+  (* 3. The ring oscillator: no stable labeling exists, it is a clock. *)
+  let osc = Feedback.ring_oscillator 5 in
+  print_endline "\n== 5-inverter ring oscillator, synchronous ==";
+  print_string
+    (Render.node_bits_over_time osc ~input:(Array.make 5 ())
+       ~init:(Protocol.uniform_config osc false)
+       ~schedule:(Schedule.synchronous 5) ~steps:12);
+
+  (* 4. BAD GADGET: BGP route flapping, shown through node outputs (the
+        rank of the currently selected route; 0 = best). *)
+  let spp = Spp.bad_gadget () in
+  let p = Spp.protocol spp in
+  print_endline "\n== BAD GADGET: selected-route rank per AS, synchronous ==";
+  print_string
+    (Render.outputs_over_time p ~input:(Spp.input spp)
+       ~init:(Protocol.uniform_config p [])
+       ~schedule:(Schedule.synchronous spp.Spp.n)
+       ~steps:8);
+
+  (* 5. The D-counter's counter values, settling into a global clock. *)
+  let t = Stateless_counter.D_counter.make ~n:5 ~d:8 () in
+  let cp = Stateless_counter.D_counter.protocol t in
+  print_endline "\n== D-counter (n=5, D=8): outputs = local clock views ==";
+  print_string
+    (Render.outputs_over_time cp
+       ~input:(Stateless_counter.D_counter.input t)
+       ~init:(Protocol.uniform_config cp (cp.Protocol.space.Label.decode 0))
+       ~schedule:(Schedule.synchronous 5)
+       ~steps:26)

@@ -1,0 +1,1 @@
+lib/bp/bp.ml: Array Hashtbl List Stateless_core Stateless_machine

@@ -1,0 +1,1 @@
+lib/bp/bp.mli: Stateless_core

@@ -1,0 +1,274 @@
+module Protocol = Stateless_core.Protocol
+module Label = Stateless_core.Label
+module Machine = Stateless_machine.Machine
+
+let accept = -2
+let reject = -1
+
+type node = { var : int; lo : int; hi : int }
+type t = { n_vars : int; nodes : node array; start : int }
+
+let is_sink i = i = accept || i = reject
+
+let create ~n_vars nodes ~start =
+  if n_vars < 0 then invalid_arg "Bp.create: negative variable count";
+  Array.iteri
+    (fun i v ->
+      if v.var < 0 || v.var >= n_vars then
+        invalid_arg "Bp.create: variable out of range";
+      List.iter
+        (fun target ->
+          if not (is_sink target) then
+            if target <= i || target >= Array.length nodes then
+              invalid_arg "Bp.create: reference must be a later node or sink")
+        [ v.lo; v.hi ])
+    nodes;
+  if (not (is_sink start)) && (start < 0 || start >= Array.length nodes) then
+    invalid_arg "Bp.create: bad start";
+  { n_vars; nodes; start }
+
+let size bp = Array.length bp.nodes
+
+let length bp =
+  let count = Array.length bp.nodes in
+  let len = Array.make count 0 in
+  let at i = if is_sink i then 0 else len.(i) in
+  for i = count - 1 downto 0 do
+    len.(i) <- 1 + max (at bp.nodes.(i).lo) (at bp.nodes.(i).hi)
+  done;
+  at bp.start
+
+let eval bp x =
+  if Array.length x <> bp.n_vars then
+    invalid_arg "Bp.eval: wrong input length";
+  let rec follow v fuel =
+    if v = accept then true
+    else if v = reject then false
+    else if fuel = 0 then invalid_arg "Bp.eval: path too long"
+    else
+      let node = bp.nodes.(v) in
+      follow (if x.(node.var) then node.hi else node.lo) (fuel - 1)
+  in
+  follow bp.start (Array.length bp.nodes + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Builders                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let parity n =
+  if n < 1 then invalid_arg "Bp.parity: need n >= 1";
+  let idx i p = (2 * i) + p in
+  let nodes =
+    Array.init (2 * n) (fun k ->
+        let i = k / 2 and p = k mod 2 in
+        let goto p' = if i = n - 1 then if p' = 1 then accept else reject
+          else idx (i + 1) p' in
+        { var = i; lo = goto p; hi = goto (1 - p) })
+  in
+  create ~n_vars:n nodes ~start:(idx 0 0)
+
+let threshold n k =
+  if n < 1 then invalid_arg "Bp.threshold: need n >= 1";
+  if k <= 0 then
+    create ~n_vars:n [||] ~start:accept
+  else if k > n then create ~n_vars:n [||] ~start:reject
+  else begin
+    let width = k + 1 in
+    let idx i c = (i * width) + min c k in
+    let nodes =
+      Array.init (n * width) (fun code ->
+          let i = code / width and c = code mod width in
+          let goto c' =
+            if i = n - 1 then if c' >= k then accept else reject
+            else idx (i + 1) c'
+          in
+          { var = i; lo = goto c; hi = goto (c + 1) })
+    in
+    create ~n_vars:n nodes ~start:(idx 0 0)
+  end
+
+let majority n = threshold n ((n + 1) / 2)
+
+let equality n =
+  if n < 1 then invalid_arg "Bp.equality: need n >= 1";
+  if n mod 2 = 1 then create ~n_vars:n [||] ~start:reject
+  else begin
+    let half = n / 2 in
+    (* A_i = 3i reads x_i; B_i^f = 3i+1+f reads x_{half+i} expecting f. *)
+    let a i = 3 * i in
+    let next i = if i = half - 1 then accept else a (i + 1) in
+    let nodes =
+      Array.init (3 * half) (fun code ->
+          let i = code / 3 and role = code mod 3 in
+          match role with
+          | 0 -> { var = i; lo = (3 * i) + 1; hi = (3 * i) + 2 }
+          | 1 -> { var = half + i; lo = next i; hi = reject }
+          | _ -> { var = half + i; lo = reject; hi = next i })
+    in
+    create ~n_vars:n nodes ~start:(a 0)
+  end
+
+let of_dfa ~states ~start ~accepting ~delta n =
+  if n < 1 then invalid_arg "Bp.of_dfa: need n >= 1";
+  if states < 1 || start < 0 || start >= states then
+    invalid_arg "Bp.of_dfa: bad automaton";
+  let idx i s = (i * states) + s in
+  let nodes =
+    Array.init (n * states) (fun code ->
+        let i = code / states and s = code mod states in
+        let goto b =
+          let s' = delta s b in
+          if i = n - 1 then if accepting s' then accept else reject
+          else idx (i + 1) s'
+        in
+        { var = i; lo = goto false; hi = goto true })
+  in
+  create ~n_vars:n nodes ~start:(idx 0 start)
+
+let of_function n f =
+  if n < 1 || n > 16 then invalid_arg "Bp.of_function: n out of range";
+  (* Heap-shaped complete decision tree reading x_0 .. x_{n-1} in order. *)
+  let total = (1 lsl n) - 1 in
+  let nodes =
+    Array.init total (fun k ->
+        let depth =
+          let rec d acc v = if v <= 1 then acc else d (acc + 1) (v / 2) in
+          d 0 (k + 1)
+        in
+        let goto b =
+          let child = (2 * k) + (if b then 2 else 1) in
+          if child < total then child
+          else begin
+            (* Leaf: recover the assignment from the heap path. *)
+            let path = child + 1 in
+            let x =
+              Array.init n (fun i -> (path lsr (n - 1 - i)) land 1 = 1)
+            in
+            if f x then accept else reject
+          end
+        in
+        { var = depth; lo = goto false; hi = goto true })
+  in
+  create ~n_vars:n nodes ~start:(if total = 0 then reject else 0)
+
+let reduce bp =
+  let count = Array.length bp.nodes in
+  (* Processing bottom-up (references only point forward), rewrite every
+     node to its canonical representative: skip redundant tests ([lo = hi])
+     and share structurally equal nodes. *)
+  let canon : (int * int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let replacement = Array.make count 0 in
+  let keep = Array.make count false in
+  let resolve target =
+    if is_sink target then target else replacement.(target)
+  in
+  for i = count - 1 downto 0 do
+    let v = bp.nodes.(i) in
+    let lo = resolve v.lo and hi = resolve v.hi in
+    if lo = hi then replacement.(i) <- lo
+    else begin
+      match Hashtbl.find_opt canon (v.var, lo, hi) with
+      | Some j -> replacement.(i) <- j
+      | None ->
+          Hashtbl.replace canon (v.var, lo, hi) i;
+          replacement.(i) <- i;
+          keep.(i) <- true
+    end
+  done;
+  let start = resolve bp.start in
+  (* Only keep canonical nodes reachable from the (resolved) start. *)
+  let reachable = Array.make count false in
+  let rec visit target =
+    let target = resolve target in
+    if not (is_sink target) then
+      if not reachable.(target) then begin
+        reachable.(target) <- true;
+        visit bp.nodes.(target).lo;
+        visit bp.nodes.(target).hi
+      end
+  in
+  visit start;
+  (* Compact, preserving relative order (keeps all references forward). *)
+  let new_index = Array.make count (-1) in
+  let next = ref 0 in
+  for i = 0 to count - 1 do
+    if keep.(i) && reachable.(i) then begin
+      new_index.(i) <- !next;
+      incr next
+    end
+  done;
+  let remap target =
+    let target = resolve target in
+    if is_sink target then target else new_index.(target)
+  in
+  let nodes = ref [] in
+  for i = count - 1 downto 0 do
+    if new_index.(i) >= 0 then
+      nodes :=
+        {
+          var = bp.nodes.(i).var;
+          lo = remap bp.nodes.(i).lo;
+          hi = remap bp.nodes.(i).hi;
+        }
+        :: !nodes
+  done;
+  create ~n_vars:bp.n_vars (Array.of_list !nodes) ~start:(remap bp.start)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 5.2, forward: protocol -> branching program                 *)
+(* ------------------------------------------------------------------ *)
+
+let of_uni_protocol p ~start =
+  if not (Stateless_core.Unidirectional.is_unidirectional_ring p) then
+    invalid_arg "Bp.of_uni_protocol: not a unidirectional ring";
+  let n = Protocol.num_nodes p in
+  let space = p.Protocol.space in
+  let card = space.Label.card in
+  let rounds = n * card in
+  let idx t code = (t * card) + code in
+  let nodes =
+    Array.init (rounds * card) (fun k ->
+        let t = k / card and code = k mod card in
+        let j = t mod n in
+        let goto b =
+          let out, y = p.Protocol.react j b [| space.Label.decode code |] in
+          let code' = space.Label.encode out.(0) in
+          if t = rounds - 1 then if y <> 0 then accept else reject
+          else idx (t + 1) code'
+        in
+        { var = j; lo = goto false; hi = goto true })
+  in
+  create ~n_vars:n nodes ~start:(idx 0 (space.Label.encode start))
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 5.2, reverse: branching program -> protocol                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A branching program is a machine whose configurations are the program
+   nodes plus two absorbing sinks; the ring compiler of Appendix C is then
+   shared with the Turing-machine construction. *)
+let machine_of_bp bp =
+  let count = size bp in
+  let accept_id = count and reject_id = count + 1 in
+  let intern v =
+    if v = accept then accept_id else if v = reject then reject_id else v
+  in
+  {
+    Machine.name = "bp";
+    n = bp.n_vars;
+    configs = count + 2;
+    initial = intern bp.start;
+    head = (fun z -> if z >= count then 0 else bp.nodes.(z).var);
+    step =
+      (fun z b ->
+        if z >= count then z
+        else intern (if b then bp.nodes.(z).hi else bp.nodes.(z).lo));
+    accepting = (fun z -> z = accept_id);
+  }
+
+let protocol_of_bp bp =
+  if bp.n_vars < 2 then invalid_arg "Bp.protocol_of_bp: need >= 2 variables";
+  let p = Machine.protocol_of_machine (machine_of_bp bp) in
+  { p with Protocol.name = "bp-ring" }
+
+let convergence_bound bp = Machine.convergence_bound (machine_of_bp bp)

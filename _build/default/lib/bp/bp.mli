@@ -1,0 +1,100 @@
+(** Branching programs — the L/poly substrate of Theorem 5.2.
+
+    A branching program is a DAG of decision nodes; node [v] reads input
+    variable [var v] and moves to [lo v] or [hi v]. Sinks are the two
+    pseudo-indices {!accept} and {!reject}. We require forward references
+    only ([lo], [hi] greater than the node's own index, or sinks), which
+    enforces acyclicity and makes the longest path trivial to compute.
+
+    Polynomial-size branching programs decide exactly L/poly, which by
+    Theorem 5.2 is exactly what stateless protocols with logarithmic labels
+    on the unidirectional ring decide. Both directions of that equivalence
+    are implemented here: {!of_uni_protocol} turns a protocol into the
+    branching program that replays Appendix C's sequential simulation, and
+    {!protocol_of_bp} turns a branching program into a self-stabilizing
+    unidirectional-ring protocol via the query-token construction. *)
+
+(** Sink pseudo-indices: negative by convention. *)
+val accept : int
+
+val reject : int
+
+type node = { var : int; lo : int; hi : int }
+
+type t = private { n_vars : int; nodes : node array; start : int }
+
+(** [create ~n_vars nodes ~start] validates variable ranges and forward
+    references. An empty program must have a sink as [start]. *)
+val create : n_vars:int -> node array -> start:int -> t
+
+val size : t -> int
+
+(** Longest root-to-sink path (number of decisions). *)
+val length : t -> int
+
+(** [eval bp x]. *)
+val eval : t -> bool array -> bool
+
+(** {2 Builders} *)
+
+(** [parity n]: width-2, length-n layered program. *)
+val parity : int -> t
+
+(** [threshold n k]: counts ones; width ≤ k+1. *)
+val threshold : int -> int -> t
+
+val majority : int -> t
+
+(** [equality n]: reads x_i and x_{n/2+i} alternately — width 3, showing
+    how variable order lets BPs compute Eq_n cheaply even though
+    label-stabilizing ring protocols cannot (Corollary 6.3). Odd [n]
+    rejects everything. *)
+val equality : int -> t
+
+(** [of_dfa ~states ~start ~accepting ~delta n] runs a DFA over the input
+    bits in index order. *)
+val of_dfa :
+  states:int ->
+  start:int ->
+  accepting:(int -> bool) ->
+  delta:(int -> bool -> int) ->
+  int ->
+  t
+
+(** [of_function n f]: complete decision tree; exponential, tests only. *)
+val of_function : int -> (bool array -> bool) -> t
+
+(** [reduce bp] merges nodes with identical (var, lo, hi) behaviour and
+    elides redundant tests ([lo = hi]), bottom-up — the OBDD reduction
+    rules applied to a general branching program. The function is
+    preserved; the size never grows. Useful before {!protocol_of_bp}, since
+    the ring protocol's label complexity is [O(log size)]. *)
+val reduce : t -> t
+
+(** {2 Theorem 5.2, forward direction} *)
+
+(** [of_uni_protocol p ~start] unrolls the sequential simulation of a
+    unidirectional-ring protocol (Appendix C) into a layered branching
+    program with [n·|Σ|] layers of width [|Σ|]: layer [t] holds one node
+    per label value, reading variable [t mod n]. Accepts iff the
+    protocol's stabilized output is 1 when started from the uniform
+    labeling [start].
+    @raise Invalid_argument if the graph is not the unidirectional ring. *)
+val of_uni_protocol : (bool, 'l) Stateless_core.Protocol.t -> start:'l -> t
+
+(** {2 Theorem 5.2, reverse direction} *)
+
+(** [protocol_of_bp bp] compiles a branching program into a stateless
+    protocol on the unidirectional [n_vars]-ring with label complexity
+    [O(log size)]: a token [(v, b, c, o)] carries the current program node
+    [v], the answer [b] to its pending variable query, a reset counter [c],
+    and the latched output [o]. Node 0 advances the program and periodically
+    restarts it; the owner of the queried variable fills in [b]. Outputs
+    converge to [eval bp x] from any initial labeling.
+    @raise Invalid_argument if [n_vars < 2]. *)
+val protocol_of_bp : t -> (bool, int * (bool * (int * bool))) Stateless_core.Protocol.t
+
+(** Synchronous convergence bound for {!protocol_of_bp}:
+    [(2 (size + 2) + 2) · n] steps (one reset latency plus one full replay,
+    per circulating token). *)
+val convergence_bound : t -> int

@@ -1,0 +1,1 @@
+lib/checker/checker.ml: Array Hashtbl List Queue Stack Stateless_core String Vec

@@ -1,0 +1,1 @@
+lib/checker/checker.mli: Stateless_core

@@ -1,0 +1,1 @@
+lib/checker/vec.ml: Array

@@ -1,0 +1,377 @@
+module Protocol = Stateless_core.Protocol
+module Engine = Stateless_core.Engine
+
+type witness = {
+  init_code : int;
+  prefix : int list list;
+  cycle : int list list;
+}
+
+type verdict =
+  | Stabilizing
+  | Oscillating of witness
+  | Too_large of { needed : int }
+
+(* The explored states-graph. State ids index all vectors. *)
+type 'l explored = {
+  n : int;
+  r : int;
+  lab_count : int;
+  state_of_key : (int, int) Hashtbl.t;
+  keys : int Vec.t;  (* id -> lab_code * r^n + cd_code *)
+  edges : int array Vec.t;  (* id -> flattened (succ, mask, changed) triples *)
+  parent : int Vec.t;  (* id -> predecessor id in BFS forest, -1 at roots *)
+  parent_mask : int Vec.t;
+}
+
+let ipow base e =
+  let rec loop acc e = if e = 0 then acc else loop (acc * base) (e - 1) in
+  loop 1 e
+
+let decode_state ex key =
+  let cd_count = ipow ex.r ex.n in
+  let lab_code = key / cd_count and cd_code = key mod cd_count in
+  let countdown = Array.make ex.n 0 in
+  let rest = ref cd_code in
+  for i = ex.n - 1 downto 0 do
+    countdown.(i) <- (!rest mod ex.r) + 1;
+    rest := !rest / ex.r
+  done;
+  (lab_code, countdown)
+
+let encode_state ex lab_code countdown =
+  let code = ref lab_code in
+  for i = 0 to ex.n - 1 do
+    code := (!code * ex.r) + (countdown.(i) - 1)
+  done;
+  !code
+
+let nodes_of_mask n mask =
+  let rec loop i acc =
+    if i < 0 then acc
+    else if mask land (1 lsl i) <> 0 then loop (i - 1) (i :: acc)
+    else loop (i - 1) acc
+  in
+  loop (n - 1) []
+
+(* Breadth-first exploration from every initialization vertex (ℓ, rⁿ). *)
+let explore p ~input ~r ~max_states =
+  let n = Protocol.num_nodes p in
+  if n > 20 then invalid_arg "Checker: too many nodes for subset enumeration";
+  match Protocol.labelings_count p with
+  | None -> Error max_int
+  | Some lab_count ->
+      let cd_count = ipow r n in
+      if
+        cd_count > max_states
+        || lab_count > max_states / cd_count
+      then Error (if lab_count > max_int / cd_count then max_int
+                  else lab_count * cd_count)
+      else begin
+        let ex =
+          {
+            n;
+            r;
+            lab_count;
+            state_of_key = Hashtbl.create (4 * lab_count);
+            keys = Vec.create ~dummy:0;
+            edges = Vec.create ~dummy:[||];
+            parent = Vec.create ~dummy:(-1);
+            parent_mask = Vec.create ~dummy:0;
+          }
+        in
+        let queue = Queue.create () in
+        let intern key ~parent ~mask =
+          match Hashtbl.find_opt ex.state_of_key key with
+          | Some id -> id
+          | None ->
+              let id = Vec.length ex.keys in
+              Hashtbl.replace ex.state_of_key key id;
+              Vec.push ex.keys key;
+              Vec.push ex.edges [||];
+              Vec.push ex.parent parent;
+              Vec.push ex.parent_mask mask;
+              Queue.add id queue;
+              id
+        in
+        let full = Array.make n r in
+        for lab_code = 0 to lab_count - 1 do
+          ignore (intern (encode_state ex lab_code full) ~parent:(-1) ~mask:0)
+        done;
+        while not (Queue.is_empty queue) do
+          let id = Queue.pop queue in
+          let lab_code, countdown = decode_state ex (Vec.get ex.keys id) in
+          let config = Protocol.decode_config p lab_code in
+          let forced = ref 0 in
+          for i = 0 to n - 1 do
+            if countdown.(i) = 1 then forced := !forced lor (1 lsl i)
+          done;
+          let out = ref [] in
+          let edge_count = ref 0 in
+          for mask = 1 to (1 lsl n) - 1 do
+            if mask land !forced = !forced then begin
+              let active = nodes_of_mask n mask in
+              let next = Engine.step p ~input config ~active in
+              let next_lab = Protocol.encode_config p next in
+              let next_cd =
+                Array.init n (fun i ->
+                    if mask land (1 lsl i) <> 0 then r else countdown.(i) - 1)
+              in
+              let key = encode_state ex next_lab next_cd in
+              let succ = intern key ~parent:id ~mask in
+              let changed = if next_lab <> lab_code then 1 else 0 in
+              out := changed :: mask :: succ :: !out;
+              incr edge_count
+            end
+          done;
+          Vec.set ex.edges id (Array.of_list (List.rev !out))
+        done;
+        Ok ex
+      end
+
+(* Iterative Tarjan over the explored graph. *)
+let scc_of_explored ex =
+  let count = Vec.length ex.keys in
+  let index = Array.make count (-1) in
+  let lowlink = Array.make count 0 in
+  let on_stack = Array.make count false in
+  let comp = Array.make count (-1) in
+  let stack = Stack.create () in
+  let next_index = ref 0 and next_comp = ref 0 in
+  let call = Stack.create () in
+  let succ_at id k = (Vec.get ex.edges id).(3 * k) in
+  let degree id = Array.length (Vec.get ex.edges id) / 3 in
+  for root = 0 to count - 1 do
+    if index.(root) < 0 then begin
+      Stack.push (root, 0) call;
+      index.(root) <- !next_index;
+      lowlink.(root) <- !next_index;
+      incr next_index;
+      Stack.push root stack;
+      on_stack.(root) <- true;
+      while not (Stack.is_empty call) do
+        let v, child = Stack.pop call in
+        if child < degree v then begin
+          Stack.push (v, child + 1) call;
+          let u = succ_at v child in
+          if index.(u) < 0 then begin
+            index.(u) <- !next_index;
+            lowlink.(u) <- !next_index;
+            incr next_index;
+            Stack.push u stack;
+            on_stack.(u) <- true;
+            Stack.push (u, 0) call
+          end
+          else if on_stack.(u) then lowlink.(v) <- min lowlink.(v) index.(u)
+        end
+        else begin
+          if lowlink.(v) = index.(v) then begin
+            let continue = ref true in
+            while !continue do
+              let u = Stack.pop stack in
+              on_stack.(u) <- false;
+              comp.(u) <- !next_comp;
+              if u = v then continue := false
+            done;
+            incr next_comp
+          end;
+          if not (Stack.is_empty call) then begin
+            let parent, _ = Stack.top call in
+            lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+          end
+        end
+      done
+    end
+  done;
+  comp
+
+(* Shortest intra-component path src -> dst as a list of activation masks. *)
+let path_within_scc ex comp ~src ~dst =
+  if src = dst then Some []
+  else begin
+    let count = Vec.length ex.keys in
+    let pred = Array.make count (-1) in
+    let pred_mask = Array.make count 0 in
+    let queue = Queue.create () in
+    pred.(src) <- src;
+    Queue.add src queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      let edges = Vec.get ex.edges v in
+      let k = ref 0 in
+      while (not !found) && !k < Array.length edges / 3 do
+        let u = edges.(3 * !k) and mask = edges.((3 * !k) + 1) in
+        if comp.(u) = comp.(src) && pred.(u) < 0 then begin
+          pred.(u) <- v;
+          pred_mask.(u) <- mask;
+          if u = dst then found := true else Queue.add u queue
+        end;
+        incr k
+      done
+    done;
+    if not !found then None
+    else begin
+      let rec walk v acc =
+        if v = src then acc else walk pred.(v) (pred_mask.(v) :: acc)
+      in
+      Some (walk dst [])
+    end
+  end
+
+(* Path from a BFS root (an initialization vertex) to [id], plus the root's
+   labeling code. *)
+let path_from_root ex id =
+  let rec walk id acc =
+    if Vec.get ex.parent id < 0 then (id, acc)
+    else walk (Vec.get ex.parent id) (Vec.get ex.parent_mask id :: acc)
+  in
+  let root, masks = walk id [] in
+  let lab_code, _ = decode_state ex (Vec.get ex.keys root) in
+  (lab_code, masks)
+
+let masks_to_sets n masks = List.map (nodes_of_mask n) masks
+
+let make_witness ex ~cycle_entry ~cycle_masks =
+  let init_code, prefix_masks = path_from_root ex cycle_entry in
+  {
+    init_code;
+    prefix = masks_to_sets ex.n prefix_masks;
+    cycle = masks_to_sets ex.n cycle_masks;
+  }
+
+let check_label p ~input ~r ~max_states =
+  match explore p ~input ~r ~max_states with
+  | Error needed -> Too_large { needed }
+  | Ok ex -> (
+      let comp = scc_of_explored ex in
+      (* Find a label-changing edge inside an SCC. *)
+      let found = ref None in
+      let count = Vec.length ex.keys in
+      let id = ref 0 in
+      while !found = None && !id < count do
+        let edges = Vec.get ex.edges !id in
+        let k = ref 0 in
+        while !found = None && !k < Array.length edges / 3 do
+          let u = edges.(3 * !k)
+          and mask = edges.((3 * !k) + 1)
+          and changed = edges.((3 * !k) + 2) in
+          if changed = 1 && comp.(u) = comp.(!id) then
+            found := Some (!id, u, mask);
+          incr k
+        done;
+        incr id
+      done;
+      match !found with
+      | None -> Stabilizing
+      | Some (v, u, mask) -> (
+          match path_within_scc ex comp ~src:u ~dst:v with
+          | None -> assert false (* u, v lie in the same SCC *)
+          | Some back ->
+              Oscillating
+                (make_witness ex ~cycle_entry:v ~cycle_masks:(mask :: back))))
+
+let check_output p ~input ~r ~max_states =
+  match explore p ~input ~r ~max_states with
+  | Error needed -> Too_large { needed }
+  | Ok ex -> (
+      let comp = scc_of_explored ex in
+      let count = Vec.length ex.keys in
+      (* For every intra-SCC edge and activated node, record the produced
+         output; two distinct outputs for the same node in one SCC witness
+         output divergence. *)
+      let seen : (int * int, int * (int * int)) Hashtbl.t =
+        Hashtbl.create 1024
+      in
+      (* (scc, node) -> (output, (edge src, mask)) *)
+      let conflict = ref None in
+      let id = ref 0 in
+      while !conflict = None && !id < count do
+        let lab_code, _ = decode_state ex (Vec.get ex.keys !id) in
+        let config = Protocol.decode_config p lab_code in
+        let edges = Vec.get ex.edges !id in
+        let k = ref 0 in
+        while !conflict = None && !k < Array.length edges / 3 do
+          let u = edges.(3 * !k) and mask = edges.((3 * !k) + 1) in
+          if comp.(u) = comp.(!id) then
+            List.iter
+              (fun node ->
+                if !conflict = None then begin
+                  let _, y = Protocol.apply p ~input config node in
+                  match Hashtbl.find_opt seen (comp.(!id), node) with
+                  | None ->
+                      Hashtbl.replace seen (comp.(!id), node)
+                        (y, (!id, mask))
+                  | Some (y0, (src0, mask0)) ->
+                      if y0 <> y then
+                        conflict := Some ((src0, mask0), (!id, mask), u)
+                end)
+              (nodes_of_mask ex.n mask);
+          incr k
+        done;
+        incr id
+      done;
+      match !conflict with
+      | None -> Stabilizing
+      | Some ((src0, mask0), (src1, mask1), dst1) -> (
+          (* Build a cycle through both conflicting edges:
+             src0 -e0-> dst0 ~~> src1 -e1-> dst1 ~~> src0. *)
+          let dst0 =
+            let edges = Vec.get ex.edges src0 in
+            let rec find k =
+              if edges.((3 * k) + 1) = mask0 && comp.(edges.(3 * k)) = comp.(src0)
+              then edges.(3 * k)
+              else find (k + 1)
+            in
+            find 0
+          in
+          match
+            ( path_within_scc ex comp ~src:dst0 ~dst:src1,
+              path_within_scc ex comp ~src:dst1 ~dst:src0 )
+          with
+          | Some mid, Some back ->
+              let cycle_masks = (mask0 :: mid) @ (mask1 :: back) in
+              Oscillating (make_witness ex ~cycle_entry:src0 ~cycle_masks)
+          | _ -> assert false))
+
+let replay p ~input witness =
+  let init = Protocol.decode_config p witness.init_code in
+  let play config sets =
+    List.fold_left
+      (fun c active -> Engine.step p ~input c ~active)
+      config sets
+  in
+  let at_cycle = play init witness.prefix in
+  let start_key = Protocol.config_key p at_cycle in
+  (* Walk the cycle watching for label changes and output changes. *)
+  let label_changed = ref false in
+  let output_changed = ref false in
+  let outputs : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let config = ref at_cycle in
+  List.iter
+    (fun active ->
+      let before = Protocol.config_key p !config in
+      List.iter
+        (fun node ->
+          let _, y = Protocol.apply p ~input !config node in
+          match Hashtbl.find_opt outputs node with
+          | None -> Hashtbl.replace outputs node y
+          | Some y0 -> if y0 <> y then output_changed := true)
+        active;
+      config := Engine.step p ~input !config ~active;
+      if not (String.equal before (Protocol.config_key p !config)) then
+        label_changed := true)
+    witness.cycle;
+  let returns = String.equal start_key (Protocol.config_key p !config) in
+  returns && (!label_changed || !output_changed)
+
+let max_stabilizing_r p ~input ~r_limit ~max_states =
+  let rec loop r =
+    if r > r_limit then Some r_limit
+    else
+      match check_label p ~input ~r ~max_states with
+      | Stabilizing -> loop (r + 1)
+      | Oscillating _ -> Some (r - 1)
+      | Too_large _ -> None
+  in
+  loop 1

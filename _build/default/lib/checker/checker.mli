@@ -1,0 +1,77 @@
+(** Exact verification of r-stabilization on small instances.
+
+    Deciding whether a protocol is label r-stabilizing is PSPACE-complete in
+    general (Theorem 4.2), but for a fixed small protocol it is a finite
+    reachability question. This module builds, verbatim, the states-graph of
+    the proof of Theorem 3.1: vertices are pairs [(ℓ, x)] of a labeling
+    [ℓ ∈ Σ^E] and a countdown vector [x ∈ {1..r}^n] recording how many more
+    steps each node may stay inactive; from each vertex there is one edge per
+    admissible activation set (any nonempty [T] containing every node whose
+    countdown expired). Every run of the protocol under an r-fair schedule is
+    a path in this graph from an initialization vertex [(ℓ, rⁿ)], and
+    conversely.
+
+    The protocol fails to label r-stabilize iff some reachable cycle changes
+    the labeling — equivalently, iff some reachable strongly connected
+    component contains a label-changing transition. Output r-stabilization
+    fails iff some reachable SCC activates a node with two different output
+    values (any two edges of an SCC lie on a common cycle, and cycles in the
+    states-graph correspond to infinitely-repeatable r-fair schedule
+    segments). *)
+
+(** An explicit non-convergence certificate: starting from the initial
+    labeling (given as a mixed-radix code over edge labels, as in
+    [Protocol.encode_config]), play [prefix] once, then repeat [cycle]
+    forever. Each element is one activation set. *)
+type witness = {
+  init_code : int;
+  prefix : int list list;
+  cycle : int list list;
+}
+
+type verdict =
+  | Stabilizing  (** Converges on every r-fair schedule, from every initial
+                     labeling: exhaustively verified. *)
+  | Oscillating of witness  (** A concrete diverging run. *)
+  | Too_large of { needed : int }
+      (** The states-graph exceeds [max_states]; no verdict. *)
+
+(** [check_label p ~input ~r ~max_states] decides label r-stabilization of
+    [p] on the given input, exhaustively over all initial labelings and all
+    r-fair schedules. *)
+val check_label :
+  ('x, 'l) Stateless_core.Protocol.t ->
+  input:'x array ->
+  r:int ->
+  max_states:int ->
+  verdict
+
+(** [check_output p ~input ~r ~max_states] decides output r-stabilization.
+    The witness cycle exhibits a node whose output changes infinitely
+    often. *)
+val check_output :
+  ('x, 'l) Stateless_core.Protocol.t ->
+  input:'x array ->
+  r:int ->
+  max_states:int ->
+  verdict
+
+(** [replay p ~input witness ~repetitions] replays a witness on the engine
+    and reports whether the labeling indeed fails to converge: the cycle
+    must return to its starting labeling while changing it along the way
+    (for label witnesses), making the divergence machine-checkable
+    independently of the search. *)
+val replay :
+  ('x, 'l) Stateless_core.Protocol.t -> input:'x array -> witness -> bool
+
+(** [max_stabilizing_r p ~input ~r_limit ~max_states] is the largest
+    [r <= r_limit] such that [p] is label r-stabilizing (label r-stabilizing
+    is antitone in [r]: more adversarial schedules are allowed as [r]
+    grows), [0] if even [r = 1] oscillates. Returns [None] when a size
+    budget was hit before reaching a verdict. *)
+val max_stabilizing_r :
+  ('x, 'l) Stateless_core.Protocol.t ->
+  input:'x array ->
+  r_limit:int ->
+  max_states:int ->
+  int option

@@ -1,0 +1,284 @@
+type gate =
+  | Input of int
+  | Const of bool
+  | Not of int
+  | And of int * int
+  | Or of int * int
+  | Xor of int * int
+
+type t = { n_inputs : int; gates : gate array; output : int }
+
+let gate_inputs = function
+  | Input _ | Const _ -> []
+  | Not a -> [ a ]
+  | And (a, b) | Or (a, b) | Xor (a, b) -> [ a; b ]
+
+let create ~n_inputs gates ~output =
+  if n_inputs < 0 then invalid_arg "Circuit.create: negative input count";
+  Array.iteri
+    (fun i g ->
+      (match g with
+      | Input k ->
+          if k < 0 || k >= n_inputs then
+            invalid_arg "Circuit.create: input index out of range"
+      | Const _ | Not _ | And _ | Or _ | Xor _ -> ());
+      List.iter
+        (fun a ->
+          if a < 0 || a >= i then
+            invalid_arg "Circuit.create: operand not earlier in the array")
+        (gate_inputs g))
+    gates;
+  if output < 0 || output >= Array.length gates then
+    invalid_arg "Circuit.create: output gate out of range";
+  { n_inputs; gates; output }
+
+let size c = Array.length c.gates
+
+let depth c =
+  let d = Array.make (Array.length c.gates) 0 in
+  Array.iteri
+    (fun i g ->
+      match g with
+      | Input _ | Const _ -> d.(i) <- 0
+      | Not a -> d.(i) <- d.(a) + 1
+      | And (a, b) | Or (a, b) | Xor (a, b) -> d.(i) <- 1 + max d.(a) d.(b))
+    c.gates;
+  if Array.length c.gates = 0 then 0 else d.(c.output)
+
+let eval_all c x =
+  if Array.length x <> c.n_inputs then
+    invalid_arg "Circuit.eval: wrong input length";
+  let v = Array.make (Array.length c.gates) false in
+  Array.iteri
+    (fun i g ->
+      v.(i) <-
+        (match g with
+        | Input k -> x.(k)
+        | Const b -> b
+        | Not a -> not v.(a)
+        | And (a, b) -> v.(a) && v.(b)
+        | Or (a, b) -> v.(a) || v.(b)
+        | Xor (a, b) -> v.(a) <> v.(b)))
+    c.gates;
+  v
+
+let eval c x = (eval_all c x).(c.output)
+
+let pp ppf c =
+  Format.fprintf ppf "@[<v>circuit (%d inputs, %d gates, output g%d)"
+    c.n_inputs (size c) c.output;
+  Array.iteri
+    (fun i g ->
+      let s =
+        match g with
+        | Input k -> Printf.sprintf "x%d" k
+        | Const b -> string_of_bool b
+        | Not a -> Printf.sprintf "NOT g%d" a
+        | And (a, b) -> Printf.sprintf "AND g%d g%d" a b
+        | Or (a, b) -> Printf.sprintf "OR g%d g%d" a b
+        | Xor (a, b) -> Printf.sprintf "XOR g%d g%d" a b
+      in
+      Format.fprintf ppf "@,  g%d = %s" i s)
+    c.gates;
+  Format.fprintf ppf "@]"
+
+let make_circuit = create
+
+module Build = struct
+  type t = {
+    n_inputs : int;
+    mutable gates : gate list;  (* reversed *)
+    mutable count : int;
+    cache : (gate, int) Hashtbl.t;
+  }
+
+  let create ~n_inputs =
+    { n_inputs; gates = []; count = 0; cache = Hashtbl.create 64 }
+
+  let push b g =
+    match Hashtbl.find_opt b.cache g with
+    | Some i -> i
+    | None ->
+        let i = b.count in
+        b.gates <- g :: b.gates;
+        b.count <- b.count + 1;
+        Hashtbl.replace b.cache g i;
+        i
+
+  let input b k =
+    if k < 0 || k >= b.n_inputs then
+      invalid_arg "Circuit.Build.input: index out of range";
+    push b (Input k)
+
+  let const b v = push b (Const v)
+
+  let gate_at b i = List.nth b.gates (b.count - 1 - i)
+
+  let not_ b a =
+    match gate_at b a with
+    | Not inner -> inner
+    | Const v -> const b (not v)
+    | Input _ | And _ | Or _ | Xor _ -> push b (Not a)
+
+  let binary b op a c ~on_const =
+    let ga = gate_at b a and gc = gate_at b c in
+    match (ga, gc) with
+    | Const va, Const vc -> const b (on_const va vc)
+    | Const va, _ -> (
+        match op with
+        | `And -> if va then c else const b false
+        | `Or -> if va then const b true else c
+        | `Xor -> if va then not_ b c else c)
+    | _, Const vc -> (
+        match op with
+        | `And -> if vc then a else const b false
+        | `Or -> if vc then const b true else a
+        | `Xor -> if vc then not_ b a else a)
+    | _ -> (
+        let lo = min a c and hi = max a c in
+        match op with
+        | `And -> push b (And (lo, hi))
+        | `Or -> push b (Or (lo, hi))
+        | `Xor -> push b (Xor (lo, hi)))
+
+  let and_ b a c = binary b `And a c ~on_const:( && )
+  let or_ b a c = binary b `Or a c ~on_const:( || )
+  let xor b a c = binary b `Xor a c ~on_const:( <> )
+
+  let and_list b = function
+    | [] -> const b true
+    | x :: rest -> List.fold_left (and_ b) x rest
+
+  let or_list b = function
+    | [] -> const b false
+    | x :: rest -> List.fold_left (or_ b) x rest
+
+  let finish b ~output =
+    make_circuit ~n_inputs:b.n_inputs
+      (Array.of_list (List.rev b.gates))
+      ~output
+end
+
+let parity n =
+  if n < 1 then invalid_arg "Circuit.parity: need n >= 1";
+  let b = Build.create ~n_inputs:n in
+  let acc = ref (Build.input b 0) in
+  for i = 1 to n - 1 do
+    acc := Build.xor b !acc (Build.input b i)
+  done;
+  Build.finish b ~output:!acc
+
+(* Binary popcount: fold each input bit into a ripple-carry increment of the
+   running sum (LSB-first list of wire indices). *)
+let popcount b n =
+  let sum = ref [] in
+  for i = 0 to n - 1 do
+    let carry = ref (Build.input b i) in
+    let bits = ref [] in
+    List.iter
+      (fun s ->
+        let digit = Build.xor b s !carry in
+        carry := Build.and_ b s !carry;
+        bits := digit :: !bits)
+      !sum;
+    sum := List.rev (!carry :: !bits)
+  done;
+  !sum
+
+(* bits (LSB first) >= k, where k is a compile-time constant. Standard MSB
+   scan: gt accumulates "already strictly greater", eq accumulates "equal so
+   far". *)
+let ge_const b bits k =
+  let bits_msb = List.rev bits in
+  let width = List.length bits_msb in
+  if k <= 0 then Build.const b true
+  else if k >= 1 lsl width then Build.const b false
+  else begin
+    let gt = ref (Build.const b false) and eq = ref (Build.const b true) in
+    List.iteri
+      (fun pos wire ->
+        let kbit = k land (1 lsl (width - 1 - pos)) <> 0 in
+        if kbit then eq := Build.and_ b !eq wire
+        else begin
+          gt := Build.or_ b !gt (Build.and_ b !eq wire);
+          eq := Build.and_ b !eq (Build.not_ b wire)
+        end)
+      bits_msb;
+    Build.or_ b !gt !eq
+  end
+
+let threshold n k =
+  if n < 1 then invalid_arg "Circuit.threshold: need n >= 1";
+  let b = Build.create ~n_inputs:n in
+  let sum = popcount b n in
+  Build.finish b ~output:(ge_const b sum k)
+
+let majority n = threshold n ((n + 1) / 2)
+
+let equality n =
+  if n < 1 then invalid_arg "Circuit.equality: need n >= 1";
+  let b = Build.create ~n_inputs:n in
+  let output =
+    if n mod 2 = 1 then Build.const b false
+    else begin
+      let half = n / 2 in
+      let eqs =
+        List.init half (fun i ->
+            Build.not_ b
+              (Build.xor b (Build.input b i) (Build.input b (half + i))))
+      in
+      Build.and_list b eqs
+    end
+  in
+  Build.finish b ~output
+
+let and_all n =
+  let b = Build.create ~n_inputs:n in
+  Build.finish b
+    ~output:(Build.and_list b (List.init n (fun i -> Build.input b i)))
+
+let or_all n =
+  let b = Build.create ~n_inputs:n in
+  Build.finish b
+    ~output:(Build.or_list b (List.init n (fun i -> Build.input b i)))
+
+let of_function n f =
+  if n < 0 || n > 20 then invalid_arg "Circuit.of_function: n out of range";
+  let b = Build.create ~n_inputs:n in
+  let minterms = ref [] in
+  for code = 0 to (1 lsl n) - 1 do
+    let x = Array.init n (fun i -> code land (1 lsl (n - 1 - i)) <> 0) in
+    if f x then begin
+      let literals =
+        List.init n (fun i ->
+            let inp = Build.input b i in
+            if x.(i) then inp else Build.not_ b inp)
+      in
+      minterms := Build.and_list b literals :: !minterms
+    end
+  done;
+  Build.finish b ~output:(Build.or_list b !minterms)
+
+let random ~seed ~n_inputs ~size =
+  if n_inputs < 1 || size < 1 then invalid_arg "Circuit.random: bad shape";
+  let state = Random.State.make [| seed |] in
+  let b = Build.create ~n_inputs in
+  (* Seed the pool with all inputs, then grow with random gates. *)
+  let pool = ref (List.init n_inputs (fun i -> Build.input b i)) in
+  let pick () =
+    let arr = Array.of_list !pool in
+    arr.(Random.State.int state (Array.length arr))
+  in
+  let last = ref (List.hd !pool) in
+  for _ = 1 to size do
+    let g =
+      match Random.State.int state 4 with
+      | 0 -> Build.and_ b (pick ()) (pick ())
+      | 1 -> Build.or_ b (pick ()) (pick ())
+      | 2 -> Build.xor b (pick ()) (pick ())
+      | _ -> Build.not_ b (pick ())
+    in
+    pool := g :: !pool;
+    last := g
+  done;
+  Build.finish b ~output:!last

@@ -1,0 +1,88 @@
+(** Boolean circuits — the P/poly substrate of Theorem 5.4.
+
+    Circuits are fan-in <= 2, given as a gate array in topological order
+    (every operand refers to an earlier gate). This is exactly the shape the
+    paper's bidirectional-ring simulation consumes: gates [g_1 .. g_|C|] in
+    topological order, each computed in its own counter interval. *)
+
+type gate =
+  | Input of int  (** input bit index *)
+  | Const of bool
+  | Not of int  (** operand: earlier gate index *)
+  | And of int * int
+  | Or of int * int
+  | Xor of int * int
+
+type t = private { n_inputs : int; gates : gate array; output : int }
+
+(** [create ~n_inputs gates ~output] validates topological order and ranges.
+    @raise Invalid_argument on a forward or out-of-range reference. *)
+val create : n_inputs:int -> gate array -> output:int -> t
+
+(** Number of gates (the paper's circuit size |C|). *)
+val size : t -> int
+
+(** Longest input-to-output path, counting non-input gates. *)
+val depth : t -> int
+
+(** [eval c x] evaluates the output gate on input [x].
+    @raise Invalid_argument if [x] has the wrong length. *)
+val eval : t -> bool array -> bool
+
+(** [eval_all c x] is the value of every gate. *)
+val eval_all : t -> bool array -> bool array
+
+(** [gate_inputs g] lists the operand gate indices of [g] ([] for inputs
+    and constants). *)
+val gate_inputs : gate -> int list
+
+val pp : Format.formatter -> t -> unit
+
+(** A mutable builder for assembling circuits gate by gate; all builder
+    functions return the index of the created (or shared) gate. Constants
+    and double negations are lightly simplified. *)
+module Build : sig
+  type circuit := t
+  type t
+
+  val create : n_inputs:int -> t
+  val input : t -> int -> int
+  val const : t -> bool -> int
+  val not_ : t -> int -> int
+  val and_ : t -> int -> int -> int
+  val or_ : t -> int -> int -> int
+  val xor : t -> int -> int -> int
+  val and_list : t -> int list -> int
+  val or_list : t -> int list -> int
+
+  (** [finish b ~output] freezes the builder. *)
+  val finish : t -> output:int -> circuit
+end
+
+(** Standard circuit families used by the experiments. *)
+
+(** n-way parity. *)
+val parity : int -> t
+
+(** [majority n] outputs 1 iff at least ⌈n/2⌉ input bits are 1 — the
+    paper's Maj_n (Σ x_i >= n/2). Built from a popcount of ripple-carry
+    adders and a constant comparator. *)
+val majority : int -> t
+
+(** [threshold n k] outputs 1 iff at least [k] input bits are 1. *)
+val threshold : int -> int -> t
+
+(** [equality n] is the paper's Eq_n: 1 iff [n] is even and the first half
+    of the input equals the second half. *)
+val equality : int -> t
+
+val and_all : int -> t
+val or_all : int -> t
+
+(** [of_function n f] builds a (DNF, exponential-size) circuit for an
+    arbitrary function — usable for small [n] only, e.g. to realize reaction
+    functions as circuits. *)
+val of_function : int -> (bool array -> bool) -> t
+
+(** [random ~seed ~n_inputs ~size] is a random fan-in-2 circuit. *)
+val random : seed:int -> n_inputs:int -> size:int -> t

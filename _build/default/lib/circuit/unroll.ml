@@ -1,0 +1,80 @@
+module Protocol = Stateless_core.Protocol
+module Label = Stateless_core.Label
+module Digraph = Stateless_graph.Digraph
+
+let circuit_of_protocol p ~rounds ~init ~node =
+  let g = p.Protocol.graph in
+  let n = Digraph.num_nodes g and m = Digraph.num_edges g in
+  let space = p.Protocol.space in
+  let lbits = Label.bit_length space in
+  let card = space.Label.card in
+  for i = 0 to n - 1 do
+    if (Digraph.in_degree g i * lbits) + 1 > 14 then
+      invalid_arg "Unroll.circuit_of_protocol: reaction table too wide"
+  done;
+  let b = Circuit.Build.create ~n_inputs:n in
+  let const_label_wires code =
+    Array.init lbits (fun k -> Circuit.Build.const b ((code lsr k) land 1 = 1))
+  in
+  let wires = Array.init m (fun _ -> const_label_wires (space.Label.encode init)) in
+  let output_wire = ref (Circuit.Build.const b false) in
+  for round = 1 to rounds do
+    let next = Array.make m [||] in
+    for i = 0 to n - 1 do
+      let in_edges = Digraph.in_edges g i
+      and out_edges = Digraph.out_edges g i in
+      let indeg = Array.length in_edges in
+      let width = (indeg * lbits) + 1 in
+      (* Input wires of the reaction subcircuit: label bits of the incoming
+         edges (LSB first per edge) followed by the node's input bit. *)
+      let input_wires = Array.make width 0 in
+      Array.iteri
+        (fun k e ->
+          Array.iteri
+            (fun bit w -> input_wires.((k * lbits) + bit) <- w)
+            wires.(e))
+        in_edges;
+      input_wires.(width - 1) <- Circuit.Build.input b i;
+      (* Enumerate the truth table of δ_i. *)
+      let table =
+        Array.init (1 lsl width) (fun code ->
+            let incoming =
+              Array.init indeg (fun k ->
+                  let v = (code lsr (k * lbits)) land ((1 lsl lbits) - 1) in
+                  space.Label.decode (v mod card))
+            in
+            let x = (code lsr (width - 1)) land 1 = 1 in
+            let out, y = p.Protocol.react i x incoming in
+            (Array.map space.Label.encode out, y))
+      in
+      (* One AND selector per assignment, shared by all output bits. *)
+      let selectors =
+        Array.init (1 lsl width) (fun code ->
+            let literals =
+              List.init width (fun k ->
+                  if (code lsr k) land 1 = 1 then input_wires.(k)
+                  else Circuit.Build.not_ b input_wires.(k))
+            in
+            Circuit.Build.and_list b literals)
+      in
+      let bit_wire select =
+        let terms = ref [] in
+        Array.iteri
+          (fun code (out_codes, y) ->
+            if select out_codes y then terms := selectors.(code) :: !terms)
+          table;
+        Circuit.Build.or_list b !terms
+      in
+      Array.iteri
+        (fun j e ->
+          next.(e) <-
+            Array.init lbits (fun bit ->
+                bit_wire (fun out_codes _ ->
+                    (out_codes.(j) lsr bit) land 1 = 1)))
+        out_edges;
+      if round = rounds && i = node then
+        output_wire := bit_wire (fun _ y -> y <> 0)
+    done;
+    Array.iteri (fun e w -> wires.(e) <- w) next
+  done;
+  Circuit.Build.finish b ~output:!output_wire

@@ -1,0 +1,32 @@
+(** Protocol → circuit unrolling: the [ĂOS^b_log ⊆ P/poly] direction of
+    Theorem 5.4.
+
+    A synchronous run of a stateless protocol for [T] rounds is a layered
+    circuit: layer [t] holds one wire per label bit per edge, and each node's
+    reaction function becomes a small subcircuit [C_{δ_i}] between
+    consecutive layers (the paper realizes each reaction function as a
+    circuit of size [M·N·2^N]; we realize it as a shared-minterm DNF, which
+    is the same bound). The protocol's input bits are the circuit's inputs;
+    the initial labeling is a layer of constants; the output is the target
+    node's output wire in the last layer.
+
+    Feasible when [in_degree × label_bits + 1] is small (each reaction
+    table is enumerated); this matches the paper's setting of logarithmic
+    label complexity and degree-2 topologies. *)
+
+(** [circuit_of_protocol p ~rounds ~init ~node] unrolls [rounds] synchronous
+    steps of [p] from the uniform labeling [init] and returns the circuit
+    computing [node]'s output after the last step, as a function of the
+    protocol's private input bits.
+
+    Label encodings outside [Σ] (unused bit patterns) are reduced modulo
+    [|Σ|]; they never occur on reachable wires.
+
+    @raise Invalid_argument when some node has
+    [in_degree × label_bits + 1 > 14]. *)
+val circuit_of_protocol :
+  (bool, 'l) Stateless_core.Protocol.t ->
+  rounds:int ->
+  init:'l ->
+  node:int ->
+  Circuit.t

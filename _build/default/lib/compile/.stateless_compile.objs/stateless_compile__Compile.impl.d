@@ -1,0 +1,1 @@
+lib/compile/compile.ml: Array Fun Hashtbl List Option Printf Random Stateless_circuit Stateless_core Stateless_counter Stateless_graph

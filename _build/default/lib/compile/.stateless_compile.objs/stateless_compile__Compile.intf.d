@@ -1,0 +1,1 @@
+lib/compile/compile.mli: Stateless_circuit Stateless_core Stateless_counter

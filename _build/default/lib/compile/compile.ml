@@ -1,0 +1,228 @@
+module Protocol = Stateless_core.Protocol
+module Label = Stateless_core.Label
+module Engine = Stateless_core.Engine
+module Schedule = Stateless_core.Schedule
+module Digraph = Stateless_graph.Digraph
+module Builders = Stateless_graph.Builders
+module Circuit = Stateless_circuit.Circuit
+module D_counter = Stateless_counter.D_counter
+
+type label = D_counter.fields * ((bool * bool) * (bool * bool))
+
+type t = {
+  circuit : Circuit.t;
+  ring_size : int;
+  clock_period : int;
+  counter : D_counter.t;
+  protocol : (bool, label) Protocol.t;
+}
+
+(* Where an operand's value lives on the ring: input bits at their input
+   node, gate values at the gate's memory node (read off the compute ->
+   memory edge's v field, i.e. the ccw incoming label). *)
+type source = From_input | From_memory
+
+type role =
+  | Write_i1 of source
+  | Write_i2 of source
+  | Compute of int  (* gate index *)
+
+let resolve circuit idx =
+  match circuit.Circuit.gates.(idx) with
+  | Circuit.Input k -> `Input k
+  | Circuit.Const _ | Circuit.Not _ | Circuit.And _ | Circuit.Or _
+  | Circuit.Xor _ ->
+      `Gate idx
+
+let make ?(write_ticks = 2) ?(memory = true) circuit =
+  let n = circuit.Circuit.n_inputs in
+  let gate_count = Circuit.size circuit in
+  if gate_count = 0 then invalid_arg "Compile.make: empty circuit";
+  if write_ticks < 1 then invalid_arg "Compile.make: write_ticks >= 1";
+  let base = n + (2 * gate_count) in
+  let ring_size = if base mod 2 = 0 then base + 1 else base in
+  let compute_node j = n + (2 * j) in
+  let memory_node j = n + (2 * j) + 1 in
+  let dist u w = (((w - u) mod ring_size) + ring_size) mod ring_size in
+  let owner = function `Input k -> k | `Gate k -> memory_node k in
+  let source_of = function `Input _ -> From_input | `Gate _ -> From_memory in
+  (* (node, clock tick) -> roles. A node can hold several roles at one tick
+     only when a gate repeats an operand. *)
+  let roles : (int * int, role list) Hashtbl.t = Hashtbl.create 64 in
+  let add_role key role =
+    let existing = Option.value ~default:[] (Hashtbl.find_opt roles key) in
+    Hashtbl.replace roles key (role :: existing)
+  in
+  let clock = ref 0 in
+  Array.iteri
+    (fun j gate ->
+      let a = compute_node j in
+      let operands =
+        match gate with
+        | Circuit.Const _ -> []
+        | Circuit.Input k -> [ (`I1, `Input k) ]
+        | Circuit.Not x -> [ (`I1, resolve circuit x) ]
+        | Circuit.And (x, y) | Circuit.Or (x, y) | Circuit.Xor (x, y) ->
+            [ (`I1, resolve circuit x); (`I2, resolve circuit y) ]
+      in
+      let s = !clock in
+      (* d = latest clockwise travel time to the compute node; each operand
+         is written so that its wavefront arrives exactly at tick s + d. *)
+      let d =
+        List.fold_left
+          (fun acc (_, op) -> max acc (dist (owner op) a))
+          1 operands
+      in
+      List.iter
+        (fun (field, op) ->
+          let k = owner op in
+          let off = d - dist k a in
+          let role =
+            match field with
+            | `I1 -> Write_i1 (source_of op)
+            | `I2 -> Write_i2 (source_of op)
+          in
+          for tick = 0 to write_ticks - 1 do
+            add_role (k, s + off + tick) role
+          done)
+        operands;
+      for tick = 0 to write_ticks - 1 do
+        add_role (a, s + d + tick) (Compute j)
+      done;
+      clock := s + d + write_ticks)
+    circuit.Circuit.gates;
+  let clock_period = max 2 !clock in
+  let counter = D_counter.make ~n:ring_size ~d:clock_period () in
+  let space =
+    Label.pair counter.D_counter.space
+      (Label.pair
+         (Label.pair Label.bool Label.bool)
+         (Label.pair Label.bool Label.bool))
+  in
+  let g = Builders.ring_bi ring_size in
+  let is_compute = Array.make ring_size (-1) in
+  for j = 0 to gate_count - 1 do
+    is_compute.(compute_node j) <- j
+  done;
+  let last_memory = memory_node circuit.Circuit.output in
+  let react u x incoming =
+    let ccw_lab = ref None and cw_lab = ref None in
+    Array.iteri
+      (fun k e ->
+        let s = Digraph.src g e in
+        if s = (u + ring_size - 1) mod ring_size then
+          ccw_lab := Some incoming.(k)
+        else if s = (u + 1) mod ring_size then cw_lab := Some incoming.(k))
+      (Digraph.in_edges g u);
+    let ccw_counter, ((ccw_i1, ccw_i2), (ccw_v, ccw_o)) =
+      Option.get !ccw_lab
+    and cw_counter, (_, (cw_v, _)) = Option.get !cw_lab in
+    let counter_fields =
+      D_counter.emit counter u ~ccw:ccw_counter ~cw:cw_counter
+    in
+    let _, (_, _, c_now) = counter_fields in
+    let my_roles =
+      Option.value ~default:[] (Hashtbl.find_opt roles (u, c_now))
+    in
+    let value_of_source = function
+      | From_input -> x
+      | From_memory -> ccw_v
+    in
+    let find_write f =
+      List.fold_left
+        (fun acc role -> match f role with Some v -> Some v | None -> acc)
+        None my_roles
+    in
+    let i1 =
+      match
+        find_write (function Write_i1 s -> Some s | _ -> None)
+      with
+      | Some src -> value_of_source src
+      | None -> ccw_i1
+    in
+    let i2 =
+      match
+        find_write (function Write_i2 s -> Some s | _ -> None)
+      with
+      | Some src -> value_of_source src
+      | None -> ccw_i2
+    in
+    let v =
+      match
+        find_write (function Compute j -> Some j | _ -> None)
+      with
+      | Some j -> (
+          match circuit.Circuit.gates.(j) with
+          | Circuit.Input _ -> ccw_i1
+          | Circuit.Const b -> b
+          | Circuit.Not _ -> not ccw_i1
+          | Circuit.And _ -> ccw_i1 && ccw_i2
+          | Circuit.Or _ -> ccw_i1 || ccw_i2
+          | Circuit.Xor _ -> ccw_i1 <> ccw_i2)
+      | None ->
+          (* The "retain memory via communication" cell: an idle compute
+             node refreshes its gate value from its memory node. Without it
+             (ablation) gate values evaporate between clock intervals. *)
+          if is_compute.(u) >= 0 then (if memory then cw_v else false)
+          else ccw_v
+    in
+    let o = if u = last_memory then ccw_v else ccw_o in
+    let out : label = (counter_fields, ((i1, i2), (v, o))) in
+    (Array.map (fun _ -> out) (Digraph.out_edges g u), if o then 1 else 0)
+  in
+  let protocol =
+    {
+      Protocol.name = Printf.sprintf "circuit-ring-%d" ring_size;
+      graph = g;
+      space;
+      react;
+    }
+  in
+  { circuit; ring_size; clock_period; counter; protocol }
+
+let ring_input t x =
+  if Array.length x <> t.circuit.Circuit.n_inputs then
+    invalid_arg "Compile.ring_input: wrong input length";
+  Array.init t.ring_size (fun i ->
+      if i < Array.length x then x.(i) else false)
+
+let convergence_bound t =
+  D_counter.burn_in t.counter + (3 * t.clock_period) + (2 * t.ring_size) + 8
+
+let label_bits t = 4 + D_counter.label_bits t.counter
+
+let run_general t x ~init =
+  let input = ring_input t x in
+  let schedule = Schedule.synchronous t.ring_size in
+  let bound = convergence_bound t in
+  let config = ref (Engine.run t.protocol ~input ~init ~schedule ~steps:bound) in
+  (* Outputs must be unanimous and persist for a full clock cycle plus a
+     ring traversal. *)
+  let first = Array.copy !config.Protocol.outputs in
+  let steady = ref true in
+  for _ = 1 to t.clock_period + t.ring_size do
+    config :=
+      Engine.step t.protocol ~input !config
+        ~active:(List.init t.ring_size Fun.id);
+    if not (Array.for_all2 ( = ) first !config.Protocol.outputs) then
+      steady := false
+  done;
+  if !steady && Array.for_all (fun y -> y = first.(0)) first then
+    Some (first.(0) = 1)
+  else None
+
+let run t x =
+  let init =
+    Protocol.uniform_config t.protocol
+      (t.protocol.Protocol.space.Label.decode 0)
+  in
+  run_general t x ~init
+
+let run_from t x ~seed =
+  let state = Random.State.make [| seed |] in
+  let card = t.protocol.Protocol.space.Label.card in
+  let labels =
+    Array.init (Protocol.num_edges t.protocol) (fun _ ->
+        t.protocol.Protocol.space.Label.decode (Random.State.int state card))
+  in
+  run_general t x ~init:(Protocol.config_of_labels t.protocol labels)

@@ -1,0 +1,83 @@
+(** Boolean circuit → bidirectional-ring protocol: the [P/poly ⊆ ĂOS^b_log]
+    direction of Theorem 5.4.
+
+    Layout (following Appendix C, 0-indexed): ring nodes [0 .. n-1] own the
+    circuit's input bits; every gate [j] gets a {e compute} node
+    [a_j = n + 2j] and a {e memory} node [m_j = n + 2j + 1]; one extra idle
+    node pads the ring to odd size when [n] is even.
+
+    The label is [(counter fields, (i1, i2), (v, o))]:
+
+    - the counter fields run the D-counter of Claim 5.6, giving every node
+      the same clock value [c ∈ {0..D-1}] every round;
+    - the clock is partitioned into one interval per gate, in topological
+      order. In gate [j]'s interval, the owners of its two operands (an
+      input node, or the memory node of an earlier gate) copy their values
+      into the [i1]/[i2] fields on two consecutive ticks; the fields ride
+      clockwise one hop per tick; when they arrive, [a_j] applies the gate
+      and stores the result into [v] on two consecutive ticks (two, so that
+      both phases of the [a_j]/[m_j] ping-pong are overwritten — the
+      paper's "retain memory via communication" cell);
+    - outside its write window a compute node refreshes [v] from its memory
+      node and vice versa, so gate values persist statelessly;
+    - the memory node of the last gate continuously copies its [v] into
+      [o], which floods clockwise: every node's output converges to the
+      circuit's output.
+
+    Self-stabilization is inherited from the counter: once the clock is
+    agreed (O(N) rounds), the next full clock cycle recomputes every gate
+    from scratch, and one more ring traversal publishes the output — no
+    matter how the labels were initialized.
+
+    Interval lengths here are [d_j + 2] (the paper uses [d_j + 1] with a
+    slightly different distance convention); label complexity is
+    [6 + 3⌈log2 D⌉] bits, matching the paper's [3 log D + 6]. *)
+
+type label =
+  Stateless_counter.D_counter.fields * ((bool * bool) * (bool * bool))
+
+type t = private {
+  circuit : Stateless_circuit.Circuit.t;
+  ring_size : int;  (** N = n + 2|C| (+1 if n even). *)
+  clock_period : int;  (** D = Σ_j (d_j + 2). *)
+  counter : Stateless_counter.D_counter.t;
+  protocol : (bool, label) Stateless_core.Protocol.t;
+}
+
+(** [make circuit] compiles the circuit. The protocol's input array has
+    length [ring_size]; positions [>= n_inputs] are ignored (see
+    {!ring_input}).
+
+    [write_ticks] (default 2) is the number of consecutive clock ticks each
+    field write is repeated for; two overwrite both phases of the
+    compute/memory ping-pong within the cycle that computes the value (the
+    paper's "two consecutive time steps" remark). With one tick, the stale
+    phase only heals when the next clock cycle recomputes the gate, costing
+    convergence latency.
+
+    [memory] (default true) enables the ping-pong refresh — the paper's
+    "retain memory via communication" cell. [memory:false] exists only for
+    the ablation experiment: without the cell, gate values evaporate
+    between clock intervals and downstream gates read garbage. *)
+val make :
+  ?write_ticks:int -> ?memory:bool -> Stateless_circuit.Circuit.t -> t
+
+(** [ring_input t x] pads the circuit input [x] to the ring size. *)
+val ring_input : t -> bool array -> bool array
+
+(** Synchronous convergence bound from an arbitrary initial labeling:
+    counter burn-in + two full clock cycles + one ring traversal. *)
+val convergence_bound : t -> int
+
+(** The paper's label complexity [6 + 3 log D]. *)
+val label_bits : t -> int
+
+(** [run t x] simulates from the all-zeros labeling until the outputs
+    converge and returns the agreed output; [None] if the run exceeds
+    {!convergence_bound} without converging (which would falsify the
+    construction). *)
+val run : t -> bool array -> bool option
+
+(** [run_from t x ~seed] — like {!run} but from a seeded random initial
+    labeling, exercising self-stabilization. *)
+val run_from : t -> bool array -> seed:int -> bool option

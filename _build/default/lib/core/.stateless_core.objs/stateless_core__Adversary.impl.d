@@ -1,0 +1,1 @@
+lib/core/adversary.ml: Array Engine Fun Label List Printf Protocol Random Schedule

@@ -1,0 +1,1 @@
+lib/core/clique_example.ml: Array Label List Printf Protocol Schedule Stateless_graph

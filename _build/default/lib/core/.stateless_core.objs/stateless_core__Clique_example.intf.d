@@ -1,0 +1,1 @@
+lib/core/clique_example.mli: Protocol Schedule

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Hashtbl Label List Protocol Random Schedule Stateless_graph String

@@ -1,0 +1,1 @@
+lib/core/extremal.ml: Array Label Printf Protocol Stateless_graph

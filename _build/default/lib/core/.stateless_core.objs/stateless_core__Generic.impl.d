@@ -1,0 +1,1 @@
+lib/core/generic.ml: Array Label Protocol Stateless_graph

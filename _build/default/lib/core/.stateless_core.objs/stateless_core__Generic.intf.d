@@ -1,0 +1,1 @@
+lib/core/generic.mli: Protocol Stateless_graph

@@ -1,0 +1,1 @@
+lib/core/memory.ml: Array Format Fun Hashtbl Label List Printf Protocol Schedule Stateless_graph

@@ -1,0 +1,1 @@
+lib/core/memory.mli: Label Protocol Schedule Stateless_graph

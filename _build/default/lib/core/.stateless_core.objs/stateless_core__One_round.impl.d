@@ -1,0 +1,1 @@
+lib/core/one_round.ml: Array Label Printf Protocol Stateless_graph

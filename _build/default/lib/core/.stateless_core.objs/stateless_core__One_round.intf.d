@@ -1,0 +1,1 @@
+lib/core/one_round.mli: Protocol

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Array Bytes Char Format Label Stateless_graph

@@ -1,0 +1,1 @@
+lib/core/randomized.ml: Array Fun Label List Printf Protocol Random Schedule Stateless_graph

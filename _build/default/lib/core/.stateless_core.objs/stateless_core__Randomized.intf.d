@@ -1,0 +1,1 @@
+lib/core/randomized.mli: Label Protocol Random Schedule Stateless_graph

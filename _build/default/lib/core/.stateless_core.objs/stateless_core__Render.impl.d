@@ -1,0 +1,1 @@
+lib/core/render.ml: Array Buffer Engine Label List Printf Protocol Stateless_graph String

@@ -1,0 +1,1 @@
+lib/core/unidirectional.ml: Array Engine Label Protocol Schedule Stateless_graph

@@ -1,0 +1,75 @@
+type witness = {
+  init : int array;
+  schedule : Schedule.t;
+  entered : int;
+  period : int;
+}
+
+let random_periodic_fair ~seed ~r ~period n =
+  if period < 1 then invalid_arg "Adversary: period must be positive";
+  if r < 1 then invalid_arg "Adversary: r must be positive";
+  let state = Random.State.make [| seed |] in
+  let countdown = Array.make n r in
+  let blocks =
+    List.init period (fun step ->
+        if step = period - 1 then begin
+          (* Closing the cycle with a full activation keeps the repeated
+             schedule r-fair across the wrap-around. *)
+          Array.fill countdown 0 n r;
+          List.init n Fun.id
+        end
+        else begin
+          let chosen = ref [] in
+          for i = n - 1 downto 0 do
+            if countdown.(i) <= 1 || Random.State.bool state then
+              chosen := i :: !chosen
+          done;
+          let chosen =
+            match !chosen with [] -> [ Random.State.int state n ] | c -> c
+          in
+          Array.iteri
+            (fun i c ->
+              if List.mem i chosen then countdown.(i) <- r
+              else countdown.(i) <- c - 1)
+            countdown;
+          chosen
+        end)
+  in
+  let sched = Schedule.block_rounds blocks in
+  { sched with Schedule.name = Printf.sprintf "random-periodic-%d-fair" r }
+
+let decode_init p codes =
+  Protocol.config_of_labels p
+    (Array.map p.Protocol.space.Label.decode codes)
+
+let find_oscillation p ~input ~r ~attempts ~period ~seed ~max_steps =
+  let n = Protocol.num_nodes p in
+  let m = Protocol.num_edges p in
+  let card = p.Protocol.space.Label.card in
+  let state = Random.State.make [| seed |] in
+  let rec attempt k =
+    if k >= attempts then None
+    else begin
+      let schedule =
+        random_periodic_fair ~seed:(Random.State.bits state) ~r ~period n
+      in
+      let codes = Array.init m (fun _ -> Random.State.int state card) in
+      match
+        Engine.run_until_stable p ~input ~init:(decode_init p codes)
+          ~schedule ~max_steps
+      with
+      | Engine.Oscillating { entered; period } ->
+          Some { init = codes; schedule; entered; period }
+      | Engine.Stabilized _ | Engine.Exhausted _ -> attempt (k + 1)
+    end
+  in
+  attempt 0
+
+let verify p ~input w =
+  match
+    Engine.run_until_stable p ~input ~init:(decode_init p w.init)
+      ~schedule:w.schedule
+      ~max_steps:(w.entered + (4 * w.period) + 4)
+  with
+  | Engine.Oscillating _ -> true
+  | Engine.Stabilized _ | Engine.Exhausted _ -> false

@@ -1,0 +1,37 @@
+(** Randomized adversarial-schedule search.
+
+    The exhaustive checker decides r-stabilization exactly but only on tiny
+    state spaces. This module scales further by sampling: it draws random
+    {e periodic} r-fair schedules (periodicity is what lets the engine
+    certify oscillation by state recurrence) and random initial labelings,
+    and reports the first provably diverging run it finds.
+
+    A [Some _] answer is a machine-checkable disproof of label
+    r-stabilization; [None] is only absence of evidence. *)
+
+type witness = {
+  init : int array;  (** encoded edge labels of the initial configuration *)
+  schedule : Schedule.t;  (** periodic and r-fair *)
+  entered : int;
+  period : int;
+}
+
+(** [find_oscillation p ~input ~r ~attempts ~period ~seed ~max_steps]
+    samples [attempts] (labeling, schedule) pairs; schedules have the given
+    period (in steps) and are r-fair by construction: each step activates a
+    random subset plus every node whose deadline would otherwise expire. *)
+val find_oscillation :
+  ('x, 'l) Protocol.t ->
+  input:'x array ->
+  r:int ->
+  attempts:int ->
+  period:int ->
+  seed:int ->
+  max_steps:int ->
+  witness option
+
+(** [random_periodic_fair ~seed ~r ~period n] is one such schedule. *)
+val random_periodic_fair : seed:int -> r:int -> period:int -> int -> Schedule.t
+
+(** [verify p ~input w] replays the witness and confirms divergence. *)
+val verify : ('x, 'l) Protocol.t -> input:'x array -> witness -> bool

@@ -1,0 +1,30 @@
+module Digraph = Stateless_graph.Digraph
+module Builders = Stateless_graph.Builders
+
+let make n =
+  if n < 3 then invalid_arg "Clique_example.make: need n >= 3";
+  let g = Builders.clique n in
+  let react i () incoming =
+    let hot = Array.exists (fun b -> b) incoming in
+    let out = Array.map (fun _ -> hot) (Digraph.out_edges g i) in
+    (out, if hot then 1 else 0)
+  in
+  {
+    Protocol.name = Printf.sprintf "example1-clique-%d" n;
+    graph = g;
+    space = Label.bool;
+    react;
+  }
+
+let input n = Array.make n ()
+
+let oscillation_schedule n =
+  Schedule.block_rounds (List.init n (fun i -> [ i; (i + 1) mod n ]))
+
+let oscillation_init p =
+  let g = p.Protocol.graph in
+  let config = Protocol.uniform_config p false in
+  Array.iter
+    (fun e -> config.Protocol.labels.(e) <- true)
+    (Digraph.out_edges g 0);
+  config

@@ -1,0 +1,24 @@
+(** Example 1 of the paper: the tightness witness for Theorem 3.1.
+
+    A protocol over the clique [K_n] with Σ = \{0,1\}: a node labels all its
+    outgoing edges 0 when every incoming edge is labeled 0, and 1 otherwise.
+    Both all-zeros and all-ones are stable labelings, so by Theorem 3.1 the
+    protocol is not label (n-1)-stabilizing; the paper shows it {e is}
+    r-stabilizing for every [r < n - 1].
+
+    Inputs are irrelevant ([unit]). A node's output reports the label it is
+    currently sending (0 or 1). *)
+
+val make : int -> (unit, bool) Protocol.t
+
+(** The all-[unit] input vector, for convenience. *)
+val input : int -> unit array
+
+(** The (n-1)-fair schedule from the paper's oscillation argument: activate
+    the pairs \{0,1\}, \{1,2\}, ..., \{n-1,0\} cyclically. Combined with
+    {!oscillation_init} the labeling rotates forever. *)
+val oscillation_schedule : int -> Schedule.t
+
+(** The initial configuration where node 0 sends 1 on all its outgoing edges
+    and every other edge carries 0: exactly one "hot" node. *)
+val oscillation_init : (unit, bool) Protocol.t -> bool Protocol.config

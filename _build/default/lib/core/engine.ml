@@ -1,0 +1,203 @@
+module Digraph = Stateless_graph.Digraph
+
+type 'l outcome =
+  | Stabilized of { rounds : int; config : 'l Protocol.config }
+  | Oscillating of { entered : int; period : int }
+  | Exhausted of 'l Protocol.config
+
+let step p ~input config ~active =
+  let open Protocol in
+  (* Reactions are computed against the previous configuration and written
+     atomically, matching the paper's global transition function. *)
+  let reactions =
+    List.map (fun i -> (i, Protocol.apply p ~input config i)) active
+  in
+  let labels = Array.copy config.labels in
+  let outputs = Array.copy config.outputs in
+  List.iter
+    (fun (i, (out, y)) ->
+      let edges = Digraph.out_edges p.Protocol.graph i in
+      Array.iteri (fun k e -> labels.(e) <- out.(k)) edges;
+      outputs.(i) <- y)
+    reactions;
+  { labels; outputs }
+
+let run p ~input ~init ~schedule ~steps =
+  let config = ref init in
+  for t = 0 to steps - 1 do
+    config := step p ~input !config ~active:(schedule.Schedule.active t)
+  done;
+  !config
+
+let trace p ~input ~init ~schedule ~steps =
+  let rec loop t config acc =
+    if t >= steps then List.rev (config :: acc)
+    else
+      let next = step p ~input config ~active:(schedule.Schedule.active t) in
+      loop (t + 1) next (config :: acc)
+  in
+  loop 0 init []
+
+let run_until_stable p ~input ~init ~schedule ~max_steps =
+  let period_opt = schedule.Schedule.period in
+  let seen = Hashtbl.create 256 in
+  let key0 = Protocol.config_key p init in
+  let exception Cycle_found of int * int in
+  let exception Quiescent of int in
+  (* Deterministic dynamics: if the labeling recurs at the same schedule
+     phase, the run repeats that segment forever. The segment contains a
+     label change iff the labeling sequence diverges. *)
+  let rec loop t config key last_change =
+    if Protocol.is_stable p ~input config then
+      Stabilized { rounds = t; config }
+    else if t >= max_steps then Exhausted config
+    else begin
+      (match period_opt with
+      | Some period when t mod period = 0 -> (
+          match Hashtbl.find_opt seen key with
+          | Some t0 ->
+              if last_change > t0 then raise (Cycle_found (t0, t - t0))
+              else raise (Quiescent last_change)
+          | None -> Hashtbl.replace seen key t)
+      | _ -> ());
+      let next = step p ~input config ~active:(schedule.Schedule.active t) in
+      let next_key = Protocol.config_key p next in
+      let last_change =
+        if String.equal next_key key then last_change else t + 1
+      in
+      loop (t + 1) next next_key last_change
+    end
+  in
+  match loop 0 init key0 0 with
+  | result -> result
+  | exception Cycle_found (entered, period) -> Oscillating { entered; period }
+  | exception Quiescent since ->
+      (* The labeling sequence became constant even though some unscheduled
+         reaction function is not at a fixed point; the sequence of labelings
+         converges, which is the paper's notion of label convergence. *)
+      let config = run p ~input ~init ~schedule ~steps:since in
+      Stabilized { rounds = since; config }
+
+let refreshed_outputs p ~input config =
+  let n = Protocol.num_nodes p in
+  Array.init n (fun i -> snd (Protocol.apply p ~input config i))
+
+let outputs_after_convergence p ~input ~init ~schedule ~max_steps =
+  match run_until_stable p ~input ~init ~schedule ~max_steps with
+  | Stabilized { config; _ } -> Some (refreshed_outputs p ~input config)
+  | Exhausted _ -> None
+  | Oscillating { entered; period } ->
+      (* Replay the cycle twice; outputs must be constant throughout for the
+         run to output-stabilize. *)
+      let at_entry = run p ~input ~init ~schedule ~steps:entered in
+      let config = ref at_entry in
+      let reference = ref None in
+      let constant = ref true in
+      for t = entered to entered + (2 * period) - 1 do
+        config := step p ~input !config ~active:(schedule.Schedule.active t);
+        match !reference with
+        | None -> reference := Some (Array.copy !config.Protocol.outputs)
+        | Some outs ->
+            if not (Array.for_all2 ( = ) outs !config.Protocol.outputs) then
+              constant := false
+      done;
+      if !constant then !reference else None
+
+let history_until_verdict p ~input ~init ~schedule ~max_steps =
+  match run_until_stable p ~input ~init ~schedule ~max_steps with
+  | Exhausted _ -> None
+  | Stabilized { rounds; _ } ->
+      let slack = max 1 (Protocol.num_nodes p)
+      and slack_period =
+        match schedule.Schedule.period with Some q -> q | None -> 1
+      in
+      Some (rounds + (slack * slack_period))
+  | Oscillating { entered; period } -> Some (entered + (2 * period))
+
+let output_stabilization_time p ~input ~init ~schedule ~max_steps =
+  match history_until_verdict p ~input ~init ~schedule ~max_steps with
+  | None -> None
+  | Some horizon ->
+      let configs = trace p ~input ~init ~schedule ~steps:horizon in
+      let outputs =
+        List.map (fun c -> Array.copy c.Protocol.outputs) configs
+      in
+      let arr = Array.of_list outputs in
+      let final = arr.(Array.length arr - 1) in
+      let rec first_bad t best =
+        if t < 0 then best
+        else if Array.for_all2 ( = ) arr.(t) final then first_bad (t - 1) t
+        else best
+      in
+      Some (first_bad (Array.length arr - 1) (Array.length arr - 1))
+
+let label_stabilization_time p ~input ~init ~schedule ~max_steps =
+  match run_until_stable p ~input ~init ~schedule ~max_steps with
+  | Stabilized _ ->
+      let horizon =
+        match history_until_verdict p ~input ~init ~schedule ~max_steps with
+        | Some h -> h
+        | None -> max_steps
+      in
+      let configs = trace p ~input ~init ~schedule ~steps:horizon in
+      let keys =
+        Array.of_list (List.map (fun c -> Protocol.config_key p c) configs)
+      in
+      let final = keys.(Array.length keys - 1) in
+      let rec first_bad t best =
+        if t < 0 then best
+        else if String.equal keys.(t) final then first_bad (t - 1) t
+        else best
+      in
+      Some (first_bad (Array.length keys - 1) (Array.length keys - 1))
+  | Oscillating _ | Exhausted _ -> None
+
+let synchronous_round_complexity p ~inputs ~max_steps =
+  match Protocol.labelings_count p with
+  | None ->
+      invalid_arg
+        "Engine.synchronous_round_complexity: labeling space too large"
+  | Some count ->
+      let schedule = Schedule.synchronous (Protocol.num_nodes p) in
+      let worst = ref 0 in
+      let failed = ref false in
+      List.iter
+        (fun input ->
+          let code = ref 0 in
+          while (not !failed) && !code < count do
+            let init = Protocol.decode_config p !code in
+            (match
+               output_stabilization_time p ~input ~init ~schedule ~max_steps
+             with
+            | Some t -> worst := max !worst t
+            | None -> failed := true);
+            incr code
+          done)
+        inputs;
+      if !failed then None else Some !worst
+
+let sampled_round_complexity p ~inputs ~samples ~seed ~max_steps =
+  let schedule = Schedule.synchronous (Protocol.num_nodes p) in
+  let state = Random.State.make [| seed |] in
+  let card = p.Protocol.space.Label.card in
+  let m = Protocol.num_edges p in
+  let worst = ref 0 in
+  let failed = ref false in
+  List.iter
+    (fun input ->
+      for _ = 1 to samples do
+        if not !failed then begin
+          let labels =
+            Array.init m (fun _ ->
+                p.Protocol.space.Label.decode (Random.State.int state card))
+          in
+          let init = Protocol.config_of_labels p labels in
+          match
+            output_stabilization_time p ~input ~init ~schedule ~max_steps
+          with
+          | Some t -> worst := max !worst t
+          | None -> failed := true
+        end
+      done)
+    inputs;
+  if !failed then None else Some !worst

@@ -1,0 +1,121 @@
+(** Executing stateless protocols under a schedule (Section 2.1-2.2).
+
+    The engine is the paper's global transition function
+    [δ : Σ^E × X^n × 2^[n] → Σ^E × Y^n]: at each step the scheduled nodes
+    atomically apply their reaction functions to the {e previous}
+    configuration. It detects label stabilization (fixed point of every
+    reaction function), output stabilization, and — for periodic schedules —
+    exact oscillation, by recording one configuration per schedule period. *)
+
+type 'l outcome =
+  | Stabilized of { rounds : int; config : 'l Protocol.config }
+      (** The labeling reached a stable labeling after [rounds] steps. *)
+  | Oscillating of { entered : int; period : int }
+      (** The run is eventually periodic with the given period (in steps)
+          and the labeling changes within the cycle: the protocol does not
+          label-stabilize on this run. Only reported for periodic
+          schedules. *)
+  | Exhausted of 'l Protocol.config
+      (** [max_steps] elapsed without a verdict. *)
+
+(** [step p ~input config ~active] applies one global transition: every node
+    of [active] reacts to [config]; all other labels and outputs persist.
+    Functional — [config] is not mutated. *)
+val step :
+  ('x, 'l) Protocol.t ->
+  input:'x array ->
+  'l Protocol.config ->
+  active:int list ->
+  'l Protocol.config
+
+(** [run p ~input ~init ~schedule ~steps] iterates {!step} for exactly
+    [steps] steps and returns the final configuration. *)
+val run :
+  ('x, 'l) Protocol.t ->
+  input:'x array ->
+  init:'l Protocol.config ->
+  schedule:Schedule.t ->
+  steps:int ->
+  'l Protocol.config
+
+(** [trace p ~input ~init ~schedule ~steps] is the list of configurations
+    [c_0 = init, c_1, ..., c_steps]. *)
+val trace :
+  ('x, 'l) Protocol.t ->
+  input:'x array ->
+  init:'l Protocol.config ->
+  schedule:Schedule.t ->
+  steps:int ->
+  'l Protocol.config list
+
+(** [run_until_stable p ~input ~init ~schedule ~max_steps] runs until the
+    labeling is stable, an oscillation is proven (periodic schedules only),
+    or [max_steps] elapses. Stability is checked against {e all} reaction
+    functions, not only the scheduled ones, matching the paper's definition
+    of a stable labeling. *)
+val run_until_stable :
+  ('x, 'l) Protocol.t ->
+  input:'x array ->
+  init:'l Protocol.config ->
+  schedule:Schedule.t ->
+  max_steps:int ->
+  'l outcome
+
+(** [refreshed_outputs p ~input config] is every node's output were it
+    activated on [config] — the settled outputs when [config] is a stable
+    labeling. *)
+val refreshed_outputs :
+  ('x, 'l) Protocol.t -> input:'x array -> 'l Protocol.config -> int array
+
+(** [outputs_after_convergence p ~input ~init ~schedule ~max_steps] decides
+    output stabilization on one run: if the run label-stabilizes, outputs are
+    read at the fixed point (after one more synchronous refresh so every node
+    has reported); if it oscillates with every node's output constant along
+    the cycle, those outputs are returned; otherwise [None]. *)
+val outputs_after_convergence :
+  ('x, 'l) Protocol.t ->
+  input:'x array ->
+  init:'l Protocol.config ->
+  schedule:Schedule.t ->
+  max_steps:int ->
+  int array option
+
+(** [output_stabilization_time p ~input ~init ~schedule ~max_steps] is the
+    earliest step after which every node's output never changes again on
+    this run, when that can be certified ({!run_until_stable} reached a
+    verdict). Time 0 means outputs were already converged in [init]. *)
+val output_stabilization_time :
+  ('x, 'l) Protocol.t ->
+  input:'x array ->
+  init:'l Protocol.config ->
+  schedule:Schedule.t ->
+  max_steps:int ->
+  int option
+
+(** [label_stabilization_time] is the analogue for labels: the earliest step
+    after which the labeling never changes again (and is stable). *)
+val label_stabilization_time :
+  ('x, 'l) Protocol.t ->
+  input:'x array ->
+  init:'l Protocol.config ->
+  schedule:Schedule.t ->
+  max_steps:int ->
+  int option
+
+(** [synchronous_round_complexity p ~input ~max_steps] measures the paper's
+    round complexity restricted to given inputs: the max, over all supplied
+    inputs and {e all} [|Σ|^|E|] initial labelings, of the synchronous
+    output-stabilization time. Only usable when the labeling space is
+    enumerable; raises [Invalid_argument] when [|Σ|^|E|] overflows. *)
+val synchronous_round_complexity :
+  ('x, 'l) Protocol.t -> inputs:'x array list -> max_steps:int -> int option
+
+(** Like {!synchronous_round_complexity} but sampling [samples] random
+    initial labelings per input instead of enumerating. *)
+val sampled_round_complexity :
+  ('x, 'l) Protocol.t ->
+  inputs:'x array list ->
+  samples:int ->
+  seed:int ->
+  max_steps:int ->
+  int option

@@ -1,0 +1,24 @@
+module Builders = Stateless_graph.Builders
+
+let make ~n ~q =
+  if n < 2 then invalid_arg "Extremal.make: need n >= 2";
+  if q < 2 then invalid_arg "Extremal.make: need q >= 2";
+  let g = Builders.ring_uni n in
+  let react i () incoming =
+    (* Unidirectional ring: exactly one incoming edge. *)
+    let v = incoming.(0) in
+    if v = q - 1 then ([| q - 1 |], 1)
+    else if i = 0 then ([| v + 1 |], 0)
+    else ([| v |], 0)
+  in
+  {
+    Protocol.name = Printf.sprintf "extremal-ring-%d-q%d" n q;
+    graph = g;
+    space = Label.int q;
+    react;
+  }
+
+let input n = Array.make n ()
+let slow_init p = Protocol.uniform_config p 0
+let predicted_rounds ~n ~q = n * (q - 1)
+let upper_bound ~n ~q = n * q

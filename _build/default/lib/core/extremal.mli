@@ -1,0 +1,21 @@
+(** The round-complexity extremal protocol of Lemma C.2(2).
+
+    On the unidirectional n-ring with Σ = \{0, ..., q-1\}, node 0 increments
+    the value it receives (saturating at [q-1]) and every other node relays
+    it; a node outputs 1 exactly when it sees the saturated value. Started
+    from the all-zeros labeling, the protocol needs [n (q - 1)] rounds to
+    stabilize, matching the generic upper bound [R_n <= n |Σ|] of
+    Lemma C.2(1) up to the additive [n]. *)
+
+val make : n:int -> q:int -> (unit, int) Protocol.t
+
+val input : int -> unit array
+
+(** The all-zeros initial configuration from the lemma. *)
+val slow_init : (unit, int) Protocol.t -> int Protocol.config
+
+(** The lemma's predicted synchronous stabilization time, [n (q - 1)]. *)
+val predicted_rounds : n:int -> q:int -> int
+
+(** The generic unidirectional upper bound of Lemma C.2(1), [n |Σ| = n q]. *)
+val upper_bound : n:int -> q:int -> int

@@ -1,0 +1,50 @@
+let corrupt p ~seed ~fraction config =
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "Fault.corrupt: fraction must be in [0, 1]";
+  let state = Random.State.make [| seed |] in
+  let card = p.Protocol.space.Label.card in
+  let labels =
+    Array.map
+      (fun l ->
+        if Random.State.float state 1.0 < fraction then
+          p.Protocol.space.Label.decode (Random.State.int state card)
+        else l)
+      config.Protocol.labels
+  in
+  { Protocol.labels; outputs = Array.copy config.Protocol.outputs }
+
+(* Both measurements are phrased in terms of output stabilization so that
+   they apply to output-stabilizing protocols whose labels never settle
+   (e.g. anything clocked by the D-counter). The configuration that gets
+   corrupted is the steady state after [max_steps] schedule steps. *)
+
+let recovery_time p ~input ~init ~schedule ~seed ~fraction ~max_steps =
+  match
+    Engine.output_stabilization_time p ~input ~init ~schedule ~max_steps
+  with
+  | None -> None
+  | Some first -> (
+      let steady = Engine.run p ~input ~init ~schedule ~steps:max_steps in
+      let damaged = corrupt p ~seed ~fraction steady in
+      match
+        Engine.output_stabilization_time p ~input ~init:damaged ~schedule
+          ~max_steps
+      with
+      | Some recovery -> Some (first, recovery)
+      | None -> None)
+
+let recovers_to_same_outputs p ~input ~init ~schedule ~seed ~fraction
+    ~max_steps =
+  match
+    Engine.outputs_after_convergence p ~input ~init ~schedule ~max_steps
+  with
+  | None -> None
+  | Some before -> (
+      let steady = Engine.run p ~input ~init ~schedule ~steps:max_steps in
+      let damaged = corrupt p ~seed ~fraction steady in
+      match
+        Engine.outputs_after_convergence p ~input ~init:damaged ~schedule
+          ~max_steps
+      with
+      | Some after -> Some (Array.for_all2 ( = ) before after)
+      | None -> None)

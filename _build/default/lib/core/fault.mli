@@ -1,0 +1,48 @@
+(** Transient-fault injection.
+
+    Self-stabilization (Section 2.2) is exactly the promise that a system
+    recovers from any transient corruption of its {e labels}, provided code
+    and inputs stay intact. This module makes the promise testable: corrupt
+    a configuration mid-run and measure re-convergence. *)
+
+(** [corrupt p ~seed ~fraction config] returns a copy of [config] in which
+    each edge label is independently replaced by a uniformly random label
+    with probability [fraction] (outputs are preserved; they are
+    re-derived by the protocol anyway). [fraction = 1.0] redraws
+    everything. *)
+val corrupt :
+  ('x, 'l) Protocol.t ->
+  seed:int ->
+  fraction:float ->
+  'l Protocol.config ->
+  'l Protocol.config
+
+(** [recovery_time p ~input ~schedule ~seed ~fraction ~max_steps] measures
+    output stabilization, injects a corruption into the steady state
+    reached after [max_steps] schedule steps, and measures output
+    re-stabilization; [None] if either phase fails to converge. Phrased in
+    terms of {e output} stabilization so it also applies to protocols whose
+    labels never settle (e.g. anything clocked by the D-counter). The
+    returned pair is [(first_convergence, recovery)]. *)
+val recovery_time :
+  ('x, 'l) Protocol.t ->
+  input:'x array ->
+  init:'l Protocol.config ->
+  schedule:Schedule.t ->
+  seed:int ->
+  fraction:float ->
+  max_steps:int ->
+  (int * int) option
+
+(** [recovers_to_same_outputs p ~input ~init ~schedule ~seed ~fraction
+    ~max_steps] checks the full self-stabilization contract on one run: the
+    outputs after recovery equal the outputs before the fault. *)
+val recovers_to_same_outputs :
+  ('x, 'l) Protocol.t ->
+  input:'x array ->
+  init:'l Protocol.config ->
+  schedule:Schedule.t ->
+  seed:int ->
+  fraction:float ->
+  max_steps:int ->
+  bool option

@@ -1,0 +1,104 @@
+module Digraph = Stateless_graph.Digraph
+module Algorithms = Stateless_graph.Algorithms
+module Spanning = Stateless_graph.Spanning
+
+let root = 0
+
+let label_bits g = Digraph.num_nodes g + 1
+let round_bound g = 2 * Digraph.num_nodes g
+
+let make ?name g f =
+  if not (Algorithms.is_strongly_connected g) then
+    invalid_arg "Generic.make: graph must be strongly connected";
+  let n = Digraph.num_nodes g in
+  let t1 = Spanning.out_tree g root and t2 = Spanning.in_tree g root in
+  let zero_label () = Array.make (n + 1) false in
+  (* Membership tables: is [j] a T1-child of [i]? is [j] the T2-parent? *)
+  let t1_child = Array.make_matrix n n false in
+  Array.iteri
+    (fun child parent -> if parent >= 0 then t1_child.(parent).(child) <- true)
+    t1.Spanning.parent;
+  let t2_parent = t2.Spanning.parent in
+  let t2_child = Array.make_matrix n n false in
+  Array.iteri
+    (fun child parent -> if parent >= 0 then t2_child.(parent).(child) <- true)
+    t2_parent;
+  (* OR of the z-components arriving from T2-children, with own input mixed
+     in at coordinate [i] (the paper's w_i ∨ OR(z_{c2(i)})). *)
+  let aggregate g i x incoming =
+    let agg = Array.make n false in
+    agg.(i) <- x;
+    let in_edges = Digraph.in_edges g i in
+    Array.iteri
+      (fun k e ->
+        let u = Digraph.src g e in
+        if t2_child.(i).(u) then
+          for c = 0 to n - 1 do
+            if incoming.(k).(c) then agg.(c) <- true
+          done)
+      in_edges;
+    agg
+  in
+  let react i x incoming =
+    let in_edges = Digraph.in_edges g i and out_edges = Digraph.out_edges g i in
+    let agg = aggregate g i x incoming in
+    if i = root then begin
+      let y = f agg in
+      let out =
+        Array.map
+          (fun e ->
+            let j = Digraph.dst g e in
+            if t1_child.(root).(j) then begin
+              let l = zero_label () in
+              l.(n) <- y;
+              l
+            end
+            else zero_label ())
+          out_edges
+      in
+      (out, if y then 1 else 0)
+    end
+    else begin
+      (* The broadcast bit heard from the T1-parent. *)
+      let b_in = ref false in
+      Array.iteri
+        (fun k e ->
+          if Digraph.src g e = t1.Spanning.parent.(i) then
+            b_in := incoming.(k).(n))
+        in_edges;
+      let b = !b_in in
+      let out =
+        Array.map
+          (fun e ->
+            let j = Digraph.dst g e in
+            let is_t2_parent = j = t2_parent.(i)
+            and is_t1_child = t1_child.(i).(j) in
+            match (is_t2_parent, is_t1_child) with
+            | true, true ->
+                let l = Array.make (n + 1) false in
+                Array.blit agg 0 l 0 n;
+                l.(n) <- b;
+                l
+            | false, true ->
+                let l = zero_label () in
+                l.(n) <- b;
+                l
+            | true, false ->
+                let l = Array.make (n + 1) false in
+                Array.blit agg 0 l 0 n;
+                l
+            | false, false -> zero_label ())
+          out_edges
+      in
+      (out, if b then 1 else 0)
+    end
+  in
+  let name =
+    match name with Some s -> s | None -> "generic-prop-2.3"
+  in
+  {
+    Protocol.name;
+    graph = g;
+    space = Label.bool_vector (n + 1);
+    react;
+  }

@@ -1,0 +1,31 @@
+(** The generic label-stabilizing protocol of Proposition 2.3.
+
+    For any strongly connected directed graph [G] on [n] nodes and any
+    Boolean function [f : {0,1}^n -> {0,1}], the proposition exhibits a
+    label-stabilizing protocol computing [f] with label complexity
+    [L_n = n + 1] and round complexity [R_n <= 2n].
+
+    The construction: fix two BFS spanning trees rooted at node 0 — [T1]
+    with paths root→i (broadcast) and [T2] with paths i→root (aggregation).
+    A label is a pair [(z, b)] of an input-summary vector [z ∈ {0,1}^n] and
+    an output bit [b]. Every node forwards, towards the root along [T2], the
+    coordinatewise OR of its children's summaries with its own input placed
+    at coordinate [i]; the root applies [f] and floods the answer bit down
+    [T1]. Labels off the two trees are identically zero, so the labeling is
+    stable once the flows settle. *)
+
+(** [make ?name graph f] builds the protocol. Inputs are the nodes' private
+    bits; the label type is the [(z, b)] vector packed as a [bool array] of
+    length [n + 1] (coordinates [0 .. n-1] are [z], coordinate [n] is [b]).
+    @raise Invalid_argument if [graph] is not strongly connected. *)
+val make :
+  ?name:string ->
+  Stateless_graph.Digraph.t ->
+  (bool array -> bool) ->
+  (bool, bool array) Protocol.t
+
+(** The paper's label complexity for this protocol: [n + 1] bits. *)
+val label_bits : Stateless_graph.Digraph.t -> int
+
+(** The paper's round-complexity bound: [2 n]. *)
+val round_bound : Stateless_graph.Digraph.t -> int

@@ -1,0 +1,160 @@
+module Digraph = Stateless_graph.Digraph
+module Builders = Stateless_graph.Builders
+
+type ('x, 'l, 's) t = {
+  name : string;
+  graph : Digraph.t;
+  space : 'l Label.t;
+  states : 's Label.t;
+  initial_state : int -> 's;
+  react : int -> 'x -> 's -> 'l array -> 's * 'l array * int;
+}
+
+type ('l, 's) config = {
+  labels : 'l array;
+  states : 's array;
+  outputs : int array;
+}
+
+let memory_bits (t : (_, _, _) t) = Label.bit_length t.states
+
+let of_protocol p =
+  {
+    name = p.Protocol.name;
+    graph = p.Protocol.graph;
+    space = p.Protocol.space;
+    states = Label.int 1 |> Label.iso ~fwd:(fun _ -> ()) ~bwd:(fun () -> 0)
+               ~pp:(fun ppf () -> Format.pp_print_string ppf "()");
+    initial_state = (fun _ -> ());
+    react =
+      (fun i x () incoming ->
+        let out, y = p.Protocol.react i x incoming in
+        ((), out, y));
+  }
+
+let initial_config t l0 =
+  let n = Digraph.num_nodes t.graph in
+  {
+    labels = Array.make (Digraph.num_edges t.graph) l0;
+    states = Array.init n t.initial_state;
+    outputs = Array.make n 0;
+  }
+
+let step t ~input config ~active =
+  let reactions =
+    List.map
+      (fun i ->
+        let incoming =
+          Array.map (fun e -> config.labels.(e)) (Digraph.in_edges t.graph i)
+        in
+        (i, t.react i input.(i) config.states.(i) incoming))
+      active
+  in
+  let labels = Array.copy config.labels in
+  let states = Array.copy config.states in
+  let outputs = Array.copy config.outputs in
+  List.iter
+    (fun (i, (s, out, y)) ->
+      states.(i) <- s;
+      Array.iteri
+        (fun k e -> labels.(e) <- out.(k))
+        (Digraph.out_edges t.graph i);
+      outputs.(i) <- y)
+    reactions;
+  { labels; states; outputs }
+
+let run t ~input ~init ~schedule ~steps =
+  let config = ref init in
+  for k = 0 to steps - 1 do
+    config := step t ~input !config ~active:(schedule.Schedule.active k)
+  done;
+  !config
+
+let key t config =
+  ( Array.map t.space.Label.encode config.labels,
+    Array.map t.states.Label.encode config.states )
+
+let is_stable t ~input config =
+  let n = Digraph.num_nodes t.graph in
+  let rec check i =
+    if i >= n then true
+    else begin
+      let incoming =
+        Array.map (fun e -> config.labels.(e)) (Digraph.in_edges t.graph i)
+      in
+      let s, out, _ = t.react i input.(i) config.states.(i) incoming in
+      let edges = Digraph.out_edges t.graph i in
+      let labels_fixed =
+        Array.for_all
+          (fun k ->
+            t.space.Label.encode out.(k)
+            = t.space.Label.encode config.labels.(edges.(k)))
+          (Array.init (Array.length edges) Fun.id)
+      in
+      let state_fixed =
+        t.states.Label.encode s = t.states.Label.encode config.states.(i)
+      in
+      if labels_fixed && state_fixed then check (i + 1) else false
+    end
+  in
+  check 0
+
+let run_until_stable t ~input ~init ~schedule ~max_steps =
+  let seen = Hashtbl.create 64 in
+  let period_opt = schedule.Schedule.period in
+  let rec loop step_idx config last_change =
+    if is_stable t ~input config then `Stabilized step_idx
+    else if step_idx >= max_steps then `Exhausted
+    else begin
+      let verdict = ref None in
+      (match period_opt with
+      | Some period when step_idx mod period = 0 -> (
+          let k = key t config in
+          match Hashtbl.find_opt seen k with
+          | Some t0 ->
+              if last_change > t0 then
+                verdict := Some (`Oscillating (t0, step_idx - t0))
+              else verdict := Some (`Stabilized last_change)
+          | None -> Hashtbl.replace seen k step_idx)
+      | _ -> ());
+      match !verdict with
+      | Some v -> v
+      | None ->
+          let next =
+            step t ~input config ~active:(schedule.Schedule.active step_idx)
+          in
+          let changed = key t next <> key t config in
+          loop (step_idx + 1) next
+            (if changed then step_idx + 1 else last_change)
+    end
+  in
+  loop 0 init 0
+
+let blinker () =
+  let g = Builders.ring_bi 2 in
+  {
+    name = "blinker";
+    graph = g;
+    space = Label.bool;
+    states = Label.bool;
+    initial_state = (fun _ -> false);
+    react =
+      (fun i () s _incoming ->
+        let out = Array.map (fun _ -> false) (Digraph.out_edges g i) in
+        if i = 0 then (not s, out, if s then 1 else 0) else (s, out, 0));
+  }
+
+let mod_counter k =
+  if k < 2 then invalid_arg "Memory.mod_counter: need k >= 2";
+  let g = Builders.ring_bi 2 in
+  {
+    name = Printf.sprintf "mod-%d-counter" k;
+    graph = g;
+    space = Label.bool;
+    states = Label.int k;
+    initial_state = (fun _ -> 0);
+    react =
+      (fun i () s _incoming ->
+        let out = Array.map (fun _ -> false) (Digraph.out_edges g i) in
+        if i = 0 then ((s + 1) mod k, out, s) else (s, out, 0));
+  }

@@ -1,0 +1,83 @@
+(** "Almost stateless" computation — future-work direction (2) of
+    Section 7: processors with a bounded private memory alongside the label
+    mechanism.
+
+    A memory protocol equips each node with a finite state space; the
+    reaction maps (own state, input, incoming labels) to (new state,
+    outgoing labels, output). Stateless protocols are the special case of a
+    one-point state space ({!of_protocol}), and one extra bit is already a
+    strict separation: under a synchronous schedule a stateless node whose
+    incoming labels have stopped changing must eventually output a constant,
+    whereas {!blinker}'s outputs alternate forever ({!val:blinker} +
+    [test_memory] demonstrate this).
+
+    On cliques, memory protocols correspond to the paper's stateful
+    protocols (Theorem B.14 removes the memory at the cost of tripling the
+    nodes); this module provides the general-graph model and engine. *)
+
+type ('x, 'l, 's) t = {
+  name : string;
+  graph : Stateless_graph.Digraph.t;
+  space : 'l Label.t;
+  states : 's Label.t;
+  initial_state : int -> 's;
+  react : int -> 'x -> 's -> 'l array -> 's * 'l array * int;
+}
+
+type ('l, 's) config = {
+  labels : 'l array;
+  states : 's array;
+  outputs : int array;
+}
+
+(** Bits of private memory per node, [⌈log2 |states|⌉] — direction (2)
+    asks what a constant number of these buys. *)
+val memory_bits : ('x, 'l, 's) t -> int
+
+(** [of_protocol p] — stateless protocols are memory protocols with zero
+    memory bits. *)
+val of_protocol : ('x, 'l) Protocol.t -> ('x, 'l, unit) t
+
+(** [initial_config t l0] — every edge labeled [l0], states from
+    [initial_state]. *)
+val initial_config : ('x, 'l, 's) t -> 'l -> ('l, 's) config
+
+(** [step t ~input config ~active] — scheduled nodes react atomically
+    (their state update included). *)
+val step :
+  ('x, 'l, 's) t ->
+  input:'x array ->
+  ('l, 's) config ->
+  active:int list ->
+  ('l, 's) config
+
+val run :
+  ('x, 'l, 's) t ->
+  input:'x array ->
+  init:('l, 's) config ->
+  schedule:Schedule.t ->
+  steps:int ->
+  ('l, 's) config
+
+(** Exact outcome analysis by state recurrence, as in
+    [Engine.run_until_stable]; the recurrence key includes both labels and
+    states. Stability means labels {e and} states are a fixed point of
+    every reaction. *)
+val run_until_stable :
+  ('x, 'l, 's) t ->
+  input:'x array ->
+  init:('l, 's) config ->
+  schedule:Schedule.t ->
+  max_steps:int ->
+  [ `Stabilized of int | `Oscillating of int * int | `Exhausted ]
+
+(** [blinker ()] — two nodes; node 0 carries one memory bit that it flips
+    on every activation and outputs; labels are constant. No stateless
+    protocol has this output behaviour once its labels are constant. *)
+val blinker : unit -> (unit, bool, bool) t
+
+(** [mod_counter k] — a single-bit-labeled 2-ring where node 0 counts its
+    own activations mod [k] in its memory (log2 k bits) and outputs the
+    count; the stateless equivalent would need the D-counter machinery of
+    Claim 5.6. *)
+val mod_counter : int -> (unit, bool, int) t

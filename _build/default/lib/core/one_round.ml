@@ -1,0 +1,50 @@
+module Digraph = Stateless_graph.Digraph
+module Builders = Stateless_graph.Builders
+
+let clique n f =
+  if n < 2 then invalid_arg "One_round.clique: need n >= 2";
+  let g = Builders.clique n in
+  let react i x incoming =
+    (* Assemble the global input: everyone broadcasts their own bit. *)
+    let bits = Array.make n false in
+    bits.(i) <- x;
+    Array.iteri
+      (fun k e -> bits.(Digraph.src g e) <- incoming.(k))
+      (Digraph.in_edges g i);
+    let y = f bits in
+    (Array.map (fun _ -> x) (Digraph.out_edges g i), if y then 1 else 0)
+  in
+  {
+    Protocol.name = Printf.sprintf "one-round-clique-%d" n;
+    graph = g;
+    space = Label.bool;
+    react;
+  }
+
+let star n f =
+  if n < 2 then invalid_arg "One_round.star: need n >= 2";
+  let g = Builders.star n in
+  let react i x incoming =
+    if i = 0 then begin
+      (* The hub hears every spoke's bit, evaluates f, and broadcasts the
+         answer. *)
+      let bits = Array.make n false in
+      bits.(0) <- x;
+      Array.iteri
+        (fun k e -> bits.(Digraph.src g e) <- incoming.(k))
+        (Digraph.in_edges g 0);
+      let y = f bits in
+      (Array.map (fun _ -> y) (Digraph.out_edges g 0), if y then 1 else 0)
+    end
+    else begin
+      (* A spoke sends its input up and repeats the hub's verdict. *)
+      let y = incoming.(0) in
+      (Array.map (fun _ -> x) (Digraph.out_edges g i), if y then 1 else 0)
+    end
+  in
+  {
+    Protocol.name = Printf.sprintf "one-round-star-%d" n;
+    graph = g;
+    space = Label.bool;
+    react;
+  }

@@ -1,0 +1,15 @@
+(** The well-connected baseline of Section 5's opening remark: on the
+    clique, {e every} Boolean function is computable with 1-bit labels
+    within one round (each node broadcasts its input bit and evaluates [f]
+    on what it hears), and similarly on the star (spokes send their bits
+    up, the hub answers). These are the protocols that make the paper study
+    poorly-connected topologies instead: rings are where label complexity
+    becomes interesting. *)
+
+(** [clique n f] — label-stabilizing, [L = 1], outputs correct after one
+    synchronous round. *)
+val clique : int -> (bool array -> bool) -> (bool, bool) Protocol.t
+
+(** [star n f] — hub is node 0; [L = 1], outputs correct after two
+    synchronous rounds (one up, one down; the hub is right after one). *)
+val star : int -> (bool array -> bool) -> (bool, bool) Protocol.t

@@ -1,0 +1,88 @@
+module Digraph = Stateless_graph.Digraph
+module Builders = Stateless_graph.Builders
+
+type ('x, 'l) t = {
+  name : string;
+  graph : Digraph.t;
+  space : 'l Label.t;
+  react : Random.State.t -> int -> 'x -> 'l array -> 'l array * int;
+}
+
+let of_protocol p =
+  {
+    name = p.Protocol.name ^ "-det";
+    graph = p.Protocol.graph;
+    space = p.Protocol.space;
+    react = (fun _rng i x incoming -> p.Protocol.react i x incoming);
+  }
+
+let step t ~rng ~input config ~active =
+  let reactions =
+    List.map
+      (fun i ->
+        let incoming =
+          Array.map
+            (fun e -> config.Protocol.labels.(e))
+            (Digraph.in_edges t.graph i)
+        in
+        (i, t.react rng i input.(i) incoming))
+      active
+  in
+  let labels = Array.copy config.Protocol.labels in
+  let outputs = Array.copy config.Protocol.outputs in
+  List.iter
+    (fun (i, (out, y)) ->
+      Array.iteri
+        (fun k e -> labels.(e) <- out.(k))
+        (Digraph.out_edges t.graph i);
+      outputs.(i) <- y)
+    reactions;
+  { Protocol.labels; outputs }
+
+let key t config =
+  Array.map t.space.Label.encode config.Protocol.labels
+
+let time_to_quiescence t ~input ~init ~schedule ~seed ~quiet ~max_steps =
+  let rng = Random.State.make [| seed |] in
+  let rec loop step_idx config unchanged last_key =
+    if unchanged >= quiet then Some (step_idx - unchanged)
+    else if step_idx >= max_steps then None
+    else begin
+      let next =
+        step t ~rng ~input config ~active:(schedule.Schedule.active step_idx)
+      in
+      let next_key = key t next in
+      if next_key = last_key then loop (step_idx + 1) next (unchanged + 1) next_key
+      else loop (step_idx + 1) next 0 next_key
+    end
+  in
+  loop 0 init 0 (key t init)
+
+let convergence_rate t ~input ~init ~schedule ~seeds ~quiet ~max_steps =
+  List.fold_left
+    (fun (converged, total, worst) seed ->
+      match
+        time_to_quiescence t ~input ~init ~schedule ~seed ~quiet ~max_steps
+      with
+      | Some time -> (converged + 1, total + 1, max worst time)
+      | None -> (converged, total + 1, worst))
+    (0, 0, 0) seeds
+
+let lazy_example1 n ~ignite =
+  if n < 3 then invalid_arg "Randomized.lazy_example1: need n >= 3";
+  if ignite <= 0.0 || ignite >= 1.0 then
+    invalid_arg "Randomized.lazy_example1: ignite must be in (0, 1)";
+  let g = Builders.clique n in
+  let react rng i () incoming =
+    let hot =
+      Array.exists Fun.id incoming || Random.State.float rng 1.0 < ignite
+    in
+    ( Array.map (fun _ -> hot) (Digraph.out_edges g i),
+      if hot then 1 else 0 )
+  in
+  {
+    name = Printf.sprintf "lazy-example1-%d" n;
+    graph = g;
+    space = Label.bool;
+    react;
+  }

@@ -1,0 +1,65 @@
+(** Randomized reaction functions — future-work direction (4) of Section 7.
+
+    A randomized stateless protocol draws coins inside its reaction
+    functions. Theorem 3.1's adversary commits to a fair schedule but
+    cannot see the coins, so randomization can escape impossibility: once
+    coin flips can spontaneously reach an absorbing stable labeling, the
+    oblivious chase schedule that defeats the deterministic protocol loses
+    with probability 1.
+
+    Oscillation can no longer be certified by state recurrence (coins
+    differ between visits), so the execution API here reports quiescence —
+    the labeling not changing for a configurable window — and convergence
+    statistics over seeds, rather than exact verdicts. *)
+
+type ('x, 'l) t = {
+  name : string;
+  graph : Stateless_graph.Digraph.t;
+  space : 'l Label.t;
+  react : Random.State.t -> int -> 'x -> 'l array -> 'l array * int;
+}
+
+(** [of_protocol p] embeds a deterministic protocol (ignoring the coins). *)
+val of_protocol : ('x, 'l) Protocol.t -> ('x, 'l) t
+
+(** [step t ~rng ~input config ~active]. *)
+val step :
+  ('x, 'l) t ->
+  rng:Random.State.t ->
+  input:'x array ->
+  'l Protocol.config ->
+  active:int list ->
+  'l Protocol.config
+
+(** [time_to_quiescence t ~input ~init ~schedule ~seed ~quiet ~max_steps]
+    is the first step after which the labeling does not change for [quiet]
+    consecutive steps, or [None]. *)
+val time_to_quiescence :
+  ('x, 'l) t ->
+  input:'x array ->
+  init:'l Protocol.config ->
+  schedule:Schedule.t ->
+  seed:int ->
+  quiet:int ->
+  max_steps:int ->
+  int option
+
+(** [convergence_rate t ~input ~init ~schedule ~seeds ~quiet ~max_steps]
+    runs one trial per seed and returns (converged, total, worst time). *)
+val convergence_rate :
+  ('x, 'l) t ->
+  input:'x array ->
+  init:'l Protocol.config ->
+  schedule:Schedule.t ->
+  seeds:int list ->
+  quiet:int ->
+  max_steps:int ->
+  int * int * int
+
+(** [lazy_example1 n ~ignite] — Example 1 with randomized ignition: a node
+    that hears a 1 answers 1 (deterministically), and a node that hears
+    silence spontaneously ignites with probability [ignite]. The all-ones
+    labeling is absorbing, all-zeros is left with positive probability per
+    activation, so every fair schedule converges almost surely — including
+    the (n-1)-fair chase that traps the deterministic protocol forever. *)
+val lazy_example1 : int -> ignite:float -> (unit, bool) t

@@ -1,0 +1,71 @@
+module Digraph = Stateless_graph.Digraph
+
+let grid ~header ~rows =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  List.iteri
+    (fun t row ->
+      Buffer.add_string buf (Printf.sprintf "%4d | %s\n" (t + 1) row))
+    rows;
+  Buffer.contents buf
+
+let outputs_over_time p ~input ~init ~schedule ~steps =
+  let trace = Engine.trace p ~input ~init ~schedule ~steps in
+  let rows =
+    List.map
+      (fun c ->
+        String.concat " "
+          (Array.to_list (Array.map string_of_int c.Protocol.outputs)))
+      (List.tl trace)
+  in
+  let n = Protocol.num_nodes p in
+  let header =
+    Printf.sprintf "time | outputs of nodes 0..%d (%s)" (n - 1)
+      p.Protocol.name
+  in
+  grid ~header ~rows
+
+let labels_over_time p ~input ~init ~schedule ~steps =
+  let trace = Engine.trace p ~input ~init ~schedule ~steps in
+  let g = p.Protocol.graph in
+  let header =
+    Printf.sprintf "time | %s"
+      (String.concat " "
+         (List.init (Digraph.num_edges g) (fun e ->
+              let i, j = Digraph.edge g e in
+              Printf.sprintf "%d>%d" i j)))
+  in
+  let rows =
+    List.map
+      (fun c ->
+        String.concat " "
+          (Array.to_list
+             (Array.mapi
+                (fun e l ->
+                  let i, j = Digraph.edge g e in
+                  let width = String.length (Printf.sprintf "%d>%d" i j) in
+                  let s = string_of_int (p.Protocol.space.Label.encode l) in
+                  ignore e;
+                  s ^ String.make (max 0 (width - String.length s)) ' ')
+                c.Protocol.labels)))
+      (List.tl trace)
+  in
+  grid ~header ~rows
+
+let node_bits_over_time p ~input ~init ~schedule ~steps =
+  let trace = Engine.trace p ~input ~init ~schedule ~steps in
+  let g = p.Protocol.graph in
+  let n = Digraph.num_nodes g in
+  let rows =
+    List.map
+      (fun c ->
+        String.init n (fun i ->
+            let out = Digraph.out_edges g i in
+            if Array.length out = 0 then '?'
+            else if c.Protocol.labels.(out.(0)) then '#'
+            else '.'))
+      (List.tl trace)
+  in
+  let header = Printf.sprintf "time | nodes 0..%d (%s)" (n - 1) p.Protocol.name in
+  grid ~header ~rows

@@ -1,0 +1,37 @@
+(** ASCII rendering of protocol runs, for examples and debugging.
+
+    A run is shown as a grid: one row per time step, one column per node
+    (outputs or outgoing labels) or per edge (labels). Label values are
+    shown through their encoding; single-bit values render as [.] and
+    [#]. *)
+
+(** [outputs_over_time p ~input ~init ~schedule ~steps] renders each node's
+    output per step (row 0 is the state after the first step). *)
+val outputs_over_time :
+  ('x, 'l) Protocol.t ->
+  input:'x array ->
+  init:'l Protocol.config ->
+  schedule:Schedule.t ->
+  steps:int ->
+  string
+
+(** [labels_over_time p ~input ~init ~schedule ~steps] renders each edge's
+    label encoding per step, with a header naming the edges. *)
+val labels_over_time :
+  ('x, 'l) Protocol.t ->
+  input:'x array ->
+  init:'l Protocol.config ->
+  schedule:Schedule.t ->
+  steps:int ->
+  string
+
+(** [node_bits_over_time p ~input ~init ~schedule ~steps] — for protocols
+    that send the same boolean to all neighbours: one [./#] column per
+    node, reading its first outgoing label. *)
+val node_bits_over_time :
+  ('x, bool) Protocol.t ->
+  input:'x array ->
+  init:bool Protocol.config ->
+  schedule:Schedule.t ->
+  steps:int ->
+  string

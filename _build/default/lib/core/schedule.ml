@@ -1,0 +1,115 @@
+type t = { name : string; period : int option; active : int -> int list }
+
+let all_nodes n = List.init n (fun i -> i)
+
+let synchronous n =
+  if n <= 0 then invalid_arg "Schedule.synchronous: n must be positive";
+  let everyone = all_nodes n in
+  { name = "synchronous"; period = Some 1; active = (fun _ -> everyone) }
+
+let round_robin n =
+  if n <= 0 then invalid_arg "Schedule.round_robin: n must be positive";
+  { name = "round-robin"; period = Some n; active = (fun t -> [ t mod n ]) }
+
+let block_rounds sets =
+  let arr = Array.of_list (List.map (List.sort_uniq compare) sets) in
+  let p = Array.length arr in
+  if p = 0 then invalid_arg "Schedule.block_rounds: empty schedule";
+  Array.iter
+    (fun s -> if s = [] then invalid_arg "Schedule.block_rounds: empty step")
+    arr;
+  { name = "block-rounds"; period = Some p; active = (fun t -> arr.(t mod p)) }
+
+let prefix_then sets rest =
+  let arr = Array.of_list (List.map (List.sort_uniq compare) sets) in
+  let k = Array.length arr in
+  Array.iter
+    (fun s -> if s = [] then invalid_arg "Schedule.prefix_then: empty step")
+    arr;
+  {
+    name = "prefix+" ^ rest.name;
+    period = None;
+    active = (fun t -> if t < k then arr.(t) else rest.active (t - k));
+  }
+
+(* Randomized schedules must be pure functions of [t]; we memoize the random
+   draws so that querying the same step twice yields the same set. *)
+let memoized_random name ~seed draw =
+  let table = Hashtbl.create 64 in
+  let state = Random.State.make [| seed |] in
+  let next = ref 0 in
+  let rec active t =
+    match Hashtbl.find_opt table t with
+    | Some set -> set
+    | None ->
+        if t < !next then assert false
+        else begin
+          (* Generate steps in order up to [t] for reproducibility. *)
+          while !next <= t do
+            Hashtbl.replace table !next (draw state !next);
+            incr next
+          done;
+          active t
+        end
+  in
+  { name; period = None; active }
+
+let random_fair ~seed ~r n =
+  if n <= 0 then invalid_arg "Schedule.random_fair: n must be positive";
+  if r <= 0 then invalid_arg "Schedule.random_fair: r must be positive";
+  let countdown = Array.make n r in
+  let draw state _t =
+    let forced = ref [] and optional = ref [] in
+    for i = n - 1 downto 0 do
+      if countdown.(i) <= 1 then forced := i :: !forced
+      else if Random.State.bool state then optional := i :: !optional
+    done;
+    let chosen =
+      match (!forced, !optional) with
+      | [], [] -> [ Random.State.int state n ]
+      | f, o -> List.sort_uniq compare (f @ o)
+    in
+    Array.iteri
+      (fun i c ->
+        if List.mem i chosen then countdown.(i) <- r
+        else countdown.(i) <- c - 1)
+      countdown;
+    chosen
+  in
+  memoized_random (Printf.sprintf "random-%d-fair" r) ~seed draw
+
+let random_singletons ~seed n =
+  if n <= 0 then invalid_arg "Schedule.random_singletons: n must be positive";
+  memoized_random "random-singletons" ~seed (fun state _ ->
+      [ Random.State.int state n ])
+
+let is_r_fair sched ~n ~r ~horizon =
+  if horizon < r then invalid_arg "Schedule.is_r_fair: horizon < r";
+  (* last.(i) = most recent step (0-based) at which i was active, or -1. *)
+  let last = Array.make n (-1) in
+  let ok = ref true in
+  let t = ref 0 in
+  while !ok && !t < horizon do
+    List.iter (fun i -> last.(i) <- !t) (sched.active !t);
+    (* Once a full window has elapsed, every node must have fired within
+       the last r steps. *)
+    if !t >= r - 1 then
+      Array.iter (fun l -> if l < !t - r + 1 then ok := false) last;
+    incr t
+  done;
+  !ok
+
+let fairness sched ~n ~horizon =
+  let last = Array.make n (-1) in
+  let worst = ref 1 in
+  let missing = ref n in
+  for t = 0 to horizon - 1 do
+    List.iter
+      (fun i ->
+        if last.(i) < 0 then decr missing;
+        last.(i) <- t)
+      (sched.active t);
+    if !missing = 0 then
+      Array.iter (fun l -> worst := max !worst (t - l + 1)) last
+  done;
+  if !missing > 0 then None else Some !worst

@@ -1,0 +1,54 @@
+(** Schedules σ : N⁺ → 2^[n] \ ∅ — the (possibly adversarial) activation
+    model of Section 2.1.
+
+    A schedule chooses, for each time step, the nonempty set of nodes that
+    apply their reaction functions. A schedule is [r]-fair when every node is
+    activated at least once in every window of [r] consecutive steps; the
+    synchronous model of Part II is the 1-fair schedule that activates
+    everybody at every step. *)
+
+type t = {
+  name : string;
+  period : int option;
+      (** [Some p] when [active] is periodic with period [p] (steps [t] and
+          [t + p] activate the same set). Enables exact oscillation detection
+          in the engine. [None] for randomized schedules. *)
+  active : int -> int list;
+      (** [active t] for [t >= 0] is the sorted, nonempty activation set of
+          time step [t + 1] in the paper's 1-based numbering. Must be a pure
+          function of [t] (internally memoized closures are fine). *)
+}
+
+(** Activate every node at every step (1-fair). *)
+val synchronous : int -> t
+
+(** Activate one node per step, cyclically: node [t mod n] at step [t].
+    This is n-fair but not (n-1)-fair. *)
+val round_robin : int -> t
+
+(** [block_rounds sets] cycles through the given list of activation sets.
+    @raise Invalid_argument if the list is empty or contains an empty set. *)
+val block_rounds : int list list -> t
+
+(** [prefix_then sets rest] plays [sets] once, then behaves as [rest]
+    shifted in time. The period is inherited from [rest]. *)
+val prefix_then : int list list -> t -> t
+
+(** [random_fair ~seed ~r n] draws each step uniformly among the node
+    subsets that keep the schedule r-fair: nodes whose deadline expires are
+    forced in, every other node joins with probability 1/2, and if the draw
+    is empty one random node is activated. *)
+val random_fair : seed:int -> r:int -> int -> t
+
+(** [random_singletons ~seed n] activates a single uniformly random node per
+    step. Fair with probability 1 but not r-fair for any fixed r. *)
+val random_singletons : seed:int -> int -> t
+
+(** [is_r_fair sched ~n ~r ~horizon] audits the first [horizon] steps: every
+    node must appear in every window of [r] consecutive steps that fits in
+    the horizon. *)
+val is_r_fair : t -> n:int -> r:int -> horizon:int -> bool
+
+(** [fairness sched ~n ~horizon] is the smallest [r] such that the first
+    [horizon] steps are r-fair, or [None] if some node never appears. *)
+val fairness : t -> n:int -> horizon:int -> int option

@@ -1,0 +1,54 @@
+let iter_labelings p f =
+  match Protocol.labelings_count p with
+  | None -> invalid_arg "Stability.iter_labelings: labeling space too large"
+  | Some count ->
+      let m = Protocol.num_edges p in
+      let space = p.Protocol.space in
+      let labels = Array.make m (space.Label.decode 0) in
+      let digits = Array.make m 0 in
+      let rec next () =
+        f labels;
+        (* Mixed-radix increment with edge m-1 as the least significant
+           digit. *)
+        let rec carry e =
+          if e < 0 then false
+          else if digits.(e) + 1 < space.Label.card then begin
+            digits.(e) <- digits.(e) + 1;
+            labels.(e) <- space.Label.decode digits.(e);
+            true
+          end
+          else begin
+            digits.(e) <- 0;
+            labels.(e) <- space.Label.decode 0;
+            carry (e - 1)
+          end
+        in
+        if carry (m - 1) then next ()
+      in
+      if count > 0 then next ()
+
+let fold_stable p ~input ~init ~f ~stop =
+  let acc = ref init in
+  let exception Done in
+  (try
+     iter_labelings p (fun labels ->
+         let config = Protocol.config_of_labels p labels in
+         if Protocol.is_stable p ~input config then begin
+           acc := f !acc labels;
+           if stop !acc then raise Done
+         end)
+   with Done -> ());
+  !acc
+
+let stable_labelings p ~input =
+  List.rev
+    (fold_stable p ~input ~init:[]
+       ~f:(fun acc labels -> Array.copy labels :: acc)
+       ~stop:(fun _ -> false))
+
+let count_stable_labelings p ~input =
+  fold_stable p ~input ~init:0 ~f:(fun acc _ -> acc + 1) ~stop:(fun _ -> false)
+
+let has_multiple_stable_labelings p ~input =
+  fold_stable p ~input ~init:0 ~f:(fun acc _ -> acc + 1) ~stop:(fun c -> c >= 2)
+  >= 2

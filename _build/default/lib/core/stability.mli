@@ -1,0 +1,25 @@
+(** Stable labelings (Section 3).
+
+    A stable labeling of a protocol is a labeling that is a fixed point of
+    every reaction function. Theorem 3.1 proves that the mere existence of
+    two distinct stable labelings rules out label (n-1)-stabilization; these
+    helpers enumerate stable labelings on small instances so the theorem's
+    hypothesis can be established mechanically. *)
+
+(** [iter_labelings p f] enumerates every labeling of [p]'s graph (the full
+    [Σ^E]) and calls [f] on each, reusing a single buffer; [f] must not
+    retain the array.
+    @raise Invalid_argument when [|Σ|^|E|] overflows an [int]. *)
+val iter_labelings : ('x, 'l) Protocol.t -> ('l array -> unit) -> unit
+
+(** [stable_labelings p ~input] lists every stable labeling, as edge-indexed
+    label arrays.
+    @raise Invalid_argument when the space is too large to enumerate. *)
+val stable_labelings : ('x, 'l) Protocol.t -> input:'x array -> 'l array list
+
+(** [count_stable_labelings p ~input]. *)
+val count_stable_labelings : ('x, 'l) Protocol.t -> input:'x array -> int
+
+(** [has_multiple_stable_labelings p ~input] — the hypothesis of
+    Theorem 3.1. Stops enumerating after finding two. *)
+val has_multiple_stable_labelings : ('x, 'l) Protocol.t -> input:'x array -> bool

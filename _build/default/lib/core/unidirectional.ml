@@ -1,0 +1,45 @@
+module Digraph = Stateless_graph.Digraph
+
+let is_unidirectional_ring p =
+  let g = p.Protocol.graph in
+  let n = Digraph.num_nodes g in
+  Digraph.num_edges g = n
+  && Array.for_all
+       (fun i ->
+         Digraph.out_degree g i = 1
+         && Digraph.in_degree g i = 1
+         && Digraph.mem_edge g ~src:i ~dst:((i + 1) mod n))
+       (Array.init n (fun i -> i))
+
+let sequential_run p ~input ~start =
+  if not (is_unidirectional_ring p) then
+    invalid_arg "Unidirectional.sequential_run: not a unidirectional ring";
+  let n = Protocol.num_nodes p in
+  let card = p.Protocol.space.Label.card in
+  let outputs = Array.make n 0 in
+  let label = ref start in
+  let j = ref 0 in
+  for _ = 1 to n * card do
+    let out, y = p.Protocol.react !j input.(!j) [| !label |] in
+    label := out.(0);
+    outputs.(!j) <- y;
+    j := (!j + 1) mod n
+  done;
+  outputs
+
+let round_complexity_bound p =
+  if not (is_unidirectional_ring p) then None
+  else
+    let n = Protocol.num_nodes p in
+    let card = p.Protocol.space.Label.card in
+    if card > max_int / n then None else Some (n * card)
+
+let agrees_with_synchronous p ~input ~start ~max_steps =
+  let sequential = sequential_run p ~input ~start in
+  let init = Protocol.uniform_config p start in
+  let schedule = Schedule.synchronous (Protocol.num_nodes p) in
+  match
+    Engine.outputs_after_convergence p ~input ~init ~schedule ~max_steps
+  with
+  | None -> None
+  | Some synchronous -> Some (Array.for_all2 ( = ) sequential synchronous)

@@ -1,0 +1,34 @@
+(** Sequential simulation of unidirectional-ring protocols — the machine
+    inside the proof of Theorem 5.2 ([OS^u_log ⊆ L/poly]).
+
+    On a unidirectional ring a single label travels node to node, so the
+    whole protocol can be simulated by the logspace loop from Appendix C:
+
+    {v while t < n·|Σ| do (ℓ, y_j) ← δ_j(ℓ, x_j); j ← j+1 mod n done v}
+
+    Lemma C.2(1) bounds the synchronous round complexity of any such
+    protocol by [n·|Σ|]; the sequential machine therefore reads the
+    stabilized output after [n·|Σ|] iterations using only one label of
+    memory — which is how the proof fits the simulation in logspace. *)
+
+(** [is_unidirectional_ring p] checks that [p]'s graph is exactly the ring
+    [i -> i+1 mod n] (every node with in- and out-degree 1). *)
+val is_unidirectional_ring : ('x, 'l) Protocol.t -> bool
+
+(** [sequential_run p ~input ~start] runs the traveling-label loop for
+    [n · |Σ|] iterations starting from label [start] on the edge into node
+    0, and returns the last output produced by each node.
+    @raise Invalid_argument if [p] is not a unidirectional ring. *)
+val sequential_run : ('x, 'l) Protocol.t -> input:'x array -> start:'l -> int array
+
+(** Lemma C.2(1): every output-stabilizing protocol on the unidirectional
+    n-ring stabilizes within [n · |Σ|] synchronous rounds. *)
+val round_complexity_bound : ('x, 'l) Protocol.t -> int option
+
+(** [agrees_with_synchronous p ~input ~start ~max_steps] cross-checks the
+    sequential machine against the synchronous engine: both must assign the
+    same eventual outputs (the machine starts from the uniform labeling
+    [start]). Returns [None] when the synchronous run does not converge
+    within [max_steps]. *)
+val agrees_with_synchronous :
+  ('x, 'l) Protocol.t -> input:'x array -> start:'l -> max_steps:int -> bool option

@@ -1,0 +1,1 @@
+lib/counter/d_counter.ml: Array Bool Printf Stateless_core Stateless_graph Two_counter

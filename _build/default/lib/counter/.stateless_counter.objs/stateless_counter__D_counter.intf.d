@@ -1,0 +1,1 @@
+lib/counter/d_counter.mli: Stateless_core Two_counter

@@ -1,0 +1,1 @@
+lib/counter/two_counter.ml: Array Bool Fun List Printf Stateless_core Stateless_graph

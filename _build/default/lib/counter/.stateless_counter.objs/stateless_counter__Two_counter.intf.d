@@ -1,0 +1,1 @@
+lib/counter/two_counter.mli: Stateless_core

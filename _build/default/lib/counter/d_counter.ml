@@ -1,0 +1,104 @@
+module Protocol = Stateless_core.Protocol
+module Label = Stateless_core.Label
+module Digraph = Stateless_graph.Digraph
+module Builders = Stateless_graph.Builders
+
+type fields = (bool * bool) * (int * int * int)
+
+type t = {
+  n : int;
+  d : int;
+  two : Two_counter.t;
+  space : fields Label.t;
+  gate_g : bool;
+}
+
+let make ?(gate_g = true) ~n ~d () =
+  if n < 3 || n mod 2 = 0 then invalid_arg "D_counter.make: need odd n >= 3";
+  if d < 2 then invalid_arg "D_counter.make: need d >= 2";
+  let space =
+    Label.pair
+      (Label.pair Label.bool Label.bool)
+      (Label.triple (Label.int d) (Label.int d) (Label.int d))
+  in
+  { n; d; two = Two_counter.make n; space; gate_g }
+
+(* Correctness of the c-rule. After burn-in, with τ = t mod 2 and initial
+   progression offsets x, y (gap = x - y):
+     z_j(t) = x + t  when τ = j mod 2,   and  y + t otherwise;
+     node 0's incoming z values satisfy  a - b = gap·(-1)^τ.
+   The published g = (a-b or b-a, by phase p = τ xor β) is then the constant
+   gap·(-1)^(1+β).  Emitting c_j = z_j + g·[p = j mod 2] gives, for β = 0,
+   x-family nodes c = x + t + g = y + t and y-family nodes c = y + t; for
+   β = 1 symmetrically all nodes emit x + t. Either way all nodes agree and
+   the value advances by one per round. *)
+let emit t j ~ccw ~cw =
+  let n = t.n and d = t.d in
+  let (ccw_bits, (ccw_z, ccw_g, _)) = ccw in
+  let (cw_bits, (cw_z, _, _)) = cw in
+  let bits = Two_counter.bits n j ~ccw:ccw_bits ~cw:cw_bits in
+  let p = Two_counter.phase t.two j ~emitted:bits in
+  let z = if j = 0 then (cw_z + 1) mod d else (ccw_z + 1) mod d in
+  let g =
+    if j = 0 then
+      let a = cw_z and b = ccw_z in
+      (* Without the phase gate (ablation A3) the published difference
+         alternates sign every round and the counter never agrees. *)
+      if p || not t.gate_g then ((a - b) mod d + d) mod d
+      else ((b - a) mod d + d) mod d
+    else ccw_g
+  in
+  let c =
+    let gamma = j mod 2 = 1 in
+    if Bool.equal p gamma then (z + g) mod d else z
+  in
+  (bits, (z, g, c))
+
+let classify g j incoming =
+  let n = Digraph.num_nodes g in
+  let ccw = ref None and cw = ref None in
+  Array.iteri
+    (fun k e ->
+      let s = Digraph.src g e in
+      if s = (j + n - 1) mod n then ccw := Some incoming.(k)
+      else if s = (j + 1) mod n then cw := Some incoming.(k))
+    (Digraph.in_edges g j);
+  match (!ccw, !cw) with
+  | Some a, Some b -> (a, b)
+  | _ -> invalid_arg "D_counter: node lacks a ring neighbour"
+
+let protocol t : (unit, fields) Protocol.t =
+  let g = Builders.ring_bi t.n in
+  let react j () incoming =
+    let ccw, cw = classify g j incoming in
+    let out = emit t j ~ccw ~cw in
+    let (_, (_, _, c)) = out in
+    (Array.map (fun _ -> out) (Digraph.out_edges g j), c)
+  in
+  {
+    Protocol.name = Printf.sprintf "d-counter-%d-%d" t.n t.d;
+    graph = g;
+    space = t.space;
+    react;
+  }
+
+let values t config =
+  let p = protocol t in
+  Array.init t.n (fun j ->
+      let e = (Digraph.out_edges p.Protocol.graph j).(0) in
+      let (_, (_, _, c)) = config.Protocol.labels.(e) in
+      c)
+
+let agreed t config =
+  let vs = values t config in
+  Array.for_all (fun v -> v = vs.(0)) vs
+
+let burn_in t = (4 * t.n) + 8
+
+let label_bits t =
+  let rec bits_for v acc cap =
+    if cap >= v then acc else bits_for v (acc + 1) (2 * cap)
+  in
+  2 + (3 * bits_for t.d 0 1)
+
+let input t = Array.make t.n ()

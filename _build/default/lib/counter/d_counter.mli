@@ -1,0 +1,78 @@
+(** The stateless D-counter of Claim 5.6, on odd bidirectional rings.
+
+    Goal: a protocol (computing no function) after whose burn-in {e every}
+    node derives, at {e every} round, one and the same counter value
+    [c ∈ {0..D-1}], and the common value increments by 1 (mod D) each round
+    — a global clock assembled from stateless parts. The circuit simulation
+    of Theorem 5.4 is clocked by this counter.
+
+    Construction, following the paper's 2-node intuition: every node sends
+    the same label [(b1 b2, z, g, c)] both ways.
+
+    - [(b1, b2)] run the 2-counter of Claim 5.5, giving every node a
+      synchronized alternating phase bit [p].
+    - [z]: node 0 increments the [z] of its {e clockwise} neighbour (node 1)
+      while every other node increments its counterclockwise neighbour's
+      [z]; nodes 0 and 1 thus form the paper's 2-node mutual incrementer and
+      the chain relays their values. After burn-in the [z] of node [j] at
+      time [t] is [x + t] or [y + t] (mod D), two interleaved arithmetic
+      progressions with a run-dependent gap [x - y].
+    - [g]: node 0 sees both progressions at once — its clockwise neighbour
+      and its counterclockwise neighbour (at distance n-2, odd) are always
+      in {e opposite} progressions — and publishes their difference, with
+      the sign chosen by its phase bit [p]. A short case analysis (in the
+      implementation) shows the published value is constant over time for
+      either alignment of the phase bit, so the [g] field stabilizes.
+    - [c]: node [j] emits [c = z + g·[p = j mod 2]], which cancels the
+      progression gap identically in both phase alignments; all nodes agree
+      on [c] and it increments every round.
+
+    Label complexity: [2 + 3 ⌈log2 D⌉] bits, matching the paper's
+    [L_n = 2 + 3 log D]. Round complexity: O(n) (paper: 4n). *)
+
+type fields = (bool * bool) * (int * int * int)
+(** [(two-counter bits, (z, g, c))]. *)
+
+type t = private {
+  n : int;
+  d : int;
+  two : Two_counter.t;
+  space : fields Stateless_core.Label.t;
+  gate_g : bool;
+}
+
+(** [make ~n ~d] — odd [n >= 3], [d >= 2].
+
+    [gate_g] (default true) selects the sign of the published progression
+    gap by the 2-counter phase, which is what makes the [g] field constant
+    over time; [gate_g:false] exists only for the ablation experiment that
+    shows the counter never agrees without it. *)
+val make : ?gate_g:bool -> n:int -> d:int -> unit -> t
+
+(** [emit t j ~ccw ~cw] is the pure reaction of node [j] on counter fields:
+    the label it must emit given the fields last sent by its two ring
+    neighbours. The [c] component of the result is the counter value node
+    [j] currently believes; after burn-in all nodes' beliefs coincide.
+    Exposed so that larger protocols (the Theorem 5.4 compiler) can embed
+    the counter fields in a wider label. *)
+val emit : t -> int -> ccw:fields -> cw:fields -> fields
+
+(** The standalone protocol; each node's output is its current counter
+    value. *)
+val protocol : t -> (unit, fields) Stateless_core.Protocol.t
+
+(** Counter values currently emitted by each node (read off outgoing
+    labels). *)
+val values : t -> fields Stateless_core.Protocol.config -> int array
+
+(** All nodes agree on the counter value. *)
+val agreed : t -> fields Stateless_core.Protocol.config -> bool
+
+(** Burn-in bound: O(n) synchronous rounds from any initial labeling
+    (paper: 4n; we use [4n + 8] for slack, and verify empirically). *)
+val burn_in : t -> int
+
+(** The paper's label complexity for this protocol, [2 + 3 ⌈log2 D⌉]. *)
+val label_bits : t -> int
+
+val input : t -> unit array

@@ -1,0 +1,97 @@
+module Protocol = Stateless_core.Protocol
+module Label = Stateless_core.Label
+module Engine = Stateless_core.Engine
+module Schedule = Stateless_core.Schedule
+module Digraph = Stateless_graph.Digraph
+module Builders = Stateless_graph.Builders
+
+type t = {
+  n : int;
+  protocol : (unit, bool * bool) Protocol.t;
+  correction : bool array;
+}
+
+(* Paper notation: our node j is the paper's node j+1; the negation pattern
+   "paper-even middle nodes negate b2" becomes "our odd middle nodes". *)
+let bits n j ~ccw ~cw =
+  let b1 (a, _) = a and b2 (_, b) = b in
+  if j = 0 then (not (b1 cw), b1 ccw)
+  else if j = n - 1 then (b1 cw <> b1 ccw, b2 ccw)
+  else if j mod 2 = 1 then (b1 ccw, not (b2 ccw))
+  else (b1 ccw, b2 ccw)
+
+(* Incoming labels of node j on the bidirectional ring, classified by
+   sender. *)
+let classify g j incoming =
+  let n = Digraph.num_nodes g in
+  let ccw = ref None and cw = ref None in
+  Array.iteri
+    (fun k e ->
+      let s = Digraph.src g e in
+      if s = (j + n - 1) mod n then ccw := Some incoming.(k)
+      else if s = (j + 1) mod n then cw := Some incoming.(k))
+    (Digraph.in_edges g j);
+  match (!ccw, !cw) with
+  | Some a, Some b -> (a, b)
+  | _ -> invalid_arg "Two_counter: node lacks a ring neighbour"
+
+let raw_protocol n : (unit, bool * bool) Protocol.t =
+  let g = Builders.ring_bi n in
+  let react j () incoming =
+    let ccw, cw = classify g j incoming in
+    let out = bits n j ~ccw ~cw in
+    (Array.map (fun _ -> out) (Digraph.out_edges g j), 0)
+  in
+  {
+    Protocol.name = Printf.sprintf "two-counter-%d" n;
+    graph = g;
+    space = Label.pair Label.bool Label.bool;
+    react;
+  }
+
+let burn_in_of_n n = (4 * n) + 4
+
+let emitted_bits p config j =
+  let e = (Digraph.out_edges p.Protocol.graph j).(0) in
+  config.Protocol.labels.(e)
+
+(* Relative phase offsets are forced by the reaction structure (fixed delays
+   and negations along the chain), so one reference run calibrates them for
+   every run. *)
+let make n =
+  if n < 3 || n mod 2 = 0 then
+    invalid_arg "Two_counter.make: need odd n >= 3";
+  let protocol = raw_protocol n in
+  let input = Array.make n () in
+  let init = Protocol.uniform_config protocol (false, false) in
+  let burn = burn_in_of_n n in
+  let schedule = Schedule.synchronous n in
+  let config = Engine.run protocol ~input ~init ~schedule ~steps:burn in
+  let next = Engine.step protocol ~input config ~active:(List.init n Fun.id) in
+  let base = snd (emitted_bits protocol config 0) in
+  let base_next = snd (emitted_bits protocol next 0) in
+  if Bool.equal base base_next then
+    failwith "Two_counter.make: reference run did not alternate";
+  let correction =
+    Array.init n (fun j -> snd (emitted_bits protocol config j) <> base)
+  in
+  (* Sanity: corrections must also align one step later. *)
+  Array.iteri
+    (fun j c ->
+      if (snd (emitted_bits protocol next j) <> c) <> base_next then
+        failwith "Two_counter.make: calibration inconsistent")
+    correction;
+  { n; protocol; correction }
+
+let phase t j ~emitted = snd emitted <> t.correction.(j)
+
+let phases t config =
+  Array.init t.n (fun j ->
+      phase t j ~emitted:(emitted_bits t.protocol config j))
+
+let synchronized t config =
+  let p = phases t config in
+  Array.for_all (fun v -> Bool.equal v p.(0)) p
+
+let burn_in t = burn_in_of_n t.n
+let input t = Array.make t.n ()

@@ -1,0 +1,49 @@
+(** The stateless 2-counter of Claim 5.5, on odd bidirectional rings.
+
+    Every node sends the same 2-bit label [(b1, b2)] in both directions.
+    Nodes 0 and 1 drive a mutual flip-flop on [b1]; the chain 2..n-2 relays
+    it; node n-1 XORs the two copies it sees — whose delays differ by the
+    odd number n-2, so the XOR alternates — and feeds the alternation back
+    into every [b2] via node 0. The result: after a burn-in of O(n) rounds,
+    every node's [b2] stream alternates 0,1,0,1,... and, up to a fixed
+    per-node inversion, all nodes see the same bit at the same time — a
+    global 2-counter with no state anywhere.
+
+    The fixed per-node inversions (which depend only on the topology, not on
+    the run) are computed once at construction by calibration against a
+    reference run; {!phases} applies them, so after burn-in [phases] returns
+    an all-equal vector that flips every round. *)
+
+type t = private {
+  n : int;
+  protocol : (unit, bool * bool) Stateless_core.Protocol.t;
+  correction : bool array;  (** per-node phase inversion. *)
+}
+
+(** [make n] — [n] must be odd and >= 3. *)
+val make : int -> t
+
+(** The pure reaction on counter bits: [bits n j ~ccw ~cw] is the label node
+    [j] emits given the labels last sent by its counterclockwise neighbour
+    [j-1] and clockwise neighbour [j+1] (mod n). Exposed so larger protocols
+    (the D-counter, the circuit compiler) can embed the 2-counter fields. *)
+val bits : int -> int -> ccw:bool * bool -> cw:bool * bool -> bool * bool
+
+(** [phase t j ~emitted] is node [j]'s calibrated phase given the label it
+    is emitting this round. *)
+val phase : t -> int -> emitted:bool * bool -> bool
+
+(** [phases t config] reads every node's calibrated phase off the
+    configuration's outgoing labels. *)
+val phases : t -> (bool * bool) Stateless_core.Protocol.config -> bool array
+
+(** [synchronized t config] — all phases equal. *)
+val synchronized : t -> (bool * bool) Stateless_core.Protocol.config -> bool
+
+(** Burn-in bound: after this many synchronous rounds from any initial
+    labeling the phases are synchronized and alternating (verified
+    empirically; the paper proves convergence "after at most two time
+    steps" for the core pair plus propagation delay). *)
+val burn_in : t -> int
+
+val input : t -> unit array

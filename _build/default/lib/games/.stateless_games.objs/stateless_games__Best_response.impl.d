@@ -1,0 +1,1 @@
+lib/games/best_response.ml: Array List Stateless_core Stateless_graph

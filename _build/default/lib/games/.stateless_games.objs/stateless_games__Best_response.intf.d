@@ -1,0 +1,1 @@
+lib/games/best_response.mli: Stateless_core Stateless_graph

@@ -1,0 +1,1 @@
+lib/games/congestion.ml: Array Best_response Stateless_core Stateless_graph

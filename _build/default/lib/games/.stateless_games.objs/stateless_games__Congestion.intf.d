@@ -1,0 +1,1 @@
+lib/games/congestion.mli: Best_response Stateless_core

@@ -1,0 +1,1 @@
+lib/games/contagion.ml: Array Best_response Fun List Stateless_core Stateless_graph

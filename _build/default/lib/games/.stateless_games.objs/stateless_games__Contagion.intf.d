@@ -1,0 +1,1 @@
+lib/games/contagion.mli: Best_response Stateless_core Stateless_graph

@@ -1,0 +1,1 @@
+lib/games/feedback.ml: Array Printf Stateless_core Stateless_graph

@@ -1,0 +1,1 @@
+lib/games/feedback.mli: Stateless_core

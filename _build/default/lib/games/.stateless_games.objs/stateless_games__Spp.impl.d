@@ -1,0 +1,1 @@
+lib/games/spp.ml: Array Format Hashtbl List Random Stateless_core Stateless_graph String

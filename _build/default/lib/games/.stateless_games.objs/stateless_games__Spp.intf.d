@@ -1,0 +1,1 @@
+lib/games/spp.mli: Stateless_core Stateless_graph

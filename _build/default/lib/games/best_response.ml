@@ -1,0 +1,90 @@
+module Protocol = Stateless_core.Protocol
+module Label = Stateless_core.Label
+module Digraph = Stateless_graph.Digraph
+module Builders = Stateless_graph.Builders
+
+type t = {
+  graph : Digraph.t;
+  strategies : int;
+  best_response : int -> (int * int) array -> int;
+}
+
+let protocol t ?(name = "best-response") () =
+  let g = t.graph in
+  let react i () incoming =
+    let observed =
+      Array.mapi
+        (fun k e -> (Digraph.src g e, incoming.(k)))
+        (Digraph.in_edges g i)
+    in
+    let choice = t.best_response i observed in
+    if choice < 0 || choice >= t.strategies then
+      invalid_arg "Best_response: reply out of the strategy space";
+    (Array.map (fun _ -> choice) (Digraph.out_edges g i), choice)
+  in
+  { Protocol.name; graph = g; space = Label.int t.strategies; react }
+
+let input t = Array.make (Digraph.num_nodes t.graph) ()
+
+let equilibria t =
+  let n = Digraph.num_nodes t.graph in
+  let rec profiles i =
+    if i = n then [ [] ]
+    else
+      List.concat_map
+        (fun rest -> List.init t.strategies (fun s -> s :: rest))
+        (profiles (i + 1))
+  in
+  let is_equilibrium profile =
+    let arr = Array.of_list profile in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      let observed =
+        Array.map
+          (fun e -> (Digraph.src t.graph e, arr.(Digraph.src t.graph e)))
+          (Digraph.in_edges t.graph i)
+      in
+      if t.best_response i observed <> arr.(i) then ok := false
+    done;
+    !ok
+  in
+  List.filter_map
+    (fun p -> if is_equilibrium p then Some (Array.of_list p) else None)
+    (profiles 0)
+
+let strategy_of observed player =
+  let found = ref 0 in
+  Array.iter (fun (p, s) -> if p = player then found := s) observed;
+  !found
+
+let matching_pennies () =
+  {
+    graph = Builders.clique 2;
+    strategies = 2;
+    best_response =
+      (fun i observed ->
+        let other = strategy_of observed (1 - i) in
+        (* Player 0 wants to match, player 1 wants to mismatch. *)
+        if i = 0 then other else 1 - other);
+  }
+
+let coordination n =
+  if n < 2 then invalid_arg "Best_response.coordination: need n >= 2";
+  {
+    graph = Builders.clique n;
+    strategies = 2;
+    best_response =
+      (fun _ observed ->
+        let ones = Array.fold_left (fun acc (_, s) -> acc + s) 0 observed in
+        (* Match the (weak) majority of the other players, counting
+           yourself out; ties go to 1. *)
+        if 2 * ones >= Array.length observed then 1 else 0);
+  }
+
+let prisoners_dilemma () =
+  {
+    graph = Builders.clique 2;
+    strategies = 2;
+    (* 1 = defect is dominant. *)
+    best_response = (fun _ _ -> 1);
+  }

@@ -1,0 +1,45 @@
+(** Best-response dynamics as stateless computation (Sections 1.1 and 3).
+
+    The paper observes that systems of strategic agents repeatedly
+    best-responding to each other's latest actions are stateless protocols:
+    a player's label on every outgoing edge is its current strategy and its
+    reaction function is its best-response map. Theorem 3.1 then yields the
+    game-theoretic corollary: {e two pure equilibria make convergence
+    impossible under (n-1)-fair schedules}.
+
+    Strategies are integers in [0 .. strategies-1] (one shared strategy
+    space, as in the paper's formalization where labels and outputs range
+    over the same action set). *)
+
+type t = {
+  graph : Stateless_graph.Digraph.t;
+      (** who observes whom: an edge [i -> j] lets [j] react to [i]. *)
+  strategies : int;
+  best_response : int -> (int * int) array -> int;
+      (** [best_response i observed] maps the latest strategies of [i]'s
+          in-neighbours (as [(player, strategy)] pairs) to [i]'s unique
+          best response. *)
+}
+
+(** The stateless protocol of a game: labels are strategies, outputs the
+    chosen strategy. *)
+val protocol : t -> ?name:string -> unit -> (unit, int) Stateless_core.Protocol.t
+
+val input : t -> unit array
+
+(** Pure Nash equilibria = stable labelings: enumerates all strategy
+    profiles (feasible for small games) and returns those where every
+    player best-responds. *)
+val equilibria : t -> int array list
+
+(** [matching_pennies ()] — 2 players, no pure equilibrium: best-response
+    dynamics never label-stabilizes (synchronous run oscillates). *)
+val matching_pennies : unit -> t
+
+(** [coordination n] — [n] players on a clique who want to match the
+    majority; two pure equilibria (all-0, all-1), so Theorem 3.1 applies. *)
+val coordination : int -> t
+
+(** [prisoners_dilemma ()] — unique equilibrium (defect, defect);
+    best-response dynamics converges under every schedule. *)
+val prisoners_dilemma : unit -> t

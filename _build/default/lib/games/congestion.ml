@@ -1,0 +1,28 @@
+module Protocol = Stateless_core.Protocol
+module Digraph = Stateless_graph.Digraph
+module Builders = Stateless_graph.Builders
+
+let make ~flows ~capacity ~max_rate =
+  if flows < 2 then invalid_arg "Congestion.make: need >= 2 flows";
+  if capacity < 0 || max_rate < 1 then
+    invalid_arg "Congestion.make: bad capacity or max_rate";
+  {
+    Best_response.graph = Builders.clique flows;
+    strategies = max_rate + 1;
+    best_response =
+      (fun _ observed ->
+        let others = Array.fold_left (fun acc (_, r) -> acc + r) 0 observed in
+        max 0 (min max_rate (capacity - others)));
+  }
+
+let total_rate p config =
+  let g = p.Protocol.graph in
+  let n = Protocol.num_nodes p in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    let out = Digraph.out_edges g i in
+    if Array.length out > 0 then total := !total + config.Protocol.labels.(out.(0))
+  done;
+  !total
+
+let equilibria = Best_response.equilibria

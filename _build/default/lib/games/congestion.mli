@@ -1,0 +1,28 @@
+(** Congestion control as best-response dynamics — the third networking
+    instance the paper draws from Jaggard et al. (Section 1.1).
+
+    [n] flows share a bottleneck of capacity [capacity] (in rate units).
+    Each flow observes the announced rates of the others and best-responds:
+    it picks the largest rate in [0 .. max_rate] that keeps the total at or
+    under capacity (greedy utilization), or rate 0 if even that overshoots.
+    Announcing the chosen rate on every edge of the clique makes this a
+    stateless protocol; its stable labelings are the Nash equilibria of the
+    one-shot game.
+
+    With [capacity] divisible among the flows there are many equilibria
+    (any exact partition of the capacity), so Theorem 3.1 predicts rate
+    oscillation under (n-1)-fair schedules — the classic TCP-unfairness
+    flavour of instability. *)
+
+(** [make ~flows ~capacity ~max_rate]. *)
+val make : flows:int -> capacity:int -> max_rate:int -> Best_response.t
+
+(** Total announced rate in a configuration. *)
+val total_rate :
+  (unit, int) Stateless_core.Protocol.t ->
+  int Stateless_core.Protocol.config ->
+  int
+
+(** The equilibria (exact best-response fixed points), via
+    {!Best_response.equilibria}. *)
+val equilibria : Best_response.t -> int array list

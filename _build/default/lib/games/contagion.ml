@@ -1,0 +1,40 @@
+module Protocol = Stateless_core.Protocol
+module Digraph = Stateless_graph.Digraph
+
+let make graph ~threshold =
+  if threshold <= 0.0 || threshold > 1.0 then
+    invalid_arg "Contagion.make: threshold must be in (0, 1]";
+  {
+    Best_response.graph;
+    strategies = 2;
+    best_response =
+      (fun _ observed ->
+        let total = Array.length observed in
+        if total = 0 then 0
+        else begin
+          let adopted =
+            Array.fold_left (fun acc (_, s) -> acc + s) 0 observed
+          in
+          if float_of_int adopted >= threshold *. float_of_int total then 1
+          else 0
+        end);
+  }
+
+let seeded_config p seeds =
+  let g = p.Protocol.graph in
+  let config = Protocol.uniform_config p 0 in
+  List.iter
+    (fun i ->
+      Array.iter
+        (fun e -> config.Protocol.labels.(e) <- 1)
+        (Digraph.out_edges g i))
+    seeds;
+  config
+
+let adopters p config =
+  let g = p.Protocol.graph in
+  List.filter
+    (fun i ->
+      let out = Digraph.out_edges g i in
+      Array.length out > 0 && config.Protocol.labels.(out.(0)) = 1)
+    (List.init (Protocol.num_nodes p) Fun.id)

@@ -1,0 +1,21 @@
+(** Diffusion of technologies in social networks (Morris's contagion model,
+    the paper's reference [23]) as best-response dynamics.
+
+    Each agent plays a coordination game with its neighbours and adopts
+    (strategy 1) iff at least a [threshold] fraction of its in-neighbours
+    have adopted. All-adopt and none-adopt are both equilibria whenever
+    the threshold is nondegenerate, so Theorem 3.1's instability corollary
+    applies to every such network. *)
+
+(** [make graph ~threshold] with [0 < threshold <= 1]. *)
+val make : Stateless_graph.Digraph.t -> threshold:float -> Best_response.t
+
+(** [seeded_config p game seeds] — the configuration where exactly the
+    [seeds] announce adoption. *)
+val seeded_config :
+  (unit, int) Stateless_core.Protocol.t -> int list ->
+  int Stateless_core.Protocol.config
+
+(** [adopters p config] — nodes currently announcing adoption (read off
+    their outgoing labels). *)
+val adopters : (unit, int) Stateless_core.Protocol.t -> int Stateless_core.Protocol.config -> int list

@@ -1,0 +1,28 @@
+module Protocol = Stateless_core.Protocol
+module Label = Stateless_core.Label
+module Builders = Stateless_graph.Builders
+
+let ring_oscillator n =
+  if n < 2 then invalid_arg "Feedback.ring_oscillator: need n >= 2";
+  {
+    Protocol.name = Printf.sprintf "ring-oscillator-%d" n;
+    graph = Builders.ring_uni n;
+    space = Label.bool;
+    react =
+      (fun _ () incoming ->
+        let out = not incoming.(0) in
+        ([| out |], if out then 1 else 0));
+  }
+
+let nor_latch () =
+  {
+    Protocol.name = "nor-latch";
+    graph = Builders.clique 2;
+    space = Label.bool;
+    react =
+      (fun _ input incoming ->
+        (* Each gate: NOR of the other gate's output and its own external
+           line (R for gate 0, S for gate 1). *)
+        let out = not (incoming.(0) || input) in
+        ([| out |], if out then 1 else 0));
+  }

@@ -1,0 +1,20 @@
+(** Asynchronous circuits with feedback loops as stateless protocols
+    (Section 1.1): each gate's output wires are its edge labels and the
+    gate function is its reaction function.
+
+    Two canonical fixtures: the ring oscillator (odd cycle of inverters) has
+    {e no} stable labeling, so no schedule ever label-stabilizes it; the
+    cross-coupled NOR latch with both inputs low has {e two} stable
+    labelings — the two stored bits — so Theorem 3.1 makes it impossible to
+    guarantee settling: the hardware-designer's metastability, derived from
+    the paper's impossibility theorem. *)
+
+(** [ring_oscillator n] — [n] inverters in a unidirectional cycle; for odd
+    [n] there is no stable labeling. *)
+val ring_oscillator : int -> (unit, bool) Stateless_core.Protocol.t
+
+(** [nor_latch ()] — two cross-coupled NOR gates; the node inputs are the
+    external (R, S) lines. With R = S = false the latch holds either bit:
+    two stable labelings. With R ≠ S the stored bit is forced: a unique
+    stable labeling. *)
+val nor_latch : unit -> (bool, bool) Stateless_core.Protocol.t

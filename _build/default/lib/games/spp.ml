@@ -1,0 +1,244 @@
+module Protocol = Stateless_core.Protocol
+module Label = Stateless_core.Label
+module Digraph = Stateless_graph.Digraph
+
+type t = {
+  n : int;
+  graph : Digraph.t;
+  permitted : int list list array;
+}
+
+let validate_path g node path =
+  let rec follow = function
+    | [] -> invalid_arg "Spp: empty permitted path"
+    | [ last ] -> if last <> 0 then invalid_arg "Spp: path must end at 0"
+    | a :: (b :: _ as rest) ->
+        if not (Digraph.mem_edge g ~src:b ~dst:a) then
+          invalid_arg "Spp: path does not follow links";
+        follow rest
+  in
+  (match path with
+  | first :: _ when first = node -> ()
+  | _ -> invalid_arg "Spp: path must start at its node");
+  if List.length (List.sort_uniq compare path) <> List.length path then
+    invalid_arg "Spp: path has a loop";
+  follow path
+
+let create ~links permitted =
+  let n = Array.length permitted in
+  if n < 2 then invalid_arg "Spp.create: need at least two nodes";
+  let edges =
+    List.concat_map
+      (fun (a, b) ->
+        if a = b then invalid_arg "Spp.create: self link";
+        [ (a, b); (b, a) ])
+      links
+  in
+  let g = Digraph.create ~n (List.sort_uniq compare edges) in
+  Array.iteri
+    (fun node paths ->
+      if node > 0 then List.iter (validate_path g node) paths)
+    permitted;
+  { n; graph = g; permitted }
+
+let all_paths t =
+  let tbl = Hashtbl.create 16 in
+  let add p = if not (Hashtbl.mem tbl p) then Hashtbl.replace tbl p () in
+  add [];
+  add [ 0 ];
+  Array.iteri (fun node ps -> if node > 0 then List.iter add ps) t.permitted;
+  List.of_seq (Hashtbl.to_seq_keys tbl)
+
+let path_space t =
+  Label.enum (all_paths t)
+    ~pp:(fun ppf p ->
+      Format.fprintf ppf "[%s]"
+        (String.concat ";" (List.map string_of_int p)))
+    ~equal:(fun a b -> a = b)
+
+(* The best permitted extension of the neighbours' announcements: scan the
+   rank list from best to worst and take the first path whose tail is
+   currently announced by its next hop. *)
+let select t i announcements =
+  let ok path =
+    match path with
+    | _ :: (hop :: _ as tail) ->
+        List.exists
+          (fun (sender, announced) -> sender = hop && announced = tail)
+          announcements
+    | _ -> false
+  in
+  let rec scan rank = function
+    | [] -> (rank, [])
+    | p :: rest -> if ok p then (rank, p) else scan (rank + 1) rest
+  in
+  scan 0 t.permitted.(i)
+
+let protocol t =
+  let g = t.graph in
+  let react i () incoming =
+    if i = 0 then
+      (Array.map (fun _ -> [ 0 ]) (Digraph.out_edges g i), 0)
+    else begin
+      let announcements =
+        Array.to_list
+          (Array.mapi
+             (fun k e -> (Digraph.src g e, incoming.(k)))
+             (Digraph.in_edges g i))
+      in
+      let rank, path = select t i announcements in
+      (Array.map (fun _ -> path) (Digraph.out_edges g i), rank)
+    end
+  in
+  {
+    Protocol.name = "spp-bgp";
+    graph = g;
+    space = path_space t;
+    react;
+  }
+
+let input t = Array.make t.n ()
+
+let solutions t =
+  (* Enumerate assignments of permitted paths (or no route) and keep the
+     best-response fixed points. *)
+  let options i = if i = 0 then [ [ 0 ] ] else [] :: t.permitted.(i) in
+  let rec assignments i =
+    if i = t.n then [ [] ]
+    else
+      List.concat_map
+        (fun rest -> List.map (fun p -> p :: rest) (options i))
+        (assignments (i + 1))
+  in
+  let stable assignment =
+    let arr = Array.of_list assignment in
+    let ok = ref true in
+    for i = 1 to t.n - 1 do
+      let announcements =
+        Array.to_list
+          (Array.map
+             (fun e ->
+               let j = Digraph.src t.graph e in
+               (j, arr.(j)))
+             (Digraph.in_edges t.graph i))
+      in
+      let _, best = select t i announcements in
+      if best <> arr.(i) then ok := false
+    done;
+    !ok
+  in
+  List.filter_map
+    (fun a -> if stable a then Some (Array.of_list a) else None)
+    (assignments 0)
+
+(* All loop-free paths from [node] to 0 along the links of [g], shortest
+   first, capped for sanity. *)
+let simple_paths_to_dest g node ~cap =
+  let results = ref [] in
+  let rec extend path visited v =
+    if List.length !results < cap then
+      if v = 0 then results := List.rev (0 :: path) :: !results
+      else
+        Array.iter
+          (fun u ->
+            if not (List.mem u visited) then
+              extend (v :: path) (u :: visited) u)
+          (Digraph.successors g v)
+  in
+  extend [] [ node ] node;
+  List.sort
+    (fun a b -> compare (List.length a) (List.length b))
+    (List.map (fun p -> p) !results)
+
+let random_instance ~seed ~n ~degree ~paths_per_node =
+  if n < 2 then invalid_arg "Spp.random_instance: need n >= 2";
+  let state = Random.State.make [| seed |] in
+  (* Random spanning tree rooted at 0 plus extra links. *)
+  let links = ref [] in
+  for v = 1 to n - 1 do
+    links := (v, Random.State.int state v) :: !links
+  done;
+  let wanted = max 0 ((degree * n / 2) - (n - 1)) in
+  let attempts = ref 0 in
+  let have (a, b) =
+    List.exists (fun (c, d) -> (c, d) = (a, b) || (c, d) = (b, a)) !links
+  in
+  let added = ref 0 in
+  while !added < wanted && !attempts < 20 * (wanted + 1) do
+    incr attempts;
+    let a = Random.State.int state n and b = Random.State.int state n in
+    if a <> b && not (have (a, b)) then begin
+      links := (a, b) :: !links;
+      incr added
+    end
+  done;
+  let g =
+    Digraph.create ~n
+      (List.sort_uniq compare
+         (List.concat_map (fun (a, b) -> [ (a, b); (b, a) ]) !links))
+  in
+  let permitted =
+    Array.init n (fun v ->
+        if v = 0 then []
+        else begin
+          let all = simple_paths_to_dest g v ~cap:32 in
+          (* Random subset, randomly ranked. *)
+          let chosen =
+            List.filteri
+              (fun _ _ -> Random.State.int state 3 < 2)
+              all
+          in
+          let chosen = if chosen = [] then all else chosen in
+          (* Half the nodes prefer longer paths — the policy pattern that
+             produces DISAGREE- and BAD-GADGET-like dependency cycles. *)
+          let ranked =
+            if Random.State.bool state then
+              List.sort
+                (fun a b -> compare (List.length b) (List.length a))
+                chosen
+            else
+              List.sort
+                (fun _ _ -> Random.State.int state 3 - 1)
+                chosen
+          in
+          let truncated =
+            List.filteri (fun i _ -> i < paths_per_node) ranked
+          in
+          if truncated = [] then chosen else truncated
+        end)
+  in
+  { n; graph = g; permitted }
+
+let good_gadget_small () =
+  create
+    ~links:[ (0, 1); (0, 2); (1, 2) ]
+    [| []; [ [ 1; 2; 0 ]; [ 1; 0 ] ]; [ [ 2; 0 ] ] |]
+
+let good_gadget () =
+  create
+    ~links:[ (0, 1); (0, 2); (0, 3); (1, 2) ]
+    [|
+      [];
+      [ [ 1; 2; 0 ]; [ 1; 0 ] ];
+      [ [ 2; 0 ] ];
+      [ [ 3; 0 ] ];
+    |]
+
+let disagree () =
+  create
+    ~links:[ (0, 1); (0, 2); (1, 2) ]
+    [|
+      [];
+      [ [ 1; 2; 0 ]; [ 1; 0 ] ];
+      [ [ 2; 1; 0 ]; [ 2; 0 ] ];
+    |]
+
+let bad_gadget () =
+  create
+    ~links:[ (0, 1); (0, 2); (0, 3); (1, 2); (2, 3); (3, 1) ]
+    [|
+      [];
+      [ [ 1; 2; 0 ]; [ 1; 0 ] ];
+      [ [ 2; 3; 0 ]; [ 2; 0 ] ];
+      [ [ 3; 1; 0 ]; [ 3; 0 ] ];
+    |]

@@ -1,0 +1,65 @@
+(** The Stable Paths Problem (Griffin–Shepherd–Wilfong) — BGP interdomain
+    routing as stateless computation, the paper's flagship motivation
+    (Section 1.1).
+
+    Every node ranks a set of permitted paths to the destination (node 0).
+    A BGP speaker repeatedly (1) hears its neighbours' latest route
+    announcements, (2) picks its highest-ranked permitted extension, and
+    (3) announces it — a reaction function mapping incoming labels to
+    outgoing labels with no other state, exactly the paper's model. The
+    classic gadgets calibrate the theory:
+
+    - GOOD GADGET: unique solution, convergence under every schedule;
+    - DISAGREE: two solutions — two stable labelings — so by Theorem 3.1
+      route flapping is unavoidable under (n-1)-fair schedules;
+    - BAD GADGET: no solution, so the protocol can never label-stabilize. *)
+
+type t = {
+  n : int;  (** nodes, destination is 0. *)
+  graph : Stateless_graph.Digraph.t;
+  permitted : int list list array;
+      (** per node, best first; each path leads from the node to 0 along
+          edges of [graph]. [permitted.(0)] is ignored (the destination
+          announces [[0]]). *)
+}
+
+(** [create ~links permitted] builds the instance from undirected links;
+    validates that each permitted path starts at its node, ends at 0,
+    follows links, and is loop-free. *)
+val create : links:(int * int) list -> int list list array -> t
+
+(** The label space: every permitted path, the destination's [[0]], and the
+    empty "no route" announcement. *)
+val path_space : t -> int list Stateless_core.Label.t
+
+(** The BGP protocol: each node announces its currently selected path; a
+    node's output is the rank of its selection ([Array.length permitted]
+    encodes "no route"). *)
+val protocol : t -> (unit, int list) Stateless_core.Protocol.t
+
+val input : t -> unit array
+
+(** All solutions of the SPP instance (assignments where every node's path
+    is its best response); solutions correspond to the stable labelings of
+    {!protocol}. *)
+val solutions : t -> int list array list
+
+(** {2 Gadgets} *)
+
+(** [random_instance ~seed ~n ~degree ~paths_per_node] draws a random SPP
+    instance: a connected undirected link graph on [n] nodes (a random
+    spanning tree plus extra links up to the average [degree]), and for
+    every node a random ranked subset of at most [paths_per_node] of its
+    simple paths to the destination. Used to measure how often random
+    routing policies have 0 / 1 / many solutions and how that correlates
+    with BGP convergence. *)
+val random_instance : seed:int -> n:int -> degree:int -> paths_per_node:int -> t
+
+val good_gadget : unit -> t
+
+(** A 3-node variant of the good gadget, small enough for the exhaustive
+    r-stabilization checker. *)
+val good_gadget_small : unit -> t
+
+val disagree : unit -> t
+val bad_gadget : unit -> t

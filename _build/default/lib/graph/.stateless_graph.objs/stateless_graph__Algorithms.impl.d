@@ -1,0 +1,1 @@
+lib/graph/algorithms.ml: Array Digraph List Queue Stack

@@ -1,0 +1,1 @@
+lib/graph/builders.ml: Array Digraph Hashtbl List Random

@@ -1,0 +1,135 @@
+let bfs_distances g source =
+  let n = Digraph.num_nodes g in
+  let dist = Array.make n (-1) in
+  dist.(source) <- 0;
+  let queue = Queue.create () in
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun u ->
+        if dist.(u) < 0 then begin
+          dist.(u) <- dist.(v) + 1;
+          Queue.add u queue
+        end)
+      (Digraph.successors g v)
+  done;
+  dist
+
+let eccentricity g v =
+  let dist = bfs_distances g v in
+  if Array.exists (fun d -> d < 0) dist then None
+  else Some (Array.fold_left max 0 dist)
+
+let fold_eccentricities g ~combine =
+  let n = Digraph.num_nodes g in
+  let rec loop i acc =
+    if i >= n then acc
+    else
+      match eccentricity g i with
+      | None -> loop (i + 1) acc
+      | Some e ->
+          let acc = match acc with None -> Some e | Some a -> Some (combine a e) in
+          loop (i + 1) acc
+  in
+  loop 0 None
+
+let radius g = fold_eccentricities g ~combine:min
+
+let diameter g =
+  if
+    Array.exists
+      (fun i -> eccentricity g i = None)
+      (Array.init (Digraph.num_nodes g) (fun i -> i))
+  then None
+  else fold_eccentricities g ~combine:max
+
+(* Iterative Tarjan SCC: recursion replaced by an explicit stack so that the
+   checker can decompose states-graphs with millions of nodes. *)
+let scc_ids g =
+  let n = Digraph.num_nodes g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = Stack.create () in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let call = Stack.create () in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      Stack.push (root, 0) call;
+      index.(root) <- !next_index;
+      lowlink.(root) <- !next_index;
+      incr next_index;
+      Stack.push root stack;
+      on_stack.(root) <- true;
+      while not (Stack.is_empty call) do
+        let v, child = Stack.pop call in
+        let succs = Digraph.successors g v in
+        if child < Array.length succs then begin
+          Stack.push (v, child + 1) call;
+          let u = succs.(child) in
+          if index.(u) < 0 then begin
+            index.(u) <- !next_index;
+            lowlink.(u) <- !next_index;
+            incr next_index;
+            Stack.push u stack;
+            on_stack.(u) <- true;
+            Stack.push (u, 0) call
+          end
+          else if on_stack.(u) then lowlink.(v) <- min lowlink.(v) index.(u)
+        end
+        else begin
+          if lowlink.(v) = index.(v) then begin
+            let continue = ref true in
+            while !continue do
+              let u = Stack.pop stack in
+              on_stack.(u) <- false;
+              comp.(u) <- !next_comp;
+              if u = v then continue := false
+            done;
+            incr next_comp
+          end;
+          if not (Stack.is_empty call) then begin
+            let parent, _ = Stack.top call in
+            lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+          end
+        end
+      done
+    end
+  done;
+  (comp, !next_comp)
+
+let scc g =
+  let comp, count = scc_ids g in
+  let buckets = Array.make count [] in
+  for v = Digraph.num_nodes g - 1 downto 0 do
+    buckets.(comp.(v)) <- v :: buckets.(comp.(v))
+  done;
+  Array.to_list buckets
+
+let is_strongly_connected g =
+  let _, count = scc_ids g in
+  count = 1
+
+let is_reachable g ~src ~dst = (bfs_distances g src).(dst) >= 0
+
+let topological_sort g =
+  let n = Digraph.num_nodes g in
+  let indeg = Array.init n (fun i -> Digraph.in_degree g i) in
+  let queue = Queue.create () in
+  Array.iteri (fun i d -> if d = 0 then Queue.add i queue) indeg;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    incr seen;
+    Array.iter
+      (fun u ->
+        indeg.(u) <- indeg.(u) - 1;
+        if indeg.(u) = 0 then Queue.add u queue)
+      (Digraph.successors g v)
+  done;
+  if !seen = n then Some (List.rev !order) else None

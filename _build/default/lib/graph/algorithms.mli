@@ -1,0 +1,40 @@
+(** Graph algorithms backing the paper's structural arguments.
+
+    Radius feeds the lower bound of Proposition 2.1; strong connectivity is a
+    standing assumption of the model (Section 2); Tarjan's SCC decomposition
+    is reused by the model checker to detect oscillations in the states-graph
+    of Theorem 3.1. *)
+
+(** [bfs_distances g src] is the array of hop distances from [src] following
+    edge direction; unreachable nodes get [-1]. *)
+val bfs_distances : Digraph.t -> int -> int array
+
+(** [eccentricity g v] is the maximum distance from [v] to any node, or
+    [None] if some node is unreachable from [v]. *)
+val eccentricity : Digraph.t -> int -> int option
+
+(** [radius g] is the minimum eccentricity over nodes that reach everything;
+    [None] when no node reaches all others. This is the [r] of
+    Proposition 2.1. *)
+val radius : Digraph.t -> int option
+
+(** [diameter g] is the maximum eccentricity; [None] if the graph is not
+    strongly connected. *)
+val diameter : Digraph.t -> int option
+
+(** [is_strongly_connected g] — standing assumption of the model. *)
+val is_strongly_connected : Digraph.t -> bool
+
+(** [scc g] is the list of strongly connected components in reverse
+    topological order (Tarjan); each component lists its member nodes. *)
+val scc : Digraph.t -> int list list
+
+(** [scc_ids g] maps each node to a component id; ids are assigned in
+    reverse topological order of components. *)
+val scc_ids : Digraph.t -> int array * int
+
+(** [is_reachable g ~src ~dst]. *)
+val is_reachable : Digraph.t -> src:int -> dst:int -> bool
+
+(** [topological_sort g] for acyclic graphs; [None] if a cycle exists. *)
+val topological_sort : Digraph.t -> int list option

@@ -1,0 +1,157 @@
+let ring_uni n =
+  if n < 2 then invalid_arg "Builders.ring_uni: need n >= 2";
+  Digraph.create ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let ring_bi n =
+  if n < 2 then invalid_arg "Builders.ring_bi: need n >= 2";
+  let forward = List.init n (fun i -> (i, (i + 1) mod n)) in
+  let backward = List.init n (fun i -> ((i + 1) mod n, i)) in
+  if n = 2 then Digraph.create ~n [ (0, 1); (1, 0) ]
+  else Digraph.create ~n (forward @ backward)
+
+let clique n =
+  if n < 2 then invalid_arg "Builders.clique: need n >= 2";
+  let edges = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto 0 do
+      if i <> j then edges := (i, j) :: !edges
+    done
+  done;
+  Digraph.create ~n !edges
+
+let star n =
+  if n < 2 then invalid_arg "Builders.star: need n >= 2";
+  let spokes = List.init (n - 1) (fun k -> k + 1) in
+  let edges = List.concat_map (fun s -> [ (0, s); (s, 0) ]) spokes in
+  Digraph.create ~n edges
+
+let path_bi n =
+  if n < 2 then invalid_arg "Builders.path_bi: need n >= 2";
+  let edges =
+    List.concat (List.init (n - 1) (fun i -> [ (i, i + 1); (i + 1, i) ]))
+  in
+  Digraph.create ~n edges
+
+let hypercube d =
+  if d < 1 then invalid_arg "Builders.hypercube: need d >= 1";
+  let n = 1 lsl d in
+  let edges = ref [] in
+  for v = n - 1 downto 0 do
+    for b = d - 1 downto 0 do
+      let u = v lxor (1 lsl b) in
+      edges := (v, u) :: !edges
+    done
+  done;
+  Digraph.create ~n !edges
+
+let torus rows cols =
+  if rows < 3 || cols < 3 then invalid_arg "Builders.torus: need >= 3 x 3";
+  let id r c = (((r mod rows) + rows) mod rows * cols)
+               + (((c mod cols) + cols) mod cols) in
+  let edges = ref [] in
+  for r = rows - 1 downto 0 do
+    for c = cols - 1 downto 0 do
+      let v = id r c in
+      edges :=
+        (v, id (r + 1) c) :: (v, id (r - 1) c) :: (v, id r (c + 1))
+        :: (v, id r (c - 1)) :: !edges
+    done
+  done;
+  Digraph.create ~n:(rows * cols) !edges
+
+let grid rows cols =
+  if rows < 1 || cols < 1 || rows * cols < 2 then
+    invalid_arg "Builders.grid: need at least two nodes";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = rows - 1 downto 0 do
+    for c = cols - 1 downto 0 do
+      let v = id r c in
+      if r + 1 < rows then edges := (v, id (r + 1) c) :: (id (r + 1) c, v) :: !edges;
+      if c + 1 < cols then edges := (v, id r (c + 1)) :: (id r (c + 1), v) :: !edges
+    done
+  done;
+  Digraph.create ~n:(rows * cols) !edges
+
+let binary_tree depth =
+  if depth < 1 then invalid_arg "Builders.binary_tree: need depth >= 1";
+  let n = (1 lsl (depth + 1)) - 1 in
+  let edges = ref [] in
+  for i = n - 1 downto 0 do
+    let left = (2 * i) + 1 and right = (2 * i) + 2 in
+    if left < n then edges := (i, left) :: (left, i) :: !edges;
+    if right < n then edges := (i, right) :: (right, i) :: !edges
+  done;
+  Digraph.create ~n !edges
+
+let random_strongly_connected ~seed n ~extra =
+  if n < 2 then invalid_arg "Builders.random_strongly_connected: need n >= 2";
+  let state = Random.State.make [| seed |] in
+  (* Random Hamiltonian cycle: a random permutation closed into a cycle. *)
+  let perm = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int state (i + 1) in
+    let tmp = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- tmp
+  done;
+  let table = Hashtbl.create (2 * (n + extra)) in
+  for i = 0 to n - 1 do
+    Hashtbl.replace table (perm.(i), perm.((i + 1) mod n)) ()
+  done;
+  let attempts = ref 0 in
+  let added = ref 0 in
+  while !added < extra && !attempts < 50 * (extra + 1) do
+    incr attempts;
+    let i = Random.State.int state n and j = Random.State.int state n in
+    if i <> j && not (Hashtbl.mem table (i, j)) then begin
+      Hashtbl.replace table (i, j) ();
+      incr added
+    end
+  done;
+  Digraph.create ~n (List.of_seq (Hashtbl.to_seq_keys table))
+
+let de_bruijn k m =
+  if k < 2 || m < 1 then invalid_arg "Builders.de_bruijn: need k >= 2, m >= 1";
+  let rec pow acc e = if e = 0 then acc else pow (acc * k) (e - 1) in
+  let n = pow 1 m in
+  if n > 4096 then invalid_arg "Builders.de_bruijn: graph too large";
+  let edges = ref [] in
+  for u = n - 1 downto 0 do
+    for c = k - 1 downto 0 do
+      let v = ((u * k) + c) mod n in
+      if u <> v then edges := (u, v) :: !edges
+    done
+  done;
+  Digraph.create ~n (List.sort_uniq compare !edges)
+
+let circulant n offsets =
+  if n < 2 then invalid_arg "Builders.circulant: need n >= 2";
+  let normalized =
+    List.sort_uniq compare
+      (List.map
+         (fun o ->
+           let o = ((o mod n) + n) mod n in
+           if o = 0 then invalid_arg "Builders.circulant: zero offset";
+           o)
+         offsets)
+  in
+  if normalized = [] then invalid_arg "Builders.circulant: no offsets";
+  let edges = ref [] in
+  for i = n - 1 downto 0 do
+    List.iter (fun o -> edges := (i, (i + o) mod n) :: !edges) normalized
+  done;
+  Digraph.create ~n !edges
+
+let erdos_renyi ~seed n ~p =
+  if n < 2 then invalid_arg "Builders.erdos_renyi: need n >= 2";
+  if p < 0.0 || p > 1.0 then invalid_arg "Builders.erdos_renyi: bad p";
+  let state = Random.State.make [| seed |] in
+  let edges = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto 0 do
+      if i <> j && Random.State.float state 1.0 < p then
+        edges := (i, j) :: !edges
+    done
+  done;
+  Digraph.create ~n !edges

@@ -1,0 +1,64 @@
+(** Standard topologies used throughout the paper.
+
+    Rings (Sections 5 and 6), cliques and stars (Section 5 intro, Example 1,
+    Theorems 4.1/4.2), hypercubes (snake-in-the-box constructions), and the
+    future-work topologies of Section 7 (torus, trees). All builders produce
+    {!Digraph.t} values with a documented node numbering so that protocol
+    constructions can rely on it. *)
+
+(** [ring_uni n] is the unidirectional ring: edges [i -> (i+1) mod n].
+    Requires [n >= 2]; for [n = 2] it is the 2-cycle [0 -> 1 -> 0]. *)
+val ring_uni : int -> Digraph.t
+
+(** [ring_bi n] is the bidirectional ring: both [i -> i+1] and [i+1 -> i]
+    (mod [n]). Requires [n >= 2]; for [n = 2] the two antiparallel edges. *)
+val ring_bi : int -> Digraph.t
+
+(** [clique n] is the complete directed graph [K_n]: all ordered pairs.
+    Requires [n >= 2]. *)
+val clique : int -> Digraph.t
+
+(** [star n] has hub node [0] and spokes [1 .. n-1], edges in both
+    directions between the hub and every spoke. Requires [n >= 2]. *)
+val star : int -> Digraph.t
+
+(** [path_bi n] is the bidirectional path [0 - 1 - ... - n-1]. *)
+val path_bi : int -> Digraph.t
+
+(** [hypercube d] is the bidirectional hypercube [Q_d] on [2^d] nodes; node
+    ids are the [d]-bit labels and neighbours differ in one bit. *)
+val hypercube : int -> Digraph.t
+
+(** [torus rows cols] is the bidirectional 2-D torus grid. Requires
+    [rows >= 3] and [cols >= 3] to avoid duplicate edges. *)
+val torus : int -> int -> Digraph.t
+
+(** [grid rows cols] is the bidirectional 2-D mesh (no wraparound). *)
+val grid : int -> int -> Digraph.t
+
+(** [binary_tree depth] is the complete bidirectional binary tree with
+    [2^(depth+1) - 1] nodes, root [0], children of [i] at [2i+1], [2i+2]. *)
+val binary_tree : int -> Digraph.t
+
+(** [random_strongly_connected ~seed n ~extra] is a uniformly random
+    Hamiltonian cycle on [n] nodes (guaranteeing strong connectivity) plus
+    [extra] random chords. *)
+val random_strongly_connected : seed:int -> int -> extra:int -> Digraph.t
+
+(** [erdos_renyi ~seed n ~p] includes each ordered pair independently with
+    probability [p]. Not necessarily strongly connected. *)
+val erdos_renyi : seed:int -> int -> p:float -> Digraph.t
+
+(** [de_bruijn k m] is the de Bruijn graph B(k, m) on [k^m] nodes: node [u]
+    points to every [u·k + c mod k^m] ([c < k]) — each node id read as an
+    [m]-digit base-[k] string shifted left by one symbol. Self-loops (the
+    constant strings) are omitted; the graph remains strongly connected.
+    Requires [k >= 2], [m >= 1], [k^m <= 4096]. *)
+val de_bruijn : int -> int -> Digraph.t
+
+(** [circulant n offsets] has an edge [i -> (i + o) mod n] for every
+    [o] in [offsets] (taken mod [n], zero offsets rejected, duplicates
+    merged). [circulant n [1]] is the unidirectional ring;
+    [circulant n [1; -1]] the bidirectional ring; extra offsets give
+    chordal rings. *)
+val circulant : int -> int list -> Digraph.t

@@ -1,0 +1,78 @@
+type t = {
+  n : int;
+  edge_array : (int * int) array;
+  out_edges : int array array;
+  in_edges : int array array;
+  index : (int * int, int) Hashtbl.t;
+}
+
+let create ~n edge_list =
+  if n <= 0 then invalid_arg "Digraph.create: n must be positive";
+  let edge_array = Array.of_list edge_list in
+  let m = Array.length edge_array in
+  let index = Hashtbl.create (2 * m + 1) in
+  Array.iteri
+    (fun e (i, j) ->
+      if i < 0 || i >= n || j < 0 || j >= n then
+        invalid_arg
+          (Printf.sprintf "Digraph.create: edge (%d, %d) out of range" i j);
+      if i = j then
+        invalid_arg (Printf.sprintf "Digraph.create: self-loop at node %d" i);
+      if Hashtbl.mem index (i, j) then
+        invalid_arg
+          (Printf.sprintf "Digraph.create: duplicate edge (%d, %d)" i j);
+      Hashtbl.add index (i, j) e)
+    edge_array;
+  let out_count = Array.make n 0 and in_count = Array.make n 0 in
+  Array.iter
+    (fun (i, j) ->
+      out_count.(i) <- out_count.(i) + 1;
+      in_count.(j) <- in_count.(j) + 1)
+    edge_array;
+  let out_edges = Array.init n (fun i -> Array.make out_count.(i) 0)
+  and in_edges = Array.init n (fun i -> Array.make in_count.(i) 0) in
+  let out_fill = Array.make n 0 and in_fill = Array.make n 0 in
+  Array.iteri
+    (fun e (i, j) ->
+      out_edges.(i).(out_fill.(i)) <- e;
+      out_fill.(i) <- out_fill.(i) + 1;
+      in_edges.(j).(in_fill.(j)) <- e;
+      in_fill.(j) <- in_fill.(j) + 1)
+    edge_array;
+  { n; edge_array; out_edges; in_edges; index }
+
+let num_nodes g = g.n
+let num_edges g = Array.length g.edge_array
+let edge g e = g.edge_array.(e)
+let src g e = fst g.edge_array.(e)
+let dst g e = snd g.edge_array.(e)
+let out_edges g i = g.out_edges.(i)
+let in_edges g i = g.in_edges.(i)
+let successors g i = Array.map (fun e -> dst g e) g.out_edges.(i)
+let predecessors g i = Array.map (fun e -> src g e) g.in_edges.(i)
+let find_edge g ~src ~dst = Hashtbl.find_opt g.index (src, dst)
+let mem_edge g ~src ~dst = Hashtbl.mem g.index (src, dst)
+let out_degree g i = Array.length g.out_edges.(i)
+let in_degree g i = Array.length g.in_edges.(i)
+
+let max_degree g =
+  let best = ref 0 in
+  for i = 0 to g.n - 1 do
+    best := max !best (max (out_degree g i) (in_degree g i))
+  done;
+  !best
+
+let edges g = Array.copy g.edge_array
+
+let reverse g =
+  let swapped = Array.to_list (Array.map (fun (i, j) -> (j, i)) g.edge_array) in
+  create ~n:g.n swapped
+
+let is_symmetric g =
+  Array.for_all (fun (i, j) -> mem_edge g ~src:j ~dst:i) g.edge_array
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>digraph (n=%d, m=%d)" g.n (num_edges g);
+  Array.iteri (fun e (i, j) -> Format.fprintf ppf "@,  e%d: %d -> %d" e i j)
+    g.edge_array;
+  Format.fprintf ppf "@]"

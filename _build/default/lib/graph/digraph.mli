@@ -1,0 +1,67 @@
+(** Finite directed graphs with stable edge indices.
+
+    This is the communication substrate of the paper's model (Section 2): a
+    strongly connected directed graph [G = ([n], E)] whose edges carry labels.
+    Edges are numbered [0 .. num_edges - 1]; a protocol configuration is an
+    array indexed by these edge ids, so the numbering must be stable, which is
+    why the graph is immutable after construction. *)
+
+type t
+
+(** [create ~n edges] builds a graph on nodes [0 .. n-1] from the given list
+    of directed edges. Duplicate edges and self-loops are rejected with
+    [Invalid_argument], as are out-of-range endpoints. *)
+val create : n:int -> (int * int) list -> t
+
+(** Number of nodes. *)
+val num_nodes : t -> int
+
+(** Number of directed edges. *)
+val num_edges : t -> int
+
+(** [edge g e] is the [(src, dst)] pair of edge id [e]. *)
+val edge : t -> int -> int * int
+
+(** [src g e] and [dst g e] project {!edge}. *)
+val src : t -> int -> int
+
+val dst : t -> int -> int
+
+(** [out_edges g i] lists the edge ids leaving node [i], in a fixed order.
+    The array is owned by the graph; callers must not mutate it. *)
+val out_edges : t -> int -> int array
+
+(** [in_edges g i] lists the edge ids entering node [i], in a fixed order. *)
+val in_edges : t -> int -> int array
+
+(** Successor nodes of [i] (destinations of {!out_edges}). *)
+val successors : t -> int -> int array
+
+(** Predecessor nodes of [i] (sources of {!in_edges}). *)
+val predecessors : t -> int -> int array
+
+(** [find_edge g ~src ~dst] is the edge id from [src] to [dst], if any. *)
+val find_edge : t -> src:int -> dst:int -> int option
+
+(** [mem_edge g ~src ~dst] tests the existence of the edge. *)
+val mem_edge : t -> src:int -> dst:int -> bool
+
+(** Maximum of in-degree and out-degree over all nodes — the [k] of
+    Theorem 5.10's counting bound. *)
+val max_degree : t -> int
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+(** The graph with every edge reversed. Edge ids are preserved: edge [e] of
+    [reverse g] connects [dst g e] to [src g e]. *)
+val reverse : t -> t
+
+(** All edges as an array indexed by edge id. The array is fresh. *)
+val edges : t -> (int * int) array
+
+(** [is_symmetric g] holds when for every edge [(i, j)] the reverse edge
+    [(j, i)] is present — i.e. the graph models bidirectional links. *)
+val is_symmetric : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+type tree = {
+  root : int;
+  parent : int array;
+  children : int list array;
+  order : int list;
+}
+
+let bfs_tree g root =
+  let n = Digraph.num_nodes g in
+  let parent = Array.make n (-2) in
+  parent.(root) <- -1;
+  let queue = Queue.create () in
+  Queue.add root queue;
+  let order = ref [ root ] in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun u ->
+        if parent.(u) = -2 then begin
+          parent.(u) <- v;
+          order := u :: !order;
+          Queue.add u queue
+        end)
+      (Digraph.successors g v)
+  done;
+  if Array.exists (fun p -> p = -2) parent then
+    invalid_arg "Spanning: graph is not strongly connected from the root";
+  let children = Array.make n [] in
+  Array.iteri
+    (fun i p -> if p >= 0 then children.(p) <- i :: children.(p))
+    parent;
+  { root; parent; children; order = List.rev !order }
+
+let out_tree g root = bfs_tree g root
+
+let in_tree g root =
+  (* BFS on the reverse graph: the parent of [i] is its next hop towards the
+     root in the original graph. *)
+  bfs_tree (Digraph.reverse g) root
+
+let depth tree i =
+  let rec walk i acc =
+    if tree.parent.(i) < 0 then acc else walk tree.parent.(i) (acc + 1)
+  in
+  walk i 0

@@ -1,0 +1,28 @@
+(** Spanning in- and out-trees rooted at a node.
+
+    Proposition 2.3's generic protocol needs, for a strongly connected graph,
+    a tree [T1] of directed paths {e root -> i} (the broadcast tree) and a
+    tree [T2] of directed paths {e i -> root} (the aggregation tree). Both are
+    BFS trees: [T1] over the graph, [T2] over its reverse. *)
+
+type tree = {
+  root : int;
+  parent : int array;  (** [parent.(root) = -1]; otherwise the tree parent. *)
+  children : int list array;  (** children lists, inverse of [parent]. *)
+  order : int list;  (** nodes in BFS order from the root. *)
+}
+
+(** [out_tree g root] spans [g] with edges directed away from [root]
+    ([parent.(i)] is the BFS predecessor of [i], and the graph contains the
+    edge [parent.(i) -> i]).
+    @raise Invalid_argument if some node is unreachable from [root]. *)
+val out_tree : Digraph.t -> int -> tree
+
+(** [in_tree g root] spans [g] with edges directed towards [root]
+    ([parent.(i)] is the next hop of [i] on a path to [root]; the graph
+    contains the edge [i -> parent.(i)]).
+    @raise Invalid_argument if some node cannot reach [root]. *)
+val in_tree : Digraph.t -> int -> tree
+
+(** [depth tree i] is the number of tree edges between [i] and the root. *)
+val depth : tree -> int -> int

@@ -1,0 +1,1 @@
+lib/lowerbound/fooling.ml: Array Bool List Stateless_graph

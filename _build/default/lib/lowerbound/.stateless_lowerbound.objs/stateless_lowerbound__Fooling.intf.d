@@ -1,0 +1,1 @@
+lib/lowerbound/fooling.mli: Stateless_graph

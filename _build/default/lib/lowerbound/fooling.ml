@@ -1,0 +1,121 @@
+module Digraph = Stateless_graph.Digraph
+module Algorithms = Stateless_graph.Algorithms
+
+type t = {
+  m : int;
+  value : bool;
+  pairs : (bool array * bool array) list;
+}
+
+let apply f x y = f (Array.append x y)
+
+let verify f ~n s =
+  let width_ok (x, y) =
+    Array.length x = s.m && Array.length y = n - s.m
+  in
+  List.for_all width_ok s.pairs
+  && List.for_all (fun (x, y) -> apply f x y = s.value) s.pairs
+  && begin
+       let arr = Array.of_list s.pairs in
+       let distinct = ref true in
+       let fooled = ref true in
+       let len = Array.length arr in
+       for i = 0 to len - 1 do
+         for j = i + 1 to len - 1 do
+           let x, y = arr.(i) and x', y' = arr.(j) in
+           if x = x' && y = y' then distinct := false;
+           if apply f x y' = s.value && apply f x' y = s.value then
+             fooled := false
+         done
+       done;
+       !distinct && !fooled
+     end
+
+let cut_sizes g ~m =
+  let c = ref 0 and d = ref 0 in
+  Array.iter
+    (fun (i, j) ->
+      if i < m && j >= m then incr c;
+      if j < m && i >= m then incr d)
+    (Digraph.edges g);
+  (!c, !d)
+
+let constant_on_cut g ~m s =
+  match s.pairs with
+  | [] -> true
+  | (x0, y0) :: rest ->
+      let x_pinned = ref [] and y_pinned = ref [] in
+      Array.iter
+        (fun (i, j) ->
+          if i < m && j >= m then x_pinned := i :: !x_pinned;
+          if j < m && i >= m then y_pinned := (i - m) :: !y_pinned)
+        (Digraph.edges g);
+      List.for_all
+        (fun (x, y) ->
+          List.for_all (fun i -> Bool.equal x.(i) x0.(i)) !x_pinned
+          && List.for_all (fun i -> Bool.equal y.(i) y0.(i)) !y_pinned)
+        rest
+
+let bound s ~cut =
+  if cut <= 0 then invalid_arg "Fooling.bound: empty cut";
+  log (float_of_int (List.length s.pairs)) /. log 2.0 /. float_of_int cut
+
+let equality_fn bits =
+  let n = Array.length bits in
+  n mod 2 = 0
+  && begin
+       let half = n / 2 in
+       let rec check i =
+         i >= half || (Bool.equal bits.(i) bits.(half + i) && check (i + 1))
+       in
+       check 0
+     end
+
+let majority_fn bits =
+  let ones = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 bits in
+  2 * ones >= Array.length bits
+
+(* Pairs (x, x) with the two ring-cut coordinates x_0 and x_{m-1} pinned to
+   1 so that Theorem 6.2's constancy hypotheses hold on the bidirectional
+   ring cut {0..m-1} | {m..n-1}. *)
+let equality_fooling n =
+  if n < 6 || n mod 2 = 1 then
+    invalid_arg "Fooling.equality_fooling: need even n >= 6";
+  let m = n / 2 in
+  let free = m - 2 in
+  let pairs =
+    List.init (1 lsl free) (fun code ->
+        let x =
+          Array.init m (fun i ->
+              if i = 0 || i = m - 1 then true
+              else (code lsr (i - 1)) land 1 = 1)
+        in
+        (x, Array.copy x))
+  in
+  { m; value = true; pairs }
+
+let majority_fooling n =
+  if n < 4 then invalid_arg "Fooling.majority_fooling: need n >= 4";
+  let m = n / 2 in
+  (* Q = { 1·1^k·0^(m-1-k) : k = 0..m-1 }; pair each with its bitwise
+     complement (plus a fixed extra 1 when n is odd). *)
+  let pairs =
+    List.init m (fun k ->
+        let x = Array.init m (fun i -> i = 0 || i <= k) in
+        let xbar = Array.map not x in
+        let y =
+          if n mod 2 = 0 then xbar
+          else Array.append xbar [| true |]
+        in
+        (x, y))
+  in
+  { m; value = true; pairs }
+
+let equality_paper_bound n = float_of_int (n - 2) /. 8.0
+
+let majority_paper_bound n =
+  log (float_of_int (n / 2)) /. log 2.0 /. 4.0
+
+let counting_bound ~n ~k = float_of_int n /. (4.0 *. float_of_int k)
+
+let radius_bound g = Algorithms.radius g

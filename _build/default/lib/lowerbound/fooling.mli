@@ -1,0 +1,64 @@
+(** Fooling sets and the label-complexity lower-bound method of Section 6.
+
+    Definition 6.1: a fooling set for [f : {0,1}^n → {0,1}] is a set
+    [S ⊆ {0,1}^m × {0,1}^(n-m)] of input pairs on which [f] is constantly
+    [b], such that crossing any two distinct pairs breaks the value. By
+    Theorem 6.2, if additionally the [x]-coordinates feeding cut edges out
+    of the node set [{0..m-1}] and the [y]-coordinates feeding cut edges
+    into it are constant over [S], then every label-stabilizing protocol
+    computing [f] needs labels of at least [log2 |S| / (|C| + |D|)] bits:
+    each pair must stabilize to a distinct cut labeling.
+
+    The corollaries pin the equality and majority functions on the
+    bidirectional ring, where the cut has only 4 edges. *)
+
+type t = {
+  m : int;  (** split point: x is the first [m] bits. *)
+  value : bool;  (** the constant value b on S. *)
+  pairs : (bool array * bool array) list;
+}
+
+(** [verify f ~n s] checks Definition 6.1 exhaustively over all pairs. *)
+val verify : (bool array -> bool) -> n:int -> t -> bool
+
+(** [cut_sizes g ~m] is [(|C|, |D|)]: edges leaving and entering
+    [{0..m-1}]. *)
+val cut_sizes : Stateless_graph.Digraph.t -> m:int -> int * int
+
+(** [constant_on_cut g ~m s] checks Theorem 6.2's coordinate-constancy
+    hypotheses: sources of C-edges have constant [x]-bits and sources of
+    D-edges constant [y]-bits across [S]. *)
+val constant_on_cut : Stateless_graph.Digraph.t -> m:int -> t -> bool
+
+(** [bound s ~cut] = [log2 |S| / cut] bits, the Theorem 6.2 lower bound. *)
+val bound : t -> cut:int -> float
+
+(** {2 The paper's functions and fooling sets} *)
+
+(** The paper's Eq_n: 1 iff [n] even and the two halves agree. *)
+val equality_fn : bool array -> bool
+
+(** The paper's Maj_n: 1 iff at least [n/2] ones. *)
+val majority_fn : bool array -> bool
+
+(** Corollary 6.3's fooling set for Eq_n (even [n]): pairs [(x, x)] with
+    the cut-adjacent coordinates pinned to 1; size [2^(n/2 - 2)]. *)
+val equality_fooling : int -> t
+
+(** Corollary 6.4's fooling set for Maj_n: pairs [(1·1^k·0^(m-1-k),
+    complement)]; size [⌊n/2⌋]. *)
+val majority_fooling : int -> t
+
+(** The paper's stated bounds: [(n-2)/8] for equality and
+    [log2(⌊n/2⌋)/4] for majority on the bidirectional ring. *)
+val equality_paper_bound : int -> float
+
+val majority_paper_bound : int -> float
+
+(** Theorem 5.10's counting bound: on any family of graphs with max degree
+    [k], some function needs labels of [n / 4k] bits. *)
+val counting_bound : n:int -> k:int -> float
+
+(** Proposition 2.1: the graph radius lower-bounds the round complexity of
+    every output-stabilizing protocol for a non-constant function. *)
+val radius_bound : Stateless_graph.Digraph.t -> int option

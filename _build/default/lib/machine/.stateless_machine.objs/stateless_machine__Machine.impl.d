@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Printf Stateless_core Stateless_graph

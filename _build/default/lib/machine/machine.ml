@@ -1,0 +1,164 @@
+module Protocol = Stateless_core.Protocol
+module Label = Stateless_core.Label
+module Builders = Stateless_graph.Builders
+
+type t = {
+  name : string;
+  n : int;
+  configs : int;
+  initial : int;
+  head : int -> int;
+  step : int -> bool -> int;
+  accepting : int -> bool;
+}
+
+let run m x =
+  if Array.length x <> m.n then invalid_arg "Machine.run: wrong input length";
+  let z = ref m.initial in
+  for _ = 1 to m.configs do
+    z := m.step !z x.(m.head !z)
+  done;
+  m.accepting !z
+
+let protocol_of_machine m =
+  let n = m.n in
+  if n < 2 then invalid_arg "Machine.protocol_of_machine: need n >= 2";
+  let g = Builders.ring_uni n in
+  let space =
+    Label.pair (Label.int m.configs)
+      (Label.pair Label.bool (Label.pair (Label.int (m.configs + 1)) Label.bool))
+  in
+  let react i x incoming =
+    let ((z, (b, (c, o))) : int * (bool * (int * bool))) = incoming.(0) in
+    if i = 0 then
+      if c < m.configs then
+        let z' = m.step z b in
+        ([| (z', (x, (c + 1, o))) |], if o then 1 else 0)
+      else
+        let verdict = m.accepting z in
+        ([| (m.initial, (x, (0, verdict))) |], if verdict then 1 else 0)
+    else if m.head z = i then ([| (z, (x, (c, o))) |], if o then 1 else 0)
+    else ([| incoming.(0) |], if o then 1 else 0)
+  in
+  {
+    Protocol.name = "machine-" ^ m.name;
+    graph = g;
+    space;
+    react;
+  }
+
+let convergence_bound m = ((2 * m.configs) + 2) * m.n
+
+(* ------------------------------------------------------------------ *)
+(* Concrete machines                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let clamp_head n pos = if pos >= n then 0 else pos
+
+(* Sweep machines with a small per-position state: config = state * (n+1)
+   positions; position n is the absorbing halt zone. *)
+
+let parity n =
+  if n < 1 then invalid_arg "Machine.parity: need n >= 1";
+  let encode p pos = (p * (n + 1)) + pos in
+  {
+    name = "parity";
+    n;
+    configs = 2 * (n + 1);
+    initial = encode 0 0;
+    head = (fun z -> clamp_head n (z mod (n + 1)));
+    step =
+      (fun z b ->
+        let p = z / (n + 1) and pos = z mod (n + 1) in
+        if pos >= n then z
+        else encode (if b then 1 - p else p) (pos + 1));
+    accepting = (fun z -> z / (n + 1) = 1 && z mod (n + 1) = n);
+  }
+
+let majority n =
+  if n < 1 then invalid_arg "Machine.majority: need n >= 1";
+  let encode count pos = (count * (n + 1)) + pos in
+  {
+    name = "majority";
+    n;
+    configs = (n + 1) * (n + 1);
+    initial = encode 0 0;
+    head = (fun z -> clamp_head n (z mod (n + 1)));
+    step =
+      (fun z b ->
+        let count = z / (n + 1) and pos = z mod (n + 1) in
+        if pos >= n then z
+        else
+          (* Cap the count so that π is total even on garbage
+             configurations injected by adversarial initial labels. *)
+          encode (min n (if b then count + 1 else count)) (pos + 1));
+    accepting =
+      (fun z ->
+        let count = z / (n + 1) and pos = z mod (n + 1) in
+        pos = n && 2 * count >= n);
+  }
+
+let mod_count n k =
+  if n < 1 || k < 1 then invalid_arg "Machine.mod_count: bad parameters";
+  let encode c pos = (c * (n + 1)) + pos in
+  {
+    name = Printf.sprintf "mod%d" k;
+    n;
+    configs = k * (n + 1);
+    initial = encode 0 0;
+    head = (fun z -> clamp_head n (z mod (n + 1)));
+    step =
+      (fun z b ->
+        let c = z / (n + 1) and pos = z mod (n + 1) in
+        if pos >= n then z
+        else encode (if b then (c + 1) mod k else c) (pos + 1));
+    accepting = (fun z -> z / (n + 1) = 0 && z mod (n + 1) = n);
+  }
+
+let first_equals_last n =
+  if n < 2 then invalid_arg "Machine.first_equals_last: need n >= 2";
+  (* 0 = start (head at 0); 1 + f*n + pos = scanning towards the end
+     remembering the first bit f (head at pos); 1+2n = accept; 2+2n =
+     reject. *)
+  let scan f pos = 1 + (f * n) + pos in
+  let accept = 1 + (2 * n) and reject = 2 + (2 * n) in
+  {
+    name = "first=last";
+    n;
+    configs = 3 + (2 * n);
+    initial = 0;
+    head =
+      (fun z ->
+        if z = 0 then 0
+        else if z = accept || z = reject then 0
+        else (z - 1) mod n);
+    step =
+      (fun z b ->
+        if z = accept || z = reject then z
+        else if z = 0 then scan (if b then 1 else 0) (min 1 (n - 1))
+        else
+          let f = (z - 1) / n and pos = (z - 1) mod n in
+          if pos = n - 1 then
+            if (f = 1) = b then accept else reject
+          else scan f (pos + 1));
+    accepting = (fun z -> z = accept);
+  }
+
+let with_advice n advice =
+  if Array.length advice <> n then
+    invalid_arg "Machine.with_advice: advice length mismatch";
+  (* pos in [0..n] while matching; n+1 = reject sink. *)
+  let reject = n + 1 in
+  {
+    name = "advice-equality";
+    n;
+    configs = n + 2;
+    initial = 0;
+    head = (fun z -> clamp_head n (min z (n - 1)));
+    step =
+      (fun z b ->
+        if z >= n then z
+        else if b = advice.(z) then z + 1
+        else reject);
+    accepting = (fun z -> z = n);
+  }

@@ -1,0 +1,70 @@
+(** Space-bounded Turing machines with an explicit finite configuration
+    space — the L/poly machines of Theorem 5.2.
+
+    The proof of [L/poly ⊆ OS^u_log] only uses the machine through its
+    finite configuration graph [Z] (machine state × work tape × work head ×
+    input head), the partial step function [π : Z × {0,1} → Z] that consumes
+    the input bit under the head, the initial configuration [z_0], and the
+    acceptance predicate [F]. We represent machines exactly that way:
+    configurations are integers in [0 .. configs-1]. Hard-wiring the advice
+    string into [π] is how a per-input-length machine absorbs its advice, so
+    this representation {e is} the nonuniform machine for length [n].
+
+    {!protocol_of_machine} is the paper's construction verbatim: labels are
+    quadruples [(z, b, c, o)] where [z] is a configuration, [b] carries the
+    queried input bit, [c] is the reset counter, and [o] the latched output.
+    Node 0 steps the machine and resets it every [|Z|] steps; node [i]
+    answers the query when the input head of [z] points at [i]. On the
+    synchronous unidirectional ring every edge carries an independent
+    simulation token, so node 0 runs [n] simulations in parallel — exactly
+    as in Appendix C. *)
+
+type t = {
+  name : string;
+  n : int;  (** input length. *)
+  configs : int;  (** |Z|. *)
+  initial : int;  (** z_0. *)
+  head : int -> int;  (** input-head position of a configuration. *)
+  step : int -> bool -> int;  (** π; must be total. *)
+  accepting : int -> bool;  (** F. *)
+}
+
+(** [run m x] iterates π for [configs] steps from [z_0] (by then a halting
+    decider has reached its absorbing halt configuration) and reports
+    acceptance. *)
+val run : t -> bool array -> bool
+
+(** [protocol_of_machine m] compiles [m] into a stateless protocol on the
+    unidirectional [n]-ring whose outputs converge, from {e any} initial
+    labeling, to 1 iff [m] accepts. The label type is
+    [(z, (b, (c, o)))]. *)
+val protocol_of_machine : t -> (bool, int * (bool * (int * bool))) Stateless_core.Protocol.t
+
+(** An upper bound on the synchronous output-stabilization time of
+    {!protocol_of_machine}: [(2 |Z| + 2) n] steps suffice from any initial
+    labeling (one reset latency plus one full simulation, per token). *)
+val convergence_bound : t -> int
+
+(** {2 Concrete machines}
+
+    All machines below are deciders: they reach an absorbing halting
+    configuration within [|Z|] steps on every input. *)
+
+(** [parity n] accepts iff the input has an odd number of ones. Sweeps the
+    input once; [|Z| = 2 (n + 1)]. *)
+val parity : int -> t
+
+(** [majority n] accepts iff at least ⌈n/2⌉ ones; a sweep with a counter,
+    [|Z| = O(n²)]. *)
+val majority : int -> t
+
+(** [mod_count n k] accepts iff the number of ones is ≡ 0 (mod k). *)
+val mod_count : int -> int -> t
+
+(** [first_equals_last n] accepts iff x_0 = x_{n-1} (two head trips). *)
+val first_equals_last : int -> t
+
+(** [with_advice n advice] accepts iff the input equals the advice string —
+    a toy use of nonuniformity: the machine for length [n] hard-codes
+    [advice] in its transition table. *)
+val with_advice : int -> bool array -> t

@@ -1,0 +1,1 @@
+lib/pspace/metanode.ml: Array List Option Stateful Stateless_core Stateless_graph

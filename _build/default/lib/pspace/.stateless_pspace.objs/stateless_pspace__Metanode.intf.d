@@ -1,0 +1,1 @@
+lib/pspace/metanode.mli: Stateful Stateless_core

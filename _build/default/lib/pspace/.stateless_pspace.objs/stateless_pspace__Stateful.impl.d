@@ -1,0 +1,1 @@
+lib/pspace/stateful.ml: Array Hashtbl List Option Stateless_core String_oscillation

@@ -1,0 +1,1 @@
+lib/pspace/stateful.mli: Stateless_core String_oscillation

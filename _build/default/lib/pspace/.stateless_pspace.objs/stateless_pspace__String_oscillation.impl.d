@@ -1,0 +1,1 @@
+lib/pspace/string_oscillation.ml: Array Hashtbl List Random

@@ -1,0 +1,102 @@
+module Protocol = Stateless_core.Protocol
+module Label = Stateless_core.Label
+module Schedule = Stateless_core.Schedule
+module Digraph = Stateless_graph.Digraph
+module Builders = Stateless_graph.Builders
+
+type 'l t = {
+  stateful : 'l Stateful.t;
+  protocol : (unit, 'l option) Protocol.t;
+}
+
+let make (a : 'l Stateful.t) =
+  let n = a.Stateful.n in
+  let big_n = 3 * n in
+  let g = Builders.clique big_n in
+  let space = Label.option a.Stateful.space in
+  let encode = a.Stateful.space.Label.encode in
+  let react u () incoming =
+    (* Labels indexed by sender. *)
+    let labels = Array.make big_n None in
+    Array.iteri
+      (fun k e -> labels.(Digraph.src g e) <- incoming.(k))
+      (Digraph.in_edges g u);
+    let my_meta = u / 3 in
+    (* Consistent view (Definition B.18): every other metanode unanimous on
+       a non-ω label; own siblings agreeing on a non-ω label. *)
+    let decoded = Array.make n None in
+    let consistent = ref true in
+    for i = 0 to n - 1 do
+      let members =
+        if i = my_meta then
+          List.filter (fun v -> v <> u) [ 3 * i; (3 * i) + 1; (3 * i) + 2 ]
+        else [ 3 * i; (3 * i) + 1; (3 * i) + 2 ]
+      in
+      let values = List.map (fun v -> labels.(v)) members in
+      match values with
+      | first :: rest ->
+          let unanimous =
+            List.for_all
+              (fun v ->
+                match (v, first) with
+                | Some a1, Some a2 -> encode a1 = encode a2
+                | None, None -> true
+                | _ -> false)
+              rest
+          in
+          if not unanimous then consistent := false
+          else begin
+            match first with
+            | None -> consistent := false
+            | Some value -> decoded.(i) <- Some value
+          end
+      | [] -> assert false
+    done;
+    let out =
+      if not !consistent then None
+      else begin
+        let config = Array.map Option.get decoded in
+        if Stateful.is_stable a config then None
+        else Some (a.Stateful.react my_meta config)
+      end
+    in
+    (Array.map (fun _ -> out) (Digraph.out_edges g u), 0)
+  in
+  let protocol =
+    {
+      Protocol.name = a.Stateful.name ^ "-metanode";
+      graph = g;
+      space;
+      react;
+    }
+  in
+  { stateful = a; protocol }
+
+let input t = Array.make (3 * t.stateful.Stateful.n) ()
+
+let lift t config =
+  let g = t.protocol.Protocol.graph in
+  let out = Protocol.uniform_config t.protocol None in
+  Array.iteri
+    (fun i l ->
+      List.iter
+        (fun v ->
+          Array.iter
+            (fun e -> out.Protocol.labels.(e) <- Some l)
+            (Digraph.out_edges g v))
+        [ 3 * i; (3 * i) + 1; (3 * i) + 2 ])
+    config;
+  out
+
+let lift_schedule (_ : 'l t) sched =
+  {
+    Schedule.name = sched.Schedule.name ^ "-metanode";
+    period = sched.Schedule.period;
+    active =
+      (fun step ->
+        List.concat_map
+          (fun i -> [ 3 * i; (3 * i) + 1; (3 * i) + 2 ])
+          (sched.Schedule.active step));
+  }
+
+let omega_config t = Protocol.uniform_config t.protocol None

@@ -1,0 +1,37 @@
+(** The stateful → stateless metanode transform of Theorem B.14.
+
+    Each node [i] of a stateful clique protocol A on [K_n] becomes a
+    {e metanode} — a triple of stateless nodes [3i, 3i+1, 3i+2] — on
+    [K_{3n}], over the label space Σ ∪ {ω}. A stateless node cannot read
+    its own label, but it can read its two metanode siblings', and in a
+    consistent configuration those carry exactly the metanode's label: the
+    triple redundancy is what replaces the forbidden self-reading.
+
+    Reaction (Definition B.18 ff): if the node's view is inconsistent (some
+    other metanode not unanimous, or its own siblings disagreeing or
+    showing ω) emit ω; if the view decodes to a labeling that is stable for
+    A emit ω (collapsing every A-fixed-point to the unique all-ω fixed
+    point); otherwise emit what A's reaction would. The transform preserves
+    label (r-)stabilization in both directions (Theorems B.19–B.23). *)
+
+type 'l t = {
+  stateful : 'l Stateful.t;
+  protocol : (unit, 'l option) Stateless_core.Protocol.t;
+}
+
+val make : 'l Stateful.t -> 'l t
+
+val input : 'l t -> unit array
+
+(** [lift t config] — the stateless configuration whose metanode [i]
+    unanimously carries [config.(i)] (Claim B.19's initial labeling). *)
+val lift : 'l t -> 'l array -> 'l option Stateless_core.Protocol.config
+
+(** [lift_schedule t sched] activates whole metanodes whenever [sched]
+    activates the underlying nodes (Claim B.19's σ̄). *)
+val lift_schedule :
+  'l t -> Stateless_core.Schedule.t -> Stateless_core.Schedule.t
+
+(** The all-ω configuration — the canonical stable labeling of the
+    transformed protocol. *)
+val omega_config : 'l t -> 'l option Stateless_core.Protocol.config

@@ -1,0 +1,127 @@
+module Label = Stateless_core.Label
+module Schedule = Stateless_core.Schedule
+
+type 'l t = {
+  name : string;
+  n : int;
+  space : 'l Label.t;
+  react : int -> 'l array -> 'l;
+}
+
+let step t config ~active =
+  let next = Array.copy config in
+  List.iter (fun i -> next.(i) <- t.react i config) active;
+  next
+
+let is_stable t config =
+  let rec check i =
+    if i >= t.n then true
+    else if t.space.Label.encode (t.react i config)
+            = t.space.Label.encode config.(i)
+    then check (i + 1)
+    else false
+  in
+  check 0
+
+let key_of t config = Array.to_list (Array.map t.space.Label.encode config)
+
+let run_until_stable t ~init ~schedule ~max_steps =
+  let seen = Hashtbl.create 64 in
+  let period_opt = schedule.Schedule.period in
+  let rec loop step_idx config last_change =
+    if is_stable t config then `Stabilized step_idx
+    else if step_idx >= max_steps then `Exhausted
+    else begin
+      let verdict = ref None in
+      (match period_opt with
+      | Some period when step_idx mod period = 0 -> (
+          let key = key_of t config in
+          match Hashtbl.find_opt seen key with
+          | Some t0 ->
+              if last_change > t0 then verdict := Some `Oscillating
+              else verdict := Some (`Stabilized last_change)
+          | None -> Hashtbl.replace seen key step_idx)
+      | _ -> ());
+      match !verdict with
+      | Some v -> v
+      | None ->
+          let next =
+            step t config ~active:(schedule.Schedule.active step_idx)
+          in
+          let changed = key_of t next <> key_of t config in
+          loop (step_idx + 1) next
+            (if changed then step_idx + 1 else last_change)
+    end
+  in
+  loop 0 init 0
+
+let synchronous_stabilizing t =
+  let card = t.space.Label.card in
+  let total =
+    let rec pow acc k =
+      if k = 0 then acc
+      else if acc > 20_000_000 / card then
+        invalid_arg "Stateful.synchronous_stabilizing: space too large"
+      else pow (acc * card) (k - 1)
+    in
+    pow 1 t.n
+  in
+  let schedule = Schedule.synchronous t.n in
+  let ok = ref true in
+  let code = ref 0 in
+  while !ok && !code < total do
+    let config =
+      Array.init t.n (fun i ->
+          let rec digit k rest = if k = 0 then rest mod card
+            else digit (k - 1) (rest / card) in
+          t.space.Label.decode (digit (t.n - 1 - i) !code))
+    in
+    (match
+       run_until_stable t ~init:config ~schedule ~max_steps:(4 * total * t.n)
+     with
+    | `Stabilized _ -> ()
+    | `Oscillating | `Exhausted -> ok := false);
+    incr code
+  done;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* Theorem B.11                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let of_instance (inst : String_oscillation.t) =
+  let m = inst.String_oscillation.m in
+  let gamma = inst.String_oscillation.alphabet in
+  let n = m + 1 in
+  let space = Label.pair (Label.int m) (Label.option (Label.int gamma)) in
+  let symbol_of (_, a) = a in
+  let react i (config : (int * int option) array) =
+    let j, gamma_sym = config.(m) in
+    if i < m then
+      match gamma_sym with
+      | None -> (0, None)
+      | Some v -> if j = i then (0, Some v) else (0, snd config.(i))
+    else
+      (* The controller: wait for node j to have adopted γ, then write the
+         next symbol at the next index. *)
+      match gamma_sym with
+      | None -> (0, None)
+      | Some v ->
+          let symbols = Array.init m (fun k -> symbol_of config.(k)) in
+          if Array.exists (fun s -> s = None) symbols then (0, None)
+          else
+            let str = Array.map Option.get symbols in
+            if symbols.(j) = Some v then
+              ((j + 1) mod m, inst.String_oscillation.g str)
+            else (j, Some v)
+  in
+  { name = "string-oscillation"; n; space; react }
+
+let oscillation_seed (inst : String_oscillation.t) start =
+  match inst.String_oscillation.g start with
+  | None -> None
+  | Some v ->
+      let m = inst.String_oscillation.m in
+      Some
+        (Array.init (m + 1) (fun i ->
+             if i < m then (0, Some start.(i)) else (0, Some v)))

@@ -1,0 +1,57 @@
+(** Stateful clique protocols — the intermediate model of Theorem 4.2.
+
+    The proof of PSPACE-completeness goes through protocols on the clique
+    [K_n] whose reaction functions may read the node's {e own} outgoing
+    label in addition to everyone else's (i.e., one register of state).
+    Every node sends the same label to all neighbours, so a configuration is
+    simply one label per node.
+
+    This module provides the model, a mini-engine with the same outcome
+    analysis as the stateless engine, the String-Oscillation reduction of
+    Theorem B.11, and exhaustive synchronous stabilization checking. *)
+
+type 'l t = {
+  name : string;
+  n : int;
+  space : 'l Stateless_core.Label.t;
+  react : int -> 'l array -> 'l;
+      (** [react i config] reads the whole configuration — including
+          [config.(i)], the node's own label (that is what makes it
+          stateful) — and returns [i]'s next label. *)
+}
+
+(** [step t config ~active] applies the scheduled reactions atomically. *)
+val step : 'l t -> 'l array -> active:int list -> 'l array
+
+(** [is_stable t config]. *)
+val is_stable : 'l t -> 'l array -> bool
+
+(** [run_until_stable t ~init ~schedule ~max_steps] mirrors
+    [Engine.run_until_stable]. *)
+val run_until_stable :
+  'l t ->
+  init:'l array ->
+  schedule:Stateless_core.Schedule.t ->
+  max_steps:int ->
+  [ `Stabilized of int | `Oscillating | `Exhausted ]
+
+(** [synchronous_stabilizing t] — exhaustively checks every initial
+    configuration under the synchronous schedule.
+    @raise Invalid_argument if [|Σ|^n] is too large. *)
+val synchronous_stabilizing : 'l t -> bool
+
+(** {2 Theorem B.11: String-Oscillation → stateful label stabilization} *)
+
+(** [of_instance inst] builds the stateful protocol on [K_{m+1}] with
+    Σ = [m] × (Γ ∪ halt): nodes [0..m-1] hold the string symbols, node [m]
+    is the controller that applies [g] and walks the rotating index. The
+    protocol fails to label-stabilize (for any r) iff the instance
+    oscillates. *)
+val of_instance : String_oscillation.t -> (int * int option) t
+
+(** The initial configuration of Claim B.12 that witnesses oscillation for
+    an oscillating start string [s]: node [i < m] holds [(0, Γ s_i)], the
+    controller holds [(1, g s)] — adjusted to this implementation's
+    indexing. Returns [None] when [g s] halts immediately. *)
+val oscillation_seed :
+  String_oscillation.t -> int array -> (int * int option) array option

@@ -1,0 +1,64 @@
+type t = { alphabet : int; m : int; g : int array -> int option }
+
+let ipow base e =
+  let rec loop acc e = if e = 0 then acc else loop (acc * base) (e - 1) in
+  loop 1 e
+
+let state_space t = t.m * ipow t.alphabet t.m
+
+let oscillates_from t start =
+  if Array.length start <> t.m then
+    invalid_arg "String_oscillation: wrong string length";
+  let bound = state_space t in
+  let str = Array.copy start in
+  let i = ref 0 in
+  let rec loop fuel =
+    if fuel = 0 then true (* state space exhausted: a state repeated *)
+    else
+      match t.g str with
+      | None -> false
+      | Some v ->
+          str.(!i) <- v;
+          i := (!i + 1) mod t.m;
+          loop (fuel - 1)
+  in
+  loop (bound + 1)
+
+let all_strings t =
+  let total = ipow t.alphabet t.m in
+  List.init total (fun code ->
+      Array.init t.m (fun k ->
+          code / ipow t.alphabet (t.m - 1 - k) mod t.alphabet))
+
+let oscillating_start t =
+  List.find_opt (fun s -> oscillates_from t s) (all_strings t)
+
+let oscillates t = oscillating_start t <> None
+
+let always_loop ~m = { alphabet = 2; m; g = (fun _ -> Some 0) }
+let always_halt ~m = { alphabet = 2; m; g = (fun _ -> None) }
+
+let zero_loop ~m =
+  {
+    alphabet = 2;
+    m;
+    g = (fun s -> if Array.exists (fun v -> v <> 0) s then None else Some 0);
+  }
+
+let random ~m ~seed =
+  let table = Hashtbl.create 64 in
+  let state = Random.State.make [| seed |] in
+  let g s =
+    let key = Array.to_list s in
+    match Hashtbl.find_opt table key with
+    | Some v -> v
+    | None ->
+        let v =
+          match Random.State.int state 3 with
+          | 0 -> None
+          | k -> Some (k - 1)
+        in
+        Hashtbl.replace table key v;
+        v
+  in
+  { alphabet = 2; m; g }

@@ -1,0 +1,47 @@
+(** The String-Oscillation problem — the PSPACE-complete source problem of
+    Theorem 4.2.
+
+    An instance is a function [g : Γ^m → Γ ∪ {halt}]. The procedure holds a
+    string [T ∈ Γ^m] and a rotating index [i]: while [g T ≠ halt], it sets
+    [T_i ← g T] and advances [i] cyclically. The question: does some initial
+    string make the procedure run forever?
+
+    For the reduction experiments we decide the question exactly on small
+    instances by running the procedure with cycle detection: the procedure
+    state [(T, i)] lives in a space of size [m·|Γ|^m], so it either halts or
+    revisits a state within that many steps. *)
+
+type t = {
+  alphabet : int;  (** |Γ|; symbols are [0 .. alphabet-1]. *)
+  m : int;
+  g : int array -> int option;  (** [None] means halt. *)
+}
+
+(** [state_space t] = [m · |Γ|^m], the cycle-detection bound. *)
+val state_space : t -> int
+
+(** [oscillates_from t start] — runs the procedure from string [start]. *)
+val oscillates_from : t -> int array -> bool
+
+(** [oscillating_start t] — searches all [|Γ|^m] initial strings. *)
+val oscillating_start : t -> int array option
+
+(** [oscillates t]. *)
+val oscillates : t -> bool
+
+(** {2 Example instances} *)
+
+(** Never halts: [g] always rewrites symbol 0. Oscillates from every
+    start. *)
+val always_loop : m:int -> t
+
+(** Halts immediately on every string. *)
+val always_halt : m:int -> t
+
+(** Oscillates exactly from the all-zeros string (binary alphabet): halts
+    whenever a 1 is present, rewrites 0 over 0 otherwise. *)
+val zero_loop : m:int -> t
+
+(** A pseudorandom table-based instance (binary alphabet), for stress
+    tests. *)
+val random : m:int -> seed:int -> t

@@ -1,0 +1,1 @@
+lib/snake/snake.ml: Array Bool Hashtbl List Printf Stateless_core Stateless_graph

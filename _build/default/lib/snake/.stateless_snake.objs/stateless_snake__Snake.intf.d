@@ -1,0 +1,1 @@
+lib/snake/snake.mli: Stateless_core

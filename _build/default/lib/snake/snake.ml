@@ -1,0 +1,334 @@
+module Protocol = Stateless_core.Protocol
+module Label = Stateless_core.Label
+module Engine = Stateless_core.Engine
+module Schedule = Stateless_core.Schedule
+module Digraph = Stateless_graph.Digraph
+module Builders = Stateless_graph.Builders
+
+let neighbors d v = List.init d (fun b -> v lxor (1 lsl b))
+
+let adjacent v w =
+  let diff = v lxor w in
+  diff <> 0 && diff land (diff - 1) = 0
+
+let is_induced_cycle d cycle =
+  let arr = Array.of_list cycle in
+  let len = Array.length arr in
+  len >= 4
+  && Array.for_all (fun v -> v >= 0 && v < 1 lsl d) arr
+  && List.length (List.sort_uniq compare cycle) = len
+  && begin
+       let ok = ref true in
+       for i = 0 to len - 1 do
+         for j = i + 1 to len - 1 do
+           let consecutive = j = i + 1 || (i = 0 && j = len - 1) in
+           if consecutive then begin
+             if not (adjacent arr.(i) arr.(j)) then ok := false
+           end
+           else if adjacent arr.(i) arr.(j) then ok := false
+         done
+       done;
+       !ok
+     end
+
+let search d ~node_budget =
+  if d < 2 then invalid_arg "Snake.search: need d >= 2";
+  let size = 1 lsl d in
+  let count = Array.make size 0 in
+  let used = Array.make size false in
+  let path = Array.make (size + 1) 0 in
+  let best = ref [] and best_len = ref 0 in
+  let visited = ref 0 in
+  let complete = ref true in
+  let push v =
+    used.(v) <- true;
+    List.iter (fun u -> count.(u) <- count.(u) + 1) (neighbors d v)
+  in
+  let pop v =
+    used.(v) <- false;
+    List.iter (fun u -> count.(u) <- count.(u) - 1) (neighbors d v)
+  in
+  (* Canonical start: the cycle must pass through the edge 0 - 1, so fix
+     path = [0; 1; ...]. *)
+  push 0;
+  push 1;
+  path.(0) <- 0;
+  path.(1) <- 1;
+  let rec extend len =
+    incr visited;
+    if !visited > node_budget then complete := false
+    else begin
+      let v = path.(len - 1) in
+      List.iter
+        (fun u ->
+          if not used.(u) then
+            if count.(u) = 1 then begin
+              (* Interior extension: u touches only its predecessor. *)
+              path.(len) <- u;
+              push u;
+              extend (len + 1);
+              pop u
+            end
+            else if
+              (* Closing vertex: u touches exactly its predecessor and the
+                 origin, completing an induced cycle of length len + 1. *)
+              count.(u) = 2 && adjacent u 0 && len + 1 >= 4
+              && len + 1 > !best_len
+            then begin
+              best_len := len + 1;
+              path.(len) <- u;
+              best := Array.to_list (Array.sub path 0 (len + 1))
+            end)
+        (neighbors d v)
+    end
+  in
+  extend 2;
+  (!best, !complete)
+
+let best_known = function
+  | 2 -> 4
+  | 3 -> 6
+  | 4 -> 8
+  | 5 -> 14
+  | 6 -> 26
+  | 7 -> 48
+  | d -> invalid_arg (Printf.sprintf "Snake.best_known: no entry for d = %d" d)
+
+let example_cache : (int, int list) Hashtbl.t = Hashtbl.create 8
+
+let example d =
+  match Hashtbl.find_opt example_cache d with
+  | Some s -> s
+  | None ->
+      let budget = if d <= 5 then max_int else 3_000_000 in
+      let snake, _ = search d ~node_budget:budget in
+      Hashtbl.replace example_cache d snake;
+      snake
+
+(* ------------------------------------------------------------------ *)
+(* Shared machinery for the clique protocols of Theorem 4.1            *)
+(* ------------------------------------------------------------------ *)
+
+(* Translate the snake so that 0^d is off it (XOR is a hypercube
+   automorphism). *)
+let off_origin d snake =
+  let on = Array.make (1 lsl d) false in
+  List.iter (fun v -> on.(v) <- true) snake;
+  let rec find u = if not on.(u) then u else find (u + 1) in
+  let shift = find 0 in
+  List.map (fun v -> v lxor shift) snake
+
+let index_table d snake =
+  let table = Array.make (1 lsl d) (-1) in
+  Array.iteri (fun i v -> table.(v) <- i) snake;
+  table
+
+(* The successor-orientation bit function φ: node owning coordinate [c]
+   computes its next bit from the other coordinates [u] (its own bit is
+   invisible to it — reaction functions are stateless). The two completions
+   of [u] differ along [c]; consistency holds because consecutive snake
+   steps flip distinct coordinates (see Theorem B.4). *)
+let phi snake index c u_bits =
+  let len = Array.length snake in
+  let v0 = u_bits land lnot (1 lsl c) in
+  let v1 = u_bits lor (1 lsl c) in
+  let i0 = index.(v0) and i1 = index.(v1) in
+  if i0 >= 0 && i1 >= 0 then
+    if snake.((i0 + 1) mod len) = v1 then true
+    else if snake.((i1 + 1) mod len) = v0 then false
+    else false
+  else if i0 >= 0 then (snake.((i0 + 1) mod len) lsr c) land 1 = 1
+  else if i1 >= 0 then (snake.((i1 + 1) mod len) lsr c) land 1 = 1
+  else false
+
+(* Incoming labels of node [i] on the clique, indexed by sender. *)
+let by_sender g i incoming =
+  let n = Digraph.num_nodes g in
+  let labels = Array.make n false in
+  Array.iteri
+    (fun k e -> labels.(Digraph.src g e) <- incoming.(k))
+    (Digraph.in_edges g i);
+  labels
+
+(* The hypercube vertex spelled by the coordinate nodes 2..n-1, optionally
+   skipping the reader's own coordinate. *)
+let vertex_of labels d ~skip =
+  let v = ref 0 in
+  for c = 0 to d - 1 do
+    if c <> skip && labels.(c + 2) then v := !v lor (1 lsl c)
+  done;
+  !v
+
+let uniform_init p (per_node : bool array) =
+  let g = p.Protocol.graph in
+  let config = Protocol.uniform_config p false in
+  Array.iteri
+    (fun i b ->
+      Array.iter
+        (fun e -> config.Protocol.labels.(e) <- b)
+        (Digraph.out_edges g i))
+    per_node;
+  config
+
+module Eq_reduction = struct
+  type t = {
+    d : int;
+    snake : int array;
+    protocol : (unit, bool) Protocol.t;
+  }
+
+  let make d ~x ~y =
+    if d < 3 then invalid_arg "Eq_reduction.make: need d >= 3";
+    let snake_list = off_origin d (example d) in
+    let snake = Array.of_list snake_list in
+    let len = Array.length snake in
+    if Array.length x <> len || Array.length y <> len then
+      invalid_arg
+        (Printf.sprintf "Eq_reduction.make: inputs must have length %d" len);
+    let index = index_table d snake in
+    let n = d + 2 in
+    let g = Builders.clique n in
+    let react i () incoming =
+      let labels = by_sender g i incoming in
+      let bit =
+        if i = 0 then begin
+          let v = vertex_of labels d ~skip:(-1) in
+          if index.(v) >= 0 then x.(index.(v)) else true
+        end
+        else if i = 1 then begin
+          let v = vertex_of labels d ~skip:(-1) in
+          if index.(v) >= 0 then y.(index.(v)) else false
+        end
+        else if not (Bool.equal labels.(0) labels.(1)) then false
+        else phi snake index (i - 2) (vertex_of labels d ~skip:(i - 2))
+      in
+      (Array.map (fun _ -> bit) (Digraph.out_edges g i), if bit then 1 else 0)
+    in
+    let protocol =
+      {
+        Protocol.name = Printf.sprintf "eq-reduction-d%d" d;
+        graph = g;
+        space = Label.bool;
+        react;
+      }
+    in
+    { d; snake; protocol }
+
+  let input t = Array.make (t.d + 2) ()
+
+  let snake_init t =
+    let n = t.d + 2 in
+    let s0 = t.snake.(0) in
+    let per_node =
+      Array.init n (fun i ->
+          if i <= 1 then true else (s0 lsr (i - 2)) land 1 = 1)
+    in
+    uniform_init t.protocol per_node
+
+  let oscillates_from t init =
+    let n = t.d + 2 in
+    match
+      Engine.run_until_stable t.protocol ~input:(input t) ~init
+        ~schedule:(Schedule.synchronous n)
+        ~max_steps:(16 * (1 lsl t.d) * n)
+    with
+    | Engine.Oscillating _ -> true
+    | Engine.Stabilized _ -> false
+    | Engine.Exhausted _ ->
+        failwith "Eq_reduction: no verdict within the step bound"
+
+  let synchronously_oscillates t = oscillates_from t (snake_init t)
+
+  let oscillates_from_some_labeling t =
+    (* Any synchronous run's tail is reached from a per-node-uniform
+       configuration (after one round every sender is consistent), so
+       enumerating the 2^n uniform starts decides oscillation. *)
+    let n = t.d + 2 in
+    let rec try_code code =
+      if code >= 1 lsl n then false
+      else
+        let per_node = Array.init n (fun i -> (code lsr i) land 1 = 1) in
+        if oscillates_from t (uniform_init t.protocol per_node) then true
+        else try_code (code + 1)
+    in
+    try_code 0
+end
+
+module Disj_reduction = struct
+  type t = {
+    d : int;
+    q : int;
+    snake : int array;
+    protocol : (unit, bool) Protocol.t;
+  }
+
+  let make d ~q ~x ~y =
+    if d < 3 then invalid_arg "Disj_reduction.make: need d >= 3";
+    let snake_list = off_origin d (example d) in
+    let snake = Array.of_list snake_list in
+    let len = Array.length snake in
+    if q < 1 || len mod q <> 0 then
+      invalid_arg
+        (Printf.sprintf
+           "Disj_reduction.make: q must divide the snake length %d" len);
+    if Array.length x <> q || Array.length y <> q then
+      invalid_arg "Disj_reduction.make: inputs must have length q";
+    let index = index_table d snake in
+    let n = d + 2 in
+    let g = Builders.clique n in
+    let react i () incoming =
+      let labels = by_sender g i incoming in
+      let bit =
+        if i = 0 then begin
+          let v = vertex_of labels d ~skip:(-1) in
+          (not labels.(1)) && index.(v) >= 0 && x.(index.(v) mod q)
+        end
+        else if i = 1 then begin
+          let v = vertex_of labels d ~skip:(-1) in
+          (not labels.(0)) && index.(v) >= 0 && y.(index.(v) mod q)
+        end
+        else if labels.(0) && labels.(1) then
+          phi snake index (i - 2) (vertex_of labels d ~skip:(i - 2))
+        else false
+      in
+      (Array.map (fun _ -> bit) (Digraph.out_edges g i), if bit then 1 else 0)
+    in
+    let protocol =
+      {
+        Protocol.name = Printf.sprintf "disj-reduction-d%d-q%d" d q;
+        graph = g;
+        space = Label.bool;
+        react;
+      }
+    in
+    { d; q; snake; protocol }
+
+  let input t = Array.make (t.d + 2) ()
+  let fairness t = t.q + 2
+
+  let oscillates_at t k =
+    let n = t.d + 2 in
+    let snake_nodes = List.init t.d (fun c -> c + 2) in
+    let blocks =
+      List.init t.q (fun _ -> snake_nodes) @ [ [ 0; 1 ]; [ 0; 1 ] ]
+    in
+    let schedule = Schedule.block_rounds blocks in
+    let sk = t.snake.(k) in
+    let per_node =
+      Array.init n (fun i ->
+          if i <= 1 then true else (sk lsr (i - 2)) land 1 = 1)
+    in
+    let init = uniform_init t.protocol per_node in
+    match
+      Engine.run_until_stable t.protocol ~input:(input t) ~init ~schedule
+        ~max_steps:(64 * Array.length t.snake * (t.q + 2))
+    with
+    | Engine.Oscillating _ -> true
+    | Engine.Stabilized _ -> false
+    | Engine.Exhausted _ ->
+        failwith "Disj_reduction: no verdict within the step bound"
+
+  let oscillates t =
+    let rec loop k = k < t.q && (oscillates_at t k || loop (k + 1)) in
+    loop 0
+end

@@ -1,0 +1,101 @@
+(** Snakes in the box (induced cycles in hypercubes) — the combinatorial
+    engine of Theorem 4.1's communication-complexity lower bound.
+
+    A snake-in-the-box is an induced simple cycle of the hypercube [Q_d]
+    (Definition B.2): consecutive vertices are adjacent, and no other pair
+    of cycle vertices is adjacent. Abbott–Katchalski: the maximum length
+    [s(d)] satisfies [λ 2^d ≤ s(d) ≤ 2^(d-1)] with [λ ≥ 0.3], which is what
+    makes the Theorem 4.1 protocols exponentially hard to verify.
+
+    Vertices are [d]-bit integers. *)
+
+(** [is_induced_cycle d cycle] — the verifier for Definition B.2: length at
+    least 4, all vertices distinct, consecutive (and wrap-around) vertices
+    adjacent, non-consecutive vertices non-adjacent. *)
+val is_induced_cycle : int -> int list -> bool
+
+(** [search d ~node_budget] finds a longest induced cycle through 0 and 1 by
+    depth-first search, exact if the budget is not exhausted. Returns the
+    cycle and whether the search completed exhaustively. *)
+val search : int -> node_budget:int -> int list * bool
+
+(** [best_known d] for [2 <= d <= 7]: 4, 6, 8, 14, 26, 48. *)
+val best_known : int -> int
+
+(** A good snake for experiments: exact search result for [d <= 5], a known
+    optimal coil for [d = 6]. *)
+val example : int -> int list
+
+(** {2 The Theorem 4.1 protocols (communication hardness of verifying
+    self-stabilization)} *)
+
+(** The equality-based reduction of Theorem B.4 (regime [r ≤ 2^(n/2)],
+    specialized to r = 1 as in the paper's warm-up): a protocol on the
+    clique [K_n] (with [n = d + 2]) built from Alice's input [x] and Bob's
+    input [y], both of length [|S|], such that the protocol is label
+    1-stabilizing iff [x ≠ y]. Since equality needs [|S| = 2^Ω(n)] bits of
+    communication, so does deciding label stabilization.
+
+    Node 0 plays Alice (sends [x_i] when the other nodes spell snake vertex
+    [s_i], else 1); node 1 plays Bob (sends [y_i], else 0); nodes 2..n-1
+    each own one hypercube coordinate and walk the configuration along the
+    snake while Alice and Bob agree, and collapse it to 0^d otherwise. *)
+module Eq_reduction : sig
+  type t = private {
+    d : int;
+    snake : int array;
+    protocol : (unit, bool) Stateless_core.Protocol.t;
+  }
+
+  (** [make d ~x ~y] with [|x| = |y| =] length of {!example}[ d]. *)
+  val make : int -> x:bool array -> y:bool array -> t
+
+  val input : t -> unit array
+
+  (** The oscillation seed from Claim B.6: labeling [(α, α, s_0)] with
+      [α = x_0]. *)
+  val snake_init : t -> bool Stateless_core.Protocol.config
+
+  (** [synchronously_oscillates t] runs the synchronous schedule from
+      {!snake_init} (and from the all-zeros labeling) and reports whether
+      the labeling fails to converge — by Claims B.5/B.6 this happens iff
+      [x = y]. *)
+  val synchronously_oscillates : t -> bool
+
+  (** Exhaustive version: tries every initial labeling (only for small
+      [d]); true iff some synchronous run oscillates. *)
+  val oscillates_from_some_labeling : t -> bool
+end
+
+(** The set-disjointness-based reduction of Theorem B.7 (regime
+    [r ≥ 2^(n/2)]): Alice and Bob hold characteristic vectors [x, y] of set
+    families; the protocol oscillates under a suitable r-fair schedule iff
+    the sets intersect. The index map [I] folds the snake into [q] blocks;
+    [q] must divide the snake length. *)
+module Disj_reduction : sig
+  type t = private {
+    d : int;
+    q : int;
+    snake : int array;
+    protocol : (unit, bool) Stateless_core.Protocol.t;
+  }
+
+  (** [make d ~q ~x ~y] with [|x| = |y| = q] and [q] dividing the length
+      of {!example}[ d]. *)
+  val make : int -> q:int -> x:bool array -> y:bool array -> t
+
+  val input : t -> unit array
+
+  (** The r-fairness the adversarial schedule respects: [q + 2]. *)
+  val fairness : t -> int
+
+  (** [oscillates_at t k] plays the proof's schedule targeting index [k]:
+      park the configuration on the snake, advance it [q] steps per phase,
+      and try to refresh the Alice/Bob labels at block index [k]. True iff
+      the run oscillates — which happens iff [x_k && y_k]. *)
+  val oscillates_at : t -> int -> bool
+
+  (** True iff {!oscillates_at} succeeds for some index: iff the sets
+      intersect. *)
+  val oscillates : t -> bool
+end

@@ -1,0 +1,1 @@
+test/test_bp.ml: Alcotest Array Engine Fun Label List Printf Protocol QCheck QCheck_alcotest Random Schedule Stateless_bp Stateless_core Stateless_graph Stateless_machine

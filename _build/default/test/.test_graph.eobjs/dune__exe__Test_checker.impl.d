@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Array Clique_example Engine Label List Option Printf Protocol QCheck QCheck_alcotest Schedule Stability Stateless_checker Stateless_core Stateless_graph

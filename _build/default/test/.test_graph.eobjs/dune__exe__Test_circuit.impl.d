@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Fun Generic List Printf QCheck QCheck_alcotest Random Stateless_circuit Stateless_core Stateless_graph String

@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Array Engine Label List Printf Protocol QCheck QCheck_alcotest Schedule Stateless_circuit Stateless_compile Stateless_core

@@ -1,0 +1,1 @@
+test/test_counter.ml: Alcotest Array Bool Engine Fun Label List Printf Protocol QCheck QCheck_alcotest Random Schedule Stateless_core Stateless_counter

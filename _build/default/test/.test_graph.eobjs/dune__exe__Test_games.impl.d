@@ -1,0 +1,1 @@
+test/test_games.ml: Alcotest Array Engine Fun List Printf Protocol QCheck QCheck_alcotest Schedule Stability Stateless_checker Stateless_core Stateless_games Stateless_graph

@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Alcotest Array Generic Label List Option Printf Protocol QCheck QCheck_alcotest Stateless_core Stateless_graph Stateless_lowerbound

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Bool Engine Label List Printf Protocol QCheck QCheck_alcotest Random Schedule Stateless_core Stateless_machine Unidirectional

@@ -1,0 +1,1 @@
+test/test_pspace.ml: Alcotest Array Engine Label List Printf Protocol QCheck QCheck_alcotest Random Schedule Stateless_core Stateless_pspace

@@ -1,0 +1,1 @@
+test/test_snake.ml: Alcotest Array List Printf Protocol QCheck QCheck_alcotest Stateless_core Stateless_graph Stateless_snake

@@ -1,0 +1,332 @@
+module Bp = Stateless_bp.Bp
+module Machine = Stateless_machine.Machine
+open Stateless_core
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let all_inputs n =
+  List.init (1 lsl n) (fun code ->
+      Array.init n (fun i -> code land (1 lsl (n - 1 - i)) <> 0))
+
+let popcount x = Array.fold_left (fun a b -> if b then a + 1 else a) 0 x
+
+let agrees name bp reference n =
+  List.iter
+    (fun x -> Alcotest.(check bool) name (reference x) (Bp.eval bp x))
+    (all_inputs n)
+
+let test_create_validates () =
+  Alcotest.check_raises "backward ref"
+    (Invalid_argument "Bp.create: reference must be a later node or sink")
+    (fun () ->
+      ignore
+        (Bp.create ~n_vars:1
+           [| { Bp.var = 0; lo = 0; hi = Bp.accept } |]
+           ~start:0));
+  Alcotest.check_raises "var range"
+    (Invalid_argument "Bp.create: variable out of range") (fun () ->
+      ignore
+        (Bp.create ~n_vars:1
+           [| { Bp.var = 1; lo = Bp.accept; hi = Bp.reject } |]
+           ~start:0))
+
+let test_sink_programs () =
+  let t = Bp.create ~n_vars:3 [||] ~start:Bp.accept in
+  check_bool "accept-all" true (Bp.eval t [| false; true; false |]);
+  let f = Bp.create ~n_vars:3 [||] ~start:Bp.reject in
+  check_bool "reject-all" false (Bp.eval f [| false; true; false |]);
+  check "length" 0 (Bp.length t)
+
+let test_parity () =
+  agrees "parity" (Bp.parity 6) (fun x -> popcount x mod 2 = 1) 6;
+  check "size" 12 (Bp.size (Bp.parity 6));
+  check "length" 6 (Bp.length (Bp.parity 6))
+
+let test_threshold () =
+  List.iter
+    (fun k ->
+      agrees
+        (Printf.sprintf "threshold 5 %d" k)
+        (Bp.threshold 5 k)
+        (fun x -> popcount x >= k)
+        5)
+    [ 0; 1; 3; 5; 6 ]
+
+let test_majority () =
+  List.iter
+    (fun n ->
+      agrees
+        (Printf.sprintf "majority %d" n)
+        (Bp.majority n)
+        (fun x -> 2 * popcount x >= n)
+        n)
+    [ 2; 3; 4; 5 ]
+
+let test_equality () =
+  agrees "equality 6" (Bp.equality 6)
+    (fun x -> x.(0) = x.(3) && x.(1) = x.(4) && x.(2) = x.(5))
+    6;
+  agrees "equality odd rejects" (Bp.equality 3) (fun _ -> false) 3;
+  (* Width-3 construction: size 3·(n/2). *)
+  check "eq size linear" 9 (Bp.size (Bp.equality 6))
+
+let test_of_dfa () =
+  (* DFA for "ends with 1". *)
+  let bp =
+    Bp.of_dfa ~states:2 ~start:0
+      ~accepting:(fun s -> s = 1)
+      ~delta:(fun _ b -> if b then 1 else 0)
+      4
+  in
+  agrees "ends with 1" bp (fun x -> x.(3)) 4
+
+let test_of_function () =
+  let f x = x.(0) <> (x.(1) && x.(2)) in
+  agrees "of_function" (Bp.of_function 3 f) f 3
+
+let test_length_le_size () =
+  List.iter
+    (fun bp -> check_bool "length <= size" true (Bp.length bp <= Bp.size bp))
+    [ Bp.parity 5; Bp.majority 6; Bp.equality 8; Bp.of_function 4 (fun x -> x.(0)) ]
+
+(* ------------------------------------------------------------------ *)
+(* Reduction                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_reduce_preserves_function () =
+  List.iter
+    (fun (name, bp, n) ->
+      let r = Bp.reduce bp in
+      List.iter
+        (fun x ->
+          Alcotest.(check bool)
+            (name ^ " preserved")
+            (Bp.eval bp x) (Bp.eval r x))
+        (all_inputs n);
+      check_bool (name ^ " not larger") true (Bp.size r <= Bp.size bp))
+    [
+      ("parity", Bp.parity 5, 5);
+      ("majority", Bp.majority 5, 5);
+      ("equality", Bp.equality 6, 6);
+      ("tree", Bp.of_function 4 (fun x -> x.(0) && x.(3)), 4);
+    ]
+
+let test_reduce_shrinks_decision_tree () =
+  (* The full decision tree of "x0 AND x3" has 15 nodes; reduction must
+     collapse the untested middle variables. *)
+  let bp = Bp.of_function 4 (fun x -> x.(0) && x.(3)) in
+  let r = Bp.reduce bp in
+  check_bool "shrinks a lot" true (Bp.size r <= 3);
+  check "tree size" 15 (Bp.size bp)
+
+let test_reduce_elides_redundant_tests () =
+  (* A node whose branches agree disappears. *)
+  let bp =
+    Bp.create ~n_vars:2
+      [|
+        { Bp.var = 0; lo = 1; hi = 1 };
+        { Bp.var = 1; lo = Bp.reject; hi = Bp.accept };
+      |]
+      ~start:0
+  in
+  let r = Bp.reduce bp in
+  check "one node left" 1 (Bp.size r);
+  List.iter
+    (fun x -> Alcotest.(check bool) "same" (Bp.eval bp x) (Bp.eval r x))
+    (all_inputs 2)
+
+let test_reduce_constant_program () =
+  let bp =
+    Bp.create ~n_vars:1
+      [| { Bp.var = 0; lo = Bp.accept; hi = Bp.accept } |]
+      ~start:0
+  in
+  let r = Bp.reduce bp in
+  check "empty" 0 (Bp.size r);
+  check_bool "accepts" true (Bp.eval r [| false |])
+
+let test_reduce_idempotent () =
+  let bp = Bp.of_function 4 (fun x -> x.(1) <> x.(2)) in
+  let once = Bp.reduce bp in
+  let twice = Bp.reduce once in
+  check "fixed point" (Bp.size once) (Bp.size twice)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 5.2 forward: unidirectional protocol -> branching program   *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_uni_protocol_machine () =
+  let m = Machine.parity 3 in
+  let p = Machine.protocol_of_machine m in
+  let bp =
+    Bp.of_uni_protocol p ~start:(p.Protocol.space.Label.decode 0)
+  in
+  agrees "protocol-as-BP computes parity" bp
+    (fun x -> popcount x mod 2 = 1)
+    3;
+  (* Polynomial size: n·|Σ| layers of width |Σ|. *)
+  let card = p.Protocol.space.Label.card in
+  check "layered size" (3 * card * card) (Bp.size bp)
+
+let test_of_uni_protocol_or_collector () =
+  (* A hand-rolled output-stabilizing protocol: the label accumulates the
+     OR of the inputs seen so far. *)
+  let g = Stateless_graph.Builders.ring_uni 4 in
+  let p : (bool, bool) Protocol.t =
+    {
+      Protocol.name = "or-collector";
+      graph = g;
+      space = Label.bool;
+      react =
+        (fun _ x incoming ->
+          let v = incoming.(0) || x in
+          ([| v |], if v then 1 else 0));
+    }
+  in
+  let bp = Bp.of_uni_protocol p ~start:false in
+  agrees "or via sequential BP" bp (fun x -> Array.exists Fun.id x) 4
+
+let test_of_uni_protocol_rejects_clique () =
+  let p = Stateless_core.Clique_example.make 3 in
+  let p_bool : (bool, bool) Protocol.t =
+    { p with Protocol.react = (fun i _ incoming -> p.Protocol.react i () incoming) }
+  in
+  Alcotest.check_raises "clique rejected"
+    (Invalid_argument "Bp.of_uni_protocol: not a unidirectional ring")
+    (fun () -> ignore (Bp.of_uni_protocol p_bool ~start:false))
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 5.2 reverse: branching program -> ring protocol             *)
+(* ------------------------------------------------------------------ *)
+
+let ring_agrees name bp =
+  let p = Bp.protocol_of_bp bp in
+  let n = bp.Bp.n_vars in
+  let bound = Bp.convergence_bound bp in
+  let state = Random.State.make [| 23 |] in
+  let card = p.Protocol.space.Label.card in
+  List.iter
+    (fun x ->
+      let labels =
+        Array.init (Protocol.num_edges p) (fun _ ->
+            p.Protocol.space.Label.decode (Random.State.int state card))
+      in
+      let init = Protocol.config_of_labels p labels in
+      match
+        Engine.outputs_after_convergence p ~input:x ~init
+          ~schedule:(Schedule.synchronous n) ~max_steps:(2 * bound)
+      with
+      | Some outs ->
+          let expect = if Bp.eval bp x then 1 else 0 in
+          Array.iter (fun y -> check (name ^ " output") expect y) outs
+      | None -> Alcotest.fail (name ^ ": did not converge"))
+    (all_inputs n)
+
+let test_parity_to_ring () = ring_agrees "parity" (Bp.parity 4)
+let test_equality_to_ring () = ring_agrees "equality" (Bp.equality 4)
+let test_majority_to_ring () = ring_agrees "majority" (Bp.majority 3)
+
+let test_roundtrip_bp_protocol_bp () =
+  (* BP -> protocol -> BP preserves the function. *)
+  let bp = Bp.parity 3 in
+  let p = Bp.protocol_of_bp bp in
+  let bp' = Bp.of_uni_protocol p ~start:(p.Protocol.space.Label.decode 0) in
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) "roundtrip" (Bp.eval bp x) (Bp.eval bp' x))
+    (all_inputs 3)
+
+let prop_random_dfa_roundtrip =
+  (* Random 3-state DFA -> BP -> reduce -> ring protocol: the end-to-end
+     Theorem 5.2 pipeline preserves the language on every input. *)
+  QCheck.Test.make ~count:15 ~name:"random DFA through the full pipeline"
+    (QCheck.make QCheck.Gen.(pair (int_bound 100_000) (int_bound 15)))
+    (fun (spec, code) ->
+      let states = 3 in
+      let delta s b =
+        (* Derive a transition table from the spec integer. *)
+        (spec / ((if b then 9 else 1) * int_of_float (3. ** float_of_int s)))
+        mod states
+      in
+      let accepting s = spec mod (s + 2) = 0 in
+      let n = 4 in
+      let bp = Bp.reduce (Bp.of_dfa ~states ~start:0 ~accepting ~delta n) in
+      let x = Array.init n (fun i -> code land (1 lsl i) <> 0) in
+      let dfa_run =
+        let s = ref 0 in
+        Array.iter (fun b -> s := delta !s b) x;
+        accepting !s
+      in
+      if Bp.eval bp x <> dfa_run then false
+      else begin
+        let p = Bp.protocol_of_bp bp in
+        let init =
+          Protocol.uniform_config p (p.Protocol.space.Label.decode 0)
+        in
+        match
+          Engine.outputs_after_convergence p ~input:x ~init
+            ~schedule:(Schedule.synchronous n)
+            ~max_steps:(2 * Bp.convergence_bound bp)
+        with
+        | Some outs -> Array.for_all (fun y -> (y = 1) = dfa_run) outs
+        | None -> false
+      end)
+
+let prop_threshold_bp =
+  QCheck.Test.make ~count:100 ~name:"threshold BP matches popcount"
+    (QCheck.make
+       QCheck.Gen.(triple (int_range 1 8) (int_range 0 9) (int_bound 255)))
+    (fun (n, k, code) ->
+      let x = Array.init n (fun i -> code land (1 lsl i) <> 0) in
+      Bp.eval (Bp.threshold n k) x = (popcount x >= k))
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_threshold_bp; prop_random_dfa_roundtrip ]
+
+let () =
+  Alcotest.run "stateless_bp"
+    [
+      ( "programs",
+        [
+          Alcotest.test_case "create validates" `Quick test_create_validates;
+          Alcotest.test_case "sink programs" `Quick test_sink_programs;
+          Alcotest.test_case "parity" `Quick test_parity;
+          Alcotest.test_case "threshold" `Quick test_threshold;
+          Alcotest.test_case "majority" `Quick test_majority;
+          Alcotest.test_case "equality" `Quick test_equality;
+          Alcotest.test_case "of_dfa" `Quick test_of_dfa;
+          Alcotest.test_case "of_function" `Quick test_of_function;
+          Alcotest.test_case "length <= size" `Quick test_length_le_size;
+        ] );
+      ( "reduce",
+        [
+          Alcotest.test_case "preserves function" `Quick
+            test_reduce_preserves_function;
+          Alcotest.test_case "shrinks decision tree" `Quick
+            test_reduce_shrinks_decision_tree;
+          Alcotest.test_case "elides redundant tests" `Quick
+            test_reduce_elides_redundant_tests;
+          Alcotest.test_case "constant program" `Quick
+            test_reduce_constant_program;
+          Alcotest.test_case "idempotent" `Quick test_reduce_idempotent;
+        ] );
+      ( "thm-5.2-forward",
+        [
+          Alcotest.test_case "machine protocol as BP" `Slow
+            test_of_uni_protocol_machine;
+          Alcotest.test_case "or-collector as BP" `Quick
+            test_of_uni_protocol_or_collector;
+          Alcotest.test_case "rejects non-ring" `Quick
+            test_of_uni_protocol_rejects_clique;
+        ] );
+      ( "thm-5.2-reverse",
+        [
+          Alcotest.test_case "parity to ring" `Slow test_parity_to_ring;
+          Alcotest.test_case "equality to ring" `Slow test_equality_to_ring;
+          Alcotest.test_case "majority to ring" `Slow test_majority_to_ring;
+          Alcotest.test_case "roundtrip" `Slow test_roundtrip_bp_protocol_bp;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,339 @@
+module Builders = Stateless_graph.Builders
+open Stateless_core
+module Checker = Stateless_checker.Checker
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let unit_input n = Array.make n ()
+
+let copy_ring_uni n : (unit, bool) Protocol.t =
+  {
+    Protocol.name = "copy-ring-uni";
+    graph = Builders.ring_uni n;
+    space = Label.bool;
+    react = (fun _ () incoming -> ([| incoming.(0) |], 0));
+  }
+
+(* Bidirectional ring where each node copies its clockwise incoming label to
+   both directions. Uniform labelings are stable. *)
+let copy_ring_bi n : (unit, bool) Protocol.t =
+  let g = Builders.ring_bi n in
+  let module D = Stateless_graph.Digraph in
+  {
+    Protocol.name = "copy-ring-bi";
+    graph = g;
+    space = Label.bool;
+    react =
+      (fun i () incoming ->
+        let from_ccw = ref false in
+        Array.iteri
+          (fun k e ->
+            if D.src g e = (i + n - 1) mod n then from_ccw := incoming.(k))
+          (D.in_edges g i);
+        (Array.map (fun _ -> !from_ccw) (D.out_edges g i), 0));
+  }
+
+let constant_ring n : (unit, bool) Protocol.t =
+  {
+    Protocol.name = "constant-ring";
+    graph = Builders.ring_uni n;
+    space = Label.bool;
+    react = (fun _ () _ -> ([| false |], 0));
+  }
+
+(* Labels rotate forever; outputs constant. Labels never stabilize, outputs
+   always do. *)
+let rotor_silent n : (unit, bool) Protocol.t =
+  {
+    Protocol.name = "rotor-silent";
+    graph = Builders.ring_uni n;
+    space = Label.bool;
+    react = (fun _ () incoming -> ([| incoming.(0) |], 1));
+  }
+
+(* Labels rotate forever and node outputs follow the rotating label. *)
+let rotor_loud n : (unit, bool) Protocol.t =
+  {
+    Protocol.name = "rotor-loud";
+    graph = Builders.ring_uni n;
+    space = Label.bool;
+    react =
+      (fun _ () incoming -> ([| incoming.(0) |], if incoming.(0) then 1 else 0));
+  }
+
+let budget = 2_000_000
+
+(* ------------------------------------------------------------------ *)
+(* Label checking                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_constant_always_stabilizing () =
+  let p = constant_ring 3 in
+  List.iter
+    (fun r ->
+      match Checker.check_label p ~input:(unit_input 3) ~r ~max_states:budget with
+      | Checker.Stabilizing -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "r=%d should stabilize" r))
+    [ 1; 2; 3; 4 ]
+
+let test_copy_ring_oscillates_synchronously () =
+  let p = copy_ring_uni 3 in
+  match Checker.check_label p ~input:(unit_input 3) ~r:1 ~max_states:budget with
+  | Checker.Oscillating w ->
+      check_bool "witness replays" true (Checker.replay p ~input:(unit_input 3) w)
+  | _ -> Alcotest.fail "copy ring should oscillate under synchronous"
+
+let test_example1_r1_stabilizing () =
+  let p = Clique_example.make 3 in
+  match
+    Checker.check_label p ~input:(Clique_example.input 3) ~r:1
+      ~max_states:budget
+  with
+  | Checker.Stabilizing -> ()
+  | Checker.Oscillating _ -> Alcotest.fail "Example 1 is 1-stabilizing"
+  | Checker.Too_large _ -> Alcotest.fail "budget too small"
+
+let test_example1_r2_oscillates_n3 () =
+  (* n = 3: r = n - 1 = 2 must oscillate (Theorem 3.1). *)
+  let p = Clique_example.make 3 in
+  match
+    Checker.check_label p ~input:(Clique_example.input 3) ~r:2
+      ~max_states:budget
+  with
+  | Checker.Oscillating w ->
+      check_bool "witness replays" true
+        (Checker.replay p ~input:(Clique_example.input 3) w)
+  | Checker.Stabilizing -> Alcotest.fail "should oscillate at r = n-1"
+  | Checker.Too_large _ -> Alcotest.fail "budget too small"
+
+let test_example1_tightness_n4 () =
+  (* n = 4: stabilizing at r = n - 2 = 2, oscillating at r = n - 1 = 3.
+     This is the paper's tightness claim for Theorem 3.1, decided
+     exhaustively. *)
+  let p = Clique_example.make 4 in
+  let input = Clique_example.input 4 in
+  (match Checker.check_label p ~input ~r:2 ~max_states:budget with
+  | Checker.Stabilizing -> ()
+  | Checker.Oscillating _ -> Alcotest.fail "n=4 r=2 should stabilize"
+  | Checker.Too_large { needed } ->
+      Alcotest.fail (Printf.sprintf "budget: need %d states" needed));
+  match Checker.check_label p ~input ~r:3 ~max_states:budget with
+  | Checker.Oscillating w ->
+      check_bool "witness replays" true (Checker.replay p ~input w)
+  | Checker.Stabilizing -> Alcotest.fail "n=4 r=3 should oscillate"
+  | Checker.Too_large { needed } ->
+      Alcotest.fail (Printf.sprintf "budget: need %d states" needed)
+
+let test_max_stabilizing_r_example1 () =
+  (* Example 1 at n = 3: the maximal stabilizing fairness is r = 1 = n-2. *)
+  let p = Clique_example.make 3 in
+  check "max r" 1
+    (Option.get
+       (Checker.max_stabilizing_r p ~input:(Clique_example.input 3) ~r_limit:4
+          ~max_states:budget))
+
+let test_theorem31_on_copy_ring_bi () =
+  (* Two stable labelings exist, so Theorem 3.1 predicts failure at
+     r = n - 1; the checker confirms on the bidirectional 3-ring. *)
+  let p = copy_ring_bi 3 in
+  let input = unit_input 3 in
+  check_bool "two stable labelings" true
+    (Stability.has_multiple_stable_labelings p ~input);
+  match Checker.check_label p ~input ~r:2 ~max_states:budget with
+  | Checker.Oscillating w ->
+      check_bool "witness replays" true (Checker.replay p ~input w)
+  | Checker.Stabilizing -> Alcotest.fail "Theorem 3.1 violated?!"
+  | Checker.Too_large _ -> Alcotest.fail "budget too small"
+
+let test_too_large_reported () =
+  let p = Clique_example.make 4 in
+  match
+    Checker.check_label p ~input:(Clique_example.input 4) ~r:3 ~max_states:10
+  with
+  | Checker.Too_large { needed } -> check_bool "needed > 10" true (needed > 10)
+  | _ -> Alcotest.fail "should report Too_large"
+
+(* ------------------------------------------------------------------ *)
+(* Output checking                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_output_stabilizing_despite_label_oscillation () =
+  let p = rotor_silent 3 in
+  let input = unit_input 3 in
+  (match Checker.check_label p ~input ~r:1 ~max_states:budget with
+  | Checker.Oscillating _ -> ()
+  | _ -> Alcotest.fail "labels should oscillate");
+  match Checker.check_output p ~input ~r:1 ~max_states:budget with
+  | Checker.Stabilizing -> ()
+  | Checker.Oscillating _ -> Alcotest.fail "outputs are constant"
+  | Checker.Too_large _ -> Alcotest.fail "budget too small"
+
+let test_output_divergence_found () =
+  let p = rotor_loud 3 in
+  let input = unit_input 3 in
+  match Checker.check_output p ~input ~r:1 ~max_states:budget with
+  | Checker.Oscillating w ->
+      check_bool "witness replays" true (Checker.replay p ~input w)
+  | Checker.Stabilizing -> Alcotest.fail "outputs diverge"
+  | Checker.Too_large _ -> Alcotest.fail "budget too small"
+
+let test_output_check_constant () =
+  let p = constant_ring 3 in
+  match Checker.check_output p ~input:(unit_input 3) ~r:2 ~max_states:budget with
+  | Checker.Stabilizing -> ()
+  | _ -> Alcotest.fail "constant protocol output-stabilizes"
+
+(* ------------------------------------------------------------------ *)
+(* Witness structure                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_witness_schedule_is_r_fair () =
+  let p = Clique_example.make 3 in
+  let input = Clique_example.input 3 in
+  match Checker.check_label p ~input ~r:2 ~max_states:budget with
+  | Checker.Oscillating w ->
+      (* The cycle repeated forever must be 2-fair. *)
+      let sched = Schedule.block_rounds w.Checker.cycle in
+      check_bool "cycle is 2-fair" true
+        (Schedule.is_r_fair sched ~n:3 ~r:2
+           ~horizon:(4 * List.length w.Checker.cycle))
+  | _ -> Alcotest.fail "expected oscillation"
+
+let test_witness_nonempty_steps () =
+  let p = copy_ring_uni 3 in
+  match Checker.check_label p ~input:(unit_input 3) ~r:2 ~max_states:budget with
+  | Checker.Oscillating w ->
+      check_bool "cycle nonempty" true (w.Checker.cycle <> []);
+      List.iter
+        (fun step -> check_bool "step nonempty" true (step <> []))
+        (w.Checker.prefix @ w.Checker.cycle)
+  | _ -> Alcotest.fail "expected oscillation"
+
+(* ------------------------------------------------------------------ *)
+(* Property: engine outcome and checker verdict cannot contradict      *)
+(* ------------------------------------------------------------------ *)
+
+let prop_checker_consistent_with_engine =
+  (* If the checker says r-stabilizing, no random r-fair run may oscillate
+     (they must either stabilize or still be in the transient). *)
+  QCheck.Test.make ~count:20 ~name:"checker consistent with engine"
+    (QCheck.make QCheck.Gen.(pair (int_bound 100) (int_range 3 4)))
+    (fun (seed, n) ->
+      let p = Clique_example.make n in
+      let input = Clique_example.input n in
+      let r = n - 2 in
+      match Checker.check_label p ~input ~r ~max_states:budget with
+      | Checker.Stabilizing -> (
+          let schedule = Schedule.random_fair ~seed ~r n in
+          let init = Clique_example.oscillation_init p in
+          match
+            Engine.run_until_stable p ~input ~init ~schedule
+              ~max_steps:(200 * n)
+          with
+          | Engine.Oscillating _ -> false
+          | Engine.Stabilized _ | Engine.Exhausted _ -> true)
+      | _ -> false)
+
+(* Random protocols on K_3 with 1-bit same-to-all labels: each node maps
+   its two incoming bits to one outgoing bit, so a protocol is a 12-bit
+   table. Exhaustive checking is cheap (64 labelings x countdowns), making
+   these ideal for cross-validation. *)
+let random_k3_protocol table : (unit, bool) Stateless_core.Protocol.t =
+  let g = Builders.clique 3 in
+  let module D = Stateless_graph.Digraph in
+  {
+    Protocol.name = Printf.sprintf "table-%d" table;
+    graph = g;
+    space = Label.bool;
+    react =
+      (fun i () incoming ->
+        let idx =
+          Array.fold_left
+            (fun acc b -> (2 * acc) + if b then 1 else 0)
+            0 incoming
+        in
+        let bit = (table lsr ((4 * i) + idx)) land 1 = 1 in
+        (Array.map (fun _ -> bit) (D.out_edges g i), if bit then 1 else 0))
+  }
+
+let prop_checker_vs_sampler =
+  (* The exhaustive checker and the randomized adversary sampler must never
+     contradict: a sampled oscillation on a protocol the checker proved
+     stabilizing would be a soundness bug in one of them. *)
+  QCheck.Test.make ~count:40 ~name:"checker and sampler never contradict"
+    (QCheck.make QCheck.Gen.(int_bound ((1 lsl 12) - 1)))
+    (fun table ->
+      let p = random_k3_protocol table in
+      let input = unit_input 3 in
+      let r = 2 in
+      match Checker.check_label p ~input ~r ~max_states:budget with
+      | Checker.Too_large _ -> false
+      | Checker.Oscillating w -> Checker.replay p ~input w
+      | Checker.Stabilizing ->
+          Stateless_core.Adversary.find_oscillation p ~input ~r ~attempts:20
+            ~period:6 ~seed:table ~max_steps:300
+          = None)
+
+let prop_theorem31_on_random_protocols =
+  (* Theorem 3.1 as a universal law over random protocols: whenever a
+     random K_3 protocol has two stable labelings, the checker must find a
+     2-fair oscillation. *)
+  QCheck.Test.make ~count:60 ~name:"Theorem 3.1 holds on random protocols"
+    (QCheck.make QCheck.Gen.(int_bound ((1 lsl 12) - 1)))
+    (fun table ->
+      let p = random_k3_protocol table in
+      let input = unit_input 3 in
+      if not (Stability.has_multiple_stable_labelings p ~input) then true
+      else
+        match Checker.check_label p ~input ~r:2 ~max_states:budget with
+        | Checker.Oscillating w -> Checker.replay p ~input w
+        | Checker.Stabilizing -> false (* would contradict Theorem 3.1 *)
+        | Checker.Too_large _ -> false)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_checker_consistent_with_engine;
+      prop_checker_vs_sampler;
+      prop_theorem31_on_random_protocols;
+    ]
+
+let () =
+  Alcotest.run "stateless_checker"
+    [
+      ( "label",
+        [
+          Alcotest.test_case "constant stabilizes all r" `Quick
+            test_constant_always_stabilizing;
+          Alcotest.test_case "copy ring oscillates r=1" `Quick
+            test_copy_ring_oscillates_synchronously;
+          Alcotest.test_case "example1 r=1 stabilizing" `Quick
+            test_example1_r1_stabilizing;
+          Alcotest.test_case "example1 r=2 oscillates (n=3)" `Quick
+            test_example1_r2_oscillates_n3;
+          Alcotest.test_case "example1 tightness (n=4)" `Slow
+            test_example1_tightness_n4;
+          Alcotest.test_case "max stabilizing r" `Quick
+            test_max_stabilizing_r_example1;
+          Alcotest.test_case "theorem 3.1 on copy ring" `Quick
+            test_theorem31_on_copy_ring_bi;
+          Alcotest.test_case "too large reported" `Quick test_too_large_reported;
+        ] );
+      ( "output",
+        [
+          Alcotest.test_case "output-stable despite label oscillation" `Quick
+            test_output_stabilizing_despite_label_oscillation;
+          Alcotest.test_case "output divergence found" `Quick
+            test_output_divergence_found;
+          Alcotest.test_case "constant output check" `Quick
+            test_output_check_constant;
+        ] );
+      ( "witness",
+        [
+          Alcotest.test_case "cycle schedule r-fair" `Quick
+            test_witness_schedule_is_r_fair;
+          Alcotest.test_case "steps nonempty" `Quick test_witness_nonempty_steps;
+        ] );
+      ("properties", qcheck_tests);
+    ]

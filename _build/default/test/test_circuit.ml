@@ -1,0 +1,214 @@
+module Circuit = Stateless_circuit.Circuit
+module Unroll = Stateless_circuit.Unroll
+open Stateless_core
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let all_inputs n =
+  List.init (1 lsl n) (fun code ->
+      Array.init n (fun i -> code land (1 lsl (n - 1 - i)) <> 0))
+
+let popcount x = Array.fold_left (fun a b -> if b then a + 1 else a) 0 x
+
+let agree name circuit reference n =
+  List.iter
+    (fun x ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s on %s" name
+           (String.concat ""
+              (List.map (fun b -> if b then "1" else "0") (Array.to_list x))))
+        (reference x) (Circuit.eval circuit x))
+    (all_inputs n)
+
+(* ------------------------------------------------------------------ *)
+
+let test_create_validates () =
+  Alcotest.check_raises "forward ref"
+    (Invalid_argument "Circuit.create: operand not earlier in the array")
+    (fun () ->
+      ignore (Circuit.create ~n_inputs:1 [| Circuit.Not 0 |] ~output:0));
+  Alcotest.check_raises "input range"
+    (Invalid_argument "Circuit.create: input index out of range") (fun () ->
+      ignore (Circuit.create ~n_inputs:1 [| Circuit.Input 1 |] ~output:0));
+  Alcotest.check_raises "output range"
+    (Invalid_argument "Circuit.create: output gate out of range") (fun () ->
+      ignore (Circuit.create ~n_inputs:1 [| Circuit.Input 0 |] ~output:1))
+
+let test_eval_basic () =
+  let c =
+    Circuit.create ~n_inputs:2
+      [| Circuit.Input 0; Circuit.Input 1; Circuit.And (0, 1) |]
+      ~output:2
+  in
+  check_bool "1 and 1" true (Circuit.eval c [| true; true |]);
+  check_bool "1 and 0" false (Circuit.eval c [| true; false |]);
+  check "size" 3 (Circuit.size c);
+  check "depth" 1 (Circuit.depth c)
+
+let test_parity () = agree "parity" (Circuit.parity 5) (fun x -> popcount x mod 2 = 1) 5
+
+let test_majority () =
+  List.iter
+    (fun n ->
+      agree
+        (Printf.sprintf "majority %d" n)
+        (Circuit.majority n)
+        (fun x -> 2 * popcount x >= n)
+        n)
+    [ 1; 2; 3; 4; 5; 6; 7 ]
+
+let test_threshold () =
+  List.iter
+    (fun k ->
+      agree
+        (Printf.sprintf "threshold 5 %d" k)
+        (Circuit.threshold 5 k)
+        (fun x -> popcount x >= k)
+        5)
+    [ 0; 1; 2; 3; 4; 5; 6 ]
+
+let test_equality () =
+  agree "equality 6" (Circuit.equality 6)
+    (fun x -> x.(0) = x.(3) && x.(1) = x.(4) && x.(2) = x.(5))
+    6;
+  agree "equality odd" (Circuit.equality 5) (fun _ -> false) 5
+
+let test_and_or_all () =
+  agree "and_all" (Circuit.and_all 4) (fun x -> Array.for_all Fun.id x) 4;
+  agree "or_all" (Circuit.or_all 4) (fun x -> Array.exists Fun.id x) 4
+
+let test_of_function () =
+  let f x = (x.(0) && x.(2)) <> x.(1) in
+  agree "of_function" (Circuit.of_function 3 f) f 3
+
+let test_of_function_constant () =
+  agree "const false" (Circuit.of_function 2 (fun _ -> false)) (fun _ -> false) 2;
+  agree "const true" (Circuit.of_function 2 (fun _ -> true)) (fun _ -> true) 2
+
+let test_random_deterministic () =
+  let a = Circuit.random ~seed:7 ~n_inputs:4 ~size:20 in
+  let b = Circuit.random ~seed:7 ~n_inputs:4 ~size:20 in
+  List.iter
+    (fun x ->
+      check_bool "same function" (Circuit.eval a x) (Circuit.eval b x))
+    (all_inputs 4)
+
+let test_builder_simplifications () =
+  let b = Circuit.Build.create ~n_inputs:1 in
+  let x = Circuit.Build.input b 0 in
+  let nn = Circuit.Build.not_ b (Circuit.Build.not_ b x) in
+  check "double negation collapses" x nn;
+  let t = Circuit.Build.const b true in
+  check "and with true" x (Circuit.Build.and_ b x t);
+  let f = Circuit.Build.const b false in
+  check "or with false" x (Circuit.Build.or_ b x f)
+
+let test_depth_monotone () =
+  check_bool "majority deeper than parity of same width" true
+    (Circuit.depth (Circuit.majority 8) >= 1);
+  check "depth of input" 0 (Circuit.depth (Circuit.and_all 1))
+
+(* ------------------------------------------------------------------ *)
+(* Unrolling (Theorem 5.4, forward direction)                          *)
+(* ------------------------------------------------------------------ *)
+
+let parity_vec bits = Array.fold_left (fun acc b -> acc <> b) false bits
+
+let test_unroll_generic_protocol () =
+  (* Unroll the Prop 2.3 protocol computing parity on the bidirectional
+     3-ring; the resulting circuit must compute parity. *)
+  let g = Stateless_graph.Builders.ring_bi 3 in
+  let p = Generic.make g parity_vec in
+  let rounds = (2 * 3) + 1 in
+  let circuit =
+    Unroll.circuit_of_protocol p ~rounds ~init:(Array.make 4 false) ~node:1
+  in
+  List.iter
+    (fun x ->
+      check_bool "parity via unrolled protocol" (parity_vec x)
+        (Circuit.eval circuit x))
+    (all_inputs 3)
+
+let test_unroll_rejects_wide_reactions () =
+  let g = Stateless_graph.Builders.clique 8 in
+  let p = Generic.make g parity_vec in
+  Alcotest.check_raises "too wide"
+    (Invalid_argument "Unroll.circuit_of_protocol: reaction table too wide")
+    (fun () ->
+      ignore
+        (Unroll.circuit_of_protocol p ~rounds:1 ~init:(Array.make 9 false)
+           ~node:0))
+
+let test_unroll_polynomial_size () =
+  let g = Stateless_graph.Builders.ring_bi 3 in
+  let p = Generic.make g parity_vec in
+  let c7 =
+    Unroll.circuit_of_protocol p ~rounds:7 ~init:(Array.make 4 false) ~node:0
+  in
+  let c3 =
+    Unroll.circuit_of_protocol p ~rounds:3 ~init:(Array.make 4 false) ~node:0
+  in
+  check_bool "size grows with rounds" true (Circuit.size c7 > Circuit.size c3)
+
+(* ------------------------------------------------------------------ *)
+
+let prop_majority_matches =
+  QCheck.Test.make ~count:100 ~name:"majority circuit matches popcount"
+    (QCheck.make
+       QCheck.Gen.(pair (int_range 1 10) (int_bound ((1 lsl 10) - 1))))
+    (fun (n, code) ->
+      let x = Array.init n (fun i -> code land (1 lsl i) <> 0) in
+      Circuit.eval (Circuit.majority n) x = (2 * popcount x >= n))
+
+let prop_of_function_roundtrip =
+  QCheck.Test.make ~count:50 ~name:"of_function reproduces the function"
+    (QCheck.make QCheck.Gen.(pair (int_range 1 4) (int_bound max_int)))
+    (fun (n, seed) ->
+      let state = Random.State.make [| seed |] in
+      let table = Array.init (1 lsl n) (fun _ -> Random.State.bool state) in
+      let f x =
+        let code =
+          Array.fold_left (fun acc b -> (2 * acc) + if b then 1 else 0) 0 x
+        in
+        table.(code)
+      in
+      let c = Circuit.of_function n f in
+      List.for_all (fun x -> Circuit.eval c x = f x) (all_inputs n))
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_majority_matches; prop_of_function_roundtrip ]
+
+let () =
+  Alcotest.run "stateless_circuit"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "create validates" `Quick test_create_validates;
+          Alcotest.test_case "eval basic" `Quick test_eval_basic;
+          Alcotest.test_case "parity" `Quick test_parity;
+          Alcotest.test_case "majority" `Quick test_majority;
+          Alcotest.test_case "threshold" `Quick test_threshold;
+          Alcotest.test_case "equality" `Quick test_equality;
+          Alcotest.test_case "and/or all" `Quick test_and_or_all;
+          Alcotest.test_case "of_function" `Quick test_of_function;
+          Alcotest.test_case "of_function constants" `Quick
+            test_of_function_constant;
+          Alcotest.test_case "random deterministic" `Quick
+            test_random_deterministic;
+          Alcotest.test_case "builder simplifications" `Quick
+            test_builder_simplifications;
+          Alcotest.test_case "depth" `Quick test_depth_monotone;
+        ] );
+      ( "unroll",
+        [
+          Alcotest.test_case "generic protocol to circuit" `Slow
+            test_unroll_generic_protocol;
+          Alcotest.test_case "rejects wide reactions" `Quick
+            test_unroll_rejects_wide_reactions;
+          Alcotest.test_case "size grows with rounds" `Quick
+            test_unroll_polynomial_size;
+        ] );
+      ("properties", qcheck_tests);
+    ]

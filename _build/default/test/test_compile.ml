@@ -1,0 +1,164 @@
+module Circuit = Stateless_circuit.Circuit
+module Compile = Stateless_compile.Compile
+open Stateless_core
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let all_inputs n =
+  List.init (1 lsl n) (fun code ->
+      Array.init n (fun i -> code land (1 lsl (n - 1 - i)) <> 0))
+
+let ring_computes name circuit =
+  let t = Compile.make circuit in
+  List.iteri
+    (fun idx x ->
+      let expect = Circuit.eval circuit x in
+      (match Compile.run t x with
+      | Some v ->
+          Alcotest.(check bool) (Printf.sprintf "%s run %d" name idx) expect v
+      | None -> Alcotest.fail (name ^ ": did not converge"));
+      match Compile.run_from t x ~seed:(idx + 1) with
+      | Some v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s self-stab %d" name idx)
+            expect v
+      | None -> Alcotest.fail (name ^ ": no convergence from random init"))
+    (all_inputs circuit.Circuit.n_inputs)
+
+let test_parity3 () = ring_computes "parity3" (Circuit.parity 3)
+let test_majority3 () = ring_computes "majority3" (Circuit.majority 3)
+let test_equality4 () = ring_computes "equality4" (Circuit.equality 4)
+let test_and4 () = ring_computes "and4" (Circuit.and_all 4)
+let test_or3 () = ring_computes "or3" (Circuit.or_all 3)
+
+let test_duplicated_operand () =
+  (* x AND x — the same owner writes both i1 and i2 at the same tick. *)
+  let c =
+    Circuit.create ~n_inputs:2
+      [| Circuit.Input 0; Circuit.And (0, 0); Circuit.Xor (1, 1) |]
+      ~output:2
+  in
+  ring_computes "x-and-x" c
+
+let test_const_gate () =
+  let c =
+    Circuit.create ~n_inputs:2
+      [| Circuit.Const true; Circuit.Input 1; Circuit.Xor (0, 1) |]
+      ~output:2
+  in
+  ring_computes "const-xor" c
+
+let test_output_not_last_gate () =
+  (* The output gate sits in the middle of the array. *)
+  let c =
+    Circuit.create ~n_inputs:2
+      [| Circuit.Input 0; Circuit.Input 1; Circuit.And (0, 1);
+         Circuit.Or (0, 1) |]
+      ~output:2
+  in
+  ring_computes "middle-output" c
+
+let test_random_circuits () =
+  for seed = 1 to 3 do
+    ring_computes
+      (Printf.sprintf "random-%d" seed)
+      (Circuit.random ~seed ~n_inputs:4 ~size:8)
+  done
+
+let test_ring_is_odd () =
+  List.iter
+    (fun n_inputs ->
+      let t = Compile.make (Circuit.parity n_inputs) in
+      check_bool "odd ring" true (t.Compile.ring_size mod 2 = 1))
+    [ 2; 3; 4; 5 ]
+
+let test_label_bits_formula () =
+  let t = Compile.make (Circuit.parity 3) in
+  let rec log2ceil v acc cap = if cap >= v then acc
+    else log2ceil v (acc + 1) (2 * cap) in
+  check "6 + 3 log D" (6 + (3 * log2ceil t.Compile.clock_period 0 1))
+    (Compile.label_bits t)
+
+let test_label_complexity_logarithmic_in_ring () =
+  (* Label bits grow logarithmically while the ring grows linearly. *)
+  let bits k = Compile.label_bits (Compile.make (Circuit.parity k)) in
+  let size k = (Compile.make (Circuit.parity k)).Compile.ring_size in
+  check_bool "ring doubles" true (size 8 > 2 * size 3);
+  check_bool "bits grow slowly" true (bits 8 - bits 3 <= 9)
+
+let test_ring_input_pads () =
+  let t = Compile.make (Circuit.parity 3) in
+  let padded = Compile.ring_input t [| true; false; true |] in
+  check "length" t.Compile.ring_size (Array.length padded);
+  check_bool "padding false" true
+    (Array.for_all not (Array.sub padded 3 (Array.length padded - 3)))
+
+let test_rejects_empty () =
+  (* Gateless circuits are already rejected at construction. *)
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Circuit.create: output gate out of range") (fun () ->
+      ignore (Compile.make (Circuit.create ~n_inputs:1 [||] ~output:0)))
+
+let test_converges_within_bound () =
+  (* convergence_bound really bounds output stabilization. *)
+  let c = Circuit.majority 3 in
+  let t = Compile.make c in
+  let x = [| true; true; false |] in
+  let input = Compile.ring_input t x in
+  let p = t.Compile.protocol in
+  let init = Protocol.uniform_config p (p.Protocol.space.Label.decode 0) in
+  match
+    Engine.output_stabilization_time p ~input ~init
+      ~schedule:(Schedule.synchronous t.Compile.ring_size)
+      ~max_steps:(3 * Compile.convergence_bound t)
+  with
+  | Some time ->
+      check_bool "within bound" true (time <= Compile.convergence_bound t)
+  | None -> Alcotest.fail "did not stabilize"
+
+let prop_random_circuit_compiles =
+  QCheck.Test.make ~count:6 ~name:"random circuit rings compute eval"
+    (QCheck.make QCheck.Gen.(pair (int_bound 1000) (int_bound 15)))
+    (fun (seed, code) ->
+      let c = Circuit.random ~seed ~n_inputs:4 ~size:6 in
+      let t = Compile.make c in
+      let x = Array.init 4 (fun i -> code land (1 lsl i) <> 0) in
+      match Compile.run_from t x ~seed:(seed + 1) with
+      | Some v -> v = Circuit.eval c x
+      | None -> false)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest [ prop_random_circuit_compiles ]
+
+let () =
+  Alcotest.run "stateless_compile"
+    [
+      ( "functions",
+        [
+          Alcotest.test_case "parity3" `Slow test_parity3;
+          Alcotest.test_case "majority3" `Slow test_majority3;
+          Alcotest.test_case "equality4" `Slow test_equality4;
+          Alcotest.test_case "and4" `Slow test_and4;
+          Alcotest.test_case "or3" `Slow test_or3;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "duplicated operand" `Quick
+            test_duplicated_operand;
+          Alcotest.test_case "const gate" `Quick test_const_gate;
+          Alcotest.test_case "output not last" `Quick
+            test_output_not_last_gate;
+          Alcotest.test_case "random circuits" `Slow test_random_circuits;
+          Alcotest.test_case "ring odd" `Quick test_ring_is_odd;
+          Alcotest.test_case "label bits 6+3logD" `Quick
+            test_label_bits_formula;
+          Alcotest.test_case "log labels, linear ring" `Quick
+            test_label_complexity_logarithmic_in_ring;
+          Alcotest.test_case "ring input pads" `Quick test_ring_input_pads;
+          Alcotest.test_case "rejects empty" `Quick test_rejects_empty;
+          Alcotest.test_case "converges within bound" `Slow
+            test_converges_within_bound;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,214 @@
+module Two_counter = Stateless_counter.Two_counter
+module D_counter = Stateless_counter.D_counter
+open Stateless_core
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let synchronous_run p ~input ~init ~steps =
+  Engine.run p ~input ~init ~schedule:(Schedule.synchronous (Protocol.num_nodes p)) ~steps
+
+let step_all p ~input config =
+  Engine.step p ~input config
+    ~active:(List.init (Protocol.num_nodes p) Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Two-counter (Claim 5.5)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_rejects_even_or_small () =
+  Alcotest.check_raises "even"
+    (Invalid_argument "Two_counter.make: need odd n >= 3") (fun () ->
+      ignore (Two_counter.make 4));
+  Alcotest.check_raises "small"
+    (Invalid_argument "Two_counter.make: need odd n >= 3") (fun () ->
+      ignore (Two_counter.make 1))
+
+let phases_alternate t init =
+  let p = t.Two_counter.protocol in
+  let input = Two_counter.input t in
+  let config =
+    ref (synchronous_run p ~input ~init ~steps:(Two_counter.burn_in t))
+  in
+  let ok = ref true in
+  let prev = ref None in
+  for _ = 1 to 8 do
+    if not (Two_counter.synchronized t !config) then ok := false;
+    let ph = (Two_counter.phases t !config).(0) in
+    (match !prev with
+    | Some q -> if Bool.equal q ph then ok := false
+    | None -> ());
+    prev := Some ph;
+    config := step_all p ~input !config
+  done;
+  !ok
+
+let test_two_counter_exhaustive_n3 () =
+  (* All 4^6 initial labelings of the 3-ring synchronize and alternate. *)
+  let t = Two_counter.make 3 in
+  let p = t.Two_counter.protocol in
+  let m = Protocol.num_edges p in
+  for code = 0 to (1 lsl (2 * m)) - 1 do
+    let labels =
+      Array.init m (fun e ->
+          let v = (code lsr (2 * e)) land 3 in
+          (v land 1 = 1, v land 2 = 2))
+    in
+    if not (phases_alternate t (Protocol.config_of_labels p labels)) then
+      Alcotest.fail (Printf.sprintf "labeling %d fails" code)
+  done
+
+let test_two_counter_random_inits () =
+  List.iter
+    (fun n ->
+      let t = Two_counter.make n in
+      let p = t.Two_counter.protocol in
+      let m = Protocol.num_edges p in
+      let state = Random.State.make [| n |] in
+      for _ = 1 to 50 do
+        let labels =
+          Array.init m (fun _ ->
+              (Random.State.bool state, Random.State.bool state))
+        in
+        check_bool
+          (Printf.sprintf "n=%d synchronizes" n)
+          true
+          (phases_alternate t (Protocol.config_of_labels p labels))
+      done)
+    [ 5; 7; 9 ]
+
+let test_two_counter_label_bits () =
+  let t = Two_counter.make 5 in
+  check "2 bits" 2 (Label.bit_length t.Two_counter.protocol.Protocol.space)
+
+(* ------------------------------------------------------------------ *)
+(* D-counter (Claim 5.6)                                               *)
+(* ------------------------------------------------------------------ *)
+
+let counter_locks t init =
+  let p = D_counter.protocol t in
+  let input = D_counter.input t in
+  let d = t.D_counter.d in
+  let config =
+    ref (synchronous_run p ~input ~init ~steps:(D_counter.burn_in t))
+  in
+  let ok = ref true in
+  let prev = ref (-1) in
+  for _ = 1 to 2 * d do
+    if not (D_counter.agreed t !config) then ok := false;
+    let v = (D_counter.values t !config).(0) in
+    if !prev >= 0 && v <> (!prev + 1) mod d then ok := false;
+    prev := v;
+    config := step_all p ~input !config
+  done;
+  !ok
+
+let test_d_counter_from_zero () =
+  List.iter
+    (fun (n, d) ->
+      let t = D_counter.make ~n ~d () in
+      let p = D_counter.protocol t in
+      let init = Protocol.uniform_config p (p.Protocol.space.Label.decode 0) in
+      check_bool (Printf.sprintf "n=%d d=%d" n d) true (counter_locks t init))
+    [ (3, 2); (3, 7); (5, 4); (7, 10); (9, 3) ]
+
+let test_d_counter_random_inits () =
+  List.iter
+    (fun (n, d) ->
+      let t = D_counter.make ~n ~d () in
+      let p = D_counter.protocol t in
+      let card = p.Protocol.space.Label.card in
+      let state = Random.State.make [| (n * 100) + d |] in
+      for _ = 1 to 40 do
+        let labels =
+          Array.init (Protocol.num_edges p) (fun _ ->
+              p.Protocol.space.Label.decode (Random.State.int state card))
+        in
+        check_bool
+          (Printf.sprintf "n=%d d=%d random init" n d)
+          true
+          (counter_locks t (Protocol.config_of_labels p labels))
+      done)
+    [ (3, 4); (5, 8); (7, 5); (9, 12) ]
+
+let test_d_counter_label_bits () =
+  (* L = 2 + 3 ceil(log2 d), the paper's 2 + 3 log D. *)
+  let t = D_counter.make ~n:5 ~d:8 () in
+  check "label bits" (2 + (3 * 3)) (D_counter.label_bits t);
+  let t2 = D_counter.make ~n:5 ~d:9 () in
+  check "label bits rounding" (2 + (3 * 4)) (D_counter.label_bits t2)
+
+let test_d_counter_outputs_are_counter () =
+  let t = D_counter.make ~n:5 ~d:6 () in
+  let p = D_counter.protocol t in
+  let input = D_counter.input t in
+  let init = Protocol.uniform_config p (p.Protocol.space.Label.decode 0) in
+  let config =
+    ref (synchronous_run p ~input ~init ~steps:(D_counter.burn_in t))
+  in
+  (* One more step so outputs reflect the settled counter fields. *)
+  config := step_all p ~input !config;
+  let values = D_counter.values t !config in
+  Array.iteri
+    (fun j y -> check (Printf.sprintf "output %d" j) values.(j) y)
+    !config.Protocol.outputs
+
+let test_d_counter_burn_in_linear () =
+  let t = D_counter.make ~n:9 ~d:50 () in
+  check_bool "burn-in is O(n), not O(d)" true (D_counter.burn_in t < 50)
+
+let test_d_counter_validation () =
+  Alcotest.check_raises "even ring"
+    (Invalid_argument "D_counter.make: need odd n >= 3") (fun () ->
+      ignore (D_counter.make ~n:4 ~d:4 ()));
+  Alcotest.check_raises "d too small"
+    (Invalid_argument "D_counter.make: need d >= 2") (fun () ->
+      ignore (D_counter.make ~n:3 ~d:1 ()))
+
+let prop_d_counter_locks =
+  QCheck.Test.make ~count:20 ~name:"D-counter locks from random labelings"
+    (QCheck.make
+       QCheck.Gen.(triple (int_range 0 2) (int_range 1 3) (int_bound 10_000)))
+    (fun (ni, di, seed) ->
+      let n = [| 3; 5; 7 |].(ni) in
+      let d = 2 + (3 * di) in
+      let t = D_counter.make ~n ~d () in
+      let p = D_counter.protocol t in
+      let card = p.Protocol.space.Label.card in
+      let state = Random.State.make [| seed |] in
+      let labels =
+        Array.init (Protocol.num_edges p) (fun _ ->
+            p.Protocol.space.Label.decode (Random.State.int state card))
+      in
+      counter_locks t (Protocol.config_of_labels p labels))
+
+let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ prop_d_counter_locks ]
+
+let () =
+  Alcotest.run "stateless_counter"
+    [
+      ( "two-counter",
+        [
+          Alcotest.test_case "rejects bad n" `Quick test_rejects_even_or_small;
+          Alcotest.test_case "exhaustive n=3" `Slow
+            test_two_counter_exhaustive_n3;
+          Alcotest.test_case "random inits n=5,7,9" `Slow
+            test_two_counter_random_inits;
+          Alcotest.test_case "2-bit labels" `Quick test_two_counter_label_bits;
+        ] );
+      ( "d-counter",
+        [
+          Alcotest.test_case "locks from zero labeling" `Quick
+            test_d_counter_from_zero;
+          Alcotest.test_case "locks from random labelings" `Slow
+            test_d_counter_random_inits;
+          Alcotest.test_case "label bits 2+3logD" `Quick
+            test_d_counter_label_bits;
+          Alcotest.test_case "outputs equal counter" `Quick
+            test_d_counter_outputs_are_counter;
+          Alcotest.test_case "burn-in linear in n" `Quick
+            test_d_counter_burn_in_linear;
+          Alcotest.test_case "validation" `Quick test_d_counter_validation;
+        ] );
+      ("properties", qcheck_tests);
+    ]

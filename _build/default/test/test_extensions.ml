@@ -1,0 +1,476 @@
+(* Tests for the extension modules: fault injection, adversarial schedule
+   search, randomized reactions (future work 4), and bounded-memory nodes
+   (future work 2). *)
+
+module Builders = Stateless_graph.Builders
+module Digraph = Stateless_graph.Digraph
+open Stateless_core
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let parity bits = Array.fold_left (fun acc b -> acc <> b) false bits
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_corrupt_fraction_zero_is_identity () =
+  let p = Generic.make (Builders.ring_bi 5) parity in
+  let config = Protocol.uniform_config p (Array.make 6 true) in
+  let damaged = Fault.corrupt p ~seed:1 ~fraction:0.0 config in
+  check_bool "identical" true
+    (String.equal (Protocol.config_key p config) (Protocol.config_key p damaged))
+
+let test_corrupt_full_changes_something () =
+  let p = Generic.make (Builders.ring_bi 5) parity in
+  let config = Protocol.uniform_config p (Array.make 6 true) in
+  let damaged = Fault.corrupt p ~seed:1 ~fraction:1.0 config in
+  check_bool "changed" false
+    (String.equal (Protocol.config_key p config) (Protocol.config_key p damaged))
+
+let test_corrupt_is_deterministic () =
+  let p = Generic.make (Builders.ring_bi 5) parity in
+  let config = Protocol.uniform_config p (Array.make 6 false) in
+  let a = Fault.corrupt p ~seed:9 ~fraction:0.7 config in
+  let b = Fault.corrupt p ~seed:9 ~fraction:0.7 config in
+  check_bool "same seed same damage" true
+    (String.equal (Protocol.config_key p a) (Protocol.config_key p b))
+
+let test_generic_protocol_recovers () =
+  (* Self-stabilization under fire: corrupt every label, outputs come back
+     to f(x). *)
+  let g = Builders.ring_bi 5 in
+  let p = Generic.make g parity in
+  let x = [| true; false; true; true; false |] in
+  let init = Protocol.uniform_config p (Array.make 6 false) in
+  for seed = 1 to 10 do
+    match
+      Fault.recovers_to_same_outputs p ~input:x ~init
+        ~schedule:(Schedule.synchronous 5) ~seed ~fraction:1.0 ~max_steps:400
+    with
+    | Some true -> ()
+    | Some false -> Alcotest.fail "outputs changed after recovery"
+    | None -> Alcotest.fail "did not re-converge"
+  done
+
+let test_recovery_time_reported () =
+  let g = Builders.ring_bi 5 in
+  let p = Generic.make g parity in
+  let x = [| true; true; false; false; true |] in
+  let init = Protocol.uniform_config p (Array.make 6 false) in
+  match
+    Fault.recovery_time p ~input:x ~init ~schedule:(Schedule.synchronous 5)
+      ~seed:3 ~fraction:0.5 ~max_steps:400
+  with
+  | Some (first, recovery) ->
+      check_bool "first >= 0" true (first >= 0);
+      check_bool "recovery bounded by 2n+1" true (recovery <= 11)
+  | None -> Alcotest.fail "no recovery measured"
+
+let test_compiled_circuit_recovers () =
+  let t = Stateless_compile.Compile.make (Stateless_circuit.Circuit.majority 3) in
+  let p = t.Stateless_compile.Compile.protocol in
+  let x = Stateless_compile.Compile.ring_input t [| true; false; true |] in
+  let init = Protocol.uniform_config p (p.Protocol.space.Label.decode 0) in
+  match
+    Fault.recovers_to_same_outputs p ~input:x ~init
+      ~schedule:(Schedule.synchronous t.Stateless_compile.Compile.ring_size)
+      ~seed:5 ~fraction:1.0
+      ~max_steps:(4 * Stateless_compile.Compile.convergence_bound t)
+  with
+  | Some true -> ()
+  | Some false -> Alcotest.fail "ring answered differently after the fault"
+  | None -> Alcotest.fail "ring did not recover"
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial schedule search                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_random_periodic_fair_is_fair () =
+  for seed = 0 to 5 do
+    let s = Adversary.random_periodic_fair ~seed ~r:3 ~period:12 6 in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d" seed)
+      true
+      (Schedule.is_r_fair s ~n:6 ~r:3 ~horizon:60);
+    check "periodic" 12 (Option.get s.Schedule.period)
+  done
+
+let test_finds_oscillation_on_copy_ring () =
+  let p : (unit, bool) Protocol.t =
+    {
+      Protocol.name = "copy-ring";
+      graph = Builders.ring_uni 4;
+      space = Label.bool;
+      react = (fun _ () incoming -> ([| incoming.(0) |], 0));
+    }
+  in
+  match
+    Adversary.find_oscillation p ~input:(Array.make 4 ()) ~r:4 ~attempts:50
+      ~period:8 ~seed:1 ~max_steps:400
+  with
+  | Some w -> check_bool "verifies" true (Adversary.verify p ~input:(Array.make 4 ()) w)
+  | None -> Alcotest.fail "copy ring oscillations are everywhere"
+
+let test_finds_bgp_flapping () =
+  (* BAD GADGET is too large for the exhaustive checker, but the sampler
+     finds a replayable flapping schedule immediately. *)
+  let spp = Stateless_games.Spp.bad_gadget () in
+  let p = Stateless_games.Spp.protocol spp in
+  let input = Stateless_games.Spp.input spp in
+  match
+    Adversary.find_oscillation p ~input ~r:3 ~attempts:40 ~period:9 ~seed:2
+      ~max_steps:2000
+  with
+  | Some w -> check_bool "verifies" true (Adversary.verify p ~input w)
+  | None -> Alcotest.fail "bad gadget always flaps"
+
+let test_no_oscillation_on_stabilizing_protocol () =
+  let p : (unit, bool) Protocol.t =
+    {
+      Protocol.name = "constant";
+      graph = Builders.ring_uni 4;
+      space = Label.bool;
+      react = (fun _ () _ -> ([| false |], 0));
+    }
+  in
+  check_bool "none found" true
+    (Adversary.find_oscillation p ~input:(Array.make 4 ()) ~r:3 ~attempts:30
+       ~period:8 ~seed:3 ~max_steps:200
+    = None)
+
+let test_sampler_agrees_with_checker_on_example1 () =
+  (* n = 4, r = 3: the checker proves oscillation exists; the sampler should
+     find one too (the chase pattern has positive probability). *)
+  let p = Clique_example.make 4 in
+  let input = Clique_example.input 4 in
+  match
+    Adversary.find_oscillation p ~input ~r:3 ~attempts:4000 ~period:8 ~seed:5
+      ~max_steps:400
+  with
+  | Some w -> check_bool "verifies" true (Adversary.verify p ~input w)
+  | None ->
+      (* Sampling may miss it; the exhaustive checker must still find it. *)
+      (match
+         Stateless_checker.Checker.check_label p ~input ~r:3
+           ~max_states:5_000_000
+       with
+      | Stateless_checker.Checker.Oscillating _ -> ()
+      | _ -> Alcotest.fail "checker must find the oscillation")
+
+(* ------------------------------------------------------------------ *)
+(* Randomized reactions                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_protocol_behaves_like_protocol () =
+  let det = Clique_example.make 4 in
+  let rand = Randomized.of_protocol det in
+  let input = Clique_example.input 4 in
+  let init = Clique_example.oscillation_init det in
+  let rng = Random.State.make [| 1 |] in
+  let via_rand =
+    Randomized.step rand ~rng ~input init ~active:[ 0; 1; 2; 3 ]
+  in
+  let via_det = Engine.step det ~input init ~active:[ 0; 1; 2; 3 ] in
+  check_bool "same step" true
+    (String.equal
+       (Protocol.config_key det via_rand)
+       (Protocol.config_key det via_det))
+
+let test_lazy_example1_converges_under_chase () =
+  let n = 5 in
+  let rand = Randomized.lazy_example1 n ~ignite:0.3 in
+  let det = Clique_example.make n in
+  let input = Clique_example.input n in
+  let init = Clique_example.oscillation_init det in
+  let converged, total, _ =
+    Randomized.convergence_rate rand ~input ~init
+      ~schedule:(Clique_example.oscillation_schedule n)
+      ~seeds:(List.init 20 Fun.id) ~quiet:(4 * n) ~max_steps:(500 * n)
+  in
+  check "all runs converge" total converged
+
+let test_deterministic_oscillates_where_randomized_converges () =
+  let n = 4 in
+  let det = Clique_example.make n in
+  let input = Clique_example.input n in
+  let init = Clique_example.oscillation_init det in
+  match
+    Engine.run_until_stable det ~input ~init
+      ~schedule:(Clique_example.oscillation_schedule n)
+      ~max_steps:(200 * n)
+  with
+  | Engine.Oscillating _ -> ()
+  | _ -> Alcotest.fail "deterministic protocol must oscillate"
+
+let test_quiescence_reports_none_for_churn () =
+  (* A protocol that flips a coin every step never goes quiet. *)
+  let g = Builders.ring_uni 3 in
+  let rand : (unit, bool) Randomized.t =
+    {
+      Randomized.name = "coin";
+      graph = g;
+      space = Label.bool;
+      react =
+        (fun rng _ () _ ->
+          let b = Random.State.bool rng in
+          ([| b |], if b then 1 else 0));
+    }
+  in
+  let init : bool Protocol.config =
+    { Protocol.labels = Array.make 3 false; outputs = Array.make 3 0 }
+  in
+  check_bool "never quiet" true
+    (Randomized.time_to_quiescence rand ~input:(Array.make 3 ())
+       ~init ~schedule:(Schedule.synchronous 3) ~seed:1 ~quiet:20
+       ~max_steps:2000
+    = None)
+
+let test_randomized_rejects_bad_ignite () =
+  Alcotest.check_raises "ignite = 0"
+    (Invalid_argument "Randomized.lazy_example1: ignite must be in (0, 1)")
+    (fun () -> ignore (Randomized.lazy_example1 4 ~ignite:0.0))
+
+(* ------------------------------------------------------------------ *)
+(* Memory protocols ("almost stateless")                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_protocol_zero_memory () =
+  let p = Clique_example.make 3 in
+  let m = Memory.of_protocol p in
+  check "memory bits" 0 (Memory.memory_bits m)
+
+let test_embedding_preserves_dynamics () =
+  let p = Clique_example.make 3 in
+  let m = Memory.of_protocol p in
+  let input = Clique_example.input 3 in
+  let init_p = Clique_example.oscillation_init p in
+  let init_m : (bool, unit) Memory.config =
+    {
+      Memory.labels = Array.copy init_p.Protocol.labels;
+      states = Array.make 3 ();
+      outputs = Array.make 3 0;
+    }
+  in
+  let after_p =
+    Engine.run p ~input ~init:init_p ~schedule:(Schedule.synchronous 3)
+      ~steps:5
+  in
+  let after_m =
+    Memory.run m ~input ~init:init_m ~schedule:(Schedule.synchronous 3)
+      ~steps:5
+  in
+  check_bool "same labels" true
+    (after_p.Protocol.labels = after_m.Memory.labels)
+
+let test_blinker_never_output_stabilizes () =
+  let m = Memory.blinker () in
+  let init = Memory.initial_config m false in
+  match
+    Memory.run_until_stable m ~input:[| (); () |] ~init
+      ~schedule:(Schedule.synchronous 2) ~max_steps:100
+  with
+  | `Oscillating (_, period) -> check "period" 2 period
+  | `Stabilized _ -> Alcotest.fail "one memory bit blinks forever"
+  | `Exhausted -> Alcotest.fail "verdict expected"
+
+let test_blinker_outputs_alternate () =
+  let m = Memory.blinker () in
+  let config = ref (Memory.initial_config m false) in
+  let outputs = ref [] in
+  for _ = 1 to 6 do
+    config := Memory.step m ~input:[| (); () |] !config ~active:[ 0; 1 ];
+    outputs := !config.Memory.outputs.(0) :: !outputs
+  done;
+  Alcotest.(check (list int)) "alternating" [ 1; 0; 1; 0; 1; 0 ] !outputs
+
+let test_stateless_on_k2_cannot_blink_silently () =
+  (* The separation behind {!Memory.blinker}: a memory node blinks with
+     CONSTANT labels (zero ongoing communication). Stateless protocols can
+     blink too — but only by cycling their labels (the ring oscillator
+     pattern). Exhausting ALL 1-bit-label stateless protocols on K_2
+     confirms (a) label-cycling blinkers exist, and (b) no protocol blinks
+     while its labels are constant — outputs are functions of labels, so
+     silence forces constancy; the memory bit breaks exactly this. *)
+  let g = Builders.clique 2 in
+  let silent_blink_found = ref false in
+  let loud_blink_found = ref false in
+  (* Each node maps its incoming bit to (out bit, output bit): 2 nodes x 2
+     inputs -> 4 entries of 2 bits = 8 bits of protocol table. *)
+  for table = 0 to (1 lsl 8) - 1 do
+    let entry node bit =
+      let idx = (node * 2) + if bit then 1 else 0 in
+      let v = (table lsr (2 * idx)) land 3 in
+      (v land 1 = 1, v land 2 = 2)
+    in
+    let p : (unit, bool) Protocol.t =
+      {
+        Protocol.name = "enum";
+        graph = g;
+        space = Label.bool;
+        react =
+          (fun i () incoming ->
+            let out, y = entry i incoming.(0) in
+            ([| out |], if y then 1 else 0));
+      }
+    in
+    for init_code = 0 to 3 do
+      let init = Protocol.decode_config p init_code in
+      (* Synchronous run of length 8 reaches the periodic tail of the
+         4-labeling state space. *)
+      let outputs = ref [] in
+      let labels = ref [] in
+      let config = ref init in
+      for _ = 1 to 8 do
+        config := Engine.step p ~input:[| (); () |] !config ~active:[ 0; 1 ];
+        outputs := !config.Protocol.outputs.(0) :: !outputs;
+        labels := Protocol.encode_config p !config :: !labels
+      done;
+      match (!outputs, !labels) with
+      | o1 :: o2 :: o3 :: o4 :: _, l1 :: l2 :: l3 :: l4 :: _ ->
+          let blinks = o1 <> o2 && o2 <> o3 && o3 <> o4 in
+          let silent = l1 = l2 && l2 = l3 && l3 = l4 in
+          if blinks && silent then silent_blink_found := true;
+          if blinks && not silent then loud_blink_found := true
+      | _ -> ()
+    done
+  done;
+  check_bool "label-cycling blinkers exist" true !loud_blink_found;
+  check_bool "no silent stateless blinker" false !silent_blink_found;
+  (* The memory blinker is silent: its labels never change. *)
+  let m = Memory.blinker () in
+  let config = ref (Memory.initial_config m false) in
+  let silent = ref true in
+  let before = !config.Memory.labels in
+  for _ = 1 to 6 do
+    config := Memory.step m ~input:[| (); () |] !config ~active:[ 0; 1 ];
+    if !config.Memory.labels <> before then silent := false
+  done;
+  check_bool "memory blinker is silent" true !silent
+
+let test_mod_counter_counts () =
+  let m = Memory.mod_counter 5 in
+  let config = ref (Memory.initial_config m false) in
+  for expected = 0 to 11 do
+    config := Memory.step m ~input:[| (); () |] !config ~active:[ 0; 1 ];
+    check "counts" (expected mod 5) !config.Memory.outputs.(0)
+  done;
+  check "memory bits" 3 (Memory.memory_bits (Memory.mod_counter 5))
+
+let test_memory_stable_detection () =
+  (* A memory protocol that freezes is detected as stable. *)
+  let g = Builders.ring_bi 2 in
+  let m : (unit, bool, bool) Memory.t =
+    {
+      Memory.name = "freeze";
+      graph = g;
+      space = Label.bool;
+      states = Label.bool;
+      initial_state = (fun _ -> true);
+      react =
+        (fun i () s _ ->
+          (s, Array.map (fun _ -> false) (Digraph.out_edges g i), 0));
+    }
+  in
+  match
+    Memory.run_until_stable m ~input:[| (); () |]
+      ~init:(Memory.initial_config m false)
+      ~schedule:(Schedule.synchronous 2) ~max_steps:10
+  with
+  | `Stabilized t -> check "immediately" 0 t
+  | _ -> Alcotest.fail "freeze is stable"
+
+(* ------------------------------------------------------------------ *)
+
+let prop_corrupt_respects_fraction =
+  QCheck.Test.make ~count:50 ~name:"corruption rate tracks fraction"
+    (QCheck.make QCheck.Gen.(pair (int_bound 1000) (int_range 0 10)))
+    (fun (seed, tenths) ->
+      let fraction = float_of_int tenths /. 10.0 in
+      let p = Generic.make (Builders.ring_bi 6) parity in
+      let config = Protocol.uniform_config p (Array.make 7 false) in
+      let damaged = Fault.corrupt p ~seed ~fraction config in
+      let m = Protocol.num_edges p in
+      let changed = ref 0 in
+      for e = 0 to m - 1 do
+        if damaged.Protocol.labels.(e) <> config.Protocol.labels.(e) then
+          incr changed
+      done;
+      (* Redraws can coincide with the original label, so changed <=
+         corrupted; zero fraction must change nothing. *)
+      if tenths = 0 then !changed = 0 else !changed <= m)
+
+let prop_random_periodic_fair =
+  QCheck.Test.make ~count:40 ~name:"sampled schedules are r-fair"
+    (QCheck.make
+       QCheck.Gen.(
+         triple (int_bound 10_000) (int_range 1 4) (int_range 2 6)))
+    (fun (seed, r, n) ->
+      let period = 3 * r in
+      let s = Adversary.random_periodic_fair ~seed ~r ~period n in
+      Schedule.is_r_fair s ~n ~r ~horizon:(4 * period))
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_corrupt_respects_fraction; prop_random_periodic_fair ]
+
+let () =
+  Alcotest.run "stateless_extensions"
+    [
+      ( "fault",
+        [
+          Alcotest.test_case "fraction 0 identity" `Quick
+            test_corrupt_fraction_zero_is_identity;
+          Alcotest.test_case "fraction 1 changes" `Quick
+            test_corrupt_full_changes_something;
+          Alcotest.test_case "deterministic" `Quick test_corrupt_is_deterministic;
+          Alcotest.test_case "generic recovers" `Quick
+            test_generic_protocol_recovers;
+          Alcotest.test_case "recovery time" `Quick test_recovery_time_reported;
+          Alcotest.test_case "compiled circuit recovers" `Slow
+            test_compiled_circuit_recovers;
+        ] );
+      ( "adversary",
+        [
+          Alcotest.test_case "sampled schedules fair" `Quick
+            test_random_periodic_fair_is_fair;
+          Alcotest.test_case "finds copy-ring oscillation" `Quick
+            test_finds_oscillation_on_copy_ring;
+          Alcotest.test_case "finds BGP flapping" `Quick test_finds_bgp_flapping;
+          Alcotest.test_case "silent on stabilizing" `Quick
+            test_no_oscillation_on_stabilizing_protocol;
+          Alcotest.test_case "consistent with checker" `Slow
+            test_sampler_agrees_with_checker_on_example1;
+        ] );
+      ( "randomized",
+        [
+          Alcotest.test_case "embedding" `Quick
+            test_of_protocol_behaves_like_protocol;
+          Alcotest.test_case "lazy example1 converges" `Slow
+            test_lazy_example1_converges_under_chase;
+          Alcotest.test_case "deterministic oscillates" `Quick
+            test_deterministic_oscillates_where_randomized_converges;
+          Alcotest.test_case "churn never quiet" `Quick
+            test_quiescence_reports_none_for_churn;
+          Alcotest.test_case "rejects bad ignite" `Quick
+            test_randomized_rejects_bad_ignite;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "zero-memory embedding" `Quick
+            test_of_protocol_zero_memory;
+          Alcotest.test_case "embedding dynamics" `Quick
+            test_embedding_preserves_dynamics;
+          Alcotest.test_case "blinker oscillates" `Quick
+            test_blinker_never_output_stabilizes;
+          Alcotest.test_case "blinker alternates" `Quick
+            test_blinker_outputs_alternate;
+          Alcotest.test_case "no silent stateless blinker on K2" `Quick
+            test_stateless_on_k2_cannot_blink_silently;
+          Alcotest.test_case "mod counter" `Quick test_mod_counter_counts;
+          Alcotest.test_case "stability detection" `Quick
+            test_memory_stable_detection;
+        ] );
+      ("properties", qcheck_tests);
+    ]

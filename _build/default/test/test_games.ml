@@ -1,0 +1,443 @@
+module Best_response = Stateless_games.Best_response
+module Spp = Stateless_games.Spp
+module Contagion = Stateless_games.Contagion
+module Congestion = Stateless_games.Congestion
+module Feedback = Stateless_games.Feedback
+module Checker = Stateless_checker.Checker
+module Builders = Stateless_graph.Builders
+open Stateless_core
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Best-response dynamics                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_equilibria_matching_pennies () =
+  check "no pure equilibrium" 0
+    (List.length (Best_response.equilibria (Best_response.matching_pennies ())))
+
+let test_equilibria_coordination () =
+  let eqs = Best_response.equilibria (Best_response.coordination 4) in
+  check "two equilibria" 2 (List.length eqs)
+
+let test_equilibria_prisoners () =
+  match Best_response.equilibria (Best_response.prisoners_dilemma ()) with
+  | [ eq ] -> Alcotest.(check (array int)) "defect-defect" [| 1; 1 |] eq
+  | _ -> Alcotest.fail "unique equilibrium expected"
+
+let test_equilibria_are_stable_labelings () =
+  (* Pure Nash equilibria coincide with the protocol's stable labelings. *)
+  let game = Best_response.coordination 3 in
+  let p = Best_response.protocol game () in
+  check "stable labelings = equilibria" 2
+    (Stability.count_stable_labelings p ~input:(Best_response.input game))
+
+let test_matching_pennies_oscillates () =
+  let game = Best_response.matching_pennies () in
+  let p = Best_response.protocol game () in
+  let init = Protocol.uniform_config p 0 in
+  match
+    Engine.run_until_stable p ~input:(Best_response.input game) ~init
+      ~schedule:(Schedule.synchronous 2) ~max_steps:100
+  with
+  | Engine.Oscillating _ -> ()
+  | _ -> Alcotest.fail "no equilibrium: dynamics must cycle"
+
+let test_prisoners_converges_everywhere () =
+  let game = Best_response.prisoners_dilemma () in
+  let p = Best_response.protocol game () in
+  match
+    Checker.check_label p ~input:(Best_response.input game) ~r:3
+      ~max_states:100_000
+  with
+  | Checker.Stabilizing -> ()
+  | _ -> Alcotest.fail "dominant strategies converge under any schedule"
+
+let test_coordination_thm31 () =
+  (* Two equilibria => not (n-1)-stabilizing (Theorem 3.1), decided by the
+     exhaustive checker on K_3. *)
+  let game = Best_response.coordination 3 in
+  let p = Best_response.protocol game () in
+  let input = Best_response.input game in
+  check_bool "two stable labelings" true
+    (Stability.has_multiple_stable_labelings p ~input);
+  match Checker.check_label p ~input ~r:2 ~max_states:2_000_000 with
+  | Checker.Oscillating w ->
+      check_bool "witness replays" true (Checker.replay p ~input w)
+  | Checker.Stabilizing -> Alcotest.fail "Theorem 3.1 violated"
+  | Checker.Too_large _ -> Alcotest.fail "budget"
+
+(* ------------------------------------------------------------------ *)
+(* Stable Paths Problem / BGP                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_solutions_counts () =
+  check "good gadget" 1 (List.length (Spp.solutions (Spp.good_gadget ())));
+  check "disagree" 2 (List.length (Spp.solutions (Spp.disagree ())));
+  check "bad gadget" 0 (List.length (Spp.solutions (Spp.bad_gadget ())))
+
+let test_good_gadget_converges () =
+  let spp = Spp.good_gadget () in
+  let p = Spp.protocol spp in
+  let init = Protocol.uniform_config p [] in
+  match
+    Engine.run_until_stable p ~input:(Spp.input spp) ~init
+      ~schedule:(Schedule.synchronous spp.Spp.n) ~max_steps:500
+  with
+  | Engine.Stabilized { config; _ } ->
+      (* Node 1 must have won its preferred path through 2. *)
+      let g = p.Protocol.graph in
+      let e = (Stateless_graph.Digraph.out_edges g 1).(0) in
+      Alcotest.(check (list int)) "1's route" [ 1; 2; 0 ]
+        config.Protocol.labels.(e)
+  | _ -> Alcotest.fail "good gadget should converge"
+
+let test_good_gadget_converges_round_robin () =
+  let spp = Spp.good_gadget () in
+  let p = Spp.protocol spp in
+  let init = Protocol.uniform_config p [] in
+  match
+    Engine.run_until_stable p ~input:(Spp.input spp) ~init
+      ~schedule:(Schedule.round_robin spp.Spp.n) ~max_steps:1000
+  with
+  | Engine.Stabilized _ -> ()
+  | _ -> Alcotest.fail "good gadget under round robin"
+
+let test_bad_gadget_oscillates () =
+  let spp = Spp.bad_gadget () in
+  let p = Spp.protocol spp in
+  let init = Protocol.uniform_config p [] in
+  match
+    Engine.run_until_stable p ~input:(Spp.input spp) ~init
+      ~schedule:(Schedule.synchronous spp.Spp.n) ~max_steps:2000
+  with
+  | Engine.Oscillating _ -> ()
+  | _ -> Alcotest.fail "bad gadget must flap"
+
+let test_disagree_two_stable_labelings () =
+  let spp = Spp.disagree () in
+  let p = Spp.protocol spp in
+  check "stable labelings" 2
+    (Stability.count_stable_labelings p ~input:(Spp.input spp))
+
+let test_disagree_not_2_stabilizing () =
+  (* n = 3: Theorem 3.1 says DISAGREE cannot be label 2-stabilizing; the
+     checker finds the route-flapping schedule. *)
+  let spp = Spp.disagree () in
+  let p = Spp.protocol spp in
+  let input = Spp.input spp in
+  match Checker.check_label p ~input ~r:2 ~max_states:3_000_000 with
+  | Checker.Oscillating w ->
+      check_bool "witness replays" true (Checker.replay p ~input w)
+  | Checker.Stabilizing -> Alcotest.fail "DISAGREE must flap at r = 2"
+  | Checker.Too_large { needed } ->
+      Alcotest.fail (Printf.sprintf "budget: %d states" needed)
+
+let test_disagree_oscillates_synchronously () =
+  (* Even the synchronous schedule flaps DISAGREE: both nodes upgrade
+     simultaneously, then both fall back, forever — the classic
+     simultaneous-update BGP divergence, found exhaustively. *)
+  let spp = Spp.disagree () in
+  let p = Spp.protocol spp in
+  let input = Spp.input spp in
+  match Checker.check_label p ~input ~r:1 ~max_states:3_000_000 with
+  | Checker.Oscillating w ->
+      check_bool "witness replays" true (Checker.replay p ~input w)
+  | Checker.Stabilizing -> Alcotest.fail "synchronous DISAGREE flaps"
+  | Checker.Too_large _ -> Alcotest.fail "budget"
+
+let test_random_instances_well_formed () =
+  for seed = 1 to 15 do
+    let spp = Spp.random_instance ~seed ~n:5 ~degree:3 ~paths_per_node:2 in
+    check "n" 5 spp.Spp.n;
+    check_bool "connected" true
+      (Stateless_graph.Algorithms.is_strongly_connected spp.Spp.graph);
+    (* Every permitted path is a valid loop-free route to 0. *)
+    Array.iteri
+      (fun v paths ->
+        if v > 0 then begin
+          check_bool "has a route" true (paths <> []);
+          List.iter
+            (fun path ->
+              check_bool "starts at node" true (List.hd path = v);
+              check_bool "ends at dest" true
+                (List.nth path (List.length path - 1) = 0);
+              check_bool "loop free" true
+                (List.length (List.sort_uniq compare path)
+                = List.length path))
+            paths
+        end)
+      spp.Spp.permitted;
+    (* The protocol built from it is runnable. *)
+    let p = Spp.protocol spp in
+    ignore
+      (Engine.run p ~input:(Spp.input spp)
+         ~init:(Protocol.uniform_config p [])
+         ~schedule:(Schedule.synchronous 5) ~steps:20)
+  done
+
+let test_random_instance_deterministic () =
+  let a = Spp.random_instance ~seed:3 ~n:5 ~degree:3 ~paths_per_node:2 in
+  let b = Spp.random_instance ~seed:3 ~n:5 ~degree:3 ~paths_per_node:2 in
+  check_bool "same permitted paths" true (a.Spp.permitted = b.Spp.permitted)
+
+let test_spp_validation () =
+  Alcotest.check_raises "path must start at node"
+    (Invalid_argument "Spp: path must start at its node") (fun () ->
+      ignore (Spp.create ~links:[ (0, 1) ] [| []; [ [ 0; 1 ] ] |]));
+  Alcotest.check_raises "path must follow links"
+    (Invalid_argument "Spp: path does not follow links") (fun () ->
+      ignore (Spp.create ~links:[ (0, 1) ] [| []; [ [ 1; 2; 0 ] ]; [] |]))
+
+(* ------------------------------------------------------------------ *)
+(* Contagion                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_contagion_full_adoption () =
+  let g = Builders.grid 3 3 in
+  let game = Contagion.make g ~threshold:0.5 in
+  let p = Best_response.protocol game () in
+  let init = Contagion.seeded_config p [ 0; 1; 3; 4 ] in
+  match
+    Engine.run_until_stable p ~input:(Best_response.input game) ~init
+      ~schedule:(Schedule.synchronous 9) ~max_steps:200
+  with
+  | Engine.Stabilized { config; _ } ->
+      check "everyone adopts" 9 (List.length (Contagion.adopters p config))
+  | _ -> Alcotest.fail "monotone cascade should converge"
+
+let test_contagion_no_seeds_no_adoption () =
+  let g = Builders.ring_bi 6 in
+  let game = Contagion.make g ~threshold:0.5 in
+  let p = Best_response.protocol game () in
+  let init = Contagion.seeded_config p [] in
+  match
+    Engine.run_until_stable p ~input:(Best_response.input game) ~init
+      ~schedule:(Schedule.synchronous 6) ~max_steps:100
+  with
+  | Engine.Stabilized { config; _ } ->
+      check "no adoption" 0 (List.length (Contagion.adopters p config))
+  | _ -> Alcotest.fail "empty seeding is a fixed point"
+
+let test_contagion_high_threshold_stalls () =
+  (* With a strict-majority threshold on the ring a single seed retracts. *)
+  let g = Builders.ring_bi 6 in
+  let game = Contagion.make g ~threshold:0.9 in
+  let p = Best_response.protocol game () in
+  let init = Contagion.seeded_config p [ 0 ] in
+  match
+    Engine.run_until_stable p ~input:(Best_response.input game) ~init
+      ~schedule:(Schedule.synchronous 6) ~max_steps:100
+  with
+  | Engine.Stabilized { config; _ } ->
+      check "seed retracts" 0 (List.length (Contagion.adopters p config))
+  | _ -> Alcotest.fail "should converge"
+
+let test_contagion_two_equilibria () =
+  let g = Builders.ring_bi 4 in
+  let game = Contagion.make g ~threshold:0.5 in
+  let p = Best_response.protocol game () in
+  check_bool "two stable labelings" true
+    (Stability.has_multiple_stable_labelings p
+       ~input:(Best_response.input game))
+
+(* ------------------------------------------------------------------ *)
+(* Congestion control                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_congestion_equilibria_partition_capacity () =
+  (* Two flows, capacity 4: the equilibria are exactly the five exact
+     partitions of the capacity. *)
+  let game = Congestion.make ~flows:2 ~capacity:4 ~max_rate:4 in
+  let eqs = Congestion.equilibria game in
+  check "count" 5 (List.length eqs);
+  List.iter
+    (fun eq -> check "exact partition" 4 (Array.fold_left ( + ) 0 eq))
+    eqs
+
+let test_congestion_synchronous_oscillates () =
+  (* The classic all-or-nothing rate oscillation under simultaneous
+     updates. *)
+  let game = Congestion.make ~flows:2 ~capacity:4 ~max_rate:4 in
+  let p = Best_response.protocol game () in
+  let init = Protocol.uniform_config p 0 in
+  match
+    Engine.run_until_stable p ~input:(Best_response.input game) ~init
+      ~schedule:(Schedule.synchronous 2) ~max_steps:100
+  with
+  | Engine.Oscillating { period; _ } -> check "period" 2 period
+  | _ -> Alcotest.fail "simultaneous rate updates must oscillate"
+
+let test_congestion_round_robin_converges () =
+  (* One-at-a-time updates settle: each flow grabs what is left. *)
+  let game = Congestion.make ~flows:3 ~capacity:6 ~max_rate:6 in
+  let p = Best_response.protocol game () in
+  let init = Protocol.uniform_config p 0 in
+  match
+    Engine.run_until_stable p ~input:(Best_response.input game) ~init
+      ~schedule:(Schedule.round_robin 3) ~max_steps:200
+  with
+  | Engine.Stabilized { config; _ } ->
+      check "capacity fully used" 6 (Congestion.total_rate p config)
+  | _ -> Alcotest.fail "round robin should converge"
+
+let test_congestion_thm31_instability () =
+  (* Many equilibria: not (n-1)-stabilizing; the checker finds rate
+     flapping on a small instance. *)
+  let game = Congestion.make ~flows:2 ~capacity:2 ~max_rate:2 in
+  let p = Best_response.protocol game () in
+  let input = Best_response.input game in
+  check_bool "multiple equilibria" true
+    (List.length (Congestion.equilibria game) >= 2);
+  match Checker.check_label p ~input ~r:1 ~max_states:500_000 with
+  | Checker.Oscillating w ->
+      check_bool "witness replays" true (Checker.replay p ~input w)
+  | _ -> Alcotest.fail "rate oscillation expected"
+
+(* ------------------------------------------------------------------ *)
+(* Feedback circuits                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_oscillator_no_stable_labeling () =
+  let p = Feedback.ring_oscillator 3 in
+  check "no stable labeling" 0
+    (Stability.count_stable_labelings p ~input:(Array.make 3 ()))
+
+let test_ring_oscillator_oscillates () =
+  let p = Feedback.ring_oscillator 5 in
+  let init = Protocol.uniform_config p false in
+  match
+    Engine.run_until_stable p ~input:(Array.make 5 ()) ~init
+      ~schedule:(Schedule.synchronous 5) ~max_steps:200
+  with
+  | Engine.Oscillating _ -> ()
+  | _ -> Alcotest.fail "odd inverter ring oscillates"
+
+let test_even_inverter_ring_has_stable_labelings () =
+  let p = Feedback.ring_oscillator 4 in
+  check_bool "even ring has stable labelings" true
+    (Stability.count_stable_labelings p ~input:(Array.make 4 ()) > 0)
+
+let test_nor_latch_metastability () =
+  let p = Feedback.nor_latch () in
+  (* R = S = 0: two stable labelings; Theorem 3.1 at n = 2 means not even
+     1-stabilizing — the checker exhibits synchronous metastability. *)
+  check "holds either bit" 2
+    (Stability.count_stable_labelings p ~input:[| false; false |]);
+  (match
+     Checker.check_label p ~input:[| false; false |] ~r:1 ~max_states:100_000
+   with
+  | Checker.Oscillating _ -> ()
+  | _ -> Alcotest.fail "latch metastability expected");
+  (* R = 1: the latch is forced; unique stable labeling and convergence. *)
+  check "forced" 1
+    (Stability.count_stable_labelings p ~input:[| true; false |]);
+  match
+    Checker.check_label p ~input:[| true; false |] ~r:2 ~max_states:100_000
+  with
+  | Checker.Stabilizing -> ()
+  | _ -> Alcotest.fail "forced latch converges"
+
+let prop_contagion_monotone_under_zero_threshold_seeds =
+  QCheck.Test.make ~count:20
+    ~name:"threshold 1.0 cascade only shrinks"
+    (QCheck.make QCheck.Gen.(int_bound 63))
+    (fun code ->
+      let g = Builders.ring_bi 6 in
+      let game = Contagion.make g ~threshold:1.0 in
+      let p = Best_response.protocol game () in
+      let seeds =
+        List.filter (fun i -> code land (1 lsl i) <> 0) (List.init 6 Fun.id)
+      in
+      let init = Contagion.seeded_config p seeds in
+      match
+        Engine.run_until_stable p ~input:(Best_response.input game) ~init
+          ~schedule:(Schedule.synchronous 6) ~max_steps:100
+      with
+      | Engine.Stabilized { config; _ } ->
+          List.for_all
+            (fun a -> List.mem a seeds)
+            (Contagion.adopters p config)
+      | Engine.Oscillating _ -> true (* bipartite 2-cycles are possible *)
+      | Engine.Exhausted _ -> false)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_contagion_monotone_under_zero_threshold_seeds ]
+
+let () =
+  Alcotest.run "stateless_games"
+    [
+      ( "best-response",
+        [
+          Alcotest.test_case "matching pennies equilibria" `Quick
+            test_equilibria_matching_pennies;
+          Alcotest.test_case "coordination equilibria" `Quick
+            test_equilibria_coordination;
+          Alcotest.test_case "prisoners equilibrium" `Quick
+            test_equilibria_prisoners;
+          Alcotest.test_case "equilibria = stable labelings" `Quick
+            test_equilibria_are_stable_labelings;
+          Alcotest.test_case "matching pennies oscillates" `Quick
+            test_matching_pennies_oscillates;
+          Alcotest.test_case "prisoners converges (checker)" `Quick
+            test_prisoners_converges_everywhere;
+          Alcotest.test_case "coordination: Theorem 3.1" `Slow
+            test_coordination_thm31;
+        ] );
+      ( "spp",
+        [
+          Alcotest.test_case "solution counts" `Quick test_solutions_counts;
+          Alcotest.test_case "good gadget converges" `Quick
+            test_good_gadget_converges;
+          Alcotest.test_case "good gadget round robin" `Quick
+            test_good_gadget_converges_round_robin;
+          Alcotest.test_case "bad gadget oscillates" `Quick
+            test_bad_gadget_oscillates;
+          Alcotest.test_case "disagree stable labelings" `Quick
+            test_disagree_two_stable_labelings;
+          Alcotest.test_case "disagree not 2-stabilizing" `Slow
+            test_disagree_not_2_stabilizing;
+          Alcotest.test_case "disagree flaps synchronously" `Slow
+            test_disagree_oscillates_synchronously;
+          Alcotest.test_case "validation" `Quick test_spp_validation;
+          Alcotest.test_case "random instances well-formed" `Quick
+            test_random_instances_well_formed;
+          Alcotest.test_case "random instance deterministic" `Quick
+            test_random_instance_deterministic;
+        ] );
+      ( "contagion",
+        [
+          Alcotest.test_case "full adoption" `Quick test_contagion_full_adoption;
+          Alcotest.test_case "no seeds" `Quick test_contagion_no_seeds_no_adoption;
+          Alcotest.test_case "high threshold stalls" `Quick
+            test_contagion_high_threshold_stalls;
+          Alcotest.test_case "two equilibria" `Quick
+            test_contagion_two_equilibria;
+        ] );
+      ( "congestion",
+        [
+          Alcotest.test_case "equilibria partition capacity" `Quick
+            test_congestion_equilibria_partition_capacity;
+          Alcotest.test_case "synchronous oscillates" `Quick
+            test_congestion_synchronous_oscillates;
+          Alcotest.test_case "round robin converges" `Quick
+            test_congestion_round_robin_converges;
+          Alcotest.test_case "Theorem 3.1 instability" `Quick
+            test_congestion_thm31_instability;
+        ] );
+      ( "feedback",
+        [
+          Alcotest.test_case "ring oscillator no stable labeling" `Quick
+            test_ring_oscillator_no_stable_labeling;
+          Alcotest.test_case "ring oscillator oscillates" `Quick
+            test_ring_oscillator_oscillates;
+          Alcotest.test_case "even inverter ring" `Quick
+            test_even_inverter_ring_has_stable_labelings;
+          Alcotest.test_case "nor latch metastability" `Quick
+            test_nor_latch_metastability;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,422 @@
+module Digraph = Stateless_graph.Digraph
+module Builders = Stateless_graph.Builders
+module Algorithms = Stateless_graph.Algorithms
+module Spanning = Stateless_graph.Spanning
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Digraph basics                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_create_basic () =
+  let g = Digraph.create ~n:3 [ (0, 1); (1, 2); (2, 0) ] in
+  check "nodes" 3 (Digraph.num_nodes g);
+  check "edges" 3 (Digraph.num_edges g);
+  check_bool "mem 0->1" true (Digraph.mem_edge g ~src:0 ~dst:1);
+  check_bool "no 1->0" false (Digraph.mem_edge g ~src:1 ~dst:0);
+  check "src of e1" 1 (Digraph.src g 1);
+  check "dst of e1" 2 (Digraph.dst g 1)
+
+let test_create_rejects_self_loop () =
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Digraph.create: self-loop at node 1") (fun () ->
+      ignore (Digraph.create ~n:2 [ (0, 1); (1, 1) ]))
+
+let test_create_rejects_duplicate () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Digraph.create: duplicate edge (0, 1)") (fun () ->
+      ignore (Digraph.create ~n:2 [ (0, 1); (0, 1) ]))
+
+let test_create_rejects_out_of_range () =
+  Alcotest.check_raises "range"
+    (Invalid_argument "Digraph.create: edge (0, 5) out of range") (fun () ->
+      ignore (Digraph.create ~n:2 [ (0, 5) ]))
+
+let test_in_out_edges_consistent () =
+  let g = Builders.clique 4 in
+  for i = 0 to 3 do
+    check "out degree" 3 (Digraph.out_degree g i);
+    check "in degree" 3 (Digraph.in_degree g i);
+    Array.iter
+      (fun e -> check "src is i" i (Digraph.src g e))
+      (Digraph.out_edges g i);
+    Array.iter
+      (fun e -> check "dst is i" i (Digraph.dst g e))
+      (Digraph.in_edges g i)
+  done
+
+let test_reverse_preserves_edge_ids () =
+  let g = Builders.ring_uni 5 in
+  let rg = Digraph.reverse g in
+  for e = 0 to Digraph.num_edges g - 1 do
+    check "src" (Digraph.dst g e) (Digraph.src rg e);
+    check "dst" (Digraph.src g e) (Digraph.dst rg e)
+  done
+
+let test_find_edge () =
+  let g = Builders.ring_bi 4 in
+  (match Digraph.find_edge g ~src:1 ~dst:2 with
+  | Some e ->
+      check "src" 1 (Digraph.src g e);
+      check "dst" 2 (Digraph.dst g e)
+  | None -> Alcotest.fail "edge 1->2 should exist");
+  check_bool "absent" true (Digraph.find_edge g ~src:0 ~dst:2 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Builders                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_ring_uni () =
+  let g = Builders.ring_uni 6 in
+  check "edges" 6 (Digraph.num_edges g);
+  check_bool "strongly connected" true (Algorithms.is_strongly_connected g);
+  check_bool "unidirectional" false (Digraph.is_symmetric g)
+
+let test_ring_bi () =
+  let g = Builders.ring_bi 6 in
+  check "edges" 12 (Digraph.num_edges g);
+  check_bool "symmetric" true (Digraph.is_symmetric g);
+  check_bool "strongly connected" true (Algorithms.is_strongly_connected g)
+
+let test_ring_bi_two_nodes () =
+  let g = Builders.ring_bi 2 in
+  check "edges" 2 (Digraph.num_edges g);
+  check_bool "symmetric" true (Digraph.is_symmetric g)
+
+let test_clique () =
+  let g = Builders.clique 5 in
+  check "edges" 20 (Digraph.num_edges g);
+  check "max degree" 4 (Digraph.max_degree g)
+
+let test_star () =
+  let g = Builders.star 5 in
+  check "edges" 8 (Digraph.num_edges g);
+  check "hub degree" 4 (Digraph.out_degree g 0);
+  check "spoke degree" 1 (Digraph.out_degree g 3)
+
+let test_hypercube () =
+  let g = Builders.hypercube 3 in
+  check "nodes" 8 (Digraph.num_nodes g);
+  check "edges" 24 (Digraph.num_edges g);
+  check_bool "symmetric" true (Digraph.is_symmetric g);
+  (* Neighbours differ in exactly one bit. *)
+  Array.iter
+    (fun (u, v) ->
+      let diff = u lxor v in
+      check_bool "one bit" true (diff land (diff - 1) = 0 && diff <> 0))
+    (Digraph.edges g)
+
+let test_torus () =
+  let g = Builders.torus 3 4 in
+  check "nodes" 12 (Digraph.num_nodes g);
+  check "edges" 48 (Digraph.num_edges g);
+  check_bool "strongly connected" true (Algorithms.is_strongly_connected g)
+
+let test_grid () =
+  let g = Builders.grid 3 3 in
+  check "nodes" 9 (Digraph.num_nodes g);
+  check "edges" 24 (Digraph.num_edges g);
+  check "corner degree" 2 (Digraph.out_degree g 0);
+  check "center degree" 4 (Digraph.out_degree g 4)
+
+let test_binary_tree () =
+  let g = Builders.binary_tree 2 in
+  check "nodes" 7 (Digraph.num_nodes g);
+  check "edges" 12 (Digraph.num_edges g);
+  check_bool "strongly connected" true (Algorithms.is_strongly_connected g)
+
+let test_path () =
+  let g = Builders.path_bi 4 in
+  check "edges" 6 (Digraph.num_edges g);
+  check_bool "connected" true (Algorithms.is_strongly_connected g)
+
+let test_de_bruijn () =
+  let g = Builders.de_bruijn 2 3 in
+  check "nodes" 8 (Digraph.num_nodes g);
+  (* 2 out-edges per node minus the two self-loops (000, 111). *)
+  check "edges" 14 (Digraph.num_edges g);
+  check_bool "strongly connected" true (Algorithms.is_strongly_connected g);
+  check_bool "shift edge" true (Digraph.mem_edge g ~src:1 ~dst:2);
+  check_bool "shift edge with carry" true (Digraph.mem_edge g ~src:1 ~dst:3)
+
+let test_de_bruijn_base3 () =
+  let g = Builders.de_bruijn 3 2 in
+  check "nodes" 9 (Digraph.num_nodes g);
+  check_bool "strongly connected" true (Algorithms.is_strongly_connected g)
+
+let test_circulant () =
+  let uni = Builders.circulant 6 [ 1 ] in
+  check "uni edges" 6 (Digraph.num_edges uni);
+  let bi = Builders.circulant 6 [ 1; -1 ] in
+  check "bi edges" 12 (Digraph.num_edges bi);
+  check_bool "bi symmetric" true (Digraph.is_symmetric bi);
+  let chordal = Builders.circulant 8 [ 1; -1; 3 ] in
+  check "chordal edges" 24 (Digraph.num_edges chordal);
+  check "chordal radius" 3 (Option.get (Algorithms.radius chordal));
+  Alcotest.check_raises "zero offset"
+    (Invalid_argument "Builders.circulant: zero offset") (fun () ->
+      ignore (Builders.circulant 5 [ 0 ]))
+
+let test_circulant_merges_duplicate_offsets () =
+  let g = Builders.circulant 5 [ 1; 6; -4 ] in
+  check "deduplicated" 5 (Digraph.num_edges g)
+
+let test_random_strongly_connected () =
+  for seed = 0 to 4 do
+    let g = Builders.random_strongly_connected ~seed 8 ~extra:5 in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d strongly connected" seed)
+      true
+      (Algorithms.is_strongly_connected g)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Algorithms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_bfs_distances () =
+  let g = Builders.ring_uni 5 in
+  let d = Algorithms.bfs_distances g 0 in
+  check "dist to self" 0 d.(0);
+  check "dist around" 4 d.(4)
+
+let test_radius_diameter_ring () =
+  let g = Builders.ring_bi 8 in
+  check "radius" 4 (Option.get (Algorithms.radius g));
+  check "diameter" 4 (Option.get (Algorithms.diameter g));
+  let u = Builders.ring_uni 8 in
+  check "uni radius" 7 (Option.get (Algorithms.radius u))
+
+let test_radius_star () =
+  let g = Builders.star 7 in
+  check "radius" 1 (Option.get (Algorithms.radius g));
+  check "diameter" 2 (Option.get (Algorithms.diameter g))
+
+let test_radius_none_when_disconnected () =
+  let g = Digraph.create ~n:3 [ (0, 1) ] in
+  check_bool "radius none" true (Algorithms.radius g = None);
+  check_bool "diameter none" true (Algorithms.diameter g = None)
+
+let test_scc_of_dag () =
+  let g = Digraph.create ~n:4 [ (0, 1); (1, 2); (2, 3); (0, 3) ] in
+  let comps = Algorithms.scc g in
+  check "four components" 4 (List.length comps);
+  check_bool "not strongly connected" false
+    (Algorithms.is_strongly_connected g)
+
+let test_scc_two_cycles () =
+  let g =
+    Digraph.create ~n:6 [ (0, 1); (1, 0); (2, 3); (3, 4); (4, 2); (1, 2) ]
+  in
+  let comps = Algorithms.scc g in
+  check "components" 3 (List.length comps);
+  let comp, count = Algorithms.scc_ids g in
+  check "count" 3 count;
+  check "0 and 1 together" comp.(0) comp.(1);
+  check "2,3,4 together" comp.(2) comp.(3);
+  check "2,3,4 together" comp.(2) comp.(4)
+
+let test_scc_reverse_topological () =
+  (* Tarjan emits components in reverse topological order: a component is
+     numbered before any component that can reach it. *)
+  let g = Digraph.create ~n:4 [ (0, 1); (1, 2); (2, 1); (2, 3) ] in
+  let comp, count = Algorithms.scc_ids g in
+  check "count" 3 count;
+  check_bool "sink first" true (comp.(3) < comp.(1));
+  check_bool "source last" true (comp.(0) > comp.(1))
+
+let test_topological_sort () =
+  let g = Digraph.create ~n:4 [ (0, 1); (0, 2); (1, 3); (2, 3) ] in
+  (match Algorithms.topological_sort g with
+  | None -> Alcotest.fail "expected a topological order"
+  | Some order ->
+      let pos = Array.make 4 0 in
+      List.iteri (fun i v -> pos.(v) <- i) order;
+      Array.iter
+        (fun (u, v) -> check_bool "ordered" true (pos.(u) < pos.(v)))
+        (Digraph.edges g));
+  let cyclic = Builders.ring_uni 3 in
+  check_bool "cycle has no order" true
+    (Algorithms.topological_sort cyclic = None)
+
+let test_reachability () =
+  let g = Digraph.create ~n:3 [ (0, 1); (1, 2) ] in
+  check_bool "forward" true (Algorithms.is_reachable g ~src:0 ~dst:2);
+  check_bool "backward" false (Algorithms.is_reachable g ~src:2 ~dst:0)
+
+(* ------------------------------------------------------------------ *)
+(* Spanning trees                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_out_tree_ring () =
+  let g = Builders.ring_uni 5 in
+  let t = Spanning.out_tree g 0 in
+  check "root parent" (-1) t.Spanning.parent.(0);
+  (* On the unidirectional ring the only spanning out-tree is the path. *)
+  for i = 1 to 4 do
+    check "parent" (i - 1) t.Spanning.parent.(i)
+  done;
+  check "depth of last" 4 (Spanning.depth t 4)
+
+let test_in_tree_ring () =
+  let g = Builders.ring_uni 5 in
+  let t = Spanning.in_tree g 0 in
+  (* In-tree parents follow the ring towards 0. *)
+  check "parent of 4" 0 t.Spanning.parent.(4);
+  check "parent of 1" 2 t.Spanning.parent.(1)
+
+let test_tree_edges_exist () =
+  for seed = 0 to 3 do
+    let g = Builders.random_strongly_connected ~seed 10 ~extra:8 in
+    let t1 = Spanning.out_tree g 0 and t2 = Spanning.in_tree g 0 in
+    for i = 1 to 9 do
+      check_bool "t1 edge parent->i" true
+        (Digraph.mem_edge g ~src:t1.Spanning.parent.(i) ~dst:i);
+      check_bool "t2 edge i->parent" true
+        (Digraph.mem_edge g ~src:i ~dst:t2.Spanning.parent.(i))
+    done
+  done
+
+let test_children_inverse_of_parent () =
+  let g = Builders.clique 5 in
+  let t = Spanning.out_tree g 0 in
+  Array.iteri
+    (fun p kids ->
+      List.iter (fun c -> check "parent of child" p t.Spanning.parent.(c)) kids)
+    t.Spanning.children
+
+let test_order_starts_at_root () =
+  let g = Builders.ring_bi 6 in
+  let t = Spanning.out_tree g 2 in
+  match t.Spanning.order with
+  | r :: _ -> check "root first" 2 r
+  | [] -> Alcotest.fail "order empty"
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let arb_graph =
+  QCheck.make
+    ~print:(fun (seed, n, extra) -> Printf.sprintf "seed=%d n=%d extra=%d" seed n extra)
+    QCheck.Gen.(
+      triple (int_bound 1000) (int_range 2 12) (int_bound 12))
+
+let prop_random_graphs_strongly_connected =
+  QCheck.Test.make ~count:100 ~name:"random_strongly_connected is"
+    arb_graph (fun (seed, n, extra) ->
+      Algorithms.is_strongly_connected
+        (Builders.random_strongly_connected ~seed n ~extra))
+
+let prop_reverse_involution =
+  QCheck.Test.make ~count:100 ~name:"reverse is an involution" arb_graph
+    (fun (seed, n, extra) ->
+      let g = Builders.random_strongly_connected ~seed n ~extra in
+      let rr = Digraph.reverse (Digraph.reverse g) in
+      Digraph.edges g = Digraph.edges rr)
+
+let prop_radius_le_diameter =
+  QCheck.Test.make ~count:100 ~name:"radius <= diameter" arb_graph
+    (fun (seed, n, extra) ->
+      let g = Builders.random_strongly_connected ~seed n ~extra in
+      match (Algorithms.radius g, Algorithms.diameter g) with
+      | Some r, Some d -> r <= d
+      | _ -> false)
+
+let prop_scc_counts_nodes =
+  QCheck.Test.make ~count:100 ~name:"scc partitions the nodes"
+    QCheck.(pair (int_bound 1000) (QCheck.make QCheck.Gen.(int_range 2 10)))
+    (fun (seed, n) ->
+      let g = Builders.erdos_renyi ~seed n ~p:0.3 in
+      let total =
+        List.fold_left (fun acc c -> acc + List.length c) 0 (Algorithms.scc g)
+      in
+      total = n)
+
+let prop_spanning_depth_bounded =
+  QCheck.Test.make ~count:100 ~name:"BFS tree depth <= eccentricity"
+    arb_graph (fun (seed, n, extra) ->
+      let g = Builders.random_strongly_connected ~seed n ~extra in
+      let t = Spanning.out_tree g 0 in
+      match Algorithms.eccentricity g 0 with
+      | None -> false
+      | Some ecc ->
+          List.for_all (fun i -> Spanning.depth t i <= ecc) t.Spanning.order)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_random_graphs_strongly_connected;
+      prop_reverse_involution;
+      prop_radius_le_diameter;
+      prop_scc_counts_nodes;
+      prop_spanning_depth_bounded;
+    ]
+
+let () =
+  Alcotest.run "stateless_graph"
+    [
+      ( "digraph",
+        [
+          Alcotest.test_case "create basic" `Quick test_create_basic;
+          Alcotest.test_case "rejects self loop" `Quick
+            test_create_rejects_self_loop;
+          Alcotest.test_case "rejects duplicate" `Quick
+            test_create_rejects_duplicate;
+          Alcotest.test_case "rejects out of range" `Quick
+            test_create_rejects_out_of_range;
+          Alcotest.test_case "in/out edges consistent" `Quick
+            test_in_out_edges_consistent;
+          Alcotest.test_case "reverse preserves ids" `Quick
+            test_reverse_preserves_edge_ids;
+          Alcotest.test_case "find edge" `Quick test_find_edge;
+        ] );
+      ( "builders",
+        [
+          Alcotest.test_case "ring uni" `Quick test_ring_uni;
+          Alcotest.test_case "ring bi" `Quick test_ring_bi;
+          Alcotest.test_case "ring bi n=2" `Quick test_ring_bi_two_nodes;
+          Alcotest.test_case "clique" `Quick test_clique;
+          Alcotest.test_case "star" `Quick test_star;
+          Alcotest.test_case "hypercube" `Quick test_hypercube;
+          Alcotest.test_case "torus" `Quick test_torus;
+          Alcotest.test_case "grid" `Quick test_grid;
+          Alcotest.test_case "binary tree" `Quick test_binary_tree;
+          Alcotest.test_case "path" `Quick test_path;
+          Alcotest.test_case "de bruijn" `Quick test_de_bruijn;
+          Alcotest.test_case "de bruijn base 3" `Quick test_de_bruijn_base3;
+          Alcotest.test_case "circulant" `Quick test_circulant;
+          Alcotest.test_case "circulant dedup" `Quick
+            test_circulant_merges_duplicate_offsets;
+          Alcotest.test_case "random strongly connected" `Quick
+            test_random_strongly_connected;
+        ] );
+      ( "algorithms",
+        [
+          Alcotest.test_case "bfs distances" `Quick test_bfs_distances;
+          Alcotest.test_case "radius/diameter of rings" `Quick
+            test_radius_diameter_ring;
+          Alcotest.test_case "radius of star" `Quick test_radius_star;
+          Alcotest.test_case "radius none if disconnected" `Quick
+            test_radius_none_when_disconnected;
+          Alcotest.test_case "scc of dag" `Quick test_scc_of_dag;
+          Alcotest.test_case "scc two cycles" `Quick test_scc_two_cycles;
+          Alcotest.test_case "scc reverse topological" `Quick
+            test_scc_reverse_topological;
+          Alcotest.test_case "topological sort" `Quick test_topological_sort;
+          Alcotest.test_case "reachability" `Quick test_reachability;
+        ] );
+      ( "spanning",
+        [
+          Alcotest.test_case "out tree on ring" `Quick test_out_tree_ring;
+          Alcotest.test_case "in tree on ring" `Quick test_in_tree_ring;
+          Alcotest.test_case "tree edges exist" `Quick test_tree_edges_exist;
+          Alcotest.test_case "children inverse of parent" `Quick
+            test_children_inverse_of_parent;
+          Alcotest.test_case "order starts at root" `Quick
+            test_order_starts_at_root;
+        ] );
+      ("properties", qcheck_tests);
+    ]

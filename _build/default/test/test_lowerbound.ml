@@ -1,0 +1,225 @@
+module Fooling = Stateless_lowerbound.Fooling
+module Builders = Stateless_graph.Builders
+open Stateless_core
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Reference functions                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_equality_fn () =
+  check_bool "equal halves" true
+    (Fooling.equality_fn [| true; false; true; false |]);
+  check_bool "unequal halves" false
+    (Fooling.equality_fn [| true; false; false; false |]);
+  check_bool "odd length" false (Fooling.equality_fn [| true; true; true |])
+
+let test_majority_fn () =
+  check_bool "majority" true (Fooling.majority_fn [| true; true; false |]);
+  check_bool "exact half counts" true
+    (Fooling.majority_fn [| true; false; true; false |]);
+  check_bool "minority" false
+    (Fooling.majority_fn [| true; false; false; false |])
+
+(* ------------------------------------------------------------------ *)
+(* The verifier itself                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_verify_accepts_valid_set () =
+  (* Classic equality fooling set on 4 bits, m = 2. *)
+  let s =
+    {
+      Fooling.m = 2;
+      value = true;
+      pairs =
+        [
+          ([| false; false |], [| false; false |]);
+          ([| false; true |], [| false; true |]);
+          ([| true; false |], [| true; false |]);
+          ([| true; true |], [| true; true |]);
+        ];
+    }
+  in
+  check_bool "valid" true (Fooling.verify Fooling.equality_fn ~n:4 s)
+
+let test_verify_rejects_wrong_value () =
+  let s =
+    {
+      Fooling.m = 2;
+      value = true;
+      pairs = [ ([| true; false |], [| false; true |]) ];
+    }
+  in
+  check_bool "f(x,y) <> b" false (Fooling.verify Fooling.equality_fn ~n:4 s)
+
+let test_verify_rejects_non_fooling () =
+  (* Two pairs whose crossings both keep the value: majority with heavy
+     ones everywhere. *)
+  let s =
+    {
+      Fooling.m = 2;
+      value = true;
+      pairs =
+        [
+          ([| true; true |], [| true; true |]);
+          ([| true; true |], [| true; false |]);
+        ];
+    }
+  in
+  check_bool "crossings survive" false (Fooling.verify Fooling.majority_fn ~n:4 s)
+
+let test_verify_rejects_duplicates () =
+  let s =
+    {
+      Fooling.m = 2;
+      value = true;
+      pairs =
+        [
+          ([| true; true |], [| true; true |]);
+          ([| true; true |], [| true; true |]);
+        ];
+    }
+  in
+  check_bool "duplicate pair" false (Fooling.verify Fooling.equality_fn ~n:4 s)
+
+(* ------------------------------------------------------------------ *)
+(* Paper fooling sets (Corollaries 6.3 and 6.4)                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_equality_fooling_verified () =
+  List.iter
+    (fun n ->
+      let s = Fooling.equality_fooling n in
+      check (Printf.sprintf "size n=%d" n) (1 lsl ((n / 2) - 2))
+        (List.length s.Fooling.pairs);
+      check_bool "fooling" true (Fooling.verify Fooling.equality_fn ~n s);
+      check_bool "cut constancy" true
+        (Fooling.constant_on_cut (Builders.ring_bi n) ~m:(n / 2) s))
+    [ 6; 8; 10; 12 ]
+
+let test_majority_fooling_verified () =
+  List.iter
+    (fun n ->
+      let s = Fooling.majority_fooling n in
+      check (Printf.sprintf "size n=%d" n) (n / 2) (List.length s.Fooling.pairs);
+      check_bool "fooling" true (Fooling.verify Fooling.majority_fn ~n s))
+    [ 6; 7; 8; 9; 10; 11 ]
+
+let test_ring_cut_is_four () =
+  List.iter
+    (fun n ->
+      let c, d = Fooling.cut_sizes (Builders.ring_bi n) ~m:(n / 2) in
+      check "cut" 4 (c + d))
+    [ 6; 8; 10 ]
+
+let test_bounds_positive_and_growing () =
+  let b n = Fooling.bound (Fooling.equality_fooling n) ~cut:4 in
+  check_float "n=8" 0.5 (b 8);
+  check_bool "monotone" true (b 12 > b 8);
+  (* The equality bound is linear: doubling n roughly doubles it. *)
+  check_bool "linear growth" true (b 12 >= (2.0 *. b 8) -. 0.76)
+
+let test_paper_bounds () =
+  check_float "eq paper n=10" 1.0 (Fooling.equality_paper_bound 10);
+  check_float "maj paper n=8" 0.5 (Fooling.majority_paper_bound 8);
+  check_float "counting n=16 k=2" 2.0 (Fooling.counting_bound ~n:16 ~k:2)
+
+let test_bound_vs_generic_upper () =
+  (* The generic protocol of Prop 2.3 has label complexity n+1; the
+     fooling-set lower bound must stay below it. *)
+  List.iter
+    (fun n ->
+      let lower = Fooling.bound (Fooling.equality_fooling n) ~cut:4 in
+      check_bool "lower <= upper" true (lower <= float_of_int (n + 1)))
+    [ 6; 8; 10; 12 ]
+
+let test_radius_bound () =
+  check "ring radius" 4 (Option.get (Fooling.radius_bound (Builders.ring_bi 8)));
+  check "clique radius" 1 (Option.get (Fooling.radius_bound (Builders.clique 5)))
+
+(* ------------------------------------------------------------------ *)
+(* Consistency with live protocols                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_generic_protocol_beats_no_bound () =
+  (* Sanity: the generic protocol computing Eq_n label-stabilizes, so the
+     fooling bound applies to it; its label complexity (n+1) must beat the
+     bound. *)
+  let n = 6 in
+  let g = Builders.ring_bi n in
+  let p = Generic.make g Fooling.equality_fn in
+  let upper = Label.complexity p.Protocol.space in
+  let lower = Fooling.bound (Fooling.equality_fooling n) ~cut:4 in
+  check_bool "upper >= lower" true (upper >= lower)
+
+let test_verify_is_exhaustive_over_crossings () =
+  (* A subtle invalid set: (x,y) pairs where one crossing works but not the
+     other still count as fooling (the definition requires only ONE broken
+     crossing). *)
+  let f bits = bits.(0) && bits.(1) in
+  let s =
+    {
+      Fooling.m = 1;
+      value = true;
+      pairs = [ ([| true |], [| true |]) ];
+    }
+  in
+  check_bool "singleton always fools" true (Fooling.verify f ~n:2 s)
+
+let prop_equality_fooling_scales =
+  QCheck.Test.make ~count:4 ~name:"equality fooling verified for even n"
+    (QCheck.make QCheck.Gen.(int_range 3 6))
+    (fun half ->
+      let n = 2 * half in
+      Fooling.verify Fooling.equality_fn ~n (Fooling.equality_fooling n))
+
+let prop_majority_fooling_scales =
+  QCheck.Test.make ~count:8 ~name:"majority fooling verified"
+    (QCheck.make QCheck.Gen.(int_range 4 12))
+    (fun n -> Fooling.verify Fooling.majority_fn ~n (Fooling.majority_fooling n))
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_equality_fooling_scales; prop_majority_fooling_scales ]
+
+let () =
+  Alcotest.run "stateless_lowerbound"
+    [
+      ( "functions",
+        [
+          Alcotest.test_case "equality" `Quick test_equality_fn;
+          Alcotest.test_case "majority" `Quick test_majority_fn;
+        ] );
+      ( "verifier",
+        [
+          Alcotest.test_case "accepts valid" `Quick test_verify_accepts_valid_set;
+          Alcotest.test_case "rejects wrong value" `Quick
+            test_verify_rejects_wrong_value;
+          Alcotest.test_case "rejects non-fooling" `Quick
+            test_verify_rejects_non_fooling;
+          Alcotest.test_case "rejects duplicates" `Quick
+            test_verify_rejects_duplicates;
+          Alcotest.test_case "singleton fools" `Quick
+            test_verify_is_exhaustive_over_crossings;
+        ] );
+      ( "paper-sets",
+        [
+          Alcotest.test_case "equality fooling" `Quick
+            test_equality_fooling_verified;
+          Alcotest.test_case "majority fooling" `Quick
+            test_majority_fooling_verified;
+          Alcotest.test_case "ring cut = 4" `Quick test_ring_cut_is_four;
+          Alcotest.test_case "bounds grow" `Quick
+            test_bounds_positive_and_growing;
+          Alcotest.test_case "paper bound values" `Quick test_paper_bounds;
+          Alcotest.test_case "lower <= generic upper" `Quick
+            test_bound_vs_generic_upper;
+          Alcotest.test_case "radius bound" `Quick test_radius_bound;
+          Alcotest.test_case "generic protocol consistency" `Quick
+            test_generic_protocol_beats_no_bound;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,196 @@
+module Machine = Stateless_machine.Machine
+open Stateless_core
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let all_inputs n =
+  List.init (1 lsl n) (fun code ->
+      Array.init n (fun i -> code land (1 lsl (n - 1 - i)) <> 0))
+
+let popcount x = Array.fold_left (fun a b -> if b then a + 1 else a) 0 x
+
+let machine_agrees name m reference =
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) name (reference x) (Machine.run m x))
+    (all_inputs m.Machine.n)
+
+let test_parity_machine () =
+  machine_agrees "parity" (Machine.parity 5) (fun x -> popcount x mod 2 = 1)
+
+let test_majority_machine () =
+  machine_agrees "majority" (Machine.majority 5) (fun x -> 2 * popcount x >= 5)
+
+let test_mod_count_machine () =
+  machine_agrees "mod3" (Machine.mod_count 5 3) (fun x -> popcount x mod 3 = 0);
+  machine_agrees "mod2" (Machine.mod_count 4 2) (fun x -> popcount x mod 2 = 0)
+
+let test_first_equals_last () =
+  List.iter
+    (fun n ->
+      machine_agrees
+        (Printf.sprintf "first=last n=%d" n)
+        (Machine.first_equals_last n)
+        (fun x -> Bool.equal x.(0) x.(n - 1)))
+    [ 2; 3; 5 ]
+
+let test_with_advice () =
+  let advice = [| true; false; true; true |] in
+  machine_agrees "advice" (Machine.with_advice 4 advice) (fun x -> x = advice)
+
+let test_head_in_range () =
+  List.iter
+    (fun m ->
+      for z = 0 to m.Machine.configs - 1 do
+        let h = m.Machine.head z in
+        check_bool "head in range" true (h >= 0 && h < m.Machine.n)
+      done)
+    [ Machine.parity 4; Machine.majority 3; Machine.first_equals_last 4 ]
+
+let test_step_total () =
+  (* π must be total over Z × {0,1} and stay inside Z. *)
+  List.iter
+    (fun m ->
+      for z = 0 to m.Machine.configs - 1 do
+        List.iter
+          (fun b ->
+            let z' = m.Machine.step z b in
+            check_bool "step in range" true (z' >= 0 && z' < m.Machine.configs))
+          [ false; true ]
+      done)
+    [ Machine.parity 4; Machine.majority 3; Machine.mod_count 3 3;
+      Machine.first_equals_last 4; Machine.with_advice 3 [| true; true; false |] ]
+
+let test_deciders_halt () =
+  (* After |Z| steps on any input the machine is at an absorbing config. *)
+  let halts m =
+    List.for_all
+      (fun x ->
+        let z = ref m.Machine.initial in
+        for _ = 1 to m.Machine.configs do
+          z := m.Machine.step !z x.(m.Machine.head !z)
+        done;
+        let again = m.Machine.step !z x.(m.Machine.head !z) in
+        again = !z)
+      (all_inputs m.Machine.n)
+  in
+  check_bool "parity halts" true (halts (Machine.parity 4));
+  check_bool "majority halts" true (halts (Machine.majority 4));
+  check_bool "first=last halts" true (halts (Machine.first_equals_last 4))
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 5.2: machine -> unidirectional ring protocol                *)
+(* ------------------------------------------------------------------ *)
+
+let ring_agrees name m =
+  let p = Machine.protocol_of_machine m in
+  let n = m.Machine.n in
+  check_bool (name ^ " is a unidirectional ring") true
+    (Unidirectional.is_unidirectional_ring p);
+  let bound = Machine.convergence_bound m in
+  let state = Random.State.make [| 17 |] in
+  let card = p.Protocol.space.Label.card in
+  List.iter
+    (fun x ->
+      let labels =
+        Array.init (Protocol.num_edges p) (fun _ ->
+            p.Protocol.space.Label.decode (Random.State.int state card))
+      in
+      let init = Protocol.config_of_labels p labels in
+      match
+        Engine.outputs_after_convergence p ~input:x ~init
+          ~schedule:(Schedule.synchronous n) ~max_steps:(2 * bound)
+      with
+      | Some outs ->
+          let expect = if Machine.run m x then 1 else 0 in
+          Array.iter (fun y -> check (name ^ " output") expect y) outs
+      | None -> Alcotest.fail (name ^ ": ring protocol did not converge"))
+    (all_inputs n)
+
+let test_parity_ring () = ring_agrees "parity" (Machine.parity 4)
+let test_majority_ring () = ring_agrees "majority" (Machine.majority 3)
+
+let test_first_last_ring () =
+  ring_agrees "first=last" (Machine.first_equals_last 4)
+
+let test_advice_ring () =
+  ring_agrees "advice" (Machine.with_advice 3 [| false; true; true |])
+
+let test_label_complexity_logarithmic () =
+  (* L = O(log |Z|): label bits grow logarithmically with n for the parity
+     machine family. *)
+  let bits n =
+    Label.bit_length (Machine.protocol_of_machine (Machine.parity n)).Protocol.space
+  in
+  check_bool "bits grow slowly" true (bits 16 <= bits 8 + 3);
+  check_bool "bits monotone-ish" true (bits 8 <= bits 16)
+
+let test_convergence_within_bound () =
+  let m = Machine.parity 3 in
+  let p = Machine.protocol_of_machine m in
+  let bound = Machine.convergence_bound m in
+  let x = [| true; false; true |] in
+  let init = Protocol.uniform_config p (p.Protocol.space.Label.decode 0) in
+  match
+    Engine.output_stabilization_time p ~input:x ~init
+      ~schedule:(Schedule.synchronous 3) ~max_steps:(4 * bound)
+  with
+  | Some t -> check_bool "within bound" true (t <= bound)
+  | None -> Alcotest.fail "no convergence"
+
+let prop_machine_protocol_agrees =
+  QCheck.Test.make ~count:25 ~name:"ring protocol computes machine verdict"
+    (QCheck.make QCheck.Gen.(pair (int_bound 255) (int_bound 1000)))
+    (fun (code, seed) ->
+      let n = 4 in
+      let m = Machine.mod_count n 3 in
+      let x = Array.init n (fun i -> code land (1 lsl i) <> 0) in
+      let p = Machine.protocol_of_machine m in
+      let state = Random.State.make [| seed |] in
+      let card = p.Protocol.space.Label.card in
+      let labels =
+        Array.init (Protocol.num_edges p) (fun _ ->
+            p.Protocol.space.Label.decode (Random.State.int state card))
+      in
+      let init = Protocol.config_of_labels p labels in
+      match
+        Engine.outputs_after_convergence p ~input:x ~init
+          ~schedule:(Schedule.synchronous n)
+          ~max_steps:(2 * Machine.convergence_bound m)
+      with
+      | Some outs ->
+          let expect = if Machine.run m x then 1 else 0 in
+          Array.for_all (fun y -> y = expect) outs
+      | None -> false)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest [ prop_machine_protocol_agrees ]
+
+let () =
+  Alcotest.run "stateless_machine"
+    [
+      ( "machines",
+        [
+          Alcotest.test_case "parity" `Quick test_parity_machine;
+          Alcotest.test_case "majority" `Quick test_majority_machine;
+          Alcotest.test_case "mod count" `Quick test_mod_count_machine;
+          Alcotest.test_case "first equals last" `Quick test_first_equals_last;
+          Alcotest.test_case "with advice" `Quick test_with_advice;
+          Alcotest.test_case "head in range" `Quick test_head_in_range;
+          Alcotest.test_case "step total" `Quick test_step_total;
+          Alcotest.test_case "deciders halt" `Quick test_deciders_halt;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "parity ring" `Slow test_parity_ring;
+          Alcotest.test_case "majority ring" `Slow test_majority_ring;
+          Alcotest.test_case "first=last ring" `Slow test_first_last_ring;
+          Alcotest.test_case "advice ring" `Quick test_advice_ring;
+          Alcotest.test_case "label complexity" `Quick
+            test_label_complexity_logarithmic;
+          Alcotest.test_case "convergence bound" `Quick
+            test_convergence_within_bound;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,315 @@
+module SO = Stateless_pspace.String_oscillation
+module Stateful = Stateless_pspace.Stateful
+module Metanode = Stateless_pspace.Metanode
+open Stateless_core
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* String oscillation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_always_loop () =
+  let inst = SO.always_loop ~m:3 in
+  check_bool "oscillates from everything" true
+    (SO.oscillates_from inst [| 1; 0; 1 |]);
+  check_bool "oscillates" true (SO.oscillates inst)
+
+let test_always_halt () =
+  let inst = SO.always_halt ~m:3 in
+  check_bool "never oscillates" false (SO.oscillates inst);
+  check_bool "halts from zero" false (SO.oscillates_from inst [| 0; 0; 0 |])
+
+let test_zero_loop () =
+  let inst = SO.zero_loop ~m:3 in
+  check_bool "zero loops" true (SO.oscillates_from inst [| 0; 0; 0 |]);
+  check_bool "one halts" false (SO.oscillates_from inst [| 0; 1; 0 |]);
+  (match SO.oscillating_start inst with
+  | Some s -> Alcotest.(check (array int)) "start is zero" [| 0; 0; 0 |] s
+  | None -> Alcotest.fail "expected an oscillating start")
+
+let test_state_space () =
+  check "m * 2^m" (3 * 8) (SO.state_space (SO.zero_loop ~m:3))
+
+let test_random_instances_decidable () =
+  for seed = 0 to 5 do
+    (* Just exercise the decision procedure; it must terminate. *)
+    ignore (SO.oscillates (SO.random ~m:2 ~seed))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Stateful engine                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let toggle_protocol : bool Stateful.t =
+  (* Every node flips its own label: oscillates under any schedule. *)
+  {
+    Stateful.name = "toggle";
+    n = 2;
+    space = Label.bool;
+    react = (fun i config -> not config.(i));
+  }
+
+let freeze_protocol : bool Stateful.t =
+  {
+    Stateful.name = "freeze";
+    n = 2;
+    space = Label.bool;
+    react = (fun i config -> config.(i));
+  }
+
+let test_stateful_step () =
+  let next = Stateful.step toggle_protocol [| true; false |] ~active:[ 0 ] in
+  Alcotest.(check (array bool)) "only node 0 flips" [| false; false |] next
+
+let test_stateful_stability () =
+  check_bool "freeze stable" true
+    (Stateful.is_stable freeze_protocol [| true; false |]);
+  check_bool "toggle unstable" false
+    (Stateful.is_stable toggle_protocol [| true; false |])
+
+let test_stateful_verdicts () =
+  (match
+     Stateful.run_until_stable toggle_protocol ~init:[| true; true |]
+       ~schedule:(Schedule.synchronous 2) ~max_steps:100
+   with
+  | `Oscillating -> ()
+  | _ -> Alcotest.fail "toggle should oscillate");
+  match
+    Stateful.run_until_stable freeze_protocol ~init:[| true; false |]
+      ~schedule:(Schedule.synchronous 2) ~max_steps:100
+  with
+  | `Stabilized 0 -> ()
+  | _ -> Alcotest.fail "freeze is immediately stable"
+
+let test_stateful_exhaustive_checker () =
+  check_bool "freeze stabilizing" true
+    (Stateful.synchronous_stabilizing freeze_protocol);
+  check_bool "toggle not stabilizing" false
+    (Stateful.synchronous_stabilizing toggle_protocol)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem B.11: the String-Oscillation reduction                      *)
+(* ------------------------------------------------------------------ *)
+
+let reduction_equivalence name inst =
+  let procedure_oscillates = SO.oscillates inst in
+  let stateful = Stateful.of_instance inst in
+  let protocol_stabilizes = Stateful.synchronous_stabilizing stateful in
+  check_bool
+    (name ^ ": oscillation <=> non-stabilization")
+    procedure_oscillates (not protocol_stabilizes)
+
+let test_reduction_always_loop () =
+  reduction_equivalence "always_loop" (SO.always_loop ~m:2)
+
+let test_reduction_always_halt () =
+  reduction_equivalence "always_halt" (SO.always_halt ~m:2)
+
+let test_reduction_zero_loop () =
+  reduction_equivalence "zero_loop" (SO.zero_loop ~m:2)
+
+let test_reduction_random () =
+  for seed = 0 to 6 do
+    reduction_equivalence
+      (Printf.sprintf "random-%d" seed)
+      (SO.random ~m:2 ~seed)
+  done
+
+let test_oscillation_seed_replays () =
+  let inst = SO.always_loop ~m:2 in
+  let stateful = Stateful.of_instance inst in
+  match SO.oscillating_start inst with
+  | None -> Alcotest.fail "always_loop oscillates"
+  | Some start -> (
+      match Stateful.oscillation_seed inst start with
+      | None -> Alcotest.fail "seed exists"
+      | Some seed -> (
+          match
+            Stateful.run_until_stable stateful ~init:seed
+              ~schedule:(Schedule.synchronous 3) ~max_steps:500
+          with
+          | `Oscillating -> ()
+          | _ -> Alcotest.fail "seed should oscillate"))
+
+(* ------------------------------------------------------------------ *)
+(* Theorem B.14: the metanode transform                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_metanode_lifts_oscillation () =
+  List.iter
+    (fun inst ->
+      match SO.oscillating_start inst with
+      | None -> ()
+      | Some start -> (
+          let stateful = Stateful.of_instance inst in
+          match Stateful.oscillation_seed inst start with
+          | None -> ()
+          | Some seed -> (
+              let mn = Metanode.make stateful in
+              let init = Metanode.lift mn seed in
+              let sched =
+                Metanode.lift_schedule mn
+                  (Schedule.synchronous stateful.Stateful.n)
+              in
+              match
+                Engine.run_until_stable mn.Metanode.protocol
+                  ~input:(Metanode.input mn) ~init ~schedule:sched
+                  ~max_steps:3000
+              with
+              | Engine.Oscillating _ -> ()
+              | _ -> Alcotest.fail "metanode should oscillate")))
+    [ SO.always_loop ~m:2; SO.zero_loop ~m:2 ]
+
+let test_metanode_preserves_convergence () =
+  let stateful = Stateful.of_instance (SO.always_halt ~m:2) in
+  let mn = Metanode.make stateful in
+  let p = mn.Metanode.protocol in
+  let card = p.Protocol.space.Label.card in
+  let state = Random.State.make [| 9 |] in
+  for _ = 1 to 25 do
+    let labels =
+      Array.init (Protocol.num_edges p) (fun _ ->
+          p.Protocol.space.Label.decode (Random.State.int state card))
+    in
+    let init = Protocol.config_of_labels p labels in
+    match
+      Engine.run_until_stable p ~input:(Metanode.input mn) ~init
+        ~schedule:(Schedule.synchronous (Protocol.num_nodes p))
+        ~max_steps:3000
+    with
+    | Engine.Stabilized _ -> ()
+    | _ -> Alcotest.fail "metanode of halting instance must stabilize"
+  done
+
+let test_omega_is_stable () =
+  let stateful = Stateful.of_instance (SO.always_halt ~m:2) in
+  let mn = Metanode.make stateful in
+  check_bool "all-omega stable" true
+    (Protocol.is_stable mn.Metanode.protocol ~input:(Metanode.input mn)
+       (Metanode.omega_config mn))
+
+let test_metanode_under_round_robin () =
+  (* Convergence also under a non-synchronous fair schedule. *)
+  let stateful = Stateful.of_instance (SO.always_halt ~m:2) in
+  let mn = Metanode.make stateful in
+  let p = mn.Metanode.protocol in
+  let n = Protocol.num_nodes p in
+  let init = Metanode.lift mn [| (0, Some 1); (1, Some 0); (0, Some 1) |] in
+  match
+    Engine.run_until_stable p ~input:(Metanode.input mn) ~init
+      ~schedule:(Schedule.round_robin n) ~max_steps:5000
+  with
+  | Engine.Stabilized _ -> ()
+  | _ -> Alcotest.fail "should converge under round robin"
+
+let test_metanode_sizes () =
+  let stateful = Stateful.of_instance (SO.always_halt ~m:2) in
+  let mn = Metanode.make stateful in
+  check "3n nodes" (3 * stateful.Stateful.n)
+    (Protocol.num_nodes mn.Metanode.protocol);
+  check "sigma + omega" (stateful.Stateful.space.Label.card + 1)
+    mn.Metanode.protocol.Protocol.space.Label.card
+
+let prop_lifted_schedule_preserves_fairness =
+  (* The metanode lift of an r-fair schedule activates whole metanodes, so
+     it is r-fair on 3n nodes. *)
+  QCheck.Test.make ~count:20 ~name:"lifted schedules stay r-fair"
+    (QCheck.make QCheck.Gen.(pair (int_bound 1000) (int_range 1 3)))
+    (fun (seed, r) ->
+      let stateful = Stateful.of_instance (SO.always_halt ~m:2) in
+      let mn = Metanode.make stateful in
+      let n = stateful.Stateful.n in
+      let sched =
+        Metanode.lift_schedule mn (Schedule.random_fair ~seed ~r n)
+      in
+      Schedule.is_r_fair sched ~n:(3 * n) ~r ~horizon:(20 * r))
+
+let prop_omega_reachable_from_inconsistent =
+  (* Any configuration with a non-unanimous metanode pushes ω outward; under
+     the synchronous schedule the halting instance always reaches the all-ω
+     fixed point. *)
+  QCheck.Test.make ~count:15 ~name:"halting metanode converges to all-omega"
+    (QCheck.make QCheck.Gen.(int_bound 100_000))
+    (fun seed ->
+      let stateful = Stateful.of_instance (SO.always_halt ~m:2) in
+      let mn = Metanode.make stateful in
+      let p = mn.Metanode.protocol in
+      let card = p.Protocol.space.Label.card in
+      let state = Random.State.make [| seed |] in
+      let labels =
+        Array.init (Protocol.num_edges p) (fun _ ->
+            p.Protocol.space.Label.decode (Random.State.int state card))
+      in
+      match
+        Engine.run_until_stable p ~input:(Metanode.input mn)
+          ~init:(Protocol.config_of_labels p labels)
+          ~schedule:(Schedule.synchronous (Protocol.num_nodes p))
+          ~max_steps:3000
+      with
+      | Engine.Stabilized { config; _ } ->
+          (* The unique fixed point reachable from garbage is all-ω or a
+             stable corresponding labeling collapsed to ω on the next
+             activations; in either case the labeling must be stable. *)
+          Protocol.is_stable p ~input:(Metanode.input mn) config
+      | _ -> false)
+
+let prop_reduction_equivalence_random =
+  QCheck.Test.make ~count:10 ~name:"B.11 equivalence on random instances"
+    (QCheck.make QCheck.Gen.(int_bound 10_000))
+    (fun seed ->
+      let inst = SO.random ~m:2 ~seed in
+      let stateful = Stateful.of_instance inst in
+      SO.oscillates inst = not (Stateful.synchronous_stabilizing stateful))
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_reduction_equivalence_random;
+      prop_lifted_schedule_preserves_fairness;
+      prop_omega_reachable_from_inconsistent;
+    ]
+
+let () =
+  Alcotest.run "stateless_pspace"
+    [
+      ( "string-oscillation",
+        [
+          Alcotest.test_case "always loop" `Quick test_always_loop;
+          Alcotest.test_case "always halt" `Quick test_always_halt;
+          Alcotest.test_case "zero loop" `Quick test_zero_loop;
+          Alcotest.test_case "state space" `Quick test_state_space;
+          Alcotest.test_case "random decidable" `Quick
+            test_random_instances_decidable;
+        ] );
+      ( "stateful",
+        [
+          Alcotest.test_case "step" `Quick test_stateful_step;
+          Alcotest.test_case "stability" `Quick test_stateful_stability;
+          Alcotest.test_case "verdicts" `Quick test_stateful_verdicts;
+          Alcotest.test_case "exhaustive checker" `Quick
+            test_stateful_exhaustive_checker;
+        ] );
+      ( "thm-b11",
+        [
+          Alcotest.test_case "always loop" `Quick test_reduction_always_loop;
+          Alcotest.test_case "always halt" `Quick test_reduction_always_halt;
+          Alcotest.test_case "zero loop" `Quick test_reduction_zero_loop;
+          Alcotest.test_case "random instances" `Slow test_reduction_random;
+          Alcotest.test_case "seed replays" `Quick
+            test_oscillation_seed_replays;
+        ] );
+      ( "thm-b14",
+        [
+          Alcotest.test_case "lifts oscillation" `Slow
+            test_metanode_lifts_oscillation;
+          Alcotest.test_case "preserves convergence" `Slow
+            test_metanode_preserves_convergence;
+          Alcotest.test_case "omega stable" `Quick test_omega_is_stable;
+          Alcotest.test_case "round robin" `Quick
+            test_metanode_under_round_robin;
+          Alcotest.test_case "sizes" `Quick test_metanode_sizes;
+        ] );
+      ("properties", qcheck_tests);
+    ]

@@ -1,0 +1,258 @@
+module Snake = Stateless_snake.Snake
+open Stateless_core
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Induced-cycle verifier and search                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_verifier_accepts_square () =
+  check_bool "Q2 cycle" true (Snake.is_induced_cycle 2 [ 0; 1; 3; 2 ])
+
+let test_verifier_rejects_chord () =
+  (* A 6-cycle in Q3 with a chord is not induced: 0-1-3-2 has... use a
+     non-induced candidate: 0,1,3,7,5,4 has the chord 0-4?  0 and 4 are
+     consecutive here; try 0,1,3,2,6,4: 0-2 is a chord? 0=000,2=010
+     adjacent but not consecutive (positions 0 and 3). *)
+  check_bool "chord rejected" false
+    (Snake.is_induced_cycle 3 [ 0; 1; 3; 2; 6; 4 ])
+
+let test_verifier_rejects_short () =
+  check_bool "too short" false (Snake.is_induced_cycle 3 [ 0; 1 ])
+
+let test_verifier_rejects_nonadjacent () =
+  check_bool "non-adjacent step" false (Snake.is_induced_cycle 3 [ 0; 3; 1; 2 ])
+
+let test_verifier_rejects_duplicates () =
+  check_bool "duplicate vertex" false (Snake.is_induced_cycle 3 [ 0; 1; 0; 1 ])
+
+let test_search_small_dims () =
+  List.iter
+    (fun d ->
+      let s, complete = Snake.search d ~node_budget:max_int in
+      check_bool (Printf.sprintf "d=%d complete" d) true complete;
+      check_bool (Printf.sprintf "d=%d induced" d) true
+        (Snake.is_induced_cycle d s);
+      check (Printf.sprintf "d=%d optimal" d) (Snake.best_known d)
+        (List.length s))
+    [ 2; 3; 4; 5 ]
+
+let test_search_budget_reported () =
+  let _, complete = Snake.search 6 ~node_budget:1000 in
+  check_bool "budget exhausted" false complete
+
+let test_example_cached_and_valid () =
+  List.iter
+    (fun d ->
+      let s = Snake.example d in
+      check_bool "induced" true (Snake.is_induced_cycle d s);
+      check "cached identical" (List.length s) (List.length (Snake.example d)))
+    [ 3; 4; 5 ]
+
+let test_best_known_range () =
+  check "s(7)" 48 (Snake.best_known 7);
+  Alcotest.check_raises "d=8"
+    (Invalid_argument "Snake.best_known: no entry for d = 8") (fun () ->
+      ignore (Snake.best_known 8))
+
+(* ------------------------------------------------------------------ *)
+(* Theorem B.4: the equality reduction                                 *)
+(* ------------------------------------------------------------------ *)
+
+let snake_len d = List.length (Snake.example d)
+
+let mk_eq d x y = Snake.Eq_reduction.make d ~x ~y
+
+let test_eq_oscillates_iff_equal () =
+  let len = snake_len 3 in
+  let x = Array.init len (fun i -> i mod 2 = 0) in
+  let t_eq = mk_eq 3 x (Array.copy x) in
+  check_bool "x = y oscillates" true
+    (Snake.Eq_reduction.synchronously_oscillates t_eq);
+  for flip = 0 to len - 1 do
+    let y = Array.mapi (fun i b -> if i = flip then not b else b) x in
+    check_bool
+      (Printf.sprintf "x <> y (flip %d) converges" flip)
+      false
+      (Snake.Eq_reduction.synchronously_oscillates (mk_eq 3 x y))
+  done
+
+let test_eq_exhaustive_initializations () =
+  let len = snake_len 3 in
+  let x = Array.init len (fun i -> i < 3) in
+  check_bool "equal: some labeling oscillates" true
+    (Snake.Eq_reduction.oscillates_from_some_labeling (mk_eq 3 x (Array.copy x)));
+  let y = Array.mapi (fun i b -> if i = 0 then not b else b) x in
+  check_bool "unequal: every labeling converges" false
+    (Snake.Eq_reduction.oscillates_from_some_labeling (mk_eq 3 x y))
+
+let test_eq_d4 () =
+  let len = snake_len 4 in
+  let x = Array.init len (fun i -> i mod 3 = 0) in
+  check_bool "d=4 equal oscillates" true
+    (Snake.Eq_reduction.synchronously_oscillates (mk_eq 4 x (Array.copy x)));
+  let y = Array.map not x in
+  check_bool "d=4 unequal converges" false
+    (Snake.Eq_reduction.synchronously_oscillates (mk_eq 4 x y))
+
+let test_eq_rejects_wrong_length () =
+  Alcotest.check_raises "length"
+    (Invalid_argument
+       (Printf.sprintf "Eq_reduction.make: inputs must have length %d"
+          (snake_len 3)))
+    (fun () -> ignore (mk_eq 3 [| true |] [| true |]))
+
+let test_eq_communication_blowup () =
+  (* The instance size (|S|) doubles-ish with d while n grows by 1: the
+     exponential communication lower bound in action. *)
+  check_bool "s(5) >= 2 * s(3)" true (snake_len 5 >= 2 * snake_len 3)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem B.7: the set-disjointness reduction                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_disj_dichotomy () =
+  let q = 3 in
+  let inter = Snake.Disj_reduction.make 3 ~q ~x:[| true; false; true |]
+      ~y:[| false; false; true |] in
+  let disj = Snake.Disj_reduction.make 3 ~q ~x:[| true; false; true |]
+      ~y:[| false; true; false |] in
+  check_bool "intersecting oscillates" true (Snake.Disj_reduction.oscillates inter);
+  check_bool "disjoint converges" false (Snake.Disj_reduction.oscillates disj)
+
+let test_disj_pinpoints_index () =
+  let q = 3 in
+  let t = Snake.Disj_reduction.make 3 ~q ~x:[| true; false; true |]
+      ~y:[| false; false; true |] in
+  check_bool "at 0" false (Snake.Disj_reduction.oscillates_at t 0);
+  check_bool "at 1" false (Snake.Disj_reduction.oscillates_at t 1);
+  check_bool "at 2" true (Snake.Disj_reduction.oscillates_at t 2)
+
+let test_disj_empty_sets () =
+  let q = 2 in
+  let t = Snake.Disj_reduction.make 3 ~q ~x:[| false; false |]
+      ~y:[| false; false |] in
+  check_bool "empty sets converge" false (Snake.Disj_reduction.oscillates t)
+
+let test_disj_schedule_fairness () =
+  (* The proof's schedule is (q+2)-fair. *)
+  let q = 3 in
+  let t = Snake.Disj_reduction.make 3 ~q ~x:[| true; true; true |]
+      ~y:[| true; true; true |] in
+  check "fairness" (q + 2) (Snake.Disj_reduction.fairness t)
+
+let test_disj_validates_q () =
+  Alcotest.check_raises "q must divide"
+    (Invalid_argument
+       (Printf.sprintf
+          "Disj_reduction.make: q must divide the snake length %d"
+          (snake_len 3)))
+    (fun () ->
+      ignore
+        (Snake.Disj_reduction.make 3 ~q:4 ~x:(Array.make 4 true)
+           ~y:(Array.make 4 true)))
+
+(* ------------------------------------------------------------------ *)
+(* Stable labelings of the reductions                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_eq_stable_labeling_exists () =
+  (* The (1, 0, 0^d) labeling is stable regardless of x, y. *)
+  let len = snake_len 3 in
+  let t = mk_eq 3 (Array.make len true) (Array.make len true) in
+  let p = t.Snake.Eq_reduction.protocol in
+  let g = p.Protocol.graph in
+  let config = Protocol.uniform_config p false in
+  Array.iter
+    (fun e -> config.Protocol.labels.(e) <- true)
+    (Stateless_graph.Digraph.out_edges g 0);
+  check_bool "stable" true
+    (Protocol.is_stable p ~input:(Snake.Eq_reduction.input t) config)
+
+let prop_eq_dichotomy_random_inputs =
+  (* For random Alice inputs: equal copies oscillate, any single-bit flip
+     converges — Theorem B.4's iff, sampled. *)
+  QCheck.Test.make ~count:10 ~name:"EQ reduction dichotomy on random inputs"
+    (QCheck.make QCheck.Gen.(pair (int_bound 63) (int_bound 5)))
+    (fun (code, flip) ->
+      let len = List.length (Snake.example 3) in
+      let x = Array.init len (fun i -> code land (1 lsl i) <> 0) in
+      let t_eq = Snake.Eq_reduction.make 3 ~x ~y:(Array.copy x) in
+      let y = Array.mapi (fun i b -> if i = flip mod len then not b else b) x in
+      let t_ne = Snake.Eq_reduction.make 3 ~x ~y in
+      Snake.Eq_reduction.synchronously_oscillates t_eq
+      && not (Snake.Eq_reduction.synchronously_oscillates t_ne))
+
+let prop_disj_matches_intersection =
+  QCheck.Test.make ~count:12 ~name:"DISJ reduction = set intersection"
+    (QCheck.make QCheck.Gen.(pair (int_bound 7) (int_bound 7)))
+    (fun (a, b) ->
+      let x = Array.init 3 (fun i -> a land (1 lsl i) <> 0) in
+      let y = Array.init 3 (fun i -> b land (1 lsl i) <> 0) in
+      let t = Snake.Disj_reduction.make 3 ~q:3 ~x ~y in
+      Snake.Disj_reduction.oscillates t = (a land b <> 0))
+
+let prop_search_results_induced =
+  QCheck.Test.make ~count:4 ~name:"search under budget still yields a cycle"
+    (QCheck.make QCheck.Gen.(pair (int_range 3 5) (int_range 500 5000)))
+    (fun (d, budget) ->
+      let s, _ = Snake.search d ~node_budget:budget in
+      s = [] || Snake.is_induced_cycle d s)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_search_results_induced;
+      prop_eq_dichotomy_random_inputs;
+      prop_disj_matches_intersection;
+    ]
+
+let () =
+  Alcotest.run "stateless_snake"
+    [
+      ( "cycles",
+        [
+          Alcotest.test_case "verifier accepts square" `Quick
+            test_verifier_accepts_square;
+          Alcotest.test_case "verifier rejects chord" `Quick
+            test_verifier_rejects_chord;
+          Alcotest.test_case "verifier rejects short" `Quick
+            test_verifier_rejects_short;
+          Alcotest.test_case "verifier rejects non-adjacent" `Quick
+            test_verifier_rejects_nonadjacent;
+          Alcotest.test_case "verifier rejects duplicates" `Quick
+            test_verifier_rejects_duplicates;
+          Alcotest.test_case "search exact d<=5" `Slow test_search_small_dims;
+          Alcotest.test_case "budget reported" `Quick
+            test_search_budget_reported;
+          Alcotest.test_case "example cached" `Quick
+            test_example_cached_and_valid;
+          Alcotest.test_case "best known table" `Quick test_best_known_range;
+        ] );
+      ( "eq-reduction",
+        [
+          Alcotest.test_case "oscillates iff x=y" `Slow
+            test_eq_oscillates_iff_equal;
+          Alcotest.test_case "exhaustive initializations" `Slow
+            test_eq_exhaustive_initializations;
+          Alcotest.test_case "d=4" `Slow test_eq_d4;
+          Alcotest.test_case "rejects wrong length" `Quick
+            test_eq_rejects_wrong_length;
+          Alcotest.test_case "instance size blows up" `Quick
+            test_eq_communication_blowup;
+          Alcotest.test_case "collapse labeling stable" `Quick
+            test_eq_stable_labeling_exists;
+        ] );
+      ( "disj-reduction",
+        [
+          Alcotest.test_case "dichotomy" `Quick test_disj_dichotomy;
+          Alcotest.test_case "pinpoints index" `Quick test_disj_pinpoints_index;
+          Alcotest.test_case "empty sets" `Quick test_disj_empty_sets;
+          Alcotest.test_case "schedule fairness" `Quick
+            test_disj_schedule_fairness;
+          Alcotest.test_case "validates q" `Quick test_disj_validates_q;
+        ] );
+      ("properties", qcheck_tests);
+    ]
