@@ -117,9 +117,154 @@ let run_micro_benchmarks () =
     micro_tests
 
 (* ------------------------------------------------------------------ *)
+(* Checker benchmark — machine-readable BENCH_checker.json             *)
+(* ------------------------------------------------------------------ *)
+
+type checker_case = {
+  cc_name : string;
+  cc_fast_s : float;  (* wall seconds per run, memoized CSR checker *)
+  cc_naive_s : float;  (* wall seconds per run, naive reference *)
+  cc_reps : int;
+  cc_states : int;
+  cc_edges : int;
+  cc_hits : int;
+  cc_misses : int;
+  cc_verdict : string;
+}
+
+let verdict_name = function
+  | Checker.Stabilizing -> "stabilizing"
+  | Checker.Oscillating _ -> "oscillating"
+  | Checker.Too_large _ -> "too_large"
+
+(* Mean wall time over however many runs fit in ~0.3 s (first run warms
+   the caches and is discarded). *)
+let time_runs f =
+  ignore (f ());
+  let t0 = Unix.gettimeofday () in
+  let reps = ref 0 in
+  let elapsed = ref 0. in
+  while !elapsed < 0.3 do
+    ignore (f ());
+    incr reps;
+    elapsed := Unix.gettimeofday () -. t0
+  done;
+  (!elapsed /. float !reps, !reps)
+
+let checker_case ~name ~fast ~naive =
+  let fast_s, reps = time_runs fast in
+  let stats =
+    match Checker.last_stats () with
+    | Some s -> s
+    | None -> failwith "checker bench: no stats recorded"
+  in
+  let naive_s, _ = time_runs naive in
+  {
+    cc_name = name;
+    cc_fast_s = fast_s;
+    cc_naive_s = naive_s;
+    cc_reps = reps;
+    cc_states = stats.Checker.states;
+    cc_edges = stats.Checker.edges;
+    cc_hits = stats.Checker.memo_hits;
+    cc_misses = stats.Checker.memo_misses;
+    cc_verdict = verdict_name (fast ());
+  }
+
+let run_checker_bench () =
+  Printf.printf "\n%s\n" (String.make 78 '=');
+  Printf.printf
+    "Checker benchmark (memoized CSR explorer vs naive reference)\n";
+  Printf.printf "%s\n" (String.make 78 '-');
+  (* Whatever ran before (Bechamel in particular) leaves a large, fragmented
+     major heap that penalizes the allocation-light fast path much more than
+     the naive one; compact so the recorded ratios don't depend on it. *)
+  Gc.compact ();
+  let k3 = Clique_example.make 3 and k3_in = Clique_example.input 3 in
+  let k4 = Clique_example.make 4 and k4_in = Clique_example.input 4 in
+  (* Unidirectional 5-ring where each node copies its incoming label:
+     boolean labels keep the states-graph enumerable (2^5 labelings). *)
+  let ring5 : (unit, bool) Protocol.t =
+    {
+      Protocol.name = "copy-ring-uni-5";
+      graph = Builders.ring_uni 5;
+      space = Label.bool;
+      react = (fun _ () incoming -> ([| incoming.(0) |], 0));
+    }
+  in
+  let ring5_in = Array.make 5 () in
+  let cases =
+    [
+      checker_case ~name:"example1_k3_r2"
+        ~fast:(fun () ->
+          Checker.check_label k3 ~input:k3_in ~r:2 ~max_states:1_000_000)
+        ~naive:(fun () ->
+          Checker.Naive.check_label k3 ~input:k3_in ~r:2
+            ~max_states:1_000_000);
+      checker_case ~name:"example1_k4_r2"
+        ~fast:(fun () ->
+          Checker.check_label k4 ~input:k4_in ~r:2 ~max_states:2_000_000)
+        ~naive:(fun () ->
+          Checker.Naive.check_label k4 ~input:k4_in ~r:2
+            ~max_states:2_000_000);
+      checker_case ~name:"copy_ring_uni5_r2"
+        ~fast:(fun () ->
+          Checker.check_label ring5 ~input:ring5_in ~r:2
+            ~max_states:2_000_000)
+        ~naive:(fun () ->
+          Checker.Naive.check_label ring5 ~input:ring5_in ~r:2
+            ~max_states:2_000_000);
+    ]
+  in
+  List.iter
+    (fun c ->
+      Printf.printf
+        "  %-26s %10.6f s/run  (naive %10.6f, %5.1fx)  %-11s %d states\n"
+        c.cc_name c.cc_fast_s c.cc_naive_s (c.cc_naive_s /. c.cc_fast_s)
+        c.cc_verdict c.cc_states)
+    cases;
+  let count v =
+    List.length (List.filter (fun c -> String.equal c.cc_verdict v) cases)
+  in
+  let oc = open_out "BENCH_checker.json" in
+  Printf.fprintf oc "{\n  \"benchmark\": \"checker\",\n";
+  Printf.fprintf oc
+    "  \"verdict_counts\": { \"stabilizing\": %d, \"oscillating\": %d, \
+     \"too_large\": %d },\n"
+    (count "stabilizing") (count "oscillating") (count "too_large");
+  Printf.fprintf oc "  \"experiments\": [\n";
+  List.iteri
+    (fun i c ->
+      let hit_rate =
+        if c.cc_hits + c.cc_misses = 0 then 0.
+        else float c.cc_hits /. float (c.cc_hits + c.cc_misses)
+      in
+      Printf.fprintf oc
+        "    { \"name\": %S, \"wall_s_per_run\": %.9f, \"reps\": %d,\n\
+        \      \"naive_wall_s_per_run\": %.9f, \"speedup_vs_naive\": %.2f,\n\
+        \      \"states\": %d, \"edges\": %d, \"states_per_sec\": %.0f,\n\
+        \      \"memo_hits\": %d, \"memo_misses\": %d, \"memo_hit_rate\": \
+         %.4f,\n\
+        \      \"verdict\": %S }%s\n"
+        c.cc_name c.cc_fast_s c.cc_reps c.cc_naive_s
+        (c.cc_naive_s /. c.cc_fast_s)
+        c.cc_states c.cc_edges
+        (float c.cc_states /. c.cc_fast_s)
+        c.cc_hits c.cc_misses hit_rate c.cc_verdict
+        (if i = List.length cases - 1 then "" else ","))
+    cases;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "  [wrote BENCH_checker.json]\n"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let t0 = Unix.gettimeofday () in
+  if Array.exists (String.equal "--checker-bench-only") Sys.argv then begin
+    run_checker_bench ();
+    exit 0
+  end;
   print_endline "Stateless Computation — experiment harness";
   print_endline "(Dolev, Erdmann, Lutz, Schapira, Zair; PODC 2017)";
   List.iter
@@ -137,4 +282,5 @@ let () =
         (Unix.gettimeofday () -. start))
     Ablations.all;
   run_micro_benchmarks ();
+  run_checker_bench ();
   Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -12,39 +12,25 @@ type verdict =
   | Oscillating of witness
   | Too_large of { needed : int }
 
-(* The explored states-graph. State ids index all vectors. *)
-type 'l explored = {
-  n : int;
-  r : int;
-  lab_count : int;
-  state_of_key : (int, int) Hashtbl.t;
-  keys : int Vec.t;  (* id -> lab_code * r^n + cd_code *)
-  edges : int array Vec.t;  (* id -> flattened (succ, mask, changed) triples *)
-  parent : int Vec.t;  (* id -> predecessor id in BFS forest, -1 at roots *)
-  parent_mask : int Vec.t;
+type stats = {
+  states : int;
+  edges : int;
+  memo_hits : int;
+  memo_misses : int;
+  domains_used : int;
 }
+
+let last_stats_ref : stats option ref = ref None
+let last_stats () = !last_stats_ref
 
 let ipow base e =
   let rec loop acc e = if e = 0 then acc else loop (acc * base) (e - 1) in
   loop 1 e
 
-let decode_state ex key =
-  let cd_count = ipow ex.r ex.n in
-  let lab_code = key / cd_count and cd_code = key mod cd_count in
-  let countdown = Array.make ex.n 0 in
-  let rest = ref cd_code in
-  for i = ex.n - 1 downto 0 do
-    countdown.(i) <- (!rest mod ex.r) + 1;
-    rest := !rest / ex.r
-  done;
-  (lab_code, countdown)
-
-let encode_state ex lab_code countdown =
-  let code = ref lab_code in
-  for i = 0 to ex.n - 1 do
-    code := (!code * ex.r) + (countdown.(i) - 1)
-  done;
-  !code
+(* [ilog2 v] for v a positive power of two. *)
+let ilog2 v =
+  let rec loop v acc = if v <= 1 then acc else loop (v lsr 1) (acc + 1) in
+  loop v 0
 
 let nodes_of_mask n mask =
   let rec loop i acc =
@@ -54,135 +40,460 @@ let nodes_of_mask n mask =
   in
   loop (n - 1) []
 
-(* Breadth-first exploration from every initialization vertex (ℓ, rⁿ). *)
-let explore p ~input ~r ~max_states =
+(* The explored states-graph. State ids index all vectors; edges live in one
+   flat CSR buffer. State id -> key [lab_code * r^n + cd_code] where
+   [cd_code] is the countdown vector in base r (digit = countdown - 1,
+   node 0 most significant). *)
+type ('x, 'l) explored = {
+  n : int;
+  r : int;
+  lab_count : int;
+  cd_count : int;  (* r^n *)
+  pow2n : int;
+  keys : int Vec.t;  (* id -> key *)
+  csr : Csr.t;  (* id -> packed (succ, mask, changed) edges *)
+  parent : int Vec.t;  (* id -> predecessor id in BFS forest, -1 at roots *)
+  parent_mask : int Vec.t;
+  cache : ('x, 'l) Trans_cache.t;  (* for post-hoc output reads *)
+}
+
+(* Expand states [a, b) of [ex] into flat per-chunk buffers: for each state,
+   its admissible transitions as (successor key, mask * 2 + changed) pairs in
+   ascending mask order, preceded by nothing and counted in [ecnt]. Pure
+   w.r.t. the shared tables ([keys] is only read below [b]), so disjoint
+   ranges may run in parallel domains, each with its own memo [cache]. *)
+let expand_range ex cache ~rpow ~sum_rpow ~add ~ecnt ~edata a b =
+  let n = ex.n and r = ex.r and cd_count = ex.cd_count in
+  for id = a to b - 1 do
+    let key = Vec.unsafe_get ex.keys id in
+    let lab = key / cd_count and cd = key mod cd_count in
+    let forced = ref 0 in
+    for i = 0 to n - 1 do
+      (* digit d = countdown - 1; node i is forced-active at countdown 1. *)
+      let d = cd / Array.unsafe_get rpow i mod r in
+      Array.unsafe_set add i ((r - d) * Array.unsafe_get rpow i);
+      if d = 0 then forced := !forced lor (1 lsl i)
+    done;
+    let base = cd - sum_rpow in
+    let forced = !forced in
+    let edge_count = ref 0 in
+    for mask = 1 to ex.pow2n - 1 do
+      if mask land forced = forced then begin
+        let packed = Trans_cache.step cache ~lab_code:lab ~mask in
+        let next_lab = packed lsr 1 in
+        let cdsum = ref base in
+        for i = 0 to n - 1 do
+          if mask land (1 lsl i) <> 0 then
+            cdsum := !cdsum + Array.unsafe_get add i
+        done;
+        Vec.push edata ((next_lab * cd_count) + !cdsum);
+        Vec.push edata ((mask lsl 1) lor (packed land 1));
+        incr edge_count
+      end
+    done;
+    Vec.push ecnt !edge_count
+  done
+
+(* Breadth-first exploration from every initialization vertex (ℓ, rⁿ).
+
+   The frontier of each BFS level is a contiguous id range, so levels are
+   expanded range-by-range (optionally split across [domains] domains) and
+   then interned by a single sequential pass in id order — state ids,
+   parents and hence witnesses are identical for every domain count. *)
+(* Per-domain scratch reused across explorations, so repeated [check_*]
+   calls (parameter sweeps, [max_stabilizing_r], benchmarks) run
+   allocation-light. Sound because no exported function retains the
+   explored graph past its own call, and [Domain.DLS] isolates domains.
+
+   Invariant between calls: [sc_state_of_key.(k) >= 0] exactly for the
+   keys [k] listed in [sc_keys] (exploration marks the two together, so
+   the invariant holds even if a reaction function raises mid-call), and
+   every Tarjan visit index ever handed out is [< sc_clock]. *)
+type scratch = {
+  mutable sc_n : int;  (* node count the csr packing was built for *)
+  mutable sc_keys : int Vec.t;
+  mutable sc_parent : int Vec.t;
+  mutable sc_parent_mask : int Vec.t;
+  mutable sc_csr : Csr.t;
+  mutable sc_state_of_key : int array;
+  (* Tarjan scratch: visit clock persists so [sc_index] never needs
+     clearing — entries below the clock at entry are "unvisited". *)
+  mutable sc_clock : int;
+  mutable sc_index : int array;
+  mutable sc_lowlink : int array;
+  mutable sc_comp : int array;
+  mutable sc_stack : int array;
+  mutable sc_call_v : int array;
+  mutable sc_call_cur : int array;
+  mutable sc_call_end : int array;
+  mutable sc_on_stack : Bytes.t;
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        sc_n = -1;
+        sc_keys = Vec.create ~capacity:0 ~dummy:0 ();
+        sc_parent = Vec.create ~capacity:0 ~dummy:(-1) ();
+        sc_parent_mask = Vec.create ~capacity:0 ~dummy:0 ();
+        sc_csr = Csr.create ~n:1 ~capacity:0 ();
+        sc_state_of_key = [||];
+        sc_clock = 0;
+        sc_index = [||];
+        sc_lowlink = [||];
+        sc_comp = [||];
+        sc_stack = [||];
+        sc_call_v = [||];
+        sc_call_cur = [||];
+        sc_call_end = [||];
+        sc_on_stack = Bytes.empty;
+      })
+
+let explore ?(domains = 1) p ~input ~r ~max_states =
   let n = Protocol.num_nodes p in
   if n > 20 then invalid_arg "Checker: too many nodes for subset enumeration";
+  if domains < 1 then invalid_arg "Checker: domains must be >= 1";
   match Protocol.labelings_count p with
   | None -> Error max_int
   | Some lab_count ->
       let cd_count = ipow r n in
-      if
-        cd_count > max_states
-        || lab_count > max_states / cd_count
-      then Error (if lab_count > max_int / cd_count then max_int
-                  else lab_count * cd_count)
+      if cd_count > max_states || lab_count > max_states / cd_count then
+        Error
+          (if lab_count > max_int / cd_count then max_int
+           else lab_count * cd_count)
       else begin
+        let total = lab_count * cd_count in
+        let capacity = min total 65536 in
+        (* Out-degree is at most 2^n - 1, so for small spaces this sizes the
+           edge buffer exactly; large spaces start at 128K cells and double. *)
+        let edge_capacity = min (capacity * ((1 lsl n) - 1)) (1 lsl 17) in
+        let sc = Domain.DLS.get scratch_key in
+        (* Un-mark the previous exploration's keys (cheaper than refilling
+           the whole map: only the reached states are marked). *)
+        if Array.length sc.sc_state_of_key < total then
+          sc.sc_state_of_key <- Array.make total (-1)
+        else begin
+          let sok = sc.sc_state_of_key and ks = sc.sc_keys in
+          for i = 0 to Vec.length ks - 1 do
+            Array.unsafe_set sok (Vec.unsafe_get ks i) (-1)
+          done
+        end;
+        Vec.clear sc.sc_keys;
+        Vec.clear sc.sc_parent;
+        Vec.clear sc.sc_parent_mask;
+        Vec.reserve sc.sc_keys capacity;
+        Vec.reserve sc.sc_parent capacity;
+        Vec.reserve sc.sc_parent_mask capacity;
+        if sc.sc_n <> n then begin
+          sc.sc_n <- n;
+          sc.sc_csr <- Csr.create ~n ~capacity ~edge_capacity ()
+        end
+        else Csr.reset sc.sc_csr;
         let ex =
           {
             n;
             r;
             lab_count;
-            state_of_key = Hashtbl.create (4 * lab_count);
-            keys = Vec.create ~dummy:0;
-            edges = Vec.create ~dummy:[||];
-            parent = Vec.create ~dummy:(-1);
-            parent_mask = Vec.create ~dummy:0;
+            cd_count;
+            pow2n = 1 lsl n;
+            keys = sc.sc_keys;
+            csr = sc.sc_csr;
+            parent = sc.sc_parent;
+            parent_mask = sc.sc_parent_mask;
+            cache = Trans_cache.create p ~input ~lab_count;
           }
         in
-        let queue = Queue.create () in
+        (* One-time overflow check: every interned id is < total, so edge
+           words can be pushed unchecked below. *)
+        if total - 1 > Csr.max_succ ex.csr then
+          invalid_arg "Checker: state space too large for edge packing";
+        let rpow = Array.init n (fun i -> ipow r (n - 1 - i)) in
+        let sum_rpow = Array.fold_left ( + ) 0 rpow in
+        (* Keys are bounded by [total <= max_states], so the key -> id map
+           is a direct-mapped array rather than a hashtable. *)
+        let state_of_key = sc.sc_state_of_key in
         let intern key ~parent ~mask =
-          match Hashtbl.find_opt ex.state_of_key key with
-          | Some id -> id
-          | None ->
-              let id = Vec.length ex.keys in
-              Hashtbl.replace ex.state_of_key key id;
-              Vec.push ex.keys key;
-              Vec.push ex.edges [||];
-              Vec.push ex.parent parent;
-              Vec.push ex.parent_mask mask;
-              Queue.add id queue;
-              id
+          let id = Array.unsafe_get state_of_key key in
+          if id >= 0 then id
+          else begin
+            let id = Vec.length ex.keys in
+            Array.unsafe_set state_of_key key id;
+            Vec.push ex.keys key;
+            Vec.push ex.parent parent;
+            Vec.push ex.parent_mask mask;
+            id
+          end
         in
-        let full = Array.make n r in
+        (* Initialization vertices: countdown digits all r - 1. *)
         for lab_code = 0 to lab_count - 1 do
-          ignore (intern (encode_state ex lab_code full) ~parent:(-1) ~mask:0)
+          ignore
+            (intern ((lab_code * cd_count) + (cd_count - 1)) ~parent:(-1)
+               ~mask:0)
         done;
-        while not (Queue.is_empty queue) do
-          let id = Queue.pop queue in
-          let lab_code, countdown = decode_state ex (Vec.get ex.keys id) in
-          let config = Protocol.decode_config p lab_code in
-          let forced = ref 0 in
-          for i = 0 to n - 1 do
-            if countdown.(i) = 1 then forced := !forced lor (1 lsl i)
-          done;
-          let out = ref [] in
-          let edge_count = ref 0 in
-          for mask = 1 to (1 lsl n) - 1 do
-            if mask land !forced = !forced then begin
-              let active = nodes_of_mask n mask in
-              let next = Engine.step p ~input config ~active in
-              let next_lab = Protocol.encode_config p next in
-              let next_cd =
-                Array.init n (fun i ->
-                    if mask land (1 lsl i) <> 0 then r else countdown.(i) - 1)
-              in
-              let key = encode_state ex next_lab next_cd in
-              let succ = intern key ~parent:id ~mask in
-              let changed = if next_lab <> lab_code then 1 else 0 in
-              out := changed :: mask :: succ :: !out;
-              incr edge_count
-            end
-          done;
-          Vec.set ex.edges id (Array.of_list (List.rev !out))
+        (* The per-domain worker state only exists when parallel expansion
+           is possible; the sequential path runs fused and buffer-free. *)
+        let caches =
+          Array.init domains (fun c ->
+              if c = 0 then ex.cache
+              else Trans_cache.create p ~input ~lab_count)
+        in
+        let adds = Array.init domains (fun _ -> Array.make n 0) in
+        let ecnts =
+          Array.init
+            (if domains > 1 then domains else 0)
+            (fun _ -> Vec.create ~capacity:256 ~dummy:0 ())
+        and edatas =
+          Array.init
+            (if domains > 1 then domains else 0)
+            (fun _ -> Vec.create ~capacity:1024 ~dummy:0 ())
+        in
+        let hits = ref 0 and misses = ref 0 in
+        let lo = ref 0 in
+        while !lo < Vec.length ex.keys do
+          let hi = Vec.length ex.keys in
+          let count = hi - !lo in
+          let nchunks =
+            if domains > 1 && count >= 4 * domains then domains else 1
+          in
+          if nchunks = 1 then begin
+            (* Sequential fast path: expand and intern in one fused pass,
+               with no intermediate edge buffers. *)
+            let cache = caches.(0) and add = adds.(0) in
+            let n = ex.n and r = ex.r and pow2n = ex.pow2n in
+            (* When r is a power of two the countdown digits are bit
+               fields, so the prelude runs on shifts instead of
+               divisions. *)
+            let rbits = if r land (r - 1) = 0 then ilog2 r else -1 in
+            (* msum.(mask) will hold the successor countdown code under
+               activation set [mask]; ctz.(1 lsl i) = i. *)
+            let msum = Array.make pow2n 0 in
+            let ctz = Array.make pow2n 0 in
+            for i = 0 to n - 1 do
+              ctz.(1 lsl i) <- i
+            done;
+            for id = !lo to hi - 1 do
+              let key = Vec.unsafe_get ex.keys id in
+              let lab = key / cd_count and cd = key mod cd_count in
+              let forced = ref 0 in
+              if rbits >= 0 then
+                for i = 0 to n - 1 do
+                  let d = (cd lsr ((n - 1 - i) * rbits)) land (r - 1) in
+                  Array.unsafe_set add i ((r - d) * Array.unsafe_get rpow i);
+                  if d = 0 then forced := !forced lor (1 lsl i)
+                done
+              else
+                for i = 0 to n - 1 do
+                  let d = cd / Array.unsafe_get rpow i mod r in
+                  Array.unsafe_set add i ((r - d) * Array.unsafe_get rpow i);
+                  if d = 0 then forced := !forced lor (1 lsl i)
+                done;
+              (* Subset-sum DP over the lowest set bit: each mask's countdown
+                 code costs two loads and an add instead of an n-bit scan. *)
+              Array.unsafe_set msum 0 (cd - sum_rpow);
+              for mask = 1 to pow2n - 1 do
+                let low = mask land -mask in
+                Array.unsafe_set msum mask
+                  (Array.unsafe_get msum (mask lxor low)
+                  + Array.unsafe_get add (Array.unsafe_get ctz low))
+              done;
+              let forced = !forced in
+              let blk, off = Trans_cache.block cache lab in
+              let slotb = off + (2 * n) in
+              Csr.reserve_edges ex.csr (pow2n - 1);
+              for mask = 1 to pow2n - 1 do
+                if mask land forced = forced then begin
+                  (* [Trans_cache.step_in] and [intern], hand-inlined: this
+                     loop body runs once per states-graph edge. *)
+                  let slot = slotb + mask in
+                  let cached = Array.unsafe_get blk slot in
+                  let packed =
+                    if cached >= 0 then begin
+                      incr hits;
+                      cached
+                    end
+                    else begin
+                      incr misses;
+                      let delta = ref 0 in
+                      for i = 0 to n - 1 do
+                        if mask land (1 lsl i) <> 0 then
+                          delta := !delta + Array.unsafe_get blk (off + i)
+                      done;
+                      let packed =
+                        ((lab + !delta) * 2) lor (if !delta <> 0 then 1 else 0)
+                      in
+                      Array.unsafe_set blk slot packed;
+                      packed
+                    end
+                  in
+                  let skey =
+                    ((packed lsr 1) * cd_count) + Array.unsafe_get msum mask
+                  in
+                  let sid = Array.unsafe_get state_of_key skey in
+                  let succ =
+                    if sid >= 0 then sid
+                    else begin
+                      let sid = Vec.length ex.keys in
+                      Array.unsafe_set state_of_key skey sid;
+                      Vec.push ex.keys skey;
+                      Vec.push ex.parent id;
+                      Vec.push ex.parent_mask mask;
+                      sid
+                    end
+                  in
+                  Csr.unsafe_push_edge ex.csr ~succ ~mask
+                    ~changed:(packed land 1)
+                end
+              done;
+              Csr.end_row ex.csr
+            done
+          end
+          else begin
+            let bound c = !lo + (count * c / nchunks) in
+            for c = 0 to nchunks - 1 do
+              Vec.clear ecnts.(c);
+              Vec.clear edatas.(c)
+            done;
+            let workers =
+              Array.init (nchunks - 1) (fun k ->
+                  let c = k + 1 in
+                  Domain.spawn (fun () ->
+                      expand_range ex caches.(c) ~rpow ~sum_rpow ~add:adds.(c)
+                        ~ecnt:ecnts.(c) ~edata:edatas.(c) (bound c)
+                        (bound (c + 1))))
+            in
+            expand_range ex caches.(0) ~rpow ~sum_rpow ~add:adds.(0)
+              ~ecnt:ecnts.(0) ~edata:edatas.(0) !lo (bound 1);
+            Array.iter Domain.join workers;
+            (* Sequential interning pass, in expanding-state order. *)
+            let id = ref !lo in
+            for c = 0 to nchunks - 1 do
+              let ecnt = ecnts.(c) and edata = edatas.(c) in
+              let pos = ref 0 in
+              for s = 0 to Vec.length ecnt - 1 do
+                for _k = 1 to Vec.unsafe_get ecnt s do
+                  let key = Vec.unsafe_get edata !pos
+                  and mc = Vec.unsafe_get edata (!pos + 1) in
+                  pos := !pos + 2;
+                  let succ = intern key ~parent:!id ~mask:(mc lsr 1) in
+                  Csr.push_edge ex.csr ~succ ~mask:(mc lsr 1)
+                    ~changed:(mc land 1)
+                done;
+                Csr.end_row ex.csr;
+                incr id
+              done
+            done
+          end;
+          lo := hi
         done;
+        (* Flush the fused loop's batched memo counters. *)
+        let c0 = caches.(0) in
+        c0.Trans_cache.hits <- Trans_cache.hits c0 + !hits;
+        c0.Trans_cache.misses <- Trans_cache.misses c0 + !misses;
+        last_stats_ref :=
+          Some
+            {
+              states = Vec.length ex.keys;
+              edges = Csr.num_edges ex.csr;
+              memo_hits =
+                Array.fold_left (fun a c -> a + Trans_cache.hits c) 0 caches;
+              memo_misses =
+                Array.fold_left (fun a c -> a + Trans_cache.misses c) 0 caches;
+              domains_used = domains;
+            };
         Ok ex
       end
 
-(* Iterative Tarjan over the explored graph. *)
+(* Iterative Tarjan over the CSR states-graph. All stacks are flat int
+   arrays — a vertex enters each stack at most once, so [count] slots
+   suffice and the traversal allocates nothing per edge. *)
 let scc_of_explored ex =
   let count = Vec.length ex.keys in
-  let index = Array.make count (-1) in
-  let lowlink = Array.make count 0 in
-  let on_stack = Array.make count false in
-  let comp = Array.make count (-1) in
-  let stack = Stack.create () in
-  let next_index = ref 0 and next_comp = ref 0 in
-  let call = Stack.create () in
-  let succ_at id k = (Vec.get ex.edges id).(3 * k) in
-  let degree id = Array.length (Vec.get ex.edges id) / 3 in
+  let sc = Domain.DLS.get scratch_key in
+  if Array.length sc.sc_index < count then begin
+    (* Fresh scratch: all-zero [sc_index] reads as unvisited because the
+       clock only moves forward. [sc_on_stack] stays all-zero between runs
+       since every pushed vertex is popped. *)
+    sc.sc_index <- Array.make count 0;
+    sc.sc_lowlink <- Array.make count 0;
+    sc.sc_comp <- Array.make count 0;
+    sc.sc_stack <- Array.make count 0;
+    sc.sc_call_v <- Array.make count 0;
+    sc.sc_call_cur <- Array.make count 0;
+    sc.sc_call_end <- Array.make count 0;
+    sc.sc_on_stack <- Bytes.make count '\000';
+    if sc.sc_clock = 0 then sc.sc_clock <- 1
+  end;
+  let base = sc.sc_clock in
+  let index = sc.sc_index in
+  let lowlink = sc.sc_lowlink in
+  let on_stack = sc.sc_on_stack in
+  let comp = sc.sc_comp in
+  let stack = sc.sc_stack in
+  let sp = ref 0 in
+  let call_v = sc.sc_call_v in
+  (* Per-frame cursor and end into the flat edge buffer — hoists the row
+     bounds out of the per-edge loop. *)
+  let call_cur = sc.sc_call_cur in
+  let call_end = sc.sc_call_end in
+  let csp = ref 0 in
+  let next_index = ref base and next_comp = ref 0 in
+  let csr = ex.csr in
   for root = 0 to count - 1 do
-    if index.(root) < 0 then begin
-      Stack.push (root, 0) call;
+    if index.(root) < base then begin
+      call_v.(0) <- root;
+      call_cur.(0) <- Csr.row_start csr root;
+      call_end.(0) <- Csr.row_start csr (root + 1);
+      csp := 1;
       index.(root) <- !next_index;
       lowlink.(root) <- !next_index;
       incr next_index;
-      Stack.push root stack;
-      on_stack.(root) <- true;
-      while not (Stack.is_empty call) do
-        let v, child = Stack.pop call in
-        if child < degree v then begin
-          Stack.push (v, child + 1) call;
-          let u = succ_at v child in
-          if index.(u) < 0 then begin
+      stack.(!sp) <- root;
+      incr sp;
+      Bytes.unsafe_set on_stack root '\001';
+      while !csp > 0 do
+        let fr = !csp - 1 in
+        let v = Array.unsafe_get call_v fr in
+        let cur = Array.unsafe_get call_cur fr in
+        if cur < Array.unsafe_get call_end fr then begin
+          Array.unsafe_set call_cur fr (cur + 1);
+          let u = Csr.succ_of_word csr (Csr.cell csr cur) in
+          if Array.unsafe_get index u < base then begin
             index.(u) <- !next_index;
             lowlink.(u) <- !next_index;
             incr next_index;
-            Stack.push u stack;
-            on_stack.(u) <- true;
-            Stack.push (u, 0) call
+            stack.(!sp) <- u;
+            incr sp;
+            Bytes.unsafe_set on_stack u '\001';
+            call_v.(!csp) <- u;
+            call_cur.(!csp) <- Csr.row_start csr u;
+            call_end.(!csp) <- Csr.row_start csr (u + 1);
+            incr csp
           end
-          else if on_stack.(u) then lowlink.(v) <- min lowlink.(v) index.(u)
+          else if Bytes.unsafe_get on_stack u = '\001' then
+            lowlink.(v) <- min lowlink.(v) index.(u)
         end
         else begin
+          decr csp;
           if lowlink.(v) = index.(v) then begin
             let continue = ref true in
             while !continue do
-              let u = Stack.pop stack in
-              on_stack.(u) <- false;
+              decr sp;
+              let u = stack.(!sp) in
+              Bytes.unsafe_set on_stack u '\000';
               comp.(u) <- !next_comp;
               if u = v then continue := false
             done;
             incr next_comp
           end;
-          if not (Stack.is_empty call) then begin
-            let parent, _ = Stack.top call in
+          if !csp > 0 then begin
+            let parent = call_v.(!csp - 1) in
             lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
           end
         end
       done
     end
   done;
+  sc.sc_clock <- !next_index;
   comp
 
 (* Shortest intra-component path src -> dst as a list of activation masks. *)
@@ -198,10 +509,10 @@ let path_within_scc ex comp ~src ~dst =
     let found = ref false in
     while (not !found) && not (Queue.is_empty queue) do
       let v = Queue.pop queue in
-      let edges = Vec.get ex.edges v in
+      let deg = Csr.degree ex.csr v in
       let k = ref 0 in
-      while (not !found) && !k < Array.length edges / 3 do
-        let u = edges.(3 * !k) and mask = edges.((3 * !k) + 1) in
+      while (not !found) && !k < deg do
+        let u = Csr.succ ex.csr v !k and mask = Csr.mask ex.csr v !k in
         if comp.(u) = comp.(src) && pred.(u) < 0 then begin
           pred.(u) <- v;
           pred_mask.(u) <- mask;
@@ -227,8 +538,7 @@ let path_from_root ex id =
     else walk (Vec.get ex.parent id) (Vec.get ex.parent_mask id :: acc)
   in
   let root, masks = walk id [] in
-  let lab_code, _ = decode_state ex (Vec.get ex.keys root) in
-  (lab_code, masks)
+  (Vec.get ex.keys root / ex.cd_count, masks)
 
 let masks_to_sets n masks = List.map (nodes_of_mask n) masks
 
@@ -240,24 +550,28 @@ let make_witness ex ~cycle_entry ~cycle_masks =
     cycle = masks_to_sets ex.n cycle_masks;
   }
 
-let check_label p ~input ~r ~max_states =
-  match explore p ~input ~r ~max_states with
+let check_label ?domains p ~input ~r ~max_states =
+  match explore ?domains p ~input ~r ~max_states with
   | Error needed -> Too_large { needed }
   | Ok ex -> (
       let comp = scc_of_explored ex in
       (* Find a label-changing edge inside an SCC. *)
+      let csr = ex.csr in
       let found = ref None in
       let count = Vec.length ex.keys in
       let id = ref 0 in
-      while !found = None && !id < count do
-        let edges = Vec.get ex.edges !id in
+      while !found == None && !id < count do
+        let base = Csr.row_start csr !id in
+        let deg = Csr.degree csr !id in
+        let cid = Array.unsafe_get comp !id in
         let k = ref 0 in
-        while !found = None && !k < Array.length edges / 3 do
-          let u = edges.(3 * !k)
-          and mask = edges.((3 * !k) + 1)
-          and changed = edges.((3 * !k) + 2) in
-          if changed = 1 && comp.(u) = comp.(!id) then
-            found := Some (!id, u, mask);
+        while !found == None && !k < deg do
+          let w = Csr.cell csr (base + !k) in
+          if Csr.changed_of_word w = 1 then begin
+            let u = Csr.succ_of_word csr w in
+            if Array.unsafe_get comp u = cid then
+              found := Some (!id, u, Csr.mask_of_word csr w)
+          end;
           incr k
         done;
         incr id
@@ -271,42 +585,47 @@ let check_label p ~input ~r ~max_states =
               Oscillating
                 (make_witness ex ~cycle_entry:v ~cycle_masks:(mask :: back))))
 
-let check_output p ~input ~r ~max_states =
-  match explore p ~input ~r ~max_states with
+let check_output ?domains p ~input ~r ~max_states =
+  match explore ?domains p ~input ~r ~max_states with
   | Error needed -> Too_large { needed }
   | Ok ex -> (
       let comp = scc_of_explored ex in
       let count = Vec.length ex.keys in
       (* For every intra-SCC edge and activated node, record the produced
          output; two distinct outputs for the same node in one SCC witness
-         output divergence. *)
+         output divergence. Outputs depend only on the source labeling and
+         the node, so they are read off the transition cache instead of
+         re-evaluating reaction functions per edge. *)
       let seen : (int * int, int * (int * int)) Hashtbl.t =
         Hashtbl.create 1024
       in
       (* (scc, node) -> (output, (edge src, mask)) *)
+      let csr = ex.csr in
       let conflict = ref None in
       let id = ref 0 in
-      while !conflict = None && !id < count do
-        let lab_code, _ = decode_state ex (Vec.get ex.keys !id) in
-        let config = Protocol.decode_config p lab_code in
-        let edges = Vec.get ex.edges !id in
+      while !conflict == None && !id < count do
+        let lab_code = Vec.unsafe_get ex.keys !id / ex.cd_count in
+        let base = Csr.row_start csr !id in
+        let deg = Csr.degree csr !id in
+        let cid = Array.unsafe_get comp !id in
         let k = ref 0 in
-        while !conflict = None && !k < Array.length edges / 3 do
-          let u = edges.(3 * !k) and mask = edges.((3 * !k) + 1) in
-          if comp.(u) = comp.(!id) then
+        while !conflict == None && !k < deg do
+          let w = Csr.cell csr (base + !k) in
+          let u = Csr.succ_of_word csr w in
+          if Array.unsafe_get comp u = cid then begin
+            let mask = Csr.mask_of_word csr w in
             List.iter
               (fun node ->
-                if !conflict = None then begin
-                  let _, y = Protocol.apply p ~input config node in
-                  match Hashtbl.find_opt seen (comp.(!id), node) with
-                  | None ->
-                      Hashtbl.replace seen (comp.(!id), node)
-                        (y, (!id, mask))
+                if !conflict == None then begin
+                  let y = Trans_cache.output ex.cache ~lab_code ~node in
+                  match Hashtbl.find_opt seen (cid, node) with
+                  | None -> Hashtbl.replace seen (cid, node) (y, (!id, mask))
                   | Some (y0, (src0, mask0)) ->
                       if y0 <> y then
                         conflict := Some ((src0, mask0), (!id, mask), u)
                 end)
-              (nodes_of_mask ex.n mask);
+              (nodes_of_mask ex.n mask)
+          end;
           incr k
         done;
         incr id
@@ -317,10 +636,11 @@ let check_output p ~input ~r ~max_states =
           (* Build a cycle through both conflicting edges:
              src0 -e0-> dst0 ~~> src1 -e1-> dst1 ~~> src0. *)
           let dst0 =
-            let edges = Vec.get ex.edges src0 in
             let rec find k =
-              if edges.((3 * k) + 1) = mask0 && comp.(edges.(3 * k)) = comp.(src0)
-              then edges.(3 * k)
+              if
+                Csr.mask ex.csr src0 k = mask0
+                && comp.(Csr.succ ex.csr src0 k) = comp.(src0)
+              then Csr.succ ex.csr src0 k
               else find (k + 1)
             in
             find 0
@@ -365,13 +685,317 @@ let replay p ~input witness =
   let returns = String.equal start_key (Protocol.config_key p !config) in
   returns && (!label_changed || !output_changed)
 
-let max_stabilizing_r p ~input ~r_limit ~max_states =
+let max_stabilizing_r ?domains p ~input ~r_limit ~max_states =
   let rec loop r =
     if r > r_limit then Some r_limit
     else
-      match check_label p ~input ~r ~max_states with
+      match check_label ?domains p ~input ~r ~max_states with
       | Stabilizing -> loop (r + 1)
       | Oscillating _ -> Some (r - 1)
       | Too_large _ -> None
   in
   loop 1
+
+(* ------------------------------------------------------------------ *)
+(* Reference implementation                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The seed checker, kept verbatim as an independent oracle: it re-derives
+   every transition through [Engine.step] and stores per-state boxed edge
+   arrays, sharing no exploration code with the memoized/CSR path above.
+   Exploration order is identical, so verdicts — including witnesses — must
+   match exactly; the differential tests in [test_checker.ml] assert this. *)
+module Naive = struct
+  type nexplored = {
+    n : int;
+    r : int;
+    state_of_key : (int, int) Hashtbl.t;
+    keys : int Vec.t;  (* id -> lab_code * r^n + cd_code *)
+    edges : int array Vec.t;  (* id -> flattened (succ, mask, changed) *)
+    parent : int Vec.t;
+    parent_mask : int Vec.t;
+  }
+
+  let decode_state ex key =
+    let cd_count = ipow ex.r ex.n in
+    let lab_code = key / cd_count and cd_code = key mod cd_count in
+    let countdown = Array.make ex.n 0 in
+    let rest = ref cd_code in
+    for i = ex.n - 1 downto 0 do
+      countdown.(i) <- (!rest mod ex.r) + 1;
+      rest := !rest / ex.r
+    done;
+    (lab_code, countdown)
+
+  let encode_state ex lab_code countdown =
+    let code = ref lab_code in
+    for i = 0 to ex.n - 1 do
+      code := (!code * ex.r) + (countdown.(i) - 1)
+    done;
+    !code
+
+  let explore p ~input ~r ~max_states =
+    let n = Protocol.num_nodes p in
+    if n > 20 then
+      invalid_arg "Checker: too many nodes for subset enumeration";
+    match Protocol.labelings_count p with
+    | None -> Error max_int
+    | Some lab_count ->
+        let cd_count = ipow r n in
+        if cd_count > max_states || lab_count > max_states / cd_count then
+          Error
+            (if lab_count > max_int / cd_count then max_int
+             else lab_count * cd_count)
+        else begin
+          let ex =
+            {
+              n;
+              r;
+              state_of_key = Hashtbl.create (4 * lab_count);
+              keys = Vec.create ~dummy:0 ();
+              edges = Vec.create ~dummy:[||] ();
+              parent = Vec.create ~dummy:(-1) ();
+              parent_mask = Vec.create ~dummy:0 ();
+            }
+          in
+          let queue = Queue.create () in
+          let intern key ~parent ~mask =
+            match Hashtbl.find_opt ex.state_of_key key with
+            | Some id -> id
+            | None ->
+                let id = Vec.length ex.keys in
+                Hashtbl.replace ex.state_of_key key id;
+                Vec.push ex.keys key;
+                Vec.push ex.edges [||];
+                Vec.push ex.parent parent;
+                Vec.push ex.parent_mask mask;
+                Queue.add id queue;
+                id
+          in
+          let full = Array.make n r in
+          for lab_code = 0 to lab_count - 1 do
+            ignore (intern (encode_state ex lab_code full) ~parent:(-1) ~mask:0)
+          done;
+          while not (Queue.is_empty queue) do
+            let id = Queue.pop queue in
+            let lab_code, countdown = decode_state ex (Vec.get ex.keys id) in
+            let config = Protocol.decode_config p lab_code in
+            let forced = ref 0 in
+            for i = 0 to n - 1 do
+              if countdown.(i) = 1 then forced := !forced lor (1 lsl i)
+            done;
+            let out = ref [] in
+            for mask = 1 to (1 lsl n) - 1 do
+              if mask land !forced = !forced then begin
+                let active = nodes_of_mask n mask in
+                let next = Engine.step p ~input config ~active in
+                let next_lab = Protocol.encode_config p next in
+                let next_cd =
+                  Array.init n (fun i ->
+                      if mask land (1 lsl i) <> 0 then r else countdown.(i) - 1)
+                in
+                let key = encode_state ex next_lab next_cd in
+                let succ = intern key ~parent:id ~mask in
+                let changed = if next_lab <> lab_code then 1 else 0 in
+                out := changed :: mask :: succ :: !out
+              end
+            done;
+            Vec.set ex.edges id (Array.of_list (List.rev !out))
+          done;
+          Ok ex
+        end
+
+  let scc_of_explored ex =
+    let count = Vec.length ex.keys in
+    let index = Array.make count (-1) in
+    let lowlink = Array.make count 0 in
+    let on_stack = Array.make count false in
+    let comp = Array.make count (-1) in
+    let stack = Stack.create () in
+    let next_index = ref 0 and next_comp = ref 0 in
+    let call = Stack.create () in
+    let succ_at id k = (Vec.get ex.edges id).(3 * k) in
+    let degree id = Array.length (Vec.get ex.edges id) / 3 in
+    for root = 0 to count - 1 do
+      if index.(root) < 0 then begin
+        Stack.push (root, 0) call;
+        index.(root) <- !next_index;
+        lowlink.(root) <- !next_index;
+        incr next_index;
+        Stack.push root stack;
+        on_stack.(root) <- true;
+        while not (Stack.is_empty call) do
+          let v, child = Stack.pop call in
+          if child < degree v then begin
+            Stack.push (v, child + 1) call;
+            let u = succ_at v child in
+            if index.(u) < 0 then begin
+              index.(u) <- !next_index;
+              lowlink.(u) <- !next_index;
+              incr next_index;
+              Stack.push u stack;
+              on_stack.(u) <- true;
+              Stack.push (u, 0) call
+            end
+            else if on_stack.(u) then lowlink.(v) <- min lowlink.(v) index.(u)
+          end
+          else begin
+            if lowlink.(v) = index.(v) then begin
+              let continue = ref true in
+              while !continue do
+                let u = Stack.pop stack in
+                on_stack.(u) <- false;
+                comp.(u) <- !next_comp;
+                if u = v then continue := false
+              done;
+              incr next_comp
+            end;
+            if not (Stack.is_empty call) then begin
+              let parent, _ = Stack.top call in
+              lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+            end
+          end
+        done
+      end
+    done;
+    comp
+
+  let path_within_scc ex comp ~src ~dst =
+    if src = dst then Some []
+    else begin
+      let count = Vec.length ex.keys in
+      let pred = Array.make count (-1) in
+      let pred_mask = Array.make count 0 in
+      let queue = Queue.create () in
+      pred.(src) <- src;
+      Queue.add src queue;
+      let found = ref false in
+      while (not !found) && not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        let edges = Vec.get ex.edges v in
+        let k = ref 0 in
+        while (not !found) && !k < Array.length edges / 3 do
+          let u = edges.(3 * !k) and mask = edges.((3 * !k) + 1) in
+          if comp.(u) = comp.(src) && pred.(u) < 0 then begin
+            pred.(u) <- v;
+            pred_mask.(u) <- mask;
+            if u = dst then found := true else Queue.add u queue
+          end;
+          incr k
+        done
+      done;
+      if not !found then None
+      else begin
+        let rec walk v acc =
+          if v = src then acc else walk pred.(v) (pred_mask.(v) :: acc)
+        in
+        Some (walk dst [])
+      end
+    end
+
+  let path_from_root ex id =
+    let rec walk id acc =
+      if Vec.get ex.parent id < 0 then (id, acc)
+      else walk (Vec.get ex.parent id) (Vec.get ex.parent_mask id :: acc)
+    in
+    let root, masks = walk id [] in
+    let lab_code, _ = decode_state ex (Vec.get ex.keys root) in
+    (lab_code, masks)
+
+  let make_witness ex ~cycle_entry ~cycle_masks =
+    let init_code, prefix_masks = path_from_root ex cycle_entry in
+    {
+      init_code;
+      prefix = masks_to_sets ex.n prefix_masks;
+      cycle = masks_to_sets ex.n cycle_masks;
+    }
+
+  let check_label p ~input ~r ~max_states =
+    match explore p ~input ~r ~max_states with
+    | Error needed -> Too_large { needed }
+    | Ok ex -> (
+        let comp = scc_of_explored ex in
+        let found = ref None in
+        let count = Vec.length ex.keys in
+        let id = ref 0 in
+        while !found = None && !id < count do
+          let edges = Vec.get ex.edges !id in
+          let k = ref 0 in
+          while !found = None && !k < Array.length edges / 3 do
+            let u = edges.(3 * !k)
+            and mask = edges.((3 * !k) + 1)
+            and changed = edges.((3 * !k) + 2) in
+            if changed = 1 && comp.(u) = comp.(!id) then
+              found := Some (!id, u, mask);
+            incr k
+          done;
+          incr id
+        done;
+        match !found with
+        | None -> Stabilizing
+        | Some (v, u, mask) -> (
+            match path_within_scc ex comp ~src:u ~dst:v with
+            | None -> assert false
+            | Some back ->
+                Oscillating
+                  (make_witness ex ~cycle_entry:v ~cycle_masks:(mask :: back))))
+
+  let check_output p ~input ~r ~max_states =
+    match explore p ~input ~r ~max_states with
+    | Error needed -> Too_large { needed }
+    | Ok ex -> (
+        let comp = scc_of_explored ex in
+        let count = Vec.length ex.keys in
+        let seen : (int * int, int * (int * int)) Hashtbl.t =
+          Hashtbl.create 1024
+        in
+        let conflict = ref None in
+        let id = ref 0 in
+        while !conflict = None && !id < count do
+          let lab_code, _ = decode_state ex (Vec.get ex.keys !id) in
+          let config = Protocol.decode_config p lab_code in
+          let edges = Vec.get ex.edges !id in
+          let k = ref 0 in
+          while !conflict = None && !k < Array.length edges / 3 do
+            let u = edges.(3 * !k) and mask = edges.((3 * !k) + 1) in
+            if comp.(u) = comp.(!id) then
+              List.iter
+                (fun node ->
+                  if !conflict = None then begin
+                    let _, y = Protocol.apply p ~input config node in
+                    match Hashtbl.find_opt seen (comp.(!id), node) with
+                    | None ->
+                        Hashtbl.replace seen (comp.(!id), node)
+                          (y, (!id, mask))
+                    | Some (y0, (src0, mask0)) ->
+                        if y0 <> y then
+                          conflict := Some ((src0, mask0), (!id, mask), u)
+                  end)
+                (nodes_of_mask ex.n mask);
+            incr k
+          done;
+          incr id
+        done;
+        match !conflict with
+        | None -> Stabilizing
+        | Some ((src0, mask0), (src1, mask1), dst1) -> (
+            let dst0 =
+              let edges = Vec.get ex.edges src0 in
+              let rec find k =
+                if
+                  edges.((3 * k) + 1) = mask0
+                  && comp.(edges.(3 * k)) = comp.(src0)
+                then edges.(3 * k)
+                else find (k + 1)
+              in
+              find 0
+            in
+            match
+              ( path_within_scc ex comp ~src:dst0 ~dst:src1,
+                path_within_scc ex comp ~src:dst1 ~dst:src0 )
+            with
+            | Some mid, Some back ->
+                let cycle_masks = (mask0 :: mid) @ (mask1 :: back) in
+                Oscillating (make_witness ex ~cycle_entry:src0 ~cycle_masks)
+            | _ -> assert false))
+end

@@ -17,7 +17,18 @@
     fails iff some reachable SCC activates a node with two different output
     values (any two edges of an SCC lie on a common cycle, and cycles in the
     states-graph correspond to infinitely-repeatable r-fair schedule
-    segments). *)
+    segments).
+
+    {b Performance.} The labeling successor, the label-changed bit and every
+    node output of a states-graph edge depend only on the source labeling
+    and the activation set — never on the countdown vector — so transitions
+    are memoized per [(labeling, activation set)] ({!Trans_cache}), cutting
+    reaction-function evaluations by a factor of up to [rⁿ]. Edges are
+    stored in one flat compressed-sparse-row buffer ({!Csr}) that the SCC,
+    witness-search and output-conflict passes read directly. Exploration can
+    optionally expand each breadth-first level across multiple OCaml
+    domains; results are bit-identical for every domain count because state
+    interning stays sequential and ordered. *)
 
 (** An explicit non-convergence certificate: starting from the initial
     labeling (given as a mixed-radix code over edge labels, as in
@@ -36,10 +47,28 @@ type verdict =
   | Too_large of { needed : int }
       (** The states-graph exceeds [max_states]; no verdict. *)
 
+(** Counters from the most recent exploration (either checker), for
+    benchmarking and regression tracking. *)
+type stats = {
+  states : int;  (** vertices of the explored states-graph *)
+  edges : int;  (** transitions of the explored states-graph *)
+  memo_hits : int;  (** transitions answered from the memo table *)
+  memo_misses : int;  (** transitions computed (then cached) *)
+  domains_used : int;
+}
+
+(** [last_stats ()] are the {!stats} of the most recent {!check_label} or
+    {!check_output} call that actually explored (i.e. did not return
+    [Too_large]), if any. *)
+val last_stats : unit -> stats option
+
 (** [check_label p ~input ~r ~max_states] decides label r-stabilization of
     [p] on the given input, exhaustively over all initial labelings and all
-    r-fair schedules. *)
+    r-fair schedules. [domains] (default [1]) expands breadth-first levels
+    across that many OCaml domains; the verdict and witness are identical
+    for every value. *)
 val check_label :
+  ?domains:int ->
   ('x, 'l) Stateless_core.Protocol.t ->
   input:'x array ->
   r:int ->
@@ -48,19 +77,20 @@ val check_label :
 
 (** [check_output p ~input ~r ~max_states] decides output r-stabilization.
     The witness cycle exhibits a node whose output changes infinitely
-    often. *)
+    often. [domains] as in {!check_label}. *)
 val check_output :
+  ?domains:int ->
   ('x, 'l) Stateless_core.Protocol.t ->
   input:'x array ->
   r:int ->
   max_states:int ->
   verdict
 
-(** [replay p ~input witness ~repetitions] replays a witness on the engine
-    and reports whether the labeling indeed fails to converge: the cycle
-    must return to its starting labeling while changing it along the way
-    (for label witnesses), making the divergence machine-checkable
-    independently of the search. *)
+(** [replay p ~input witness] replays a witness on the engine and reports
+    whether the run indeed fails to converge: the cycle must return to its
+    starting labeling while changing the labeling (for label witnesses) or
+    some node's output (for output witnesses) along the way, making the
+    divergence machine-checkable independently of the search. *)
 val replay :
   ('x, 'l) Stateless_core.Protocol.t -> input:'x array -> witness -> bool
 
@@ -70,8 +100,31 @@ val replay :
     grows), [0] if even [r = 1] oscillates. Returns [None] when a size
     budget was hit before reaching a verdict. *)
 val max_stabilizing_r :
+  ?domains:int ->
   ('x, 'l) Stateless_core.Protocol.t ->
   input:'x array ->
   r_limit:int ->
   max_states:int ->
   int option
+
+(** The seed checker, kept verbatim as an independent oracle for
+    differential testing and benchmark baselines: it re-derives every
+    transition through [Engine.step] and stores per-state boxed edge arrays,
+    sharing no exploration code with the memoized/CSR path. Exploration
+    order is identical, so verdicts — including witnesses — must match the
+    fast checker exactly. *)
+module Naive : sig
+  val check_label :
+    ('x, 'l) Stateless_core.Protocol.t ->
+    input:'x array ->
+    r:int ->
+    max_states:int ->
+    verdict
+
+  val check_output :
+    ('x, 'l) Stateless_core.Protocol.t ->
+    input:'x array ->
+    r:int ->
+    max_states:int ->
+    verdict
+end

@@ -1,0 +1,187 @@
+(* Transition memoization for the states-graph explorer.
+
+   A step of the states-graph from vertex (ℓ, x) under activation set T
+   changes the labeling to δ_T(ℓ) and produces outputs that depend only on
+   (ℓ, T) — never on the countdown vector x. The explorer visits each
+   labeling ℓ under up to r^n distinct countdowns, so memoizing
+   (lab_code, mask) → (next_lab, changed) removes a factor of up to r^n
+   reaction-function evaluations from exploration.
+
+   Two observations make each cached transition O(|T|) arithmetic:
+
+   - node [i]'s reaction (its outgoing labels and its output) depends only
+     on ℓ, so it is evaluated once per labeling and summarized as a single
+     mixed-radix delta [Σ_k (new_e - old_e)·card^(m-1-e)] over [i]'s
+     out-edges;
+   - distinct nodes own disjoint out-edge sets, hence
+     [code(δ_T(ℓ)) = code(ℓ) + Σ_{i∈T} delta_i] — no decoding, copying or
+     re-encoding of configurations on the per-mask path.
+
+   Layout: each labeling owns one block of [2n + 2^n] ints —
+   [n] per-node deltas, then [n] per-node outputs, then [2^n] memoized
+   packed transitions ([next_lab * 2 + changed], -1 when unfilled). Blocks
+   live interleaved in a single flat array when the label space is small
+   enough (one cache line brings a labeling's deltas along with its memo
+   slots), falling back to lazily allocated per-labeling blocks for huge
+   label spaces.
+
+   Reaction functions are invoked directly on reused scratch buffers, so
+   the per-labeling fill allocates nothing beyond what the reactions
+   themselves allocate; reactions must not retain their incoming array
+   (none in this repository does — [Protocol.apply] hands out a fresh one,
+   but the contract only promises the labels of the incoming edges). *)
+
+module Protocol = Stateless_core.Protocol
+module Digraph = Stateless_graph.Digraph
+
+(* Above this many words the flat table would dominate memory; fall back to
+   per-labeling blocks (2^22 words = 32 MB). *)
+let flat_table_cap = 1 lsl 22
+
+type ('x, 'l) t = {
+  p : ('x, 'l) Protocol.t;
+  input : 'x array;
+  n : int;
+  m : int;
+  card : int;
+  pow2n : int;
+  stride : int;  (* block size: 2n + 2^n *)
+  weight : int array;  (* e -> card^(m-1-e), the digit weight of edge e *)
+  dec_tbl : 'l array;  (* code -> label value, avoids decode closures *)
+  flat : int array;  (* lab_count * stride words, or [||] when capped *)
+  filled : Bytes.t;  (* flat path: lab_code -> entry created? *)
+  blocks : int array array;  (* fallback path: lab_code -> block or [||] *)
+  in_scratch : 'l array array;  (* i -> reused incoming-labels buffer *)
+  digits : int array;  (* reused per-fill digit decomposition *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create p ~input ~lab_count =
+  let n = Protocol.num_nodes p in
+  let m = Protocol.num_edges p in
+  let space = p.Protocol.space in
+  let card = space.Stateless_core.Label.card in
+  let weight = Array.make m 1 in
+  for e = m - 2 downto 0 do
+    weight.(e) <- weight.(e + 1) * card
+  done;
+  let dec_tbl =
+    Array.init card (fun c -> space.Stateless_core.Label.decode c)
+  in
+  let stride = (2 * n) + (1 lsl n) in
+  let use_flat = lab_count <= flat_table_cap / stride in
+  {
+    p;
+    input;
+    n;
+    m;
+    card;
+    pow2n = 1 lsl n;
+    stride;
+    weight;
+    dec_tbl;
+    flat = (if use_flat then Array.make (lab_count * stride) 0 else [||]);
+    filled = Bytes.make (if use_flat then lab_count else 0) '\000';
+    blocks = (if use_flat then [||] else Array.make lab_count [||]);
+    in_scratch =
+      Array.init n (fun i ->
+          Array.make (Digraph.in_degree p.Protocol.graph i) dec_tbl.(0));
+    digits = Array.make m 0;
+    hits = 0;
+    misses = 0;
+  }
+
+(* Evaluate every reaction function once on labeling [lab_code], writing the
+   block at [blk.(off ..)]. *)
+let fill t lab_code blk off =
+  let p = t.p in
+  let encode = p.Protocol.space.Stateless_core.Label.encode in
+  let digits = t.digits in
+  let rest = ref lab_code in
+  for e = t.m - 1 downto 0 do
+    Array.unsafe_set digits e (!rest mod t.card);
+    rest := !rest / t.card
+  done;
+  for i = 0 to t.n - 1 do
+    let incoming = Array.unsafe_get t.in_scratch i in
+    let in_edges = Digraph.in_edges p.Protocol.graph i in
+    for k = 0 to Array.length in_edges - 1 do
+      let e = Array.unsafe_get in_edges k in
+      Array.unsafe_set incoming k
+        (Array.unsafe_get t.dec_tbl (Array.unsafe_get digits e))
+    done;
+    let out, y = p.Protocol.react i t.input.(i) incoming in
+    let out_edges = Digraph.out_edges p.Protocol.graph i in
+    let delta = ref 0 in
+    for k = 0 to Array.length out_edges - 1 do
+      let e = Array.unsafe_get out_edges k in
+      delta :=
+        !delta
+        + ((encode out.(k) - Array.unsafe_get digits e)
+          * Array.unsafe_get t.weight e)
+    done;
+    Array.unsafe_set blk (off + i) !delta;
+    Array.unsafe_set blk (off + t.n + i) y
+  done;
+  Array.fill blk (off + (2 * t.n)) t.pow2n (-1)
+
+(* The memo block of [lab_code], creating it on first touch. Returns the
+   backing array and the block's offset within it. *)
+let block t lab_code =
+  if Array.length t.flat > 0 then begin
+    let off = lab_code * t.stride in
+    if Bytes.unsafe_get t.filled lab_code = '\000' then begin
+      Bytes.unsafe_set t.filled lab_code '\001';
+      fill t lab_code t.flat off
+    end;
+    (t.flat, off)
+  end
+  else begin
+    let blk = t.blocks.(lab_code) in
+    if Array.length blk > 0 then (blk, 0)
+    else begin
+      let blk = Array.make t.stride 0 in
+      t.blocks.(lab_code) <- blk;
+      fill t lab_code blk 0;
+      (blk, 0)
+    end
+  end
+
+(* [step_in t blk off ~lab_code ~mask] is {!step} with the block lookup
+   hoisted out — callers stepping one labeling under many activation sets
+   resolve [block] once and reuse [(blk, off)]. *)
+let step_in t blk off ~lab_code ~mask =
+  let slot = off + (2 * t.n) + mask in
+  let cached = Array.unsafe_get blk slot in
+  if cached >= 0 then begin
+    t.hits <- t.hits + 1;
+    cached
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let delta = ref 0 in
+    for i = 0 to t.n - 1 do
+      if mask land (1 lsl i) <> 0 then
+        delta := !delta + Array.unsafe_get blk (off + i)
+    done;
+    let next_lab = lab_code + !delta in
+    let packed = (next_lab * 2) lor (if !delta <> 0 then 1 else 0) in
+    Array.unsafe_set blk slot packed;
+    packed
+  end
+
+(* [step t ~lab_code ~mask] is [next_lab * 2 + changed] for the transition
+   of labeling [lab_code] under activation set [mask]. *)
+let step t ~lab_code ~mask =
+  let blk, off = block t lab_code in
+  step_in t blk off ~lab_code ~mask
+
+(* [output t ~lab_code ~node] is the output value node [node] produces when
+   activated on labeling [lab_code] — independent of the activation set. *)
+let output t ~lab_code ~node =
+  let blk, off = block t lab_code in
+  blk.(off + t.n + node)
+
+let hits t = t.hits
+let misses t = t.misses

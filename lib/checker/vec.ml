@@ -2,12 +2,15 @@
 
 type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
 
-let create ~dummy = { data = Array.make 16 dummy; len = 0; dummy }
+let create ?(capacity = 16) ~dummy () =
+  if capacity < 0 then invalid_arg "Vec.create: negative capacity";
+  { data = Array.make capacity dummy; len = 0; dummy }
+
 let length t = t.len
 
 let push t v =
   if t.len = Array.length t.data then begin
-    let bigger = Array.make (2 * t.len) t.dummy in
+    let bigger = Array.make (max 4 (2 * t.len)) t.dummy in
     Array.blit t.data 0 bigger 0 t.len;
     t.data <- bigger
   end;
@@ -21,3 +24,31 @@ let get t i =
 let set t i v =
   if i < 0 || i >= t.len then invalid_arg "Vec.set: index out of bounds";
   t.data.(i) <- v
+
+(* Hot-loop accessors: bounds are the caller's responsibility. *)
+let unsafe_get t i = Array.unsafe_get t.data i
+let unsafe_set t i v = Array.unsafe_set t.data i v
+
+(* Grow the backing store so at least [extra] more pushes fit without
+   reallocation, enabling {!unsafe_push} in bulk-append loops. *)
+let reserve t extra =
+  let need = t.len + extra in
+  if need > Array.length t.data then begin
+    let cap = ref (max 4 (2 * Array.length t.data)) in
+    while !cap < need do
+      cap := 2 * !cap
+    done;
+    let bigger = Array.make !cap t.dummy in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end
+
+(* Append without the capacity check; a prior {!reserve} must cover it. *)
+let unsafe_push t v =
+  Array.unsafe_set t.data t.len v;
+  t.len <- t.len + 1
+
+let to_array t = Array.sub t.data 0 t.len
+
+(* Forget the contents but keep the allocated storage for reuse. *)
+let clear t = t.len <- 0

@@ -22,12 +22,37 @@ let step p ~input config ~active =
     reactions;
   { labels; outputs }
 
+let step_into p ~input config ~active ~into =
+  let open Protocol in
+  (* Allocation-light variant of {!step}: [into]'s arrays are overwritten in
+     place. Reactions still read [config], so [into] must not share arrays
+     with [config]. *)
+  Array.blit config.labels 0 into.labels 0 (Array.length config.labels);
+  Array.blit config.outputs 0 into.outputs 0 (Array.length config.outputs);
+  List.iter
+    (fun i ->
+      let out, y = Protocol.apply p ~input config i in
+      let edges = Digraph.out_edges p.Protocol.graph i in
+      Array.iteri (fun k e -> into.labels.(e) <- out.(k)) edges;
+      into.outputs.(i) <- y)
+    active
+
 let run p ~input ~init ~schedule ~steps =
-  let config = ref init in
-  for t = 0 to steps - 1 do
-    config := step p ~input !config ~active:(schedule.Schedule.active t)
-  done;
-  !config
+  if steps <= 0 then init
+  else begin
+    let open Protocol in
+    let copy c = { labels = Array.copy c.labels; outputs = Array.copy c.outputs } in
+    (* Double-buffer through [step_into] so a long run allocates two
+       configurations total instead of one per step. *)
+    let cur = ref (copy init) and nxt = ref (copy init) in
+    for t = 0 to steps - 1 do
+      step_into p ~input !cur ~active:(schedule.Schedule.active t) ~into:!nxt;
+      let tmp = !cur in
+      cur := !nxt;
+      nxt := tmp
+    done;
+    !cur
+  end
 
 let trace p ~input ~init ~schedule ~steps =
   let rec loop t config acc =

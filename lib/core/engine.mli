@@ -28,6 +28,19 @@ val step :
   active:int list ->
   'l Protocol.config
 
+(** [step_into p ~input config ~active ~into] is {!step} writing the
+    successor configuration into [into]'s arrays instead of allocating a
+    fresh configuration — the hot-loop path for simulators and checkers.
+    Reactions are still computed against [config], so [into] must not share
+    arrays with [config]; [config] is not mutated. *)
+val step_into :
+  ('x, 'l) Protocol.t ->
+  input:'x array ->
+  'l Protocol.config ->
+  active:int list ->
+  into:'l Protocol.config ->
+  unit
+
 (** [run p ~input ~init ~schedule ~steps] iterates {!step} for exactly
     [steps] steps and returns the final configuration. *)
 val run :

@@ -299,6 +299,169 @@ let qcheck_tests =
       prop_theorem31_on_random_protocols;
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Vec unit tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Vec = Stateless_checker.Vec
+
+let test_vec_growth () =
+  let v = Vec.create ~capacity:0 ~dummy:(-1) () in
+  for i = 0 to 999 do
+    Vec.push v i
+  done;
+  check "length" 1000 (Vec.length v);
+  check "first" 0 (Vec.get v 0);
+  check "middle" 500 (Vec.get v 500);
+  check "last" 999 (Vec.get v 999)
+
+let test_vec_bounds () =
+  let v = Vec.create ~capacity:4 ~dummy:0 () in
+  Vec.push v 7;
+  check "get" 7 (Vec.get v 0);
+  Alcotest.check_raises "get past length"
+    (Invalid_argument "Vec.get: index out of bounds") (fun () ->
+      ignore (Vec.get v 1));
+  Alcotest.check_raises "get negative"
+    (Invalid_argument "Vec.get: index out of bounds") (fun () ->
+      ignore (Vec.get v (-1)));
+  Alcotest.check_raises "set past length"
+    (Invalid_argument "Vec.set: index out of bounds") (fun () -> Vec.set v 1 3);
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Vec.create: negative capacity") (fun () ->
+      ignore (Vec.create ~capacity:(-1) ~dummy:0 ()))
+
+let test_vec_to_array_clear () =
+  let v = Vec.create ~dummy:0 () in
+  for i = 1 to 5 do
+    Vec.push v (i * i)
+  done;
+  Alcotest.(check (array int)) "to_array" [| 1; 4; 9; 16; 25 |] (Vec.to_array v);
+  Vec.clear v;
+  check "length after clear" 0 (Vec.length v);
+  Alcotest.(check (array int)) "empty to_array" [||] (Vec.to_array v);
+  Vec.push v 42;
+  check "push after clear" 42 (Vec.get v 0)
+
+let test_vec_reserve_unsafe () =
+  let v = Vec.create ~capacity:0 ~dummy:0 () in
+  Vec.reserve v 3;
+  Vec.unsafe_push v 1;
+  Vec.unsafe_push v 2;
+  Vec.unsafe_push v 3;
+  Alcotest.(check (array int)) "reserved pushes" [| 1; 2; 3 |] (Vec.to_array v);
+  Vec.set v 1 9;
+  check "set" 9 (Vec.get v 1);
+  check "unsafe_get" 9 (Vec.unsafe_get v 1);
+  Vec.unsafe_set v 2 11;
+  check "unsafe_set" 11 (Vec.get v 2)
+
+(* ------------------------------------------------------------------ *)
+(* Differential: memoized CSR checker vs naive reference               *)
+(* ------------------------------------------------------------------ *)
+
+(* Example 1's reaction on K_2 (too small for [Clique_example.make]). *)
+let clique2_example : (unit, bool) Protocol.t =
+  let g = Builders.clique 2 in
+  let module D = Stateless_graph.Digraph in
+  {
+    Protocol.name = "example1-clique-2";
+    graph = g;
+    space = Label.bool;
+    react =
+      (fun i () incoming ->
+        let hot = Array.exists (fun b -> b) incoming in
+        (Array.map (fun _ -> hot) (D.out_edges g i), if hot then 1 else 0));
+  }
+
+(* Mod-3 counter on a unidirectional ring: labels cycle 0 -> 1 -> 2. *)
+let counter_ring n : (unit, int) Protocol.t =
+  {
+    Protocol.name = "mod3-counter-ring";
+    graph = Builders.ring_uni n;
+    space = Label.int 3;
+    react = (fun _ () incoming -> ([| (incoming.(0) + 1) mod 3 |], incoming.(0)));
+  }
+
+type diff_case =
+  | Case : string * ('x, 'l) Protocol.t * 'x array -> diff_case
+
+let diff_cases =
+  [
+    Case ("clique2", clique2_example, unit_input 2);
+    Case ("clique3", Clique_example.make 3, Clique_example.input 3);
+    Case ("clique4", Clique_example.make 4, Clique_example.input 4);
+    Case ("copy-ring-uni-3", copy_ring_uni 3, unit_input 3);
+    Case ("copy-ring-uni-4", copy_ring_uni 4, unit_input 4);
+    Case ("copy-ring-bi-3", copy_ring_bi 3, unit_input 3);
+    Case ("rotor-loud-3", rotor_loud 3, unit_input 3);
+    Case ("mod3-counter-3", counter_ring 3, unit_input 3);
+  ]
+
+(* A budget small enough that some (protocol, r) pairs overflow: both
+   checkers must then report the same [Too_large]. *)
+let diff_budget = 150_000
+
+let test_differential_vs_naive () =
+  List.iter
+    (fun (Case (name, p, input)) ->
+      List.iter
+        (fun r ->
+          let ctx verb = Printf.sprintf "%s r=%d %s" name r verb in
+          let fast_l = Checker.check_label p ~input ~r ~max_states:diff_budget
+          and naive_l =
+            Checker.Naive.check_label p ~input ~r ~max_states:diff_budget
+          in
+          check_bool (ctx "label verdicts identical") true (fast_l = naive_l);
+          (match fast_l with
+          | Checker.Oscillating w ->
+              check_bool (ctx "label witness replays") true
+                (Checker.replay p ~input w)
+          | _ -> ());
+          let fast_o = Checker.check_output p ~input ~r ~max_states:diff_budget
+          and naive_o =
+            Checker.Naive.check_output p ~input ~r ~max_states:diff_budget
+          in
+          check_bool (ctx "output verdicts identical") true (fast_o = naive_o);
+          match fast_o with
+          | Checker.Oscillating w ->
+              check_bool (ctx "output witness replays") true
+                (Checker.replay p ~input w)
+          | _ -> ())
+        [ 1; 2; 3 ])
+    diff_cases
+
+let test_differential_hits_too_large () =
+  (* Guard that the suite really exercises the Too_large path. *)
+  match
+    Checker.check_label (Clique_example.make 4)
+      ~input:(Clique_example.input 4) ~r:3 ~max_states:diff_budget
+  with
+  | Checker.Too_large _ -> ()
+  | _ -> Alcotest.fail "clique4 r=3 should exceed the differential budget"
+
+let test_domains_deterministic () =
+  (* Multicore expansion must be bit-identical to sequential exploration:
+     same verdicts, same witnesses, for label and output checks alike. *)
+  List.iter
+    (fun (Case (name, p, input)) ->
+      List.iter
+        (fun r ->
+          let ctx verb = Printf.sprintf "%s r=%d %s" name r verb in
+          let seq = Checker.check_label p ~input ~r ~max_states:diff_budget
+          and par =
+            Checker.check_label ~domains:2 p ~input ~r ~max_states:diff_budget
+          in
+          check_bool (ctx "domains=2 label verdict identical") true (seq = par);
+          let seq_o = Checker.check_output p ~input ~r ~max_states:diff_budget
+          and par_o =
+            Checker.check_output ~domains:2 p ~input ~r ~max_states:diff_budget
+          in
+          check_bool (ctx "domains=2 output verdict identical") true
+            (seq_o = par_o))
+        [ 1; 2 ])
+    diff_cases
+
 let () =
   Alcotest.run "stateless_checker"
     [
@@ -334,6 +497,24 @@ let () =
           Alcotest.test_case "cycle schedule r-fair" `Quick
             test_witness_schedule_is_r_fair;
           Alcotest.test_case "steps nonempty" `Quick test_witness_nonempty_steps;
+        ] );
+      ( "vec",
+        [
+          Alcotest.test_case "growth from empty" `Quick test_vec_growth;
+          Alcotest.test_case "bounds checking" `Quick test_vec_bounds;
+          Alcotest.test_case "to_array and clear" `Quick
+            test_vec_to_array_clear;
+          Alcotest.test_case "reserve and unsafe accessors" `Quick
+            test_vec_reserve_unsafe;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "fast vs naive, all cases, r=1..3" `Quick
+            test_differential_vs_naive;
+          Alcotest.test_case "budget overflow exercised" `Quick
+            test_differential_hits_too_large;
+          Alcotest.test_case "domains=2 bit-identical" `Quick
+            test_domains_deterministic;
         ] );
       ("properties", qcheck_tests);
     ]
