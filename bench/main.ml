@@ -258,11 +258,37 @@ let run_checker_bench () =
   Printf.printf "  [wrote BENCH_checker.json]\n"
 
 (* ------------------------------------------------------------------ *)
+(* Fault-recovery campaign — machine-readable BENCH_faults.json        *)
+(* ------------------------------------------------------------------ *)
+
+module Faultlab = Stateless_faultlab.Faultlab
+
+let run_fault_bench () =
+  Printf.printf "\n%s\n" (String.make 78 '=');
+  Printf.printf
+    "Fault-recovery campaign (recovery steps vs corruption fraction)\n";
+  Printf.printf "%s\n" (String.make 78 '-');
+  let campaigns =
+    List.map
+      (Faultlab.run ~seeds:30 ~max_steps:10_000)
+      (Faultlab.default_scenarios ())
+  in
+  List.iter (Faultlab.print_campaign stdout) campaigns;
+  let oc = open_out "BENCH_faults.json" in
+  Faultlab.write_json oc campaigns;
+  close_out oc;
+  Printf.printf "  [wrote BENCH_faults.json]\n"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let t0 = Unix.gettimeofday () in
   if Array.exists (String.equal "--checker-bench-only") Sys.argv then begin
     run_checker_bench ();
+    exit 0
+  end;
+  if Array.exists (String.equal "--faults-bench-only") Sys.argv then begin
+    run_fault_bench ();
     exit 0
   end;
   print_endline "Stateless Computation — experiment harness";
@@ -283,4 +309,5 @@ let () =
     Ablations.all;
   run_micro_benchmarks ();
   run_checker_bench ();
+  run_fault_bench ();
   Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -6,7 +6,8 @@
      snake     — search for snakes-in-the-box (Theorem 4.1's combinatorics)
      compile   — compile a circuit family member onto a ring (Theorem 5.4)
      counter   — run the stateless D-counter (Claim 5.6)
-     spp       — run a Stable Paths Problem gadget (BGP motivation) *)
+     spp       — run a Stable Paths Problem gadget (BGP motivation)
+     faults    — corrupt steady states and measure recovery (Section 2.2) *)
 
 open Cmdliner
 open Stateless_core
@@ -16,6 +17,7 @@ module Compile = Stateless_compile.Compile
 module D_counter = Stateless_counter.D_counter
 module Snake = Stateless_snake.Snake
 module Spp = Stateless_games.Spp
+module Faultlab = Stateless_faultlab.Faultlab
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -29,20 +31,62 @@ let steps_arg =
   let doc = "Maximum number of steps to simulate." in
   Arg.(value & opt int 10_000 & info [ "steps" ] ~doc)
 
+(* Schedule specs are parsed at the Cmdliner layer so that a malformed
+   '--schedule' is a usage error with a proper exit code, not an uncaught
+   [Failure] backtrace. The grammar: sync | round-robin | random:R | chase
+   with R a positive integer. *)
+type sched_spec = Sync | Round_robin | Random_fair of int | Chase
+
+let sched_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "sync" ] -> Ok Sync
+    | [ "round-robin" ] -> Ok Round_robin
+    | [ "random"; r ] -> (
+        match int_of_string_opt r with
+        | Some r when r >= 1 -> Ok (Random_fair r)
+        | Some r ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "fairness bound R must be at least 1 (got random:%d)" r))
+        | None ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "invalid fairness bound %S in %S: expected 'random:R' \
+                    with R a positive integer"
+                   r s)))
+    | [ "chase" ] -> Ok Chase
+    | _ ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown schedule %S: expected 'sync', 'round-robin', \
+                'random:R' or 'chase'"
+               s))
+  in
+  let print ppf = function
+    | Sync -> Format.pp_print_string ppf "sync"
+    | Round_robin -> Format.pp_print_string ppf "round-robin"
+    | Random_fair r -> Format.fprintf ppf "random:%d" r
+    | Chase -> Format.pp_print_string ppf "chase"
+  in
+  Arg.conv ~docv:"SCHEDULE" (parse, print)
+
 let schedule_arg =
   let doc =
-    "Schedule: 'sync', 'round-robin', 'random:R' (random R-fair), or \
-     'chase' (Example 1's (n-1)-fair adversary)."
+    "Schedule: 'sync', 'round-robin', 'random:R' (random R-fair, R a \
+     positive integer), or 'chase' (Example 1's (n-1)-fair adversary)."
   in
-  Arg.(value & opt string "sync" & info [ "s"; "schedule" ] ~doc)
+  Arg.(value & opt sched_conv Sync & info [ "s"; "schedule" ] ~doc)
 
 let schedule_of_spec spec n =
-  match String.split_on_char ':' spec with
-  | [ "sync" ] -> Schedule.synchronous n
-  | [ "round-robin" ] -> Schedule.round_robin n
-  | [ "random"; r ] -> Schedule.random_fair ~seed:7 ~r:(int_of_string r) n
-  | [ "chase" ] -> Clique_example.oscillation_schedule n
-  | _ -> failwith ("unknown schedule: " ^ spec)
+  match spec with
+  | Sync -> Schedule.synchronous n
+  | Round_robin -> Schedule.round_robin n
+  | Random_fair r -> Schedule.random_fair ~seed:7 ~r n
+  | Chase -> Clique_example.oscillation_schedule n
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -62,31 +106,39 @@ let simulate_cmd =
       "Protocol: 'example1' (the clique protocol of Example 1), \
        'oscillator' (odd inverter ring), 'latch' (NOR latch, R=S=0)."
     in
-    Arg.(value & opt string "example1" & info [ "p"; "protocol" ] ~doc)
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("example1", `Example1); ("oscillator", `Oscillator);
+               ("latch", `Latch);
+             ])
+          `Example1
+      & info [ "p"; "protocol" ] ~doc)
   in
-  let run protocol_name n spec steps =
+  let run protocol n spec steps =
     let n = max 2 n in
-    match protocol_name with
-    | "example1" ->
+    match protocol with
+    | `Example1 ->
         let p = Clique_example.make (max 3 n) in
         let n = max 3 n in
         let init = Clique_example.oscillation_init p in
         report_outcome
           (Engine.run_until_stable p ~input:(Clique_example.input n) ~init
              ~schedule:(schedule_of_spec spec n) ~max_steps:steps)
-    | "oscillator" ->
+    | `Oscillator ->
         let p = Stateless_games.Feedback.ring_oscillator n in
         let init = Protocol.uniform_config p false in
         report_outcome
           (Engine.run_until_stable p ~input:(Array.make n ()) ~init
              ~schedule:(schedule_of_spec spec n) ~max_steps:steps)
-    | "latch" ->
+    | `Latch ->
         let p = Stateless_games.Feedback.nor_latch () in
         let init = Protocol.uniform_config p false in
         report_outcome
           (Engine.run_until_stable p ~input:[| false; false |] ~init
              ~schedule:(schedule_of_spec spec 2) ~max_steps:steps)
-    | other -> failwith ("unknown protocol: " ^ other)
   in
   let info =
     Cmd.info "simulate" ~doc:"Run a built-in protocol under a schedule"
@@ -172,7 +224,16 @@ let snake_cmd =
 let compile_cmd =
   let family_arg =
     let doc = "Circuit family: parity | majority | equality | and | or." in
-    Arg.(value & opt string "majority" & info [ "f"; "family" ] ~doc)
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("parity", "parity"); ("majority", "majority");
+               ("equality", "equality"); ("and", "and"); ("or", "or");
+             ])
+          "majority"
+      & info [ "f"; "family" ] ~doc)
   in
   let input_arg =
     let doc = "Input bits, e.g. 101." in
@@ -191,7 +252,7 @@ let compile_cmd =
       | "equality" -> Circuit.equality n
       | "and" -> Circuit.and_all n
       | "or" -> Circuit.or_all n
-      | other -> failwith ("unknown family: " ^ other)
+      | _ -> assert false (* Arg.enum admits only the five above *)
     in
     let t = Compile.make circuit in
     Printf.printf
@@ -250,18 +311,21 @@ let counter_cmd =
 let spp_cmd =
   let gadget_arg =
     let doc = "Gadget: good | disagree | bad." in
-    Arg.(value & opt string "bad" & info [ "g"; "gadget" ] ~doc)
+    Arg.(
+      value
+      & opt (enum [ ("good", `Good); ("disagree", `Disagree); ("bad", `Bad) ])
+          `Bad
+      & info [ "g"; "gadget" ] ~doc)
   in
   let run gadget spec steps =
-    let spp =
+    let gadget_name, spp =
       match gadget with
-      | "good" -> Spp.good_gadget ()
-      | "disagree" -> Spp.disagree ()
-      | "bad" -> Spp.bad_gadget ()
-      | other -> failwith ("unknown gadget: " ^ other)
+      | `Good -> ("good", Spp.good_gadget ())
+      | `Disagree -> ("disagree", Spp.disagree ())
+      | `Bad -> ("bad", Spp.bad_gadget ())
     in
     let p = Spp.protocol spp in
-    Printf.printf "%s gadget: %d SPP solutions\n" gadget
+    Printf.printf "%s gadget: %d SPP solutions\n" gadget_name
       (List.length (Spp.solutions spp));
     report_outcome
       (Engine.run_until_stable p ~input:(Spp.input spp)
@@ -279,7 +343,16 @@ let spp_cmd =
 let hunt_cmd =
   let gadget_arg =
     let doc = "Target: disagree | bad | example1 | congestion." in
-    Arg.(value & opt string "bad" & info [ "t"; "target" ] ~doc)
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("disagree", `Disagree); ("bad", `Bad);
+               ("example1", `Example1); ("congestion", `Congestion);
+             ])
+          `Bad
+      & info [ "t"; "target" ] ~doc)
   in
   let r_arg =
     let doc = "Fairness parameter r of the sampled schedules." in
@@ -308,23 +381,22 @@ let hunt_cmd =
             attempts
     in
     match target with
-    | "disagree" ->
+    | `Disagree ->
         let spp = Spp.disagree () in
         report (Spp.protocol spp) spp.Spp.n
-    | "bad" ->
+    | `Bad ->
         let spp = Spp.bad_gadget () in
         report (Spp.protocol spp) spp.Spp.n
-    | "example1" ->
+    | `Example1 ->
         let n = max 3 n in
         report (Clique_example.make n) n
-    | "congestion" ->
+    | `Congestion ->
         let game =
           Stateless_games.Congestion.make ~flows:2 ~capacity:4 ~max_rate:4
         in
         report
           (Stateless_games.Best_response.protocol game ())
           2
-    | other -> failwith ("unknown target: " ^ other)
   in
   let info =
     Cmd.info "hunt"
@@ -332,6 +404,88 @@ let hunt_cmd =
         "Sample random r-fair periodic schedules hunting for a replayable          oscillation (for systems too large to check exhaustively)"
   in
   Cmd.v info Term.(const run $ gadget_arg $ r_arg $ attempts_arg $ nodes_arg)
+
+(* ------------------------------------------------------------------ *)
+(* faults                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let faults_cmd =
+  let scenario_arg =
+    let doc =
+      "Scenario: 'example1' (output re-stabilization on the clique), \
+       'counter' (D-counter re-locking), 'oscillator' (ring oscillator \
+       re-entering its orbit), or 'all'."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("all", `All); ("example1", `Example1);
+               ("counter", `Counter); ("oscillator", `Oscillator);
+             ])
+          `All
+      & info [ "p"; "scenario" ] ~doc)
+  in
+  let fraction_conv =
+    let parse s =
+      match float_of_string_opt s with
+      | Some f when f >= 0.0 && f <= 1.0 -> Ok f
+      | Some f ->
+          Error
+            (`Msg
+              (Printf.sprintf "corruption fraction %g not in [0, 1]" f))
+      | None -> Error (`Msg (Printf.sprintf "invalid fraction %S" s))
+    in
+    Arg.conv ~docv:"FRACTION" (parse, Format.pp_print_float)
+  in
+  let fractions_arg =
+    let doc =
+      "Comma-separated corruption fractions, each in [0, 1]."
+    in
+    Arg.(
+      value
+      & opt (list fraction_conv) Faultlab.default_fractions
+      & info [ "fractions" ] ~doc ~docv:"F1,F2,...")
+  in
+  let seeds_arg =
+    let doc = "Corruption seeds (independent runs) per fraction." in
+    Arg.(value & opt int 20 & info [ "seeds" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Also write the campaign as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc ~docv:"FILE")
+  in
+  let run scenario fractions seeds steps out =
+    let scenarios =
+      match scenario with
+      | `All -> Faultlab.default_scenarios ()
+      | `Example1 -> [ Faultlab.example1 () ]
+      | `Counter -> [ Faultlab.d_counter () ]
+      | `Oscillator -> [ Faultlab.ring_oscillator () ]
+    in
+    let campaigns =
+      List.map (Faultlab.run ~fractions ~seeds ~max_steps:steps) scenarios
+    in
+    List.iter (Faultlab.print_campaign stdout) campaigns;
+    match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Faultlab.write_json oc campaigns;
+        close_out oc;
+        Printf.printf "  [wrote %s]\n" path
+  in
+  let info =
+    Cmd.info "faults"
+      ~doc:
+        "Corrupt steady states and measure recovery: mean/percentile/worst \
+         recovery steps per corruption fraction"
+  in
+  Cmd.v info
+    Term.(
+      const run $ scenario_arg $ fractions_arg $ seeds_arg $ steps_arg
+      $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -344,4 +498,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ simulate_cmd; check_cmd; snake_cmd; compile_cmd; counter_cmd;
-            spp_cmd; hunt_cmd ]))
+            spp_cmd; hunt_cmd; faults_cmd ]))

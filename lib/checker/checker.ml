@@ -697,6 +697,136 @@ let max_stabilizing_r ?domains p ~input ~r_limit ~max_states =
   loop 1
 
 (* ------------------------------------------------------------------ *)
+(* Worst-case recovery                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type recovery =
+  | Worst_recovery of { steps : int; witness_code : int }
+  | Never_settles of { init_code : int }
+  | Recovery_too_large of { needed : int }
+
+(* A transient fault can leave the system in ANY labeling, so worst-case
+   recovery is the maximum synchronous output-stabilization time over all
+   |Σ|^|E| labelings. Under the synchronous schedule the dynamics is a
+   functional graph on labelings: σ(ℓ) is the full-mask transition and y(ℓ)
+   the output vector every node writes when reacting at ℓ — both memoized
+   per labeling by {!Trans_cache}, so each labeling's reaction functions are
+   evaluated once even though it appears on many trajectories.
+
+   Every trajectory eventually enters a cycle. If some node's output varies
+   around a reachable cycle, runs through it never output-stabilize
+   ([Never_settles]). Otherwise let Y be the cycle's constant output vector
+   and f(ℓ) the earliest index from which the sequence y(ℓ), y(σℓ), ... is
+   constantly Y; f satisfies f(ℓ) = 0 when y(ℓ) = Y and f(σℓ) = 0, else
+   f(σℓ) + 1, and is computed by one backward propagation per trajectory.
+   The engine measures stabilization on the stored-output trace whose step-0
+   entry is the all-zero vector [Protocol.decode_config] installs, so the
+   per-labeling stabilization time is 0 when f(ℓ) = 0 and Y = 0, and
+   f(ℓ) + 1 otherwise — exactly what [Engine.output_stabilization_time]
+   reports, giving the simulation harness a differential oracle. *)
+let worst_case_recovery p ~input ~max_states =
+  let n = Protocol.num_nodes p in
+  match Protocol.labelings_count p with
+  | None -> Recovery_too_large { needed = max_int }
+  | Some count when count > max_states -> Recovery_too_large { needed = count }
+  | Some count ->
+      let cache = Trans_cache.create p ~input ~lab_count:count in
+      let full_mask = (1 lsl n) - 1 in
+      let succ = Array.make count (-1) in
+      let succ_of l =
+        if succ.(l) >= 0 then succ.(l)
+        else begin
+          let s = Trans_cache.step cache ~lab_code:l ~mask:full_mask lsr 1 in
+          succ.(l) <- s;
+          s
+        end
+      in
+      let y_equal a b =
+        let rec go i =
+          i >= n
+          || Trans_cache.output cache ~lab_code:a ~node:i
+             = Trans_cache.output cache ~lab_code:b ~node:i
+             && go (i + 1)
+        in
+        go 0
+      in
+      let y_zero a =
+        let rec go i =
+          i >= n
+          || (Trans_cache.output cache ~lab_code:a ~node:i = 0 && go (i + 1))
+        in
+        go 0
+      in
+      (* status: 0 unvisited, 1 on the current trajectory, 2 done.
+         For done labelings: f.(l) as above and yrep.(l) a labeling whose
+         immediate outputs equal the settled vector Y, or -1 when the
+         trajectory's outputs never settle. *)
+      let status = Bytes.make count '\000' in
+      let f = Array.make count 0 in
+      let yrep = Array.make count (-1) in
+      let process start =
+        if Bytes.get status start = '\000' then begin
+          let path = ref [] in
+          let l = ref start in
+          while Bytes.get status !l = '\000' do
+            Bytes.set status !l '\001';
+            path := !l :: !path;
+            l := succ_of !l
+          done;
+          (* [!path] holds the walked prefix, deepest labeling first. *)
+          if Bytes.get status !l = '\001' then begin
+            (* Fresh cycle: close it, then propagate along the prefix. *)
+            let entry = !l in
+            let rec split cyc = function
+              | [] -> assert false
+              | x :: rest ->
+                  if x = entry then (x :: cyc, rest) else split (x :: cyc) rest
+            in
+            let cycle, prefix = split [] !path in
+            let constant = List.for_all (fun c -> y_equal c entry) cycle in
+            List.iter
+              (fun c ->
+                Bytes.set status c '\002';
+                if constant then begin
+                  f.(c) <- 0;
+                  yrep.(c) <- entry
+                end
+                else yrep.(c) <- -1)
+              cycle;
+            path := prefix
+          end;
+          List.iter
+            (fun x ->
+              let s = succ_of x in
+              (if yrep.(s) < 0 then yrep.(x) <- -1
+               else begin
+                 yrep.(x) <- yrep.(s);
+                 f.(x) <-
+                   (if f.(s) = 0 && y_equal x yrep.(s) then 0 else f.(s) + 1)
+               end);
+              Bytes.set status x '\002')
+            !path
+        end
+      in
+      let worst = ref (-1) and witness = ref 0 and diverging = ref (-1) in
+      let l = ref 0 in
+      while !diverging < 0 && !l < count do
+        process !l;
+        (if yrep.(!l) < 0 then diverging := !l
+         else
+           let steps =
+             if f.(!l) = 0 && y_zero yrep.(!l) then 0 else f.(!l) + 1
+           in
+           if steps > !worst then begin
+             worst := steps;
+             witness := !l
+           end);
+        incr l
+      done;
+      if !diverging >= 0 then Never_settles { init_code = !diverging }
+      else Worst_recovery { steps = !worst; witness_code = !witness }
+
+(* ------------------------------------------------------------------ *)
 (* Reference implementation                                            *)
 (* ------------------------------------------------------------------ *)
 

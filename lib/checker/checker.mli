@@ -107,6 +107,32 @@ val max_stabilizing_r :
   max_states:int ->
   int option
 
+(** Exact worst-case recovery from transient corruption. *)
+type recovery =
+  | Worst_recovery of { steps : int; witness_code : int }
+      (** The maximum synchronous output-stabilization time over {e all}
+          [|Σ|^|E|] labelings — every state a transient fault can leave the
+          system in — together with a labeling attaining it. *)
+  | Never_settles of { init_code : int }
+      (** Some reachable-after-corruption labeling leads to a cycle on which
+          a node's output keeps changing: from [init_code] the outputs
+          provably never settle under the synchronous schedule. *)
+  | Recovery_too_large of { needed : int }
+      (** [|Σ|^|E|] exceeds [max_states]; no verdict. *)
+
+(** [worst_case_recovery p ~input ~max_states] computes, over the exhaustive
+    synchronous states-graph (a functional graph on labelings, transitions
+    and outputs memoized per labeling), the maximum output-stabilization
+    time from any corrupted state. Exact, and by construction equal to the
+    maximum of [Engine.output_stabilization_time] over all
+    [Protocol.decode_config] initializations under the synchronous schedule
+    — the simulation harness is its differential oracle (and vice versa). *)
+val worst_case_recovery :
+  ('x, 'l) Stateless_core.Protocol.t ->
+  input:'x array ->
+  max_states:int ->
+  recovery
+
 (** The seed checker, kept verbatim as an independent oracle for
     differential testing and benchmark baselines: it re-derives every
     transition through [Engine.step] and stores per-state boxed edge arrays,

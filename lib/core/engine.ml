@@ -107,26 +107,77 @@ let refreshed_outputs p ~input config =
   let n = Protocol.num_nodes p in
   Array.init n (fun i -> snd (Protocol.apply p ~input config i))
 
-let outputs_after_convergence p ~input ~init ~schedule ~max_steps =
+type 'l settled = {
+  settle_time : int;
+  settled_outputs : int array;
+  horizon_config : 'l Protocol.config;
+}
+
+(* One certified run, traversed once. [run_until_stable] reaches a verdict,
+   the trace up to the certification horizon is replayed a single time, and
+   everything a caller may want is read off that trace: the output
+   stabilization time, the settled output vector, and the configuration at
+   the horizon (a steady state — callers that corrupt-and-remeasure reuse
+   it instead of re-simulating the same trajectory with [run]). *)
+let settle p ~input ~init ~schedule ~max_steps =
   match run_until_stable p ~input ~init ~schedule ~max_steps with
-  | Stabilized { config; _ } -> Some (refreshed_outputs p ~input config)
   | Exhausted _ -> None
-  | Oscillating { entered; period } ->
-      (* Replay the cycle twice; outputs must be constant throughout for the
-         run to output-stabilize. *)
-      let at_entry = run p ~input ~init ~schedule ~steps:entered in
-      let config = ref at_entry in
-      let reference = ref None in
-      let constant = ref true in
-      for t = entered to entered + (2 * period) - 1 do
-        config := step p ~input !config ~active:(schedule.Schedule.active t);
-        match !reference with
-        | None -> reference := Some (Array.copy !config.Protocol.outputs)
-        | Some outs ->
-            if not (Array.for_all2 ( = ) outs !config.Protocol.outputs) then
-              constant := false
-      done;
-      if !constant then !reference else None
+  | outcome -> (
+      let horizon, cycle_entry =
+        match outcome with
+        | Stabilized { rounds; _ } ->
+            let slack = max 1 (Protocol.num_nodes p)
+            and slack_period =
+              match schedule.Schedule.period with Some q -> q | None -> 1
+            in
+            (rounds + (slack * slack_period), None)
+        | Oscillating { entered; period } ->
+            (entered + (2 * period), Some entered)
+        | Exhausted _ -> assert false
+      in
+      let configs =
+        Array.of_list (trace p ~input ~init ~schedule ~steps:horizon)
+      in
+      let horizon_config = configs.(Array.length configs - 1) in
+      let settled_outputs =
+        match cycle_entry with
+        | None ->
+            (* Labels are stable at the horizon; refresh so every node has
+               reported. *)
+            Some (refreshed_outputs p ~input horizon_config)
+        | Some entered ->
+            (* The trace covers the cycle twice; outputs must be constant
+               throughout for the run to output-stabilize. *)
+            let reference = configs.(entered + 1).Protocol.outputs in
+            let constant = ref true in
+            for t = entered + 2 to horizon do
+              if
+                not
+                  (Array.for_all2 ( = ) reference
+                     configs.(t).Protocol.outputs)
+              then constant := false
+            done;
+            if !constant then Some (Array.copy reference) else None
+      in
+      match settled_outputs with
+      | None -> None
+      | Some settled_outputs ->
+          let final = horizon_config.Protocol.outputs in
+          let rec first_bad t best =
+            if t < 0 then best
+            else if Array.for_all2 ( = ) configs.(t).Protocol.outputs final
+            then first_bad (t - 1) t
+            else best
+          in
+          let settle_time =
+            first_bad (Array.length configs - 1) (Array.length configs - 1)
+          in
+          Some { settle_time; settled_outputs; horizon_config })
+
+let outputs_after_convergence p ~input ~init ~schedule ~max_steps =
+  Option.map
+    (fun s -> s.settled_outputs)
+    (settle p ~input ~init ~schedule ~max_steps)
 
 let history_until_verdict p ~input ~init ~schedule ~max_steps =
   match run_until_stable p ~input ~init ~schedule ~max_steps with
@@ -140,21 +191,9 @@ let history_until_verdict p ~input ~init ~schedule ~max_steps =
   | Oscillating { entered; period } -> Some (entered + (2 * period))
 
 let output_stabilization_time p ~input ~init ~schedule ~max_steps =
-  match history_until_verdict p ~input ~init ~schedule ~max_steps with
-  | None -> None
-  | Some horizon ->
-      let configs = trace p ~input ~init ~schedule ~steps:horizon in
-      let outputs =
-        List.map (fun c -> Array.copy c.Protocol.outputs) configs
-      in
-      let arr = Array.of_list outputs in
-      let final = arr.(Array.length arr - 1) in
-      let rec first_bad t best =
-        if t < 0 then best
-        else if Array.for_all2 ( = ) arr.(t) final then first_bad (t - 1) t
-        else best
-      in
-      Some (first_bad (Array.length arr - 1) (Array.length arr - 1))
+  Option.map
+    (fun s -> s.settle_time)
+    (settle p ~input ~init ~schedule ~max_steps)
 
 let label_stabilization_time p ~input ~init ~schedule ~max_steps =
   match run_until_stable p ~input ~init ~schedule ~max_steps with

@@ -80,11 +80,41 @@ val run_until_stable :
 val refreshed_outputs :
   ('x, 'l) Protocol.t -> input:'x array -> 'l Protocol.config -> int array
 
+(** Everything one certified run yields, computed in a single traversal. *)
+type 'l settled = {
+  settle_time : int;
+      (** The earliest step after which every node's output never changes
+          again on this run. Time 0 means outputs were already converged in
+          the initial configuration. *)
+  settled_outputs : int array;
+      (** The output vector from [settle_time] on: at a stable labeling the
+          outputs after one more synchronous refresh, along an oscillation
+          the (constant) cycle outputs. *)
+  horizon_config : 'l Protocol.config;
+      (** The configuration at the certification horizon — a steady state of
+          the run. Callers that corrupt a converged run and re-measure
+          should corrupt this instead of re-simulating with {!run}. *)
+}
+
+(** [settle p ~input ~init ~schedule ~max_steps] runs to a verdict and
+    certifies output stabilization in one pass. [None] when [max_steps]
+    elapses without a verdict, or when the run provably never
+    output-stabilizes (it oscillates and some node's output changes within
+    the cycle). *)
+val settle :
+  ('x, 'l) Protocol.t ->
+  input:'x array ->
+  init:'l Protocol.config ->
+  schedule:Schedule.t ->
+  max_steps:int ->
+  'l settled option
+
 (** [outputs_after_convergence p ~input ~init ~schedule ~max_steps] decides
     output stabilization on one run: if the run label-stabilizes, outputs are
     read at the fixed point (after one more synchronous refresh so every node
     has reported); if it oscillates with every node's output constant along
-    the cycle, those outputs are returned; otherwise [None]. *)
+    the cycle, those outputs are returned; otherwise [None]. Equivalent to
+    the [settled_outputs] field of {!settle}. *)
 val outputs_after_convergence :
   ('x, 'l) Protocol.t ->
   input:'x array ->
@@ -96,7 +126,9 @@ val outputs_after_convergence :
 (** [output_stabilization_time p ~input ~init ~schedule ~max_steps] is the
     earliest step after which every node's output never changes again on
     this run, when that can be certified ({!run_until_stable} reached a
-    verdict). Time 0 means outputs were already converged in [init]. *)
+    verdict and the outputs do settle — an oscillating run whose cycle
+    changes some output yields [None]). Time 0 means outputs were already
+    converged in [init]. The [settle_time] field of {!settle}. *)
 val output_stabilization_time :
   ('x, 'l) Protocol.t ->
   input:'x array ->

@@ -1,50 +1,121 @@
 let corrupt p ~seed ~fraction config =
   if fraction < 0.0 || fraction > 1.0 then
     invalid_arg "Fault.corrupt: fraction must be in [0, 1]";
-  let state = Random.State.make [| seed |] in
-  let card = p.Protocol.space.Label.card in
-  let labels =
-    Array.map
-      (fun l ->
-        if Random.State.float state 1.0 < fraction then
-          p.Protocol.space.Label.decode (Random.State.int state card)
-        else l)
-      config.Protocol.labels
-  in
-  { Protocol.labels; outputs = Array.copy config.Protocol.outputs }
+  Fault_model.apply p ~seed (Fault_model.Uniform { fraction }) config
+
+let inject p ~seed fault config = Fault_model.apply p ~seed fault config
 
 (* Both measurements are phrased in terms of output stabilization so that
    they apply to output-stabilizing protocols whose labels never settle
    (e.g. anything clocked by the D-counter). The configuration that gets
-   corrupted is the steady state after [max_steps] schedule steps. *)
+   corrupted is the steady state [Engine.settle] certified — one traversal
+   yields the stabilization time, the settled outputs and that
+   configuration, so nothing is re-simulated. *)
 
 let recovery_time p ~input ~init ~schedule ~seed ~fraction ~max_steps =
-  match
-    Engine.output_stabilization_time p ~input ~init ~schedule ~max_steps
-  with
+  match Engine.settle p ~input ~init ~schedule ~max_steps with
   | None -> None
-  | Some first -> (
-      let steady = Engine.run p ~input ~init ~schedule ~steps:max_steps in
-      let damaged = corrupt p ~seed ~fraction steady in
-      match
-        Engine.output_stabilization_time p ~input ~init:damaged ~schedule
-          ~max_steps
-      with
-      | Some recovery -> Some (first, recovery)
+  | Some healthy -> (
+      let damaged = corrupt p ~seed ~fraction healthy.Engine.horizon_config in
+      match Engine.settle p ~input ~init:damaged ~schedule ~max_steps with
+      | Some recovered ->
+          Some (healthy.Engine.settle_time, recovered.Engine.settle_time)
       | None -> None)
 
 let recovers_to_same_outputs p ~input ~init ~schedule ~seed ~fraction
     ~max_steps =
-  match
-    Engine.outputs_after_convergence p ~input ~init ~schedule ~max_steps
-  with
+  match Engine.settle p ~input ~init ~schedule ~max_steps with
   | None -> None
-  | Some before -> (
-      let steady = Engine.run p ~input ~init ~schedule ~steps:max_steps in
-      let damaged = corrupt p ~seed ~fraction steady in
-      match
-        Engine.outputs_after_convergence p ~input ~init:damaged ~schedule
-          ~max_steps
-      with
-      | Some after -> Some (Array.for_all2 ( = ) before after)
+  | Some healthy -> (
+      let damaged = corrupt p ~seed ~fraction healthy.Engine.horizon_config in
+      match Engine.settle p ~input ~init:damaged ~schedule ~max_steps with
+      | Some recovered ->
+          Some
+            (Array.for_all2 ( = ) healthy.Engine.settled_outputs
+               recovered.Engine.settled_outputs)
       | None -> None)
+
+type 'l adversarial = {
+  adv_edges : int list;
+  adv_codes : int list;
+  adv_config : 'l Protocol.config;
+  adv_recovery : int option;
+  adv_exhaustive : bool;
+}
+
+exception Stop
+
+let adversarial_corruption ?(limit = 20_000) p ~input ~schedule ~k ~max_steps
+    config =
+  let m = Protocol.num_edges p in
+  let card = p.Protocol.space.Label.card in
+  if k <= 0 || k > m then
+    invalid_arg "Fault.adversarial_corruption: k must be in [1, edges]";
+  if card < 2 then
+    invalid_arg "Fault.adversarial_corruption: label space is a singleton";
+  let encode = p.Protocol.space.Label.encode
+  and decode = p.Protocol.space.Label.decode in
+  let labels0 = config.Protocol.labels in
+  let scratch = Array.copy labels0 in
+  let best = ref None in
+  let candidates = ref 0 in
+  let exhaustive = ref true in
+  let consider edges codes =
+    if !candidates >= limit then begin
+      exhaustive := false;
+      raise Stop
+    end;
+    incr candidates;
+    let damaged =
+      {
+        Protocol.labels = Array.copy scratch;
+        outputs = Array.copy config.Protocol.outputs;
+      }
+    in
+    let recovery =
+      Option.map
+        (fun s -> s.Engine.settle_time)
+        (Engine.settle p ~input ~init:damaged ~schedule ~max_steps)
+    in
+    let better =
+      match !best with
+      | None -> true
+      | Some b -> (
+          match (b.adv_recovery, recovery) with
+          | None, _ -> false
+          | Some _, None -> true
+          | Some x, Some y -> y > x)
+    in
+    if better then
+      best :=
+        Some
+          {
+            adv_edges = List.rev edges;
+            adv_codes = List.rev codes;
+            adv_config = damaged;
+            adv_recovery = recovery;
+            adv_exhaustive = true;
+          };
+    (* A candidate the run never recovers from cannot be beaten. *)
+    if recovery = None then raise Stop
+  in
+  (* Enumerate all ways to pick [k] distinct edges (ascending ids) and give
+     each a label different from its current one (ascending codes). *)
+  let rec choose start picked edges codes =
+    if picked = k then consider edges codes
+    else
+      for e = start to m - (k - picked) do
+        let old = encode labels0.(e) in
+        for c = 0 to card - 1 do
+          if c <> old then begin
+            scratch.(e) <- decode c;
+            choose (e + 1) (picked + 1) (e :: edges) (c :: codes)
+          end
+        done;
+        scratch.(e) <- labels0.(e)
+      done
+  in
+  (try choose 0 0 [] [] with Stop -> ());
+  match !best with
+  | None -> assert false (* k >= 1 and card >= 2 give >= 1 candidate *)
+  | Some b -> { b with adv_exhaustive = !exhaustive }

@@ -32,33 +32,83 @@ let prefix_then sets rest =
     active = (fun t -> if t < k then arr.(t) else rest.active (t - k));
   }
 
-(* Randomized schedules must be pure functions of [t]; we memoize the random
-   draws so that querying the same step twice yields the same set. *)
-let memoized_random name ~seed draw =
-  let table = Hashtbl.create 64 in
-  let state = Random.State.make [| seed |] in
+(* Randomized schedules must be pure functions of [t]. Memoizing every draw
+   (one table entry per step ever queried) leaks over million-step
+   campaigns, so instead we keep a bounded set of replay checkpoints: a
+   snapshot of the generator — and of the draw's auxiliary state, e.g. the
+   fairness countdowns — taken every [k]-th step as the frontier advances,
+   thinned geometrically (doubling [k]) so at most [max_checkpoints]
+   snapshots are ever live. A query at or past the frontier advances it; a
+   query below the frontier replays forward from the nearest checkpoint.
+   Determinism holds under any query order because every step's set is
+   always produced by the same prefix of draws from the same seed. *)
+let max_checkpoints = 64
+
+let memoized_random name ~seed ~init_aux ~copy_aux draw =
+  let k = ref 16 in
+  (* Invariant: an entry [(s, st, aux)] is positioned to draw step [s], its
+     payload is never mutated, and step 0 is always present. *)
+  let checkpoints = ref [ (0, Random.State.make [| seed |], init_aux ()) ] in
+  let fr_state = Random.State.make [| seed |] in
+  let fr_aux = init_aux () in
   let next = ref 0 in
-  let rec active t =
-    match Hashtbl.find_opt table t with
-    | Some set -> set
-    | None ->
-        if t < !next then assert false
-        else begin
-          (* Generate steps in order up to [t] for reproducibility. *)
-          while !next <= t do
-            Hashtbl.replace table !next (draw state !next);
-            incr next
-          done;
-          active t
-        end
+  let last_t = ref (-1) and last_set = ref [] in
+  let take_checkpoint () =
+    checkpoints :=
+      (!next, Random.State.copy fr_state, copy_aux fr_aux) :: !checkpoints;
+    if List.length !checkpoints > max_checkpoints then begin
+      k := 2 * !k;
+      checkpoints :=
+        List.filter (fun (s, _, _) -> s mod !k = 0) !checkpoints
+    end
+  in
+  let advance_frontier t =
+    let set = ref [] in
+    while !next <= t do
+      (match !checkpoints with
+      | (s, _, _) :: _ when !next mod !k = 0 && s < !next ->
+          take_checkpoint ()
+      | _ -> ());
+      set := draw fr_state fr_aux !next;
+      incr next
+    done;
+    !set
+  in
+  let replay t =
+    let from =
+      List.fold_left
+        (fun ((bs, _, _) as best) ((s, _, _) as c) ->
+          if s <= t && s > bs then c else best)
+        (List.hd (List.rev !checkpoints))
+        !checkpoints
+    in
+    let s0, st0, aux0 = from in
+    let st = Random.State.copy st0 and aux = copy_aux aux0 in
+    let set = ref [] in
+    for j = s0 to t do
+      set := draw st aux j
+    done;
+    !set
+  in
+  let active t =
+    if t < 0 then invalid_arg (name ^ ": negative step");
+    if t = !last_t then !last_set
+    else begin
+      let set = if t >= !next then advance_frontier t else replay t in
+      last_t := t;
+      last_set := set;
+      set
+    end
   in
   { name; period = None; active }
 
 let random_fair ~seed ~r n =
   if n <= 0 then invalid_arg "Schedule.random_fair: n must be positive";
   if r <= 0 then invalid_arg "Schedule.random_fair: r must be positive";
-  let countdown = Array.make n r in
-  let draw state _t =
+  (* The countdown vector is the draw's auxiliary state; it travels with the
+     replay checkpoints so out-of-order queries see consistent fairness
+     deadlines. *)
+  let draw state countdown _t =
     let forced = ref [] and optional = ref [] in
     for i = n - 1 downto 0 do
       if countdown.(i) <= 1 then forced := i :: !forced
@@ -76,12 +126,18 @@ let random_fair ~seed ~r n =
       countdown;
     chosen
   in
-  memoized_random (Printf.sprintf "random-%d-fair" r) ~seed draw
+  memoized_random
+    (Printf.sprintf "random-%d-fair" r)
+    ~seed
+    ~init_aux:(fun () -> Array.make n r)
+    ~copy_aux:Array.copy draw
 
 let random_singletons ~seed n =
   if n <= 0 then invalid_arg "Schedule.random_singletons: n must be positive";
-  memoized_random "random-singletons" ~seed (fun state _ ->
-      [ Random.State.int state n ])
+  memoized_random "random-singletons" ~seed
+    ~init_aux:(fun () -> ())
+    ~copy_aux:Fun.id
+    (fun state () _ -> [ Random.State.int state n ])
 
 let is_r_fair sched ~n ~r ~horizon =
   if horizon < r then invalid_arg "Schedule.is_r_fair: horizon < r";

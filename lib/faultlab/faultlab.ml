@@ -1,0 +1,213 @@
+module Protocol = Stateless_core.Protocol
+module Engine = Stateless_core.Engine
+module Schedule = Stateless_core.Schedule
+module Label = Stateless_core.Label
+module Fault = Stateless_core.Fault
+module Clique_example = Stateless_core.Clique_example
+module D_counter = Stateless_counter.D_counter
+module Feedback = Stateless_games.Feedback
+
+type scenario = {
+  name : string;
+  schedule_name : string;
+  recover : fraction:float -> seed:int -> max_steps:int -> int option;
+}
+
+type fraction_stats = {
+  fraction : float;
+  runs : int;
+  recovered : int;
+  mean : float;
+  p50 : int;
+  p95 : int;
+  worst : int;
+}
+
+type campaign = {
+  scenario_name : string;
+  schedule : string;
+  runs_per_fraction : int;
+  stats : fraction_stats list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Scenarios                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let example1 ?(n = 4) () =
+  let n = max 3 n in
+  let p = Clique_example.make n in
+  let input = Clique_example.input n in
+  let init = Clique_example.oscillation_init p in
+  let schedule = Schedule.synchronous n in
+  {
+    name = Printf.sprintf "example1_k%d" n;
+    schedule_name = schedule.Schedule.name;
+    recover =
+      (fun ~fraction ~seed ~max_steps ->
+        Option.map snd
+          (Fault.recovery_time p ~input ~init ~schedule ~seed ~fraction
+             ~max_steps));
+  }
+
+(* The D-counter's outputs tick forever, so recovery is re-locking: the
+   first step from which [agreed] holds for [d] consecutive synchronous
+   steps after the steady (burned-in) configuration is corrupted. *)
+let d_counter ?(n = 5) ?(d = 8) () =
+  let t = D_counter.make ~n ~d () in
+  let p = D_counter.protocol t in
+  let input = D_counter.input t in
+  let schedule = Schedule.synchronous n in
+  let steady =
+    Engine.run p ~input
+      ~init:(Protocol.uniform_config p (p.Protocol.space.Label.decode 0))
+      ~schedule ~steps:(D_counter.burn_in t)
+  in
+  let window = d in
+  let everyone = List.init n Fun.id in
+  {
+    name = Printf.sprintf "d_counter_n%d_d%d" n d;
+    schedule_name = schedule.Schedule.name;
+    recover =
+      (fun ~fraction ~seed ~max_steps ->
+        let damaged = Fault.corrupt p ~seed ~fraction steady in
+        let config = ref damaged in
+        let run_len = ref 0 in
+        let found = ref None in
+        let s = ref 0 in
+        while !found = None && !s <= max_steps do
+          if D_counter.agreed t !config then begin
+            incr run_len;
+            if !run_len >= window then found := Some (!s - window + 1)
+          end
+          else run_len := 0;
+          config := Engine.step p ~input !config ~active:everyone;
+          incr s
+        done;
+        !found);
+  }
+
+(* The ring oscillator never output-stabilizes by design; recovery is the
+   time until the corrupted run provably re-enters a periodic orbit (the
+   [entered] bound of the engine's oscillation verdict) under round-robin,
+   whose periodicity makes the verdict exact. *)
+let ring_oscillator ?(n = 5) () =
+  let n = if n mod 2 = 0 then n + 1 else max 3 n in
+  let p = Feedback.ring_oscillator n in
+  let input = Array.make n () in
+  let schedule = Schedule.round_robin n in
+  let steady =
+    Engine.run p ~input
+      ~init:(Protocol.uniform_config p false)
+      ~schedule ~steps:(4 * n)
+  in
+  {
+    name = Printf.sprintf "ring_oscillator_%d" n;
+    schedule_name = schedule.Schedule.name;
+    recover =
+      (fun ~fraction ~seed ~max_steps ->
+        let damaged = Fault.corrupt p ~seed ~fraction steady in
+        match
+          Engine.run_until_stable p ~input ~init:damaged ~schedule ~max_steps
+        with
+        | Engine.Oscillating { entered; _ } -> Some entered
+        | Engine.Stabilized { rounds; _ } -> Some rounds
+        | Engine.Exhausted _ -> None);
+  }
+
+let default_scenarios () = [ example1 (); d_counter (); ring_oscillator () ]
+
+let scenario_names = [ "example1"; "counter"; "oscillator" ]
+
+let scenario_by_name ?n name =
+  match name with
+  | "example1" -> Some (example1 ?n ())
+  | "counter" -> Some (d_counter ?n ())
+  | "oscillator" -> Some (ring_oscillator ?n ())
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Campaign runner                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let default_fractions = [ 0.1; 0.25; 0.5; 0.75; 1.0 ]
+
+(* Nearest-rank percentile over the sorted recovery times. *)
+let percentile sorted q =
+  let k = Array.length sorted in
+  if k = 0 then 0
+  else
+    let rank = int_of_float (ceil (q *. float k)) - 1 in
+    sorted.(max 0 (min (k - 1) rank))
+
+let run ?(fractions = default_fractions) ?(seeds = 30) ?(max_steps = 10_000)
+    sc =
+  let stats =
+    List.map
+      (fun fraction ->
+        let times = ref [] and recovered = ref 0 in
+        for seed = 1 to seeds do
+          match sc.recover ~fraction ~seed ~max_steps with
+          | Some t ->
+              incr recovered;
+              times := t :: !times
+          | None -> ()
+        done;
+        let arr = Array.of_list !times in
+        Array.sort compare arr;
+        let k = Array.length arr in
+        let mean =
+          if k = 0 then 0.
+          else float (Array.fold_left ( + ) 0 arr) /. float k
+        in
+        {
+          fraction;
+          runs = seeds;
+          recovered = !recovered;
+          mean;
+          p50 = percentile arr 0.5;
+          p95 = percentile arr 0.95;
+          worst = (if k = 0 then 0 else arr.(k - 1));
+        })
+      fractions
+  in
+  {
+    scenario_name = sc.name;
+    schedule = sc.schedule_name;
+    runs_per_fraction = seeds;
+    stats;
+  }
+
+let print_campaign oc c =
+  Printf.fprintf oc "  %s (schedule: %s, %d runs per fraction)\n"
+    c.scenario_name c.schedule c.runs_per_fraction;
+  Printf.fprintf oc "    %10s %10s %10s %8s %8s %8s\n" "fraction" "recovered"
+    "mean" "p50" "p95" "worst";
+  List.iter
+    (fun s ->
+      Printf.fprintf oc "    %10.2f %7d/%-2d %10.2f %8d %8d %8d\n" s.fraction
+        s.recovered s.runs s.mean s.p50 s.p95 s.worst)
+    c.stats
+
+let write_json oc campaigns =
+  Printf.fprintf oc "{\n  \"benchmark\": \"faults\",\n  \"campaigns\": [\n";
+  List.iteri
+    (fun i c ->
+      Printf.fprintf oc
+        "    { \"scenario\": %S, \"schedule\": %S, \"runs_per_fraction\": \
+         %d,\n\
+        \      \"fractions\": [\n"
+        c.scenario_name c.schedule c.runs_per_fraction;
+      List.iteri
+        (fun j s ->
+          Printf.fprintf oc
+            "        { \"fraction\": %.3f, \"runs\": %d, \"recovered\": %d, \
+             \"mean_steps\": %.3f, \"p50_steps\": %d, \"p95_steps\": %d, \
+             \"worst_steps\": %d }%s\n"
+            s.fraction s.runs s.recovered s.mean s.p50 s.p95 s.worst
+            (if j = List.length c.stats - 1 then "" else ","))
+        c.stats;
+      Printf.fprintf oc "      ] }%s\n"
+        (if i = List.length campaigns - 1 then "" else ","))
+    campaigns;
+  Printf.fprintf oc "  ]\n}\n"

@@ -1,0 +1,73 @@
+(** Fault-recovery campaigns: corrupt a steady state, measure recovery,
+    aggregate over corruption fractions and seeds.
+
+    Shared by the bench harness (which writes [BENCH_faults.json]) and the
+    CLI's [faults] subcommand. Each {!scenario} fixes a protocol, a
+    schedule and a steady state, and knows how to measure one corrupted
+    run; the per-protocol recovery notions differ because the paper's
+    fixtures converge in different senses (output stabilization for
+    Example 1, re-locking for the D-counter, re-entering the periodic orbit
+    for the ring oscillator). *)
+
+type scenario = {
+  name : string;
+  schedule_name : string;
+  recover : fraction:float -> seed:int -> max_steps:int -> int option;
+      (** Steps until one corrupted run has provably recovered; [None] when
+          it did not within [max_steps]. *)
+}
+
+type fraction_stats = {
+  fraction : float;  (** corruption fraction of this row *)
+  runs : int;  (** seeds attempted *)
+  recovered : int;  (** runs that recovered within the budget *)
+  mean : float;  (** mean recovery steps over recovered runs *)
+  p50 : int;  (** median recovery steps (nearest-rank) *)
+  p95 : int;  (** 95th-percentile recovery steps (nearest-rank) *)
+  worst : int;  (** maximum recovery steps among recovered runs *)
+}
+
+type campaign = {
+  scenario_name : string;
+  schedule : string;
+  runs_per_fraction : int;
+  stats : fraction_stats list;
+}
+
+(** Example 1 on [K_n] (default [n = 4]) under the synchronous schedule;
+    recovery is output re-stabilization ({!Stateless_core.Fault.recovery_time}). *)
+val example1 : ?n:int -> unit -> scenario
+
+(** The D-counter on an [n]-ring mod [d] (defaults [n = 5], [d = 8]):
+    recovery is re-locking — the first step from which [agreed] holds for
+    [d] consecutive synchronous steps. *)
+val d_counter : ?n:int -> ?d:int -> unit -> scenario
+
+(** The ring oscillator on [n] inverters (default [n = 5], forced odd):
+    recovery is the time until the corrupted run provably re-enters a
+    periodic orbit under round-robin. *)
+val ring_oscillator : ?n:int -> unit -> scenario
+
+(** The three scenarios above with default sizes — the bench campaign. *)
+val default_scenarios : unit -> scenario list
+
+(** CLI-facing names accepted by {!scenario_by_name}:
+    ["example1"], ["counter"], ["oscillator"]. *)
+val scenario_names : string list
+
+val scenario_by_name : ?n:int -> string -> scenario option
+
+(** The default corruption fractions [0.1; 0.25; 0.5; 0.75; 1.0]. *)
+val default_fractions : float list
+
+(** [run scenario] measures [seeds] corrupted runs (default 30) at each
+    fraction (default {!default_fractions}) with the given step budget
+    (default 10_000) and aggregates. *)
+val run :
+  ?fractions:float list -> ?seeds:int -> ?max_steps:int -> scenario -> campaign
+
+(** ASCII table of one campaign. *)
+val print_campaign : out_channel -> campaign -> unit
+
+(** Machine-readable JSON for a list of campaigns ([BENCH_faults.json]). *)
+val write_json : out_channel -> campaign list -> unit

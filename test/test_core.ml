@@ -133,6 +133,39 @@ let test_random_schedule_reproducible () =
   let b = s.Schedule.active 10 in
   Alcotest.(check (list int)) "same set on re-query" a b
 
+(* The bounded-replay memoization behind the randomized schedules must be
+   observationally identical to querying every step in order: repeated and
+   out-of-order queries — including jumps far past the live checkpoints —
+   return exactly what a fresh instance queried sequentially returns. *)
+let scrambled_matches_sequential make =
+  let horizon = 140 in
+  let reference =
+    let s = make () in
+    Array.init horizon (fun t -> s.Schedule.active t)
+  in
+  let s = make () in
+  let probe t =
+    Alcotest.(check (list int))
+      (Printf.sprintf "step %d" t)
+      reference.(t) (s.Schedule.active t)
+  in
+  List.iter probe [ 50; 7; 99; 7; 0; 73; 50; 120; 3; 99; 139; 1 ];
+  for t = 0 to horizon - 1 do
+    probe t
+  done
+
+let test_random_fair_out_of_order () =
+  scrambled_matches_sequential (fun () -> Schedule.random_fair ~seed:7 ~r:2 4)
+
+let test_random_singletons_out_of_order () =
+  scrambled_matches_sequential (fun () -> Schedule.random_singletons ~seed:5 6)
+
+let test_random_schedule_rejects_negative_step () =
+  let s = Schedule.random_fair ~seed:1 ~r:2 3 in
+  match s.Schedule.active (-1) with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
 let test_example1_schedule_fairness () =
   (* The paper's oscillation schedule for Example 1 is (n-1)-fair. *)
   for n = 3 to 6 do
@@ -730,6 +763,12 @@ let () =
             test_random_fair_is_fair;
           Alcotest.test_case "random reproducible" `Quick
             test_random_schedule_reproducible;
+          Alcotest.test_case "random fair out of order" `Quick
+            test_random_fair_out_of_order;
+          Alcotest.test_case "random singletons out of order" `Quick
+            test_random_singletons_out_of_order;
+          Alcotest.test_case "negative step rejected" `Quick
+            test_random_schedule_rejects_negative_step;
           Alcotest.test_case "example1 schedule fairness" `Quick
             test_example1_schedule_fairness;
         ] );

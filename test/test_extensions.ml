@@ -397,9 +397,12 @@ let prop_corrupt_respects_fraction =
         if damaged.Protocol.labels.(e) <> config.Protocol.labels.(e) then
           incr changed
       done;
-      (* Redraws can coincide with the original label, so changed <=
-         corrupted; zero fraction must change nothing. *)
-      if tenths = 0 then !changed = 0 else !changed <= m)
+      (* A corrupted label always differs from the old one, so [changed]
+         counts exactly the corrupted positions: zero fraction changes
+         nothing, fraction 1 changes everything. *)
+      if tenths = 0 then !changed = 0
+      else if tenths = 10 then !changed = m
+      else !changed <= m)
 
 let prop_random_periodic_fair =
   QCheck.Test.make ~count:40 ~name:"sampled schedules are r-fair"
