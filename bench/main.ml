@@ -12,6 +12,8 @@ module Circuit = Stateless_circuit.Circuit
 module Bp = Stateless_bp.Bp
 module Snake = Stateless_snake.Snake
 module Checker = Stateless_checker.Checker
+module Faultlab = Stateless_faultlab.Faultlab
+module Machine = Stateless_machine.Machine
 open Stateless_core
 
 (* ------------------------------------------------------------------ *)
@@ -137,6 +139,11 @@ let verdict_name = function
   | Checker.Oscillating _ -> "oscillating"
   | Checker.Too_large _ -> "too_large"
 
+(* [--smoke] shrinks every rep/seed count and timing window to CI-sized
+   values: the point is that the bench binaries and JSON writers cannot
+   bitrot, not the numbers. *)
+let smoke = Array.exists (String.equal "--smoke") Sys.argv
+
 (* Mean wall time over however many runs fit in ~0.3 s (first run warms
    the caches and is discarded). *)
 let time_runs f =
@@ -144,7 +151,8 @@ let time_runs f =
   let t0 = Unix.gettimeofday () in
   let reps = ref 0 in
   let elapsed = ref 0. in
-  while !elapsed < 0.3 do
+  let window = if smoke then 0.02 else 0.3 in
+  while !elapsed < window do
     ignore (f ());
     incr reps;
     elapsed := Unix.gettimeofday () -. t0
@@ -228,6 +236,7 @@ let run_checker_bench () =
   in
   let oc = open_out "BENCH_checker.json" in
   Printf.fprintf oc "{\n  \"benchmark\": \"checker\",\n";
+  Printf.fprintf oc "  \"host\": %s,\n" (Faultlab.host_json ~domains:1 ());
   Printf.fprintf oc
     "  \"verdict_counts\": { \"stabilizing\": %d, \"oscillating\": %d, \
      \"too_large\": %d },\n"
@@ -261,23 +270,170 @@ let run_checker_bench () =
 (* Fault-recovery campaign — machine-readable BENCH_faults.json        *)
 (* ------------------------------------------------------------------ *)
 
-module Faultlab = Stateless_faultlab.Faultlab
-
 let run_fault_bench () =
   Printf.printf "\n%s\n" (String.make 78 '=');
   Printf.printf
     "Fault-recovery campaign (recovery steps vs corruption fraction)\n";
   Printf.printf "%s\n" (String.make 78 '-');
+  let seeds = if smoke then 5 else 30
+  and max_steps = if smoke then 2_000 else 10_000 in
   let campaigns =
     List.map
-      (Faultlab.run ~seeds:30 ~max_steps:10_000)
+      (Faultlab.run ~seeds ~max_steps ~domains:1)
       (Faultlab.default_scenarios ())
   in
   List.iter (Faultlab.print_campaign stdout) campaigns;
   let oc = open_out "BENCH_faults.json" in
-  Faultlab.write_json oc campaigns;
+  Faultlab.write_json ~host:(Faultlab.host_json ~domains:1 ()) oc campaigns;
   close_out oc;
   Printf.printf "  [wrote BENCH_faults.json]\n"
+
+(* ------------------------------------------------------------------ *)
+(* Engine benchmark — machine-readable BENCH_engine.json               *)
+(* ------------------------------------------------------------------ *)
+
+type efixture =
+  | Fixture : {
+      ef_name : string;
+      ef_p : ('x, 'l) Protocol.t;
+      ef_input : 'x array;
+      ef_init : 'l Protocol.config;
+      ef_schedule : Schedule.t;
+    }
+      -> efixture
+
+let engine_fixtures () =
+  let k4 = Clique_example.make 4 in
+  let dc = Stateless_counter.D_counter.make ~n:9 ~d:16 () in
+  let dcp = Stateless_counter.D_counter.protocol dc in
+  let osc = Stateless_games.Feedback.ring_oscillator 5 in
+  let tm = Machine.parity 4 in
+  let tmp = Machine.protocol_of_machine tm in
+  [
+    Fixture
+      {
+        ef_name = "example1_k4";
+        ef_p = k4;
+        ef_input = Clique_example.input 4;
+        ef_init = Clique_example.oscillation_init k4;
+        ef_schedule = Schedule.synchronous 4;
+      };
+    Fixture
+      {
+        ef_name = "d_counter_n9_d16";
+        ef_p = dcp;
+        ef_input = Stateless_counter.D_counter.input dc;
+        ef_init =
+          Protocol.uniform_config dcp (dcp.Protocol.space.Label.decode 0);
+        ef_schedule = Schedule.synchronous 9;
+      };
+    Fixture
+      {
+        ef_name = "ring_oscillator_5";
+        ef_p = osc;
+        ef_input = Array.make 5 ();
+        ef_init = Protocol.uniform_config osc false;
+        ef_schedule = Schedule.round_robin 5;
+      };
+    Fixture
+      {
+        ef_name = "tm_parity_4_ring";
+        ef_p = tmp;
+        ef_input = [| true; false; true; false |];
+        ef_init =
+          Protocol.uniform_config tmp (tmp.Protocol.space.Label.decode 0);
+        ef_schedule = Schedule.synchronous 4;
+      };
+  ]
+
+type engine_row = {
+  er_name : string;
+  er_schedule : string;
+  er_steps : int;
+  er_boxed_sps : float;  (* boxed Engine.run steps per second *)
+  er_packed_sps : float;  (* packed Kernel.run_into steps per second *)
+}
+
+let engine_row steps (Fixture f) =
+  let p = f.ef_p and input = f.ef_input in
+  let schedule = f.ef_schedule and init = f.ef_init in
+  let boxed () = ignore (Engine.run p ~input ~init ~schedule ~steps) in
+  let kern = Kernel.create p ~input in
+  let labels = Array.make (Protocol.num_edges p) 0 in
+  let outputs = Array.make (Protocol.num_nodes p) 0 in
+  let packed () =
+    Kernel.load kern init ~labels ~outputs;
+    Kernel.run_into kern ~labels ~outputs ~schedule ~steps
+  in
+  let boxed_s, _ = time_runs boxed in
+  let packed_s, _ = time_runs packed in
+  {
+    er_name = f.ef_name;
+    er_schedule = schedule.Schedule.name;
+    er_steps = steps;
+    er_boxed_sps = float steps /. boxed_s;
+    er_packed_sps = float steps /. packed_s;
+  }
+
+let run_engine_bench () =
+  Printf.printf "\n%s\n" (String.make 78 '=');
+  Printf.printf "Engine benchmark (boxed Engine.step vs packed Kernel)\n";
+  Printf.printf "%s\n" (String.make 78 '-');
+  Gc.compact ();
+  let steps = if smoke then 500 else 5_000 in
+  let rows = List.map (engine_row steps) (engine_fixtures ()) in
+  List.iter
+    (fun r ->
+      Printf.printf "  %-22s %-12s %12.0f steps/s boxed %12.0f packed (%5.1fx)\n"
+        r.er_name r.er_schedule r.er_boxed_sps r.er_packed_sps
+        (r.er_packed_sps /. r.er_boxed_sps))
+    rows;
+  (* Campaign wall time, 1 domain vs N domains, same work — and the
+     determinism contract checked on the real workload: the aggregated
+     campaigns must be structurally identical. *)
+  let domains_n = max 2 (min 4 (Domain.recommended_domain_count ())) in
+  let seeds = if smoke then 5 else 30
+  and max_steps = if smoke then 2_000 else 10_000 in
+  let campaign domains =
+    let t0 = Unix.gettimeofday () in
+    let cs =
+      List.map
+        (Faultlab.run ~seeds ~max_steps ~domains)
+        (Faultlab.default_scenarios ())
+    in
+    (cs, Unix.gettimeofday () -. t0)
+  in
+  let seq, wall_1 = campaign 1 in
+  let par, wall_n = campaign domains_n in
+  let identical = seq = par in
+  Printf.printf
+    "  campaign (%d seeds): %.3f s at 1 domain, %.3f s at %d domains \
+     (%.2fx), identical: %b\n"
+    seeds wall_1 wall_n domains_n (wall_1 /. wall_n) identical;
+  let oc = open_out "BENCH_engine.json" in
+  Printf.fprintf oc "{\n  \"benchmark\": \"engine\",\n";
+  Printf.fprintf oc "  \"host\": %s,\n"
+    (Faultlab.host_json ~domains:domains_n ());
+  Printf.fprintf oc "  \"fixtures\": [\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    { \"name\": %S, \"schedule\": %S, \"steps_per_rep\": %d,\n\
+        \      \"boxed_steps_per_sec\": %.0f, \"packed_steps_per_sec\": \
+         %.0f, \"speedup\": %.2f }%s\n"
+        r.er_name r.er_schedule r.er_steps r.er_boxed_sps r.er_packed_sps
+        (r.er_packed_sps /. r.er_boxed_sps)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc
+    "  \"campaign\": { \"seeds\": %d, \"max_steps\": %d, \"domains\": %d,\n\
+    \    \"wall_s_domains_1\": %.4f, \"wall_s_domains_n\": %.4f, \
+     \"speedup\": %.2f, \"identical\": %b }\n"
+    seeds max_steps domains_n wall_1 wall_n (wall_1 /. wall_n) identical;
+  Printf.fprintf oc "}\n";
+  close_out oc;
+  Printf.printf "  [wrote BENCH_engine.json]\n"
 
 (* ------------------------------------------------------------------ *)
 
@@ -289,6 +445,10 @@ let () =
   end;
   if Array.exists (String.equal "--faults-bench-only") Sys.argv then begin
     run_fault_bench ();
+    exit 0
+  end;
+  if Array.exists (String.equal "--engine-bench-only") Sys.argv then begin
+    run_engine_bench ();
     exit 0
   end;
   print_endline "Stateless Computation — experiment harness";
@@ -310,4 +470,5 @@ let () =
   run_micro_benchmarks ();
   run_checker_bench ();
   run_fault_bench ();
+  run_engine_bench ();
   Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -448,15 +448,38 @@ let faults_cmd =
       & opt (list fraction_conv) Faultlab.default_fractions
       & info [ "fractions" ] ~doc ~docv:"F1,F2,...")
   in
-  let seeds_arg =
-    let doc = "Corruption seeds (independent runs) per fraction." in
-    Arg.(value & opt int 20 & info [ "seeds" ] ~doc)
+  let pos_int_conv =
+    let parse s =
+      match int_of_string_opt s with
+      | Some k when k > 0 -> Ok k
+      | Some k -> Error (`Msg (Printf.sprintf "%d is not a positive integer" k))
+      | None -> Error (`Msg (Printf.sprintf "invalid integer %S" s))
+    in
+    Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+  in
+  let runs_arg =
+    let doc = "Independent corruption runs (seeds) per fraction." in
+    Arg.(value & opt pos_int_conv 20 & info [ "runs"; "seeds" ] ~doc ~docv:"N")
+  in
+  let max_steps_arg =
+    let doc = "Give up on a run after $(docv) recovery steps." in
+    Arg.(
+      value
+      & opt pos_int_conv 10_000
+      & info [ "max-steps"; "steps" ] ~doc ~docv:"K")
+  in
+  let domains_arg =
+    let doc =
+      "Spread runs across $(docv) domains. Results are bit-identical for \
+       every value; only wall time changes."
+    in
+    Arg.(value & opt pos_int_conv 1 & info [ "domains" ] ~doc ~docv:"D")
   in
   let out_arg =
     let doc = "Also write the campaign as JSON to $(docv)." in
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc ~docv:"FILE")
   in
-  let run scenario fractions seeds steps out =
+  let run scenario fractions runs max_steps domains out =
     let scenarios =
       match scenario with
       | `All -> Faultlab.default_scenarios ()
@@ -465,14 +488,16 @@ let faults_cmd =
       | `Oscillator -> [ Faultlab.ring_oscillator () ]
     in
     let campaigns =
-      List.map (Faultlab.run ~fractions ~seeds ~max_steps:steps) scenarios
+      List.map
+        (Faultlab.run ~fractions ~seeds:runs ~max_steps ~domains)
+        scenarios
     in
     List.iter (Faultlab.print_campaign stdout) campaigns;
     match out with
     | None -> ()
     | Some path ->
         let oc = open_out path in
-        Faultlab.write_json oc campaigns;
+        Faultlab.write_json ~host:(Faultlab.host_json ~domains ()) oc campaigns;
         close_out oc;
         Printf.printf "  [wrote %s]\n" path
   in
@@ -484,8 +509,8 @@ let faults_cmd =
   in
   Cmd.v info
     Term.(
-      const run $ scenario_arg $ fractions_arg $ seeds_arg $ steps_arg
-      $ out_arg)
+      const run $ scenario_arg $ fractions_arg $ runs_arg $ max_steps_arg
+      $ domains_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 

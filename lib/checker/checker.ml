@@ -724,12 +724,22 @@ type recovery =
    per-labeling stabilization time is 0 when f(ℓ) = 0 and Y = 0, and
    f(ℓ) + 1 otherwise — exactly what [Engine.output_stabilization_time]
    reports, giving the simulation harness a differential oracle. *)
-let worst_case_recovery p ~input ~max_states =
+(* [domains] splits the start-labeling range into contiguous chunks, each
+   swept by its own domain with a private {!Trans_cache} and propagation
+   arrays. Every per-labeling quantity below (settled-or-not, stabilization
+   steps) is a function of the dynamics alone — the cycle representative a
+   sweep picks depends on where it entered the cycle, but only its output
+   vector is ever consulted — so chunk results are independent of traversal
+   order and the in-order merge reproduces the sequential scan exactly:
+   the same verdict, steps, witness and diverging code for every domain
+   count. *)
+let worst_case_recovery ?(domains = 1) p ~input ~max_states =
   let n = Protocol.num_nodes p in
   match Protocol.labelings_count p with
   | None -> Recovery_too_large { needed = max_int }
   | Some count when count > max_states -> Recovery_too_large { needed = count }
   | Some count ->
+      let sweep lo hi =
       let cache = Trans_cache.create p ~input ~lab_count:count in
       let full_mask = (1 lsl n) - 1 in
       let succ = Array.make count (-1) in
@@ -809,8 +819,8 @@ let worst_case_recovery p ~input ~max_states =
         end
       in
       let worst = ref (-1) and witness = ref 0 and diverging = ref (-1) in
-      let l = ref 0 in
-      while !diverging < 0 && !l < count do
+      let l = ref lo in
+      while !diverging < 0 && !l < hi do
         process !l;
         (if yrep.(!l) < 0 then diverging := !l
          else
@@ -823,8 +833,31 @@ let worst_case_recovery p ~input ~max_states =
            end);
         incr l
       done;
-      if !diverging >= 0 then Never_settles { init_code = !diverging }
-      else Worst_recovery { steps = !worst; witness_code = !witness }
+      (!worst, !witness, !diverging)
+      in
+      let nchunks = if domains > 1 && count >= 2 * domains then domains else 1 in
+      let chunks =
+        if nchunks = 1 then [| sweep 0 count |]
+        else
+          Stateless_core.Parrun.map ~domains:nchunks
+            ~ctx:(fun () -> ())
+            nchunks
+            (fun () c -> sweep (count * c / nchunks) (count * (c + 1) / nchunks))
+      in
+      (* In-order merge: the first diverging start wins (chunks are ascending
+         ranges, and each stops at its first diverging labeling); otherwise
+         the strict [>] keeps the earliest labeling attaining the maximum,
+         exactly as the sequential scan would. *)
+      let rec merge i worst witness =
+        if i >= Array.length chunks then
+          Worst_recovery { steps = worst; witness_code = witness }
+        else
+          let w, wit, div = chunks.(i) in
+          if div >= 0 then Never_settles { init_code = div }
+          else if w > worst then merge (i + 1) w wit
+          else merge (i + 1) worst witness
+      in
+      merge 0 (-1) 0
 
 (* ------------------------------------------------------------------ *)
 (* Reference implementation                                            *)

@@ -126,8 +126,14 @@ type recovery =
     time from any corrupted state. Exact, and by construction equal to the
     maximum of [Engine.output_stabilization_time] over all
     [Protocol.decode_config] initializations under the synchronous schedule
-    — the simulation harness is its differential oracle (and vice versa). *)
+    — the simulation harness is its differential oracle (and vice versa).
+
+    [domains] (default [1]) splits the per-labeling sweep into contiguous
+    chunks run on that many domains (each with a private transition cache)
+    and merges in range order; the verdict — including witness and
+    diverging codes — is identical for every [domains] value. *)
 val worst_case_recovery :
+  ?domains:int ->
   ('x, 'l) Stateless_core.Protocol.t ->
   input:'x array ->
   max_states:int ->

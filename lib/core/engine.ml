@@ -55,13 +55,23 @@ let run p ~input ~init ~schedule ~steps =
   end
 
 let trace p ~input ~init ~schedule ~steps =
-  let rec loop t config acc =
-    if t >= steps then List.rev (config :: acc)
-    else
-      let next = step p ~input config ~active:(schedule.Schedule.active t) in
-      loop (t + 1) next (config :: acc)
-  in
-  loop 0 init []
+  if steps <= 0 then [ init ]
+  else begin
+    let open Protocol in
+    let copy c = { labels = Array.copy c.labels; outputs = Array.copy c.outputs } in
+    (* Double-buffer through [step_into]; only the returned snapshots are
+       copied out, instead of one reaction list + two arrays per step. *)
+    let cur = ref (copy init) and nxt = ref (copy init) in
+    let acc = ref [ init ] in
+    for t = 0 to steps - 1 do
+      step_into p ~input !cur ~active:(schedule.Schedule.active t) ~into:!nxt;
+      let tmp = !cur in
+      cur := !nxt;
+      nxt := tmp;
+      acc := copy !cur :: !acc
+    done;
+    List.rev !acc
+  end
 
 let run_until_stable p ~input ~init ~schedule ~max_steps =
   let period_opt = schedule.Schedule.period in

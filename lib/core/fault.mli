@@ -80,14 +80,17 @@ type 'l adversarial = {
     searches over all corruptions of exactly [k] edge labels of [config]
     (each to some different label) for the one maximizing output
     re-stabilization time under [schedule], measuring each candidate with
-    {!Engine.settle}. The enumeration is deterministic; [limit] (default
-    [20_000]) bounds the number of candidates examined, since there are
-    [C(m, k) * (card - 1)^k] of them.
+    the packed {!Kernel}. The enumeration is deterministic; [limit]
+    (default [20_000]) bounds the number of candidates examined, since
+    there are [C(m, k) * (card - 1)^k] of them. [domains] (default [1])
+    fans candidate measurement out over that many domains via {!Parrun};
+    the result is identical for every [domains] value.
 
     @raise Invalid_argument if [k] is out of [1, edges] or the label space
     is a singleton. *)
 val adversarial_corruption :
   ?limit:int ->
+  ?domains:int ->
   ('x, 'l) Protocol.t ->
   input:'x array ->
   schedule:Schedule.t ->

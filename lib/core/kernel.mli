@@ -1,0 +1,122 @@
+(** Packed simulation kernel: the engine's hot path on flat int buffers.
+
+    {!Engine.step} re-derives each scheduled node's reaction through boxed
+    labels — a [List.map] allocating a reaction tuple and an output array per
+    active node per step. This module runs the same global transition
+    function on the mixed-radix integer codes that {!Protocol.encode_config}
+    and the checker's transition cache already use: a configuration is an
+    [int array] of per-edge label codes plus an [int array] of outputs, both
+    caller-owned, and a step writes one buffer pair into another with no
+    allocation on the hot path.
+
+    Per node the kernel picks the cheapest sound evaluation strategy at
+    {!create} time:
+
+    - {b direct table} — when [card^in_degree * (out_degree + 1)] fits the
+      word budget, the node's reaction is a lazily filled lookup table
+      indexed by the packed incoming-label code: a step is pure int loads;
+    - {b sparse memo} — when the table would be too large but the packed
+      incoming code still fits an [int], rows are memoized in a hashtable
+      keyed by incoming code (bounded; protocols revisit few codes);
+    - {b raw} — otherwise the reaction function is invoked on a reused
+      scratch buffer each time (no table, still no per-step copies).
+
+    All three strategies produce identical results; the differential suite
+    in [test_kernel.ml] pins the kernel to {!Engine.step},
+    {!Engine.run_until_stable} and {!Engine.settle} on randomized protocols,
+    inputs and schedules.
+
+    A kernel instance carries mutable scratch and is {b not} domain-safe:
+    create one kernel per domain (see {!Parrun}). *)
+
+type ('x, 'l) t
+
+(** [create p ~input] precomputes the evaluation strategy and tables.
+    [max_table_words] (default [2^22]) bounds the total size of all direct
+    tables; [max_memo_entries] (default [2^18]) bounds each sparse memo
+    (beyond it rows are recomputed instead of cached). Setting either to [0]
+    forces the next-cheaper strategy — the differential tests use this to
+    exercise every tier. *)
+val create :
+  ?max_table_words:int ->
+  ?max_memo_entries:int ->
+  ('x, 'l) Protocol.t ->
+  input:'x array ->
+  ('x, 'l) t
+
+val num_nodes : ('x, 'l) t -> int
+val num_edges : ('x, 'l) t -> int
+
+(** [decode_label t code] is the label with code [code] — a table lookup for
+    enumerable label spaces, so scenario probes (e.g. the D-counter's
+    agreement predicate) can read packed states without allocating. *)
+val decode_label : ('x, 'l) t -> int -> 'l
+
+(** [load t config ~labels ~outputs] encodes [config] into the caller's
+    buffers ([labels] of length [num_edges], [outputs] of length
+    [num_nodes]). *)
+val load :
+  ('x, 'l) t -> 'l Protocol.config -> labels:int array -> outputs:int array -> unit
+
+(** [store t ~labels ~outputs] decodes packed buffers back into a fresh
+    boxed configuration. *)
+val store :
+  ('x, 'l) t -> labels:int array -> outputs:int array -> 'l Protocol.config
+
+(** [step_into t ~src ~src_outputs ~dst ~dst_outputs ~active] applies one
+    global transition on packed buffers: every node of [active] reacts to
+    [src]; all other labels and outputs persist. [dst] must not alias [src].
+    Allocation-free for table/memo-resolved nodes. *)
+val step_into :
+  ('x, 'l) t ->
+  src:int array ->
+  src_outputs:int array ->
+  dst:int array ->
+  dst_outputs:int array ->
+  active:int list ->
+  unit
+
+(** [step t config ~active] is {!Engine.step} through the kernel — a
+    convenience for differential testing, not a hot path. *)
+val step :
+  ('x, 'l) t -> 'l Protocol.config -> active:int list -> 'l Protocol.config
+
+(** [run_into t ~labels ~outputs ~schedule ~steps] advances the packed state
+    in place by [steps] steps (double-buffered internally; the final state is
+    written back into the caller's buffers). *)
+val run_into :
+  ('x, 'l) t ->
+  labels:int array ->
+  outputs:int array ->
+  schedule:Schedule.t ->
+  steps:int ->
+  unit
+
+(** [run t ~init ~schedule ~steps] is {!Engine.run} through the kernel. *)
+val run :
+  ('x, 'l) t ->
+  init:'l Protocol.config ->
+  schedule:Schedule.t ->
+  steps:int ->
+  'l Protocol.config
+
+(** [run_until_stable t ~init ~schedule ~max_steps] reproduces
+    {!Engine.run_until_stable} exactly (same verdicts, rounds, cycle entry
+    points and configurations) on the packed representation. *)
+val run_until_stable :
+  ('x, 'l) t ->
+  init:'l Protocol.config ->
+  schedule:Schedule.t ->
+  max_steps:int ->
+  'l Engine.outcome
+
+(** [settle t ~init ~schedule ~max_steps] reproduces {!Engine.settle}
+    exactly: same [settle_time], [settled_outputs] and [horizon_config].
+    The replay that certification needs records only the per-step output
+    vectors (in a reused flat buffer), never whole configurations. *)
+val settle :
+  ('x, 'l) t ->
+  init:'l Protocol.config ->
+  schedule:Schedule.t ->
+  max_steps:int ->
+  'l Engine.settled option

@@ -1,0 +1,27 @@
+let chunk_bound n nchunks k = n * k / nchunks
+
+let run_chunk ~ctx n nchunks f k =
+  let lo = chunk_bound n nchunks k and hi = chunk_bound n nchunks (k + 1) in
+  let c = ctx () in
+  Array.init (hi - lo) (fun j -> f c (lo + j))
+
+let map ?(domains = 1) ~ctx n f =
+  if domains < 1 then invalid_arg "Parrun.map: domains must be >= 1";
+  if n < 0 then invalid_arg "Parrun.map: negative task count";
+  if n = 0 then [||]
+  else begin
+    let nchunks = min domains n in
+    if nchunks = 1 then begin
+      let c = ctx () in
+      Array.init n (fun i -> f c i)
+    end
+    else begin
+      let workers =
+        Array.init (nchunks - 1) (fun k ->
+            Domain.spawn (fun () -> run_chunk ~ctx n nchunks f (k + 1)))
+      in
+      let first = run_chunk ~ctx n nchunks f 0 in
+      let rest = Array.to_list (Array.map Domain.join workers) in
+      Array.concat (first :: rest)
+    end
+  end

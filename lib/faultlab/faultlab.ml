@@ -1,16 +1,22 @@
 module Protocol = Stateless_core.Protocol
 module Engine = Stateless_core.Engine
+module Kernel = Stateless_core.Kernel
+module Parrun = Stateless_core.Parrun
 module Schedule = Stateless_core.Schedule
 module Label = Stateless_core.Label
 module Fault = Stateless_core.Fault
 module Clique_example = Stateless_core.Clique_example
 module D_counter = Stateless_counter.D_counter
 module Feedback = Stateless_games.Feedback
+module Digraph = Stateless_graph.Digraph
+
+type recover_fn = fraction:float -> seed:int -> max_steps:int -> int option
 
 type scenario = {
   name : string;
   schedule_name : string;
-  recover : fraction:float -> seed:int -> max_steps:int -> int option;
+  fresh : unit -> recover_fn;
+  recover : recover_fn;
 }
 
 type fraction_stats = {
@@ -34,21 +40,37 @@ type campaign = {
 (* Scenarios                                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* Each scenario's [fresh] builds a measurement context — a packed
+   {!Kernel} plus its buffers — and returns a closure measuring one
+   corrupted run with it. Kernels hold domain-private scratch, so the
+   campaign runner calls [fresh] once per domain; [recover] is one such
+   instance for callers that measure single runs from one domain. *)
+
+let scenario name schedule_name fresh =
+  { name; schedule_name; fresh; recover = fresh () }
+
 let example1 ?(n = 4) () =
   let n = max 3 n in
   let p = Clique_example.make n in
   let input = Clique_example.input n in
   let init = Clique_example.oscillation_init p in
   let schedule = Schedule.synchronous n in
-  {
-    name = Printf.sprintf "example1_k%d" n;
-    schedule_name = schedule.Schedule.name;
-    recover =
-      (fun ~fraction ~seed ~max_steps ->
-        Option.map snd
-          (Fault.recovery_time p ~input ~init ~schedule ~seed ~fraction
-             ~max_steps));
-  }
+  let fresh () =
+    let kern = Kernel.create p ~input in
+    fun ~fraction ~seed ~max_steps ->
+      (* [Fault.recovery_time] through the kernel: certify the healthy
+         settle, corrupt its horizon configuration, re-settle. *)
+      match Kernel.settle kern ~init ~schedule ~max_steps with
+      | None -> None
+      | Some healthy -> (
+          let damaged =
+            Fault.corrupt p ~seed ~fraction healthy.Engine.horizon_config
+          in
+          match Kernel.settle kern ~init:damaged ~schedule ~max_steps with
+          | Some recovered -> Some recovered.Engine.settle_time
+          | None -> None)
+  in
+  scenario (Printf.sprintf "example1_k%d" n) schedule.Schedule.name fresh
 
 (* The D-counter's outputs tick forever, so recovery is re-locking: the
    first step from which [agreed] holds for [d] consecutive synchronous
@@ -65,27 +87,54 @@ let d_counter ?(n = 5) ?(d = 8) () =
   in
   let window = d in
   let everyone = List.init n Fun.id in
-  {
-    name = Printf.sprintf "d_counter_n%d_d%d" n d;
-    schedule_name = schedule.Schedule.name;
-    recover =
-      (fun ~fraction ~seed ~max_steps ->
-        let damaged = Fault.corrupt p ~seed ~fraction steady in
-        let config = ref damaged in
-        let run_len = ref 0 in
-        let found = ref None in
-        let s = ref 0 in
-        while !found = None && !s <= max_steps do
-          if D_counter.agreed t !config then begin
-            incr run_len;
-            if !run_len >= window then found := Some (!s - window + 1)
-          end
-          else run_len := 0;
-          config := Engine.step p ~input !config ~active:everyone;
-          incr s
-        done;
-        !found);
-  }
+  let m = Protocol.num_edges p in
+  (* [D_counter.agreed] reads the counter off each node's first outgoing
+     edge; precompute those edge ids so the packed loop can agree-check
+     label codes without materializing a configuration. *)
+  let first_out =
+    Array.init n (fun j -> (Digraph.out_edges p.Protocol.graph j).(0))
+  in
+  let fresh () =
+    let kern = Kernel.create p ~input in
+    let bufs = Array.init 2 (fun _ -> Array.make m 0) in
+    let obufs = Array.init 2 (fun _ -> Array.make n 0) in
+    let counter_at labels j =
+      let _, (_, _, c) = Kernel.decode_label kern labels.(first_out.(j)) in
+      c
+    in
+    let agreed labels =
+      let c0 = counter_at labels 0 in
+      let rec go j = j >= n || (counter_at labels j = c0 && go (j + 1)) in
+      go 1
+    in
+    fun ~fraction ~seed ~max_steps ->
+      let damaged = Fault.corrupt p ~seed ~fraction steady in
+      let cur = ref bufs.(0) and curo = ref obufs.(0) in
+      let nxt = ref bufs.(1) and nxto = ref obufs.(1) in
+      Kernel.load kern damaged ~labels:!cur ~outputs:!curo;
+      let run_len = ref 0 in
+      let found = ref None in
+      let s = ref 0 in
+      while !found = None && !s <= max_steps do
+        if agreed !cur then begin
+          incr run_len;
+          if !run_len >= window then found := Some (!s - window + 1)
+        end
+        else run_len := 0;
+        Kernel.step_into kern ~src:!cur ~src_outputs:!curo ~dst:!nxt
+          ~dst_outputs:!nxto ~active:everyone;
+        let tl = !cur and to_ = !curo in
+        cur := !nxt;
+        curo := !nxto;
+        nxt := tl;
+        nxto := to_;
+        incr s
+      done;
+      !found
+  in
+  scenario
+    (Printf.sprintf "d_counter_n%d_d%d" n d)
+    schedule.Schedule.name fresh
 
 (* The ring oscillator never output-stabilizes by design; recovery is the
    time until the corrupted run provably re-enters a periodic orbit (the
@@ -101,19 +150,16 @@ let ring_oscillator ?(n = 5) () =
       ~init:(Protocol.uniform_config p false)
       ~schedule ~steps:(4 * n)
   in
-  {
-    name = Printf.sprintf "ring_oscillator_%d" n;
-    schedule_name = schedule.Schedule.name;
-    recover =
-      (fun ~fraction ~seed ~max_steps ->
-        let damaged = Fault.corrupt p ~seed ~fraction steady in
-        match
-          Engine.run_until_stable p ~input ~init:damaged ~schedule ~max_steps
-        with
-        | Engine.Oscillating { entered; _ } -> Some entered
-        | Engine.Stabilized { rounds; _ } -> Some rounds
-        | Engine.Exhausted _ -> None);
-  }
+  let fresh () =
+    let kern = Kernel.create p ~input in
+    fun ~fraction ~seed ~max_steps ->
+      let damaged = Fault.corrupt p ~seed ~fraction steady in
+      match Kernel.run_until_stable kern ~init:damaged ~schedule ~max_steps with
+      | Engine.Oscillating { entered; _ } -> Some entered
+      | Engine.Stabilized { rounds; _ } -> Some rounds
+      | Engine.Exhausted _ -> None
+  in
+  scenario (Printf.sprintf "ring_oscillator_%d" n) schedule.Schedule.name fresh
 
 let default_scenarios () = [ example1 (); d_counter (); ring_oscillator () ]
 
@@ -141,13 +187,27 @@ let percentile sorted q =
     sorted.(max 0 (min (k - 1) rank))
 
 let run ?(fractions = default_fractions) ?(seeds = 30) ?(max_steps = 10_000)
-    sc =
+    ?(domains = 1) sc =
+  (* One flat fraction × seed grid through {!Parrun.map}: measurement
+     contexts are built once per domain, results come back in grid order,
+     and the aggregation below (integer sums, then sort) is insensitive to
+     which domain ran which seed — campaigns are identical for every
+     [domains] value. *)
+  let fracs = Array.of_list fractions in
+  let nf = Array.length fracs in
+  let results =
+    Parrun.map ~domains ~ctx:sc.fresh (nf * seeds) (fun recover idx ->
+        recover
+          ~fraction:fracs.(idx / seeds)
+          ~seed:((idx mod seeds) + 1)
+          ~max_steps)
+  in
   let stats =
-    List.map
-      (fun fraction ->
+    List.mapi
+      (fun fi fraction ->
         let times = ref [] and recovered = ref 0 in
-        for seed = 1 to seeds do
-          match sc.recover ~fraction ~seed ~max_steps with
+        for j = seeds - 1 downto 0 do
+          match results.((fi * seeds) + j) with
           | Some t ->
               incr recovered;
               times := t :: !times
@@ -157,8 +217,7 @@ let run ?(fractions = default_fractions) ?(seeds = 30) ?(max_steps = 10_000)
         Array.sort compare arr;
         let k = Array.length arr in
         let mean =
-          if k = 0 then 0.
-          else float (Array.fold_left ( + ) 0 arr) /. float k
+          if k = 0 then 0. else float (Array.fold_left ( + ) 0 arr) /. float k
         in
         {
           fraction;
@@ -178,6 +237,28 @@ let run ?(fractions = default_fractions) ?(seeds = 30) ?(max_steps = 10_000)
     stats;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    let status = Unix.close_process_in ic in
+    match status with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let host_json ~domains () =
+  Printf.sprintf
+    "{ \"ocaml\": %S, \"recommended_domains\": %d, \"domains\": %d, \
+     \"git_rev\": %S }"
+    Sys.ocaml_version
+    (Domain.recommended_domain_count ())
+    domains (git_rev ())
+
 let print_campaign oc c =
   Printf.fprintf oc "  %s (schedule: %s, %d runs per fraction)\n"
     c.scenario_name c.schedule c.runs_per_fraction;
@@ -189,8 +270,12 @@ let print_campaign oc c =
         s.recovered s.runs s.mean s.p50 s.p95 s.worst)
     c.stats
 
-let write_json oc campaigns =
-  Printf.fprintf oc "{\n  \"benchmark\": \"faults\",\n  \"campaigns\": [\n";
+let write_json ?host oc campaigns =
+  Printf.fprintf oc "{\n  \"benchmark\": \"faults\",\n";
+  (match host with
+  | Some h -> Printf.fprintf oc "  \"host\": %s,\n" h
+  | None -> ());
+  Printf.fprintf oc "  \"campaigns\": [\n";
   List.iteri
     (fun i c ->
       Printf.fprintf oc

@@ -7,14 +7,26 @@
     run; the per-protocol recovery notions differ because the paper's
     fixtures converge in different senses (output stabilization for
     Example 1, re-locking for the D-counter, re-entering the periodic orbit
-    for the ring oscillator). *)
+    for the ring oscillator).
+
+    Measurements run on the packed {!Stateless_core.Kernel}; campaigns fan
+    seeds out over domains through {!Stateless_core.Parrun} and aggregate in
+    seed order, so results are identical for every domain count. *)
+
+type recover_fn = fraction:float -> seed:int -> max_steps:int -> int option
+(** Steps until one corrupted run has provably recovered; [None] when it
+    did not within [max_steps]. *)
 
 type scenario = {
   name : string;
   schedule_name : string;
-  recover : fraction:float -> seed:int -> max_steps:int -> int option;
-      (** Steps until one corrupted run has provably recovered; [None] when
-          it did not within [max_steps]. *)
+  fresh : unit -> recover_fn;
+      (** Builds a measurement context (a packed kernel and its buffers)
+          private to the calling domain. The campaign runner calls this
+          once per domain. *)
+  recover : recover_fn;
+      (** One pre-built instance of [fresh ()], for callers measuring
+          single runs from a single domain. *)
 }
 
 type fraction_stats = {
@@ -35,7 +47,8 @@ type campaign = {
 }
 
 (** Example 1 on [K_n] (default [n = 4]) under the synchronous schedule;
-    recovery is output re-stabilization ({!Stateless_core.Fault.recovery_time}). *)
+    recovery is output re-stabilization (the
+    {!Stateless_core.Fault.recovery_time} measurement, run on the kernel). *)
 val example1 : ?n:int -> unit -> scenario
 
 (** The D-counter on an [n]-ring mod [d] (defaults [n = 5], [d = 8]):
@@ -62,12 +75,26 @@ val default_fractions : float list
 
 (** [run scenario] measures [seeds] corrupted runs (default 30) at each
     fraction (default {!default_fractions}) with the given step budget
-    (default 10_000) and aggregates. *)
+    (default 10_000) and aggregates. [domains] (default 1) spreads the
+    fraction × seed grid over that many domains, each with its own kernel;
+    the campaign is identical for every [domains] value. *)
 val run :
-  ?fractions:float list -> ?seeds:int -> ?max_steps:int -> scenario -> campaign
+  ?fractions:float list ->
+  ?seeds:int ->
+  ?max_steps:int ->
+  ?domains:int ->
+  scenario ->
+  campaign
+
+(** Provenance block shared by every [BENCH_*.json]: OCaml version,
+    [Domain.recommended_domain_count], the domain count used, and the git
+    revision (or ["unknown"] outside a checkout). Returned as a JSON object
+    string. *)
+val host_json : domains:int -> unit -> string
 
 (** ASCII table of one campaign. *)
 val print_campaign : out_channel -> campaign -> unit
 
-(** Machine-readable JSON for a list of campaigns ([BENCH_faults.json]). *)
-val write_json : out_channel -> campaign list -> unit
+(** Machine-readable JSON for a list of campaigns ([BENCH_faults.json]);
+    [host] is the {!host_json} provenance block. *)
+val write_json : ?host:string -> out_channel -> campaign list -> unit

@@ -374,6 +374,85 @@ let test_json_smoke () =
   check_bool "mentions fraction" true (contains "\"fraction\"")
 
 (* ------------------------------------------------------------------ *)
+(* Determinism across domains                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The acceptance contract of the domain-parallel runner: campaigns,
+   adversarial searches and worst-case-recovery sweeps must be identical —
+   down to witnesses — for every [~domains] value. *)
+
+let campaign_eq a b =
+  a.Faultlab.scenario_name = b.Faultlab.scenario_name
+  && a.Faultlab.schedule = b.Faultlab.schedule
+  && a.Faultlab.runs_per_fraction = b.Faultlab.runs_per_fraction
+  && a.Faultlab.stats = b.Faultlab.stats
+
+let test_campaign_identical_across_domains () =
+  List.iter
+    (fun sc ->
+      let base =
+        Faultlab.run ~fractions:[ 0.25; 1.0 ] ~seeds:6 ~max_steps:2000
+          ~domains:1 sc
+      in
+      List.iter
+        (fun domains ->
+          let par =
+            Faultlab.run ~fractions:[ 0.25; 1.0 ] ~seeds:6 ~max_steps:2000
+              ~domains sc
+          in
+          check_bool
+            (Printf.sprintf "%s identical at %d domains" sc.Faultlab.name
+               domains)
+            true (campaign_eq base par))
+        [ 2; 4 ])
+    [ Faultlab.example1 ~n:3 (); Faultlab.d_counter ~n:3 ~d:4 ();
+      Faultlab.ring_oscillator ~n:3 () ]
+
+let test_adversarial_identical_across_domains () =
+  let p = Clique_example.make 4 in
+  let input = Clique_example.input 4 in
+  let schedule = Schedule.synchronous 4 in
+  let config = Protocol.uniform_config p false in
+  let run domains =
+    Fault.adversarial_corruption ~domains p ~input ~schedule ~k:2
+      ~max_steps:200 config
+  in
+  let base = run 1 in
+  List.iter
+    (fun domains ->
+      let par = run domains in
+      check_bool
+        (Printf.sprintf "edges agree at %d domains" domains)
+        true
+        (base.Fault.adv_edges = par.Fault.adv_edges
+        && base.Fault.adv_codes = par.Fault.adv_codes
+        && base.Fault.adv_recovery = par.Fault.adv_recovery
+        && base.Fault.adv_exhaustive = par.Fault.adv_exhaustive))
+    [ 2; 4 ]
+
+let test_worst_case_identical_across_domains () =
+  let cases =
+    [
+      ("example1", (fun d -> Checker.worst_case_recovery ~domains:d example1_3 ~input:unit3 ~max_states:100));
+      ("oscillator",
+       (let p = Feedback.ring_oscillator 3 in
+        let input = Array.make 3 () in
+        fun d -> Checker.worst_case_recovery ~domains:d p ~input ~max_states:100));
+    ]
+  in
+  List.iter
+    (fun (name, run) ->
+      let base = run 1 in
+      List.iter
+        (fun domains ->
+          check_bool
+            (Printf.sprintf "%s verdict agrees at %d domains" name domains)
+            true
+            (base = run domains))
+        [ 2; 4; 7 ])
+    cases
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "stateless_faults"
@@ -428,5 +507,14 @@ let () =
             test_campaign_statistics_well_formed;
           Alcotest.test_case "scenarios by name" `Quick test_scenarios_by_name;
           Alcotest.test_case "json smoke" `Quick test_json_smoke;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "campaigns identical" `Quick
+            test_campaign_identical_across_domains;
+          Alcotest.test_case "adversarial identical" `Quick
+            test_adversarial_identical_across_domains;
+          Alcotest.test_case "worst-case identical" `Quick
+            test_worst_case_identical_across_domains;
         ] );
     ]

@@ -1,0 +1,339 @@
+(* Differential suite: the packed {!Kernel} against the boxed {!Engine} on
+   randomized protocols, inputs and schedules, for every evaluation tier
+   (direct table / sparse memo / raw scratch); plus {!Parrun} determinism
+   and the {!Engine.trace} double-buffering regression. *)
+
+module Protocol = Stateless_core.Protocol
+module Engine = Stateless_core.Engine
+module Kernel = Stateless_core.Kernel
+module Parrun = Stateless_core.Parrun
+module Schedule = Stateless_core.Schedule
+module Label = Stateless_core.Label
+module Fault = Stateless_core.Fault
+module Clique_example = Stateless_core.Clique_example
+module Builders = Stateless_graph.Builders
+module Digraph = Stateless_graph.Digraph
+
+(* ------------------------------------------------------------------ *)
+(* Random protocol generator                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A pure pseudo-random reaction: hash the node, its input and the exact
+   incoming label vector. Deterministic, but with no structure the kernel
+   could accidentally exploit. *)
+let random_protocol seed =
+  let st = Random.State.make [| 0x5ca1ab1e; seed |] in
+  let n = 2 + Random.State.int st 4 in
+  let extra = Random.State.int st 4 in
+  let g = Builders.random_strongly_connected ~seed:((seed * 7) + 1) n ~extra in
+  let card = 2 + Random.State.int st 3 in
+  let space = Label.int card in
+  let react i x incoming =
+    let h = Hashtbl.hash (x, i, Array.to_list incoming) in
+    let d = Digraph.out_degree g i in
+    ( Array.init d (fun k -> (h + (k * 7919) + (h lsr (k land 15))) mod card),
+      h mod 5 )
+  in
+  let p =
+    { Protocol.name = Printf.sprintf "rand%d" seed; graph = g; space; react }
+  in
+  let input = Array.init n (fun _ -> Random.State.int st 3) in
+  (p, input, st)
+
+let random_config p st =
+  let m = Protocol.num_edges p and n = Protocol.num_nodes p in
+  let card = p.Protocol.space.Label.card in
+  {
+    Protocol.labels = Array.init m (fun _ -> Random.State.int st card);
+    outputs = Array.init n (fun _ -> Random.State.int st 5);
+  }
+
+let random_active n st =
+  List.filter (fun _ -> Random.State.bool st) (List.init n Fun.id)
+
+let schedules_for seed n =
+  [
+    Schedule.synchronous n;
+    Schedule.round_robin n;
+    Schedule.random_fair ~seed:(seed + 11) ~r:2 n;
+  ]
+
+(* All three kernel tiers for one protocol: the table/memo/raw choice must
+   be observably invisible. *)
+let kernels p ~input =
+  [
+    ("table", Kernel.create p ~input);
+    ("memo", Kernel.create ~max_table_words:0 p ~input);
+    ("raw", Kernel.create ~max_table_words:0 ~max_memo_entries:0 p ~input);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Equality of results                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let config_eq p a b =
+  String.equal (Protocol.config_key p a) (Protocol.config_key p b)
+  && a.Protocol.outputs = b.Protocol.outputs
+
+let outcome_eq p a b =
+  match (a, b) with
+  | ( Engine.Stabilized { rounds = r1; config = c1 },
+      Engine.Stabilized { rounds = r2; config = c2 } ) ->
+      r1 = r2 && config_eq p c1 c2
+  | ( Engine.Oscillating { entered = e1; period = q1 },
+      Engine.Oscillating { entered = e2; period = q2 } ) ->
+      e1 = e2 && q1 = q2
+  | Engine.Exhausted c1, Engine.Exhausted c2 -> config_eq p c1 c2
+  | _ -> false
+
+let settled_eq p a b =
+  match (a, b) with
+  | None, None -> true
+  | Some s1, Some s2 ->
+      s1.Engine.settle_time = s2.Engine.settle_time
+      && s1.Engine.settled_outputs = s2.Engine.settled_outputs
+      && config_eq p s1.Engine.horizon_config s2.Engine.horizon_config
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Differential tests                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let trials = 30
+
+let test_step_differential () =
+  for seed = 1 to trials do
+    let p, input, st = random_protocol seed in
+    let n = Protocol.num_nodes p in
+    let ks = kernels p ~input in
+    for _ = 1 to 5 do
+      let config = random_config p st in
+      let active = random_active n st in
+      let expect = Engine.step p ~input config ~active in
+      List.iter
+        (fun (tier, k) ->
+          let got = Kernel.step k config ~active in
+          if not (config_eq p expect got) then
+            Alcotest.failf "step mismatch (seed %d, tier %s)" seed tier)
+        ks
+    done
+  done
+
+let test_run_differential () =
+  for seed = 1 to trials do
+    let p, input, st = random_protocol seed in
+    let n = Protocol.num_nodes p in
+    let ks = kernels p ~input in
+    List.iter
+      (fun schedule ->
+        let init = random_config p st in
+        let steps = 1 + Random.State.int st 40 in
+        let expect = Engine.run p ~input ~init ~schedule ~steps in
+        List.iter
+          (fun (tier, k) ->
+            let got = Kernel.run k ~init ~schedule ~steps in
+            if not (config_eq p expect got) then
+              Alcotest.failf "run mismatch (seed %d, tier %s, %s)" seed tier
+                schedule.Schedule.name)
+          ks)
+      (schedules_for seed n)
+  done
+
+let test_run_until_stable_differential () =
+  for seed = 1 to trials do
+    let p, input, st = random_protocol seed in
+    let n = Protocol.num_nodes p in
+    let ks = kernels p ~input in
+    List.iter
+      (fun schedule ->
+        let init = random_config p st in
+        let max_steps = 60 in
+        let expect = Engine.run_until_stable p ~input ~init ~schedule ~max_steps in
+        List.iter
+          (fun (tier, k) ->
+            let got = Kernel.run_until_stable k ~init ~schedule ~max_steps in
+            if not (outcome_eq p expect got) then
+              Alcotest.failf "run_until_stable mismatch (seed %d, tier %s, %s)"
+                seed tier schedule.Schedule.name)
+          ks)
+      (schedules_for seed n)
+  done
+
+let test_settle_differential () =
+  for seed = 1 to trials do
+    let p, input, st = random_protocol seed in
+    let n = Protocol.num_nodes p in
+    let ks = kernels p ~input in
+    List.iter
+      (fun schedule ->
+        let init = random_config p st in
+        let max_steps = 80 in
+        let expect = Engine.settle p ~input ~init ~schedule ~max_steps in
+        List.iter
+          (fun (tier, k) ->
+            let got = Kernel.settle k ~init ~schedule ~max_steps in
+            if not (settled_eq p expect got) then
+              Alcotest.failf "settle mismatch (seed %d, tier %s, %s)" seed tier
+                schedule.Schedule.name)
+          ks)
+      (schedules_for seed n)
+  done
+
+(* A kernel instance is reused across many runs in campaigns; make sure
+   state from one run cannot leak into the next. *)
+let test_kernel_reuse () =
+  let p, input, st = random_protocol 77 in
+  let n = Protocol.num_nodes p in
+  let k = Kernel.create p ~input in
+  let schedule = Schedule.synchronous n in
+  let init = random_config p st in
+  let first = Kernel.settle k ~init ~schedule ~max_steps:80 in
+  for _ = 1 to 3 do
+    let other = random_config p st in
+    ignore (Kernel.run_until_stable k ~init:other ~schedule ~max_steps:40)
+  done;
+  let again = Kernel.settle k ~init ~schedule ~max_steps:80 in
+  Alcotest.(check bool) "settle is reproducible on a reused kernel" true
+    (settled_eq p first again)
+
+let test_load_store_roundtrip () =
+  let p, input, st = random_protocol 3 in
+  let k = Kernel.create p ~input in
+  let config = random_config p st in
+  let labels = Array.make (Protocol.num_edges p) 0 in
+  let outputs = Array.make (Protocol.num_nodes p) 0 in
+  Kernel.load k config ~labels ~outputs;
+  let back = Kernel.store k ~labels ~outputs in
+  Alcotest.(check bool) "load/store round-trips" true (config_eq p config back);
+  Alcotest.check_raises "load rejects wrong sizes"
+    (Invalid_argument "Kernel.load: buffer sizes must match the protocol")
+    (fun () -> Kernel.load k config ~labels:[| 0 |] ~outputs)
+
+(* ------------------------------------------------------------------ *)
+(* Engine.trace regression                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The double-buffered [trace] must produce exactly the snapshots the
+   step-by-step loop did (the previous implementation). *)
+let naive_trace p ~input ~init ~schedule ~steps =
+  let rec loop t config acc =
+    if t >= steps then List.rev (config :: acc)
+    else
+      let next = Engine.step p ~input config ~active:(schedule.Schedule.active t) in
+      loop (t + 1) next (config :: acc)
+  in
+  loop 0 init []
+
+let test_trace_regression () =
+  for seed = 1 to 10 do
+    let p, input, st = random_protocol seed in
+    let n = Protocol.num_nodes p in
+    List.iter
+      (fun schedule ->
+        let init = random_config p st in
+        List.iter
+          (fun steps ->
+            let expect = naive_trace p ~input ~init ~schedule ~steps in
+            let got = Engine.trace p ~input ~init ~schedule ~steps in
+            if
+              not
+                (List.length expect = List.length got
+                && List.for_all2 (config_eq p) expect got)
+            then
+              Alcotest.failf "trace mismatch (seed %d, %s, %d steps)" seed
+                schedule.Schedule.name steps)
+          [ 0; 1; 7; 23 ])
+      (schedules_for seed n)
+  done
+
+let test_trace_snapshots_independent () =
+  let n = 4 in
+  let p = Clique_example.make n in
+  let input = Clique_example.input n in
+  let init = Clique_example.oscillation_init p in
+  let schedule = Clique_example.oscillation_schedule n in
+  let tr = Engine.trace p ~input ~init ~schedule ~steps:6 in
+  let keys = List.map (Protocol.config_key p) tr in
+  (* Mutating one snapshot must not affect the others (no shared buffers). *)
+  List.iter
+    (fun c -> c.Protocol.labels.(0) <- not c.Protocol.labels.(0))
+    [ List.nth tr 2 ];
+  let keys' =
+    List.mapi (fun i c -> if i = 2 then List.nth keys 2 else Protocol.config_key p c) tr
+  in
+  Alcotest.(check (list string)) "other snapshots unaffected" keys keys'
+
+(* ------------------------------------------------------------------ *)
+(* Parrun                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parrun_identical_across_domains () =
+  let f _ i = (i * i) + 7 in
+  let expect = Parrun.map ~domains:1 ~ctx:(fun () -> ()) 23 f in
+  List.iter
+    (fun domains ->
+      let got = Parrun.map ~domains ~ctx:(fun () -> ()) 23 f in
+      Alcotest.(check (array int))
+        (Printf.sprintf "domains=%d" domains)
+        expect got)
+    [ 2; 3; 4; 8; 40 ]
+
+let test_parrun_ctx_per_chunk () =
+  (* Each chunk gets a private context; with enough work per chunk the
+     counter restarts from zero [min domains n] times. *)
+  let domains = 4 and n = 12 in
+  let results =
+    Parrun.map ~domains ~ctx:(fun () -> ref 0) n (fun c i ->
+        incr c;
+        (i, !c))
+  in
+  Array.iteri
+    (fun i (j, _) -> Alcotest.(check int) "index order" i j)
+    results;
+  let restarts =
+    Array.to_list results
+    |> List.filter (fun (_, c) -> c = 1)
+    |> List.length
+  in
+  Alcotest.(check int) "one fresh context per chunk" domains restarts
+
+let test_parrun_edge_cases () =
+  Alcotest.(check (array int)) "empty" [||]
+    (Parrun.map ~domains:4 ~ctx:(fun () -> ()) 0 (fun _ i -> i));
+  Alcotest.(check (array int)) "more domains than tasks" [| 0; 1 |]
+    (Parrun.map ~domains:8 ~ctx:(fun () -> ()) 2 (fun _ i -> i));
+  Alcotest.check_raises "rejects domains < 1"
+    (Invalid_argument "Parrun.map: domains must be >= 1") (fun () ->
+      ignore (Parrun.map ~domains:0 ~ctx:(fun () -> ()) 3 (fun _ i -> i)))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "stateless_kernel"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "step" `Quick test_step_differential;
+          Alcotest.test_case "run" `Quick test_run_differential;
+          Alcotest.test_case "run_until_stable" `Quick
+            test_run_until_stable_differential;
+          Alcotest.test_case "settle" `Quick test_settle_differential;
+          Alcotest.test_case "kernel reuse" `Quick test_kernel_reuse;
+          Alcotest.test_case "load/store" `Quick test_load_store_roundtrip;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "matches step-by-step" `Quick
+            test_trace_regression;
+          Alcotest.test_case "snapshots independent" `Quick
+            test_trace_snapshots_independent;
+        ] );
+      ( "parrun",
+        [
+          Alcotest.test_case "identical across domains" `Quick
+            test_parrun_identical_across_domains;
+          Alcotest.test_case "context per chunk" `Quick
+            test_parrun_ctx_per_chunk;
+          Alcotest.test_case "edge cases" `Quick test_parrun_edge_cases;
+        ] );
+    ]
