@@ -13,6 +13,8 @@ module Bp = Stateless_bp.Bp
 module Snake = Stateless_snake.Snake
 module Checker = Stateless_checker.Checker
 module Faultlab = Stateless_faultlab.Faultlab
+module Netlab = Stateless_netlab.Netlab
+module Netcheck = Stateless_netlab.Netcheck
 module Machine = Stateless_machine.Machine
 open Stateless_core
 
@@ -289,6 +291,72 @@ let run_fault_bench () =
   Printf.printf "  [wrote BENCH_faults.json]\n"
 
 (* ------------------------------------------------------------------ *)
+(* Adversarial-channel campaign — machine-readable BENCH_netlab.json   *)
+(* ------------------------------------------------------------------ *)
+
+let run_netlab_bench () =
+  Printf.printf "\n%s\n" (String.make 78 '=');
+  Printf.printf
+    "Adversarial-channel campaign (degradation & recovery vs fault level)\n";
+  Printf.printf "%s\n" (String.make 78 '-');
+  let seeds = if smoke then 4 else 25
+  and storm = if smoke then 80 else 400
+  and max_steps = if smoke then 2_000 else 10_000 in
+  let budget = { Netlab.k = 4; window = 8 } in
+  let campaigns =
+    List.map
+      (Netlab.run ~seeds ~storm ~max_steps ~domains:1 ~budget)
+      (Netlab.default_scenarios ())
+  in
+  List.iter (Netlab.print_campaign stdout) campaigns;
+  (* Exhaustive bounded-adversary certification on the instances small
+     enough to enumerate: the clique flips at k = 1, the copy ring keeps
+     its outputs for any single-edge rewrite per window. *)
+  let cert instance p input ~r ~k ~window =
+    let verdict_name = function
+      | Netcheck.Stabilizing -> "stabilizing"
+      | Netcheck.Oscillating _ -> "oscillating"
+      | Netcheck.Too_large _ -> "too_large"
+    in
+    let v = Netcheck.check_output p ~input ~r ~k ~window ~max_states:2_000_000 in
+    let states, edges =
+      match Netcheck.last_stats () with
+      | Some s -> (s.Netcheck.states, s.Netcheck.edges)
+      | None -> (0, 0)
+    in
+    Printf.printf "  certify %-22s r=%d k=%d w=%d -> %-11s (%d states)\n"
+      instance r k window (verdict_name v) states;
+    Printf.sprintf
+      "{ \"instance\": %S, \"mode\": \"output\", \"r\": %d, \"k\": %d, \
+       \"window\": %d, \"verdict\": %S, \"states\": %d, \"edges\": %d }"
+      instance r k window (verdict_name v) states edges
+  in
+  let k3 = Stateless_core.Clique_example.make 3 in
+  let k3_input = Array.make 3 () in
+  let copy : (unit, bool) Protocol.t =
+    {
+      Protocol.name = "copy_ring_3";
+      graph = Builders.ring_uni 3;
+      space = Label.bool;
+      react = (fun _ () incoming -> ([| incoming.(0) |], 0));
+    }
+  in
+  let copy_input = Array.make 3 () in
+  let certification =
+    [
+      cert "clique_k3" k3 k3_input ~r:1 ~k:0 ~window:1;
+      cert "clique_k3" k3 k3_input ~r:1 ~k:1 ~window:1;
+      cert "copy_ring_3" copy copy_input ~r:1 ~k:1 ~window:1;
+    ]
+  in
+  let oc = open_out "BENCH_netlab.json" in
+  Netlab.write_json
+    ~host:(Faultlab.host_json ~domains:1 ())
+    ~certification oc campaigns;
+  close_out oc;
+  Printf.printf "  [wrote BENCH_netlab.json]\n"
+
+(* ------------------------------------------------------------------ *)
 (* Engine benchmark — machine-readable BENCH_engine.json               *)
 (* ------------------------------------------------------------------ *)
 
@@ -451,6 +519,10 @@ let () =
     run_engine_bench ();
     exit 0
   end;
+  if Array.exists (String.equal "--netlab-bench-only") Sys.argv then begin
+    run_netlab_bench ();
+    exit 0
+  end;
   print_endline "Stateless Computation — experiment harness";
   print_endline "(Dolev, Erdmann, Lutz, Schapira, Zair; PODC 2017)";
   List.iter
@@ -470,5 +542,6 @@ let () =
   run_micro_benchmarks ();
   run_checker_bench ();
   run_fault_bench ();
+  run_netlab_bench ();
   run_engine_bench ();
   Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -7,7 +7,9 @@
      compile   — compile a circuit family member onto a ring (Theorem 5.4)
      counter   — run the stateless D-counter (Claim 5.6)
      spp       — run a Stable Paths Problem gadget (BGP motivation)
-     faults    — corrupt steady states and measure recovery (Section 2.2) *)
+     faults    — corrupt steady states and measure recovery (Section 2.2)
+     netlab    — adversarial channel campaigns and bounded-adversary
+                 certification *)
 
 open Cmdliner
 open Stateless_core
@@ -15,9 +17,12 @@ module Checker = Stateless_checker.Checker
 module Circuit = Stateless_circuit.Circuit
 module Compile = Stateless_compile.Compile
 module D_counter = Stateless_counter.D_counter
+module Two_counter = Stateless_counter.Two_counter
 module Snake = Stateless_snake.Snake
 module Spp = Stateless_games.Spp
 module Faultlab = Stateless_faultlab.Faultlab
+module Netlab = Stateless_netlab.Netlab
+module Netcheck = Stateless_netlab.Netcheck
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -409,6 +414,36 @@ let hunt_cmd =
 (* faults                                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Rates and counts are validated at the Cmdliner layer so malformed flags
+   are usage errors, not backtraces. *)
+let fraction_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when f >= 0.0 && f <= 1.0 -> Ok f
+    | Some f ->
+        Error (`Msg (Printf.sprintf "corruption fraction %g not in [0, 1]" f))
+    | None -> Error (`Msg (Printf.sprintf "invalid fraction %S" s))
+  in
+  Arg.conv ~docv:"FRACTION" (parse, Format.pp_print_float)
+
+let pos_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some k when k > 0 -> Ok k
+    | Some k -> Error (`Msg (Printf.sprintf "%d is not a positive integer" k))
+    | None -> Error (`Msg (Printf.sprintf "invalid integer %S" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let nonneg_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some k when k >= 0 -> Ok k
+    | Some k -> Error (`Msg (Printf.sprintf "%d is negative" k))
+    | None -> Error (`Msg (Printf.sprintf "invalid integer %S" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
 let faults_cmd =
   let scenario_arg =
     let doc =
@@ -427,18 +462,6 @@ let faults_cmd =
           `All
       & info [ "p"; "scenario" ] ~doc)
   in
-  let fraction_conv =
-    let parse s =
-      match float_of_string_opt s with
-      | Some f when f >= 0.0 && f <= 1.0 -> Ok f
-      | Some f ->
-          Error
-            (`Msg
-              (Printf.sprintf "corruption fraction %g not in [0, 1]" f))
-      | None -> Error (`Msg (Printf.sprintf "invalid fraction %S" s))
-    in
-    Arg.conv ~docv:"FRACTION" (parse, Format.pp_print_float)
-  in
   let fractions_arg =
     let doc =
       "Comma-separated corruption fractions, each in [0, 1]."
@@ -447,15 +470,6 @@ let faults_cmd =
       value
       & opt (list fraction_conv) Faultlab.default_fractions
       & info [ "fractions" ] ~doc ~docv:"F1,F2,...")
-  in
-  let pos_int_conv =
-    let parse s =
-      match int_of_string_opt s with
-      | Some k when k > 0 -> Ok k
-      | Some k -> Error (`Msg (Printf.sprintf "%d is not a positive integer" k))
-      | None -> Error (`Msg (Printf.sprintf "invalid integer %S" s))
-    in
-    Arg.conv ~docv:"N" (parse, Format.pp_print_int)
   in
   let runs_arg =
     let doc = "Independent corruption runs (seeds) per fraction." in
@@ -513,14 +527,145 @@ let faults_cmd =
       $ domains_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
+(* netlab                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let netlab_cmd =
+  let scenario_arg =
+    let doc =
+      "Scenario: 'example1' (output degradation on the clique), 'counter' \
+       (D-counter losing lock), or 'all'."
+    in
+    Arg.(
+      value
+      & opt
+          (enum [ ("all", `All); ("example1", `Example1); ("counter", `Counter) ])
+          `All
+      & info [ "p"; "scenario" ] ~doc)
+  in
+  let rate name key =
+    let doc = Printf.sprintf "Per-write/per-step %s probability in [0, 1]." name in
+    Arg.(value & opt (some fraction_conv) None & info [ key ] ~doc ~docv:"F")
+  in
+  let loss_arg = rate "loss" "loss" in
+  let delay_arg = rate "delay" "delay" in
+  let dup_arg = rate "duplication (stale reread)" "dup" in
+  let crash_arg = rate "crash" "crash" in
+  let max_delay_arg =
+    let doc = "Delayed writes land within $(docv) steps." in
+    Arg.(value & opt pos_int_conv 4 & info [ "max-delay" ] ~doc ~docv:"D")
+  in
+  let crash_len_arg =
+    let doc = "A crashed node stays silent for $(docv) steps." in
+    Arg.(value & opt pos_int_conv 2 & info [ "crash-len" ] ~doc ~docv:"L")
+  in
+  let budget_arg =
+    let doc = "Adversary fault budget per window (0 disables all faults)." in
+    Arg.(value & opt nonneg_int_conv 4 & info [ "k"; "budget" ] ~doc ~docv:"K")
+  in
+  let window_arg =
+    let doc = "Budget recharge window, in steps." in
+    Arg.(value & opt pos_int_conv 8 & info [ "window" ] ~doc ~docv:"W")
+  in
+  let runs_arg =
+    let doc = "Independent storms (seeds) per fault level." in
+    Arg.(value & opt pos_int_conv 20 & info [ "runs"; "seeds" ] ~doc ~docv:"N")
+  in
+  let storm_arg =
+    let doc = "Length of the fault storm, in steps." in
+    Arg.(value & opt pos_int_conv 400 & info [ "storm" ] ~doc ~docv:"S")
+  in
+  let max_steps_arg =
+    let doc = "Give up on post-storm recovery after $(docv) steps." in
+    Arg.(
+      value
+      & opt pos_int_conv 10_000
+      & info [ "max-steps"; "steps" ] ~doc ~docv:"K")
+  in
+  let domains_arg =
+    let doc =
+      "Spread runs across $(docv) domains. Results are bit-identical for \
+       every value; only wall time changes."
+    in
+    Arg.(value & opt pos_int_conv 1 & info [ "domains" ] ~doc ~docv:"D")
+  in
+  let out_arg =
+    let doc = "Also write the campaign as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc ~docv:"FILE")
+  in
+  let run scenario loss delay dup crash max_delay crash_len k window runs storm
+      max_steps domains out =
+    let budget = { Netlab.k; window } in
+    (* Any explicit rate flag selects a single custom level; otherwise run
+       the default rising loss/delay sweep. *)
+    let levels =
+      match (loss, delay, dup, crash) with
+      | None, None, None, None -> Netlab.default_levels
+      | _ ->
+          let get = Option.value ~default:0.0 in
+          [
+            Netlab.rates ~loss:(get loss) ~delay:(get delay) ~max_delay
+              ~dup:(get dup) ~crash:(get crash) ~crash_len ();
+          ]
+    in
+    let scenarios =
+      match scenario with
+      | `All -> Netlab.default_scenarios ()
+      | `Example1 -> [ Netlab.example1 () ]
+      | `Counter -> [ Netlab.d_counter () ]
+    in
+    let campaigns =
+      List.map
+        (Netlab.run ~levels ~seeds:runs ~storm ~max_steps ~domains ~budget)
+        scenarios
+    in
+    List.iter (Netlab.print_campaign stdout) campaigns;
+    match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Netlab.write_json ~host:(Faultlab.host_json ~domains ()) oc campaigns;
+        close_out oc;
+        Printf.printf "  [wrote %s]\n" path
+  in
+  let info =
+    Cmd.info "netlab"
+      ~doc:
+        "Run protocols over adversarial channels (loss, delay, duplication, \
+         crash-recover nodes) and measure output degradation and recovery"
+  in
+  Cmd.v info
+    Term.(
+      const run $ scenario_arg $ loss_arg $ delay_arg $ dup_arg $ crash_arg
+      $ max_delay_arg $ crash_len_arg $ budget_arg $ window_arg $ runs_arg
+      $ storm_arg $ max_steps_arg $ domains_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let info =
     Cmd.info "stateless" ~version:"1.0.0"
       ~doc:"Stateless computation: simulation, verification, compilation"
   in
+  (* Calibration and step-bound exceptions indicate a miscalibrated
+     instance, not a crash: report them cleanly instead of a backtrace. *)
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [ simulate_cmd; check_cmd; snake_cmd; compile_cmd; counter_cmd;
-            spp_cmd; hunt_cmd; faults_cmd ]))
+    (try
+       Cmd.eval
+         (Cmd.group info
+            [
+              simulate_cmd; check_cmd; snake_cmd; compile_cmd; counter_cmd;
+              spp_cmd; hunt_cmd; faults_cmd; netlab_cmd;
+            ])
+     with
+    | Snake.Step_bound_exhausted { reduction; d; max_steps } ->
+        Printf.eprintf
+          "stateless: %s reduction failed to settle for d = %d within %d \
+           steps\n"
+          reduction d max_steps;
+        125
+    | Two_counter.Calibration_failed { n; stage } ->
+        Printf.eprintf
+          "stateless: two-counter calibration failed at stage %s for n = %d\n"
+          stage n;
+        125)

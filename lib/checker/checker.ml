@@ -387,8 +387,8 @@ let explore ?(domains = 1) p ~input ~r ~max_states =
         done;
         (* Flush the fused loop's batched memo counters. *)
         let c0 = caches.(0) in
-        c0.Trans_cache.hits <- Trans_cache.hits c0 + !hits;
-        c0.Trans_cache.misses <- Trans_cache.misses c0 + !misses;
+        Trans_cache.add_hits c0 !hits;
+        Trans_cache.add_misses c0 !misses;
         last_stats_ref :=
           Some
             {

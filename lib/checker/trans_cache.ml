@@ -185,3 +185,5 @@ let output t ~lab_code ~node =
 
 let hits t = t.hits
 let misses t = t.misses
+let add_hits t k = t.hits <- t.hits + k
+let add_misses t k = t.misses <- t.misses + k

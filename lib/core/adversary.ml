@@ -42,28 +42,45 @@ let decode_init p codes =
   Protocol.config_of_labels p
     (Array.map p.Protocol.space.Label.decode codes)
 
-let find_oscillation p ~input ~r ~attempts ~period ~seed ~max_steps =
+(* One sample: attempt [k] derives its own RNG from [(seed, k)], so samples
+   are independent of evaluation order — the parallel fan-out below and the
+   sequential early-exit loop draw identical (schedule, labeling) pairs. *)
+let try_attempt p ~input ~r ~period ~seed ~max_steps n m card k =
+  let state = Random.State.make [| seed; k |] in
+  let schedule =
+    random_periodic_fair ~seed:(Random.State.bits state) ~r ~period n
+  in
+  let codes = Array.init m (fun _ -> Random.State.int state card) in
+  match
+    Engine.run_until_stable p ~input ~init:(decode_init p codes) ~schedule
+      ~max_steps
+  with
+  | Engine.Oscillating { entered; period } ->
+      Some { init = codes; schedule; entered; period }
+  | Engine.Stabilized _ | Engine.Exhausted _ -> None
+
+let find_oscillation ?(domains = 1) p ~input ~r ~attempts ~period ~seed
+    ~max_steps =
   let n = Protocol.num_nodes p in
   let m = Protocol.num_edges p in
   let card = p.Protocol.space.Label.card in
-  let state = Random.State.make [| seed |] in
-  let rec attempt k =
-    if k >= attempts then None
-    else begin
-      let schedule =
-        random_periodic_fair ~seed:(Random.State.bits state) ~r ~period n
-      in
-      let codes = Array.init m (fun _ -> Random.State.int state card) in
-      match
-        Engine.run_until_stable p ~input ~init:(decode_init p codes)
-          ~schedule ~max_steps
-      with
-      | Engine.Oscillating { entered; period } ->
-          Some { init = codes; schedule; entered; period }
-      | Engine.Stabilized _ | Engine.Exhausted _ -> attempt (k + 1)
-    end
-  in
-  attempt 0
+  let sample = try_attempt p ~input ~r ~period ~seed ~max_steps n m card in
+  if domains <= 1 then begin
+    (* Sequential path: stop at the first success. Because attempts are
+       independently seeded, this is the same witness the parallel path
+       returns. *)
+    let rec attempt k =
+      if k >= attempts then None
+      else match sample k with Some w -> Some w | None -> attempt (k + 1)
+    in
+    attempt 0
+  end
+  else begin
+    let results = Parrun.map ~domains ~ctx:(fun () -> ()) attempts (fun () k -> sample k) in
+    Array.fold_left
+      (fun acc w -> match acc with Some _ -> acc | None -> w)
+      None results
+  end
 
 let verify p ~input w =
   match

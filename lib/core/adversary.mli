@@ -19,8 +19,15 @@ type witness = {
 (** [find_oscillation p ~input ~r ~attempts ~period ~seed ~max_steps]
     samples [attempts] (labeling, schedule) pairs; schedules have the given
     period (in steps) and are r-fair by construction: each step activates a
-    random subset plus every node whose deadline would otherwise expire. *)
+    random subset plus every node whose deadline would otherwise expire.
+
+    Attempt [k] is seeded from [(seed, k)], so samples are independent of
+    evaluation order: [domains] (default 1) spreads attempts over that many
+    OCaml domains through {!Parrun}, and the returned witness — the success
+    with the smallest attempt index — is identical for every [domains]
+    value ([domains = 1] additionally stops at the first success). *)
 val find_oscillation :
+  ?domains:int ->
   ('x, 'l) Protocol.t ->
   input:'x array ->
   r:int ->

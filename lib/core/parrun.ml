@@ -1,3 +1,11 @@
+let env_domains () =
+  match Sys.getenv_opt "PARRUN_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> Some d
+      | Some _ | None -> None)
+
 let chunk_bound n nchunks k = n * k / nchunks
 
 let run_chunk ~ctx n nchunks f k =

@@ -17,3 +17,10 @@
     runs on the calling domain while the rest run on spawned domains. *)
 
 val map : ?domains:int -> ctx:(unit -> 'c) -> int -> ('c -> int -> 'a) -> 'a array
+
+(** The domain count requested through the [PARRUN_DOMAINS] environment
+    variable, when set to a positive integer ([None] otherwise — unset,
+    malformed, or non-positive). Tests and CI use it to widen the domain
+    counts they exercise; since results are bit-identical for every
+    [domains] value, honoring it can never change what a caller computes. *)
+val env_domains : unit -> int option

@@ -11,6 +11,8 @@ type t = {
   correction : bool array;
 }
 
+exception Calibration_failed of { n : int; stage : string }
+
 (* Paper notation: our node j is the paper's node j+1; the negation pattern
    "paper-even middle nodes negate b2" becomes "our odd middle nodes". *)
 let bits n j ~ccw ~cw =
@@ -71,7 +73,7 @@ let make n =
   let base = snd (emitted_bits protocol config 0) in
   let base_next = snd (emitted_bits protocol next 0) in
   if Bool.equal base base_next then
-    failwith "Two_counter.make: reference run did not alternate";
+    raise (Calibration_failed { n; stage = "reference run did not alternate" });
   let correction =
     Array.init n (fun j -> snd (emitted_bits protocol config j) <> base)
   in
@@ -79,7 +81,9 @@ let make n =
   Array.iteri
     (fun j c ->
       if (snd (emitted_bits protocol next j) <> c) <> base_next then
-        failwith "Two_counter.make: calibration inconsistent")
+        raise
+          (Calibration_failed
+             { n; stage = Printf.sprintf "node %d inconsistent one step later" j }))
     correction;
   { n; protocol; correction }
 

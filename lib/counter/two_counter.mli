@@ -20,7 +20,15 @@ type t = private {
   correction : bool array;  (** per-node phase inversion. *)
 }
 
-(** [make n] — [n] must be odd and >= 3. *)
+(** Raised when the construction-time calibration run contradicts the
+    claim it relies on (the reference run's [b2] stream must alternate, and
+    every node's inversion must stay consistent one step later). Reaching
+    it means the reaction table is wrong for this [n], not that the caller
+    misused the API; [stage] says which check failed. *)
+exception Calibration_failed of { n : int; stage : string }
+
+(** [make n] — [n] must be odd and >= 3.
+    @raise Calibration_failed when the reference run contradicts Claim 5.5. *)
 val make : int -> t
 
 (** The pure reaction on counter bits: [bits n j ~ccw ~cw] is the label node

@@ -1,0 +1,77 @@
+(** Exhaustive r-stabilization certification under a budgeted label
+    adversary.
+
+    Augments the plain checker's states-graph (labeling x fairness
+    countdown) with the adversary's remaining fault budget and position in
+    the recharge window: between protocol steps the adversary may rewrite
+    one edge to one arbitrary label, at most [k] times per window of
+    [window] steps (the budget recharges when the window wraps).
+
+    Divergence is {e protocol} divergence: adversarial rewrites never
+    count as label changes, so [Stabilizing] means every admissible
+    schedule x fault pattern reaches a point after which the protocol
+    never changes a label (resp. output) again, and [Oscillating] carries
+    a finite witness — an initial labeling plus a lasso of (activation
+    set, optional fault) steps — that {!replay} re-verifies on the boxed
+    engine.
+
+    With [k = 0] the budget dimensions collapse and the graph coincides
+    with the plain checker's, so verdicts agree with
+    {!Stateless_checker.Checker} by construction (asserted differentially
+    in [test_netlab.ml]). *)
+
+(** One adversarial rewrite: edge [edge] is set to the label with code
+    [code] immediately after the step's protocol reactions land. *)
+type fault = { edge : int; code : int }
+
+(** One step of a witness run: activate [active], then apply [fault]. *)
+type step = { active : int list; fault : fault option }
+
+type witness = {
+  init_code : int;  (** encoded initial labeling (mixed radix) *)
+  prefix : step list;  (** from the initial labeling to the cycle *)
+  cycle : step list;  (** returns to its starting labeling *)
+}
+
+type verdict =
+  | Stabilizing
+  | Oscillating of witness
+  | Too_large of { needed : int }
+      (** the augmented graph needs [needed] states; raise [max_states] *)
+
+type stats = { states : int; edges : int }
+
+(** Size of the last explored graph ([None] before any exploration or
+    after a [Too_large]). *)
+val last_stats : unit -> stats option
+
+(** [check_label p ~input ~r ~k ~window ~max_states] decides label
+    r-stabilization under at most [k] single-edge rewrites per [window]
+    steps, exhaustively over all initial labelings and r-fair schedules.
+    @raise Invalid_argument when [r < 1], [k < 0], [window < 1], or the
+    protocol has more than 20 nodes. *)
+val check_label :
+  ('x, 'l) Stateless_core.Protocol.t ->
+  input:'x array ->
+  r:int ->
+  k:int ->
+  window:int ->
+  max_states:int ->
+  verdict
+
+(** Output-stabilization analogue: some node can be made to emit two
+    distinct outputs infinitely often. *)
+val check_output :
+  ('x, 'l) Stateless_core.Protocol.t ->
+  input:'x array ->
+  r:int ->
+  k:int ->
+  window:int ->
+  max_states:int ->
+  verdict
+
+(** [replay p ~input w] re-runs the witness on {!Stateless_core.Engine}
+    — protocol step, then the step's rewrite — and confirms the cycle
+    returns to its starting labeling while the protocol changes a label
+    or some node emits two distinct outputs within it. *)
+val replay : ('x, 'l) Stateless_core.Protocol.t -> input:'x array -> witness -> bool

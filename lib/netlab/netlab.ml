@@ -1,0 +1,793 @@
+(* Adversarial channel layer over the execution engines.
+
+   The paper's model assumes perfectly reliable edges: the label a node
+   writes is the label its successor reads next. This module relaxes that
+   assumption with four per-edge/per-node fault processes — loss, bounded
+   delay, duplication (stale reread) and crash-recover nodes — driven by a
+   deterministic seeded adversary that may take at most [k] fault actions
+   per window of [window] steps.
+
+   One step of a channel-aware run, in order (both steppers follow this
+   exactly, with identical RNG draw sequences):
+
+     1. window boundary: at steps t ≡ 0 (mod window) the budget recharges;
+     2. wakes: nodes whose silence expires relabel their out-edges with
+        adversarially drawn labels, visible immediately;
+     3. the protocol step: the scheduled, non-silent nodes react to the
+        visible configuration (exactly {!Engine.step_into} /
+        {!Kernel.step_into});
+     4. write faults: each label-changing write of an active node is,
+        budget permitting, lost (the reader keeps seeing the stale label)
+        or delayed 1..max_delay steps through a per-edge FIFO;
+     5. deliveries: queued writes whose due step arrived become visible
+        (a delayed write can clobber a fresher one: stale delivery);
+     6. duplication: the adversary may revert one edge to the previous
+        label it carried (the reader re-reads an old value);
+     7. crash: the adversary may silence one node for crash_len steps; a
+        silent node neither reacts nor updates its output, and on waking
+        its out-edges are adversarially relabeled (step 2).
+
+   With budget k = 0 the adversary can never act: no RNG draw occurs, the
+   FIFOs stay empty, and steps 3 is the whole story — the channel steppers
+   are bit-identical to the fault-free engines, which the differential
+   tests in test_netlab.ml pin down.
+
+   The boxed stepper ({!Boxed}) runs on boxed configurations through
+   {!Engine.step_into}; the packed stepper ({!Packed}) on int label codes
+   through {!Kernel.step_into}. Both draw the same decisions from the same
+   seed, so they are differential twins at every budget, not only at 0. *)
+
+module Protocol = Stateless_core.Protocol
+module Engine = Stateless_core.Engine
+module Kernel = Stateless_core.Kernel
+module Schedule = Stateless_core.Schedule
+module Label = Stateless_core.Label
+module Parrun = Stateless_core.Parrun
+module Clique_example = Stateless_core.Clique_example
+module D_counter = Stateless_counter.D_counter
+module Digraph = Stateless_graph.Digraph
+
+(* ------------------------------------------------------------------ *)
+(* Fault processes and the budgeted adversary                          *)
+(* ------------------------------------------------------------------ *)
+
+type rates = {
+  loss : float;
+  delay : float;
+  max_delay : int;
+  dup : float;
+  crash : float;
+  crash_len : int;
+}
+
+let check_rates r =
+  let frac name v =
+    if not (v >= 0.0 && v <= 1.0) then
+      invalid_arg (Printf.sprintf "Netlab: %s rate %g not in [0, 1]" name v)
+  in
+  frac "loss" r.loss;
+  frac "delay" r.delay;
+  frac "dup" r.dup;
+  frac "crash" r.crash;
+  if r.loss +. r.delay > 1.0 then
+    invalid_arg "Netlab: loss + delay must not exceed 1 (one draw decides both)";
+  if r.max_delay < 1 then invalid_arg "Netlab: max_delay must be >= 1";
+  if r.crash_len < 1 then invalid_arg "Netlab: crash_len must be >= 1"
+
+let rates ?(loss = 0.0) ?(delay = 0.0) ?(max_delay = 4) ?(dup = 0.0)
+    ?(crash = 0.0) ?(crash_len = 2) () =
+  let r = { loss; delay; max_delay; dup; crash; crash_len } in
+  check_rates r;
+  r
+
+type budget = { k : int; window : int }
+
+let check_budget b =
+  if b.k < 0 then invalid_arg "Netlab: budget k must be >= 0";
+  if b.window < 1 then invalid_arg "Netlab: budget window must be >= 1"
+
+(* The decision engine shared by both steppers. All randomness lives here
+   and in the wake relabeling; decisions are drawn in a fixed order per
+   step, and a draw happens only when the remaining budget is positive —
+   so a zero budget consumes no randomness at all, and both steppers
+   consume identical draw sequences at every budget. *)
+type adv = {
+  rng : Random.State.t;
+  rates : rates;
+  budget : budget;
+  mutable remaining : int;
+  mutable injected : int;
+}
+
+type write_action = Deliver | Lose | Delay of int
+
+let adv_make ~rates ~budget ~seed =
+  check_rates rates;
+  check_budget budget;
+  {
+    rng = Random.State.make [| seed |];
+    rates;
+    budget;
+    remaining = 0;
+    injected = 0;
+  }
+
+let adv_begin_step a ~t = if t mod a.budget.window = 0 then a.remaining <- a.budget.k
+
+let spend a =
+  a.remaining <- a.remaining - 1;
+  a.injected <- a.injected + 1
+
+let adv_on_write a =
+  if a.remaining = 0 then Deliver
+  else
+    let u = Random.State.float a.rng 1.0 in
+    if u < a.rates.loss then begin
+      spend a;
+      Lose
+    end
+    else if u < a.rates.loss +. a.rates.delay then begin
+      spend a;
+      Delay (1 + Random.State.int a.rng a.rates.max_delay)
+    end
+    else Deliver
+
+let adv_fires a rate =
+  a.remaining > 0
+  &&
+  let u = Random.State.float a.rng 1.0 in
+  if u < rate then begin
+    spend a;
+    true
+  end
+  else false
+
+(* ------------------------------------------------------------------ *)
+(* Packed channel stepper (over Kernel)                                *)
+(* ------------------------------------------------------------------ *)
+
+module Packed = struct
+  type ('x, 'l) t = {
+    kern : ('x, 'l) Kernel.t;
+    schedule : Schedule.t;
+    adv : adv;
+    n : int;
+    m : int;
+    card : int;
+    out_edges : int array array;
+    mutable src : int array;
+    mutable dst : int array;
+    mutable src_o : int array;
+    mutable dst_o : int array;
+    stale : int array;  (* per edge: the previous visible label code *)
+    silent : int array;  (* per node: steps of silence left (0 = alive) *)
+    cap : int;  (* per-edge FIFO capacity: max_delay pending writes *)
+    fifo_code : int array;  (* m * cap, slots e*cap .. e*cap+len-1 *)
+    fifo_due : int array;
+    fifo_len : int array;
+    mutable step_count : int;
+  }
+
+  let create ?kernel p ~input ~rates ~budget ~schedule ~seed ~init =
+    let n = Protocol.num_nodes p in
+    let m = Protocol.num_edges p in
+    let kern =
+      match kernel with Some k -> k | None -> Kernel.create p ~input
+    in
+    let src = Array.make m 0 and dst = Array.make m 0 in
+    let src_o = Array.make n 0 and dst_o = Array.make n 0 in
+    Kernel.load kern init ~labels:src ~outputs:src_o;
+    let cap = rates.max_delay in
+    {
+      kern;
+      schedule;
+      adv = adv_make ~rates ~budget ~seed;
+      n;
+      m;
+      card = p.Protocol.space.Label.card;
+      out_edges = Array.init n (Digraph.out_edges p.Protocol.graph);
+      src;
+      dst;
+      src_o;
+      dst_o;
+      stale = Array.copy src;
+      silent = Array.make n 0;
+      cap;
+      fifo_code = Array.make (m * cap) 0;
+      fifo_due = Array.make (m * cap) 0;
+      fifo_len = Array.make m 0;
+      step_count = 0;
+    }
+
+  let enqueue ch e code due =
+    let l = ch.fifo_len.(e) in
+    (* At most one write per edge per step and every entry is due within
+       max_delay steps, so the FIFO cannot overflow; the guard is belt and
+       braces. *)
+    if l < ch.cap then begin
+      ch.fifo_code.((e * ch.cap) + l) <- code;
+      ch.fifo_due.((e * ch.cap) + l) <- due;
+      ch.fifo_len.(e) <- l + 1
+    end
+
+  (* Make every queued write with [due <= t] visible, in enqueue order,
+     compacting the rest. *)
+  let deliver_due ch t =
+    for e = 0 to ch.m - 1 do
+      let l = ch.fifo_len.(e) in
+      if l > 0 then begin
+        let base = e * ch.cap in
+        let kept = ref 0 in
+        for j = 0 to l - 1 do
+          if ch.fifo_due.(base + j) <= t then begin
+            let c = ch.fifo_code.(base + j) in
+            if c <> ch.dst.(e) then begin
+              ch.stale.(e) <- ch.dst.(e);
+              ch.dst.(e) <- c
+            end
+          end
+          else begin
+            ch.fifo_code.(base + !kept) <- ch.fifo_code.(base + j);
+            ch.fifo_due.(base + !kept) <- ch.fifo_due.(base + j);
+            incr kept
+          end
+        done;
+        ch.fifo_len.(e) <- !kept
+      end
+    done
+
+  let step ch =
+    let t = ch.step_count in
+    let a = ch.adv in
+    adv_begin_step a ~t;
+    (* Wakes: silence expires before the step; a waking node's out-edges
+       are adversarially relabeled and it participates this step. *)
+    for i = 0 to ch.n - 1 do
+      if ch.silent.(i) > 0 then begin
+        ch.silent.(i) <- ch.silent.(i) - 1;
+        if ch.silent.(i) = 0 then
+          Array.iter
+            (fun e ->
+              let c = Random.State.int a.rng ch.card in
+              if c <> ch.src.(e) then begin
+                ch.stale.(e) <- ch.src.(e);
+                ch.src.(e) <- c
+              end)
+            ch.out_edges.(i)
+      end
+    done;
+    let active = ch.schedule.Schedule.active t in
+    let alive =
+      if Array.exists (fun s -> s > 0) ch.silent then
+        List.filter (fun i -> ch.silent.(i) = 0) active
+      else active
+    in
+    Kernel.step_into ch.kern ~src:ch.src ~src_outputs:ch.src_o ~dst:ch.dst
+      ~dst_outputs:ch.dst_o ~active:alive;
+    (* Write faults on this step's label-changing writes. *)
+    List.iter
+      (fun i ->
+        Array.iter
+          (fun e ->
+            if ch.dst.(e) <> ch.src.(e) then
+              match adv_on_write a with
+              | Deliver -> ch.stale.(e) <- ch.src.(e)
+              | Lose -> ch.dst.(e) <- ch.src.(e)
+              | Delay d ->
+                  enqueue ch e ch.dst.(e) (t + d);
+                  ch.dst.(e) <- ch.src.(e))
+          ch.out_edges.(i))
+      alive;
+    deliver_due ch t;
+    if adv_fires a a.rates.dup then begin
+      let e = Random.State.int a.rng ch.m in
+      if ch.stale.(e) <> ch.dst.(e) then begin
+        let old = ch.dst.(e) in
+        ch.dst.(e) <- ch.stale.(e);
+        ch.stale.(e) <- old
+      end
+    end;
+    if adv_fires a a.rates.crash then begin
+      let i = Random.State.int a.rng ch.n in
+      (* crash_len + 1 because silence is decremented at step start: the
+         node misses exactly crash_len activations, then wakes. *)
+      if ch.silent.(i) = 0 then ch.silent.(i) <- a.rates.crash_len + 1
+    end;
+    let tl = ch.src and tlo = ch.src_o in
+    ch.src <- ch.dst;
+    ch.src_o <- ch.dst_o;
+    ch.dst <- tl;
+    ch.dst_o <- tlo;
+    ch.step_count <- t + 1
+
+  let run ch ~steps =
+    for _ = 1 to steps do
+      step ch
+    done
+
+  let labels ch = ch.src
+  let outputs ch = ch.src_o
+  let steps_done ch = ch.step_count
+  let faults_injected ch = ch.adv.injected
+  let config ch = Kernel.store ch.kern ~labels:ch.src ~outputs:ch.src_o
+
+  (* End-of-storm cleanup: pending deliveries are dropped (lost with the
+     storm) and silent nodes wake in place, without the adversarial
+     relabel — their out-edges keep whatever the channel last showed. *)
+  let flush ch =
+    Array.fill ch.fifo_len 0 ch.m 0;
+    Array.fill ch.silent 0 ch.n 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Boxed channel stepper (over Engine)                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Boxed = struct
+  type ('x, 'l) t = {
+    p : ('x, 'l) Protocol.t;
+    input : 'x array;
+    schedule : Schedule.t;
+    adv : adv;
+    n : int;
+    m : int;
+    card : int;
+    encode : 'l -> int;
+    decode : int -> 'l;
+    out_edges : int array array;
+    mutable src : 'l Protocol.config;
+    mutable dst : 'l Protocol.config;
+    stale : 'l array;
+    silent : int array;
+    cap : int;
+    fifo_lab : 'l array;
+    fifo_due : int array;
+    fifo_len : int array;
+    mutable step_count : int;
+  }
+
+  let create p ~input ~rates ~budget ~schedule ~seed ~init =
+    let n = Protocol.num_nodes p in
+    let m = Protocol.num_edges p in
+    let space = p.Protocol.space in
+    let copy (c : 'l Protocol.config) =
+      {
+        Protocol.labels = Array.copy c.Protocol.labels;
+        outputs = Array.copy c.Protocol.outputs;
+      }
+    in
+    let cap = rates.max_delay in
+    {
+      p;
+      input;
+      schedule;
+      adv = adv_make ~rates ~budget ~seed;
+      n;
+      m;
+      card = space.Label.card;
+      encode = space.Label.encode;
+      decode = space.Label.decode;
+      out_edges = Array.init n (Digraph.out_edges p.Protocol.graph);
+      src = copy init;
+      dst = copy init;
+      stale = Array.copy init.Protocol.labels;
+      silent = Array.make n 0;
+      cap;
+      fifo_lab = Array.make (m * cap) init.Protocol.labels.(0);
+      fifo_due = Array.make (m * cap) 0;
+      fifo_len = Array.make m 0;
+      step_count = 0;
+    }
+
+  let enqueue ch e lab due =
+    let l = ch.fifo_len.(e) in
+    if l < ch.cap then begin
+      ch.fifo_lab.((e * ch.cap) + l) <- lab;
+      ch.fifo_due.((e * ch.cap) + l) <- due;
+      ch.fifo_len.(e) <- l + 1
+    end
+
+  let deliver_due ch t =
+    let dst = ch.dst.Protocol.labels in
+    for e = 0 to ch.m - 1 do
+      let l = ch.fifo_len.(e) in
+      if l > 0 then begin
+        let base = e * ch.cap in
+        let kept = ref 0 in
+        for j = 0 to l - 1 do
+          if ch.fifo_due.(base + j) <= t then begin
+            let c = ch.fifo_lab.(base + j) in
+            if ch.encode c <> ch.encode dst.(e) then begin
+              ch.stale.(e) <- dst.(e);
+              dst.(e) <- c
+            end
+          end
+          else begin
+            ch.fifo_lab.(base + !kept) <- ch.fifo_lab.(base + j);
+            ch.fifo_due.(base + !kept) <- ch.fifo_due.(base + j);
+            incr kept
+          end
+        done;
+        ch.fifo_len.(e) <- !kept
+      end
+    done
+
+  let step ch =
+    let t = ch.step_count in
+    let a = ch.adv in
+    let src = ch.src.Protocol.labels in
+    adv_begin_step a ~t;
+    for i = 0 to ch.n - 1 do
+      if ch.silent.(i) > 0 then begin
+        ch.silent.(i) <- ch.silent.(i) - 1;
+        if ch.silent.(i) = 0 then
+          Array.iter
+            (fun e ->
+              let c = Random.State.int a.rng ch.card in
+              if c <> ch.encode src.(e) then begin
+                ch.stale.(e) <- src.(e);
+                src.(e) <- ch.decode c
+              end)
+            ch.out_edges.(i)
+      end
+    done;
+    let active = ch.schedule.Schedule.active t in
+    let alive =
+      if Array.exists (fun s -> s > 0) ch.silent then
+        List.filter (fun i -> ch.silent.(i) = 0) active
+      else active
+    in
+    Engine.step_into ch.p ~input:ch.input ch.src ~active:alive ~into:ch.dst;
+    let dst = ch.dst.Protocol.labels in
+    List.iter
+      (fun i ->
+        Array.iter
+          (fun e ->
+            if ch.encode dst.(e) <> ch.encode src.(e) then
+              match adv_on_write a with
+              | Deliver -> ch.stale.(e) <- src.(e)
+              | Lose -> dst.(e) <- src.(e)
+              | Delay d ->
+                  enqueue ch e dst.(e) (t + d);
+                  dst.(e) <- src.(e))
+          ch.out_edges.(i))
+      alive;
+    deliver_due ch t;
+    if adv_fires a a.rates.dup then begin
+      let e = Random.State.int a.rng ch.m in
+      if ch.encode ch.stale.(e) <> ch.encode dst.(e) then begin
+        let old = dst.(e) in
+        dst.(e) <- ch.stale.(e);
+        ch.stale.(e) <- old
+      end
+    end;
+    if adv_fires a a.rates.crash then begin
+      let i = Random.State.int a.rng ch.n in
+      if ch.silent.(i) = 0 then ch.silent.(i) <- a.rates.crash_len + 1
+    end;
+    let tl = ch.src in
+    ch.src <- ch.dst;
+    ch.dst <- tl;
+    ch.step_count <- t + 1
+
+  let run ch ~steps =
+    for _ = 1 to steps do
+      step ch
+    done
+
+  let steps_done ch = ch.step_count
+  let faults_injected ch = ch.adv.injected
+
+  let config ch =
+    {
+      Protocol.labels = Array.copy ch.src.Protocol.labels;
+      outputs = Array.copy ch.src.Protocol.outputs;
+    }
+
+  let flush ch =
+    Array.fill ch.fifo_len 0 ch.m 0;
+    Array.fill ch.silent 0 ch.n 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Campaign: degradation during a fault storm, recovery after it       *)
+(* ------------------------------------------------------------------ *)
+
+type run_result = { degraded_steps : int; recovery : int option }
+
+type measure_fn =
+  rates:rates ->
+  budget:budget ->
+  storm:int ->
+  seed:int ->
+  max_steps:int ->
+  run_result
+
+type scenario = {
+  name : string;
+  schedule_name : string;
+  fresh : unit -> measure_fn;
+}
+
+(* Example 1 on K_n: the reference is the healthy run's settled outputs;
+   a storm step is degraded when the visible outputs differ from them, and
+   recovery is the post-storm output settle time. *)
+let example1 ?(n = 4) () =
+  let n = max 3 n in
+  let p = Clique_example.make n in
+  let input = Clique_example.input n in
+  let init = Clique_example.oscillation_init p in
+  let schedule = Schedule.synchronous n in
+  let fresh () =
+    let kern = Kernel.create p ~input in
+    let healthy =
+      match Kernel.settle kern ~init ~schedule ~max_steps:10_000 with
+      | Some h -> h
+      | None ->
+          invalid_arg "Netlab.example1: healthy run did not settle"
+    in
+    let reference = healthy.Engine.settled_outputs in
+    let steady = healthy.Engine.horizon_config in
+    fun ~rates ~budget ~storm ~seed ~max_steps ->
+      let ch =
+        Packed.create ~kernel:kern p ~input ~rates ~budget ~schedule ~seed
+          ~init:steady
+      in
+      let degraded = ref 0 in
+      for _ = 1 to storm do
+        Packed.step ch;
+        let outs = Packed.outputs ch in
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          if outs.(i) <> reference.(i) then ok := false
+        done;
+        if not !ok then incr degraded
+      done;
+      Packed.flush ch;
+      let post = Packed.config ch in
+      let recovery =
+        match Kernel.settle kern ~init:post ~schedule ~max_steps with
+        | Some s -> Some s.Engine.settle_time
+        | None -> None
+      in
+      { degraded_steps = !degraded; recovery }
+  in
+  { name = Printf.sprintf "example1_k%d" n; schedule_name = schedule.Schedule.name; fresh }
+
+(* The D-counter: a storm step is degraded when the per-node counters
+   disagree; recovery is re-locking — the first post-storm step from which
+   the counters agree for d consecutive synchronous steps. *)
+let d_counter ?(n = 5) ?(d = 8) () =
+  let t = D_counter.make ~n ~d () in
+  let p = D_counter.protocol t in
+  let input = D_counter.input t in
+  let schedule = Schedule.synchronous n in
+  let steady =
+    Engine.run p ~input
+      ~init:(Protocol.uniform_config p (p.Protocol.space.Label.decode 0))
+      ~schedule ~steps:(D_counter.burn_in t)
+  in
+  let m = Protocol.num_edges p in
+  let first_out =
+    Array.init n (fun j -> (Digraph.out_edges p.Protocol.graph j).(0))
+  in
+  let fresh () =
+    let kern = Kernel.create p ~input in
+    let counter_at labels j =
+      let _, (_, _, c) = Kernel.decode_label kern labels.(first_out.(j)) in
+      c
+    in
+    let agreed labels =
+      let c0 = counter_at labels 0 in
+      let rec go j = j >= n || (counter_at labels j = c0 && go (j + 1)) in
+      go 1
+    in
+    let bufs = Array.init 2 (fun _ -> Array.make m 0) in
+    let obufs = Array.init 2 (fun _ -> Array.make n 0) in
+    let everyone = List.init n Fun.id in
+    fun ~rates ~budget ~storm ~seed ~max_steps ->
+      let ch =
+        Packed.create ~kernel:kern p ~input ~rates ~budget ~schedule ~seed
+          ~init:steady
+      in
+      let degraded = ref 0 in
+      for _ = 1 to storm do
+        Packed.step ch;
+        if not (agreed (Packed.labels ch)) then incr degraded
+      done;
+      Packed.flush ch;
+      let post = Packed.config ch in
+      (* Re-lock loop, as in Faultlab's d_counter scenario. *)
+      let cur = ref bufs.(0) and curo = ref obufs.(0) in
+      let nxt = ref bufs.(1) and nxto = ref obufs.(1) in
+      Kernel.load kern post ~labels:!cur ~outputs:!curo;
+      let run_len = ref 0 in
+      let found = ref None in
+      let s = ref 0 in
+      while !found = None && !s <= max_steps do
+        if agreed !cur then begin
+          incr run_len;
+          if !run_len >= d then found := Some (!s - d + 1)
+        end
+        else run_len := 0;
+        Kernel.step_into kern ~src:!cur ~src_outputs:!curo ~dst:!nxt
+          ~dst_outputs:!nxto ~active:everyone;
+        let tl = !cur and to_ = !curo in
+        cur := !nxt;
+        curo := !nxto;
+        nxt := tl;
+        nxto := to_;
+        incr s
+      done;
+      { degraded_steps = !degraded; recovery = !found }
+  in
+  {
+    name = Printf.sprintf "d_counter_n%d_d%d" n d;
+    schedule_name = schedule.Schedule.name;
+    fresh;
+  }
+
+let default_scenarios () = [ example1 (); d_counter () ]
+let scenario_names = [ "example1"; "counter" ]
+
+let scenario_by_name ?n name =
+  match name with
+  | "example1" -> Some (example1 ?n ())
+  | "counter" -> Some (d_counter ?n ())
+  | _ -> None
+
+type level_stats = {
+  level : rates;
+  runs : int;
+  recovered : int;
+  mean_recovery : float;
+  p50 : int;
+  p95 : int;
+  worst : int;
+  mean_degraded : float;  (* mean fraction of storm steps degraded *)
+}
+
+type campaign = {
+  scenario_name : string;
+  schedule : string;
+  budget_k : int;
+  budget_window : int;
+  storm : int;
+  runs_per_level : int;
+  levels : level_stats list;
+}
+
+(* Loss and delay rising together, with proportional duplication and a
+   light crash process — the "curves as rates rise" sweep. *)
+let default_levels =
+  List.map
+    (fun (l, d) ->
+      rates ~loss:l ~delay:d ~max_delay:4 ~dup:(l /. 2.) ~crash:(d /. 4.)
+        ~crash_len:2 ())
+    [ (0.0, 0.0); (0.05, 0.05); (0.15, 0.10); (0.30, 0.20); (0.50, 0.30) ]
+
+let percentile sorted q =
+  let k = Array.length sorted in
+  if k = 0 then 0
+  else
+    let rank = int_of_float (ceil (q *. float k)) - 1 in
+    sorted.(max 0 (min (k - 1) rank))
+
+let run ?(levels = default_levels) ?(seeds = 20) ?(storm = 400)
+    ?(max_steps = 10_000) ?(domains = 1) ~budget sc =
+  check_budget budget;
+  List.iter check_rates levels;
+  (* One flat level × seed grid through Parrun.map: contexts are built once
+     per domain, results return in grid order, and aggregation is a fold
+     over that order — campaigns are identical for every [domains]. *)
+  let lv = Array.of_list levels in
+  let nl = Array.length lv in
+  let results =
+    Parrun.map ~domains ~ctx:sc.fresh (nl * seeds) (fun measure idx ->
+        measure ~rates:lv.(idx / seeds) ~budget ~storm
+          ~seed:((idx mod seeds) + 1)
+          ~max_steps)
+  in
+  let levels =
+    List.mapi
+      (fun li level ->
+        let times = ref [] and recovered = ref 0 and degr = ref 0 in
+        for j = seeds - 1 downto 0 do
+          let r = results.((li * seeds) + j) in
+          degr := !degr + r.degraded_steps;
+          match r.recovery with
+          | Some t ->
+              incr recovered;
+              times := t :: !times
+          | None -> ()
+        done;
+        let arr = Array.of_list !times in
+        Array.sort compare arr;
+        let cnt = Array.length arr in
+        let mean =
+          if cnt = 0 then 0.
+          else float (Array.fold_left ( + ) 0 arr) /. float cnt
+        in
+        {
+          level;
+          runs = seeds;
+          recovered = !recovered;
+          mean_recovery = mean;
+          p50 = percentile arr 0.5;
+          p95 = percentile arr 0.95;
+          worst = (if cnt = 0 then 0 else arr.(cnt - 1));
+          mean_degraded = float !degr /. float (seeds * max 1 storm);
+        })
+      (Array.to_list lv)
+  in
+  {
+    scenario_name = sc.name;
+    schedule = sc.schedule_name;
+    budget_k = budget.k;
+    budget_window = budget.window;
+    storm;
+    runs_per_level = seeds;
+    levels;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let print_campaign oc c =
+  Printf.fprintf oc
+    "  %s (schedule: %s, budget %d per %d-step window, storm %d, %d runs \
+     per level)\n"
+    c.scenario_name c.schedule c.budget_k c.budget_window c.storm
+    c.runs_per_level;
+  Printf.fprintf oc "    %6s %6s %5s %6s %10s %10s %6s %6s %6s %8s\n" "loss"
+    "delay" "dup" "crash" "recovered" "mean" "p50" "p95" "worst" "degr";
+  List.iter
+    (fun s ->
+      Printf.fprintf oc
+        "    %6.2f %6.2f %5.2f %6.2f %7d/%-2d %10.2f %6d %6d %6d %7.1f%%\n"
+        s.level.loss s.level.delay s.level.dup s.level.crash s.recovered
+        s.runs s.mean_recovery s.p50 s.p95 s.worst (100. *. s.mean_degraded))
+    c.levels
+
+let write_json ?host ?(certification = []) oc campaigns =
+  Printf.fprintf oc "{\n  \"benchmark\": \"netlab\",\n";
+  (match host with
+  | Some h -> Printf.fprintf oc "  \"host\": %s,\n" h
+  | None -> ());
+  if certification <> [] then begin
+    Printf.fprintf oc "  \"certification\": [\n";
+    List.iteri
+      (fun i row ->
+        Printf.fprintf oc "    %s%s\n" row
+          (if i = List.length certification - 1 then "" else ","))
+      certification;
+    Printf.fprintf oc "  ],\n"
+  end;
+  Printf.fprintf oc "  \"campaigns\": [\n";
+  List.iteri
+    (fun i c ->
+      Printf.fprintf oc
+        "    { \"scenario\": %S, \"schedule\": %S, \"budget_k\": %d, \
+         \"budget_window\": %d, \"storm_steps\": %d, \"runs_per_level\": \
+         %d,\n\
+        \      \"levels\": [\n"
+        c.scenario_name c.schedule c.budget_k c.budget_window c.storm
+        c.runs_per_level;
+      List.iteri
+        (fun j s ->
+          Printf.fprintf oc
+            "        { \"loss\": %.3f, \"delay\": %.3f, \"dup\": %.3f, \
+             \"crash\": %.3f, \"max_delay\": %d, \"crash_len\": %d, \
+             \"runs\": %d, \"recovered\": %d, \"mean_recovery_steps\": \
+             %.3f, \"p50_steps\": %d, \"p95_steps\": %d, \"worst_steps\": \
+             %d, \"mean_degraded_fraction\": %.4f }%s\n"
+            s.level.loss s.level.delay s.level.dup s.level.crash
+            s.level.max_delay s.level.crash_len s.runs s.recovered
+            s.mean_recovery s.p50 s.p95 s.worst s.mean_degraded
+            (if j = List.length c.levels - 1 then "" else ","))
+        c.levels;
+      Printf.fprintf oc "      ] }%s\n"
+        (if i = List.length campaigns - 1 then "" else ","))
+    campaigns;
+  Printf.fprintf oc "  ]\n}\n"

@@ -5,6 +5,9 @@ module Schedule = Stateless_core.Schedule
 module Digraph = Stateless_graph.Digraph
 module Builders = Stateless_graph.Builders
 
+exception
+  Step_bound_exhausted of { reduction : string; d : int; max_steps : int }
+
 let neighbors d v = List.init d (fun b -> v lxor (1 lsl b))
 
 let adjacent v w =
@@ -227,15 +230,17 @@ module Eq_reduction = struct
 
   let oscillates_from t init =
     let n = t.d + 2 in
+    let max_steps = 16 * (1 lsl t.d) * n in
     match
       Engine.run_until_stable t.protocol ~input:(input t) ~init
-        ~schedule:(Schedule.synchronous n)
-        ~max_steps:(16 * (1 lsl t.d) * n)
+        ~schedule:(Schedule.synchronous n) ~max_steps
     with
     | Engine.Oscillating _ -> true
     | Engine.Stabilized _ -> false
     | Engine.Exhausted _ ->
-        failwith "Eq_reduction: no verdict within the step bound"
+        raise
+          (Step_bound_exhausted
+             { reduction = "Eq_reduction"; d = t.d; max_steps })
 
   let synchronously_oscillates t = oscillates_from t (snake_init t)
 
@@ -319,14 +324,17 @@ module Disj_reduction = struct
           if i <= 1 then true else (sk lsr (i - 2)) land 1 = 1)
     in
     let init = uniform_init t.protocol per_node in
+    let max_steps = 64 * Array.length t.snake * (t.q + 2) in
     match
       Engine.run_until_stable t.protocol ~input:(input t) ~init ~schedule
-        ~max_steps:(64 * Array.length t.snake * (t.q + 2))
+        ~max_steps
     with
     | Engine.Oscillating _ -> true
     | Engine.Stabilized _ -> false
     | Engine.Exhausted _ ->
-        failwith "Disj_reduction: no verdict within the step bound"
+        raise
+          (Step_bound_exhausted
+             { reduction = "Disj_reduction"; d = t.d; max_steps })
 
   let oscillates t =
     let rec loop k = k < t.q && (oscillates_at t k || loop (k + 1)) in

@@ -9,6 +9,14 @@
 
     Vertices are [d]-bit integers. *)
 
+(** Raised by the reduction oscillation probes below when the engine reaches
+    no verdict within their step bound — which, for these synchronous (and
+    block-periodic) schedules, would indicate a miscalibrated bound rather
+    than a property of the instance. Carries the reduction name, the
+    hypercube dimension of the instance, and the exhausted bound. *)
+exception
+  Step_bound_exhausted of { reduction : string; d : int; max_steps : int }
+
 (** [is_induced_cycle d cycle] — the verifier for Definition B.2: length at
     least 4, all vertices distinct, consecutive (and wrap-around) vertices
     adjacent, non-consecutive vertices non-adjacent. *)

@@ -442,23 +442,39 @@ let test_differential_hits_too_large () =
 
 let test_domains_deterministic () =
   (* Multicore expansion must be bit-identical to sequential exploration:
-     same verdicts, same witnesses, for label and output checks alike. *)
+     same verdicts, same witnesses, for label and output checks alike.
+     [PARRUN_DOMAINS] adds an extra domain count to the matrix in CI. *)
+  let domain_matrix =
+    2 :: (match Parrun.env_domains () with Some d -> [ d ] | None -> [])
+  in
   List.iter
     (fun (Case (name, p, input)) ->
       List.iter
         (fun r ->
           let ctx verb = Printf.sprintf "%s r=%d %s" name r verb in
           let seq = Checker.check_label p ~input ~r ~max_states:diff_budget
-          and par =
-            Checker.check_label ~domains:2 p ~input ~r ~max_states:diff_budget
+          and seq_o =
+            Checker.check_output p ~input ~r ~max_states:diff_budget
           in
-          check_bool (ctx "domains=2 label verdict identical") true (seq = par);
-          let seq_o = Checker.check_output p ~input ~r ~max_states:diff_budget
-          and par_o =
-            Checker.check_output ~domains:2 p ~input ~r ~max_states:diff_budget
-          in
-          check_bool (ctx "domains=2 output verdict identical") true
-            (seq_o = par_o))
+          List.iter
+            (fun domains ->
+              let par =
+                Checker.check_label ~domains p ~input ~r
+                  ~max_states:diff_budget
+              in
+              check_bool
+                (ctx (Printf.sprintf "domains=%d label verdict identical"
+                        domains))
+                true (seq = par);
+              let par_o =
+                Checker.check_output ~domains p ~input ~r
+                  ~max_states:diff_budget
+              in
+              check_bool
+                (ctx (Printf.sprintf "domains=%d output verdict identical"
+                        domains))
+                true (seq_o = par_o))
+            domain_matrix)
         [ 1; 2 ])
     diff_cases
 

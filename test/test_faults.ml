@@ -379,7 +379,12 @@ let test_json_smoke () =
 
 (* The acceptance contract of the domain-parallel runner: campaigns,
    adversarial searches and worst-case-recovery sweeps must be identical —
-   down to witnesses — for every [~domains] value. *)
+   down to witnesses — for every [~domains] value. [PARRUN_DOMAINS] lets CI
+   fold an extra (e.g. machine-sized) domain count into the matrix. *)
+
+let domain_matrix =
+  let base = [ 2; 4 ] in
+  match Parrun.env_domains () with Some d -> base @ [ d ] | None -> base
 
 let campaign_eq a b =
   a.Faultlab.scenario_name = b.Faultlab.scenario_name
@@ -404,7 +409,7 @@ let test_campaign_identical_across_domains () =
             (Printf.sprintf "%s identical at %d domains" sc.Faultlab.name
                domains)
             true (campaign_eq base par))
-        [ 2; 4 ])
+        domain_matrix)
     [ Faultlab.example1 ~n:3 (); Faultlab.d_counter ~n:3 ~d:4 ();
       Faultlab.ring_oscillator ~n:3 () ]
 
@@ -428,7 +433,7 @@ let test_adversarial_identical_across_domains () =
         && base.Fault.adv_codes = par.Fault.adv_codes
         && base.Fault.adv_recovery = par.Fault.adv_recovery
         && base.Fault.adv_exhaustive = par.Fault.adv_exhaustive))
-    [ 2; 4 ]
+    domain_matrix
 
 let test_worst_case_identical_across_domains () =
   let cases =
