@@ -15,6 +15,8 @@ module Checker = Stateless_checker.Checker
 module Faultlab = Stateless_faultlab.Faultlab
 module Netlab = Stateless_netlab.Netlab
 module Netcheck = Stateless_netlab.Netcheck
+module Byzlab = Stateless_byzlab.Byzlab
+module Byzcheck = Stateless_byzlab.Byzcheck
 module Machine = Stateless_machine.Machine
 open Stateless_core
 
@@ -357,6 +359,92 @@ let run_netlab_bench () =
   Printf.printf "  [wrote BENCH_netlab.json]\n"
 
 (* ------------------------------------------------------------------ *)
+(* Byzantine-node campaign — machine-readable BENCH_byz.json           *)
+(* ------------------------------------------------------------------ *)
+
+let run_byz_bench () =
+  Printf.printf "\n%s\n" (String.make 78 '=');
+  Printf.printf
+    "Byzantine-node campaign (deviation, containment radius & recovery)\n";
+  Printf.printf "%s\n" (String.make 78 '-');
+  let seeds = if smoke then 4 else 25
+  and attack = if smoke then 80 else 400
+  and max_steps = if smoke then 2_000 else 10_000 in
+  let campaigns =
+    List.concat_map
+      (fun strategy ->
+        List.map
+          (Byzlab.run ~seeds ~attack ~max_steps ~domains:1 ~strategy)
+          (Byzlab.default_scenarios ()))
+      [ Byzlab.Seeded_random; Byzlab.Anti_majority ]
+  in
+  List.iter (Byzlab.print_campaign stdout) campaigns;
+  (* Exhaustive (r,B)-certification on the instances small enough to
+     enumerate every Byzantine behavior: the clique diverges as soon as
+     one node turns Byzantine (an adversarial schedule plus adversarial
+     labels un-stabilizes both neighbours), while the B = {} rows must
+     coincide with the plain checker's verdicts. Oscillation witnesses
+     are replayed on both execution engines before being recorded. *)
+  let cert instance p input ~byz ~r =
+    let verdict_name = function
+      | Byzcheck.Stabilizing -> "stabilizing"
+      | Byzcheck.Oscillating _ -> "oscillating"
+      | Byzcheck.Too_large _ -> "too_large"
+    in
+    let v = Byzcheck.check_output p ~input ~byz ~r ~max_states:2_000_000 in
+    let replay_ok =
+      match v with
+      | Byzcheck.Oscillating w ->
+          Byzcheck.replay p ~input ~byz w
+          && Byzcheck.replay_packed p ~input ~byz w
+      | Byzcheck.Stabilizing | Byzcheck.Too_large _ -> true
+    in
+    let states, edges =
+      match Byzcheck.last_stats () with
+      | Some s -> (s.Byzcheck.states, s.Byzcheck.edges)
+      | None -> (0, 0)
+    in
+    let radius_json, stabilized =
+      match Byzcheck.containment p ~input ~byz ~r ~max_states:2_000_000 with
+      | Ok c ->
+          ( (match c.Byzcheck.radius with
+            | None -> "null"
+            | Some d -> string_of_int d),
+            c.Byzcheck.stabilized_fraction )
+      | Error _ -> ("null", 1.0)
+    in
+    let byz_s = String.concat "," (List.map string_of_int byz) in
+    Printf.printf
+      "  certify %-14s B={%s} r=%d -> %-11s replay=%b radius=%s (%d states)\n"
+      instance byz_s r (verdict_name v) replay_ok radius_json states;
+    Printf.sprintf
+      "{ \"instance\": %S, \"mode\": \"output\", \"r\": %d, \"byz\": [%s], \
+       \"byz_count\": %d, \"verdict\": %S, \"replay_ok\": %b, \
+       \"stabilized_fraction\": %.4f, \"radius\": %s, \"states\": %d, \
+       \"edges\": %d }"
+      instance r byz_s (List.length byz) (verdict_name v) replay_ok stabilized
+      radius_json states edges
+  in
+  let k3 = Clique_example.make 3 in
+  let k3_input = Clique_example.input 3 in
+  let copy = Proptest.copy_ring ~name:"copy_ring_3" 3 in
+  let copy_input = Array.make 3 () in
+  (* Bind in order: list elements evaluate right-to-left, and the rows
+     print as they certify. *)
+  let c1 = cert "clique_k3" k3 k3_input ~byz:[] ~r:1 in
+  let c2 = cert "clique_k3" k3 k3_input ~byz:[ 0 ] ~r:1 in
+  let c3 = cert "clique_k3" k3 k3_input ~byz:[ 0; 1 ] ~r:1 in
+  let c4 = cert "copy_ring_3" copy copy_input ~byz:[] ~r:1 in
+  let c5 = cert "copy_ring_3" copy copy_input ~byz:[ 0 ] ~r:1 in
+  let certification = [ c1; c2; c3; c4; c5 ] in
+  let oc = open_out "BENCH_byz.json" in
+  Byzlab.write_json
+    ~host:(Faultlab.host_json ~domains:1 ())
+    ~certification oc campaigns;
+  close_out oc;
+  Printf.printf "  [wrote BENCH_byz.json]\n"
+
+(* ------------------------------------------------------------------ *)
 (* Engine benchmark — machine-readable BENCH_engine.json               *)
 (* ------------------------------------------------------------------ *)
 
@@ -523,6 +611,10 @@ let () =
     run_netlab_bench ();
     exit 0
   end;
+  if Array.exists (String.equal "--byz-bench-only") Sys.argv then begin
+    run_byz_bench ();
+    exit 0
+  end;
   print_endline "Stateless Computation — experiment harness";
   print_endline "(Dolev, Erdmann, Lutz, Schapira, Zair; PODC 2017)";
   List.iter
@@ -543,5 +635,6 @@ let () =
   run_checker_bench ();
   run_fault_bench ();
   run_netlab_bench ();
+  run_byz_bench ();
   run_engine_bench ();
   Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

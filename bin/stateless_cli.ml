@@ -9,6 +9,8 @@
      spp       — run a Stable Paths Problem gadget (BGP motivation)
      faults    — corrupt steady states and measure recovery (Section 2.2)
      netlab    — adversarial channel campaigns and bounded-adversary
+                 certification
+     byz       — Byzantine-node attack campaigns and exhaustive (r,B)
                  certification *)
 
 open Cmdliner
@@ -23,6 +25,9 @@ module Spp = Stateless_games.Spp
 module Faultlab = Stateless_faultlab.Faultlab
 module Netlab = Stateless_netlab.Netlab
 module Netcheck = Stateless_netlab.Netcheck
+module Byzlab = Stateless_byzlab.Byzlab
+module Byzcheck = Stateless_byzlab.Byzcheck
+module Fooling = Stateless_lowerbound.Fooling
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -444,6 +449,13 @@ let nonneg_int_conv =
   in
   Arg.conv ~docv:"N" (parse, Format.pp_print_int)
 
+let seed_arg =
+  let doc =
+    "First per-run seed: run $(i,i) of a sweep uses seed $(docv) + $(i,i). \
+     Distinct values give statistically independent campaigns."
+  in
+  Arg.(value & opt pos_int_conv 1 & info [ "seed" ] ~doc ~docv:"S")
+
 let faults_cmd =
   let scenario_arg =
     let doc =
@@ -493,7 +505,7 @@ let faults_cmd =
     let doc = "Also write the campaign as JSON to $(docv)." in
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc ~docv:"FILE")
   in
-  let run scenario fractions runs max_steps domains out =
+  let run scenario fractions runs max_steps domains seed0 out =
     let scenarios =
       match scenario with
       | `All -> Faultlab.default_scenarios ()
@@ -503,7 +515,7 @@ let faults_cmd =
     in
     let campaigns =
       List.map
-        (Faultlab.run ~fractions ~seeds:runs ~max_steps ~domains)
+        (Faultlab.run ~fractions ~seeds:runs ~max_steps ~domains ~seed0)
         scenarios
     in
     List.iter (Faultlab.print_campaign stdout) campaigns;
@@ -524,7 +536,7 @@ let faults_cmd =
   Cmd.v info
     Term.(
       const run $ scenario_arg $ fractions_arg $ runs_arg $ max_steps_arg
-      $ domains_arg $ out_arg)
+      $ domains_arg $ seed_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* netlab                                                              *)
@@ -594,7 +606,7 @@ let netlab_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc ~docv:"FILE")
   in
   let run scenario loss delay dup crash max_delay crash_len k window runs storm
-      max_steps domains out =
+      max_steps domains seed0 out =
     let budget = { Netlab.k; window } in
     (* Any explicit rate flag selects a single custom level; otherwise run
        the default rising loss/delay sweep. *)
@@ -616,7 +628,8 @@ let netlab_cmd =
     in
     let campaigns =
       List.map
-        (Netlab.run ~levels ~seeds:runs ~storm ~max_steps ~domains ~budget)
+        (Netlab.run ~levels ~seeds:runs ~storm ~max_steps ~domains ~seed0
+           ~budget)
         scenarios
     in
     List.iter (Netlab.print_campaign stdout) campaigns;
@@ -638,7 +651,218 @@ let netlab_cmd =
     Term.(
       const run $ scenario_arg $ loss_arg $ delay_arg $ dup_arg $ crash_arg
       $ max_delay_arg $ crash_len_arg $ budget_arg $ window_arg $ runs_arg
-      $ storm_arg $ max_steps_arg $ domains_arg $ out_arg)
+      $ storm_arg $ max_steps_arg $ domains_arg $ seed_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* byz                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let byz_cmd =
+  let scenario_arg =
+    let doc =
+      "Scenario: 'example1' (output deviation on the clique), 'ring' (relay \
+       ring, a containment worst case), 'counter' (D-counter losing lock), \
+       or 'all'."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("all", `All); ("example1", `Example1); ("ring", `Ring);
+               ("counter", `Counter);
+             ])
+          `All
+      & info [ "p"; "scenario" ] ~doc)
+  in
+  let byz_nodes_arg =
+    let doc =
+      "Comma-separated Byzantine node ids. Default: sweep the scenario's \
+       built-in placements (campaign mode) or node 0 (--certify)."
+    in
+    Arg.(
+      value
+      & opt (some (list nonneg_int_conv)) None
+      & info [ "byz-nodes" ] ~doc ~docv:"I,J,...")
+  in
+  let strategy_arg =
+    let doc =
+      "Attack strategy: 'random' (uniform labels from the seeded RNG) or \
+       'anti-majority' (always write the rarest visible label)."
+    in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("random", Byzlab.Seeded_random);
+               ("anti-majority", Byzlab.Anti_majority);
+             ])
+          Byzlab.Seeded_random
+      & info [ "strategy" ] ~doc)
+  in
+  let runs_arg =
+    let doc = "Independent attacks (seeds) per Byzantine placement." in
+    Arg.(value & opt pos_int_conv 20 & info [ "runs"; "seeds" ] ~doc ~docv:"N")
+  in
+  let attack_arg =
+    let doc = "Length of the attack phase, in steps." in
+    Arg.(value & opt pos_int_conv 400 & info [ "attack" ] ~doc ~docv:"A")
+  in
+  let max_steps_arg =
+    let doc = "Give up on post-attack recovery after $(docv) steps." in
+    Arg.(
+      value
+      & opt pos_int_conv 10_000
+      & info [ "max-steps"; "steps" ] ~doc ~docv:"K")
+  in
+  let domains_arg =
+    let doc =
+      "Spread runs across $(docv) domains. Results are bit-identical for \
+       every value; only wall time changes."
+    in
+    Arg.(value & opt pos_int_conv 1 & info [ "domains" ] ~doc ~docv:"D")
+  in
+  let certify_arg =
+    let doc =
+      "Exhaustively certify (r,B)-stabilization instead of measuring runs: \
+       decide whether every correct node stabilizes under every r-fair \
+       schedule and every Byzantine behavior of the given nodes, and print \
+       the per-node containment radius ('example1' only; use -n 3 for the \
+       smallest instance)."
+    in
+    Arg.(value & flag & info [ "certify" ] ~doc)
+  in
+  let r_arg =
+    let doc = "Fairness parameter r (--certify)." in
+    Arg.(value & opt pos_int_conv 2 & info [ "r" ] ~doc)
+  in
+  let budget_arg =
+    let doc = "Maximum number of states to explore (--certify)." in
+    Arg.(value & opt pos_int_conv 5_000_000 & info [ "budget" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Also write the campaign as JSON to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc ~docv:"FILE")
+  in
+  let certify n byz r budget =
+    let n = max 3 n in
+    let p = Clique_example.make n in
+    let input = Clique_example.input n in
+    let byz = Option.value ~default:[ 0 ] byz in
+    List.iter
+      (fun j ->
+        if j >= n then (
+          Printf.eprintf "stateless: Byzantine node %d out of range for K_%d\n"
+            j n;
+          exit 124))
+      byz;
+    Printf.printf
+      "Example 1 on K_%d, Byzantine nodes {%s}. Certifying correct-node \
+       output %d-stabilization...\n"
+      n
+      (String.concat "," (List.map string_of_int byz))
+      r;
+    (match Byzcheck.check_output p ~input ~byz ~r ~max_states:budget with
+    | Byzcheck.Stabilizing ->
+        print_endline
+          "STABILIZING (all initial labelings, all r-fair schedules, all \
+           Byzantine behaviors)"
+    | Byzcheck.Oscillating w ->
+        Printf.printf
+          "NOT STABILIZING: from labeling #%d play %d steps, then repeat a \
+           %d-step cycle forever (replay: boxed %b, packed %b)\n"
+          w.Byzcheck.init_code
+          (List.length w.Byzcheck.prefix)
+          (List.length w.Byzcheck.cycle)
+          (Byzcheck.replay p ~input ~byz w)
+          (Byzcheck.replay_packed p ~input ~byz w)
+    | Byzcheck.Too_large { needed } ->
+        Printf.printf "state space too large: %d states (budget %d)\n" needed
+          budget);
+    match Byzcheck.containment p ~input ~byz ~r ~max_states:budget with
+    | Error needed ->
+        Printf.printf "containment skipped: %d states (budget %d)\n" needed
+          budget
+    | Ok c ->
+        Printf.printf
+          "containment: %.0f%% of correct nodes stabilize; radius %s\n"
+          (100.0 *. c.Byzcheck.stabilized_fraction)
+          (match c.Byzcheck.radius with
+          | None -> "none (fully contained)"
+          | Some d -> string_of_int d);
+        List.iter
+          (fun f ->
+            Printf.printf "  node %d (distance %d from B): %s\n"
+              f.Byzcheck.node f.Byzcheck.distance
+              (if f.Byzcheck.stabilizes then "stabilizes" else "diverges"))
+          c.Byzcheck.fates
+  in
+  let campaign scenario byz strategy runs attack max_steps domains seed0 out =
+    let scenarios =
+      match scenario with
+      | `All -> Byzlab.default_scenarios ()
+      | `Example1 -> [ Byzlab.example1 () ]
+      | `Ring -> [ Byzlab.relay_ring () ]
+      | `Counter -> [ Byzlab.d_counter () ]
+    in
+    (match byz with
+    | None -> ()
+    | Some b ->
+        List.iter
+          (fun sc ->
+            List.iter
+              (fun j ->
+                if j >= sc.Byzlab.nodes then (
+                  Printf.eprintf
+                    "stateless: Byzantine node %d out of range for %s (%d \
+                     nodes)\n"
+                    j sc.Byzlab.name sc.Byzlab.nodes;
+                  exit 124))
+              b)
+          scenarios);
+    (* An explicit placement is swept against the healthy baseline. *)
+    let placements = Option.map (fun b -> [ []; b ]) byz in
+    let campaigns =
+      List.map
+        (fun sc ->
+          Byzlab.run ?placements ~seeds:runs ~attack ~max_steps ~domains
+            ~seed0 ~strategy sc)
+        scenarios
+    in
+    List.iter (Byzlab.print_campaign stdout) campaigns;
+    match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Byzlab.write_json ~host:(Faultlab.host_json ~domains ()) oc campaigns;
+        close_out oc;
+        Printf.printf "  [wrote %s]\n" path
+  in
+  let run scenario n byz strategy runs attack max_steps domains seed0 certify_p
+      r budget out =
+    if certify_p then (
+      (match scenario with
+      | `All | `Example1 -> ()
+      | `Ring | `Counter ->
+          prerr_endline
+            "stateless: --certify supports only the example1 scenario";
+          exit 124);
+      certify n byz r budget)
+    else campaign scenario byz strategy runs attack max_steps domains seed0 out
+  in
+  let info =
+    Cmd.info "byz"
+      ~doc:
+        "Byzantine-node attacks: sweep placements measuring deviation, \
+         containment radius and recovery, or exhaustively certify \
+         (r,B)-stabilization with --certify"
+  in
+  Cmd.v info
+    Term.(
+      const run $ scenario_arg $ nodes_arg $ byz_nodes_arg $ strategy_arg
+      $ runs_arg $ attack_arg $ max_steps_arg $ domains_arg $ seed_arg
+      $ certify_arg $ r_arg $ budget_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -655,7 +879,7 @@ let () =
          (Cmd.group info
             [
               simulate_cmd; check_cmd; snake_cmd; compile_cmd; counter_cmd;
-              spp_cmd; hunt_cmd; faults_cmd; netlab_cmd;
+              spp_cmd; hunt_cmd; faults_cmd; netlab_cmd; byz_cmd;
             ])
      with
     | Snake.Step_bound_exhausted { reduction; d; max_steps } ->
@@ -668,4 +892,23 @@ let () =
         Printf.eprintf
           "stateless: two-counter calibration failed at stage %s for n = %d\n"
           stage n;
+        125
+    | D_counter.Bad_geometry { n; d } ->
+        Printf.eprintf
+          "stateless: D-counter needs an odd ring n >= 3 and modulus d >= 2 \
+           (got n = %d, d = %d)\n"
+          n d;
+        125
+    | D_counter.Missing_ring_neighbour { node } ->
+        Printf.eprintf
+          "stateless: D-counter node %d lacks a ring neighbour (non-ring \
+           graph)\n"
+          node;
+        125
+    | Fooling.Empty_cut ->
+        prerr_endline "stateless: fooling-set bound needs a non-empty cut";
+        125
+    | Fooling.Unsupported_size { fn; n } ->
+        Printf.eprintf
+          "stateless: no %s fooling set for n = %d\n" fn n;
         125)

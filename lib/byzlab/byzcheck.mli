@@ -1,0 +1,130 @@
+(** Exhaustive (r, B)-stabilization certification under Byzantine nodes.
+
+    A designated set [B] of nodes is Byzantine: on every activation such a
+    node writes arbitrary labels of its own choosing onto its out-edges
+    instead of running the protocol. This checker decides whether the
+    {e correct} nodes' labels (resp. outputs) stabilize under {e every}
+    Byzantine behavior and every r-fair schedule, exhaustively over all
+    initial labelings.
+
+    The states-graph is exactly the plain checker's — a state is
+    (labeling, fairness countdown) — and only the transition relation
+    branches: an activation set containing Byzantine nodes yields one
+    out-edge per assignment of labels to those nodes' out-edges.
+    Byzantine activations tick the fairness countdown (writing back the
+    current labels is one of the adversary's choices), divergence is
+    judged on the correct nodes' reactions alone, and output conflicts
+    are only collected at correct nodes. With [B = ∅] no branching
+    happens and the graph coincides with the plain checker's, so verdicts
+    agree with {!Stateless_checker.Checker} by construction (asserted
+    differentially in [test_byzlab.ml]). *)
+
+(** One Byzantine write: edge [edge] (an out-edge of a Byzantine node) is
+    set to the label with code [code] immediately after the step's
+    correct reactions land. *)
+type write = { edge : int; code : int }
+
+(** One step of a witness run: activate [active] (correct members react),
+    then apply [writes]. *)
+type step = { active : int list; writes : write list }
+
+type witness = {
+  init_code : int;  (** encoded initial labeling (mixed radix) *)
+  prefix : step list;  (** from the initial labeling to the cycle *)
+  cycle : step list;  (** returns to its starting labeling *)
+}
+
+type verdict =
+  | Stabilizing
+  | Oscillating of witness
+  | Too_large of { needed : int }
+      (** the exploration needs a budget of [needed] (states times the
+          worst per-activation Byzantine branching factor); raise
+          [max_states] *)
+
+type stats = { states : int; edges : int }
+
+(** Size of the last explored graph ([None] before any exploration or
+    after a [Too_large]). *)
+val last_stats : unit -> stats option
+
+(** [check_label p ~input ~byz ~r ~max_states] decides label
+    r-stabilization of the correct nodes under the Byzantine set [byz],
+    exhaustively over all initial labelings, r-fair schedules and
+    Byzantine write choices.
+    @raise Invalid_argument when [r < 1], [byz] contains an out-of-range
+    or duplicate node, or the protocol has more than 20 nodes. *)
+val check_label :
+  ('x, 'l) Stateless_core.Protocol.t ->
+  input:'x array ->
+  byz:int list ->
+  r:int ->
+  max_states:int ->
+  verdict
+
+(** Output-stabilization analogue: some correct node can be made to emit
+    two distinct outputs infinitely often. *)
+val check_output :
+  ('x, 'l) Stateless_core.Protocol.t ->
+  input:'x array ->
+  byz:int list ->
+  r:int ->
+  max_states:int ->
+  verdict
+
+(** The fate of one correct node: [distance] is its hop distance from the
+    Byzantine set (min over members, -1 when [B] is empty or the node is
+    unreachable from it), and [stabilizes] says no Byzantine behavior and
+    schedule can make its output diverge forever. *)
+type node_fate = { node : int; distance : int; stabilizes : bool }
+
+type containment = {
+  byz : int list;  (** the Byzantine set, sorted *)
+  fates : node_fate list;  (** correct nodes, ascending *)
+  stabilized_fraction : float;
+      (** fraction of correct nodes that stabilize (1.0 when there are
+          none) *)
+  radius : int option;
+      (** containment radius: the largest distance from [B] at which some
+          correct node's output can be made to diverge; [None] when every
+          correct node stabilizes *)
+  witness : witness option;
+      (** an oscillation witness for a diverging correct node at maximal
+          distance, replayable with {!replay} / {!replay_packed} *)
+}
+
+(** [containment p ~input ~byz ~r ~max_states] decides, per correct node,
+    whether its output stabilizes under every Byzantine behavior, and
+    keys the damage by graph distance from [B]. [Error needed] when the
+    exploration budget is exceeded (as in {!check_output}'s
+    [Too_large]). *)
+val containment :
+  ('x, 'l) Stateless_core.Protocol.t ->
+  input:'x array ->
+  byz:int list ->
+  r:int ->
+  max_states:int ->
+  (containment, int) result
+
+(** [replay p ~input ~byz w] re-runs the witness on
+    {!Stateless_core.Engine} — correct members of each activation set
+    react, then the step's Byzantine writes land — and confirms the
+    cycle returns to its starting labeling while the correct nodes
+    change a label or some correct node emits two distinct outputs
+    within it. *)
+val replay :
+  ('x, 'l) Stateless_core.Protocol.t ->
+  input:'x array ->
+  byz:int list ->
+  witness ->
+  bool
+
+(** [replay_packed] is {!replay} through {!Stateless_core.Kernel} on
+    packed int label codes — the witness must reproduce the same
+    divergence on both execution engines. *)
+val replay_packed :
+  ('x, 'l) Stateless_core.Protocol.t ->
+  input:'x array ->
+  byz:int list ->
+  witness ->
+  bool

@@ -1,0 +1,196 @@
+(** Byzantine-node attack layer over the execution engines.
+
+    A designated set [B] of nodes runs an attack {!strategy} instead of
+    the protocol: on each scheduled activation a Byzantine node
+    overwrites its out-edges with labels of the strategy's choosing,
+    immediately after the scheduled correct nodes' reactions land.
+
+    The boxed stepper ({!Boxed}) runs on boxed configurations through
+    {!Stateless_core.Engine.step_into}; the packed stepper ({!Packed})
+    on int label codes through {!Stateless_core.Kernel.step_into}. Both
+    consume identical RNG draw sequences, so one seed yields the same
+    attack on both (differential twins), and with [B = ∅] neither
+    strategy ever acts — no draw occurs and the steppers are
+    bit-identical to the fault-free engines.
+
+    The campaign layer sweeps Byzantine placements over Example 1
+    cliques, a relay ring and the D-counter through
+    {!Stateless_core.Parrun} (bit-identical for every domain count),
+    measuring stabilized fraction, empirical containment radius and
+    recovery time per placement. *)
+
+type strategy =
+  | Seeded_random
+      (** one uniform label code per out-edge of each activated
+          Byzantine node, drawn from the stepper's seeded RNG
+          (activation order, then out-edge order) *)
+  | Anti_majority
+      (** deterministically write the label code rarest in the visible
+          pre-step labeling (ties to the smallest code) *)
+  | Replay of Byzcheck.witness
+      (** play the witness's scripted write stream: prefix once, then
+          the cycle forever (no RNG) *)
+
+val strategy_name : strategy -> string
+
+(** CLI-facing names: ["random"] and ["anti-majority"] ([Replay] carries
+    a witness and is not nameable). *)
+val strategy_by_name : string -> strategy option
+
+val strategy_names : string list
+
+(** Packed Byzantine stepper over {!Stateless_core.Kernel}. *)
+module Packed : sig
+  type ('x, 'l) t
+
+  (** [create p ~input ~byz ~strategy ~schedule ~seed ~init] builds a
+      stepper with Byzantine set [byz]. [kernel] reuses a prebuilt
+      kernel (they are not domain-safe — one per domain).
+      @raise Invalid_argument on an out-of-range or duplicate Byzantine
+      node, or a [Replay] witness writing a non-Byzantine edge. *)
+  val create :
+    ?kernel:('x, 'l) Stateless_core.Kernel.t ->
+    ('x, 'l) Stateless_core.Protocol.t ->
+    input:'x array ->
+    byz:int list ->
+    strategy:strategy ->
+    schedule:Stateless_core.Schedule.t ->
+    seed:int ->
+    init:'l Stateless_core.Protocol.config ->
+    ('x, 'l) t
+
+  val step : ('x, 'l) t -> unit
+  val run : ('x, 'l) t -> steps:int -> unit
+
+  (** Read-only views of the current packed state (invalidated by the
+      next {!step}). *)
+  val labels : ('x, 'l) t -> int array
+
+  val outputs : ('x, 'l) t -> int array
+  val steps_done : ('x, 'l) t -> int
+
+  (** Total Byzantine edge writes performed so far (0 forever when
+      [byz = []]). *)
+  val writes_done : ('x, 'l) t -> int
+
+  val config : ('x, 'l) t -> 'l Stateless_core.Protocol.config
+end
+
+(** Boxed Byzantine stepper over {!Stateless_core.Engine} — the
+    differential twin of {!Packed}. *)
+module Boxed : sig
+  type ('x, 'l) t
+
+  val create :
+    ('x, 'l) Stateless_core.Protocol.t ->
+    input:'x array ->
+    byz:int list ->
+    strategy:strategy ->
+    schedule:Stateless_core.Schedule.t ->
+    seed:int ->
+    init:'l Stateless_core.Protocol.config ->
+    ('x, 'l) t
+
+  val step : ('x, 'l) t -> unit
+  val run : ('x, 'l) t -> steps:int -> unit
+  val steps_done : ('x, 'l) t -> int
+  val writes_done : ('x, 'l) t -> int
+  val config : ('x, 'l) t -> 'l Stateless_core.Protocol.config
+end
+
+(** One attacked run: [deviant_steps] attack steps had some correct node
+    deviating from the scenario's reference, [deviant_nodes] correct
+    nodes ever deviated, [max_radius] is the largest hop distance from
+    [B] of a deviating correct node (-1 when none did), and [recovery]
+    is the post-attack recovery time (the Byzantine nodes resume correct
+    behavior; [None] = never recovered within the budget). *)
+type run_result = {
+  deviant_steps : int;
+  deviant_nodes : int;
+  max_radius : int;
+  recovery : int option;
+}
+
+type measure_fn =
+  byz:int list ->
+  strategy:strategy ->
+  attack:int ->
+  seed:int ->
+  max_steps:int ->
+  run_result
+
+type scenario = {
+  name : string;
+  schedule_name : string;
+  nodes : int;
+  placements : int list list;  (** default Byzantine placements swept *)
+  fresh : unit -> measure_fn;
+      (** build per-domain measurement state (kernels are not
+          domain-safe) *)
+}
+
+(** Example 1 on K_n (default [n = 4]): reference = the healthy run's
+    settled outputs; recovery = post-attack output settle time. *)
+val example1 : ?n:int -> unit -> scenario
+
+(** A unidirectional relay ring (default [n = 6]): every node forwards
+    and outputs the label it reads; reference = all-zero outputs.
+    Injected labels keep circulating after the attack, so the ring
+    generally does not recover — a containment worst case. *)
+val relay_ring : ?n:int -> unit -> scenario
+
+(** The D-counter (default [n = 5], [d = 8]): a node deviates when its
+    counter differs from the most common value among correct nodes;
+    recovery = re-locking (d consecutive agreed synchronous steps). *)
+val d_counter : ?n:int -> ?d:int -> unit -> scenario
+
+val default_scenarios : unit -> scenario list
+val scenario_names : string list
+val scenario_by_name : ?n:int -> string -> scenario option
+
+type level_stats = {
+  byz : int list;
+  runs : int;
+  mean_deviant : float;  (** mean fraction of attack steps deviant *)
+  mean_stabilized : float;
+      (** mean fraction of correct nodes that never deviated *)
+  worst_radius : int;
+      (** max empirical containment radius over runs (-1 = contained) *)
+  recovered : int;
+  mean_recovery : float;
+  p50 : int;
+  p95 : int;
+  worst : int;
+}
+
+type campaign = {
+  scenario_name : string;
+  schedule : string;
+  strategy : string;
+  attack : int;
+  runs_per_level : int;
+  levels : level_stats list;
+}
+
+(** [run ~strategy sc] sweeps [placements] (default [sc.placements]) ×
+    [seeds] runs each (seeds [seed0 .. seed0 + seeds - 1], default
+    [seed0 = 1]) through {!Stateless_core.Parrun.map} — results are
+    bit-identical for every [domains]. *)
+val run :
+  ?placements:int list list ->
+  ?seeds:int ->
+  ?attack:int ->
+  ?max_steps:int ->
+  ?domains:int ->
+  ?seed0:int ->
+  strategy:strategy ->
+  scenario ->
+  campaign
+
+val print_campaign : out_channel -> campaign -> unit
+
+(** [write_json ?host ?certification oc campaigns] renders BENCH_byz
+    JSON: a host block, certification rows (prebuilt JSON objects) and
+    per-placement campaign rows. *)
+val write_json :
+  ?host:string -> ?certification:string list -> out_channel -> campaign list -> unit

@@ -1,0 +1,67 @@
+(* Shared randomized-protocol generators for the differential test
+   suites. Extracted from test_kernel.ml / test_netlab.ml /
+   test_faults.ml, which had grown three near-identical copies; the RNG
+   constants each suite used are preserved as parameters so the
+   generated instances (and hence every pinned differential run) are
+   unchanged. *)
+
+module Builders = Stateless_graph.Builders
+module Digraph = Stateless_graph.Digraph
+
+(* A pure pseudo-random reaction: hash the node, its input and the exact
+   incoming label vector. Deterministic, but with no structure an engine
+   or channel could accidentally exploit. *)
+let random_protocol ?(salt = 0x5ca1ab1e) ?(graph_seed_mult = 7)
+    ?(name = "rand") seed =
+  let st = Random.State.make [| salt; seed |] in
+  let n = 2 + Random.State.int st 4 in
+  let extra = Random.State.int st 4 in
+  let g =
+    Builders.random_strongly_connected
+      ~seed:((seed * graph_seed_mult) + 1)
+      n ~extra
+  in
+  let card = 2 + Random.State.int st 3 in
+  let space = Label.int card in
+  let react i x incoming =
+    let h = Hashtbl.hash (x, i, Array.to_list incoming) in
+    let d = Digraph.out_degree g i in
+    ( Array.init d (fun k -> (h + (k * 7919) + (h lsr (k land 15))) mod card),
+      h mod 5 )
+  in
+  let p =
+    { Protocol.name = Printf.sprintf "%s%d" name seed; graph = g; space; react }
+  in
+  let input = Array.init n (fun _ -> Random.State.int st 3) in
+  (p, input, st)
+
+let random_config p st =
+  let m = Protocol.num_edges p and n = Protocol.num_nodes p in
+  let card = p.Protocol.space.Label.card in
+  let decode = p.Protocol.space.Label.decode in
+  {
+    Protocol.labels = Array.init m (fun _ -> decode (Random.State.int st card));
+    outputs = Array.init n (fun _ -> Random.State.int st 5);
+  }
+
+let random_active n st =
+  List.filter (fun _ -> Random.State.bool st) (List.init n Fun.id)
+
+let schedules_for ?(offset = 11) seed n =
+  [
+    Schedule.synchronous n;
+    Schedule.round_robin n;
+    Schedule.random_fair ~seed:(seed + offset) ~r:2 n;
+  ]
+
+let config_eq p a b =
+  String.equal (Protocol.config_key p a) (Protocol.config_key p b)
+  && a.Protocol.outputs = b.Protocol.outputs
+
+let copy_ring ?(name = "copy-ring") n : (unit, bool) Protocol.t =
+  {
+    Protocol.name;
+    graph = Builders.ring_uni n;
+    space = Label.bool;
+    react = (fun _ () incoming -> ([| incoming.(0) |], 0));
+  }

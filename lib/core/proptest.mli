@@ -1,0 +1,39 @@
+(** Shared randomized-protocol generators for the differential test
+    suites (extracted from test_kernel / test_netlab / test_faults).
+
+    The optional parameters are the RNG constants the individual suites
+    historically used, so each suite keeps generating exactly the
+    instances it always did: the kernel suite uses the defaults, the
+    netlab suite [~salt:0x0c4a11e5 ~graph_seed_mult:13 ~name:"chan"
+    ~offset:5]. *)
+
+(** [random_protocol seed] is a small strongly connected protocol with a
+    pure hash-based reaction, its input vector, and the generator state
+    (pass it on to {!random_config} / {!random_active} to continue the
+    deterministic stream). *)
+val random_protocol :
+  ?salt:int ->
+  ?graph_seed_mult:int ->
+  ?name:string ->
+  int ->
+  (int, int) Protocol.t * int array * Random.State.t
+
+(** A uniformly random configuration (labels and outputs) for [p]. *)
+val random_config :
+  ('x, 'l) Protocol.t -> Random.State.t -> 'l Protocol.config
+
+(** A Bernoulli(1/2) activation subset of [0..n-1] (possibly empty). *)
+val random_active : int -> Random.State.t -> int list
+
+(** The standard schedule matrix: synchronous, round-robin and a 2-fair
+    randomized schedule seeded [seed + offset] (default [offset = 11]). *)
+val schedules_for : ?offset:int -> int -> int -> Schedule.t list
+
+(** Labels and outputs both equal. *)
+val config_eq :
+  ('x, 'l) Protocol.t -> 'l Protocol.config -> 'l Protocol.config -> bool
+
+(** The unidirectional copy ring: each node forwards the boolean it
+    reads and outputs 0. Labels rotate forever from non-uniform
+    labelings; outputs never change. *)
+val copy_ring : ?name:string -> int -> (unit, bool) Protocol.t

@@ -5,6 +5,25 @@ module Builders = Stateless_graph.Builders
 
 type fields = (bool * bool) * (int * int * int)
 
+exception Bad_geometry of { n : int; d : int }
+exception Missing_ring_neighbour of { node : int }
+
+let () =
+  Printexc.register_printer (function
+    | Bad_geometry { n; d } ->
+        Some
+          (Printf.sprintf
+             "D_counter.Bad_geometry { n = %d; d = %d }: need odd n >= 3 and \
+              d >= 2"
+             n d)
+    | Missing_ring_neighbour { node } ->
+        Some
+          (Printf.sprintf
+             "D_counter.Missing_ring_neighbour { node = %d }: node lacks a \
+              ring neighbour"
+             node)
+    | _ -> None)
+
 type t = {
   n : int;
   d : int;
@@ -14,8 +33,7 @@ type t = {
 }
 
 let make ?(gate_g = true) ~n ~d () =
-  if n < 3 || n mod 2 = 0 then invalid_arg "D_counter.make: need odd n >= 3";
-  if d < 2 then invalid_arg "D_counter.make: need d >= 2";
+  if n < 3 || n mod 2 = 0 || d < 2 then raise (Bad_geometry { n; d });
   let space =
     Label.pair
       (Label.pair Label.bool Label.bool)
@@ -65,7 +83,7 @@ let classify g j incoming =
     (Digraph.in_edges g j);
   match (!ccw, !cw) with
   | Some a, Some b -> (a, b)
-  | _ -> invalid_arg "D_counter: node lacks a ring neighbour"
+  | _ -> raise (Missing_ring_neighbour { node = j })
 
 let protocol t : (unit, fields) Protocol.t =
   let g = Builders.ring_bi t.n in

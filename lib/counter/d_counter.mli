@@ -33,6 +33,15 @@
 type fields = (bool * bool) * (int * int * int)
 (** [(two-counter bits, (z, g, c))]. *)
 
+exception Bad_geometry of { n : int; d : int }
+(** Raised by {!make} when the requested ring is not odd with [n >= 3] or
+    the modulus is not [d >= 2]. Carries the offending sizes so callers
+    (the CLI maps it to exit code 125) can report them. *)
+
+exception Missing_ring_neighbour of { node : int }
+(** Raised by the reaction when [node]'s incoming edges do not include both
+    ring neighbours — the protocol was run on a non-ring graph. *)
+
 type t = private {
   n : int;
   d : int;

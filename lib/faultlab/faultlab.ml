@@ -187,7 +187,7 @@ let percentile sorted q =
     sorted.(max 0 (min (k - 1) rank))
 
 let run ?(fractions = default_fractions) ?(seeds = 30) ?(max_steps = 10_000)
-    ?(domains = 1) sc =
+    ?(domains = 1) ?(seed0 = 1) sc =
   (* One flat fraction × seed grid through {!Parrun.map}: measurement
      contexts are built once per domain, results come back in grid order,
      and the aggregation below (integer sums, then sort) is insensitive to
@@ -199,7 +199,7 @@ let run ?(fractions = default_fractions) ?(seeds = 30) ?(max_steps = 10_000)
     Parrun.map ~domains ~ctx:sc.fresh (nf * seeds) (fun recover idx ->
         recover
           ~fraction:fracs.(idx / seeds)
-          ~seed:((idx mod seeds) + 1)
+          ~seed:(seed0 + (idx mod seeds))
           ~max_steps)
   in
   let stats =

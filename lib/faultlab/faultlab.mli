@@ -77,12 +77,15 @@ val default_fractions : float list
     fraction (default {!default_fractions}) with the given step budget
     (default 10_000) and aggregates. [domains] (default 1) spreads the
     fraction × seed grid over that many domains, each with its own kernel;
-    the campaign is identical for every [domains] value. *)
+    the campaign is identical for every [domains] value. [seed0] (default
+    1) is the first per-run seed — runs use [seed0 .. seed0 + seeds - 1],
+    so the default reproduces the historical campaigns exactly. *)
 val run :
   ?fractions:float list ->
   ?seeds:int ->
   ?max_steps:int ->
   ?domains:int ->
+  ?seed0:int ->
   scenario ->
   campaign
 

@@ -7,6 +7,20 @@ type t = {
   pairs : (bool array * bool array) list;
 }
 
+exception Empty_cut
+exception Unsupported_size of { fn : string; n : int }
+
+let () =
+  Printexc.register_printer (function
+    | Empty_cut -> Some "Fooling.Empty_cut: the cut has no edges"
+    | Unsupported_size { fn; n } ->
+        Some
+          (Printf.sprintf
+             "Fooling.Unsupported_size { fn = %S; n = %d }: no fooling set \
+              of that size"
+             fn n)
+    | _ -> None)
+
 let apply f x y = f (Array.append x y)
 
 let verify f ~n s =
@@ -57,7 +71,7 @@ let constant_on_cut g ~m s =
         rest
 
 let bound s ~cut =
-  if cut <= 0 then invalid_arg "Fooling.bound: empty cut";
+  if cut <= 0 then raise Empty_cut;
   log (float_of_int (List.length s.pairs)) /. log 2.0 /. float_of_int cut
 
 let equality_fn bits =
@@ -80,7 +94,7 @@ let majority_fn bits =
    ring cut {0..m-1} | {m..n-1}. *)
 let equality_fooling n =
   if n < 6 || n mod 2 = 1 then
-    invalid_arg "Fooling.equality_fooling: need even n >= 6";
+    raise (Unsupported_size { fn = "equality"; n });
   let m = n / 2 in
   let free = m - 2 in
   let pairs =
@@ -95,7 +109,7 @@ let equality_fooling n =
   { m; value = true; pairs }
 
 let majority_fooling n =
-  if n < 4 then invalid_arg "Fooling.majority_fooling: need n >= 4";
+  if n < 4 then raise (Unsupported_size { fn = "majority"; n });
   let m = n / 2 in
   (* Q = { 1·1^k·0^(m-1-k) : k = 0..m-1 }; pair each with its bitwise
      complement (plus a fixed extra 1 when n is odd). *)

@@ -18,6 +18,15 @@ type t = {
   pairs : (bool array * bool array) list;
 }
 
+exception Empty_cut
+(** Raised by {!bound} when [cut <= 0] — the bound is meaningless without
+    cut edges. The CLI maps it to exit code 125. *)
+
+exception Unsupported_size of { fn : string; n : int }
+(** Raised by {!equality_fooling} ([fn = "equality"]: needs even [n >= 6])
+    and {!majority_fooling} ([fn = "majority"]: needs [n >= 4]) when no
+    fooling set of the requested size exists. *)
+
 (** [verify f ~n s] checks Definition 6.1 exhaustively over all pairs. *)
 val verify : (bool array -> bool) -> n:int -> t -> bool
 

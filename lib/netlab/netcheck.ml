@@ -34,6 +34,7 @@
 
 module Protocol = Stateless_core.Protocol
 module Engine = Stateless_core.Engine
+module Kernel = Stateless_core.Kernel
 module Label = Stateless_core.Label
 module Vec = Stateless_checker.Vec
 module Csr = Stateless_checker.Csr
@@ -521,3 +522,54 @@ let replay p ~input w =
     w.cycle;
   let returns = String.equal start_key (Protocol.config_key p !config) in
   returns && (!label_changed || !output_changed)
+
+(* The packed twin of {!replay}: the same judgement through
+   {!Kernel.step_into} on int label codes — a witness must reproduce the
+   divergence on both execution engines. *)
+let replay_packed p ~input w =
+  let n = Protocol.num_nodes p in
+  let m = Protocol.num_edges p in
+  let kern = Kernel.create p ~input in
+  let src = Array.make m 0 and dst = Array.make m 0 in
+  let src_o = Array.make n 0 and dst_o = Array.make n 0 in
+  Kernel.load kern (Protocol.decode_config p w.init_code) ~labels:src
+    ~outputs:src_o;
+  let sref = ref src and dref = ref dst in
+  let soref = ref src_o and doref = ref dst_o in
+  let label_changed = ref false in
+  let output_changed = ref false in
+  let outputs : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let do_step ~judge { active; fault } =
+    Kernel.step_into kern ~src:!sref ~src_outputs:!soref ~dst:!dref
+      ~dst_outputs:!doref ~active;
+    if judge then begin
+      let changed = ref false in
+      for e = 0 to m - 1 do
+        if !dref.(e) <> !sref.(e) then changed := true
+      done;
+      if !changed then label_changed := true;
+      List.iter
+        (fun node ->
+          let y = !doref.(node) in
+          match Hashtbl.find_opt outputs node with
+          | None -> Hashtbl.replace outputs node y
+          | Some y0 -> if y0 <> y then output_changed := true)
+        active
+    end;
+    (match fault with
+    | None -> ()
+    | Some { edge; code } -> !dref.(edge) <- code);
+    let tl = !sref and tlo = !soref in
+    sref := !dref;
+    soref := !doref;
+    dref := tl;
+    doref := tlo
+  in
+  List.iter (do_step ~judge:false) w.prefix;
+  let start = Array.copy !sref in
+  List.iter (do_step ~judge:true) w.cycle;
+  let returns = ref true in
+  for e = 0 to m - 1 do
+    if start.(e) <> !sref.(e) then returns := false
+  done;
+  !returns && (!label_changed || !output_changed)

@@ -75,3 +75,10 @@ val check_output :
     returns to its starting labeling while the protocol changes a label
     or some node emits two distinct outputs within it. *)
 val replay : ('x, 'l) Stateless_core.Protocol.t -> input:'x array -> witness -> bool
+
+(** [replay_packed] is {!replay} through {!Stateless_core.Kernel} on
+    packed int label codes — a witness must reproduce the same
+    divergence on both execution engines (asserted for every stored
+    lasso in [test_netlab.ml]). *)
+val replay_packed :
+  ('x, 'l) Stateless_core.Protocol.t -> input:'x array -> witness -> bool

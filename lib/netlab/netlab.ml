@@ -674,7 +674,7 @@ let percentile sorted q =
     sorted.(max 0 (min (k - 1) rank))
 
 let run ?(levels = default_levels) ?(seeds = 20) ?(storm = 400)
-    ?(max_steps = 10_000) ?(domains = 1) ~budget sc =
+    ?(max_steps = 10_000) ?(domains = 1) ?(seed0 = 1) ~budget sc =
   check_budget budget;
   List.iter check_rates levels;
   (* One flat level × seed grid through Parrun.map: contexts are built once
@@ -685,7 +685,7 @@ let run ?(levels = default_levels) ?(seeds = 20) ?(storm = 400)
   let results =
     Parrun.map ~domains ~ctx:sc.fresh (nl * seeds) (fun measure idx ->
         measure ~rates:lv.(idx / seeds) ~budget ~storm
-          ~seed:((idx mod seeds) + 1)
+          ~seed:(seed0 + (idx mod seeds))
           ~max_steps)
   in
   let levels =

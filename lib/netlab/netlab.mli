@@ -219,13 +219,15 @@ val default_levels : rates list
 (** [run ~budget scenario] measures every level x seed cell of the grid
     (defaults: {!default_levels}, 20 seeds, storm 400, max_steps 10000)
     through {!Stateless_core.Parrun.map}: results are bit-identical for
-    every [domains] value. *)
+    every [domains] value. [seed0] (default 1) is the first per-run seed —
+    runs use [seed0 .. seed0 + seeds - 1]. *)
 val run :
   ?levels:rates list ->
   ?seeds:int ->
   ?storm:int ->
   ?max_steps:int ->
   ?domains:int ->
+  ?seed0:int ->
   budget:budget ->
   scenario ->
   campaign

@@ -159,10 +159,10 @@ let test_d_counter_burn_in_linear () =
 
 let test_d_counter_validation () =
   Alcotest.check_raises "even ring"
-    (Invalid_argument "D_counter.make: need odd n >= 3") (fun () ->
+    (D_counter.Bad_geometry { n = 4; d = 4 }) (fun () ->
       ignore (D_counter.make ~n:4 ~d:4 ()));
   Alcotest.check_raises "d too small"
-    (Invalid_argument "D_counter.make: need d >= 2") (fun () ->
+    (D_counter.Bad_geometry { n = 3; d = 1 }) (fun () ->
       ignore (D_counter.make ~n:3 ~d:1 ()))
 
 let prop_d_counter_locks =

@@ -229,14 +229,7 @@ let test_worst_case_recovery_example1 () =
   | Checker.Never_settles _ -> Alcotest.fail "example1 settles synchronously"
   | Checker.Recovery_too_large _ -> Alcotest.fail "64 states fit the budget"
 
-let copy_ring n : (unit, bool) Protocol.t =
-  let g = Builders.ring_uni n in
-  {
-    Protocol.name = "copy-ring";
-    graph = g;
-    space = Label.bool;
-    react = (fun _ () incoming -> ([| incoming.(0) |], 0));
-  }
+let copy_ring n = Stateless_core.Proptest.copy_ring n
 
 let test_worst_case_recovery_copy_ring () =
   (* Labels rotate forever from non-uniform labelings, but every output is

@@ -11,52 +11,18 @@ module Schedule = Stateless_core.Schedule
 module Label = Stateless_core.Label
 module Fault = Stateless_core.Fault
 module Clique_example = Stateless_core.Clique_example
-module Builders = Stateless_graph.Builders
-module Digraph = Stateless_graph.Digraph
+module Proptest = Stateless_core.Proptest
 
 (* ------------------------------------------------------------------ *)
-(* Random protocol generator                                           *)
+(* Random protocol generator (shared, see lib/core/proptest.ml)        *)
 (* ------------------------------------------------------------------ *)
 
-(* A pure pseudo-random reaction: hash the node, its input and the exact
-   incoming label vector. Deterministic, but with no structure the kernel
-   could accidentally exploit. *)
-let random_protocol seed =
-  let st = Random.State.make [| 0x5ca1ab1e; seed |] in
-  let n = 2 + Random.State.int st 4 in
-  let extra = Random.State.int st 4 in
-  let g = Builders.random_strongly_connected ~seed:((seed * 7) + 1) n ~extra in
-  let card = 2 + Random.State.int st 3 in
-  let space = Label.int card in
-  let react i x incoming =
-    let h = Hashtbl.hash (x, i, Array.to_list incoming) in
-    let d = Digraph.out_degree g i in
-    ( Array.init d (fun k -> (h + (k * 7919) + (h lsr (k land 15))) mod card),
-      h mod 5 )
-  in
-  let p =
-    { Protocol.name = Printf.sprintf "rand%d" seed; graph = g; space; react }
-  in
-  let input = Array.init n (fun _ -> Random.State.int st 3) in
-  (p, input, st)
-
-let random_config p st =
-  let m = Protocol.num_edges p and n = Protocol.num_nodes p in
-  let card = p.Protocol.space.Label.card in
-  {
-    Protocol.labels = Array.init m (fun _ -> Random.State.int st card);
-    outputs = Array.init n (fun _ -> Random.State.int st 5);
-  }
-
-let random_active n st =
-  List.filter (fun _ -> Random.State.bool st) (List.init n Fun.id)
-
-let schedules_for seed n =
-  [
-    Schedule.synchronous n;
-    Schedule.round_robin n;
-    Schedule.random_fair ~seed:(seed + 11) ~r:2 n;
-  ]
+(* This suite uses Proptest's default RNG constants (salt 0x5ca1ab1e,
+   graph seed 7*seed+1, names "rand<seed>"). *)
+let random_protocol seed = Proptest.random_protocol seed
+let random_config = Proptest.random_config
+let random_active = Proptest.random_active
+let schedules_for seed n = Proptest.schedules_for seed n
 
 (* All three kernel tiers for one protocol: the table/memo/raw choice must
    be observably invisible. *)
@@ -71,9 +37,7 @@ let kernels p ~input =
 (* Equality of results                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let config_eq p a b =
-  String.equal (Protocol.config_key p a) (Protocol.config_key p b)
-  && a.Protocol.outputs = b.Protocol.outputs
+let config_eq = Proptest.config_eq
 
 let outcome_eq p a b =
   match (a, b) with

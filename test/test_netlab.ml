@@ -24,8 +24,7 @@ module Checker = Stateless_checker.Checker
 module Netlab = Stateless_netlab.Netlab
 module Netcheck = Stateless_netlab.Netcheck
 module Two_counter = Stateless_counter.Two_counter
-module Builders = Stateless_graph.Builders
-module Digraph = Stateless_graph.Digraph
+module Proptest = Stateless_core.Proptest
 
 let check = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -37,45 +36,15 @@ let extra_domains =
 
 let domain_counts = [ 2; 4 ] @ extra_domains
 
-(* Random protocols as in test_kernel.ml: a pure hash-based reaction with
-   no structure the channel could accidentally exploit. *)
+(* Random protocols as in test_kernel.ml, from the shared generator with
+   this suite's historical RNG constants. *)
 let random_protocol seed =
-  let st = Random.State.make [| 0x0c4a11e5; seed |] in
-  let n = 2 + Random.State.int st 4 in
-  let extra = Random.State.int st 4 in
-  let g = Builders.random_strongly_connected ~seed:((seed * 13) + 1) n ~extra in
-  let card = 2 + Random.State.int st 3 in
-  let space = Label.int card in
-  let react i x incoming =
-    let h = Hashtbl.hash (x, i, Array.to_list incoming) in
-    let d = Digraph.out_degree g i in
-    ( Array.init d (fun k -> (h + (k * 7919) + (h lsr (k land 15))) mod card),
-      h mod 5 )
-  in
-  let p =
-    { Protocol.name = Printf.sprintf "chan%d" seed; graph = g; space; react }
-  in
-  let input = Array.init n (fun _ -> Random.State.int st 3) in
-  (p, input, st)
+  Proptest.random_protocol ~salt:0x0c4a11e5 ~graph_seed_mult:13 ~name:"chan"
+    seed
 
-let random_config p st =
-  let m = Protocol.num_edges p and n = Protocol.num_nodes p in
-  let card = p.Protocol.space.Label.card in
-  {
-    Protocol.labels = Array.init m (fun _ -> Random.State.int st card);
-    outputs = Array.init n (fun _ -> Random.State.int st 5);
-  }
-
-let schedules_for seed n =
-  [
-    Schedule.synchronous n;
-    Schedule.round_robin n;
-    Schedule.random_fair ~seed:(seed + 5) ~r:2 n;
-  ]
-
-let config_eq p a b =
-  String.equal (Protocol.config_key p a) (Protocol.config_key p b)
-  && a.Protocol.outputs = b.Protocol.outputs
+let random_config = Proptest.random_config
+let schedules_for seed n = Proptest.schedules_for ~offset:5 seed n
+let config_eq = Proptest.config_eq
 
 (* ------------------------------------------------------------------ *)
 (* Zero-budget channels are the fault-free engines                     *)
@@ -225,13 +194,7 @@ let plain_kind = function
   | Checker.Oscillating _ -> `Osc
   | Checker.Too_large _ -> `Big
 
-let copy_ring_uni n : (unit, bool) Protocol.t =
-  {
-    Protocol.name = "copy-ring-uni";
-    graph = Builders.ring_uni n;
-    space = Label.bool;
-    react = (fun _ () incoming -> ([| incoming.(0) |], 0));
-  }
+let copy_ring_uni n = Proptest.copy_ring ~name:"copy-ring-uni" n
 
 let agree_at_zero_budget name p ~input ~r =
   let budget = 100_000 in
@@ -266,7 +229,10 @@ let test_example1_budget_flips_verdict () =
   | Netcheck.Oscillating w ->
       check_bool "witness has a fault step" true
         (List.exists (fun s -> s.Netcheck.fault <> None) (w.Netcheck.prefix @ w.Netcheck.cycle));
-      check_bool "witness replays" true (Netcheck.replay p ~input w)
+      check_bool "witness replays (boxed engine)" true
+        (Netcheck.replay p ~input w);
+      check_bool "witness replays (packed kernel)" true
+        (Netcheck.replay_packed p ~input w)
   | Netcheck.Stabilizing -> Alcotest.fail "k=1 adversary must force oscillation"
   | Netcheck.Too_large { needed } -> Alcotest.failf "needs %d states" needed
 
@@ -279,7 +245,10 @@ let test_budget_windows_are_graded () =
   let input = Clique_example.input 3 in
   match Netcheck.check_label p ~input ~r:1 ~k:1 ~window:3 ~max_states:10_000 with
   | Netcheck.Oscillating w ->
-      check_bool "window-3 witness replays" true (Netcheck.replay p ~input w)
+      check_bool "window-3 witness replays (boxed)" true
+        (Netcheck.replay p ~input w);
+      check_bool "window-3 witness replays (packed)" true
+        (Netcheck.replay_packed p ~input w)
   | Netcheck.Stabilizing -> Alcotest.fail "k=1/w=3 still forces oscillation"
   | Netcheck.Too_large { needed } -> Alcotest.failf "needs %d states" needed
 
@@ -294,9 +263,41 @@ let test_copy_ring_outputs_immune_to_faults () =
   | Netcheck.Too_large { needed } -> Alcotest.failf "needs %d states" needed);
   match Netcheck.check_label p ~input ~r:1 ~k:1 ~window:1 ~max_states:10_000 with
   | Netcheck.Oscillating w ->
-      check_bool "label witness replays" true (Netcheck.replay p ~input w)
+      check_bool "label witness replays (boxed)" true
+        (Netcheck.replay p ~input w);
+      check_bool "label witness replays (packed)" true
+        (Netcheck.replay_packed p ~input w)
   | Netcheck.Stabilizing -> Alcotest.fail "copy ring labels rotate forever"
   | Netcheck.Too_large { needed } -> Alcotest.failf "needs %d states" needed
+
+let test_witness_replay_roundtrip () =
+  (* Every stored lasso must reproduce its divergence on both execution
+     engines: the boxed Engine and the packed Kernel. Sweep the small
+     random instances and every (k, window) that fits the budget. *)
+  let found = ref 0 in
+  for seed = 1 to 10 do
+    let p, input, _ = random_protocol seed in
+    if Protocol.num_nodes p <= 3 && Protocol.num_edges p <= 5 then
+      List.iter
+        (fun (k, window) ->
+          match
+            Netcheck.check_label p ~input ~r:1 ~k ~window
+              ~max_states:500_000
+          with
+          | Netcheck.Oscillating w ->
+              incr found;
+              check_bool
+                (Printf.sprintf "seed %d k=%d w=%d boxed replay" seed k window)
+                true
+                (Netcheck.replay p ~input w);
+              check_bool
+                (Printf.sprintf "seed %d k=%d w=%d packed replay" seed k window)
+                true
+                (Netcheck.replay_packed p ~input w)
+          | _ -> ())
+        [ (0, 1); (1, 1); (1, 3) ]
+  done;
+  check_bool "some lasso was exercised" true (!found > 0)
 
 let test_netcheck_too_large () =
   let p = Clique_example.make 3 in
@@ -465,6 +466,8 @@ let () =
             test_budget_windows_are_graded;
           Alcotest.test_case "copy-ring outputs immune" `Quick
             test_copy_ring_outputs_immune_to_faults;
+          Alcotest.test_case "witness replay roundtrip" `Quick
+            test_witness_replay_roundtrip;
           Alcotest.test_case "budget exceeded" `Quick test_netcheck_too_large;
         ] );
       ( "adversary",
