@@ -16,6 +16,7 @@
 open Cmdliner
 open Stateless_core
 module Checker = Stateless_checker.Checker
+module Symmetry = Stateless_checker.Symmetry
 module Circuit = Stateless_circuit.Circuit
 module Compile = Stateless_compile.Compile
 module D_counter = Stateless_counter.D_counter
@@ -168,17 +169,29 @@ let check_cmd =
     let doc = "Maximum number of states to explore." in
     Arg.(value & opt int 5_000_000 & info [ "budget" ] ~doc)
   in
-  let run n r budget =
+  let sym_arg =
+    let doc =
+      "Explore the quotient of the states-graph by the S_n node symmetry of \
+       the clique (one representative per orbit) instead of the full graph. \
+       Same verdict, up to n! fewer states."
+    in
+    Arg.(value & flag & info [ "sym" ] ~doc)
+  in
+  let run n r budget sym =
     let n = max 3 n in
     let p = Clique_example.make n in
     let input = Clique_example.input n in
+    let symmetry =
+      if sym then Some (Symmetry.clique p.Protocol.graph) else None
+    in
     Printf.printf
       "Example 1 on K_%d (stable labelings: %d). Checking label \
-       %d-stabilization...\n"
+       %d-stabilization%s...\n"
       n
       (Stability.count_stable_labelings p ~input)
-      r;
-    match Checker.check_label p ~input ~r ~max_states:budget with
+      r
+      (if sym then " modulo S_n" else "");
+    (match Checker.check_label ?symmetry p ~input ~r ~max_states:budget with
     | Checker.Stabilizing ->
         print_endline "STABILIZING (all initial labelings, all r-fair \
                        schedules)"
@@ -192,13 +205,18 @@ let check_cmd =
           (Checker.replay p ~input w)
     | Checker.Too_large { needed } ->
         Printf.printf "state space too large: %d states (budget %d)\n" needed
-          budget
+          budget);
+    match Checker.last_stats () with
+    | Some s when sym ->
+        Printf.printf "  [explored %d orbit representatives of %d states]\n"
+          s.Checker.states s.Checker.full_states
+    | _ -> ()
   in
   let info =
     Cmd.info "check"
       ~doc:"Exhaustively decide label r-stabilization of Example 1"
   in
-  Cmd.v info Term.(const run $ nodes_arg $ r_arg $ budget_arg)
+  Cmd.v info Term.(const run $ nodes_arg $ r_arg $ budget_arg $ sym_arg)
 
 (* ------------------------------------------------------------------ *)
 (* snake                                                               *)
@@ -449,12 +467,33 @@ let nonneg_int_conv =
   in
   Arg.conv ~docv:"N" (parse, Format.pp_print_int)
 
+(* Arguments shared verbatim by the faults/netlab/byz campaign commands;
+   defined once so names, defaults and docs cannot drift apart. *)
+
 let seed_arg =
   let doc =
     "First per-run seed: run $(i,i) of a sweep uses seed $(docv) + $(i,i). \
      Distinct values give statistically independent campaigns."
   in
   Arg.(value & opt pos_int_conv 1 & info [ "seed" ] ~doc ~docv:"S")
+
+let domains_arg =
+  let doc =
+    "Spread runs across $(docv) domains. Results are bit-identical for \
+     every value; only wall time changes."
+  in
+  Arg.(value & opt pos_int_conv 1 & info [ "domains" ] ~doc ~docv:"D")
+
+let out_arg =
+  let doc = "Also write the campaign as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc ~docv:"FILE")
+
+(* Same flag everywhere; only the phase being abandoned differs. *)
+let max_steps_arg ~doc =
+  Arg.(
+    value
+    & opt pos_int_conv 10_000
+    & info [ "max-steps"; "steps" ] ~doc ~docv:"K")
 
 let faults_cmd =
   let scenario_arg =
@@ -488,22 +527,7 @@ let faults_cmd =
     Arg.(value & opt pos_int_conv 20 & info [ "runs"; "seeds" ] ~doc ~docv:"N")
   in
   let max_steps_arg =
-    let doc = "Give up on a run after $(docv) recovery steps." in
-    Arg.(
-      value
-      & opt pos_int_conv 10_000
-      & info [ "max-steps"; "steps" ] ~doc ~docv:"K")
-  in
-  let domains_arg =
-    let doc =
-      "Spread runs across $(docv) domains. Results are bit-identical for \
-       every value; only wall time changes."
-    in
-    Arg.(value & opt pos_int_conv 1 & info [ "domains" ] ~doc ~docv:"D")
-  in
-  let out_arg =
-    let doc = "Also write the campaign as JSON to $(docv)." in
-    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc ~docv:"FILE")
+    max_steps_arg ~doc:"Give up on a run after $(docv) recovery steps."
   in
   let run scenario fractions runs max_steps domains seed0 out =
     let scenarios =
@@ -588,22 +612,7 @@ let netlab_cmd =
     Arg.(value & opt pos_int_conv 400 & info [ "storm" ] ~doc ~docv:"S")
   in
   let max_steps_arg =
-    let doc = "Give up on post-storm recovery after $(docv) steps." in
-    Arg.(
-      value
-      & opt pos_int_conv 10_000
-      & info [ "max-steps"; "steps" ] ~doc ~docv:"K")
-  in
-  let domains_arg =
-    let doc =
-      "Spread runs across $(docv) domains. Results are bit-identical for \
-       every value; only wall time changes."
-    in
-    Arg.(value & opt pos_int_conv 1 & info [ "domains" ] ~doc ~docv:"D")
-  in
-  let out_arg =
-    let doc = "Also write the campaign as JSON to $(docv)." in
-    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc ~docv:"FILE")
+    max_steps_arg ~doc:"Give up on post-storm recovery after $(docv) steps."
   in
   let run scenario loss delay dup crash max_delay crash_len k window runs storm
       max_steps domains seed0 out =
@@ -710,18 +719,7 @@ let byz_cmd =
     Arg.(value & opt pos_int_conv 400 & info [ "attack" ] ~doc ~docv:"A")
   in
   let max_steps_arg =
-    let doc = "Give up on post-attack recovery after $(docv) steps." in
-    Arg.(
-      value
-      & opt pos_int_conv 10_000
-      & info [ "max-steps"; "steps" ] ~doc ~docv:"K")
-  in
-  let domains_arg =
-    let doc =
-      "Spread runs across $(docv) domains. Results are bit-identical for \
-       every value; only wall time changes."
-    in
-    Arg.(value & opt pos_int_conv 1 & info [ "domains" ] ~doc ~docv:"D")
+    max_steps_arg ~doc:"Give up on post-attack recovery after $(docv) steps."
   in
   let certify_arg =
     let doc =
@@ -740,10 +738,6 @@ let byz_cmd =
   let budget_arg =
     let doc = "Maximum number of states to explore (--certify)." in
     Arg.(value & opt pos_int_conv 5_000_000 & info [ "budget" ] ~doc)
-  in
-  let out_arg =
-    let doc = "Also write the campaign as JSON to $(docv)." in
-    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc ~docv:"FILE")
   in
   let certify n byz r budget =
     let n = max 3 n in

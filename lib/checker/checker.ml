@@ -1,5 +1,6 @@
 module Protocol = Stateless_core.Protocol
 module Engine = Stateless_core.Engine
+module Pool = Stateless_core.Pool
 
 type witness = {
   init_code : int;
@@ -14,6 +15,7 @@ type verdict =
 
 type stats = {
   states : int;
+  full_states : int;
   edges : int;
   memo_hits : int;
   memo_misses : int;
@@ -55,14 +57,96 @@ type ('x, 'l) explored = {
   parent : int Vec.t;  (* id -> predecessor id in BFS forest, -1 at roots *)
   parent_mask : int Vec.t;
   cache : ('x, 'l) Trans_cache.t;  (* for post-hoc output reads *)
+  sym : symctx option;  (* set when exploring the symmetry quotient *)
 }
+
+(* Precomputed canonicalization tables for a node-automorphism group.
+
+   The action of element [g] on a state key is linear in the key's
+   mixed-radix digits: the label digit at edge [e] (place value
+   [card^(m-1-e)], times [cd_count] since labels sit above countdowns)
+   moves to edge [edge_perm g e], and the countdown digit of node [i]
+   (place value [r^(n-1-i)]) moves to node [node_perm g i]. So
+   [key_of (g . s) = Σ_d digit_d(s) * w.(g).(d)] over the [m + n] digits,
+   with the weights below — one dot product per group element, no state
+   materialization. The canonical representative of an orbit is the
+   minimum such key. *)
+and symctx = {
+  sy : Symmetry.t;
+  gcount : int;
+  sym_m : int;
+  w : int array array;  (* g -> digit -> place value after permuting *)
+  sym_card : int;
+}
+
+let make_symctx sy ~card ~r ~cd_count ~m ~n =
+  let nps = Symmetry.node_perms sy and eps = Symmetry.edge_perms sy in
+  let gcount = Array.length nps in
+  let w =
+    Array.init gcount (fun g ->
+        Array.init (m + n) (fun d ->
+            if d < m then ipow card (m - 1 - eps.(g).(d)) * cd_count
+            else ipow r (n - 1 - nps.(g).(d - m))))
+  in
+  { sy; gcount; sym_m = m; w; sym_card = card }
+
+(* Decompose [key] into its [m + n] digits (into [digits], a per-domain
+   scratch) and return the orbit minimum. Element 0 is the identity, whose
+   dot product is [key] itself. *)
+let canon_key sctx ~r ~cd_count ~n digits key =
+  let m = sctx.sym_m and card = sctx.sym_card in
+  let lab = ref (key / cd_count) and cd = ref (key mod cd_count) in
+  for e = m - 1 downto 0 do
+    Array.unsafe_set digits e (!lab mod card);
+    lab := !lab / card
+  done;
+  for i = n - 1 downto 0 do
+    Array.unsafe_set digits (m + i) (!cd mod r);
+    cd := !cd / r
+  done;
+  let best = ref key in
+  let mn = m + n in
+  for g = 1 to sctx.gcount - 1 do
+    let wg = Array.unsafe_get sctx.w g in
+    let acc = ref 0 in
+    for d = 0 to mn - 1 do
+      acc := !acc + (Array.unsafe_get digits d * Array.unsafe_get wg d)
+    done;
+    if !acc < !best then best := !acc
+  done;
+  !best
+
+(* Orbit size of the canonical state [key], by orbit-stabilizer: count the
+   elements that fix it. Called once per interned state. *)
+let orbit_size sctx ~r ~cd_count ~n digits key =
+  let m = sctx.sym_m and card = sctx.sym_card in
+  let lab = ref (key / cd_count) and cd = ref (key mod cd_count) in
+  for e = m - 1 downto 0 do
+    Array.unsafe_set digits e (!lab mod card);
+    lab := !lab / card
+  done;
+  for i = n - 1 downto 0 do
+    Array.unsafe_set digits (m + i) (!cd mod r);
+    cd := !cd / r
+  done;
+  let stab = ref 1 in
+  let mn = m + n in
+  for g = 1 to sctx.gcount - 1 do
+    let wg = Array.unsafe_get sctx.w g in
+    let acc = ref 0 in
+    for d = 0 to mn - 1 do
+      acc := !acc + (Array.unsafe_get digits d * Array.unsafe_get wg d)
+    done;
+    if !acc = key then incr stab
+  done;
+  sctx.gcount / !stab
 
 (* Expand states [a, b) of [ex] into flat per-chunk buffers: for each state,
    its admissible transitions as (successor key, mask * 2 + changed) pairs in
    ascending mask order, preceded by nothing and counted in [ecnt]. Pure
    w.r.t. the shared tables ([keys] is only read below [b]), so disjoint
    ranges may run in parallel domains, each with its own memo [cache]. *)
-let expand_range ex cache ~rpow ~sum_rpow ~add ~ecnt ~edata a b =
+let expand_range ex cache ~rpow ~sum_rpow ~add ~sym_digits ~ecnt ~edata a b =
   let n = ex.n and r = ex.r and cd_count = ex.cd_count in
   for id = a to b - 1 do
     let key = Vec.unsafe_get ex.keys id in
@@ -86,7 +170,13 @@ let expand_range ex cache ~rpow ~sum_rpow ~add ~ecnt ~edata a b =
           if mask land (1 lsl i) <> 0 then
             cdsum := !cdsum + Array.unsafe_get add i
         done;
-        Vec.push edata ((next_lab * cd_count) + !cdsum);
+        let skey = (next_lab * cd_count) + !cdsum in
+        let skey =
+          match ex.sym with
+          | None -> skey
+          | Some sctx -> canon_key sctx ~r ~cd_count ~n sym_digits skey
+        in
+        Vec.push edata skey;
         Vec.push edata ((mask lsl 1) lor (packed land 1));
         incr edge_count
       end
@@ -105,17 +195,17 @@ let expand_range ex cache ~rpow ~sum_rpow ~add ~ecnt ~edata a b =
    allocation-light. Sound because no exported function retains the
    explored graph past its own call, and [Domain.DLS] isolates domains.
 
-   Invariant between calls: [sc_state_of_key.(k) >= 0] exactly for the
-   keys [k] listed in [sc_keys] (exploration marks the two together, so
-   the invariant holds even if a reaction function raises mid-call), and
-   every Tarjan visit index ever handed out is [< sc_clock]. *)
+   Invariant between calls: [sc_set] remembers which keys it interned
+   (exploration adds through it, so the record stays accurate even if a
+   reaction function raises mid-call), and every Tarjan visit index ever
+   handed out is [< sc_clock]. *)
 type scratch = {
   mutable sc_n : int;  (* node count the csr packing was built for *)
   mutable sc_keys : int Vec.t;
   mutable sc_parent : int Vec.t;
   mutable sc_parent_mask : int Vec.t;
   mutable sc_csr : Csr.t;
-  mutable sc_state_of_key : int array;
+  sc_set : Stateset.t;
   (* Tarjan scratch: visit clock persists so [sc_index] never needs
      clearing — entries below the clock at entry are "unvisited". *)
   mutable sc_clock : int;
@@ -137,7 +227,7 @@ let scratch_key =
         sc_parent = Vec.create ~capacity:0 ~dummy:(-1) ();
         sc_parent_mask = Vec.create ~capacity:0 ~dummy:0 ();
         sc_csr = Csr.create ~n:1 ~capacity:0 ();
-        sc_state_of_key = [||];
+        sc_set = Stateset.create ();
         sc_clock = 0;
         sc_index = [||];
         sc_lowlink = [||];
@@ -149,7 +239,7 @@ let scratch_key =
         sc_on_stack = Bytes.empty;
       })
 
-let explore ?(domains = 1) p ~input ~r ~max_states =
+let explore ?(domains = 1) ?symmetry p ~input ~r ~max_states =
   let n = Protocol.num_nodes p in
   if n > 20 then invalid_arg "Checker: too many nodes for subset enumeration";
   if domains < 1 then invalid_arg "Checker: domains must be >= 1";
@@ -163,21 +253,29 @@ let explore ?(domains = 1) p ~input ~r ~max_states =
            else lab_count * cd_count)
       else begin
         let total = lab_count * cd_count in
+        let m = Protocol.num_edges p in
+        let symc =
+          match symmetry with
+          | None -> None
+          | Some sy ->
+              if Symmetry.num_nodes sy <> n || Symmetry.num_edges sy <> m then
+                invalid_arg "Checker: symmetry group is for a different graph";
+              if not (Symmetry.verify p ~input sy) then
+                invalid_arg
+                  "Checker: protocol is not equivariant under the symmetry \
+                   group";
+              let card = p.Protocol.space.Stateless_core.Label.card in
+              Some (make_symctx sy ~card ~r ~cd_count ~m ~n)
+        in
         let capacity = min total 65536 in
         (* Out-degree is at most 2^n - 1, so for small spaces this sizes the
            edge buffer exactly; large spaces start at 128K cells and double. *)
         let edge_capacity = min (capacity * ((1 lsl n) - 1)) (1 lsl 17) in
         let sc = Domain.DLS.get scratch_key in
-        (* Un-mark the previous exploration's keys (cheaper than refilling
-           the whole map: only the reached states are marked). *)
-        if Array.length sc.sc_state_of_key < total then
-          sc.sc_state_of_key <- Array.make total (-1)
-        else begin
-          let sok = sc.sc_state_of_key and ks = sc.sc_keys in
-          for i = 0 to Vec.length ks - 1 do
-            Array.unsafe_set sok (Vec.unsafe_get ks i) (-1)
-          done
-        end;
+        (* Forget the previous exploration's keys (the set un-marks only
+           the states that run reached, or switches to hashing when the
+           universe outgrows the direct-map budget). *)
+        Stateset.reset sc.sc_set ~universe:total;
         Vec.clear sc.sc_keys;
         Vec.clear sc.sc_parent;
         Vec.clear sc.sc_parent_mask;
@@ -201,6 +299,7 @@ let explore ?(domains = 1) p ~input ~r ~max_states =
             parent = sc.sc_parent;
             parent_mask = sc.sc_parent_mask;
             cache = Trans_cache.create p ~input ~lab_count;
+            sym = symc;
           }
         in
         (* One-time overflow check: every interned id is < total, so edge
@@ -209,27 +308,83 @@ let explore ?(domains = 1) p ~input ~r ~max_states =
           invalid_arg "Checker: state space too large for edge packing";
         let rpow = Array.init n (fun i -> ipow r (n - 1 - i)) in
         let sum_rpow = Array.fold_left ( + ) 0 rpow in
-        (* Keys are bounded by [total <= max_states], so the key -> id map
-           is a direct-mapped array rather than a hashtable. *)
-        let state_of_key = sc.sc_state_of_key in
+        (* Key -> id interning: a direct-mapped array when [total] fits the
+           budget (one load per probe, hot loops read [direct] in place), an
+           open-addressing table keyed by the packed state codes beyond. *)
+        let set = sc.sc_set in
+        let direct = Stateset.direct set in
+        let use_direct = Array.length direct > 0 in
+        (* With a symmetry group, [full] accumulates the orbit sizes of the
+           interned representatives — the size of the unreduced reachable
+           graph the quotient stands for. *)
+        let full = ref 0 in
+        (* Per-domain digit scratch for canonicalization. *)
+        let sdigits =
+          Array.init domains (fun _ ->
+              Array.make (if symc = None then 0 else m + n) 0)
+        in
         let intern key ~parent ~mask =
-          let id = Array.unsafe_get state_of_key key in
+          let id =
+            if use_direct then Array.unsafe_get direct key
+            else Stateset.find set key
+          in
           if id >= 0 then id
           else begin
             let id = Vec.length ex.keys in
-            Array.unsafe_set state_of_key key id;
+            Stateset.add set ~key ~id;
             Vec.push ex.keys key;
             Vec.push ex.parent parent;
             Vec.push ex.parent_mask mask;
+            (match symc with
+            | None -> ()
+            | Some sctx ->
+                full := !full + orbit_size sctx ~r ~cd_count ~n sdigits.(0) key);
             id
           end
         in
         (* Initialization vertices: countdown digits all r - 1. *)
-        for lab_code = 0 to lab_count - 1 do
-          ignore
-            (intern ((lab_code * cd_count) + (cd_count - 1)) ~parent:(-1)
-               ~mask:0)
-        done;
+        (match symc with
+        | None ->
+            for lab_code = 0 to lab_count - 1 do
+              ignore
+                (intern ((lab_code * cd_count) + (cd_count - 1)) ~parent:(-1)
+                   ~mask:0)
+            done
+        | Some sctx ->
+            (* Every node permutation fixes the all-(r-1) countdown vector,
+               so a full-countdown state is canonical iff its labeling code
+               is minimal in its orbit. Early-exit on the first smaller
+               image: most non-canonical labelings die on the first group
+               element, making the scan nearly linear in [lab_count]. *)
+            let digits = sdigits.(0) in
+            let card = sctx.sym_card in
+            for lab_code = 0 to lab_count - 1 do
+              let lab = ref lab_code in
+              for e = m - 1 downto 0 do
+                Array.unsafe_set digits e (!lab mod card);
+                lab := !lab / card
+              done;
+              (* Lab weights in [w] carry the [cd_count] factor, so compare
+                 against the full-key lab contribution. *)
+              let target = lab_code * cd_count in
+              let canonical = ref true in
+              let g = ref 1 in
+              while !canonical && !g < sctx.gcount do
+                let wg = Array.unsafe_get sctx.w !g in
+                let acc = ref 0 in
+                for e = 0 to m - 1 do
+                  acc :=
+                    !acc + (Array.unsafe_get digits e * Array.unsafe_get wg e)
+                done;
+                if !acc < target then canonical := false;
+                incr g
+              done;
+              if !canonical then
+                ignore
+                  (intern
+                     ((lab_code * cd_count) + (cd_count - 1))
+                     ~parent:(-1) ~mask:0)
+            done);
         (* The per-domain worker state only exists when parallel expansion
            is possible; the sequential path runs fused and buffer-free. *)
         let caches =
@@ -253,7 +408,9 @@ let explore ?(domains = 1) p ~input ~r ~max_states =
           let hi = Vec.length ex.keys in
           let count = hi - !lo in
           let nchunks =
-            if domains > 1 && count >= 4 * domains then domains else 1
+            if domains > 1 && count >= 4 * domains && not (Pool.in_worker ())
+            then domains
+            else 1
           in
           if nchunks = 1 then begin
             (* Sequential fast path: expand and intern in one fused pass,
@@ -328,15 +485,30 @@ let explore ?(domains = 1) p ~input ~r ~max_states =
                   let skey =
                     ((packed lsr 1) * cd_count) + Array.unsafe_get msum mask
                   in
-                  let sid = Array.unsafe_get state_of_key skey in
+                  let skey =
+                    match symc with
+                    | None -> skey
+                    | Some sctx ->
+                        canon_key sctx ~r ~cd_count ~n sdigits.(0) skey
+                  in
+                  let sid =
+                    if use_direct then Array.unsafe_get direct skey
+                    else Stateset.find set skey
+                  in
                   let succ =
                     if sid >= 0 then sid
                     else begin
                       let sid = Vec.length ex.keys in
-                      Array.unsafe_set state_of_key skey sid;
+                      Stateset.add set ~key:skey ~id:sid;
                       Vec.push ex.keys skey;
                       Vec.push ex.parent id;
                       Vec.push ex.parent_mask mask;
+                      (match symc with
+                      | None -> ()
+                      | Some sctx ->
+                          full :=
+                            !full
+                            + orbit_size sctx ~r ~cd_count ~n sdigits.(0) skey);
                       sid
                     end
                   in
@@ -353,17 +525,13 @@ let explore ?(domains = 1) p ~input ~r ~max_states =
               Vec.clear ecnts.(c);
               Vec.clear edatas.(c)
             done;
-            let workers =
-              Array.init (nchunks - 1) (fun k ->
-                  let c = k + 1 in
-                  Domain.spawn (fun () ->
-                      expand_range ex caches.(c) ~rpow ~sum_rpow ~add:adds.(c)
-                        ~ecnt:ecnts.(c) ~edata:edatas.(c) (bound c)
-                        (bound (c + 1))))
-            in
-            expand_range ex caches.(0) ~rpow ~sum_rpow ~add:adds.(0)
-              ~ecnt:ecnts.(0) ~edata:edatas.(0) !lo (bound 1);
-            Array.iter Domain.join workers;
+            (* One chunk per domain through the persistent pool. Worker
+               state is indexed by chunk, not slot: any pool domain may
+               claim any chunk, and a chunk is claimed exactly once. *)
+            Pool.run ~domains:nchunks ~nchunks (fun ~slot:_ c ->
+                expand_range ex caches.(c) ~rpow ~sum_rpow ~add:adds.(c)
+                  ~sym_digits:sdigits.(c) ~ecnt:ecnts.(c) ~edata:edatas.(c)
+                  (bound c) (bound (c + 1)));
             (* Sequential interning pass, in expanding-state order. *)
             let id = ref !lo in
             for c = 0 to nchunks - 1 do
@@ -393,6 +561,10 @@ let explore ?(domains = 1) p ~input ~r ~max_states =
           Some
             {
               states = Vec.length ex.keys;
+              full_states =
+                (match symc with
+                | None -> Vec.length ex.keys
+                | Some _ -> !full);
               edges = Csr.num_edges ex.csr;
               memo_hits =
                 Array.fold_left (fun a c -> a + Trans_cache.hits c) 0 caches;
@@ -550,8 +722,107 @@ let make_witness ex ~cycle_entry ~cycle_masks =
     cycle = masks_to_sets ex.n cycle_masks;
   }
 
-let check_label ?domains p ~input ~r ~max_states =
-  match explore ?domains p ~input ~r ~max_states with
+(* Lift a quotient-graph witness to a concrete run (symmetry mode).
+
+   Invariant along the walk: the canonical form of the tracked real state
+   is the quotient state the Q-path is at (true at the root, which is
+   interned canonically, hence a genuine initial state). At each step, pick
+   a group element [g] mapping the real state onto its canonical form; real
+   node [j] occupies position [g j] of the canonical state, so it is
+   activated iff the Q-mask activates [g j]. Equivariance maps forced sets
+   to forced sets (lifted masks stay admissible) and runs to runs (the
+   invariant propagates). The Q-cycle is traversed repeatedly until the
+   real walk revisits an entry state: entries live in the finite orbit of
+   the Q-entry and the walk is deterministic, so it closes within
+   orbit-size traversals. Every traversal crosses the lifted image of the
+   Q-cycle's label-changing edge — the changed bit is G-invariant — so the
+   closed real loop replays as a genuine oscillation. *)
+let make_witness_sym ex sctx ~cycle_entry ~cycle_masks =
+  let n = ex.n and r = ex.r and cd_count = ex.cd_count in
+  let m = sctx.sym_m and card = sctx.sym_card in
+  let digits = Array.make (m + n) 0 in
+  let nps = Symmetry.node_perms sctx.sy in
+  let rpow = Array.init n (fun i -> ipow r (n - 1 - i)) in
+  (* Index of a group element mapping real state [key] onto its canonical
+     form; 0 (identity) when [key] is already canonical. *)
+  let g_star key =
+    let lab = ref (key / cd_count) and cd = ref (key mod cd_count) in
+    for e = m - 1 downto 0 do
+      digits.(e) <- !lab mod card;
+      lab := !lab / card
+    done;
+    for i = n - 1 downto 0 do
+      digits.(m + i) <- !cd mod r;
+      cd := !cd / r
+    done;
+    let best = ref key and bg = ref 0 in
+    for g = 1 to sctx.gcount - 1 do
+      let wg = sctx.w.(g) in
+      let acc = ref 0 in
+      for d = 0 to m + n - 1 do
+        acc := !acc + (digits.(d) * wg.(d))
+      done;
+      if !acc < !best then begin
+        best := !acc;
+        bg := g
+      end
+    done;
+    !bg
+  in
+  (* Lift one Q-step taken at [canon key] with [qmask]: the real mask, and
+     the real successor state. *)
+  let step_lift key qmask =
+    let np = nps.(g_star key) in
+    let rmask = ref 0 in
+    for j = 0 to n - 1 do
+      if qmask land (1 lsl np.(j)) <> 0 then rmask := !rmask lor (1 lsl j)
+    done;
+    let rmask = !rmask in
+    let lab = key / cd_count and cd = key mod cd_count in
+    let packed = Trans_cache.step ex.cache ~lab_code:lab ~mask:rmask in
+    let cdsum = ref 0 in
+    for i = 0 to n - 1 do
+      let d = cd / rpow.(i) mod r in
+      let d' = if rmask land (1 lsl i) <> 0 then r - 1 else d - 1 in
+      cdsum := !cdsum + (d' * rpow.(i))
+    done;
+    (rmask, ((packed lsr 1) * cd_count) + !cdsum)
+  in
+  let play key masks =
+    let key, rev =
+      List.fold_left
+        (fun (key, acc) qmask ->
+          let rmask, key' = step_lift key qmask in
+          (key', rmask :: acc))
+        (key, []) masks
+    in
+    (key, List.rev rev)
+  in
+  let init_code, prefix_q = path_from_root ex cycle_entry in
+  let start = (init_code * cd_count) + (cd_count - 1) in
+  let entry0, prefix_real = play start prefix_q in
+  let rec close seen segs idx key =
+    match List.assoc_opt key seen with
+    | Some k ->
+        (* Traversals before the revisited entry extend the prefix; the
+           rest close a real cycle through that entry. *)
+        let segs = List.rev segs in
+        let pre = List.filteri (fun i _ -> i < k) segs in
+        let cyc = List.filteri (fun i _ -> i >= k) segs in
+        (List.concat pre, List.concat cyc)
+    | None ->
+        let key', ms = play key cycle_masks in
+        close ((key, idx) :: seen) (ms :: segs) (idx + 1) key'
+  in
+  let prefix_ext, cycle_real = close [] [] 0 entry0 in
+  {
+    init_code;
+    prefix = masks_to_sets n (prefix_real @ prefix_ext);
+    cycle = masks_to_sets n cycle_real;
+  }
+
+let check_label ?domains ?symmetry p ~input ~r ~max_states =
+  match explore ?domains ?symmetry p ~input ~r ~max_states with
   | Error needed -> Too_large { needed }
   | Ok ex -> (
       let comp = scc_of_explored ex in
@@ -582,8 +853,12 @@ let check_label ?domains p ~input ~r ~max_states =
           match path_within_scc ex comp ~src:u ~dst:v with
           | None -> assert false (* u, v lie in the same SCC *)
           | Some back ->
+              let cycle_masks = mask :: back in
               Oscillating
-                (make_witness ex ~cycle_entry:v ~cycle_masks:(mask :: back))))
+                (match ex.sym with
+                | None -> make_witness ex ~cycle_entry:v ~cycle_masks
+                | Some sctx ->
+                    make_witness_sym ex sctx ~cycle_entry:v ~cycle_masks)))
 
 let check_output ?domains p ~input ~r ~max_states =
   match explore ?domains p ~input ~r ~max_states with
@@ -595,11 +870,15 @@ let check_output ?domains p ~input ~r ~max_states =
          output; two distinct outputs for the same node in one SCC witness
          output divergence. Outputs depend only on the source labeling and
          the node, so they are read off the transition cache instead of
-         re-evaluating reaction functions per edge. *)
-      let seen : (int * int, int * (int * int)) Hashtbl.t =
-        Hashtbl.create 1024
+         re-evaluating reaction functions per edge. Keys are packed as
+         [scc * n + node] — SCC ids are < count, so the code is unique —
+         and the table is sized for the worst case (one entry per state
+         and node) capped at a sane bound, avoiding boxed tuple keys and
+         rehash-on-grow in the scan. *)
+      let seen : (int, int * (int * int)) Hashtbl.t =
+        Hashtbl.create (min (count * ex.n) (1 lsl 16))
       in
-      (* (scc, node) -> (output, (edge src, mask)) *)
+      (* scc * n + node -> (output, (edge src, mask)) *)
       let csr = ex.csr in
       let conflict = ref None in
       let id = ref 0 in
@@ -618,8 +897,9 @@ let check_output ?domains p ~input ~r ~max_states =
               (fun node ->
                 if !conflict == None then begin
                   let y = Trans_cache.output ex.cache ~lab_code ~node in
-                  match Hashtbl.find_opt seen (cid, node) with
-                  | None -> Hashtbl.replace seen (cid, node) (y, (!id, mask))
+                  let k = (cid * ex.n) + node in
+                  match Hashtbl.find_opt seen k with
+                  | None -> Hashtbl.replace seen k (y, (!id, mask))
                   | Some (y0, (src0, mask0)) ->
                       if y0 <> y then
                         conflict := Some ((src0, mask0), (!id, mask), u)
@@ -666,7 +946,10 @@ let replay p ~input witness =
   (* Walk the cycle watching for label changes and output changes. *)
   let label_changed = ref false in
   let output_changed = ref false in
-  let outputs : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  (* At most one entry per node. *)
+  let outputs : (int, int) Hashtbl.t =
+    Hashtbl.create (Protocol.num_nodes p)
+  in
   let config = ref at_cycle in
   List.iter
     (fun active ->
@@ -685,11 +968,11 @@ let replay p ~input witness =
   let returns = String.equal start_key (Protocol.config_key p !config) in
   returns && (!label_changed || !output_changed)
 
-let max_stabilizing_r ?domains p ~input ~r_limit ~max_states =
+let max_stabilizing_r ?domains ?symmetry p ~input ~r_limit ~max_states =
   let rec loop r =
     if r > r_limit then Some r_limit
     else
-      match check_label ?domains p ~input ~r ~max_states with
+      match check_label ?domains ?symmetry p ~input ~r ~max_states with
       | Stabilizing -> loop (r + 1)
       | Oscillating _ -> Some (r - 1)
       | Too_large _ -> None
@@ -1109,8 +1392,10 @@ module Naive = struct
     | Ok ex -> (
         let comp = scc_of_explored ex in
         let count = Vec.length ex.keys in
-        let seen : (int * int, int * (int * int)) Hashtbl.t =
-          Hashtbl.create 1024
+        (* Packed [scc * n + node] keys and worst-case pre-sizing, as in
+           the fast checker's twin table. *)
+        let seen : (int, int * (int * int)) Hashtbl.t =
+          Hashtbl.create (min (count * ex.n) (1 lsl 16))
         in
         let conflict = ref None in
         let id = ref 0 in
@@ -1126,10 +1411,9 @@ module Naive = struct
                 (fun node ->
                   if !conflict = None then begin
                     let _, y = Protocol.apply p ~input config node in
-                    match Hashtbl.find_opt seen (comp.(!id), node) with
-                    | None ->
-                        Hashtbl.replace seen (comp.(!id), node)
-                          (y, (!id, mask))
+                    let key = (comp.(!id) * ex.n) + node in
+                    match Hashtbl.find_opt seen key with
+                    | None -> Hashtbl.replace seen key (y, (!id, mask))
                     | Some (y0, (src0, mask0)) ->
                         if y0 <> y then
                           conflict := Some ((src0, mask0), (!id, mask), u)

@@ -51,6 +51,10 @@ type verdict =
     benchmarking and regression tracking. *)
 type stats = {
   states : int;  (** vertices of the explored states-graph *)
+  full_states : int;
+      (** vertices of the {e unreduced} states-graph the exploration
+          certifies: equal to [states] without symmetry reduction, the sum
+          of the interned representatives' orbit sizes with it *)
   edges : int;  (** transitions of the explored states-graph *)
   memo_hits : int;  (** transitions answered from the memo table *)
   memo_misses : int;  (** transitions computed (then cached) *)
@@ -66,9 +70,22 @@ val last_stats : unit -> stats option
     [p] on the given input, exhaustively over all initial labelings and all
     r-fair schedules. [domains] (default [1]) expands breadth-first levels
     across that many OCaml domains; the verdict and witness are identical
-    for every value. *)
+    for every value.
+
+    [symmetry] explores the quotient of the states-graph by the given
+    node-automorphism group instead — one canonical representative per
+    orbit — preserving the verdict while shrinking the graph by up to the
+    group order (see DESIGN.md for the soundness argument). The protocol
+    must be equivariant under the group ({!Symmetry.verify} is run first;
+    @raise Invalid_argument on failure). [max_states] still budgets the
+    {e unreduced} space, which the run certifies in full; {!last_stats}
+    reports both [states] (explored) and [full_states] (certified).
+    Oscillating verdicts lift the quotient cycle back to a concrete run, so
+    witnesses stay {!replay}-checkable; the witness may differ from the
+    unreduced explorer's, but the verdict never does. *)
 val check_label :
   ?domains:int ->
+  ?symmetry:Symmetry.t ->
   ('x, 'l) Stateless_core.Protocol.t ->
   input:'x array ->
   r:int ->
@@ -98,9 +115,11 @@ val replay :
     [r <= r_limit] such that [p] is label r-stabilizing (label r-stabilizing
     is antitone in [r]: more adversarial schedules are allowed as [r]
     grows), [0] if even [r = 1] oscillates. Returns [None] when a size
-    budget was hit before reaching a verdict. *)
+    budget was hit before reaching a verdict. [symmetry] as in
+    {!check_label}. *)
 val max_stabilizing_r :
   ?domains:int ->
+  ?symmetry:Symmetry.t ->
   ('x, 'l) Stateless_core.Protocol.t ->
   input:'x array ->
   r_limit:int ->

@@ -1,0 +1,111 @@
+type t = {
+  mutable darr : int array;  (* direct map; may outlive smaller universes *)
+  mutable journal : int Vec.t;  (* keys marked in [darr] since last reset *)
+  mutable keys : int array;  (* hashed mode: open-addressing slots, -1 empty *)
+  mutable ids : int array;
+  mutable mask : int;
+  mutable count : int;
+  mutable mode_direct : bool;
+}
+
+let direct_cap = 1 lsl 24
+let initial_hash_cap = 1 lsl 16
+
+let create () =
+  {
+    darr = [||];
+    journal = Vec.create ~capacity:0 ~dummy:0 ();
+    keys = [||];
+    ids = [||];
+    mask = 0;
+    count = 0;
+    mode_direct = true;
+  }
+
+let hashed t = not t.mode_direct
+let direct t = if t.mode_direct then t.darr else [||]
+
+let reset t ~universe =
+  if universe <= direct_cap then begin
+    if Array.length t.darr < universe then begin
+      (* The journal only describes the old array; a fresh allocation is
+         already clear. *)
+      t.darr <- Array.make universe (-1);
+      Vec.clear t.journal
+    end
+    else begin
+      (* Un-mark exactly the keys the previous direct run interned —
+         hashed runs in between never touch [darr], so the journal stays
+         accurate across mode switches. *)
+      let d = t.darr and j = t.journal in
+      for i = 0 to Vec.length j - 1 do
+        Array.unsafe_set d (Vec.unsafe_get j i) (-1)
+      done;
+      Vec.clear j
+    end;
+    t.mode_direct <- true
+  end
+  else begin
+    if Array.length t.keys = 0 then begin
+      t.keys <- Array.make initial_hash_cap (-1);
+      t.ids <- Array.make initial_hash_cap 0;
+      t.mask <- initial_hash_cap - 1
+    end
+    else Array.fill t.keys 0 (Array.length t.keys) (-1);
+    t.count <- 0;
+    t.mode_direct <- false
+  end
+
+(* Fibonacci multiplicative hash folded with a high-bit xor: state keys are
+   near-consecutive integers, so the multiply is what spreads them. *)
+let[@inline] slot_of_key key mask =
+  let h = key * 0x9E3779B97F4A7C1 in
+  (h lxor (h lsr 29)) land mask
+
+let find t key =
+  if t.mode_direct then Array.unsafe_get t.darr key
+  else begin
+    let keys = t.keys and mask = t.mask in
+    let rec probe i =
+      let k = Array.unsafe_get keys i in
+      if k = key then Array.unsafe_get t.ids i
+      else if k = -1 then -1
+      else probe ((i + 1) land mask)
+    in
+    probe (slot_of_key key mask)
+  end
+
+let insert_hashed keys ids mask key id =
+  let rec probe i =
+    if Array.unsafe_get keys i = -1 then begin
+      Array.unsafe_set keys i key;
+      Array.unsafe_set ids i id
+    end
+    else probe ((i + 1) land mask)
+  in
+  probe (slot_of_key key mask)
+
+let grow t =
+  let old_keys = t.keys and old_ids = t.ids in
+  let cap = 2 * Array.length old_keys in
+  let keys = Array.make cap (-1) and ids = Array.make cap 0 in
+  let mask = cap - 1 in
+  for i = 0 to Array.length old_keys - 1 do
+    let k = Array.unsafe_get old_keys i in
+    if k <> -1 then insert_hashed keys ids mask k (Array.unsafe_get old_ids i)
+  done;
+  t.keys <- keys;
+  t.ids <- ids;
+  t.mask <- mask
+
+let add t ~key ~id =
+  if t.mode_direct then begin
+    Array.unsafe_set t.darr key id;
+    Vec.push t.journal key
+  end
+  else begin
+    (* Keep load factor at or below 1/2 so probe sequences stay short. *)
+    if 2 * (t.count + 1) > Array.length t.keys then grow t;
+    insert_hashed t.keys t.ids t.mask key id;
+    t.count <- t.count + 1
+  end

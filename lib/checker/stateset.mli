@@ -1,0 +1,45 @@
+(** Packed [state key -> id] interning map for the explorer.
+
+    State keys are the checker's mixed-radix codes
+    [lab_code * r^n + cd_code] — dense, bounded by the state-space size —
+    so no boxing and no generic hashing: the map is either
+
+    - {b direct}: an array of [universe] ints (id, or [-1] when absent),
+      used when the universe fits the {!direct_cap} budget. Lookup is one
+      load; hot loops may read the array through {!direct} without a call.
+    - {b hashed}: open-addressing linear probing over parallel int arrays
+      (power-of-two capacity, tombstone-free since keys are never removed),
+      used for universes too large to direct-map — e.g. example1 on K5 at
+      r=2 is 2^20 * 32 ≈ 33.5M states, K6 does not fit memory at all.
+      Memory then scales with states {e reached}, not with the universe.
+
+    A [t] is reused across explorations (it lives in the checker's
+    per-domain scratch): {!reset} un-marks only the keys added since the
+    previous reset (direct mode keeps an internal journal), so repeated
+    small explorations never pay for clearing the whole universe. *)
+
+type t
+
+val create : unit -> t
+
+(** Universes at or below this many keys are direct-mapped (the array costs
+    8 bytes per key). *)
+val direct_cap : int
+
+(** Prepare for a new exploration over keys [0 .. universe - 1], forgetting
+    all previous entries. Chooses direct or hashed mode from [universe]. *)
+val reset : t -> universe:int -> unit
+
+(** [find t key] is the id interned for [key], or [-1]. *)
+val find : t -> int -> int
+
+(** [add t ~key ~id] records [key -> id]. [key] must not be present. *)
+val add : t -> key:int -> id:int -> unit
+
+(** The direct-mapped array (indexable by any key of the current universe),
+    or [[||]] in hashed mode. Hot loops branch on its length once and read
+    ids straight out of it; they must still go through {!add} to insert. *)
+val direct : t -> int array
+
+(** [true] in hashed (open-addressing) mode — for tests. *)
+val hashed : t -> bool

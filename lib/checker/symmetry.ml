@@ -1,0 +1,243 @@
+module Digraph = Stateless_graph.Digraph
+module Protocol = Stateless_core.Protocol
+module Engine = Stateless_core.Engine
+
+type t = {
+  n : int;
+  m : int;
+  node_perms : int array array;
+  edge_perms : int array array;
+  gens : int array array;
+}
+
+let order t = Array.length t.node_perms
+let num_nodes t = t.n
+let num_edges t = t.m
+let node_perms t = t.node_perms
+let edge_perms t = t.edge_perms
+let generators t = t.gens
+
+let is_permutation n p =
+  Array.length p = n
+  &&
+  let seen = Array.make n false in
+  Array.for_all
+    (fun i -> i >= 0 && i < n && not seen.(i) && (seen.(i) <- true; true))
+    p
+
+(* The edge permutation induced by node permutation [p], or [None] when
+   [p] is not an automorphism of [g]. *)
+let edge_perm_of g p =
+  let m = Digraph.num_edges g in
+  let ep = Array.make m (-1) in
+  let ok = ref true in
+  for e = 0 to m - 1 do
+    let u, v = Digraph.edge g e in
+    match Digraph.find_edge g ~src:p.(u) ~dst:p.(v) with
+    | Some e' -> ep.(e) <- e'
+    | None -> ok := false
+  done;
+  if !ok then Some ep else None
+
+let perm_key p = String.init (Array.length p) (fun i -> Char.chr p.(i))
+
+let identity n = Array.init n Fun.id
+let is_identity p = Array.for_all2 ( = ) p (identity (Array.length p))
+
+(* Assemble a [t] from node permutations known to form a group; moves the
+   identity to index 0 and derives edge permutations (validating that each
+   element is an automorphism on the way). *)
+let make ~what g perms ~gens =
+  let n = Digraph.num_nodes g in
+  let id, rest = List.partition is_identity perms in
+  if id = [] then
+    invalid_arg (Printf.sprintf "Symmetry.%s: missing identity" what);
+  let nps = Array.of_list (identity n :: rest) in
+  let eps =
+    Array.map
+      (fun p ->
+        match edge_perm_of g p with
+        | Some ep -> ep
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Symmetry.%s: permutation is not an automorphism"
+                 what))
+      nps
+  in
+  { n; m = Digraph.num_edges g; node_perms = nps; edge_perms = eps; gens }
+
+let of_node_perms g perms =
+  let n = Digraph.num_nodes g in
+  List.iter
+    (fun p ->
+      if not (is_permutation n p) then
+        invalid_arg "Symmetry.of_node_perms: not a permutation of the nodes")
+    perms;
+  (* Dedupe and force the identity in. *)
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun p -> Hashtbl.replace tbl (perm_key p) (Array.copy p))
+    (identity n :: perms);
+  let elems = Hashtbl.fold (fun _ p acc -> p :: acc) tbl [] in
+  (* Closure under composition: for a finite subset of a finite group,
+     closure under the (total) operation is exactly the subgroup test. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let c = Array.init n (fun i -> a.(b.(i))) in
+          if not (Hashtbl.mem tbl (perm_key c)) then
+            invalid_arg
+              "Symmetry.of_node_perms: set is not closed under composition")
+        elems)
+    elems;
+  let gens = List.filter (fun p -> not (is_identity p)) elems in
+  make ~what:"of_node_perms" g elems ~gens:(Array.of_list gens)
+
+let clique g =
+  let n = Digraph.num_nodes g in
+  if n > 8 then invalid_arg "Symmetry.clique: n > 8 (group has n! elements)";
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && not (Digraph.mem_edge g ~src:i ~dst:j) then
+        invalid_arg "Symmetry.clique: graph is not a clique"
+    done
+  done;
+  (* All n! permutations by Heap's algorithm. S_n is a group by
+     construction, so no closure check is needed (it would be n!^2). *)
+  let perms = ref [] in
+  let a = identity n in
+  let rec heap k =
+    if k <= 1 then perms := Array.copy a :: !perms
+    else
+      for i = 0 to k - 1 do
+        heap (k - 1);
+        if i < k - 1 then begin
+          let j = if k land 1 = 0 then i else 0 in
+          let tmp = a.(j) in
+          a.(j) <- a.(k - 1);
+          a.(k - 1) <- tmp
+        end
+      done
+  in
+  heap n;
+  (* Adjacent transpositions generate S_n. *)
+  let gens =
+    Array.init (max 0 (n - 1)) (fun k ->
+        let p = identity n in
+        p.(k) <- k + 1;
+        p.(k + 1) <- k;
+        p)
+  in
+  make ~what:"clique" g !perms ~gens
+
+let ring g =
+  let n = Digraph.num_nodes g in
+  let rotation k = Array.init n (fun i -> (i + k) mod n) in
+  let reflection k = Array.init n (fun i -> ((k - i) mod n + n) mod n) in
+  let candidates =
+    List.init n rotation @ List.init n reflection
+  in
+  (* Aut(G) ∩ D_n is an intersection of groups, hence a group. *)
+  let surviving =
+    List.filter (fun p -> edge_perm_of g p <> None) candidates
+  in
+  if n >= 2 && edge_perm_of g (rotation 1) = None then
+    invalid_arg "Symmetry.ring: rotation by 1 is not an automorphism";
+  (* Dedupe (reflections coincide with rotations for n <= 2). *)
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace tbl (perm_key p) p) surviving;
+  let elems = Hashtbl.fold (fun _ p acc -> p :: acc) tbl [] in
+  let gens = List.filter (fun p -> not (is_identity p)) elems in
+  make ~what:"ring" g elems ~gens:(Array.of_list gens)
+
+(* ------------------------------------------------------------------ *)
+(* Equivariance check                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let nodes_of_mask n mask =
+  let rec loop i acc =
+    if i < 0 then acc
+    else if mask land (1 lsl i) <> 0 then loop (i - 1) (i :: acc)
+    else loop (i - 1) acc
+  in
+  loop (n - 1) []
+
+let verify p ~input t =
+  if Protocol.num_nodes p <> t.n || Protocol.num_edges p <> t.m then
+    invalid_arg "Symmetry.verify: protocol graph shape does not match group";
+  match Protocol.labelings_count p with
+  | None -> invalid_arg "Symmetry.verify: label space too large to sample"
+  | Some lab_count ->
+      let g = p.Protocol.graph in
+      let n = t.n in
+      let pow2n = if n < 30 then 1 lsl n else max_int in
+      let exhaustive = lab_count <= 4096 && n <= 6 in
+      let lab_codes =
+        if exhaustive then List.init lab_count Fun.id
+        else
+          (* Deterministic multiplicative stride spreads samples over the
+             code space; always include the extremes. *)
+          0 :: (lab_count - 1)
+          :: List.init 62 (fun k ->
+                 (k + 1) * 2654435761 land max_int mod lab_count)
+      in
+      let masks =
+        if pow2n <= 64 then List.init (pow2n - 1) (fun m -> m + 1)
+        else
+          (pow2n - 1)
+          :: List.init 63 (fun k ->
+                 1 + ((k + 1) * 40503 land max_int mod (pow2n - 1)))
+      in
+      let permute_labels ep labels =
+        let out = Array.copy labels in
+        Array.iteri (fun e l -> out.(ep.(e)) <- l) labels;
+        out
+      in
+      let code_of labels =
+        Protocol.encode_config p { Protocol.labels; outputs = [||] }
+      in
+      let ok = ref true in
+      Array.iter
+        (fun np ->
+          match edge_perm_of g np with
+          | None -> ok := false
+          | Some ep ->
+              List.iter
+                (fun code ->
+                  if !ok then begin
+                    let conf = Protocol.decode_config p code in
+                    let pconf =
+                      {
+                        conf with
+                        Protocol.labels = permute_labels ep conf.Protocol.labels;
+                      }
+                    in
+                    List.iter
+                      (fun mask ->
+                        if !ok then begin
+                          let active = nodes_of_mask n mask in
+                          let pactive = List.map (fun i -> np.(i)) active in
+                          let next = Engine.step p ~input conf ~active in
+                          let pnext =
+                            Engine.step p ~input pconf ~active:pactive
+                          in
+                          (* step then permute = permute then step *)
+                          if
+                            code_of (permute_labels ep next.Protocol.labels)
+                            <> code_of pnext.Protocol.labels
+                          then ok := false;
+                          List.iter
+                            (fun i ->
+                              let _, y = Protocol.apply p ~input conf i in
+                              let _, y' =
+                                Protocol.apply p ~input pconf np.(i)
+                              in
+                              if y <> y' then ok := false)
+                            active
+                        end)
+                      masks
+                  end)
+                lab_codes)
+        t.gens;
+      !ok

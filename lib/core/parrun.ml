@@ -6,30 +6,43 @@ let env_domains () =
       | Some d when d >= 1 -> Some d
       | Some _ | None -> None)
 
-let chunk_bound n nchunks k = n * k / nchunks
-
-let run_chunk ~ctx n nchunks f k =
-  let lo = chunk_bound n nchunks k and hi = chunk_bound n nchunks (k + 1) in
-  let c = ctx () in
-  Array.init (hi - lo) (fun j -> f c (lo + j))
+(* Chunks per domain. More than one so the pool's chunk stealing can
+   rebalance when task costs are uneven (e.g. recovery runs whose length
+   depends on the seed); small enough that per-chunk overhead (one
+   fetch-and-add, one context lookup) stays negligible. *)
+let grain = 8
 
 let map ?(domains = 1) ~ctx n f =
   if domains < 1 then invalid_arg "Parrun.map: domains must be >= 1";
   if n < 0 then invalid_arg "Parrun.map: negative task count";
   if n = 0 then [||]
+  else if domains = 1 || n = 1 || Pool.in_worker () then begin
+    let c = ctx () in
+    Array.init n (fun i -> f c i)
+  end
   else begin
-    let nchunks = min domains n in
-    if nchunks = 1 then begin
-      let c = ctx () in
-      Array.init n (fun i -> f c i)
-    end
-    else begin
-      let workers =
-        Array.init (nchunks - 1) (fun k ->
-            Domain.spawn (fun () -> run_chunk ~ctx n nchunks f (k + 1)))
-      in
-      let first = run_chunk ~ctx n nchunks f 0 in
-      let rest = Array.to_list (Array.map Domain.join workers) in
-      Array.concat (first :: rest)
-    end
+    (* Task 0 runs on the caller first: its result seeds the result array
+       (no [Obj.magic] placeholder, which would be unsound for floats). *)
+    let c0 = ctx () in
+    let r0 = f c0 0 in
+    let results = Array.make n r0 in
+    let rest = n - 1 in
+    let nchunks = min rest (domains * grain) in
+    let ctxs = Array.make domains None in
+    ctxs.(0) <- Some c0;
+    Pool.run ~domains ~nchunks (fun ~slot chunk ->
+        let c =
+          match ctxs.(slot) with
+          | Some c -> c
+          | None ->
+              let c = ctx () in
+              ctxs.(slot) <- Some c;
+              c
+        in
+        let lo = 1 + (rest * chunk / nchunks)
+        and hi = 1 + (rest * (chunk + 1) / nchunks) in
+        for i = lo to hi - 1 do
+          results.(i) <- f c i
+        done);
+    results
   end

@@ -1,20 +1,24 @@
-(** Deterministic domain-parallel fan-out.
+(** Deterministic domain-parallel fan-out over the persistent {!Pool}.
 
-    [map ~domains ~ctx n f] computes [[| f c 0; f c 1; ...; f c (n-1) |]]
-    where each worker domain evaluates a contiguous index chunk with its own
-    context [c = ctx ()]. Results are concatenated in index order, so the
-    output array is identical for every [domains] value — the same
+    [map ~domains ~ctx n f] computes [[| f c 0; f c 1; ...; f c (n-1) |]].
+    Tasks are split into contiguous index chunks claimed by up to [domains]
+    pool domains; each result is written to its own slot of a pre-sized
+    array, so the output is identical for every [domains] value — the same
     bit-identical contract the checker's multicore explorer gives.
 
     Requirements on [f]: it must be deterministic as a function of its index
     given a fresh context, and may only mutate its context in ways that do
-    not change results (caches, scratch buffers). Contexts are created once
-    per chunk and never shared across domains, so a context may hold
-    domain-unsafe state (e.g. a {!Kernel.t}).
+    not change results (caches, scratch buffers). Contexts are created
+    lazily, at most one per participating domain, and never shared across
+    domains concurrently, so a context may hold domain-unsafe state (e.g. a
+    {!Kernel.t}).
 
-    [domains] defaults to [1] (no spawning at all: [f] runs on the calling
-    domain). With [domains > 1], [min domains n] chunks are used; chunk [0]
-    runs on the calling domain while the rest run on spawned domains. *)
+    [domains] defaults to [1] (everything runs inline on the calling
+    domain). With [domains > 1] the work goes through {!Pool.run}: the
+    calling domain participates alongside up to [domains - 1] persistent
+    pool workers, and several chunks per domain let the pool steal work from
+    uneven chunks. Nested calls (a [map] inside a [map] task, or inside any
+    pool chunk) automatically run inline. *)
 
 val map : ?domains:int -> ctx:(unit -> 'c) -> int -> ('c -> int -> 'a) -> 'a array
 

@@ -1,0 +1,150 @@
+(* Persistent domain pool. See pool.mli for the design contract.
+
+   Synchronization layout: [mu] protects every piece of mutable pool
+   state below ([current], [generation], worker bookkeeping) plus the two
+   condition variables. Within a job, chunk claiming and completion
+   counting are lock-free atomics; the mutex is only touched to park and
+   to signal the final completion. *)
+
+type job = {
+  run : slot:int -> int -> unit;
+  nchunks : int;
+  parallelism : int;  (* domains working this job, submitter included *)
+  next : int Atomic.t;  (* next unclaimed chunk *)
+  unfinished : int Atomic.t;  (* chunks not yet completed *)
+  joined : int Atomic.t;  (* helper slots handed out *)
+  mutable failed : exn option;  (* first chunk exception, under [mu] *)
+}
+
+let mu = Mutex.create ()
+let work_cv = Condition.create ()
+let done_cv = Condition.create ()
+let current : job option ref = ref None
+
+(* Bumped once per published job so a worker that already served job [g]
+   can tell a fresh job from a spurious wakeup on the same slot. *)
+let generation = ref 0
+let workers : unit Domain.t list ref = ref []
+let worker_count = ref 0
+let quit = ref false
+let teardown_registered = ref false
+
+(* Stay well clear of the runtime's hard domain cap (128); a single pool
+   job never benefits from more helpers than chunks anyway. *)
+let max_workers = 60
+
+let busy_key = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get busy_key
+let size () = !worker_count
+
+let record_failure j exn =
+  Mutex.lock mu;
+  (match j.failed with None -> j.failed <- Some exn | Some _ -> ());
+  Mutex.unlock mu
+
+(* Claim and run chunks until none remain. The domain completing the last
+   chunk wakes the submitter. *)
+let execute j ~slot =
+  let rec loop () =
+    let c = Atomic.fetch_and_add j.next 1 in
+    if c < j.nchunks then begin
+      (try j.run ~slot c with exn -> record_failure j exn);
+      if Atomic.fetch_and_add j.unfinished (-1) = 1 then begin
+        Mutex.lock mu;
+        Condition.broadcast done_cv;
+        Mutex.unlock mu
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let worker () =
+  Domain.DLS.set busy_key true;
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock mu;
+    while (not !quit) && (!generation = !seen || !current = None) do
+      Condition.wait work_cv mu
+    done;
+    if !quit then begin
+      Mutex.unlock mu;
+      running := false
+    end
+    else begin
+      seen := !generation;
+      let j = Option.get !current in
+      Mutex.unlock mu;
+      (* Jobs cap their helper count; late wakers find the slots taken and
+         go straight back to sleep. A stale job (already drained while we
+         woke) costs one failed claim. *)
+      let k = Atomic.fetch_and_add j.joined 1 in
+      if k < j.parallelism - 1 then execute j ~slot:(k + 1)
+    end
+  done
+
+let teardown () =
+  Mutex.lock mu;
+  quit := true;
+  Condition.broadcast work_cv;
+  let ws = !workers in
+  workers := [];
+  worker_count := 0;
+  Mutex.unlock mu;
+  List.iter Domain.join ws
+
+let ensure_workers wanted =
+  let wanted = min wanted max_workers in
+  if !worker_count < wanted then begin
+    Mutex.lock mu;
+    if not !teardown_registered then begin
+      teardown_registered := true;
+      at_exit teardown
+    end;
+    while !worker_count < wanted && not !quit do
+      workers := Domain.spawn worker :: !workers;
+      incr worker_count
+    done;
+    Mutex.unlock mu
+  end
+
+let run ~domains ~nchunks f =
+  if domains < 1 then invalid_arg "Pool.run: domains must be >= 1";
+  if nchunks < 0 then invalid_arg "Pool.run: negative chunk count";
+  if nchunks = 0 then ()
+  else if domains = 1 || nchunks = 1 || in_worker () then
+    for c = 0 to nchunks - 1 do
+      f ~slot:0 c
+    done
+  else begin
+    ensure_workers (min (domains - 1) (nchunks - 1));
+    let j =
+      {
+        run = f;
+        nchunks;
+        parallelism = domains;
+        next = Atomic.make 0;
+        unfinished = Atomic.make nchunks;
+        joined = Atomic.make 0;
+        failed = None;
+      }
+    in
+    Mutex.lock mu;
+    current := Some j;
+    incr generation;
+    Condition.broadcast work_cv;
+    Mutex.unlock mu;
+    (* The submitter works too: [domains = 1 + helpers]. *)
+    Domain.DLS.set busy_key true;
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set busy_key false)
+      (fun () -> execute j ~slot:0);
+    Mutex.lock mu;
+    while Atomic.get j.unfinished > 0 do
+      Condition.wait done_cv mu
+    done;
+    current := None;
+    Mutex.unlock mu;
+    match j.failed with None -> () | Some exn -> raise exn
+  end

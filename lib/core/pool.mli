@@ -1,0 +1,44 @@
+(** Persistent domain pool with work stealing.
+
+    The seed [Parrun] spawned fresh domains on every [map] call, and the
+    checker respawned domains per BFS level. Domain spawn costs hundreds of
+    microseconds plus a stop-the-world barrier, so on campaign-sized work
+    items N domains ran slower than one. This pool spawns worker domains
+    once, lazily, and parks them on a condition variable between jobs;
+    submitting a job costs one lock and a broadcast.
+
+    A job is a set of chunks [0 .. nchunks - 1]. Chunks are claimed with an
+    atomic fetch-and-add — idle domains (the submitter included) steal the
+    next unclaimed chunk, so uneven chunks balance automatically without
+    per-worker queues.
+
+    Determinism is the caller's contract: each chunk must write its results
+    into caller-owned slots disjoint from every other chunk's, so the
+    assembled output is independent of which domain ran which chunk and of
+    the pool size. *)
+
+(** [run ~domains ~nchunks f] executes [f ~slot c] for every chunk
+    [c < nchunks], using the calling domain plus up to [domains - 1] pool
+    workers. [slot] identifies the executing domain within this job:
+    [0] for the caller, [1 .. domains - 1] for helpers; slots are compact,
+    so per-slot caller state (contexts, caches) can live in a
+    [domains]-sized array. A slot is only ever used by one domain per job.
+
+    Runs chunks inline on the calling domain when [domains = 1], when
+    [nchunks <= 1], or when called from inside a pool job (nested parallel
+    sections run sequentially rather than deadlock on the single job slot).
+
+    If a chunk raises, remaining chunks are still claimed (work already in
+    flight cannot be recalled), and the first exception is re-raised on the
+    calling domain after all chunks finish. *)
+val run : domains:int -> nchunks:int -> (slot:int -> int -> unit) -> unit
+
+(** [in_worker ()] is [true] while the calling domain is executing a pool
+    chunk (worker or submitter). Parallel code paths use it to fall back to
+    their sequential variants when nested inside a pool job. *)
+val in_worker : unit -> bool
+
+(** Number of worker domains currently parked in the pool (for tests and
+    diagnostics; the pool grows lazily up to the largest [domains - 1]
+    requested, bounded well below the runtime's domain cap). *)
+val size : unit -> int

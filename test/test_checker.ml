@@ -478,6 +478,188 @@ let test_domains_deterministic () =
         [ 1; 2 ])
     diff_cases
 
+(* ------------------------------------------------------------------ *)
+(* Symmetry reduction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Symmetry = Stateless_checker.Symmetry
+module Stateset = Stateless_checker.Stateset
+
+let sym_cases =
+  [
+    ("clique3", Clique_example.make 3, Clique_example.input 3, `Clique);
+    ("clique4", Clique_example.make 4, Clique_example.input 4, `Clique);
+    ("copy-ring-uni-4", copy_ring_uni 4, unit_input 4, `Ring);
+    ("copy-ring-uni-5", copy_ring_uni 5, unit_input 5, `Ring);
+    (* [copy_ring_bi] copies from a direction-specific neighbor, so it is
+       rotation- but not reflection-equivariant: on the bidirectional ring
+       the full [Symmetry.ring] dihedral group is too big, and the
+       rotations-only subgroup must be given explicitly. *)
+    ("copy-ring-bi-3", copy_ring_bi 3, unit_input 3, `Rotations 3);
+    ("rotor-loud-3", rotor_loud 3, unit_input 3, `Ring);
+    ("constant-ring-3", constant_ring 3, unit_input 3, `Ring);
+  ]
+
+let group_of kind g =
+  match kind with
+  | `Clique -> Symmetry.clique g
+  | `Ring -> Symmetry.ring g
+  | `Rotations n ->
+      let rot k = Array.init n (fun i -> (i + k) mod n) in
+      Symmetry.of_node_perms g (List.init (n - 1) (fun k -> rot (k + 1)))
+
+let test_symmetry_group_orders () =
+  check "S_4 on clique4" 24
+    (Symmetry.order (Symmetry.clique (Clique_example.make 4).Protocol.graph));
+  check "rotations on uni 5-ring" 5
+    (Symmetry.order (Symmetry.ring (Builders.ring_uni 5)));
+  check "dihedral on bi 4-ring" 8
+    (Symmetry.order (Symmetry.ring (Builders.ring_bi 4)))
+
+let test_symmetry_of_node_perms () =
+  let g = Builders.ring_uni 4 in
+  let rot k = Array.init 4 (fun i -> (i + k) mod 4) in
+  check "cyclic group from explicit rotations" 4
+    (Symmetry.order (Symmetry.of_node_perms g [ rot 1; rot 2; rot 3 ]));
+  (* A single non-trivial rotation is not closed under composition. *)
+  (try
+     ignore (Symmetry.of_node_perms g [ rot 1 ]);
+     Alcotest.fail "non-closed set accepted"
+   with Invalid_argument _ -> ());
+  (* A reflection is not an automorphism of the directed ring. *)
+  try
+    ignore
+      (Symmetry.of_node_perms g [ Array.init 4 (fun i -> (4 - i) mod 4) ]);
+    Alcotest.fail "non-automorphism accepted"
+  with Invalid_argument _ -> ()
+
+(* The quotient explorer must agree with the unreduced one on every
+   fixture: same verdict, replayable lifted witnesses, and the orbit sizes
+   of the explored representatives must sum to exactly the unreduced
+   reachable count. *)
+let test_symmetry_differential () =
+  List.iter
+    (fun (name, p, input, kind) ->
+      let sym = group_of kind p.Protocol.graph in
+      check_bool (name ^ " equivariant") true (Symmetry.verify p ~input sym);
+      List.iter
+        (fun r ->
+          let ctx verb = Printf.sprintf "%s r=%d %s" name r verb in
+          let plain = Checker.check_label p ~input ~r ~max_states:budget in
+          let pstats = Option.get (Checker.last_stats ()) in
+          check (ctx "unreduced full_states = states") pstats.Checker.states
+            pstats.Checker.full_states;
+          let red =
+            Checker.check_label ~symmetry:sym p ~input ~r ~max_states:budget
+          in
+          let rstats = Option.get (Checker.last_stats ()) in
+          (match (plain, red) with
+          | Checker.Stabilizing, Checker.Stabilizing -> ()
+          | Checker.Oscillating _, Checker.Oscillating w ->
+              check_bool (ctx "lifted witness replays") true
+                (Checker.replay p ~input w)
+          | _ ->
+              Alcotest.fail
+                (ctx "quotient verdict disagrees with unreduced"));
+          check (ctx "orbits cover the unreduced graph")
+            pstats.Checker.states rstats.Checker.full_states;
+          check_bool (ctx "quotient is no larger") true
+            (rstats.Checker.states <= pstats.Checker.states))
+        [ 1; 2; 3 ])
+    sym_cases
+
+let test_symmetry_max_r () =
+  let p = Clique_example.make 4 in
+  let input = Clique_example.input 4 in
+  let sym = Symmetry.clique p.Protocol.graph in
+  check "max stabilizing r via quotient" 2
+    (Option.get
+       (Checker.max_stabilizing_r ~symmetry:sym p ~input ~r_limit:3
+          ~max_states:budget))
+
+let test_symmetry_domains_deterministic () =
+  let p = Clique_example.make 4 in
+  let input = Clique_example.input 4 in
+  let sym = Symmetry.clique p.Protocol.graph in
+  let seq = Checker.check_label ~symmetry:sym p ~input ~r:2 ~max_states:budget in
+  List.iter
+    (fun domains ->
+      let par =
+        Checker.check_label ~domains ~symmetry:sym p ~input ~r:2
+          ~max_states:budget
+      in
+      check_bool
+        (Printf.sprintf "sym domains=%d bit-identical" domains)
+        true (seq = par))
+    [ 2; 3; 8 ]
+
+let test_symmetry_rejects_asymmetric () =
+  (* Node 0 behaves differently, so the rotation group does not commute
+     with the dynamics. *)
+  let p : (unit, bool) Protocol.t =
+    {
+      Protocol.name = "lopsided-ring";
+      graph = Builders.ring_uni 4;
+      space = Label.bool;
+      react = (fun i () incoming -> ([| (if i = 0 then true else incoming.(0)) |], 0));
+    }
+  in
+  let sym = Symmetry.ring p.Protocol.graph in
+  check_bool "verify refutes" false (Symmetry.verify p ~input:(unit_input 4) sym);
+  try
+    ignore
+      (Checker.check_label ~symmetry:sym p ~input:(unit_input 4) ~r:1
+         ~max_states:budget);
+    Alcotest.fail "asymmetric protocol accepted"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Stateset                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_stateset_direct () =
+  let s = Stateset.create () in
+  Stateset.reset s ~universe:1000;
+  check_bool "direct mode" false (Stateset.hashed s);
+  check "absent" (-1) (Stateset.find s 123);
+  Stateset.add s ~key:123 ~id:0;
+  Stateset.add s ~key:999 ~id:1;
+  check "found" 0 (Stateset.find s 123);
+  check "found hi" 1 (Stateset.find s 999);
+  Stateset.reset s ~universe:1000;
+  check "reset forgets" (-1) (Stateset.find s 123);
+  check "reset forgets hi" (-1) (Stateset.find s 999)
+
+let test_stateset_hashed () =
+  let s = Stateset.create () in
+  let universe = Stateset.direct_cap + 1 in
+  Stateset.reset s ~universe;
+  check_bool "hashed mode" true (Stateset.hashed s);
+  (* Enough keys to force several growth cycles. *)
+  let count = 200_000 in
+  for i = 0 to count - 1 do
+    Stateset.add s ~key:((i * 97) + 5) ~id:i
+  done;
+  let ok = ref true in
+  for i = 0 to count - 1 do
+    if Stateset.find s ((i * 97) + 5) <> i then ok := false
+  done;
+  check_bool "all found after growth" true !ok;
+  check "absent key" (-1) (Stateset.find s 4);
+  Stateset.reset s ~universe;
+  check "reset forgets" (-1) (Stateset.find s 5)
+
+let test_stateset_mode_switch () =
+  (* Direct entries must not leak through an interleaved hashed run. *)
+  let s = Stateset.create () in
+  Stateset.reset s ~universe:64;
+  Stateset.add s ~key:7 ~id:0;
+  Stateset.reset s ~universe:(Stateset.direct_cap + 1);
+  Stateset.add s ~key:7 ~id:42;
+  check "hashed sees its own" 42 (Stateset.find s 7);
+  Stateset.reset s ~universe:64;
+  check "direct entry gone" (-1) (Stateset.find s 7)
+
 let () =
   Alcotest.run "stateless_checker"
     [
@@ -531,6 +713,27 @@ let () =
             test_differential_hits_too_large;
           Alcotest.test_case "domains=2 bit-identical" `Quick
             test_domains_deterministic;
+        ] );
+      ( "symmetry",
+        [
+          Alcotest.test_case "group orders" `Quick test_symmetry_group_orders;
+          Alcotest.test_case "explicit perms validated" `Quick
+            test_symmetry_of_node_perms;
+          Alcotest.test_case "quotient vs unreduced, all cases, r=1..3" `Quick
+            test_symmetry_differential;
+          Alcotest.test_case "max stabilizing r via quotient" `Quick
+            test_symmetry_max_r;
+          Alcotest.test_case "quotient domains bit-identical" `Quick
+            test_symmetry_domains_deterministic;
+          Alcotest.test_case "asymmetric protocol rejected" `Quick
+            test_symmetry_rejects_asymmetric;
+        ] );
+      ( "stateset",
+        [
+          Alcotest.test_case "direct mode" `Quick test_stateset_direct;
+          Alcotest.test_case "hashed mode growth" `Quick test_stateset_hashed;
+          Alcotest.test_case "mode switch isolation" `Quick
+            test_stateset_mode_switch;
         ] );
       ("properties", qcheck_tests);
     ]

@@ -244,8 +244,9 @@ let test_parrun_identical_across_domains () =
     @ (match Parrun.env_domains () with Some d -> [ d ] | None -> []))
 
 let test_parrun_ctx_per_chunk () =
-  (* Each chunk gets a private context; with enough work per chunk the
-     counter restarts from zero [min domains n] times. *)
+  (* Contexts are created lazily, at most one per participating domain;
+     every task sees some context, and no context is double-counted
+     (total increments = total tasks). *)
   let domains = 4 and n = 12 in
   let results =
     Parrun.map ~domains ~ctx:(fun () -> ref 0) n (fun c i ->
@@ -260,7 +261,9 @@ let test_parrun_ctx_per_chunk () =
     |> List.filter (fun (_, c) -> c = 1)
     |> List.length
   in
-  Alcotest.(check int) "one fresh context per chunk" domains restarts
+  Alcotest.(check bool) "at least one context" true (restarts >= 1);
+  Alcotest.(check bool)
+    "at most one context per domain" true (restarts <= domains)
 
 let test_parrun_edge_cases () =
   Alcotest.(check (array int)) "empty" [||]
