@@ -484,6 +484,14 @@ let domains_arg =
   in
   Arg.(value & opt pos_int_conv 1 & info [ "domains" ] ~doc ~docv:"D")
 
+let batch_arg =
+  let doc =
+    "Step campaign runs in lock-step blocks of $(docv) instances through \
+     the batched SoA kernel. Results are bit-identical for every value; \
+     only wall time changes."
+  in
+  Arg.(value & opt pos_int_conv 1 & info [ "batch" ] ~doc ~docv:"B")
+
 let out_arg =
   let doc = "Also write the campaign as JSON to $(docv)." in
   Arg.(value & opt (some string) None & info [ "o"; "out" ] ~doc ~docv:"FILE")
@@ -529,7 +537,7 @@ let faults_cmd =
   let max_steps_arg =
     max_steps_arg ~doc:"Give up on a run after $(docv) recovery steps."
   in
-  let run scenario fractions runs max_steps domains seed0 out =
+  let run scenario fractions runs max_steps domains seed0 batch out =
     let scenarios =
       match scenario with
       | `All -> Faultlab.default_scenarios ()
@@ -539,7 +547,7 @@ let faults_cmd =
     in
     let campaigns =
       List.map
-        (Faultlab.run ~fractions ~seeds:runs ~max_steps ~domains ~seed0)
+        (Faultlab.run ~fractions ~seeds:runs ~max_steps ~domains ~seed0 ~batch)
         scenarios
     in
     List.iter (Faultlab.print_campaign stdout) campaigns;
@@ -560,7 +568,7 @@ let faults_cmd =
   Cmd.v info
     Term.(
       const run $ scenario_arg $ fractions_arg $ runs_arg $ max_steps_arg
-      $ domains_arg $ seed_arg $ out_arg)
+      $ domains_arg $ seed_arg $ batch_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* netlab                                                              *)
@@ -615,7 +623,7 @@ let netlab_cmd =
     max_steps_arg ~doc:"Give up on post-storm recovery after $(docv) steps."
   in
   let run scenario loss delay dup crash max_delay crash_len k window runs storm
-      max_steps domains seed0 out =
+      max_steps domains seed0 batch out =
     let budget = { Netlab.k; window } in
     (* Any explicit rate flag selects a single custom level; otherwise run
        the default rising loss/delay sweep. *)
@@ -638,7 +646,7 @@ let netlab_cmd =
     let campaigns =
       List.map
         (Netlab.run ~levels ~seeds:runs ~storm ~max_steps ~domains ~seed0
-           ~budget)
+           ~batch ~budget)
         scenarios
     in
     List.iter (Netlab.print_campaign stdout) campaigns;
@@ -660,7 +668,8 @@ let netlab_cmd =
     Term.(
       const run $ scenario_arg $ loss_arg $ delay_arg $ dup_arg $ crash_arg
       $ max_delay_arg $ crash_len_arg $ budget_arg $ window_arg $ runs_arg
-      $ storm_arg $ max_steps_arg $ domains_arg $ seed_arg $ out_arg)
+      $ storm_arg $ max_steps_arg $ domains_arg $ seed_arg $ batch_arg
+      $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* byz                                                                 *)
@@ -792,7 +801,8 @@ let byz_cmd =
               (if f.Byzcheck.stabilizes then "stabilizes" else "diverges"))
           c.Byzcheck.fates
   in
-  let campaign scenario byz strategy runs attack max_steps domains seed0 out =
+  let campaign scenario byz strategy runs attack max_steps domains seed0 batch
+      out =
     let scenarios =
       match scenario with
       | `All -> Byzlab.default_scenarios ()
@@ -821,7 +831,7 @@ let byz_cmd =
       List.map
         (fun sc ->
           Byzlab.run ?placements ~seeds:runs ~attack ~max_steps ~domains
-            ~seed0 ~strategy sc)
+            ~seed0 ~batch ~strategy sc)
         scenarios
     in
     List.iter (Byzlab.print_campaign stdout) campaigns;
@@ -833,8 +843,8 @@ let byz_cmd =
         close_out oc;
         Printf.printf "  [wrote %s]\n" path
   in
-  let run scenario n byz strategy runs attack max_steps domains seed0 certify_p
-      r budget out =
+  let run scenario n byz strategy runs attack max_steps domains seed0 batch
+      certify_p r budget out =
     if certify_p then (
       (match scenario with
       | `All | `Example1 -> ()
@@ -843,7 +853,9 @@ let byz_cmd =
             "stateless: --certify supports only the example1 scenario";
           exit 124);
       certify n byz r budget)
-    else campaign scenario byz strategy runs attack max_steps domains seed0 out
+    else
+      campaign scenario byz strategy runs attack max_steps domains seed0 batch
+        out
   in
   let info =
     Cmd.info "byz"
@@ -856,7 +868,7 @@ let byz_cmd =
     Term.(
       const run $ scenario_arg $ nodes_arg $ byz_nodes_arg $ strategy_arg
       $ runs_arg $ attack_arg $ max_steps_arg $ domains_arg $ seed_arg
-      $ certify_arg $ r_arg $ budget_arg $ out_arg)
+      $ batch_arg $ certify_arg $ r_arg $ budget_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 

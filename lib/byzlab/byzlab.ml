@@ -35,6 +35,7 @@
 module Protocol = Stateless_core.Protocol
 module Engine = Stateless_core.Engine
 module Kernel = Stateless_core.Kernel
+module Batch = Stateless_core.Batch
 module Schedule = Stateless_core.Schedule
 module Label = Stateless_core.Label
 module Parrun = Stateless_core.Parrun
@@ -389,12 +390,27 @@ type measure_fn =
   max_steps:int ->
   run_result
 
+(* The attack phase stays per-instance: each run's Byzantine RNG draw
+   order ([Seeded_random]) and minority computation ([Anti_majority])
+   are coupled to that run's own trajectory, so attacks cannot share a
+   lock-step sweep. Only the fault-free post-attack recovery — the
+   settle or re-lock loop, which dominates the step count — batches
+   through {!Batch}. *)
+type batch_measure_fn =
+  byzs:int list array ->
+  strategy:strategy ->
+  attack:int ->
+  seeds:int array ->
+  max_steps:int ->
+  run_result array
+
 type scenario = {
   name : string;
   schedule_name : string;
   nodes : int;
   placements : int list list;
   fresh : unit -> measure_fn;
+  fresh_batch : unit -> batch_measure_fn;
 }
 
 (* Hop distance from the Byzantine set (min over members); -1 for
@@ -476,12 +492,58 @@ let example1 ?(n = 4) () =
       result_of ~graph:p.Protocol.graph ~byz ~deviated ~deviant_steps:!deviant
         ~recovery
   in
+  let fresh_batch () =
+    let kern = Kernel.create p ~input in
+    let bt = Batch.create kern in
+    let healthy =
+      match Kernel.settle kern ~init ~schedule ~max_steps:10_000 with
+      | Some h -> h
+      | None -> invalid_arg "Byzlab.example1: healthy run did not settle"
+    in
+    let reference = healthy.Engine.settled_outputs in
+    let steady = healthy.Engine.horizon_config in
+    fun ~byzs ~strategy ~attack ~seeds ~max_steps ->
+      let b = Array.length seeds in
+      let deviated = Array.init b (fun _ -> Array.make n false) in
+      let deviant = Array.make b 0 in
+      let posts =
+        Array.init b (fun t ->
+            let ch =
+              Packed.create ~kernel:kern p ~input ~byz:byzs.(t) ~strategy
+                ~schedule ~seed:seeds.(t) ~init:steady
+            in
+            let mem = byz_member n byzs.(t) in
+            for _ = 1 to attack do
+              Packed.step ch;
+              let outs = Packed.outputs ch in
+              let bad = ref false in
+              for i = 0 to n - 1 do
+                if (not mem.(i)) && outs.(i) <> reference.(i) then begin
+                  deviated.(t).(i) <- true;
+                  bad := true
+                end
+              done;
+              if !bad then deviant.(t) <- deviant.(t) + 1
+            done;
+            Packed.config ch)
+      in
+      let settled = Batch.settle bt ~inits:posts ~schedule ~max_steps in
+      Array.init b (fun t ->
+          let recovery =
+            match settled.(t) with
+            | Some s -> Some s.Engine.settle_time
+            | None -> None
+          in
+          result_of ~graph:p.Protocol.graph ~byz:byzs.(t)
+            ~deviated:deviated.(t) ~deviant_steps:deviant.(t) ~recovery)
+  in
   {
     name = Printf.sprintf "example1_k%d" n;
     schedule_name = schedule.Schedule.name;
     nodes = n;
     placements = [ []; [ 0 ]; [ 0; 1 ] ];
     fresh;
+    fresh_batch;
   }
 
 (* A unidirectional relay ring: each node forwards the label it reads and
@@ -535,12 +597,51 @@ let relay_ring ?(n = 6) () =
       result_of ~graph:p.Protocol.graph ~byz ~deviated ~deviant_steps:!deviant
         ~recovery
   in
+  let fresh_batch () =
+    let kern = Kernel.create p ~input in
+    let bt = Batch.create kern in
+    fun ~byzs ~strategy ~attack ~seeds ~max_steps ->
+      let b = Array.length seeds in
+      let deviated = Array.init b (fun _ -> Array.make n false) in
+      let deviant = Array.make b 0 in
+      let posts =
+        Array.init b (fun t ->
+            let ch =
+              Packed.create ~kernel:kern p ~input ~byz:byzs.(t) ~strategy
+                ~schedule ~seed:seeds.(t) ~init
+            in
+            let mem = byz_member n byzs.(t) in
+            for _ = 1 to attack do
+              Packed.step ch;
+              let outs = Packed.outputs ch in
+              let bad = ref false in
+              for i = 0 to n - 1 do
+                if (not mem.(i)) && outs.(i) <> 0 then begin
+                  deviated.(t).(i) <- true;
+                  bad := true
+                end
+              done;
+              if !bad then deviant.(t) <- deviant.(t) + 1
+            done;
+            Packed.config ch)
+      in
+      let settled = Batch.settle bt ~inits:posts ~schedule ~max_steps in
+      Array.init b (fun t ->
+          let recovery =
+            match settled.(t) with
+            | Some s -> Some s.Engine.settle_time
+            | None -> None
+          in
+          result_of ~graph:p.Protocol.graph ~byz:byzs.(t)
+            ~deviated:deviated.(t) ~deviant_steps:deviant.(t) ~recovery)
+  in
   {
     name = Printf.sprintf "relay_ring_%d" n;
     schedule_name = schedule.Schedule.name;
     nodes = n;
     placements = [ []; [ 0 ]; [ 0; 1 ]; [ 0; n / 2 ] ];
     fresh;
+    fresh_batch;
   }
 
 (* The D-counter: an attack step is deviant when the correct nodes'
@@ -644,12 +745,103 @@ let d_counter ?(n = 5) ?(d = 8) () =
       result_of ~graph:p.Protocol.graph ~byz ~deviated ~deviant_steps:!deviant
         ~recovery:!found
   in
+  let fresh_batch () =
+    let kern = Kernel.create p ~input in
+    let bt = Batch.create kern in
+    let counter_at labels j =
+      let _, (_, _, c) = Kernel.decode_label kern labels.(first_out.(j)) in
+      c
+    in
+    let counter_at_plane ~j i =
+      let _, (_, _, c) =
+        Kernel.decode_label kern (Batch.label_code bt ~j first_out.(i))
+      in
+      c
+    in
+    let agreed_plane ~j =
+      let c0 = counter_at_plane ~j 0 in
+      let rec go i = i >= n || (counter_at_plane ~j i = c0 && go (i + 1)) in
+      go 1
+    in
+    let everyone = List.init n Fun.id in
+    fun ~byzs ~strategy ~attack ~seeds ~max_steps ->
+      let b = Array.length seeds in
+      let deviated = Array.init b (fun _ -> Array.make n false) in
+      let deviant = Array.make b 0 in
+      let vals = Array.make n 0 in
+      let posts =
+        Array.init b (fun t ->
+            let ch =
+              Packed.create ~kernel:kern p ~input ~byz:byzs.(t) ~strategy
+                ~schedule ~seed:seeds.(t) ~init:steady
+            in
+            let mem = byz_member n byzs.(t) in
+            for _ = 1 to attack do
+              Packed.step ch;
+              let labels = Packed.labels ch in
+              for i = 0 to n - 1 do
+                vals.(i) <- counter_at labels i
+              done;
+              let modal = ref 0 and modal_count = ref (-1) in
+              for i = 0 to n - 1 do
+                if not mem.(i) then begin
+                  let c = ref 0 in
+                  for j = 0 to n - 1 do
+                    if (not mem.(j)) && vals.(j) = vals.(i) then incr c
+                  done;
+                  if
+                    !c > !modal_count
+                    || (!c = !modal_count && vals.(i) < !modal)
+                  then begin
+                    modal := vals.(i);
+                    modal_count := !c
+                  end
+                end
+              done;
+              let bad = ref false in
+              for i = 0 to n - 1 do
+                if (not mem.(i)) && vals.(i) <> !modal then begin
+                  deviated.(t).(i) <- true;
+                  bad := true
+                end
+              done;
+              if !bad then deviant.(t) <- deviant.(t) + 1
+            done;
+            Packed.config ch)
+      in
+      (* Batched re-lock. The per-instance loop takes one more step after
+         recording [found], so retiring at [found] cannot change it. *)
+      Batch.load_block bt posts;
+      let run_len = Array.make b 0 in
+      let found = Array.make b None in
+      let s = ref 0 in
+      while Batch.live_count bt > 0 && !s <= max_steps do
+        for t = 0 to b - 1 do
+          if Batch.is_live bt ~j:t then
+            if agreed_plane ~j:t then begin
+              run_len.(t) <- run_len.(t) + 1;
+              if run_len.(t) >= d then begin
+                found.(t) <- Some (!s - d + 1);
+                Batch.retire bt ~j:t
+              end
+            end
+            else run_len.(t) <- 0
+        done;
+        Batch.step bt ~active:everyone;
+        incr s
+      done;
+      Array.init b (fun t ->
+          result_of ~graph:p.Protocol.graph ~byz:byzs.(t)
+            ~deviated:deviated.(t) ~deviant_steps:deviant.(t)
+            ~recovery:found.(t))
+  in
   {
     name = Printf.sprintf "d_counter_n%d_d%d" n d;
     schedule_name = schedule.Schedule.name;
     nodes = n;
     placements = [ []; [ 0 ]; [ 0; 2 ] ];
     fresh;
+    fresh_batch;
   }
 
 let default_scenarios () = [ example1 (); relay_ring (); d_counter () ]
@@ -692,7 +884,7 @@ let percentile sorted q =
     sorted.(max 0 (min (k - 1) rank))
 
 let run ?placements ?(seeds = 20) ?(attack = 400) ?(max_steps = 10_000)
-    ?(domains = 1) ?(seed0 = 1) ~strategy sc =
+    ?(domains = 1) ?(seed0 = 1) ?(batch = 1) ~strategy sc =
   let pls =
     Array.of_list
       (match placements with Some p -> p | None -> sc.placements)
@@ -700,12 +892,25 @@ let run ?placements ?(seeds = 20) ?(attack = 400) ?(max_steps = 10_000)
   let nl = Array.length pls in
   (* One flat placement × seed grid through Parrun.map: contexts are built
      once per domain, results return in grid order, and aggregation is a
-     fold over that order — campaigns are identical for every [domains]. *)
+     fold over that order — campaigns are identical for every [domains].
+     With [batch > 1] the same grid goes through map_batched in blocks;
+     blocks may span placement levels, so the batched context takes a
+     per-index placement array. *)
   let results =
-    Parrun.map ~domains ~ctx:sc.fresh (nl * seeds) (fun measure idx ->
-        measure ~byz:pls.(idx / seeds) ~strategy ~attack
-          ~seed:(seed0 + (idx mod seeds))
-          ~max_steps)
+    if batch <= 1 then
+      Parrun.map ~domains ~ctx:sc.fresh (nl * seeds) (fun measure idx ->
+          measure ~byz:pls.(idx / seeds) ~strategy ~attack
+            ~seed:(seed0 + (idx mod seeds))
+            ~max_steps)
+    else
+      Parrun.map_batched ~domains ~batch ~ctx:sc.fresh_batch (nl * seeds)
+        (fun bf ~lo ~hi ->
+          let len = hi - lo in
+          bf
+            ~byzs:(Array.init len (fun t -> pls.((lo + t) / seeds)))
+            ~strategy ~attack
+            ~seeds:(Array.init len (fun t -> seed0 + ((lo + t) mod seeds)))
+            ~max_steps)
   in
   let levels =
     List.mapi
@@ -781,10 +986,15 @@ let print_campaign oc c =
         s.worst_radius s.recovered s.runs s.mean_recovery s.p50 s.p95 s.worst)
     c.levels
 
-let write_json ?host ?(certification = []) oc campaigns =
+let write_json ?host ?batch ?(certification = []) oc campaigns =
   Printf.fprintf oc "{\n  \"benchmark\": \"byzlab\",\n";
   (match host with
   | Some h -> Printf.fprintf oc "  \"host\": %s,\n" h
+  | None -> ());
+  (match batch with
+  | Some (k, identical) ->
+      Printf.fprintf oc "  \"batch\": { \"k\": %d, \"identical\": %b },\n" k
+        identical
   | None -> ());
   if certification <> [] then begin
     Printf.fprintf oc "  \"certification\": [\n";

@@ -119,6 +119,20 @@ type measure_fn =
   max_steps:int ->
   run_result
 
+type batch_measure_fn =
+  byzs:int list array ->
+  strategy:strategy ->
+  attack:int ->
+  seeds:int array ->
+  max_steps:int ->
+  run_result array
+(** Measures a contiguous block of the placement × seed grid: element
+    [t] is exactly what {!measure_fn} returns for
+    [(byzs.(t), seeds.(t))]. Attacks stay per-instance (each run's
+    strategy decisions are coupled to its own trajectory); the
+    fault-free post-attack recovery phase runs in lock-step through
+    {!Stateless_core.Batch}. *)
+
 type scenario = {
   name : string;
   schedule_name : string;
@@ -127,6 +141,9 @@ type scenario = {
   fresh : unit -> measure_fn;
       (** build per-domain measurement state (kernels are not
           domain-safe) *)
+  fresh_batch : unit -> batch_measure_fn;
+      (** the batched twin over a shared kernel, bit-identical per index
+          to [fresh]'s closure; also once per domain *)
 }
 
 (** Example 1 on K_n (default [n = 4]): reference = the healthy run's
@@ -175,7 +192,9 @@ type campaign = {
 (** [run ~strategy sc] sweeps [placements] (default [sc.placements]) ×
     [seeds] runs each (seeds [seed0 .. seed0 + seeds - 1], default
     [seed0 = 1]) through {!Stateless_core.Parrun.map} — results are
-    bit-identical for every [domains]. *)
+    bit-identical for every [domains]. [batch] (default 1) measures
+    blocks of that many grid cells through the scenario's batched
+    context; campaigns are identical for every [batch] value. *)
 val run :
   ?placements:int list list ->
   ?seeds:int ->
@@ -183,14 +202,23 @@ val run :
   ?max_steps:int ->
   ?domains:int ->
   ?seed0:int ->
+  ?batch:int ->
   strategy:strategy ->
   scenario ->
   campaign
 
 val print_campaign : out_channel -> campaign -> unit
 
-(** [write_json ?host ?certification oc campaigns] renders BENCH_byz
-    JSON: a host block, certification rows (prebuilt JSON objects) and
-    per-placement campaign rows. *)
+(** [write_json ?host ?batch ?certification oc campaigns] renders
+    BENCH_byz JSON: a host block, an optional batch block (the lock-step
+    batch size campaigns were re-run at and whether they matched the
+    per-instance campaigns exactly — CI greps for
+    ["\"identical\": false"]), certification rows (prebuilt JSON
+    objects) and per-placement campaign rows. *)
 val write_json :
-  ?host:string -> ?certification:string list -> out_channel -> campaign list -> unit
+  ?host:string ->
+  ?batch:int * bool ->
+  ?certification:string list ->
+  out_channel ->
+  campaign list ->
+  unit

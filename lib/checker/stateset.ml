@@ -25,6 +25,11 @@ let create () =
 let hashed t = not t.mode_direct
 let direct t = if t.mode_direct then t.darr else [||]
 
+let capacity t =
+  if t.mode_direct then Array.length t.darr else Array.length t.keys
+
+let rec ceil_pow2 n c = if c >= n then c else ceil_pow2 n (2 * c)
+
 let reset t ~universe =
   if universe <= direct_cap then begin
     if Array.length t.darr < universe then begin
@@ -46,12 +51,23 @@ let reset t ~universe =
     t.mode_direct <- true
   end
   else begin
-    if Array.length t.keys = 0 then begin
-      t.keys <- Array.make initial_hash_cap (-1);
-      t.ids <- Array.make initial_hash_cap 0;
-      t.mask <- initial_hash_cap - 1
+    let cap = Array.length t.keys in
+    (* A reset costs O(capacity), and [grow] never shrinks — one huge
+       exploration would otherwise inflate every later small reset to
+       O(max-ever). Rebuild near the last run's working size when the
+       retained table wastes more than 8x of it (a fresh allocation is
+       already clear, so a shrink costs no fill). *)
+    let wasteful = cap > initial_hash_cap && cap > 8 * max 1 t.count in
+    if cap = 0 || wasteful then begin
+      let cap' =
+        if cap = 0 then initial_hash_cap
+        else max initial_hash_cap (ceil_pow2 (4 * max 1 t.count) 1)
+      in
+      t.keys <- Array.make cap' (-1);
+      t.ids <- Array.make cap' 0;
+      t.mask <- cap' - 1
     end
-    else Array.fill t.keys 0 (Array.length t.keys) (-1);
+    else Array.fill t.keys 0 cap (-1);
     t.count <- 0;
     t.mode_direct <- false
   end

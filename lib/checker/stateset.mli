@@ -43,3 +43,11 @@ val direct : t -> int array
 
 (** [true] in hashed (open-addressing) mode — for tests. *)
 val hashed : t -> bool
+
+(** Current backing capacity (direct array length, or hashed slot count) —
+    for tests. Hashed capacity is retained across resets only while it
+    stays within 8x of the previous run's interned count; a {!reset} after
+    a much smaller run rebuilds near that run's working size, so one huge
+    exploration cannot permanently inflate every later reset to
+    O(max-ever capacity). *)
+val capacity : t -> int

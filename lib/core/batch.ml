@@ -1,0 +1,339 @@
+module A1 = Bigarray.Array1
+
+(* K instances of one compiled protocol in lock-step. The planes are laid
+   out instance-major per edge/node — edge [e] of instance [j] at
+   [e * cap + j] — so {!Kernel.step_plane}'s per-edge inner loops touch
+   each instance row contiguously. The kernel (and with it every reaction
+   tier) is shared read-only across the batch; a retired instance's final
+   state moves to a per-instance snapshot so the planes can skip carry-over
+   blits without losing it. *)
+
+type ('x, 'l) t = {
+  kern : ('x, 'l) Kernel.t;
+  m : int;
+  n : int;
+  mutable cap : int;  (** plane stride; >= the current block size *)
+  mutable src_l : Kernel.plane;
+  mutable src_o : Kernel.plane;
+  mutable dst_l : Kernel.plane;
+  mutable dst_o : Kernel.plane;
+  mutable live : int array;  (** live instance columns, first [nlive] *)
+  mutable nlive : int;
+  mutable pos_of : int array;  (** column -> position in [live], -1 if out *)
+  mutable codes : int array;  (** step_plane scratch, length [cap] *)
+  mutable iter : int array;  (** live snapshot for retire-during-iteration *)
+  mutable snap_l : int array;  (** retirement labels, [j * m + e] *)
+  mutable snap_o : int array;  (** retirement outputs, [j * n + i] *)
+  mutable b : int;  (** current block size *)
+  tmp_l : int array;
+  tmp_o : int array;
+}
+
+let create kern =
+  let m = Kernel.num_edges kern and n = Kernel.num_nodes kern in
+  let empty () = A1.create Bigarray.int Bigarray.c_layout 0 in
+  {
+    kern;
+    m;
+    n;
+    cap = 0;
+    src_l = empty ();
+    src_o = empty ();
+    dst_l = empty ();
+    dst_o = empty ();
+    live = [||];
+    nlive = 0;
+    pos_of = [||];
+    codes = [||];
+    iter = [||];
+    snap_l = [||];
+    snap_o = [||];
+    b = 0;
+    tmp_l = Array.make m 0;
+    tmp_o = Array.make n 0;
+  }
+
+let kernel t = t.kern
+let capacity t = t.cap
+let block_size t = t.b
+let live_count t = t.nlive
+
+let is_live t ~j =
+  if j < 0 || j >= t.b then invalid_arg "Batch.is_live: instance out of range";
+  t.pos_of.(j) >= 0
+
+(* Doubling growth so repeated blocks of similar size never reallocate;
+   contents need not survive — every caller is [load_block]. *)
+let ensure t b =
+  if b > t.cap then begin
+    let cap = max b (2 * t.cap) in
+    let plane len = A1.create Bigarray.int Bigarray.c_layout len in
+    t.cap <- cap;
+    t.src_l <- plane (t.m * cap);
+    t.src_o <- plane (t.n * cap);
+    t.dst_l <- plane (t.m * cap);
+    t.dst_o <- plane (t.n * cap);
+    t.live <- Array.make cap 0;
+    t.pos_of <- Array.make cap (-1);
+    t.codes <- Array.make cap 0;
+    t.iter <- Array.make cap 0;
+    t.snap_l <- Array.make (t.m * cap) 0;
+    t.snap_o <- Array.make (t.n * cap) 0
+  end
+
+let load_block t configs =
+  let b = Array.length configs in
+  ensure t b;
+  t.b <- b;
+  let cap = t.cap in
+  for j = 0 to b - 1 do
+    Kernel.load t.kern configs.(j) ~labels:t.tmp_l ~outputs:t.tmp_o;
+    for e = 0 to t.m - 1 do
+      A1.unsafe_set t.src_l ((e * cap) + j) (Array.unsafe_get t.tmp_l e)
+    done;
+    for i = 0 to t.n - 1 do
+      A1.unsafe_set t.src_o ((i * cap) + j) (Array.unsafe_get t.tmp_o i)
+    done;
+    t.live.(j) <- j;
+    t.pos_of.(j) <- j
+  done;
+  (* Clear stale positions from a previous, larger block. *)
+  for j = b to cap - 1 do
+    t.pos_of.(j) <- -1
+  done;
+  t.nlive <- b
+
+let retire t ~j =
+  let p = t.pos_of.(j) in
+  if p < 0 then invalid_arg "Batch.retire: instance already retired";
+  let cap = t.cap in
+  for e = 0 to t.m - 1 do
+    t.snap_l.((j * t.m) + e) <- A1.unsafe_get t.src_l ((e * cap) + j)
+  done;
+  for i = 0 to t.n - 1 do
+    t.snap_o.((j * t.n) + i) <- A1.unsafe_get t.src_o ((i * cap) + j)
+  done;
+  (* Order-preserving removal keeps the live vector (and so every
+     history-recording sweep) in instance order. *)
+  for q = p to t.nlive - 2 do
+    let j' = t.live.(q + 1) in
+    t.live.(q) <- j';
+    t.pos_of.(j') <- q
+  done;
+  t.nlive <- t.nlive - 1;
+  t.pos_of.(j) <- -1
+
+let step t ~active =
+  if t.nlive > 0 then begin
+    Kernel.step_plane t.kern ~stride:t.cap ~live:t.live ~nlive:t.nlive
+      ~src:t.src_l ~src_outputs:t.src_o ~dst:t.dst_l ~dst_outputs:t.dst_o
+      ~codes:t.codes ~active;
+    let l = t.src_l and o = t.src_o in
+    t.src_l <- t.dst_l;
+    t.src_o <- t.dst_o;
+    t.dst_l <- l;
+    t.dst_o <- o
+  end
+
+let label_code t ~j e =
+  if t.pos_of.(j) >= 0 then A1.get t.src_l ((e * t.cap) + j)
+  else t.snap_l.((j * t.m) + e)
+
+let output t ~j i =
+  if t.pos_of.(j) >= 0 then A1.get t.src_o ((i * t.cap) + j)
+  else t.snap_o.((j * t.n) + i)
+
+let store t ~j =
+  if t.pos_of.(j) >= 0 then begin
+    let cap = t.cap in
+    for e = 0 to t.m - 1 do
+      t.tmp_l.(e) <- A1.unsafe_get t.src_l ((e * cap) + j)
+    done;
+    for i = 0 to t.n - 1 do
+      t.tmp_o.(i) <- A1.unsafe_get t.src_o ((i * cap) + j)
+    done
+  end
+  else begin
+    Array.blit t.snap_l (j * t.m) t.tmp_l 0 t.m;
+    Array.blit t.snap_o (j * t.n) t.tmp_o 0 t.n
+  end;
+  Kernel.store t.kern ~labels:t.tmp_l ~outputs:t.tmp_o
+
+(* Snapshot the live vector into [iter] so a sweep can retire instances
+   mid-iteration without skipping the shifted-down neighbours. *)
+let snapshot_live t =
+  Array.blit t.live 0 t.iter 0 t.nlive;
+  t.nlive
+
+(* The batched twin of {!Kernel.run_until_stable}: every live instance
+   follows the per-instance loop verbatim — stability probe, step budget,
+   periodic key dedup, step, key/last-change update — and since all live
+   instances execute the same schedule step at the same time, the shared
+   lock-step [step] is exactly each instance's own step. Verdicts are
+   therefore bit-identical to K separate {!Kernel.run_until_stable} calls. *)
+let run_until_stable t ~inits ~schedule ~max_steps =
+  let b = Array.length inits in
+  load_block t inits;
+  let kern = t.kern in
+  let period_opt = schedule.Schedule.period in
+  let keys = Array.make b "" in
+  let last_change = Array.make b 0 in
+  let seen = Array.init b (fun _ -> Hashtbl.create 64) in
+  let out = Array.make b None in
+  for j = 0 to b - 1 do
+    keys.(j) <- Kernel.key_in_plane kern ~stride:t.cap ~j ~src:t.src_l
+  done;
+  let s = ref 0 in
+  while t.nlive > 0 do
+    let s0 = !s in
+    let cnt = snapshot_live t in
+    for q = 0 to cnt - 1 do
+      let j = t.iter.(q) in
+      if Kernel.stable_in_plane kern ~stride:t.cap ~j ~src:t.src_l then begin
+        out.(j) <-
+          Some (Engine.Stabilized { rounds = s0; config = store t ~j });
+        retire t ~j
+      end
+      else if s0 >= max_steps then begin
+        out.(j) <- Some (Engine.Exhausted (store t ~j));
+        retire t ~j
+      end
+      else
+        match period_opt with
+        | Some period when s0 mod period = 0 -> (
+            match Hashtbl.find_opt seen.(j) keys.(j) with
+            | Some t0 ->
+                if last_change.(j) > t0 then begin
+                  out.(j) <-
+                    Some
+                      (Engine.Oscillating { entered = t0; period = s0 - t0 });
+                  retire t ~j
+                end
+                else begin
+                  (* Quiescent since [last_change]: the labeling stopped
+                     moving before the dedup window closed — same resolution
+                     as the per-instance path, a short re-run to the quiesce
+                     point. *)
+                  let since = last_change.(j) in
+                  out.(j) <-
+                    Some
+                      (Engine.Stabilized
+                         {
+                           rounds = since;
+                           config =
+                             Kernel.run kern ~init:inits.(j) ~schedule
+                               ~steps:since;
+                         });
+                  retire t ~j
+                end
+            | None -> Hashtbl.replace seen.(j) keys.(j) s0)
+        | _ -> ()
+    done;
+    if t.nlive > 0 then begin
+      step t ~active:(schedule.Schedule.active s0);
+      for q = 0 to t.nlive - 1 do
+        let j = t.live.(q) in
+        let nk = Kernel.key_in_plane kern ~stride:t.cap ~j ~src:t.src_l in
+        if not (String.equal nk keys.(j)) then last_change.(j) <- s0 + 1;
+        keys.(j) <- nk
+      done
+    end;
+    s := s0 + 1
+  done;
+  Array.map
+    (function Some o -> o | None -> assert false (* all retired with verdict *))
+    out
+
+(* The batched twin of {!Kernel.settle}: verdicts via {!run_until_stable},
+   then one lock-step replay recording each instance's per-step output rows
+   until its own certification horizon, then the same settled-output /
+   first-bad analysis per instance. *)
+let settle t ~inits ~schedule ~max_steps =
+  let b = Array.length inits in
+  let kern = t.kern in
+  let n = t.n in
+  let outcomes = run_until_stable t ~inits ~schedule ~max_steps in
+  let horizon = Array.make b (-1) in
+  let cycle_entry = Array.make b None in
+  for j = 0 to b - 1 do
+    match outcomes.(j) with
+    | Engine.Exhausted _ -> ()
+    | Engine.Stabilized { rounds; _ } ->
+        let slack = max 1 n
+        and slack_period =
+          match schedule.Schedule.period with Some q -> q | None -> 1
+        in
+        horizon.(j) <- rounds + (slack * slack_period)
+    | Engine.Oscillating { entered; period } ->
+        horizon.(j) <- entered + (2 * period);
+        cycle_entry.(j) <- Some entered
+  done;
+  let hist =
+    Array.map (fun h -> if h < 0 then [||] else Array.make ((h + 1) * n) 0)
+      horizon
+  in
+  load_block t inits;
+  for j = 0 to b - 1 do
+    if horizon.(j) < 0 then retire t ~j
+    else
+      let hj = hist.(j) in
+      for i = 0 to n - 1 do
+        hj.(i) <- output t ~j i
+      done
+  done;
+  let s = ref 0 in
+  while t.nlive > 0 do
+    step t ~active:(schedule.Schedule.active !s);
+    let r = !s + 1 in
+    let cnt = snapshot_live t in
+    for q = 0 to cnt - 1 do
+      let j = t.iter.(q) in
+      let hj = hist.(j) in
+      for i = 0 to n - 1 do
+        hj.((r * n) + i) <- output t ~j i
+      done;
+      if horizon.(j) = r then retire t ~j
+    done;
+    s := r
+  done;
+  Array.init b (fun j ->
+      if horizon.(j) < 0 then None
+      else begin
+        let hj = hist.(j) in
+        let h = horizon.(j) in
+        let rows_equal r1 r2 =
+          let rec go i =
+            i >= n || (hj.((r1 * n) + i) = hj.((r2 * n) + i) && go (i + 1))
+          in
+          go 0
+        in
+        let settled_outputs =
+          match cycle_entry.(j) with
+          | None ->
+              (* Labels are stable at the horizon; refresh from the
+                 retirement snapshot so every node has reported. *)
+              Array.blit t.snap_l (j * t.m) t.tmp_l 0 t.m;
+              Some
+                (Array.init n (fun i ->
+                     Kernel.node_output kern ~labels:t.tmp_l ~i))
+          | Some entered ->
+              let reference = entered + 1 in
+              let constant = ref true in
+              for s = entered + 2 to h do
+                if not (rows_equal s reference) then constant := false
+              done;
+              if !constant then Some (Array.sub hj (reference * n) n)
+              else None
+        in
+        match settled_outputs with
+        | None -> None
+        | Some settled_outputs ->
+            let rec first_bad s best =
+              if s < 0 then best
+              else if rows_equal s h then first_bad (s - 1) s
+              else best
+            in
+            let settle_time = first_bad h h in
+            Some
+              { Engine.settle_time; settled_outputs; horizon_config = store t ~j }
+      end)

@@ -1,0 +1,91 @@
+(** Batched packed kernel: K independent instances of one compiled
+    protocol stepped in lock-step.
+
+    Campaign layers run millions of independent simulations that differ
+    only in seed, corruption, or adversary placement. Per-instance
+    {!Kernel} runs pay the per-step fixed costs — active-list walk,
+    CSR/tier dispatch per node, carry-over decision — once per instance
+    per step. A batch stores the instances as Bigarray planes with the
+    instance index innermost (edge [e] of instance [j] at
+    [e * capacity + j]) and advances all live instances through one pass
+    over the shared CSR incidence per step, sharing the kernel's reaction
+    tiers (lookup tables, memo, scratch) read-only across the batch.
+
+    Sharing the lazily-filled tiers is sound because a row is a pure
+    function of its packed incoming code: whichever instance faults a row
+    in, every instance reads the same values. Results are bit-identical
+    to per-instance {!Kernel} runs for every batch size; a batch of 1
+    collapses to today's behavior.
+
+    Instances that reach a verdict retire from the live set via a
+    compacted index vector — remaining instances keep stepping with no
+    per-node branch on liveness. A retired instance's final state moves
+    to a per-instance snapshot, which stays readable through
+    {!label_code}, {!output} and {!store}.
+
+    A batch carries mutable planes and scratch and is {b not}
+    domain-safe: create one batch per domain (see {!Parrun.map_batched}). *)
+
+type ('x, 'l) t
+
+(** [create kern] is an empty batch over [kern]. Planes grow on demand
+    (doubling), so one batch can serve blocks of varying size. *)
+val create : ('x, 'l) Kernel.t -> ('x, 'l) t
+
+val kernel : ('x, 'l) t -> ('x, 'l) Kernel.t
+
+(** Current plane stride — at least the largest block loaded so far. *)
+val capacity : ('x, 'l) t -> int
+
+(** Size of the currently loaded block. *)
+val block_size : ('x, 'l) t -> int
+
+(** Number of instances still live (not retired). *)
+val live_count : ('x, 'l) t -> int
+
+val is_live : ('x, 'l) t -> j:int -> bool
+
+(** [load_block t configs] loads [Array.length configs] instances into the
+    planes; all become live. Any previous block is discarded. *)
+val load_block : ('x, 'l) t -> 'l Protocol.config array -> unit
+
+(** [retire t ~j] snapshots instance [j]'s state and removes it from the
+    live set. Raises [Invalid_argument] if already retired. *)
+val retire : ('x, 'l) t -> j:int -> unit
+
+(** [step t ~active] advances every live instance by one global transition
+    with activation set [active] — bit-identical per instance to
+    {!Kernel.step_into}. No-op when no instance is live. *)
+val step : ('x, 'l) t -> active:int list -> unit
+
+(** [label_code t ~j e] is instance [j]'s packed label on edge [e], from
+    the plane if live, the retirement snapshot otherwise. *)
+val label_code : ('x, 'l) t -> j:int -> int -> int
+
+(** [output t ~j i] is instance [j]'s output at node [i]. *)
+val output : ('x, 'l) t -> j:int -> int -> int
+
+(** [store t ~j] decodes instance [j]'s current (or retirement) state into
+    a fresh boxed configuration. *)
+val store : ('x, 'l) t -> j:int -> 'l Protocol.config
+
+(** [run_until_stable t ~inits ~schedule ~max_steps] loads [inits] as a
+    block and drives every instance to its {!Kernel.run_until_stable}
+    verdict in lock-step — same verdicts, rounds, cycle entry points and
+    configurations as per-instance runs, for every batch size. *)
+val run_until_stable :
+  ('x, 'l) t ->
+  inits:'l Protocol.config array ->
+  schedule:Schedule.t ->
+  max_steps:int ->
+  'l Engine.outcome array
+
+(** [settle t ~inits ~schedule ~max_steps] is {!Kernel.settle} for every
+    instance of the block, replayed in lock-step: same [settle_time],
+    [settled_outputs] and [horizon_config] per instance. *)
+val settle :
+  ('x, 'l) t ->
+  inits:'l Protocol.config array ->
+  schedule:Schedule.t ->
+  max_steps:int ->
+  'l Engine.settled option array

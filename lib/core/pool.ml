@@ -21,6 +21,13 @@ let work_cv = Condition.create ()
 let done_cv = Condition.create ()
 let current : job option ref = ref None
 
+(* There is one [current] slot: two top-level submitters publishing
+   concurrently would overwrite each other's job mid-flight and corrupt
+   the generation/wakeup protocol. Top-level submissions therefore take
+   this mutex for the whole job; nested in-worker calls run inline and
+   never reach it, so a worker can still submit without deadlocking. *)
+let submit_mu = Mutex.create ()
+
 (* Bumped once per published job so a worker that already served job [g]
    can tell a fresh job from a spurious wakeup on the same slot. *)
 let generation = ref 0
@@ -118,33 +125,37 @@ let run ~domains ~nchunks f =
       f ~slot:0 c
     done
   else begin
-    ensure_workers (min (domains - 1) (nchunks - 1));
-    let j =
-      {
-        run = f;
-        nchunks;
-        parallelism = domains;
-        next = Atomic.make 0;
-        unfinished = Atomic.make nchunks;
-        joined = Atomic.make 0;
-        failed = None;
-      }
-    in
-    Mutex.lock mu;
-    current := Some j;
-    incr generation;
-    Condition.broadcast work_cv;
-    Mutex.unlock mu;
-    (* The submitter works too: [domains = 1 + helpers]. *)
-    Domain.DLS.set busy_key true;
+    Mutex.lock submit_mu;
     Fun.protect
-      ~finally:(fun () -> Domain.DLS.set busy_key false)
-      (fun () -> execute j ~slot:0);
-    Mutex.lock mu;
-    while Atomic.get j.unfinished > 0 do
-      Condition.wait done_cv mu
-    done;
-    current := None;
-    Mutex.unlock mu;
-    match j.failed with None -> () | Some exn -> raise exn
+      ~finally:(fun () -> Mutex.unlock submit_mu)
+      (fun () ->
+        ensure_workers (min (domains - 1) (nchunks - 1));
+        let j =
+          {
+            run = f;
+            nchunks;
+            parallelism = domains;
+            next = Atomic.make 0;
+            unfinished = Atomic.make nchunks;
+            joined = Atomic.make 0;
+            failed = None;
+          }
+        in
+        Mutex.lock mu;
+        current := Some j;
+        incr generation;
+        Condition.broadcast work_cv;
+        Mutex.unlock mu;
+        (* The submitter works too: [domains = 1 + helpers]. *)
+        Domain.DLS.set busy_key true;
+        Fun.protect
+          ~finally:(fun () -> Domain.DLS.set busy_key false)
+          (fun () -> execute j ~slot:0);
+        Mutex.lock mu;
+        while Atomic.get j.unfinished > 0 do
+          Condition.wait done_cv mu
+        done;
+        current := None;
+        Mutex.unlock mu;
+        match j.failed with None -> () | Some exn -> raise exn)
   end

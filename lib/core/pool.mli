@@ -30,7 +30,12 @@
 
     If a chunk raises, remaining chunks are still claimed (work already in
     flight cannot be recalled), and the first exception is re-raised on the
-    calling domain after all chunks finish. *)
+    calling domain after all chunks finish.
+
+    Concurrent top-level submitters are serialized on a submission mutex
+    (there is a single job slot): the second caller blocks until the first
+    job drains. Nested in-worker calls run inline as before and never take
+    the mutex, so submitting from inside a job cannot deadlock. *)
 val run : domains:int -> nchunks:int -> (slot:int -> int -> unit) -> unit
 
 (** [in_worker ()] is [true] while the calling domain is executing a pool

@@ -1,6 +1,7 @@
 module Protocol = Stateless_core.Protocol
 module Engine = Stateless_core.Engine
 module Kernel = Stateless_core.Kernel
+module Batch = Stateless_core.Batch
 module Parrun = Stateless_core.Parrun
 module Schedule = Stateless_core.Schedule
 module Label = Stateless_core.Label
@@ -12,10 +13,14 @@ module Digraph = Stateless_graph.Digraph
 
 type recover_fn = fraction:float -> seed:int -> max_steps:int -> int option
 
+type batch_fn =
+  fractions:float array -> seeds:int array -> max_steps:int -> int option array
+
 type scenario = {
   name : string;
   schedule_name : string;
   fresh : unit -> recover_fn;
+  fresh_batch : unit -> batch_fn;
   recover : recover_fn;
 }
 
@@ -42,12 +47,16 @@ type campaign = {
 
 (* Each scenario's [fresh] builds a measurement context — a packed
    {!Kernel} plus its buffers — and returns a closure measuring one
-   corrupted run with it. Kernels hold domain-private scratch, so the
-   campaign runner calls [fresh] once per domain; [recover] is one such
-   instance for callers that measure single runs from one domain. *)
+   corrupted run with it. [fresh_batch] builds the batched twin: a
+   {!Batch} over the same kernel, measuring a whole contiguous block of
+   the fraction × seed grid in lock-step (bit-identical per index to
+   [fresh]'s closure). Kernels hold domain-private scratch, so the
+   campaign runner calls [fresh]/[fresh_batch] once per domain; [recover]
+   is one [fresh] instance for callers that measure single runs from one
+   domain. *)
 
-let scenario name schedule_name fresh =
-  { name; schedule_name; fresh; recover = fresh () }
+let scenario name schedule_name fresh fresh_batch =
+  { name; schedule_name; fresh; fresh_batch; recover = fresh () }
 
 let example1 ?(n = 4) () =
   let n = max 3 n in
@@ -70,7 +79,29 @@ let example1 ?(n = 4) () =
           | Some recovered -> Some recovered.Engine.settle_time
           | None -> None)
   in
-  scenario (Printf.sprintf "example1_k%d" n) schedule.Schedule.name fresh
+  let fresh_batch () =
+    let kern = Kernel.create p ~input in
+    let bt = Batch.create kern in
+    fun ~fractions ~seeds ~max_steps ->
+      let b = Array.length seeds in
+      (* The healthy settle is corruption-independent, so one certification
+         per block replaces the per-run one — same deterministic values. *)
+      match Kernel.settle kern ~init ~schedule ~max_steps with
+      | None -> Array.make b None
+      | Some healthy ->
+          let inits =
+            Array.init b (fun t ->
+                Fault.corrupt p ~seed:seeds.(t) ~fraction:fractions.(t)
+                  healthy.Engine.horizon_config)
+          in
+          Batch.settle bt ~inits ~schedule ~max_steps
+          |> Array.map (function
+               | Some recovered -> Some recovered.Engine.settle_time
+               | None -> None)
+  in
+  scenario
+    (Printf.sprintf "example1_k%d" n)
+    schedule.Schedule.name fresh fresh_batch
 
 (* The D-counter's outputs tick forever, so recovery is re-locking: the
    first step from which [agreed] holds for [d] consecutive synchronous
@@ -132,9 +163,53 @@ let d_counter ?(n = 5) ?(d = 8) () =
       done;
       !found
   in
+  let fresh_batch () =
+    let kern = Kernel.create p ~input in
+    let bt = Batch.create kern in
+    let counter_at j nd =
+      let _, (_, _, c) =
+        Kernel.decode_label kern (Batch.label_code bt ~j first_out.(nd))
+      in
+      c
+    in
+    let agreed j =
+      let c0 = counter_at j 0 in
+      let rec go nd = nd >= n || (counter_at j nd = c0 && go (nd + 1)) in
+      go 1
+    in
+    fun ~fractions ~seeds ~max_steps ->
+      let b = Array.length seeds in
+      let inits =
+        Array.init b (fun t ->
+            Fault.corrupt p ~seed:seeds.(t) ~fraction:fractions.(t) steady)
+      in
+      Batch.load_block bt inits;
+      let found = Array.make b None in
+      let run_len = Array.make b 0 in
+      let s = ref 0 in
+      while Batch.live_count bt > 0 && !s <= max_steps do
+        for j = 0 to b - 1 do
+          if Batch.is_live bt ~j then
+            if agreed j then begin
+              run_len.(j) <- run_len.(j) + 1;
+              if run_len.(j) >= window then begin
+                found.(j) <- Some (!s - window + 1);
+                (* The per-instance loop steps once more before exiting;
+                   retiring here instead cannot change [found], which is
+                   already recorded. *)
+                Batch.retire bt ~j
+              end
+            end
+            else run_len.(j) <- 0
+        done;
+        Batch.step bt ~active:everyone;
+        incr s
+      done;
+      found
+  in
   scenario
     (Printf.sprintf "d_counter_n%d_d%d" n d)
-    schedule.Schedule.name fresh
+    schedule.Schedule.name fresh fresh_batch
 
 (* The ring oscillator never output-stabilizes by design; recovery is the
    time until the corrupted run provably re-enters a periodic orbit (the
@@ -159,7 +234,23 @@ let ring_oscillator ?(n = 5) () =
       | Engine.Stabilized { rounds; _ } -> Some rounds
       | Engine.Exhausted _ -> None
   in
-  scenario (Printf.sprintf "ring_oscillator_%d" n) schedule.Schedule.name fresh
+  let fresh_batch () =
+    let kern = Kernel.create p ~input in
+    let bt = Batch.create kern in
+    fun ~fractions ~seeds ~max_steps ->
+      let inits =
+        Array.init (Array.length seeds) (fun t ->
+            Fault.corrupt p ~seed:seeds.(t) ~fraction:fractions.(t) steady)
+      in
+      Batch.run_until_stable bt ~inits ~schedule ~max_steps
+      |> Array.map (function
+           | Engine.Oscillating { entered; _ } -> Some entered
+           | Engine.Stabilized { rounds; _ } -> Some rounds
+           | Engine.Exhausted _ -> None)
+  in
+  scenario
+    (Printf.sprintf "ring_oscillator_%d" n)
+    schedule.Schedule.name fresh fresh_batch
 
 let default_scenarios () = [ example1 (); d_counter (); ring_oscillator () ]
 
@@ -187,20 +278,33 @@ let percentile sorted q =
     sorted.(max 0 (min (k - 1) rank))
 
 let run ?(fractions = default_fractions) ?(seeds = 30) ?(max_steps = 10_000)
-    ?(domains = 1) ?(seed0 = 1) sc =
+    ?(domains = 1) ?(seed0 = 1) ?(batch = 1) sc =
   (* One flat fraction × seed grid through {!Parrun.map}: measurement
      contexts are built once per domain, results come back in grid order,
      and the aggregation below (integer sums, then sort) is insensitive to
      which domain ran which seed — campaigns are identical for every
-     [domains] value. *)
+     [domains] value. With [batch > 1] the same grid goes through
+     {!Parrun.map_batched}: each block of up to [batch] consecutive grid
+     indices is measured in lock-step by the scenario's batched context,
+     which is bit-identical per index, so campaigns are also identical for
+     every [batch] value. *)
   let fracs = Array.of_list fractions in
   let nf = Array.length fracs in
   let results =
-    Parrun.map ~domains ~ctx:sc.fresh (nf * seeds) (fun recover idx ->
-        recover
-          ~fraction:fracs.(idx / seeds)
-          ~seed:(seed0 + (idx mod seeds))
-          ~max_steps)
+    if batch <= 1 then
+      Parrun.map ~domains ~ctx:sc.fresh (nf * seeds) (fun recover idx ->
+          recover
+            ~fraction:fracs.(idx / seeds)
+            ~seed:(seed0 + (idx mod seeds))
+            ~max_steps)
+    else
+      Parrun.map_batched ~domains ~batch ~ctx:sc.fresh_batch (nf * seeds)
+        (fun bf ~lo ~hi ->
+          let len = hi - lo in
+          bf
+            ~fractions:(Array.init len (fun t -> fracs.((lo + t) / seeds)))
+            ~seeds:(Array.init len (fun t -> seed0 + ((lo + t) mod seeds)))
+            ~max_steps)
   in
   let stats =
     List.mapi
@@ -270,10 +374,15 @@ let print_campaign oc c =
         s.recovered s.runs s.mean s.p50 s.p95 s.worst)
     c.stats
 
-let write_json ?host oc campaigns =
+let write_json ?host ?batch oc campaigns =
   Printf.fprintf oc "{\n  \"benchmark\": \"faults\",\n";
   (match host with
   | Some h -> Printf.fprintf oc "  \"host\": %s,\n" h
+  | None -> ());
+  (match batch with
+  | Some (k, identical) ->
+      Printf.fprintf oc "  \"batch\": { \"k\": %d, \"identical\": %b },\n" k
+        identical
   | None -> ());
   Printf.fprintf oc "  \"campaigns\": [\n";
   List.iteri

@@ -17,6 +17,12 @@ type recover_fn = fraction:float -> seed:int -> max_steps:int -> int option
 (** Steps until one corrupted run has provably recovered; [None] when it
     did not within [max_steps]. *)
 
+type batch_fn =
+  fractions:float array -> seeds:int array -> max_steps:int -> int option array
+(** Measures a contiguous block of the fraction × seed grid in lock-step
+    through {!Stateless_core.Batch}: element [t] is exactly what
+    {!recover_fn} returns for [(fractions.(t), seeds.(t))]. *)
+
 type scenario = {
   name : string;
   schedule_name : string;
@@ -24,6 +30,10 @@ type scenario = {
       (** Builds a measurement context (a packed kernel and its buffers)
           private to the calling domain. The campaign runner calls this
           once per domain. *)
+  fresh_batch : unit -> batch_fn;
+      (** The batched twin: a {!Stateless_core.Batch} over the same kernel
+          measuring whole blocks in lock-step, bit-identical per index to
+          [fresh]'s closure. Also once per domain. *)
   recover : recover_fn;
       (** One pre-built instance of [fresh ()], for callers measuring
           single runs from a single domain. *)
@@ -79,13 +89,17 @@ val default_fractions : float list
     fraction × seed grid over that many domains, each with its own kernel;
     the campaign is identical for every [domains] value. [seed0] (default
     1) is the first per-run seed — runs use [seed0 .. seed0 + seeds - 1],
-    so the default reproduces the historical campaigns exactly. *)
+    so the default reproduces the historical campaigns exactly. [batch]
+    (default 1) steps blocks of that many grid cells in lock-step through
+    the scenario's batched context; every [batch] value yields the
+    identical campaign, [batch <= 1] is the per-instance path. *)
 val run :
   ?fractions:float list ->
   ?seeds:int ->
   ?max_steps:int ->
   ?domains:int ->
   ?seed0:int ->
+  ?batch:int ->
   scenario ->
   campaign
 
@@ -99,5 +113,9 @@ val host_json : domains:int -> unit -> string
 val print_campaign : out_channel -> campaign -> unit
 
 (** Machine-readable JSON for a list of campaigns ([BENCH_faults.json]);
-    [host] is the {!host_json} provenance block. *)
-val write_json : ?host:string -> out_channel -> campaign list -> unit
+    [host] is the {!host_json} provenance block. [batch], when given, is
+    the lock-step batch size the campaigns were re-run at and whether they
+    matched the per-instance campaigns exactly — CI greps for
+    ["\"identical\": false"]. *)
+val write_json :
+  ?host:string -> ?batch:int * bool -> out_channel -> campaign list -> unit

@@ -40,6 +40,7 @@
 module Protocol = Stateless_core.Protocol
 module Engine = Stateless_core.Engine
 module Kernel = Stateless_core.Kernel
+module Batch = Stateless_core.Batch
 module Schedule = Stateless_core.Schedule
 module Label = Stateless_core.Label
 module Parrun = Stateless_core.Parrun
@@ -503,11 +504,27 @@ type measure_fn =
   max_steps:int ->
   run_result
 
+type batch_measure_fn =
+  rates:rates array ->
+  budget:budget ->
+  storm:int ->
+  seeds:int array ->
+  max_steps:int ->
+  run_result array
+
 type scenario = {
   name : string;
   schedule_name : string;
   fresh : unit -> measure_fn;
+  fresh_batch : unit -> batch_measure_fn;
 }
+
+(* The storm phase is inherently per-instance — each run owns a seeded
+   adversary whose RNG draw order is coupled to that run's own trajectory
+   (FIFOs, silences), so lock-stepping storms would change the draws. The
+   batched contexts therefore run storms per instance (on the shared
+   kernel) and batch the fault-free post-storm phase, where the wall time
+   dominates for recovery-heavy campaigns. *)
 
 (* Example 1 on K_n: the reference is the healthy run's settled outputs;
    a storm step is degraded when the visible outputs differ from them, and
@@ -552,7 +569,53 @@ let example1 ?(n = 4) () =
       in
       { degraded_steps = !degraded; recovery }
   in
-  { name = Printf.sprintf "example1_k%d" n; schedule_name = schedule.Schedule.name; fresh }
+  let fresh_batch () =
+    let kern = Kernel.create p ~input in
+    let bt = Batch.create kern in
+    let healthy =
+      match Kernel.settle kern ~init ~schedule ~max_steps:10_000 with
+      | Some h -> h
+      | None -> invalid_arg "Netlab.example1: healthy run did not settle"
+    in
+    let reference = healthy.Engine.settled_outputs in
+    let steady = healthy.Engine.horizon_config in
+    fun ~rates ~budget ~storm ~seeds ~max_steps ->
+      let b = Array.length seeds in
+      let degraded = Array.make b 0 in
+      let posts =
+        Array.init b (fun t ->
+            let ch =
+              Packed.create ~kernel:kern p ~input ~rates:rates.(t) ~budget
+                ~schedule ~seed:seeds.(t) ~init:steady
+            in
+            for _ = 1 to storm do
+              Packed.step ch;
+              let outs = Packed.outputs ch in
+              let ok = ref true in
+              for i = 0 to n - 1 do
+                if outs.(i) <> reference.(i) then ok := false
+              done;
+              if not !ok then degraded.(t) <- degraded.(t) + 1
+            done;
+            Packed.flush ch;
+            Packed.config ch)
+      in
+      let settled = Batch.settle bt ~inits:posts ~schedule ~max_steps in
+      Array.init b (fun t ->
+          {
+            degraded_steps = degraded.(t);
+            recovery =
+              (match settled.(t) with
+              | Some s -> Some s.Engine.settle_time
+              | None -> None);
+          })
+  in
+  {
+    name = Printf.sprintf "example1_k%d" n;
+    schedule_name = schedule.Schedule.name;
+    fresh;
+    fresh_batch;
+  }
 
 (* The D-counter: a storm step is degraded when the per-node counters
    disagree; recovery is re-locking — the first post-storm step from which
@@ -621,10 +684,76 @@ let d_counter ?(n = 5) ?(d = 8) () =
       done;
       { degraded_steps = !degraded; recovery = !found }
   in
+  let fresh_batch () =
+    let kern = Kernel.create p ~input in
+    let bt = Batch.create kern in
+    let counter_at labels j =
+      let _, (_, _, c) = Kernel.decode_label kern labels.(first_out.(j)) in
+      c
+    in
+    let agreed labels =
+      let c0 = counter_at labels 0 in
+      let rec go j = j >= n || (counter_at labels j = c0 && go (j + 1)) in
+      go 1
+    in
+    let counter_at_plane j nd =
+      let _, (_, _, c) =
+        Kernel.decode_label kern (Batch.label_code bt ~j first_out.(nd))
+      in
+      c
+    in
+    let agreed_plane j =
+      let c0 = counter_at_plane j 0 in
+      let rec go nd = nd >= n || (counter_at_plane j nd = c0 && go (nd + 1)) in
+      go 1
+    in
+    let everyone = List.init n Fun.id in
+    fun ~rates ~budget ~storm ~seeds ~max_steps ->
+      let b = Array.length seeds in
+      let degraded = Array.make b 0 in
+      let posts =
+        Array.init b (fun t ->
+            let ch =
+              Packed.create ~kernel:kern p ~input ~rates:rates.(t) ~budget
+                ~schedule ~seed:seeds.(t) ~init:steady
+            in
+            for _ = 1 to storm do
+              Packed.step ch;
+              if not (agreed (Packed.labels ch)) then
+                degraded.(t) <- degraded.(t) + 1
+            done;
+            Packed.flush ch;
+            Packed.config ch)
+      in
+      (* Batched re-lock: the per-instance loop, lock-stepped; an instance
+         retires the moment its agreement window fills. *)
+      Batch.load_block bt posts;
+      let found = Array.make b None in
+      let run_len = Array.make b 0 in
+      let s = ref 0 in
+      while Batch.live_count bt > 0 && !s <= max_steps do
+        for j = 0 to b - 1 do
+          if Batch.is_live bt ~j then
+            if agreed_plane j then begin
+              run_len.(j) <- run_len.(j) + 1;
+              if run_len.(j) >= d then begin
+                found.(j) <- Some (!s - d + 1);
+                Batch.retire bt ~j
+              end
+            end
+            else run_len.(j) <- 0
+        done;
+        Batch.step bt ~active:everyone;
+        incr s
+      done;
+      Array.init b (fun t ->
+          { degraded_steps = degraded.(t); recovery = found.(t) })
+  in
   {
     name = Printf.sprintf "d_counter_n%d_d%d" n d;
     schedule_name = schedule.Schedule.name;
     fresh;
+    fresh_batch;
   }
 
 let default_scenarios () = [ example1 (); d_counter () ]
@@ -674,19 +803,31 @@ let percentile sorted q =
     sorted.(max 0 (min (k - 1) rank))
 
 let run ?(levels = default_levels) ?(seeds = 20) ?(storm = 400)
-    ?(max_steps = 10_000) ?(domains = 1) ?(seed0 = 1) ~budget sc =
+    ?(max_steps = 10_000) ?(domains = 1) ?(seed0 = 1) ?(batch = 1) ~budget sc =
   check_budget budget;
   List.iter check_rates levels;
   (* One flat level × seed grid through Parrun.map: contexts are built once
      per domain, results return in grid order, and aggregation is a fold
-     over that order — campaigns are identical for every [domains]. *)
+     over that order — campaigns are identical for every [domains]. With
+     [batch > 1], blocks of the same grid go through the batched context
+     (per-instance storms, lock-step recovery), bit-identical per index. *)
   let lv = Array.of_list levels in
   let nl = Array.length lv in
   let results =
-    Parrun.map ~domains ~ctx:sc.fresh (nl * seeds) (fun measure idx ->
-        measure ~rates:lv.(idx / seeds) ~budget ~storm
-          ~seed:(seed0 + (idx mod seeds))
-          ~max_steps)
+    if batch <= 1 then
+      Parrun.map ~domains ~ctx:sc.fresh (nl * seeds) (fun measure idx ->
+          measure ~rates:lv.(idx / seeds) ~budget ~storm
+            ~seed:(seed0 + (idx mod seeds))
+            ~max_steps)
+    else
+      Parrun.map_batched ~domains ~batch ~ctx:sc.fresh_batch (nl * seeds)
+        (fun bf ~lo ~hi ->
+          let len = hi - lo in
+          bf
+            ~rates:(Array.init len (fun t -> lv.((lo + t) / seeds)))
+            ~budget ~storm
+            ~seeds:(Array.init len (fun t -> seed0 + ((lo + t) mod seeds)))
+            ~max_steps)
   in
   let levels =
     List.mapi
@@ -750,10 +891,15 @@ let print_campaign oc c =
         s.runs s.mean_recovery s.p50 s.p95 s.worst (100. *. s.mean_degraded))
     c.levels
 
-let write_json ?host ?(certification = []) oc campaigns =
+let write_json ?host ?batch ?(certification = []) oc campaigns =
   Printf.fprintf oc "{\n  \"benchmark\": \"netlab\",\n";
   (match host with
   | Some h -> Printf.fprintf oc "  \"host\": %s,\n" h
+  | None -> ());
+  (match batch with
+  | Some (k, identical) ->
+      Printf.fprintf oc "  \"batch\": { \"k\": %d, \"identical\": %b },\n" k
+        identical
   | None -> ());
   if certification <> [] then begin
     Printf.fprintf oc "  \"certification\": [\n";

@@ -164,12 +164,28 @@ type measure_fn =
   max_steps:int ->
   run_result
 
+type batch_measure_fn =
+  rates:rates array ->
+  budget:budget ->
+  storm:int ->
+  seeds:int array ->
+  max_steps:int ->
+  run_result array
+(** Measures a contiguous block of the level × seed grid: element [t] is
+    exactly what {!measure_fn} returns for [(rates.(t), seeds.(t))].
+    Storms stay per-instance (each run's adversary RNG draw order is
+    coupled to its own trajectory); the fault-free post-storm recovery
+    phase runs in lock-step through {!Stateless_core.Batch}. *)
+
 type scenario = {
   name : string;
   schedule_name : string;
   fresh : unit -> measure_fn;
       (** build per-domain state (kernel, healthy reference); the
           returned closure must be deterministic in its arguments *)
+  fresh_batch : unit -> batch_measure_fn;
+      (** the batched twin over the same kernel, bit-identical per index
+          to [fresh]'s closure; also once per domain *)
 }
 
 (** Example 1 on K_n (default [n = 4]): runs the storm from the healthy
@@ -220,7 +236,9 @@ val default_levels : rates list
     (defaults: {!default_levels}, 20 seeds, storm 400, max_steps 10000)
     through {!Stateless_core.Parrun.map}: results are bit-identical for
     every [domains] value. [seed0] (default 1) is the first per-run seed —
-    runs use [seed0 .. seed0 + seeds - 1]. *)
+    runs use [seed0 .. seed0 + seeds - 1]. [batch] (default 1) measures
+    blocks of that many grid cells through the scenario's batched context;
+    campaigns are identical for every [batch] value. *)
 val run :
   ?levels:rates list ->
   ?seeds:int ->
@@ -228,15 +246,23 @@ val run :
   ?max_steps:int ->
   ?domains:int ->
   ?seed0:int ->
+  ?batch:int ->
   budget:budget ->
   scenario ->
   campaign
 
 val print_campaign : out_channel -> campaign -> unit
 
-(** [write_json ?host ?certification oc campaigns] emits the
+(** [write_json ?host ?batch ?certification oc campaigns] emits the
     [BENCH_netlab.json] document. [host] is a preformatted JSON object
-    (as in [Faultlab.host_json]); [certification] rows are preformatted
+    (as in [Faultlab.host_json]); [batch], when given, is the lock-step
+    batch size the campaigns were re-run at and whether they matched the
+    per-instance campaigns exactly; [certification] rows are preformatted
     JSON objects from the bounded-adversary checker (see {!Netcheck}). *)
 val write_json :
-  ?host:string -> ?certification:string list -> out_channel -> campaign list -> unit
+  ?host:string ->
+  ?batch:int * bool ->
+  ?certification:string list ->
+  out_channel ->
+  campaign list ->
+  unit

@@ -660,6 +660,37 @@ let test_stateset_mode_switch () =
   Stateset.reset s ~universe:64;
   check "direct entry gone" (-1) (Stateset.find s 7)
 
+let test_stateset_reset_shrinks_wasteful_retention () =
+  (* A big hashed run followed by small reuses must not keep paying the
+     big run's capacity: reset shrinks the table once retained capacity
+     exceeds 8x the last run's count, and keeps it otherwise. *)
+  let s = Stateset.create () in
+  let universe = Stateset.direct_cap + 1 in
+  Stateset.reset s ~universe;
+  let cap0 = Stateset.capacity s in
+  (* Force one doubling: growth keeps load <= 1/2. *)
+  let big = cap0 in
+  for i = 0 to big - 1 do
+    Stateset.add s ~key:((i * 97) + 5) ~id:i
+  done;
+  let grown = Stateset.capacity s in
+  check_bool "grew past the initial capacity" true (grown > cap0);
+  (* Reset after a comparably big run: capacity is retained (the common
+     checker pattern — same-sized runs back to back, no realloc). *)
+  Stateset.reset s ~universe;
+  check "retained after big run" grown (Stateset.capacity s);
+  (* A small run, then reset: now the retained table is > 8x the run's
+     count, so it shrinks back to the initial capacity. *)
+  for i = 0 to 9 do
+    Stateset.add s ~key:(i * 1009) ~id:i
+  done;
+  Stateset.reset s ~universe;
+  check "shrunk after small run" cap0 (Stateset.capacity s);
+  (* Still a working, empty table after the shrink. *)
+  check "shrunk table forgets" (-1) (Stateset.find s 5);
+  Stateset.add s ~key:12345 ~id:7;
+  check "add after shrink" 7 (Stateset.find s 12345)
+
 let () =
   Alcotest.run "stateless_checker"
     [
@@ -734,6 +765,8 @@ let () =
           Alcotest.test_case "hashed mode growth" `Quick test_stateset_hashed;
           Alcotest.test_case "mode switch isolation" `Quick
             test_stateset_mode_switch;
+          Alcotest.test_case "reset shrinks wasteful retention" `Quick
+            test_stateset_reset_shrinks_wasteful_retention;
         ] );
       ("properties", qcheck_tests);
     ]

@@ -61,6 +61,28 @@ let test_pool_exception_propagates () =
       Mutex.protect mu (fun () -> total := !total + chunk));
   Alcotest.(check int) "pool reusable after failure" 120 !total
 
+(* Two top-level submitters racing from separate domains: the single job
+   slot must serialize them (not interleave chunk claims across jobs), and
+   both must see complete, correct results. Regression for the concurrent
+   submission race. *)
+let test_pool_concurrent_submitters () =
+  for _ = 1 to 5 do
+    let submit mult =
+      Domain.spawn (fun () ->
+          Parrun.map ~domains:3 ~ctx:(fun () -> ()) 101 (fun _ i -> mult * i))
+    in
+    let a = submit 3 and b = submit 7 in
+    let ra = Domain.join a and rb = Domain.join b in
+    Alcotest.(check (array int))
+      "submitter a complete"
+      (Array.init 101 (fun i -> 3 * i))
+      ra;
+    Alcotest.(check (array int))
+      "submitter b complete"
+      (Array.init 101 (fun i -> 7 * i))
+      rb
+  done
+
 let test_pool_nested_runs_inline () =
   let inner_saw_worker = ref false in
   Pool.run ~domains:3 ~nchunks:3 (fun ~slot:_ _chunk ->
@@ -98,6 +120,34 @@ let test_map_exception_propagates () =
            if i = 63 then raise (Boom i) else i));
     Alcotest.fail "exception swallowed"
   with Boom 63 -> ()
+
+(* map_batched must agree with map for every batch/domain split, including
+   blocks that don't divide n, and must reject wrong-length block results. *)
+let test_map_batched_matches_map () =
+  let f _ i = (i * 17) lxor (i lsl 2) in
+  let n = 103 in
+  let expect = Parrun.map ~domains:1 ~ctx:(fun () -> ()) n f in
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun batch ->
+          let got =
+            Parrun.map_batched ~domains ~batch ~ctx:(fun () -> ()) n
+              (fun () ~lo ~hi -> Array.init (hi - lo) (fun t -> f () (lo + t)))
+          in
+          Alcotest.(check (array int))
+            (Printf.sprintf "domains=%d batch=%d" domains batch)
+            expect got)
+        [ 1; 2; 7; 64; 200 ])
+    domain_counts
+
+let test_map_batched_length_check () =
+  try
+    ignore
+      (Parrun.map_batched ~domains:1 ~batch:8 ~ctx:(fun () -> ()) 20
+         (fun () ~lo ~hi:_ -> Array.make 3 lo));
+    Alcotest.fail "wrong-length block accepted"
+  with Invalid_argument _ -> ()
 
 let test_map_nested_in_map () =
   (* An inner Parrun.map inside an outer one must run inline in the worker
@@ -172,6 +222,8 @@ let () =
             test_pool_exception_propagates;
           Alcotest.test_case "nested runs inline" `Quick
             test_pool_nested_runs_inline;
+          Alcotest.test_case "concurrent submitters" `Quick
+            test_pool_concurrent_submitters;
         ] );
       ( "map",
         [
@@ -180,6 +232,10 @@ let () =
           Alcotest.test_case "exception propagates" `Quick
             test_map_exception_propagates;
           Alcotest.test_case "nested map" `Quick test_map_nested_in_map;
+          Alcotest.test_case "map_batched matches map" `Quick
+            test_map_batched_matches_map;
+          Alcotest.test_case "map_batched length check" `Quick
+            test_map_batched_length_check;
         ] );
       ( "cross-layer",
         [
