@@ -17,6 +17,7 @@ module Netlab = Stateless_netlab.Netlab
 module Netcheck = Stateless_netlab.Netcheck
 module Byzlab = Stateless_byzlab.Byzlab
 module Byzcheck = Stateless_byzlab.Byzcheck
+module Simlab = Stateless_simlab.Simlab
 module Machine = Stateless_machine.Machine
 open Stateless_core
 
@@ -355,49 +356,54 @@ let run_checker_bench () =
     List.length (List.filter (fun c -> String.equal c.cc_verdict v) cases)
   in
   let oc = open_out "BENCH_checker.json" in
-  Printf.fprintf oc "{\n  \"benchmark\": \"checker\",\n";
-  Printf.fprintf oc "  \"host\": %s,\n" (Faultlab.host_json ~domains:1 ());
-  Printf.fprintf oc
-    "  \"verdict_counts\": { \"stabilizing\": %d, \"oscillating\": %d, \
-     \"too_large\": %d },\n"
-    (count "stabilizing") (count "oscillating") (count "too_large");
-  Printf.fprintf oc "  \"experiments\": [\n";
-  List.iteri
-    (fun i c ->
-      let hit_rate =
-        if c.cc_hits + c.cc_misses = 0 then 0.
-        else float c.cc_hits /. float (c.cc_hits + c.cc_misses)
-      in
+  Bench_json.write ~benchmark:"checker"
+    ~host:(Bench_json.host ~domains:1 ())
+    oc
+    (fun oc ->
       Printf.fprintf oc
-        "    { \"name\": %S, \"wall_s_per_run\": %.9f, \"reps\": %d,\n\
-        \      \"naive_wall_s_per_run\": %.9f, \"speedup_vs_naive\": %.2f,\n\
-        \      \"states\": %d, \"edges\": %d, \"states_per_sec\": %.0f,\n\
-        \      \"memo_hits\": %d, \"memo_misses\": %d, \"memo_hit_rate\": \
-         %.4f,\n\
-        \      \"verdict\": %S }%s\n"
-        c.cc_name c.cc_fast_s c.cc_reps c.cc_naive_s
-        (c.cc_naive_s /. c.cc_fast_s)
-        c.cc_states c.cc_edges
-        (float c.cc_states /. c.cc_fast_s)
-        c.cc_hits c.cc_misses hit_rate c.cc_verdict
-        (if i = List.length cases - 1 then "" else ","))
-    cases;
-  Printf.fprintf oc "  ],\n";
-  Printf.fprintf oc "  \"symmetry\": [\n";
-  List.iteri
-    (fun i s ->
-      Printf.fprintf oc
-        "    { \"name\": %S, \"group_order\": %d, \"wall_s\": %.6f,\n\
-        \      \"states\": %d, \"full_states\": %d, \"reduction\": %.2f,\n\
-        \      \"full_states_per_sec\": %.0f, \"verdict\": %S, \
-         \"replay_ok\": %b }%s\n"
-        s.sy_name s.sy_group s.sy_wall_s s.sy_states s.sy_full
-        (if s.sy_states = 0 then 0. else float s.sy_full /. float s.sy_states)
-        (if s.sy_wall_s = 0. then 0. else float s.sy_full /. s.sy_wall_s)
-        s.sy_verdict s.sy_replay_ok
-        (if i = List.length sym_rows - 1 then "" else ","))
-    sym_rows;
-  Printf.fprintf oc "  ]\n}\n";
+        "  \"verdict_counts\": { \"stabilizing\": %d, \"oscillating\": %d, \
+         \"too_large\": %d },\n"
+        (count "stabilizing") (count "oscillating") (count "too_large");
+      Printf.fprintf oc "  \"experiments\": [\n";
+      List.iteri
+        (fun i c ->
+          let hit_rate =
+            if c.cc_hits + c.cc_misses = 0 then 0.
+            else float c.cc_hits /. float (c.cc_hits + c.cc_misses)
+          in
+          Printf.fprintf oc
+            "    { \"name\": %S, \"wall_s_per_run\": %.9f, \"reps\": %d,\n\
+            \      \"naive_wall_s_per_run\": %.9f, \"speedup_vs_naive\": \
+             %.2f,\n\
+            \      \"states\": %d, \"edges\": %d, \"states_per_sec\": %.0f,\n\
+            \      \"memo_hits\": %d, \"memo_misses\": %d, \
+             \"memo_hit_rate\": %.4f,\n\
+            \      \"verdict\": %S }%s\n"
+            c.cc_name c.cc_fast_s c.cc_reps c.cc_naive_s
+            (c.cc_naive_s /. c.cc_fast_s)
+            c.cc_states c.cc_edges
+            (float c.cc_states /. c.cc_fast_s)
+            c.cc_hits c.cc_misses hit_rate c.cc_verdict
+            (if i = List.length cases - 1 then "" else ","))
+        cases;
+      Printf.fprintf oc "  ],\n";
+      Printf.fprintf oc "  \"symmetry\": [\n";
+      List.iteri
+        (fun i s ->
+          Printf.fprintf oc
+            "    { \"name\": %S, \"group_order\": %d, \"wall_s\": %.6f,\n\
+            \      \"states\": %d, \"full_states\": %d, \"reduction\": \
+             %.2f,\n\
+            \      \"full_states_per_sec\": %.0f, \"verdict\": %S, \
+             \"replay_ok\": %b }%s\n"
+            s.sy_name s.sy_group s.sy_wall_s s.sy_states s.sy_full
+            (if s.sy_states = 0 then 0.
+             else float s.sy_full /. float s.sy_states)
+            (if s.sy_wall_s = 0. then 0. else float s.sy_full /. s.sy_wall_s)
+            s.sy_verdict s.sy_replay_ok
+            (if i = List.length sym_rows - 1 then "" else ","))
+        sym_rows;
+      Printf.fprintf oc "  ]\n");
   close_out oc;
   Printf.printf "  [wrote BENCH_checker.json]\n"
 
@@ -435,7 +441,7 @@ let run_fault_bench () =
   in
   let oc = open_out "BENCH_faults.json" in
   Faultlab.write_json
-    ~host:(Faultlab.host_json ~domains:1 ())
+    ~host:(Bench_json.host ~domains:1 ())
     ?batch oc campaigns;
   close_out oc;
   Printf.printf "  [wrote BENCH_faults.json]\n"
@@ -517,7 +523,7 @@ let run_netlab_bench () =
   in
   let oc = open_out "BENCH_netlab.json" in
   Netlab.write_json
-    ~host:(Faultlab.host_json ~domains:1 ())
+    ~host:(Bench_json.host ~domains:1 ())
     ?batch ~certification oc campaigns;
   close_out oc;
   Printf.printf "  [wrote BENCH_netlab.json]\n"
@@ -622,7 +628,7 @@ let run_byz_bench () =
   let certification = [ c1; c2; c3; c4; c5 ] in
   let oc = open_out "BENCH_byz.json" in
   Byzlab.write_json
-    ~host:(Faultlab.host_json ~domains:1 ())
+    ~host:(Bench_json.host ~domains:1 ())
     ?batch ~certification oc campaigns;
   close_out oc;
   Printf.printf "  [wrote BENCH_byz.json]\n"
@@ -853,49 +859,175 @@ let run_engine_bench () =
      (%.2fx), identical: %b\n"
     seeds wall_1 wall_n domains_n (wall_1 /. wall_n) identical;
   let oc = open_out "BENCH_engine.json" in
-  Printf.fprintf oc "{\n  \"benchmark\": \"engine\",\n";
-  Printf.fprintf oc "  \"host\": %s,\n"
-    (Faultlab.host_json ~domains:domains_n ());
-  Printf.fprintf oc "  \"fixtures\": [\n";
-  List.iteri
-    (fun i r ->
-      Printf.fprintf oc
-        "    { \"name\": %S, \"schedule\": %S, \"steps_per_rep\": %d,\n\
-        \      \"boxed_steps_per_sec\": %.0f, \"packed_steps_per_sec\": \
-         %.0f, \"speedup\": %.2f }%s\n"
-        r.er_name r.er_schedule r.er_steps r.er_boxed_sps r.er_packed_sps
-        (r.er_packed_sps /. r.er_boxed_sps)
-        (if i = List.length rows - 1 then "" else ","))
-    rows;
-  Printf.fprintf oc "  ],\n";
-  Printf.fprintf oc "  \"batch\": [\n";
-  List.iteri
-    (fun si (name, sched, rows, identical) ->
-      let sps1 = match rows with (_, _, s) :: _ -> s | [] -> 1. in
-      Printf.fprintf oc
-        "    { \"scenario\": %S, \"schedule\": %S, \"identical\": %b, \
-         \"rows\": [\n"
-        name sched identical;
+  Bench_json.write ~benchmark:"engine"
+    ~host:(Bench_json.host ~domains:domains_n ())
+    oc
+    (fun oc ->
+      Printf.fprintf oc "  \"fixtures\": [\n";
       List.iteri
-        (fun i (k, sweeps, sps) ->
+        (fun i r ->
           Printf.fprintf oc
-            "      { \"k\": %d, \"sweeps\": %d, \"agg_steps_per_sec\": \
-             %.0f, \"speedup_vs_k1\": %.2f }%s\n"
-            k sweeps sps (sps /. sps1)
+            "    { \"name\": %S, \"schedule\": %S, \"steps_per_rep\": %d,\n\
+            \      \"boxed_steps_per_sec\": %.0f, \"packed_steps_per_sec\": \
+             %.0f, \"speedup\": %.2f }%s\n"
+            r.er_name r.er_schedule r.er_steps r.er_boxed_sps r.er_packed_sps
+            (r.er_packed_sps /. r.er_boxed_sps)
             (if i = List.length rows - 1 then "" else ","))
         rows;
-      Printf.fprintf oc "    ] }%s\n"
-        (if si = List.length batch_scenarios - 1 then "" else ","))
-    batch_scenarios;
-  Printf.fprintf oc "  ],\n";
-  Printf.fprintf oc
-    "  \"campaign\": { \"seeds\": %d, \"max_steps\": %d, \"domains\": %d,\n\
-    \    \"wall_s_domains_1\": %.4f, \"wall_s_domains_n\": %.4f, \
-     \"speedup\": %.2f, \"identical\": %b }\n"
-    seeds max_steps domains_n wall_1 wall_n (wall_1 /. wall_n) identical;
-  Printf.fprintf oc "}\n";
+      Printf.fprintf oc "  ],\n";
+      Printf.fprintf oc "  \"batch\": [\n";
+      List.iteri
+        (fun si (name, sched, rows, identical) ->
+          let sps1 = match rows with (_, _, s) :: _ -> s | [] -> 1. in
+          Printf.fprintf oc
+            "    { \"scenario\": %S, \"schedule\": %S, \"identical\": %b, \
+             \"rows\": [\n"
+            name sched identical;
+          List.iteri
+            (fun i (k, sweeps, sps) ->
+              Printf.fprintf oc
+                "      { \"k\": %d, \"sweeps\": %d, \"agg_steps_per_sec\": \
+                 %.0f, \"speedup_vs_k1\": %.2f }%s\n"
+                k sweeps sps (sps /. sps1)
+                (if i = List.length rows - 1 then "" else ","))
+            rows;
+          Printf.fprintf oc "    ] }%s\n"
+            (if si = List.length batch_scenarios - 1 then "" else ","))
+        batch_scenarios;
+      Printf.fprintf oc "  ],\n";
+      Printf.fprintf oc
+        "  \"campaign\": { \"seeds\": %d, \"max_steps\": %d, \"domains\": \
+         %d,\n\
+        \    \"wall_s_domains_1\": %.4f, \"wall_s_domains_n\": %.4f, \
+         \"speedup\": %.2f, \"identical\": %b }\n"
+        seeds max_steps domains_n wall_1 wall_n (wall_1 /. wall_n) identical);
   close_out oc;
   Printf.printf "  [wrote BENCH_engine.json]\n"
+
+(* ------------------------------------------------------------------ *)
+(* Event-driven simulator — machine-readable BENCH_sim.json            *)
+(* ------------------------------------------------------------------ *)
+
+let run_sim_bench () =
+  Printf.printf "\n%s\n" (String.make 78 '=');
+  Printf.printf
+    "Event-driven continuous-time simulator (events/sec vs network size)\n";
+  Printf.printf "%s\n" (String.make 78 '-');
+  let contagion = Simlab.Contagion { threshold = 0.5; seed_frac = 0.01 } in
+  let const02 = (Eventsim.Const 0.2, "const:0.2")
+  and exp02 = (Eventsim.Exp 0.2, "exp:0.2") in
+  (* VmHWM is monotone over the process lifetime, so rows run in
+     ascending node count: each row's peak_rss_kb then reflects its own
+     instance rather than an earlier, larger one. *)
+  let rows =
+    if smoke then
+      [
+        (contagion, Simlab.Ring, const02, 10_000, 5.0);
+        (Simlab.Spp_gadget, Simlab.Ring, const02, 10_000, 5.0);
+        (contagion, Simlab.Ring, const02, 100_000, 2.0);
+        (contagion, Simlab.Ring, const02, 1_000_000, 1.0);
+        (Simlab.Spp_gadget, Simlab.Ring, const02, 1_000_000, 1.0);
+      ]
+    else
+      [
+        (contagion, Simlab.Ring, const02, 10_000, 50.0);
+        (Simlab.Spp_gadget, Simlab.Ring, const02, 10_000, 50.0);
+        (contagion, Simlab.Ring, const02, 100_000, 20.0);
+        (contagion, Simlab.Erdos_renyi 4.0, exp02, 100_000, 10.0);
+        (contagion, Simlab.Ring, const02, 1_000_000, 5.0);
+        (Simlab.Spp_gadget, Simlab.Ring, const02, 1_000_000, 5.0);
+      ]
+  in
+  let measured =
+    List.map
+      (fun (scenario, topology, (latency, lat_name), nodes, horizon) ->
+        let inst =
+          Simlab.build scenario topology ~graph_seed:42 ~nodes ~rate:1.0
+            ~latency ~faults:Eventsim.no_faults
+        in
+        let t0 = Unix.gettimeofday () in
+        let r = inst.Simlab.run ~seed:1 ~horizon in
+        let wall = Unix.gettimeofday () -. t0 in
+        let rss = Bench_json.peak_rss_kb () in
+        let evs =
+          if wall > 0. then float_of_int r.Simlab.events /. wall else 0.
+        in
+        Printf.printf
+          "  %-16s %-10s %-10s n=%-8d h=%-4g %9d ev %7.2fs %10.0f ev/s \
+           rss=%dkB\n"
+          (Simlab.scenario_name scenario)
+          (Simlab.topology_name topology)
+          lat_name inst.Simlab.nodes horizon r.Simlab.events wall evs rss;
+        (scenario, topology, lat_name, inst, horizon, r, wall, evs, rss))
+      rows
+  in
+  (* Cross-domain determinism: the same campaign sharded over one domain
+     and over PARRUN_DOMAINS must produce identical result arrays (CI's
+     grep for "identical": false watches this flag). Losses, duplicates
+     and heap-path latencies are all in play so every RNG stream is
+     exercised. *)
+  let det_inst =
+    Simlab.build contagion Simlab.Ring ~graph_seed:42 ~nodes:2_000 ~rate:1.0
+      ~latency:(Eventsim.Exp 0.2)
+      ~faults:{ Eventsim.no_faults with loss = 0.05; dup = 0.02 }
+  in
+  let det_runs = 8 and det_horizon = 10.0 in
+  let base =
+    Simlab.campaign ~domains:1 det_inst ~seed0:1 ~runs:det_runs
+      ~horizon:det_horizon
+  in
+  let domains_n = max 2 (batch_domains ()) in
+  let sharded =
+    Simlab.campaign ~domains:domains_n det_inst ~seed0:1 ~runs:det_runs
+      ~horizon:det_horizon
+  in
+  let identical = base = sharded in
+  Printf.printf "  campaign sharded over %d domains identical: %b\n" domains_n
+    identical;
+  (* Single-core throughput target at 10^5 nodes (constant latency). *)
+  let target_nodes = 100_000 and target_evs = 5_000_000.0 in
+  let achieved =
+    List.fold_left
+      (fun acc (scenario, _, lat, inst, _, _, _, evs, _) ->
+        match scenario with
+        | Simlab.Contagion _
+          when inst.Simlab.nodes = target_nodes && lat = "const:0.2" ->
+            max acc evs
+        | _ -> acc)
+      0.0 measured
+  in
+  let oc = open_out "BENCH_sim.json" in
+  Bench_json.write ~benchmark:"sim"
+    ~host:(Bench_json.host ~domains:1 ())
+    oc
+    (fun oc ->
+      Printf.fprintf oc "  \"rows\": [\n";
+      List.iteri
+        (fun i (scenario, topology, lat, inst, horizon, r, wall, evs, rss) ->
+          Printf.fprintf oc
+            "    { \"scenario\": %S, \"topology\": %S, \"latency\": %S, \
+             \"nodes\": %d, \"edges\": %d, \"horizon\": %g, \"seed\": 1, \
+             \"events\": %d, \"activations\": %d, \"deliveries\": %d, \
+             \"metric\": %d, \"wall_s\": %.4f, \"events_per_sec\": %.0f, \
+             \"peak_rss_kb\": %d }%s\n"
+            (Simlab.scenario_name scenario)
+            (Simlab.topology_name topology)
+            lat inst.Simlab.nodes inst.Simlab.edges horizon r.Simlab.events
+            r.Simlab.activations r.Simlab.deliveries r.Simlab.metric wall
+            evs rss
+            (if i = List.length measured - 1 then "" else ","))
+        measured;
+      Printf.fprintf oc "  ],\n";
+      Printf.fprintf oc
+        "  \"target\": { \"nodes\": %d, \"min_events_per_sec\": %.0f, \
+         \"achieved_events_per_sec\": %.0f, \"met\": %b },\n"
+        target_nodes target_evs achieved (achieved >= target_evs);
+      Printf.fprintf oc
+        "  \"campaign\": { \"runs\": %d, \"domains\": %d, \"identical\": \
+         %b }\n"
+        det_runs domains_n identical);
+  close_out oc;
+  Printf.printf "  [wrote BENCH_sim.json]\n"
 
 (* ------------------------------------------------------------------ *)
 
@@ -921,6 +1053,10 @@ let () =
     run_byz_bench ();
     exit 0
   end;
+  if Array.exists (String.equal "--sim-bench-only") Sys.argv then begin
+    run_sim_bench ();
+    exit 0
+  end;
   print_endline "Stateless Computation — experiment harness";
   print_endline "(Dolev, Erdmann, Lutz, Schapira, Zair; PODC 2017)";
   List.iter
@@ -943,4 +1079,5 @@ let () =
   run_netlab_bench ();
   run_byz_bench ();
   run_engine_bench ();
+  run_sim_bench ();
   Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

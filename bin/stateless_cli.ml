@@ -11,7 +11,9 @@
      netlab    — adversarial channel campaigns and bounded-adversary
                  certification
      byz       — Byzantine-node attack campaigns and exhaustive (r,B)
-                 certification *)
+                 certification
+     sim       — event-driven continuous-time simulation on generated
+                 topologies at up to millions of nodes *)
 
 open Cmdliner
 open Stateless_core
@@ -28,6 +30,7 @@ module Netlab = Stateless_netlab.Netlab
 module Netcheck = Stateless_netlab.Netcheck
 module Byzlab = Stateless_byzlab.Byzlab
 module Byzcheck = Stateless_byzlab.Byzcheck
+module Simlab = Stateless_simlab.Simlab
 module Fooling = Stateless_lowerbound.Fooling
 
 (* ------------------------------------------------------------------ *)
@@ -555,7 +558,7 @@ let faults_cmd =
     | None -> ()
     | Some path ->
         let oc = open_out path in
-        Faultlab.write_json ~host:(Faultlab.host_json ~domains ()) oc campaigns;
+        Faultlab.write_json ~host:(Bench_json.host ~domains ()) oc campaigns;
         close_out oc;
         Printf.printf "  [wrote %s]\n" path
   in
@@ -654,7 +657,7 @@ let netlab_cmd =
     | None -> ()
     | Some path ->
         let oc = open_out path in
-        Netlab.write_json ~host:(Faultlab.host_json ~domains ()) oc campaigns;
+        Netlab.write_json ~host:(Bench_json.host ~domains ()) oc campaigns;
         close_out oc;
         Printf.printf "  [wrote %s]\n" path
   in
@@ -839,7 +842,7 @@ let byz_cmd =
     | None -> ()
     | Some path ->
         let oc = open_out path in
-        Byzlab.write_json ~host:(Faultlab.host_json ~domains ()) oc campaigns;
+        Byzlab.write_json ~host:(Bench_json.host ~domains ()) oc campaigns;
         close_out oc;
         Printf.printf "  [wrote %s]\n" path
   in
@@ -871,6 +874,177 @@ let byz_cmd =
       $ batch_arg $ certify_arg $ r_arg $ budget_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
+(* sim                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sim_cmd =
+  let result_conv ~docv of_string name =
+    Arg.conv ~docv
+      ( (fun s -> Result.map_error (fun e -> `Msg e) (of_string s)),
+        fun ppf v -> Format.pp_print_string ppf (name v) )
+  in
+  let scenario_arg =
+    let doc =
+      "Scenario: 'contagion[:<threshold>:<seed-frac>]' (Morris threshold \
+       contagion) or 'spp' (tiled Stable Paths Problem GOOD GADGETs)."
+    in
+    Arg.(
+      value
+      & opt
+          (result_conv ~docv:"SCENARIO" Simlab.scenario_of_string
+             Simlab.scenario_name)
+          (Simlab.Contagion { threshold = 0.5; seed_frac = 0.01 })
+      & info [ "p"; "scenario" ] ~doc)
+  in
+  let topology_arg =
+    let doc =
+      "Topology: 'ring', 'torus', 'er[:<deg>]', 'smallworld[:<k>:<beta>]' \
+       or 'prefattach[:<m>]' ('spp' builds its own tiled graph and ignores \
+       this)."
+    in
+    Arg.(
+      value
+      & opt
+          (result_conv ~docv:"TOPO" Simlab.topology_of_string
+             Simlab.topology_name)
+          Simlab.Ring
+      & info [ "t"; "topology" ] ~doc)
+  in
+  let latency_arg =
+    let doc =
+      "Per-edge delivery-latency distribution: 'const:<c>', \
+       'uniform:<lo>:<hi>', 'exp:<mean>' or 'pareto:<alpha>:<xmin>'."
+    in
+    Arg.(
+      value
+      & opt
+          (result_conv ~docv:"LAT" Simlab.latency_of_string
+             Simlab.latency_name)
+          (Eventsim.Exp 1.0)
+      & info [ "latency" ] ~doc)
+  in
+  let sim_nodes_arg =
+    let doc = "Network size (at least 4 nodes)." in
+    Arg.(
+      value & opt pos_int_conv 10_000 & info [ "n"; "nodes" ] ~doc ~docv:"N")
+  in
+  let pos_float_conv =
+    let parse s =
+      match float_of_string_opt s with
+      | Some f when f > 0.0 -> Ok f
+      | Some f -> Error (`Msg (Printf.sprintf "%g is not positive" f))
+      | None -> Error (`Msg (Printf.sprintf "invalid float %S" s))
+    in
+    Arg.conv ~docv:"X" (parse, Format.pp_print_float)
+  in
+  let rate_arg =
+    let doc = "Per-node Poisson activation rate." in
+    Arg.(value & opt pos_float_conv 1.0 & info [ "rate" ] ~doc ~docv:"R")
+  in
+  let horizon_arg =
+    let doc = "Simulated-time horizon." in
+    Arg.(value & opt pos_float_conv 50.0 & info [ "horizon" ] ~doc ~docv:"T")
+  in
+  let runs_arg =
+    let doc = "Independent trajectories (seeds)." in
+    Arg.(value & opt pos_int_conv 5 & info [ "runs"; "seeds" ] ~doc ~docv:"N")
+  in
+  let graph_seed_arg =
+    let doc = "Seed for randomized topology generation." in
+    Arg.(value & opt pos_int_conv 42 & info [ "graph-seed" ] ~doc ~docv:"S")
+  in
+  let loss_arg =
+    let doc = "Per-message loss probability." in
+    Arg.(value & opt fraction_conv 0.0 & info [ "loss" ] ~doc)
+  in
+  let dup_arg =
+    let doc = "Per-message duplication probability." in
+    Arg.(value & opt fraction_conv 0.0 & info [ "dup" ] ~doc)
+  in
+  let crash_arg =
+    let doc = "Per-activation crash probability." in
+    Arg.(value & opt fraction_conv 0.0 & info [ "crash" ] ~doc)
+  in
+  let crash_len_arg =
+    let doc = "Length of each crash window, in simulated time." in
+    Arg.(value & opt pos_float_conv 1.0 & info [ "crash-len" ] ~doc ~docv:"T")
+  in
+  let run scenario topology nodes rate latency horizon runs domains seed0
+      graph_seed loss dup crash crash_len out =
+    if nodes < 4 then (
+      prerr_endline "stateless: sim needs at least 4 nodes";
+      exit 124);
+    let faults = { Eventsim.loss; dup; crash; crash_len } in
+    let inst =
+      Simlab.build scenario topology ~graph_seed ~nodes ~rate ~latency
+        ~faults
+    in
+    Printf.printf
+      "%s on %s: %d nodes, %d edges; rate %g, latency %s, horizon %g\n"
+      (Simlab.scenario_name scenario)
+      (Simlab.topology_name topology)
+      inst.Simlab.nodes inst.Simlab.edges rate
+      (Simlab.latency_name latency)
+      horizon;
+    let results = Simlab.campaign ~domains inst ~seed0 ~runs ~horizon in
+    Printf.printf "  %6s %10s %11s %10s %7s %6s %7s %10s  %s\n" "seed"
+      "events" "activations" "deliveries" "lost" "dup" "crashes" "metric"
+      "labels";
+    Array.iter
+      (fun r ->
+        Printf.printf "  %6d %10d %11d %10d %7d %6d %7d %10d  %016x\n"
+          r.Simlab.seed r.Simlab.events r.Simlab.activations
+          r.Simlab.deliveries r.Simlab.lost r.Simlab.duplicated
+          r.Simlab.crash_windows r.Simlab.metric r.Simlab.label_hash)
+      results;
+    match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Bench_json.write ~benchmark:"sim"
+          ~host:(Bench_json.host ~domains ())
+          oc
+          (fun oc ->
+            Printf.fprintf oc
+              "  \"instance\": { \"scenario\": %S, \"topology\": %S, \
+               \"latency\": %S, \"nodes\": %d, \"edges\": %d, \"rate\": %g, \
+               \"horizon\": %g, \"loss\": %g, \"dup\": %g, \"crash\": %g },\n"
+              (Simlab.scenario_name scenario)
+              (Simlab.topology_name topology)
+              (Simlab.latency_name latency)
+              inst.Simlab.nodes inst.Simlab.edges rate horizon loss dup crash;
+            Printf.fprintf oc "  \"runs\": [\n";
+            Array.iteri
+              (fun i r ->
+                Printf.fprintf oc
+                  "    { \"seed\": %d, \"events\": %d, \"activations\": %d, \
+                   \"deliveries\": %d, \"lost\": %d, \"duplicated\": %d, \
+                   \"crash_windows\": %d, \"metric\": %d, \"label_hash\": \
+                   %d }%s\n"
+                  r.Simlab.seed r.Simlab.events r.Simlab.activations
+                  r.Simlab.deliveries r.Simlab.lost r.Simlab.duplicated
+                  r.Simlab.crash_windows r.Simlab.metric r.Simlab.label_hash
+                  (if i = Array.length results - 1 then "" else ","))
+              results;
+            Printf.fprintf oc "  ]\n");
+        close_out oc;
+        Printf.printf "  [wrote %s]\n" path
+  in
+  let info =
+    Cmd.info "sim"
+      ~doc:
+        "Event-driven continuous-time simulation: Poisson activations and \
+         per-edge latency distributions over generated topologies, at up \
+         to millions of nodes"
+  in
+  Cmd.v info
+    Term.(
+      const run $ scenario_arg $ topology_arg $ sim_nodes_arg $ rate_arg
+      $ latency_arg $ horizon_arg $ runs_arg $ domains_arg $ seed_arg
+      $ graph_seed_arg $ loss_arg $ dup_arg $ crash_arg $ crash_len_arg
+      $ out_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let info =
@@ -885,7 +1059,7 @@ let () =
          (Cmd.group info
             [
               simulate_cmd; check_cmd; snake_cmd; compile_cmd; counter_cmd;
-              spp_cmd; hunt_cmd; faults_cmd; netlab_cmd; byz_cmd;
+              spp_cmd; hunt_cmd; faults_cmd; netlab_cmd; byz_cmd; sim_cmd;
             ])
      with
     | Snake.Step_bound_exhausted { reduction; d; max_steps } ->

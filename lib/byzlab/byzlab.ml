@@ -40,6 +40,7 @@ module Schedule = Stateless_core.Schedule
 module Label = Stateless_core.Label
 module Parrun = Stateless_core.Parrun
 module Clique_example = Stateless_core.Clique_example
+module Bench_json = Stateless_core.Bench_json
 module D_counter = Stateless_counter.D_counter
 module Digraph = Stateless_graph.Digraph
 module Algorithms = Stateless_graph.Algorithms
@@ -986,47 +987,31 @@ let print_campaign oc c =
         s.worst_radius s.recovered s.runs s.mean_recovery s.p50 s.p95 s.worst)
     c.levels
 
-let write_json ?host ?batch ?(certification = []) oc campaigns =
-  Printf.fprintf oc "{\n  \"benchmark\": \"byzlab\",\n";
-  (match host with
-  | Some h -> Printf.fprintf oc "  \"host\": %s,\n" h
-  | None -> ());
-  (match batch with
-  | Some (k, identical) ->
-      Printf.fprintf oc "  \"batch\": { \"k\": %d, \"identical\": %b },\n" k
-        identical
-  | None -> ());
-  if certification <> [] then begin
-    Printf.fprintf oc "  \"certification\": [\n";
-    List.iteri
-      (fun i row ->
-        Printf.fprintf oc "    %s%s\n" row
-          (if i = List.length certification - 1 then "" else ","))
-      certification;
-    Printf.fprintf oc "  ],\n"
-  end;
-  Printf.fprintf oc "  \"campaigns\": [\n";
-  List.iteri
-    (fun i c ->
-      Printf.fprintf oc
-        "    { \"scenario\": %S, \"schedule\": %S, \"strategy\": %S, \
-         \"attack_steps\": %d, \"runs_per_level\": %d,\n\
-        \      \"levels\": [\n"
-        c.scenario_name c.schedule c.strategy c.attack c.runs_per_level;
+let write_json ?host ?batch ?certification oc campaigns =
+  Bench_json.write ~benchmark:"byzlab" ?host ?batch ?certification oc
+    (fun oc ->
+      Printf.fprintf oc "  \"campaigns\": [\n";
       List.iteri
-        (fun j s ->
+        (fun i c ->
           Printf.fprintf oc
-            "        { \"byz\": %S, \"byz_count\": %d, \"runs\": %d, \
-             \"mean_deviant_fraction\": %.4f, \"stabilized_fraction\": \
-             %.4f, \"worst_radius\": %d, \"recovered\": %d, \
-             \"mean_recovery_steps\": %.3f, \"p50_steps\": %d, \
-             \"p95_steps\": %d, \"worst_steps\": %d }%s\n"
-            (string_of_byz s.byz) (List.length s.byz) s.runs s.mean_deviant
-            s.mean_stabilized s.worst_radius s.recovered s.mean_recovery
-            s.p50 s.p95 s.worst
-            (if j = List.length c.levels - 1 then "" else ","))
-        c.levels;
-      Printf.fprintf oc "      ] }%s\n"
-        (if i = List.length campaigns - 1 then "" else ","))
-    campaigns;
-  Printf.fprintf oc "  ]\n}\n"
+            "    { \"scenario\": %S, \"schedule\": %S, \"strategy\": %S, \
+             \"attack_steps\": %d, \"runs_per_level\": %d,\n\
+            \      \"levels\": [\n"
+            c.scenario_name c.schedule c.strategy c.attack c.runs_per_level;
+          List.iteri
+            (fun j s ->
+              Printf.fprintf oc
+                "        { \"byz\": %S, \"byz_count\": %d, \"runs\": %d, \
+                 \"mean_deviant_fraction\": %.4f, \"stabilized_fraction\": \
+                 %.4f, \"worst_radius\": %d, \"recovered\": %d, \
+                 \"mean_recovery_steps\": %.3f, \"p50_steps\": %d, \
+                 \"p95_steps\": %d, \"worst_steps\": %d }%s\n"
+                (string_of_byz s.byz) (List.length s.byz) s.runs s.mean_deviant
+                s.mean_stabilized s.worst_radius s.recovered s.mean_recovery
+                s.p50 s.p95 s.worst
+                (if j = List.length c.levels - 1 then "" else ","))
+            c.levels;
+          Printf.fprintf oc "      ] }%s\n"
+            (if i = List.length campaigns - 1 then "" else ","))
+        campaigns;
+      Printf.fprintf oc "  ]\n")

@@ -1,0 +1,61 @@
+let git_rev () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try String.trim (input_line ic) with End_of_file -> "" in
+    let status = Unix.close_process_in ic in
+    match status with
+    | Unix.WEXITED 0 when line <> "" -> line
+    | _ -> "unknown"
+  with _ -> "unknown"
+
+let host ~domains () =
+  Printf.sprintf
+    "{ \"ocaml\": %S, \"recommended_domains\": %d, \"domains\": %d, \
+     \"git_rev\": %S }"
+    Sys.ocaml_version
+    (Domain.recommended_domain_count ())
+    domains (git_rev ())
+
+(* Peak resident set from /proc/self/status (Linux); -1 when unreadable.
+   VmHWM is monotone over the process lifetime, so benchmark legs that
+   report it must run their instances in ascending size order. *)
+let peak_rss_kb () =
+  try
+    let ic = open_in "/proc/self/status" in
+    let rec scan () =
+      match input_line ic with
+      | line ->
+          if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then begin
+            close_in ic;
+            let rest = String.sub line 6 (String.length line - 6) in
+            Scanf.sscanf rest " %d" (fun kb -> kb)
+          end
+          else scan ()
+      | exception End_of_file ->
+          close_in ic;
+          -1
+    in
+    scan ()
+  with _ -> -1
+
+let write ~benchmark ?host ?batch ?(certification = []) oc body =
+  Printf.fprintf oc "{\n  \"benchmark\": %S,\n" benchmark;
+  (match host with
+  | Some h -> Printf.fprintf oc "  \"host\": %s,\n" h
+  | None -> ());
+  (match batch with
+  | Some (k, identical) ->
+      Printf.fprintf oc "  \"batch\": { \"k\": %d, \"identical\": %b },\n" k
+        identical
+  | None -> ());
+  if certification <> [] then begin
+    Printf.fprintf oc "  \"certification\": [\n";
+    List.iteri
+      (fun i row ->
+        Printf.fprintf oc "    %s%s\n" row
+          (if i = List.length certification - 1 then "" else ","))
+      certification;
+    Printf.fprintf oc "  ],\n"
+  end;
+  body oc;
+  Printf.fprintf oc "}\n"

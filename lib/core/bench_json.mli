@@ -1,0 +1,40 @@
+(** Shared envelope for the [BENCH_*.json] emitters.
+
+    Every benchmark leg writes the same outer shape —
+    [{ "benchmark": ..., "host": ..., "batch": ..., "certification": ...,
+    <leg-specific fields> }] — so the envelope lives here once and each
+    leg only provides a body printer for its own fields. CI's artifact
+    glob and its ["\"identical\": false"] grep rely on this shape staying
+    uniform across legs. *)
+
+(** Short git revision of the working tree, or ["unknown"] outside a
+    checkout. *)
+val git_rev : unit -> string
+
+(** Provenance block shared by every [BENCH_*.json]: OCaml version,
+    [Domain.recommended_domain_count], the domain count used, and
+    {!git_rev}. Returned as a JSON object string. *)
+val host : domains:int -> unit -> string
+
+(** Peak resident set size of this process in kB, from Linux's
+    [/proc/self/status] [VmHWM] line; [-1] where unavailable. The
+    high-water mark is monotone over the process lifetime — legs that
+    report per-instance peaks must run instances in ascending size
+    order. *)
+val peak_rss_kb : unit -> int
+
+(** [write ~benchmark ?host ?batch ?certification oc body] prints the
+    envelope — opening brace, benchmark name, optional host block,
+    optional [(k, identical)] lock-step batch summary, optional
+    pre-rendered certification rows — then calls [body oc] to print the
+    leg's remaining comma-separated fields (each line indented two
+    spaces, no trailing comma after the last field), and closes the
+    object. *)
+val write :
+  benchmark:string ->
+  ?host:string ->
+  ?batch:int * bool ->
+  ?certification:string list ->
+  out_channel ->
+  (out_channel -> unit) ->
+  unit

@@ -1,0 +1,566 @@
+module Digraph = Stateless_graph.Digraph
+
+type latency =
+  | Const of float
+  | Uniform of float * float
+  | Exp of float
+  | Pareto of float * float
+
+type faults = { loss : float; dup : float; crash : float; crash_len : float }
+
+let no_faults = { loss = 0.0; dup = 0.0; crash = 0.0; crash_len = 0.0 }
+
+type stats = {
+  events : int;
+  activations : int;
+  deliveries : int;
+  lost : int;
+  duplicated : int;
+  crash_windows : int;
+  time : float;
+  pending : int;
+}
+
+(* Event storage is split by kind so that each structure only ever holds
+   one priority class and the delivery-before-activation tie-break lives
+   in a single top-level comparison in the run loop:
+
+   - the async merged activation clock is one scalar ([next_act], a
+     1-cell float array so stores stay unboxed) — never a heap entry;
+   - constant-latency deliveries (including sync mode's unit latency) are
+     pushed at activation times, which the run loop visits in
+     nondecreasing order, so their times are already sorted: a FIFO ring
+     buffer replaces the priority queue outright;
+   - variable-latency deliveries go to a 4-ary min-heap ordered by time
+     alone — no tie-break branches in the sift loops;
+   - sync mode's per-node clocks reuse the same heap (it then holds only
+     activations, again time-only ordering). *)
+type ('x, 'l) t = {
+  kernel : ('x, 'l) Kernel.t;
+  graph : Digraph.t;
+  n : int;
+  nm : int; (* n + num_edges: stream-id stride between draw purposes *)
+  delivered : int array; (* per-edge last-delivered label code *)
+  node_outputs : int array;
+  rate : float;
+  latency : latency;
+  faults : faults;
+  sync : bool;
+  is_const : bool; (* latency is Const: deliveries take the FIFO *)
+  const_lat : float; (* the Const latency when [is_const] *)
+  rng_base : int;
+  (* Per-stream draw counters: a draw is a pure function of
+     (seed, stream, counter), so the trajectory is independent of anything
+     but the seed — no hidden global RNG state. *)
+  mutable gap_ctr : int; (* async: merged-clock activation gaps *)
+  mutable pick_ctr : int; (* async: uniform node picks *)
+  crash_ctr : int array; (* per node: crash coins *)
+  lat_ctr : int array; (* per edge: latency draws *)
+  coin_ctr : int array; (* per edge: loss/dup coins *)
+  crashed_until : float array;
+  next_act : float array; (* async merged clock; 1 cell, unboxed stores *)
+  (* 4-ary min-heap as three parallel flat arrays, ordered by time only.
+     Async: (time, edge, code) deliveries. Sync: (time, node, 0) clocks. *)
+  mutable htime : float array;
+  mutable hea : int array;
+  mutable hcode : int array;
+  mutable hn : int;
+  mutable sift : int; (* sift-loop cursor scratch: avoids a ref per op *)
+  (* Constant-latency delivery FIFO: ring buffer, capacity a power of
+     two, [fhead]/[ftail] monotone counters masked on access. *)
+  mutable ft : float array;
+  mutable fe : int array;
+  mutable fc : int array;
+  mutable fhead : int;
+  mutable ftail : int;
+  mutable now : float;
+  mutable events : int;
+  mutable activations : int;
+  mutable deliveries : int;
+  mutable lost : int;
+  mutable duplicated : int;
+  mutable crash_windows : int;
+}
+
+(* Splitmix-style finalizer on OCaml's 63-bit native ints (the classic
+   64-bit constants don't fit an int literal; these odd constants < 2^62
+   do, and [land max_int] keeps every intermediate nonnegative). *)
+let mix63 x =
+  let x = x land max_int in
+  let x = (x lxor (x lsr 30)) * 0x2545F4914F6CDD1D land max_int in
+  let x = (x lxor (x lsr 27)) * 0x1F123BB5159A55E5 land max_int in
+  x lxor (x lsr 31)
+
+(* Uniform on (0, 1] from the top 52 of the mix's 62 value bits (OCaml's
+   [max_int] is 2^62 - 1) — never 0, so log u is finite. *)
+let u_of r = float_of_int ((r lsr 10) + 1) *. 0x1p-52
+
+let draw t ~stream ~ctr = u_of (mix63 (mix63 (t.rng_base + stream) + ctr))
+
+(* Stream ids: tag * (n + m) + idx, with nodes at idx in [0, n) and edges
+   at idx in [n, n + m). Async activations use only node streams 0 and 1:
+   the n per-node Poisson(rate) clocks are simulated by their
+   superposition — one merged Exp(n * rate) gap stream plus a uniform node
+   pick — which is the same stochastic process with n times fewer pending
+   events. *)
+let draw_global_gap t =
+  let c = t.gap_ctr in
+  t.gap_ctr <- c + 1;
+  let u = draw t ~stream:0 ~ctr:c in
+  -.log u /. (t.rate *. float_of_int t.n)
+
+let draw_node_pick t =
+  let c = t.pick_ctr in
+  t.pick_ctr <- c + 1;
+  let u = draw t ~stream:1 ~ctr:c in
+  (* u is on (0, 1], so clamp the u = 1 endpoint. *)
+  let i = int_of_float (u *. float_of_int t.n) in
+  if i >= t.n then t.n - 1 else i
+
+let draw_crash_coin t i =
+  let c = t.crash_ctr.(i) in
+  t.crash_ctr.(i) <- c + 1;
+  draw t ~stream:(t.nm + i) ~ctr:c
+
+let draw_coin t e =
+  let c = t.coin_ctr.(e) in
+  t.coin_ctr.(e) <- c + 1;
+  draw t ~stream:((3 * t.nm) + t.n + e) ~ctr:c
+
+let draw_latency t e =
+  match t.latency with
+  | Const c -> c
+  | _ ->
+      let c = t.lat_ctr.(e) in
+      t.lat_ctr.(e) <- c + 1;
+      let u = draw t ~stream:((2 * t.nm) + t.n + e) ~ctr:c in
+      (match t.latency with
+      | Const c -> c
+      | Uniform (lo, hi) -> lo +. (u *. (hi -. lo))
+      | Exp mean -> -.mean *. log u
+      | Pareto (alpha, xmin) -> xmin *. (u ** (-1.0 /. alpha)))
+
+let ensure_capacity t =
+  let cap = Array.length t.htime in
+  if t.hn = cap then begin
+    let cap' = 2 * cap in
+    let ht = Array.make cap' 0.0 in
+    let he = Array.make cap' 0 in
+    let hc = Array.make cap' 0 in
+    Array.blit t.htime 0 ht 0 cap;
+    Array.blit t.hea 0 he 0 cap;
+    Array.blit t.hcode 0 hc 0 cap;
+    t.htime <- ht;
+    t.hea <- he;
+    t.hcode <- hc
+  end
+
+(* The heap is 4-ary: at the pending counts the simulator sustains
+   (tens of thousands of in-flight messages) sift depth — and with it the
+   number of distinct cache lines a pop touches — halves versus a binary
+   heap, and the four children of a node share cache lines in each of the
+   three parallel arrays.
+
+   The sift loops are written with only shadowed immutable locals and the
+   [t.sift] cursor field, comparisons inline: without flambda, a float
+   crossing any call boundary (comparison helper, recursive self-call) is
+   re-boxed per heap level, and even a local [ref] allocates its cell per
+   operation — this form is the one the compiler keeps entirely
+   allocation-free, which matters at ~10^7 heap ops per simulated
+   second. For the same reason the sift-down loop appears twice below
+   (drop and replace-root) instead of being shared through a helper:
+   sharing was measured 20% slower end-to-end. *)
+
+let heap_push t time ea code =
+  ensure_capacity t;
+  let ht = t.htime and he = t.hea and hc = t.hcode in
+  let n = t.hn in
+  t.hn <- n + 1;
+  t.sift <- n;
+  while
+    let i = t.sift in
+    i > 0
+    &&
+    let p = (i - 1) / 4 in
+    let tp = Array.unsafe_get ht p in
+    time < tp
+    &&
+    (Array.unsafe_set ht i tp;
+     Array.unsafe_set he i (Array.unsafe_get he p);
+     Array.unsafe_set hc i (Array.unsafe_get hc p);
+     t.sift <- p;
+     true)
+  do
+    ()
+  done;
+  let i = t.sift in
+  Array.unsafe_set ht i time;
+  Array.unsafe_set he i ea;
+  Array.unsafe_set hc i code
+
+(* Remove the root; the caller has already read it. *)
+let heap_drop t =
+  let last = t.hn - 1 in
+  t.hn <- last;
+  if last > 0 then begin
+    let ht = t.htime and he = t.hea and hc = t.hcode in
+    let time = Array.unsafe_get ht last in
+    let ea = Array.unsafe_get he last in
+    let code = Array.unsafe_get hc last in
+    t.sift <- 0;
+    while
+      let i = t.sift in
+      let l = (4 * i) + 1 in
+      l < last
+      &&
+      (* Earliest child among l .. min (l+3) (last-1); the shadowing
+         chain keeps everything in registers. *)
+      let c = l in
+      let c =
+        let j = l + 1 in
+        if j < last && Array.unsafe_get ht j < Array.unsafe_get ht c then j
+        else c
+      in
+      let c =
+        let j = l + 2 in
+        if j < last && Array.unsafe_get ht j < Array.unsafe_get ht c then j
+        else c
+      in
+      let c =
+        let j = l + 3 in
+        if j < last && Array.unsafe_get ht j < Array.unsafe_get ht c then j
+        else c
+      in
+      let tc = Array.unsafe_get ht c in
+      tc < time
+      &&
+      (Array.unsafe_set ht i tc;
+       Array.unsafe_set he i (Array.unsafe_get he c);
+       Array.unsafe_set hc i (Array.unsafe_get hc c);
+       t.sift <- c;
+       true)
+    do
+      ()
+    done;
+    let i = t.sift in
+    Array.unsafe_set ht i time;
+    Array.unsafe_set he i ea;
+    Array.unsafe_set hc i code
+  end
+
+(* Replace the root with (time, ea, code) without detaching it first —
+   the sync clock re-arm, one whole tick above the popped root. *)
+let heap_replace_root t time ea code =
+  let last = t.hn in
+  let ht = t.htime and he = t.hea and hc = t.hcode in
+  t.sift <- 0;
+  while
+    let i = t.sift in
+    let l = (4 * i) + 1 in
+    l < last
+    &&
+    let c = l in
+    let c =
+      let j = l + 1 in
+      if j < last && Array.unsafe_get ht j < Array.unsafe_get ht c then j
+      else c
+    in
+    let c =
+      let j = l + 2 in
+      if j < last && Array.unsafe_get ht j < Array.unsafe_get ht c then j
+      else c
+    in
+    let c =
+      let j = l + 3 in
+      if j < last && Array.unsafe_get ht j < Array.unsafe_get ht c then j
+      else c
+    in
+    let tc = Array.unsafe_get ht c in
+    tc < time
+    &&
+    (Array.unsafe_set ht i tc;
+     Array.unsafe_set he i (Array.unsafe_get he c);
+     Array.unsafe_set hc i (Array.unsafe_get hc c);
+     t.sift <- c;
+     true)
+  do
+    ()
+  done;
+  let i = t.sift in
+  Array.unsafe_set ht i time;
+  Array.unsafe_set he i ea;
+  Array.unsafe_set hc i code
+
+(* FIFO growth: double (capacity stays a power of two) and unwrap the
+   live window to the front of the new arrays. *)
+let fifo_grow t =
+  let cap = Array.length t.ft in
+  let mask = cap - 1 in
+  let len = t.ftail - t.fhead in
+  let cap' = 2 * cap in
+  let ft = Array.make cap' 0.0 in
+  let fe = Array.make cap' 0 in
+  let fc = Array.make cap' 0 in
+  for k = 0 to len - 1 do
+    let p = (t.fhead + k) land mask in
+    ft.(k) <- t.ft.(p);
+    fe.(k) <- t.fe.(p);
+    fc.(k) <- t.fc.(p)
+  done;
+  t.ft <- ft;
+  t.fe <- fe;
+  t.fc <- fc;
+  t.fhead <- 0;
+  t.ftail <- len
+
+let check_latency = function
+  | Const c -> if c < 0.0 then invalid_arg "Eventsim: negative Const latency"
+  | Uniform (lo, hi) ->
+      if lo < 0.0 || hi < lo then invalid_arg "Eventsim: bad Uniform latency"
+  | Exp mean -> if mean <= 0.0 then invalid_arg "Eventsim: bad Exp latency"
+  | Pareto (alpha, xmin) ->
+      if alpha <= 0.0 || xmin <= 0.0 then
+        invalid_arg "Eventsim: bad Pareto latency"
+
+let check_faults f =
+  let prob name p =
+    if p < 0.0 || p > 1.0 then
+      invalid_arg (Printf.sprintf "Eventsim: %s probability out of [0,1]" name)
+  in
+  prob "loss" f.loss;
+  prob "dup" f.dup;
+  prob "crash" f.crash;
+  if f.crash_len < 0.0 then invalid_arg "Eventsim: negative crash_len"
+
+let create ?max_table_words ?max_memo_entries ?(rate = 1.0)
+    ?(latency = Exp 1.0) ?(faults = no_faults) ?(sync = false) ~seed p ~input
+    ~init =
+  if rate <= 0.0 then invalid_arg "Eventsim.create: rate must be positive";
+  check_latency latency;
+  check_faults faults;
+  let latency = if sync then Const 1.0 else latency in
+  let faults = if sync then no_faults else faults in
+  let kernel = Kernel.create ?max_table_words ?max_memo_entries p ~input in
+  let graph = p.Protocol.graph in
+  let n = Digraph.num_nodes graph in
+  let m = Digraph.num_edges graph in
+  let delivered = Array.make m 0 in
+  let node_outputs = Array.make n 0 in
+  Kernel.load kernel init ~labels:delivered ~outputs:node_outputs;
+  (* Sync keeps the n per-node clocks in the heap; async only queues
+     in-flight messages there (amortized doubling tracks the load). *)
+  let cap = if sync then max 16 n else 1024 in
+  let t =
+    {
+      kernel;
+      graph;
+      n;
+      nm = n + m;
+      delivered;
+      node_outputs;
+      rate;
+      latency;
+      faults;
+      sync;
+      is_const = (match latency with Const _ -> true | _ -> false);
+      const_lat = (match latency with Const c -> c | _ -> 0.0);
+      rng_base = mix63 seed;
+      gap_ctr = 0;
+      pick_ctr = 0;
+      crash_ctr = Array.make n 0;
+      lat_ctr = Array.make m 0;
+      coin_ctr = Array.make m 0;
+      crashed_until = Array.make n 0.0;
+      next_act = Array.make 1 infinity;
+      htime = Array.make cap 0.0;
+      hea = Array.make cap 0;
+      hcode = Array.make cap 0;
+      hn = 0;
+      sift = 0;
+      ft = Array.make 1024 0.0;
+      fe = Array.make 1024 0;
+      fc = Array.make 1024 0;
+      fhead = 0;
+      ftail = 0;
+      now = 0.0;
+      events = 0;
+      activations = 0;
+      deliveries = 0;
+      lost = 0;
+      duplicated = 0;
+      crash_windows = 0;
+    }
+  in
+  if sync then
+    for i = 0 to n - 1 do
+      heap_push t 0.0 i 0
+    done
+  else t.next_act.(0) <- draw_global_gap t;
+  t
+
+(* React node [i] at [now]: the reaction body shared by both modes. The
+   FIFO append is inlined (a push helper would box the delivery time). *)
+let react t i now =
+  if now >= t.crashed_until.(i) then begin
+    let crashed =
+      t.faults.crash > 0.0 && draw_crash_coin t i < t.faults.crash
+    in
+    if crashed then begin
+      t.crashed_until.(i) <- now +. t.faults.crash_len;
+      t.crash_windows <- t.crash_windows + 1
+    end
+    else begin
+      let row, base = Kernel.eval_row t.kernel ~src:t.delivered ~i in
+      let oes = Digraph.out_edges t.graph i in
+      let d = Array.length oes in
+      t.node_outputs.(i) <- row.(base + d);
+      for k = 0 to d - 1 do
+        let e = Array.unsafe_get oes k in
+        let code = Array.unsafe_get row (base + k) in
+        if t.faults.loss > 0.0 && draw_coin t e < t.faults.loss then
+          t.lost <- t.lost + 1
+        else begin
+          let dup = t.faults.dup > 0.0 && draw_coin t e < t.faults.dup in
+          if dup then t.duplicated <- t.duplicated + 1;
+          if t.is_const then begin
+            (* Constant latency: arrival order is push order. *)
+            if t.ftail - t.fhead = Array.length t.ft then fifo_grow t;
+            let mask = Array.length t.ft - 1 in
+            let p = t.ftail land mask in
+            t.ftail <- t.ftail + 1;
+            Array.unsafe_set t.ft p (now +. t.const_lat);
+            Array.unsafe_set t.fe p e;
+            Array.unsafe_set t.fc p code;
+            if dup then begin
+              if t.ftail - t.fhead = Array.length t.ft then fifo_grow t;
+              let mask = Array.length t.ft - 1 in
+              let p = t.ftail land mask in
+              t.ftail <- t.ftail + 1;
+              Array.unsafe_set t.ft p (now +. t.const_lat);
+              Array.unsafe_set t.fe p e;
+              Array.unsafe_set t.fc p code
+            end
+          end
+          else begin
+            heap_push t (now +. draw_latency t e) e code;
+            if dup then heap_push t (now +. draw_latency t e) e code
+          end
+        end
+      done
+    end
+  end
+
+let stats t =
+  {
+    events = t.events;
+    activations = t.activations;
+    deliveries = t.deliveries;
+    lost = t.lost;
+    duplicated = t.duplicated;
+    crash_windows = t.crash_windows;
+    time = t.now;
+    pending = t.hn + (t.ftail - t.fhead) + (if t.sync then 0 else 1);
+  }
+
+(* Strict event priority in both run loops: earlier time first; at equal
+   times deliveries before activations (the [<=] in the delivery guard).
+   The tie-break is what makes the synchronous anchor exact — the
+   activation wave at an integer time must observe every label delivered
+   at that same time. A delivery exactly at the horizon is processed, an
+   activation is not: [run ~horizon:k] on the sync anchor leaves the
+   labels after exactly k synchronous steps.
+
+   [t.now] is only read between run calls; assigning it per event would
+   box a float per event — it is parked at [horizon] on exit. *)
+
+let run_sync t ~horizon =
+  let continue = ref true in
+  while !continue do
+    (* The clock heap always holds all n per-node clocks. *)
+    let at = Array.unsafe_get t.htime 0 in
+    let has_d = t.fhead <> t.ftail in
+    if
+      has_d
+      &&
+      let dt =
+        Array.unsafe_get t.ft (t.fhead land (Array.length t.ft - 1))
+      in
+      dt <= at && dt <= horizon
+    then begin
+      let p = t.fhead land (Array.length t.ft - 1) in
+      t.fhead <- t.fhead + 1;
+      t.events <- t.events + 1;
+      t.deliveries <- t.deliveries + 1;
+      t.delivered.(Array.unsafe_get t.fe p) <- Array.unsafe_get t.fc p
+    end
+    else if at < horizon then begin
+      t.events <- t.events + 1;
+      t.activations <- t.activations + 1;
+      let i = Array.unsafe_get t.hea 0 in
+      (* Re-arm the clock by replacing the root in place. *)
+      heap_replace_root t (at +. 1.0) i 0;
+      react t i at
+    end
+    else continue := false
+  done
+
+let run_async t ~horizon =
+  let continue = ref true in
+  while !continue do
+    let na = Array.unsafe_get t.next_act 0 in
+    if t.is_const then begin
+      let has_d = t.fhead <> t.ftail in
+      if
+        has_d
+        &&
+        let dt =
+          Array.unsafe_get t.ft (t.fhead land (Array.length t.ft - 1))
+        in
+        dt <= na && dt <= horizon
+      then begin
+        let p = t.fhead land (Array.length t.ft - 1) in
+        t.fhead <- t.fhead + 1;
+        t.events <- t.events + 1;
+        t.deliveries <- t.deliveries + 1;
+        t.delivered.(Array.unsafe_get t.fe p) <- Array.unsafe_get t.fc p
+      end
+      else if na < horizon then begin
+        t.events <- t.events + 1;
+        t.activations <- t.activations + 1;
+        Array.unsafe_set t.next_act 0 (na +. draw_global_gap t);
+        react t (draw_node_pick t) na
+      end
+      else continue := false
+    end
+    else if
+      t.hn > 0
+      &&
+      let dt = Array.unsafe_get t.htime 0 in
+      dt <= na && dt <= horizon
+    then begin
+      let e = Array.unsafe_get t.hea 0 in
+      let code = Array.unsafe_get t.hcode 0 in
+      heap_drop t;
+      t.events <- t.events + 1;
+      t.deliveries <- t.deliveries + 1;
+      t.delivered.(e) <- code
+    end
+    else if na < horizon then begin
+      t.events <- t.events + 1;
+      t.activations <- t.activations + 1;
+      Array.unsafe_set t.next_act 0 (na +. draw_global_gap t);
+      react t (draw_node_pick t) na
+    end
+    else continue := false
+  done
+
+let run t ~horizon =
+  if horizon < t.now then invalid_arg "Eventsim.run: horizon before now";
+  if t.sync then run_sync t ~horizon else run_async t ~horizon;
+  t.now <- horizon;
+  stats t
+
+let time t = t.now
+let labels t = t.delivered
+let outputs t = t.node_outputs
+let config t = Kernel.store t.kernel ~labels:t.delivered ~outputs:t.node_outputs

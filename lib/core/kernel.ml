@@ -307,6 +307,8 @@ let eval t src i =
     (row, 0)
   end
 
+let eval_row t ~src ~i = eval t src i
+
 (* [eval] when the caller already holds the packed incoming code (the
    batched planes gather codes straight out of their label planes). Rows
    filled here are bit-identical to [fill_row]'s, so a kernel shared

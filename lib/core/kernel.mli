@@ -168,3 +168,15 @@ val key_in_plane : ('x, 'l) t -> stride:int -> j:int -> src:plane -> string
     packed labeling [labels] — the settled-outputs refresh for batched
     instances whose horizon state lives in a retirement snapshot. *)
 val node_output : ('x, 'l) t -> labels:int array -> i:int -> int
+
+(** [eval_row t ~src ~i] evaluates node [i]'s reaction against the packed
+    edge labeling [src] through whichever tier [i] was compiled to, returning
+    [(row, base)]: the code of [i]'s [k]-th out-edge (in
+    [Digraph.out_edges] order) is [row.(base + k)] and the output is
+    [row.(base + out_degree i)]. The row is kernel-owned (a lookup table,
+    memo store, or shared scratch): it is valid only until the next call into
+    the kernel and must not be mutated. This is the single-node entry point
+    the event-driven simulator ({!Eventsim}) reacts through, so an
+    asynchronous activation costs exactly what a kernel step charges per
+    node. *)
+val eval_row : ('x, 'l) t -> src:int array -> i:int -> int array * int

@@ -6,6 +6,7 @@ module Parrun = Stateless_core.Parrun
 module Schedule = Stateless_core.Schedule
 module Label = Stateless_core.Label
 module Fault = Stateless_core.Fault
+module Bench_json = Stateless_core.Bench_json
 module Clique_example = Stateless_core.Clique_example
 module D_counter = Stateless_counter.D_counter
 module Feedback = Stateless_games.Feedback
@@ -345,23 +346,6 @@ let run ?(fractions = default_fractions) ?(seeds = 30) ?(max_steps = 10_000)
 (* Reporting                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let git_rev () =
-  try
-    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
-    let line = try String.trim (input_line ic) with End_of_file -> "" in
-    let status = Unix.close_process_in ic in
-    match status with
-    | Unix.WEXITED 0 when line <> "" -> line
-    | _ -> "unknown"
-  with _ -> "unknown"
-
-let host_json ~domains () =
-  Printf.sprintf
-    "{ \"ocaml\": %S, \"recommended_domains\": %d, \"domains\": %d, \
-     \"git_rev\": %S }"
-    Sys.ocaml_version
-    (Domain.recommended_domain_count ())
-    domains (git_rev ())
 
 let print_campaign oc c =
   Printf.fprintf oc "  %s (schedule: %s, %d runs per fraction)\n"
@@ -375,33 +359,25 @@ let print_campaign oc c =
     c.stats
 
 let write_json ?host ?batch oc campaigns =
-  Printf.fprintf oc "{\n  \"benchmark\": \"faults\",\n";
-  (match host with
-  | Some h -> Printf.fprintf oc "  \"host\": %s,\n" h
-  | None -> ());
-  (match batch with
-  | Some (k, identical) ->
-      Printf.fprintf oc "  \"batch\": { \"k\": %d, \"identical\": %b },\n" k
-        identical
-  | None -> ());
-  Printf.fprintf oc "  \"campaigns\": [\n";
-  List.iteri
-    (fun i c ->
-      Printf.fprintf oc
-        "    { \"scenario\": %S, \"schedule\": %S, \"runs_per_fraction\": \
-         %d,\n\
-        \      \"fractions\": [\n"
-        c.scenario_name c.schedule c.runs_per_fraction;
+  Bench_json.write ~benchmark:"faults" ?host ?batch oc (fun oc ->
+      Printf.fprintf oc "  \"campaigns\": [\n";
       List.iteri
-        (fun j s ->
+        (fun i c ->
           Printf.fprintf oc
-            "        { \"fraction\": %.3f, \"runs\": %d, \"recovered\": %d, \
-             \"mean_steps\": %.3f, \"p50_steps\": %d, \"p95_steps\": %d, \
-             \"worst_steps\": %d }%s\n"
-            s.fraction s.runs s.recovered s.mean s.p50 s.p95 s.worst
-            (if j = List.length c.stats - 1 then "" else ","))
-        c.stats;
-      Printf.fprintf oc "      ] }%s\n"
-        (if i = List.length campaigns - 1 then "" else ","))
-    campaigns;
-  Printf.fprintf oc "  ]\n}\n"
+            "    { \"scenario\": %S, \"schedule\": %S, \
+             \"runs_per_fraction\": %d,\n\
+            \      \"fractions\": [\n"
+            c.scenario_name c.schedule c.runs_per_fraction;
+          List.iteri
+            (fun j s ->
+              Printf.fprintf oc
+                "        { \"fraction\": %.3f, \"runs\": %d, \"recovered\": \
+                 %d, \"mean_steps\": %.3f, \"p50_steps\": %d, \"p95_steps\": \
+                 %d, \"worst_steps\": %d }%s\n"
+                s.fraction s.runs s.recovered s.mean s.p50 s.p95 s.worst
+                (if j = List.length c.stats - 1 then "" else ","))
+            c.stats;
+          Printf.fprintf oc "      ] }%s\n"
+            (if i = List.length campaigns - 1 then "" else ","))
+        campaigns;
+      Printf.fprintf oc "  ]\n")

@@ -103,17 +103,11 @@ val run :
   scenario ->
   campaign
 
-(** Provenance block shared by every [BENCH_*.json]: OCaml version,
-    [Domain.recommended_domain_count], the domain count used, and the git
-    revision (or ["unknown"] outside a checkout). Returned as a JSON object
-    string. *)
-val host_json : domains:int -> unit -> string
-
 (** ASCII table of one campaign. *)
 val print_campaign : out_channel -> campaign -> unit
 
 (** Machine-readable JSON for a list of campaigns ([BENCH_faults.json]);
-    [host] is the {!host_json} provenance block. [batch], when given, is
+    [host] is the [Bench_json.host] provenance block. [batch], when given, is
     the lock-step batch size the campaigns were re-run at and whether they
     matched the per-instance campaigns exactly — CI greps for
     ["\"identical\": false"]. *)

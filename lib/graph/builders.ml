@@ -1,13 +1,25 @@
 let ring_uni n =
   if n < 2 then invalid_arg "Builders.ring_uni: need n >= 2";
-  Digraph.create ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+  let src = Array.init n Fun.id in
+  let dst = Array.init n (fun i -> (i + 1) mod n) in
+  Digraph.create_arrays ~n src dst
 
+(* Edge numbering is load-bearing for ring protocols (forward edges
+   [0 .. n-1] then backward edges [n .. 2n-1]); the array construction
+   reproduces the historical list order exactly. *)
 let ring_bi n =
   if n < 2 then invalid_arg "Builders.ring_bi: need n >= 2";
-  let forward = List.init n (fun i -> (i, (i + 1) mod n)) in
-  let backward = List.init n (fun i -> ((i + 1) mod n, i)) in
   if n = 2 then Digraph.create ~n [ (0, 1); (1, 0) ]
-  else Digraph.create ~n (forward @ backward)
+  else begin
+    let src = Array.make (2 * n) 0 and dst = Array.make (2 * n) 0 in
+    for i = 0 to n - 1 do
+      src.(i) <- i;
+      dst.(i) <- (i + 1) mod n;
+      src.(n + i) <- (i + 1) mod n;
+      dst.(n + i) <- i
+    done;
+    Digraph.create_arrays ~n src dst
+  end
 
 let clique n =
   if n < 2 then invalid_arg "Builders.clique: need n >= 2";
@@ -44,20 +56,29 @@ let hypercube d =
   done;
   Digraph.create ~n !edges
 
+(* Per-node edge order (down, up, right, left) matches the historical list
+   construction; million-node tori build through flat arrays instead. *)
 let torus rows cols =
   if rows < 3 || cols < 3 then invalid_arg "Builders.torus: need >= 3 x 3";
   let id r c = (((r mod rows) + rows) mod rows * cols)
                + (((c mod cols) + cols) mod cols) in
-  let edges = ref [] in
-  for r = rows - 1 downto 0 do
-    for c = cols - 1 downto 0 do
+  let n = rows * cols in
+  let src = Array.make (4 * n) 0 and dst = Array.make (4 * n) 0 in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
       let v = id r c in
-      edges :=
-        (v, id (r + 1) c) :: (v, id (r - 1) c) :: (v, id r (c + 1))
-        :: (v, id r (c - 1)) :: !edges
+      let base = 4 * v in
+      src.(base) <- v;
+      dst.(base) <- id (r + 1) c;
+      src.(base + 1) <- v;
+      dst.(base + 1) <- id (r - 1) c;
+      src.(base + 2) <- v;
+      dst.(base + 2) <- id r (c + 1);
+      src.(base + 3) <- v;
+      dst.(base + 3) <- id r (c - 1)
     done
   done;
-  Digraph.create ~n:(rows * cols) !edges
+  Digraph.create_arrays ~n src dst
 
 let grid rows cols =
   if rows < 1 || cols < 1 || rows * cols < 2 then
@@ -155,3 +176,149 @@ let erdos_renyi ~seed n ~p =
     done
   done;
   Digraph.create ~n !edges
+
+(* Growable int array for generators whose edge count is only known at the
+   end (skip-sampled ER, preferential attachment). *)
+module Buf = struct
+  type t = { mutable a : int array; mutable len : int }
+
+  let create () = { a = Array.make 1024 0; len = 0 }
+
+  let push b x =
+    if b.len = Array.length b.a then begin
+      let a' = Array.make (2 * b.len) 0 in
+      Array.blit b.a 0 a' 0 b.len;
+      b.a <- a'
+    end;
+    b.a.(b.len) <- x;
+    b.len <- b.len + 1
+
+  let contents b = Array.sub b.a 0 b.len
+end
+
+let erdos_renyi_sparse ~seed n ~avg_out =
+  if n < 2 then invalid_arg "Builders.erdos_renyi_sparse: need n >= 2";
+  if avg_out <= 0.0 || avg_out > float_of_int (n - 1) then
+    invalid_arg "Builders.erdos_renyi_sparse: avg_out out of range";
+  let p = avg_out /. float_of_int (n - 1) in
+  let state = Random.State.make [| seed |] in
+  let src = Buf.create () and dst = Buf.create () in
+  (* Skip sampling over the n*(n-1) ordered non-diagonal pairs: instead of a
+     Bernoulli draw per pair (O(n^2), hopeless at n = 10^6), draw the
+     geometric gap to the next included pair, so work is O(expected edges). *)
+  let total = n * (n - 1) in
+  let log1mp = log (1.0 -. p) in
+  let pos = ref (-1) in
+  (try
+     while true do
+       let u = 1.0 -. Random.State.float state 1.0 in
+       let skip =
+         if p >= 1.0 then 0
+         else int_of_float (floor (log u /. log1mp))
+       in
+       pos := !pos + 1 + skip;
+       if !pos >= total then raise Exit;
+       let i = !pos / (n - 1) in
+       let r = !pos mod (n - 1) in
+       let j = if r < i then r else r + 1 in
+       Buf.push src i;
+       Buf.push dst j
+     done
+   with Exit -> ());
+  Digraph.create_arrays ~n (Buf.contents src) (Buf.contents dst)
+
+let small_world ~seed n ~k ~beta =
+  if k < 1 || 2 * k >= n then
+    invalid_arg "Builders.small_world: need 1 <= k and 2k < n";
+  if beta < 0.0 || beta > 1.0 then invalid_arg "Builders.small_world: bad beta";
+  let state = Random.State.make [| seed |] in
+  (* Watts–Strogatz over undirected edges, emitted in both directions at the
+     end. The presence table is keyed on packed canonical pairs, never boxed
+     tuples. *)
+  let ukey i j = if i < j then (i * n) + j else (j * n) + i in
+  let m = n * k in
+  let ua = Array.make m 0 and va = Array.make m 0 in
+  let present = Hashtbl.create (2 * m) in
+  for i = 0 to n - 1 do
+    for o = 1 to k do
+      let e = (i * k) + (o - 1) in
+      ua.(e) <- i;
+      va.(e) <- (i + o) mod n;
+      Hashtbl.replace present (ukey ua.(e) va.(e)) ()
+    done
+  done;
+  for e = 0 to m - 1 do
+    if Random.State.float state 1.0 < beta then begin
+      let i = ua.(e) in
+      let attempts = ref 0 and done_ = ref false in
+      while (not !done_) && !attempts < 100 do
+        incr attempts;
+        let t = Random.State.int state n in
+        if t <> i && not (Hashtbl.mem present (ukey i t)) then begin
+          Hashtbl.remove present (ukey i va.(e));
+          va.(e) <- t;
+          Hashtbl.replace present (ukey i t) ();
+          done_ := true
+        end
+      done
+    end
+  done;
+  let src = Array.make (2 * m) 0 and dst = Array.make (2 * m) 0 in
+  for e = 0 to m - 1 do
+    src.(2 * e) <- ua.(e);
+    dst.(2 * e) <- va.(e);
+    src.((2 * e) + 1) <- va.(e);
+    dst.((2 * e) + 1) <- ua.(e)
+  done;
+  Digraph.create_arrays ~n src dst
+
+let preferential_attachment ~seed n ~m =
+  if m < 1 then invalid_arg "Builders.preferential_attachment: need m >= 1";
+  if n < m + 2 then
+    invalid_arg "Builders.preferential_attachment: need n >= m + 2";
+  let state = Random.State.make [| seed |] in
+  let ua = Buf.create () and va = Buf.create () in
+  (* [targets] holds both endpoints of every undirected edge so far, so a
+     uniform draw from it is a degree-proportional draw over nodes. *)
+  let targets = Buf.create () in
+  let add_undirected i j =
+    Buf.push ua i;
+    Buf.push va j;
+    Buf.push targets i;
+    Buf.push targets j
+  in
+  (* Seed core: complete graph on the first m + 1 nodes. *)
+  for i = 0 to m do
+    for j = i + 1 to m do
+      add_undirected i j
+    done
+  done;
+  let chosen = Array.make m (-1) in
+  for v = m + 1 to n - 1 do
+    let picked = ref 0 in
+    while !picked < m do
+      let t = targets.Buf.a.(Random.State.int state targets.Buf.len) in
+      let dup = ref (t = v) in
+      for q = 0 to !picked - 1 do
+        if chosen.(q) = t then dup := true
+      done;
+      if not !dup then begin
+        chosen.(!picked) <- t;
+        incr picked
+      end
+    done;
+    (* Register edges after all m draws so a node can't attach to itself
+       through an edge added this round. *)
+    for q = 0 to m - 1 do
+      add_undirected v chosen.(q)
+    done
+  done;
+  let mu = ua.Buf.len in
+  let src = Array.make (2 * mu) 0 and dst = Array.make (2 * mu) 0 in
+  for e = 0 to mu - 1 do
+    src.(2 * e) <- ua.Buf.a.(e);
+    dst.(2 * e) <- va.Buf.a.(e);
+    src.((2 * e) + 1) <- va.Buf.a.(e);
+    dst.((2 * e) + 1) <- ua.Buf.a.(e)
+  done;
+  Digraph.create_arrays ~n src dst

@@ -49,6 +49,31 @@ val random_strongly_connected : seed:int -> int -> extra:int -> Digraph.t
     probability [p]. Not necessarily strongly connected. *)
 val erdos_renyi : seed:int -> int -> p:float -> Digraph.t
 
+(** [erdos_renyi_sparse ~seed n ~avg_out] samples the same G(n, p) ensemble
+    with [p = avg_out / (n - 1)], but by geometric skip sampling over the
+    ordered pair space, so the cost is proportional to the number of edges
+    drawn rather than [n^2]. This is the constructor for million-node random
+    graphs. Not necessarily strongly connected; requires
+    [0 < avg_out <= n - 1]. *)
+val erdos_renyi_sparse : seed:int -> int -> avg_out:float -> Digraph.t
+
+(** [small_world ~seed n ~k ~beta] is the Watts–Strogatz small-world graph:
+    a ring lattice in which every node is joined (bidirectionally) to its
+    [k] nearest neighbours on each side, after which each lattice edge is
+    rewired with probability [beta] to a uniformly random non-duplicate
+    endpoint (keeping its near endpoint, as in the original construction).
+    [beta = 0] is the pure lattice; [beta = 1] approaches a random graph.
+    Requires [1 <= k] and [2k < n]. *)
+val small_world : seed:int -> int -> k:int -> beta:float -> Digraph.t
+
+(** [preferential_attachment ~seed n ~m] is the Barabási–Albert heavy-tail
+    graph: a complete core on the first [m + 1] nodes, then each new node
+    attaches [m] bidirectional edges to distinct existing nodes drawn with
+    probability proportional to current degree. Degree distribution follows
+    a power law — the topology counterpart of the simulator's Pareto latency
+    tail. Requires [m >= 1] and [n >= m + 2]. *)
+val preferential_attachment : seed:int -> int -> m:int -> Digraph.t
+
 (** [de_bruijn k m] is the de Bruijn graph B(k, m) on [k^m] nodes: node [u]
     points to every [u·k + c mod k^m] ([c < k]) — each node id read as an
     [m]-digit base-[k] string shifted left by one symbol. Self-loops (the

@@ -1,57 +1,96 @@
+(* Flat edge storage: [src_arr.(e)] and [dst_arr.(e)] are edge [e]'s
+   endpoints. Million-edge generated graphs (the event simulator's
+   workloads) would pay dearly for the old boxed [(int * int) array] plus a
+   tuple-keyed hashtable built eagerly at construction: the endpoint arrays
+   are unboxed ints, and the edge index is an int-keyed table ([i * n + j]
+   fits an int for every graph that fits in memory) built lazily on the
+   first [find_edge]/[mem_edge] — simulation workloads never ask for it. *)
 type t = {
   n : int;
-  edge_array : (int * int) array;
+  src_arr : int array;
+  dst_arr : int array;
   out_edges : int array array;
   in_edges : int array array;
-  index : (int * int, int) Hashtbl.t;
+  mutable index : (int, int) Hashtbl.t option;
 }
 
-let create ~n edge_list =
+let key g i j = (i * g.n) + j
+
+let build_index g =
+  match g.index with
+  | Some tbl -> tbl
+  | None ->
+      let m = Array.length g.src_arr in
+      let tbl = Hashtbl.create (2 * m + 1) in
+      for e = 0 to m - 1 do
+        Hashtbl.add tbl (key g g.src_arr.(e) g.dst_arr.(e)) e
+      done;
+      g.index <- Some tbl;
+      tbl
+
+let create_arrays ~n src_arr dst_arr =
   if n <= 0 then invalid_arg "Digraph.create: n must be positive";
-  let edge_array = Array.of_list edge_list in
-  let m = Array.length edge_array in
-  let index = Hashtbl.create (2 * m + 1) in
-  Array.iteri
-    (fun e (i, j) ->
-      if i < 0 || i >= n || j < 0 || j >= n then
+  let m = Array.length src_arr in
+  if Array.length dst_arr <> m then
+    invalid_arg "Digraph.create: src/dst length mismatch";
+  for e = 0 to m - 1 do
+    let i = src_arr.(e) and j = dst_arr.(e) in
+    if i < 0 || i >= n || j < 0 || j >= n then
+      invalid_arg
+        (Printf.sprintf "Digraph.create: edge (%d, %d) out of range" i j);
+    if i = j then
+      invalid_arg (Printf.sprintf "Digraph.create: self-loop at node %d" i)
+  done;
+  (* Duplicate detection by sorting the packed endpoint keys: O(m log m)
+     ints, no hashtable of boxed pairs. *)
+  if m > 1 then begin
+    let keys = Array.init m (fun e -> (src_arr.(e) * n) + dst_arr.(e)) in
+    Array.sort compare keys;
+    for e = 1 to m - 1 do
+      if keys.(e) = keys.(e - 1) then
         invalid_arg
-          (Printf.sprintf "Digraph.create: edge (%d, %d) out of range" i j);
-      if i = j then
-        invalid_arg (Printf.sprintf "Digraph.create: self-loop at node %d" i);
-      if Hashtbl.mem index (i, j) then
-        invalid_arg
-          (Printf.sprintf "Digraph.create: duplicate edge (%d, %d)" i j);
-      Hashtbl.add index (i, j) e)
-    edge_array;
+          (Printf.sprintf "Digraph.create: duplicate edge (%d, %d)"
+             (keys.(e) / n) (keys.(e) mod n))
+    done
+  end;
   let out_count = Array.make n 0 and in_count = Array.make n 0 in
-  Array.iter
-    (fun (i, j) ->
-      out_count.(i) <- out_count.(i) + 1;
-      in_count.(j) <- in_count.(j) + 1)
-    edge_array;
+  for e = 0 to m - 1 do
+    out_count.(src_arr.(e)) <- out_count.(src_arr.(e)) + 1;
+    in_count.(dst_arr.(e)) <- in_count.(dst_arr.(e)) + 1
+  done;
   let out_edges = Array.init n (fun i -> Array.make out_count.(i) 0)
   and in_edges = Array.init n (fun i -> Array.make in_count.(i) 0) in
   let out_fill = Array.make n 0 and in_fill = Array.make n 0 in
-  Array.iteri
+  for e = 0 to m - 1 do
+    let i = src_arr.(e) and j = dst_arr.(e) in
+    out_edges.(i).(out_fill.(i)) <- e;
+    out_fill.(i) <- out_fill.(i) + 1;
+    in_edges.(j).(in_fill.(j)) <- e;
+    in_fill.(j) <- in_fill.(j) + 1
+  done;
+  { n; src_arr; dst_arr; out_edges; in_edges; index = None }
+
+let create ~n edge_list =
+  let m = List.length edge_list in
+  let src_arr = Array.make m 0 and dst_arr = Array.make m 0 in
+  List.iteri
     (fun e (i, j) ->
-      out_edges.(i).(out_fill.(i)) <- e;
-      out_fill.(i) <- out_fill.(i) + 1;
-      in_edges.(j).(in_fill.(j)) <- e;
-      in_fill.(j) <- in_fill.(j) + 1)
-    edge_array;
-  { n; edge_array; out_edges; in_edges; index }
+      src_arr.(e) <- i;
+      dst_arr.(e) <- j)
+    edge_list;
+  create_arrays ~n src_arr dst_arr
 
 let num_nodes g = g.n
-let num_edges g = Array.length g.edge_array
-let edge g e = g.edge_array.(e)
-let src g e = fst g.edge_array.(e)
-let dst g e = snd g.edge_array.(e)
+let num_edges g = Array.length g.src_arr
+let edge g e = (g.src_arr.(e), g.dst_arr.(e))
+let src g e = g.src_arr.(e)
+let dst g e = g.dst_arr.(e)
 let out_edges g i = g.out_edges.(i)
 let in_edges g i = g.in_edges.(i)
 let successors g i = Array.map (fun e -> dst g e) g.out_edges.(i)
 let predecessors g i = Array.map (fun e -> src g e) g.in_edges.(i)
-let find_edge g ~src ~dst = Hashtbl.find_opt g.index (src, dst)
-let mem_edge g ~src ~dst = Hashtbl.mem g.index (src, dst)
+let find_edge g ~src ~dst = Hashtbl.find_opt (build_index g) (key g src dst)
+let mem_edge g ~src ~dst = Hashtbl.mem (build_index g) (key g src dst)
 let out_degree g i = Array.length g.out_edges.(i)
 let in_degree g i = Array.length g.in_edges.(i)
 
@@ -62,17 +101,20 @@ let max_degree g =
   done;
   !best
 
-let edges g = Array.copy g.edge_array
+let edges g = Array.init (num_edges g) (fun e -> (g.src_arr.(e), g.dst_arr.(e)))
 
-let reverse g =
-  let swapped = Array.to_list (Array.map (fun (i, j) -> (j, i)) g.edge_array) in
-  create ~n:g.n swapped
+let reverse g = create_arrays ~n:g.n (Array.copy g.dst_arr) (Array.copy g.src_arr)
 
 let is_symmetric g =
-  Array.for_all (fun (i, j) -> mem_edge g ~src:j ~dst:i) g.edge_array
+  let m = num_edges g in
+  let rec go e =
+    e >= m || (mem_edge g ~src:g.dst_arr.(e) ~dst:g.src_arr.(e) && go (e + 1))
+  in
+  go 0
 
 let pp ppf g =
   Format.fprintf ppf "@[<v>digraph (n=%d, m=%d)" g.n (num_edges g);
-  Array.iteri (fun e (i, j) -> Format.fprintf ppf "@,  e%d: %d -> %d" e i j)
-    g.edge_array;
+  for e = 0 to num_edges g - 1 do
+    Format.fprintf ppf "@,  e%d: %d -> %d" e g.src_arr.(e) g.dst_arr.(e)
+  done;
   Format.fprintf ppf "@]"

@@ -13,6 +13,13 @@ type t
     [Invalid_argument], as are out-of-range endpoints. *)
 val create : n:int -> (int * int) list -> t
 
+(** [create_arrays ~n src dst] is {!create} for edges given as parallel
+    endpoint arrays: edge [e] runs from [src.(e)] to [dst.(e)]. This is the
+    scalable constructor — no intermediate list of boxed pairs — used by the
+    million-node generators in {!Builders}. The arrays are owned by the graph
+    after the call; callers must not mutate them. *)
+val create_arrays : n:int -> int array -> int array -> t
+
 (** Number of nodes. *)
 val num_nodes : t -> int
 

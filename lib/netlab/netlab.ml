@@ -45,6 +45,7 @@ module Schedule = Stateless_core.Schedule
 module Label = Stateless_core.Label
 module Parrun = Stateless_core.Parrun
 module Clique_example = Stateless_core.Clique_example
+module Bench_json = Stateless_core.Bench_json
 module D_counter = Stateless_counter.D_counter
 module Digraph = Stateless_graph.Digraph
 
@@ -891,49 +892,33 @@ let print_campaign oc c =
         s.runs s.mean_recovery s.p50 s.p95 s.worst (100. *. s.mean_degraded))
     c.levels
 
-let write_json ?host ?batch ?(certification = []) oc campaigns =
-  Printf.fprintf oc "{\n  \"benchmark\": \"netlab\",\n";
-  (match host with
-  | Some h -> Printf.fprintf oc "  \"host\": %s,\n" h
-  | None -> ());
-  (match batch with
-  | Some (k, identical) ->
-      Printf.fprintf oc "  \"batch\": { \"k\": %d, \"identical\": %b },\n" k
-        identical
-  | None -> ());
-  if certification <> [] then begin
-    Printf.fprintf oc "  \"certification\": [\n";
-    List.iteri
-      (fun i row ->
-        Printf.fprintf oc "    %s%s\n" row
-          (if i = List.length certification - 1 then "" else ","))
-      certification;
-    Printf.fprintf oc "  ],\n"
-  end;
-  Printf.fprintf oc "  \"campaigns\": [\n";
-  List.iteri
-    (fun i c ->
-      Printf.fprintf oc
-        "    { \"scenario\": %S, \"schedule\": %S, \"budget_k\": %d, \
-         \"budget_window\": %d, \"storm_steps\": %d, \"runs_per_level\": \
-         %d,\n\
-        \      \"levels\": [\n"
-        c.scenario_name c.schedule c.budget_k c.budget_window c.storm
-        c.runs_per_level;
+let write_json ?host ?batch ?certification oc campaigns =
+  Bench_json.write ~benchmark:"netlab" ?host ?batch ?certification oc
+    (fun oc ->
+      Printf.fprintf oc "  \"campaigns\": [\n";
       List.iteri
-        (fun j s ->
+        (fun i c ->
           Printf.fprintf oc
-            "        { \"loss\": %.3f, \"delay\": %.3f, \"dup\": %.3f, \
-             \"crash\": %.3f, \"max_delay\": %d, \"crash_len\": %d, \
-             \"runs\": %d, \"recovered\": %d, \"mean_recovery_steps\": \
-             %.3f, \"p50_steps\": %d, \"p95_steps\": %d, \"worst_steps\": \
-             %d, \"mean_degraded_fraction\": %.4f }%s\n"
-            s.level.loss s.level.delay s.level.dup s.level.crash
-            s.level.max_delay s.level.crash_len s.runs s.recovered
-            s.mean_recovery s.p50 s.p95 s.worst s.mean_degraded
-            (if j = List.length c.levels - 1 then "" else ","))
-        c.levels;
-      Printf.fprintf oc "      ] }%s\n"
-        (if i = List.length campaigns - 1 then "" else ","))
-    campaigns;
-  Printf.fprintf oc "  ]\n}\n"
+            "    { \"scenario\": %S, \"schedule\": %S, \"budget_k\": %d, \
+             \"budget_window\": %d, \"storm_steps\": %d, \"runs_per_level\": \
+             %d,\n\
+            \      \"levels\": [\n"
+            c.scenario_name c.schedule c.budget_k c.budget_window c.storm
+            c.runs_per_level;
+          List.iteri
+            (fun j s ->
+              Printf.fprintf oc
+                "        { \"loss\": %.3f, \"delay\": %.3f, \"dup\": %.3f, \
+                 \"crash\": %.3f, \"max_delay\": %d, \"crash_len\": %d, \
+                 \"runs\": %d, \"recovered\": %d, \"mean_recovery_steps\": \
+                 %.3f, \"p50_steps\": %d, \"p95_steps\": %d, \"worst_steps\": \
+                 %d, \"mean_degraded_fraction\": %.4f }%s\n"
+                s.level.loss s.level.delay s.level.dup s.level.crash
+                s.level.max_delay s.level.crash_len s.runs s.recovered
+                s.mean_recovery s.p50 s.p95 s.worst s.mean_degraded
+                (if j = List.length c.levels - 1 then "" else ","))
+            c.levels;
+          Printf.fprintf oc "      ] }%s\n"
+            (if i = List.length campaigns - 1 then "" else ","))
+        campaigns;
+      Printf.fprintf oc "  ]\n")

@@ -160,6 +160,51 @@ let test_random_fair_out_of_order () =
 let test_random_singletons_out_of_order () =
   scrambled_matches_sequential (fun () -> Schedule.random_singletons ~seed:5 6)
 
+let test_schedule_million_nodes_out_of_order () =
+  (* n = 10^6: replay must not depend on node count — the event simulator
+     leans on these schedules at exactly this scale. *)
+  let n = 1_000_000 in
+  let horizon = 200 in
+  let reference =
+    let s = Schedule.random_singletons ~seed:9 n in
+    Array.init horizon (fun t -> s.Schedule.active t)
+  in
+  let s = Schedule.random_singletons ~seed:9 n in
+  List.iter
+    (fun t ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "step %d" t)
+        reference.(t) (s.Schedule.active t))
+    [ 150; 3; 199; 0; 77; 3; 150; 42; 199 ]
+
+let test_schedule_checkpoint_thinning () =
+  (* Drive the frontier far enough that geometric checkpoint thinning has
+     fired several times (64 live checkpoints at k = 16 is step 1024; 6000
+     steps doubles k twice more), then replay scattered early steps: each
+     must still reproduce the sequential draw exactly — for the aux-free
+     schedule and for the countdown-carrying one, at n = 10^6 and small n
+     alike. *)
+  let far = 6_000 in
+  let probes =
+    [ 0; 1; 15; 16; 17; 1023; 1024; 1025; 2048; 3000; 4095; far - 1 ]
+  in
+  let check_sched make =
+    let reference =
+      let s = make () in
+      Array.init far (fun t -> s.Schedule.active t)
+    in
+    let s = make () in
+    ignore (s.Schedule.active (far - 1));
+    List.iter
+      (fun t ->
+        Alcotest.(check (list int))
+          (Printf.sprintf "step %d" t)
+          reference.(t) (s.Schedule.active t))
+      (probes @ List.rev probes)
+  in
+  check_sched (fun () -> Schedule.random_fair ~seed:13 ~r:3 5);
+  check_sched (fun () -> Schedule.random_singletons ~seed:13 1_000_000)
+
 let test_random_schedule_rejects_negative_step () =
   let s = Schedule.random_fair ~seed:1 ~r:2 3 in
   match s.Schedule.active (-1) with
@@ -767,6 +812,10 @@ let () =
             test_random_fair_out_of_order;
           Alcotest.test_case "random singletons out of order" `Quick
             test_random_singletons_out_of_order;
+          Alcotest.test_case "million-node out of order" `Quick
+            test_schedule_million_nodes_out_of_order;
+          Alcotest.test_case "checkpoint thinning replay" `Quick
+            test_schedule_checkpoint_thinning;
           Alcotest.test_case "negative step rejected" `Quick
             test_random_schedule_rejects_negative_step;
           Alcotest.test_case "example1 schedule fairness" `Quick
