@@ -18,8 +18,25 @@ module Netcheck = Stateless_netlab.Netcheck
 module Byzlab = Stateless_byzlab.Byzlab
 module Byzcheck = Stateless_byzlab.Byzcheck
 module Simlab = Stateless_simlab.Simlab
+module Campaign = Stateless_campaign.Campaign
 module Machine = Stateless_machine.Machine
 open Stateless_core
+
+(* The lab campaigns run through the crash-tolerant orchestrator (no
+   journal, no deadline — plain policy), so every BENCH_*.json carries
+   the ok/timeout/error cell accounting. *)
+let zero_counts = { Campaign.ok = 0; timeout = 0; error = 0; replayed = 0 }
+
+let add_counts (a : Campaign.counts) (b : Campaign.counts) =
+  {
+    Campaign.ok = a.Campaign.ok + b.Campaign.ok;
+    timeout = a.Campaign.timeout + b.Campaign.timeout;
+    error = a.Campaign.error + b.Campaign.error;
+    replayed = a.Campaign.replayed + b.Campaign.replayed;
+  }
+
+let cell_triple (c : Campaign.counts) =
+  (c.Campaign.ok, c.Campaign.timeout, c.Campaign.error)
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks of the computational kernels                       *)
@@ -355,7 +372,7 @@ let run_checker_bench () =
   let count v =
     List.length (List.filter (fun c -> String.equal c.cc_verdict v) cases)
   in
-  let oc = open_out "BENCH_checker.json" in
+  Bench_json.to_file "BENCH_checker.json" (fun oc ->
   Bench_json.write ~benchmark:"checker"
     ~host:(Bench_json.host ~domains:1 ())
     oc
@@ -403,8 +420,7 @@ let run_checker_bench () =
             s.sy_verdict s.sy_replay_ok
             (if i = List.length sym_rows - 1 then "" else ","))
         sym_rows;
-      Printf.fprintf oc "  ]\n");
-  close_out oc;
+      Printf.fprintf oc "  ]\n"));
   Printf.printf "  [wrote BENCH_checker.json]\n"
 
 (* ------------------------------------------------------------------ *)
@@ -418,9 +434,13 @@ let run_fault_bench () =
   Printf.printf "%s\n" (String.make 78 '-');
   let seeds = if smoke then 5 else 30
   and max_steps = if smoke then 2_000 else 10_000 in
+  let counts = ref zero_counts in
   let campaigns =
     List.map
-      (Faultlab.run ~seeds ~max_steps ~domains:1)
+      (fun sc ->
+        let c, cnt = Faultlab.run_matrix ~seeds ~max_steps ~domains:1 sc in
+        counts := add_counts !counts cnt;
+        c)
       (Faultlab.default_scenarios ())
   in
   List.iter (Faultlab.print_campaign stdout) campaigns;
@@ -439,11 +459,10 @@ let run_fault_bench () =
       Some (batch_k, identical)
     end
   in
-  let oc = open_out "BENCH_faults.json" in
-  Faultlab.write_json
-    ~host:(Bench_json.host ~domains:1 ())
-    ?batch oc campaigns;
-  close_out oc;
+  Bench_json.to_file "BENCH_faults.json" (fun oc ->
+      Faultlab.write_json
+        ~host:(Bench_json.host ~domains:1 ())
+        ?batch ~cells:(cell_triple !counts) oc campaigns);
   Printf.printf "  [wrote BENCH_faults.json]\n"
 
 (* ------------------------------------------------------------------ *)
@@ -459,9 +478,15 @@ let run_netlab_bench () =
   and storm = if smoke then 80 else 400
   and max_steps = if smoke then 2_000 else 10_000 in
   let budget = { Netlab.k = 4; window = 8 } in
+  let counts = ref zero_counts in
   let campaigns =
     List.map
-      (Netlab.run ~seeds ~storm ~max_steps ~domains:1 ~budget)
+      (fun sc ->
+        let c, cnt =
+          Netlab.run_matrix ~seeds ~storm ~max_steps ~domains:1 ~budget sc
+        in
+        counts := add_counts !counts cnt;
+        c)
       (Netlab.default_scenarios ())
   in
   List.iter (Netlab.print_campaign stdout) campaigns;
@@ -521,11 +546,10 @@ let run_netlab_bench () =
       cert "copy_ring_3" copy copy_input ~r:1 ~k:1 ~window:1;
     ]
   in
-  let oc = open_out "BENCH_netlab.json" in
-  Netlab.write_json
-    ~host:(Bench_json.host ~domains:1 ())
-    ?batch ~certification oc campaigns;
-  close_out oc;
+  Bench_json.to_file "BENCH_netlab.json" (fun oc ->
+      Netlab.write_json
+        ~host:(Bench_json.host ~domains:1 ())
+        ?batch ~cells:(cell_triple !counts) ~certification oc campaigns);
   Printf.printf "  [wrote BENCH_netlab.json]\n"
 
 (* ------------------------------------------------------------------ *)
@@ -540,11 +564,18 @@ let run_byz_bench () =
   let seeds = if smoke then 4 else 25
   and attack = if smoke then 80 else 400
   and max_steps = if smoke then 2_000 else 10_000 in
+  let counts = ref zero_counts in
   let campaigns =
     List.concat_map
       (fun strategy ->
         List.map
-          (Byzlab.run ~seeds ~attack ~max_steps ~domains:1 ~strategy)
+          (fun sc ->
+            let c, cnt =
+              Byzlab.run_matrix ~seeds ~attack ~max_steps ~domains:1 ~strategy
+                sc
+            in
+            counts := add_counts !counts cnt;
+            c)
           (Byzlab.default_scenarios ()))
       [ Byzlab.Seeded_random; Byzlab.Anti_majority ]
   in
@@ -626,11 +657,10 @@ let run_byz_bench () =
   let c4 = cert "copy_ring_3" copy copy_input ~byz:[] ~r:1 in
   let c5 = cert "copy_ring_3" copy copy_input ~byz:[ 0 ] ~r:1 in
   let certification = [ c1; c2; c3; c4; c5 ] in
-  let oc = open_out "BENCH_byz.json" in
-  Byzlab.write_json
-    ~host:(Bench_json.host ~domains:1 ())
-    ?batch ~certification oc campaigns;
-  close_out oc;
+  Bench_json.to_file "BENCH_byz.json" (fun oc ->
+      Byzlab.write_json
+        ~host:(Bench_json.host ~domains:1 ())
+        ?batch ~cells:(cell_triple !counts) ~certification oc campaigns);
   Printf.printf "  [wrote BENCH_byz.json]\n"
 
 (* ------------------------------------------------------------------ *)
@@ -858,7 +888,7 @@ let run_engine_bench () =
     "  campaign (%d seeds): %.3f s at 1 domain, %.3f s at %d domains \
      (%.2fx), identical: %b\n"
     seeds wall_1 wall_n domains_n (wall_1 /. wall_n) identical;
-  let oc = open_out "BENCH_engine.json" in
+  Bench_json.to_file "BENCH_engine.json" (fun oc ->
   Bench_json.write ~benchmark:"engine"
     ~host:(Bench_json.host ~domains:domains_n ())
     oc
@@ -900,8 +930,7 @@ let run_engine_bench () =
          %d,\n\
         \    \"wall_s_domains_1\": %.4f, \"wall_s_domains_n\": %.4f, \
          \"speedup\": %.2f, \"identical\": %b }\n"
-        seeds max_steps domains_n wall_1 wall_n (wall_1 /. wall_n) identical);
-  close_out oc;
+        seeds max_steps domains_n wall_1 wall_n (wall_1 /. wall_n) identical));
   Printf.printf "  [wrote BENCH_engine.json]\n"
 
 (* ------------------------------------------------------------------ *)
@@ -981,9 +1010,20 @@ let run_sim_bench () =
     Simlab.campaign ~domains:domains_n det_inst ~seed0:1 ~runs:det_runs
       ~horizon:det_horizon
   in
-  let identical = base = sharded in
-  Printf.printf "  campaign sharded over %d domains identical: %b\n" domains_n
-    identical;
+  (* The same sweep through the campaign orchestrator (horizon-sliced
+     deadline polling, matrix-order merge) must also be bit-identical. *)
+  let matrix_results, cells =
+    Simlab.run_matrix ~domains:domains_n det_inst ~seed0:1 ~runs:det_runs
+      ~horizon:det_horizon
+  in
+  let identical =
+    base = sharded && matrix_results = Array.map Option.some base
+  in
+  Printf.printf
+    "  campaign sharded over %d domains identical: %b (orchestrated: %d ok, \
+     %d timeout, %d error)\n"
+    domains_n identical cells.Campaign.ok cells.Campaign.timeout
+    cells.Campaign.error;
   (* Single-core throughput target at 10^5 nodes (constant latency). *)
   let target_nodes = 100_000 and target_evs = 5_000_000.0 in
   let achieved =
@@ -996,11 +1036,11 @@ let run_sim_bench () =
         | _ -> acc)
       0.0 measured
   in
-  let oc = open_out "BENCH_sim.json" in
-  Bench_json.write ~benchmark:"sim"
-    ~host:(Bench_json.host ~domains:1 ())
-    oc
-    (fun oc ->
+  Bench_json.to_file "BENCH_sim.json" (fun file_oc ->
+      Bench_json.write ~benchmark:"sim"
+        ~host:(Bench_json.host ~domains:1 ())
+        ~cells:(cell_triple cells) file_oc
+        (fun oc ->
       Printf.fprintf oc "  \"rows\": [\n";
       List.iteri
         (fun i (scenario, topology, lat, inst, horizon, r, wall, evs, rss) ->
@@ -1025,8 +1065,7 @@ let run_sim_bench () =
       Printf.fprintf oc
         "  \"campaign\": { \"runs\": %d, \"domains\": %d, \"identical\": \
          %b }\n"
-        det_runs domains_n identical);
-  close_out oc;
+        det_runs domains_n identical));
   Printf.printf "  [wrote BENCH_sim.json]\n"
 
 (* ------------------------------------------------------------------ *)

@@ -13,7 +13,13 @@
      byz       — Byzantine-node attack campaigns and exhaustive (r,B)
                  certification
      sim       — event-driven continuous-time simulation on generated
-                 topologies at up to millions of nodes *)
+                 topologies at up to millions of nodes
+     campaign  — run the labs' sweeps as one crash-tolerant experiment
+                 matrix with a resumable JSON-lines journal
+
+   The campaign-capable subcommands (faults, netlab, byz, sim, campaign)
+   share the robustness flags --journal / --resume / --cell-deadline /
+   --retries. *)
 
 open Cmdliner
 open Stateless_core
@@ -31,6 +37,7 @@ module Netcheck = Stateless_netlab.Netcheck
 module Byzlab = Stateless_byzlab.Byzlab
 module Byzcheck = Stateless_byzlab.Byzcheck
 module Simlab = Stateless_simlab.Simlab
+module Campaign = Stateless_campaign.Campaign
 module Fooling = Stateless_lowerbound.Fooling
 
 (* ------------------------------------------------------------------ *)
@@ -506,6 +513,90 @@ let max_steps_arg ~doc =
     & opt pos_int_conv 10_000
     & info [ "max-steps"; "steps" ] ~doc ~docv:"K")
 
+let pos_float_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when f > 0.0 -> Ok f
+    | Some f -> Error (`Msg (Printf.sprintf "%g is not positive" f))
+    | None -> Error (`Msg (Printf.sprintf "invalid float %S" s))
+  in
+  Arg.conv ~docv:"X" (parse, Format.pp_print_float)
+
+(* Robustness-policy flags shared by the campaign-capable subcommands
+   (faults, netlab, byz, sim, campaign). *)
+let policy_term =
+  let journal_arg =
+    let doc =
+      "Stream each completed matrix cell to $(docv) as one JSON-lines \
+       record (appended, flushed and fsync'd before the next cell), so a \
+       killed campaign can be resumed with $(b,--resume)."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~doc ~docv:"FILE")
+  in
+  let resume_arg =
+    let doc =
+      "Replay the journal before running: completed cells whose config \
+       fingerprint still matches are restored without re-execution, and \
+       the merged output is byte-identical to an uninterrupted run. \
+       Without this flag an existing journal is truncated."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Wall-clock budget per matrix cell, in seconds, polled \
+       cooperatively inside the cell's own loop (no signals). An \
+       over-budget cell is retired with a 'timeout' record and the \
+       campaign still completes."
+    in
+    Arg.(
+      value
+      & opt (some pos_float_conv) None
+      & info [ "cell-deadline" ] ~doc ~docv:"SEC")
+  in
+  let retries_arg =
+    let doc =
+      "Re-execute a crashed cell up to $(docv) extra times (reseeded per \
+       attempt) before retiring it with a structured 'error' record."
+    in
+    Arg.(value & opt nonneg_int_conv 0 & info [ "retries" ] ~doc ~docv:"N")
+  in
+  let make journal resume cell_deadline retries =
+    { Campaign.journal; resume; cell_deadline; retries }
+  in
+  Term.(const make $ journal_arg $ resume_arg $ deadline_arg $ retries_arg)
+
+(* Sequential [run_matrix] legs sharing one journal: the first leg honors
+   the user's resume choice (truncating any stale journal when --resume
+   is absent); later legs must append to the same file, so they always
+   resume. Cell keys are prefixed per lab and scenario, so a fresh leg
+   never replays another leg's records. *)
+let leg_policy (policy : Campaign.policy) first =
+  if !first then (
+    first := false;
+    policy)
+  else { policy with Campaign.resume = true }
+
+let zero_counts = { Campaign.ok = 0; timeout = 0; error = 0; replayed = 0 }
+
+let add_counts (a : Campaign.counts) (b : Campaign.counts) =
+  {
+    Campaign.ok = a.Campaign.ok + b.Campaign.ok;
+    timeout = a.Campaign.timeout + b.Campaign.timeout;
+    error = a.Campaign.error + b.Campaign.error;
+    replayed = a.Campaign.replayed + b.Campaign.replayed;
+  }
+
+let cell_triple (c : Campaign.counts) =
+  (c.Campaign.ok, c.Campaign.timeout, c.Campaign.error)
+
+(* Silent on an all-ok fresh run, so default output is unchanged. *)
+let report_counts (c : Campaign.counts) =
+  if c.Campaign.timeout > 0 || c.Campaign.error > 0 || c.Campaign.replayed > 0
+  then
+    Printf.printf "  [cells: %d ok (%d replayed), %d timeout, %d error]\n"
+      c.Campaign.ok c.Campaign.replayed c.Campaign.timeout c.Campaign.error
+
 let faults_cmd =
   let scenario_arg =
     let doc =
@@ -540,7 +631,7 @@ let faults_cmd =
   let max_steps_arg =
     max_steps_arg ~doc:"Give up on a run after $(docv) recovery steps."
   in
-  let run scenario fractions runs max_steps domains seed0 batch out =
+  let run scenario fractions runs max_steps domains seed0 batch policy out =
     let scenarios =
       match scenario with
       | `All -> Faultlab.default_scenarios ()
@@ -548,18 +639,28 @@ let faults_cmd =
       | `Counter -> [ Faultlab.d_counter () ]
       | `Oscillator -> [ Faultlab.ring_oscillator () ]
     in
+    let first = ref true in
+    let counts = ref zero_counts in
     let campaigns =
       List.map
-        (Faultlab.run ~fractions ~seeds:runs ~max_steps ~domains ~seed0 ~batch)
+        (fun sc ->
+          let c, k =
+            Faultlab.run_matrix ~fractions ~seeds:runs ~max_steps ~domains
+              ~seed0 ~batch ~policy:(leg_policy policy first) sc
+          in
+          counts := add_counts !counts k;
+          c)
         scenarios
     in
     List.iter (Faultlab.print_campaign stdout) campaigns;
+    report_counts !counts;
     match out with
     | None -> ()
     | Some path ->
-        let oc = open_out path in
-        Faultlab.write_json ~host:(Bench_json.host ~domains ()) oc campaigns;
-        close_out oc;
+        Bench_json.to_file path (fun oc ->
+            Faultlab.write_json
+              ~host:(Bench_json.host ~domains ())
+              ~cells:(cell_triple !counts) oc campaigns);
         Printf.printf "  [wrote %s]\n" path
   in
   let info =
@@ -571,7 +672,7 @@ let faults_cmd =
   Cmd.v info
     Term.(
       const run $ scenario_arg $ fractions_arg $ runs_arg $ max_steps_arg
-      $ domains_arg $ seed_arg $ batch_arg $ out_arg)
+      $ domains_arg $ seed_arg $ batch_arg $ policy_term $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* netlab                                                              *)
@@ -626,7 +727,7 @@ let netlab_cmd =
     max_steps_arg ~doc:"Give up on post-storm recovery after $(docv) steps."
   in
   let run scenario loss delay dup crash max_delay crash_len k window runs storm
-      max_steps domains seed0 batch out =
+      max_steps domains seed0 batch policy out =
     let budget = { Netlab.k; window } in
     (* Any explicit rate flag selects a single custom level; otherwise run
        the default rising loss/delay sweep. *)
@@ -646,19 +747,28 @@ let netlab_cmd =
       | `Example1 -> [ Netlab.example1 () ]
       | `Counter -> [ Netlab.d_counter () ]
     in
+    let first = ref true in
+    let counts = ref zero_counts in
     let campaigns =
       List.map
-        (Netlab.run ~levels ~seeds:runs ~storm ~max_steps ~domains ~seed0
-           ~batch ~budget)
+        (fun sc ->
+          let c, cnt =
+            Netlab.run_matrix ~levels ~seeds:runs ~storm ~max_steps ~domains
+              ~seed0 ~batch ~policy:(leg_policy policy first) ~budget sc
+          in
+          counts := add_counts !counts cnt;
+          c)
         scenarios
     in
     List.iter (Netlab.print_campaign stdout) campaigns;
+    report_counts !counts;
     match out with
     | None -> ()
     | Some path ->
-        let oc = open_out path in
-        Netlab.write_json ~host:(Bench_json.host ~domains ()) oc campaigns;
-        close_out oc;
+        Bench_json.to_file path (fun oc ->
+            Netlab.write_json
+              ~host:(Bench_json.host ~domains ())
+              ~cells:(cell_triple !counts) oc campaigns);
         Printf.printf "  [wrote %s]\n" path
   in
   let info =
@@ -672,7 +782,7 @@ let netlab_cmd =
       const run $ scenario_arg $ loss_arg $ delay_arg $ dup_arg $ crash_arg
       $ max_delay_arg $ crash_len_arg $ budget_arg $ window_arg $ runs_arg
       $ storm_arg $ max_steps_arg $ domains_arg $ seed_arg $ batch_arg
-      $ out_arg)
+      $ policy_term $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* byz                                                                 *)
@@ -805,7 +915,7 @@ let byz_cmd =
           c.Byzcheck.fates
   in
   let campaign scenario byz strategy runs attack max_steps domains seed0 batch
-      out =
+      policy out =
     let scenarios =
       match scenario with
       | `All -> Byzlab.default_scenarios ()
@@ -830,24 +940,33 @@ let byz_cmd =
           scenarios);
     (* An explicit placement is swept against the healthy baseline. *)
     let placements = Option.map (fun b -> [ []; b ]) byz in
+    let first = ref true in
+    let counts = ref zero_counts in
     let campaigns =
       List.map
         (fun sc ->
-          Byzlab.run ?placements ~seeds:runs ~attack ~max_steps ~domains
-            ~seed0 ~batch ~strategy sc)
+          let c, cnt =
+            Byzlab.run_matrix ?placements ~seeds:runs ~attack ~max_steps
+              ~domains ~seed0 ~batch ~policy:(leg_policy policy first)
+              ~strategy sc
+          in
+          counts := add_counts !counts cnt;
+          c)
         scenarios
     in
     List.iter (Byzlab.print_campaign stdout) campaigns;
+    report_counts !counts;
     match out with
     | None -> ()
     | Some path ->
-        let oc = open_out path in
-        Byzlab.write_json ~host:(Bench_json.host ~domains ()) oc campaigns;
-        close_out oc;
+        Bench_json.to_file path (fun oc ->
+            Byzlab.write_json
+              ~host:(Bench_json.host ~domains ())
+              ~cells:(cell_triple !counts) oc campaigns);
         Printf.printf "  [wrote %s]\n" path
   in
   let run scenario n byz strategy runs attack max_steps domains seed0 batch
-      certify_p r budget out =
+      certify_p r budget policy out =
     if certify_p then (
       (match scenario with
       | `All | `Example1 -> ()
@@ -858,7 +977,7 @@ let byz_cmd =
       certify n byz r budget)
     else
       campaign scenario byz strategy runs attack max_steps domains seed0 batch
-        out
+        policy out
   in
   let info =
     Cmd.info "byz"
@@ -871,11 +990,42 @@ let byz_cmd =
     Term.(
       const run $ scenario_arg $ nodes_arg $ byz_nodes_arg $ strategy_arg
       $ runs_arg $ attack_arg $ max_steps_arg $ domains_arg $ seed_arg
-      $ batch_arg $ certify_arg $ r_arg $ budget_arg $ out_arg)
+      $ batch_arg $ certify_arg $ r_arg $ budget_arg $ policy_term $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sim                                                                 *)
 (* ------------------------------------------------------------------ *)
+
+(* BENCH_sim-style JSON for a per-seed result table; shared by the sim
+   and campaign subcommands. Cells that timed out or errored are absent
+   from the "runs" array (their accounting is in the "cells" block). *)
+let write_sim_json ~host ?cells ~(inst : Simlab.instance) ~rate ~latency
+    ~horizon ~(faults : Eventsim.faults) oc
+    (results : Simlab.result option array) =
+  Bench_json.write ~benchmark:"sim" ~host ?cells oc (fun oc ->
+      Printf.fprintf oc
+        "  \"instance\": { \"scenario\": %S, \"topology\": %S, \"latency\": \
+         %S, \"nodes\": %d, \"edges\": %d, \"rate\": %g, \"horizon\": %g, \
+         \"loss\": %g, \"dup\": %g, \"crash\": %g },\n"
+        (Simlab.scenario_name inst.Simlab.scenario)
+        (Simlab.topology_name inst.Simlab.topology)
+        (Simlab.latency_name latency) inst.Simlab.nodes inst.Simlab.edges rate
+        horizon faults.Eventsim.loss faults.Eventsim.dup faults.Eventsim.crash;
+      let rows = List.filter_map Fun.id (Array.to_list results) in
+      let last = List.length rows - 1 in
+      Printf.fprintf oc "  \"runs\": [\n";
+      List.iteri
+        (fun i (r : Simlab.result) ->
+          Printf.fprintf oc
+            "    { \"seed\": %d, \"events\": %d, \"activations\": %d, \
+             \"deliveries\": %d, \"lost\": %d, \"duplicated\": %d, \
+             \"crash_windows\": %d, \"metric\": %d, \"label_hash\": %d }%s\n"
+            r.Simlab.seed r.Simlab.events r.Simlab.activations
+            r.Simlab.deliveries r.Simlab.lost r.Simlab.duplicated
+            r.Simlab.crash_windows r.Simlab.metric r.Simlab.label_hash
+            (if i = last then "" else ","))
+        rows;
+      Printf.fprintf oc "  ]\n")
 
 let sim_cmd =
   let result_conv ~docv of_string name =
@@ -928,15 +1078,6 @@ let sim_cmd =
     Arg.(
       value & opt pos_int_conv 10_000 & info [ "n"; "nodes" ] ~doc ~docv:"N")
   in
-  let pos_float_conv =
-    let parse s =
-      match float_of_string_opt s with
-      | Some f when f > 0.0 -> Ok f
-      | Some f -> Error (`Msg (Printf.sprintf "%g is not positive" f))
-      | None -> Error (`Msg (Printf.sprintf "invalid float %S" s))
-    in
-    Arg.conv ~docv:"X" (parse, Format.pp_print_float)
-  in
   let rate_arg =
     let doc = "Per-node Poisson activation rate." in
     Arg.(value & opt pos_float_conv 1.0 & info [ "rate" ] ~doc ~docv:"R")
@@ -970,7 +1111,7 @@ let sim_cmd =
     Arg.(value & opt pos_float_conv 1.0 & info [ "crash-len" ] ~doc ~docv:"T")
   in
   let run scenario topology nodes rate latency horizon runs domains seed0
-      graph_seed loss dup crash crash_len out =
+      graph_seed loss dup crash crash_len policy out =
     if nodes < 4 then (
       prerr_endline "stateless: sim needs at least 4 nodes";
       exit 124);
@@ -986,48 +1127,32 @@ let sim_cmd =
       inst.Simlab.nodes inst.Simlab.edges rate
       (Simlab.latency_name latency)
       horizon;
-    let results = Simlab.campaign ~domains inst ~seed0 ~runs ~horizon in
+    let results, counts =
+      Simlab.run_matrix ~domains ~policy inst ~seed0 ~runs ~horizon
+    in
     Printf.printf "  %6s %10s %11s %10s %7s %6s %7s %10s  %s\n" "seed"
       "events" "activations" "deliveries" "lost" "dup" "crashes" "metric"
       "labels";
-    Array.iter
-      (fun r ->
-        Printf.printf "  %6d %10d %11d %10d %7d %6d %7d %10d  %016x\n"
-          r.Simlab.seed r.Simlab.events r.Simlab.activations
-          r.Simlab.deliveries r.Simlab.lost r.Simlab.duplicated
-          r.Simlab.crash_windows r.Simlab.metric r.Simlab.label_hash)
+    Array.iteri
+      (fun i -> function
+        | Some r ->
+            Printf.printf "  %6d %10d %11d %10d %7d %6d %7d %10d  %016x\n"
+              r.Simlab.seed r.Simlab.events r.Simlab.activations
+              r.Simlab.deliveries r.Simlab.lost r.Simlab.duplicated
+              r.Simlab.crash_windows r.Simlab.metric r.Simlab.label_hash
+        | None ->
+            Printf.printf "  %6d  <no result: cell timed out or errored>\n"
+              (seed0 + i))
       results;
+    report_counts counts;
     match out with
     | None -> ()
     | Some path ->
-        let oc = open_out path in
-        Bench_json.write ~benchmark:"sim"
-          ~host:(Bench_json.host ~domains ())
-          oc
-          (fun oc ->
-            Printf.fprintf oc
-              "  \"instance\": { \"scenario\": %S, \"topology\": %S, \
-               \"latency\": %S, \"nodes\": %d, \"edges\": %d, \"rate\": %g, \
-               \"horizon\": %g, \"loss\": %g, \"dup\": %g, \"crash\": %g },\n"
-              (Simlab.scenario_name scenario)
-              (Simlab.topology_name topology)
-              (Simlab.latency_name latency)
-              inst.Simlab.nodes inst.Simlab.edges rate horizon loss dup crash;
-            Printf.fprintf oc "  \"runs\": [\n";
-            Array.iteri
-              (fun i r ->
-                Printf.fprintf oc
-                  "    { \"seed\": %d, \"events\": %d, \"activations\": %d, \
-                   \"deliveries\": %d, \"lost\": %d, \"duplicated\": %d, \
-                   \"crash_windows\": %d, \"metric\": %d, \"label_hash\": \
-                   %d }%s\n"
-                  r.Simlab.seed r.Simlab.events r.Simlab.activations
-                  r.Simlab.deliveries r.Simlab.lost r.Simlab.duplicated
-                  r.Simlab.crash_windows r.Simlab.metric r.Simlab.label_hash
-                  (if i = Array.length results - 1 then "" else ","))
-              results;
-            Printf.fprintf oc "  ]\n");
-        close_out oc;
+        Bench_json.to_file path (fun oc ->
+            write_sim_json
+              ~host:(Bench_json.host ~domains ())
+              ~cells:(cell_triple counts) ~inst ~rate ~latency ~horizon
+              ~faults oc results);
         Printf.printf "  [wrote %s]\n" path
   in
   let info =
@@ -1042,7 +1167,175 @@ let sim_cmd =
       const run $ scenario_arg $ topology_arg $ sim_nodes_arg $ rate_arg
       $ latency_arg $ horizon_arg $ runs_arg $ domains_arg $ seed_arg
       $ graph_seed_arg $ loss_arg $ dup_arg $ crash_arg $ crash_len_arg
-      $ out_arg)
+      $ policy_term $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* campaign                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let campaign_cmd =
+  let leg_names =
+    [ ("faults", `Faults); ("netlab", `Netlab); ("byz", `Byz); ("sim", `Sim) ]
+  in
+  let matrix_arg =
+    let doc =
+      "Legs of the experiment matrix to run: 'all' or a comma-separated \
+       subset of 'faults', 'netlab', 'byz', 'sim'. Legs run sequentially \
+       and share the journal."
+    in
+    let legs_conv =
+      let parse s =
+        if String.trim s = "all" then Ok (List.map snd leg_names)
+        else
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | n :: rest -> (
+                match List.assoc_opt (String.trim n) leg_names with
+                | Some l when not (List.mem l acc) -> go (l :: acc) rest
+                | Some _ ->
+                    Error (`Msg (Printf.sprintf "duplicate matrix leg %S" n))
+                | None ->
+                    Error
+                      (`Msg
+                        (Printf.sprintf
+                           "unknown matrix leg %S: expected 'faults', \
+                            'netlab', 'byz', 'sim' or 'all'"
+                           n)))
+          in
+          go [] (String.split_on_char ',' s)
+      in
+      let print ppf legs =
+        Format.pp_print_string ppf
+          (String.concat ","
+             (List.map
+                (fun l -> fst (List.find (fun (_, l') -> l' = l) leg_names))
+                legs))
+      in
+      Arg.conv ~docv:"LEGS" (parse, print)
+    in
+    Arg.(value & opt legs_conv (List.map snd leg_names) & info [ "matrix" ] ~doc)
+  in
+  let runs_arg =
+    let doc = "Independent runs (seeds) per matrix row." in
+    Arg.(value & opt pos_int_conv 10 & info [ "runs"; "seeds" ] ~doc ~docv:"N")
+  in
+  let out_arg =
+    let doc =
+      "Write one BENCH-style JSON file per leg, as \
+       $(docv)_faults.json, $(docv)_netlab.json, $(docv)_byz.json and \
+       $(docv)_sim.json (each written atomically: temp file + rename)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "o"; "out" ] ~doc ~docv:"PREFIX")
+  in
+  let run legs runs domains seed0 batch policy out =
+    let first = ref true in
+    let total = ref zero_counts in
+    let write path emit =
+      Bench_json.to_file path emit;
+      Printf.printf "  [wrote %s]\n" path
+    in
+    let host = Bench_json.host ~domains () in
+    List.iter
+      (fun leg ->
+        let counts = ref zero_counts in
+        let matrix_leg run_one print_out write_out scenarios =
+          let campaigns =
+            List.map
+              (fun sc ->
+                let c, cnt = run_one (leg_policy policy first) sc in
+                counts := add_counts !counts cnt;
+                c)
+              scenarios
+          in
+          List.iter print_out campaigns;
+          Option.iter
+            (fun prefix -> write_out prefix !counts campaigns)
+            out
+        in
+        (match leg with
+        | `Faults ->
+            matrix_leg
+              (fun policy sc ->
+                Faultlab.run_matrix ~seeds:runs ~domains ~seed0 ~batch ~policy
+                  sc)
+              (Faultlab.print_campaign stdout)
+              (fun prefix counts campaigns ->
+                write (prefix ^ "_faults.json") (fun oc ->
+                    Faultlab.write_json ~host ~cells:(cell_triple counts) oc
+                      campaigns))
+              (Faultlab.default_scenarios ())
+        | `Netlab ->
+            let budget = { Netlab.k = 4; window = 8 } in
+            matrix_leg
+              (fun policy sc ->
+                Netlab.run_matrix ~seeds:runs ~domains ~seed0 ~batch ~policy
+                  ~budget sc)
+              (Netlab.print_campaign stdout)
+              (fun prefix counts campaigns ->
+                write (prefix ^ "_netlab.json") (fun oc ->
+                    Netlab.write_json ~host ~cells:(cell_triple counts) oc
+                      campaigns))
+              (Netlab.default_scenarios ())
+        | `Byz ->
+            matrix_leg
+              (fun policy sc ->
+                Byzlab.run_matrix ~seeds:runs ~domains ~seed0 ~batch ~policy
+                  ~strategy:Byzlab.Seeded_random sc)
+              (Byzlab.print_campaign stdout)
+              (fun prefix counts campaigns ->
+                write (prefix ^ "_byz.json") (fun oc ->
+                    Byzlab.write_json ~host ~cells:(cell_triple counts) oc
+                      campaigns))
+              (Byzlab.default_scenarios ())
+        | `Sim ->
+            let faults =
+              { Eventsim.loss = 0.05; dup = 0.02; crash = 0.0; crash_len = 1.0 }
+            in
+            let rate = 1.0 and latency = Eventsim.Exp 1.0 and horizon = 20.0 in
+            let inst =
+              Simlab.build
+                (Simlab.Contagion { threshold = 0.5; seed_frac = 0.01 })
+                Simlab.Ring ~graph_seed:42 ~nodes:2000 ~rate ~latency ~faults
+            in
+            Printf.printf "sim leg: %s\n" inst.Simlab.desc;
+            let results, cnt =
+              Simlab.run_matrix ~domains ~policy:(leg_policy policy first)
+                inst ~seed0 ~runs ~horizon
+            in
+            counts := add_counts !counts cnt;
+            Array.iter
+              (function
+                | Some r ->
+                    Printf.printf "  seed %d: %d events, metric %d\n"
+                      r.Simlab.seed r.Simlab.events r.Simlab.metric
+                | None -> ())
+              results;
+            Option.iter
+              (fun prefix ->
+                write (prefix ^ "_sim.json") (fun oc ->
+                    write_sim_json ~host ~cells:(cell_triple !counts) ~inst
+                      ~rate ~latency ~horizon ~faults oc results))
+              out);
+        total := add_counts !total !counts)
+      legs;
+    let c = !total in
+    Printf.printf "campaign complete: %d ok (%d replayed), %d timeout, %d \
+                   error\n"
+      c.Campaign.ok c.Campaign.replayed c.Campaign.timeout c.Campaign.error
+  in
+  let info =
+    Cmd.info "campaign"
+      ~doc:
+        "Run the labs' sweeps as one crash-tolerant experiment matrix: \
+         cells stream to a resumable fsync'd JSON-lines journal, \
+         over-deadline cells time out, crashed cells retry then degrade \
+         to error records, and the campaign always completes"
+  in
+  Cmd.v info
+    Term.(
+      const run $ matrix_arg $ runs_arg $ domains_arg $ seed_arg $ batch_arg
+      $ policy_term $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1060,6 +1353,7 @@ let () =
             [
               simulate_cmd; check_cmd; snake_cmd; compile_cmd; counter_cmd;
               spp_cmd; hunt_cmd; faults_cmd; netlab_cmd; byz_cmd; sim_cmd;
+              campaign_cmd;
             ])
      with
     | Snake.Step_bound_exhausted { reduction; d; max_steps } ->

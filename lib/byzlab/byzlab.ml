@@ -38,13 +38,14 @@ module Kernel = Stateless_core.Kernel
 module Batch = Stateless_core.Batch
 module Schedule = Stateless_core.Schedule
 module Label = Stateless_core.Label
-module Parrun = Stateless_core.Parrun
 module Clique_example = Stateless_core.Clique_example
 module Bench_json = Stateless_core.Bench_json
 module D_counter = Stateless_counter.D_counter
 module Digraph = Stateless_graph.Digraph
 module Algorithms = Stateless_graph.Algorithms
 module Builders = Stateless_graph.Builders
+module Campaign = Stateless_campaign.Campaign
+module Value = Stateless_campaign.Value
 
 type strategy =
   | Seeded_random
@@ -884,92 +885,200 @@ let percentile sorted q =
     let rank = int_of_float (ceil (q *. float k)) - 1 in
     sorted.(max 0 (min (k - 1) rank))
 
-let run ?placements ?(seeds = 20) ?(attack = 400) ?(max_steps = 10_000)
-    ?(domains = 1) ?(seed0 = 1) ?(batch = 1) ~strategy sc =
-  let pls =
-    Array.of_list
-      (match placements with Some p -> p | None -> sc.placements)
+let string_of_byz byz =
+  "[" ^ String.concat "," (List.map string_of_int byz) ^ "]"
+
+(* One matrix cell per Byzantine placement covering its whole seed
+   block. Each run journals as [[deviant_steps, deviant_nodes,
+   max_radius, recovery]] (recovery null when never recovered) —
+   int-only, so the round-trip is exact. *)
+let codec : run_result array Campaign.codec =
+  {
+    encode =
+      (fun row ->
+        Value.List
+          (Array.to_list
+             (Array.map
+                (fun r ->
+                  Value.List
+                    [
+                      Value.Int r.deviant_steps;
+                      Value.Int r.deviant_nodes;
+                      Value.Int r.max_radius;
+                      (match r.recovery with
+                      | Some t -> Value.Int t
+                      | None -> Value.Null);
+                    ])
+                row)));
+    decode =
+      (fun v ->
+        match v with
+        | Value.List items -> (
+            try
+              Some
+                (Array.of_list
+                   (List.map
+                      (function
+                        | Value.List
+                            [ Value.Int ds; Value.Int dn; Value.Int mr; rv ]
+                          ->
+                            let recovery =
+                              match rv with
+                              | Value.Int t -> Some t
+                              | Value.Null -> None
+                              | _ -> raise Exit
+                            in
+                            {
+                              deviant_steps = ds;
+                              deviant_nodes = dn;
+                              max_radius = mr;
+                              recovery;
+                            }
+                        | _ -> raise Exit)
+                      items))
+            with Exit -> None)
+        | _ -> None);
+  }
+
+(* [Replay] witnesses carry no stable textual form; a structural hash
+   keeps distinct witnesses from fingerprint-colliding. Journaled replay
+   cells are only replayed within the same witness anyway. *)
+let strategy_config = function
+  | Seeded_random -> "random"
+  | Anti_majority -> "anti-majority"
+  | Replay w -> Printf.sprintf "replay#%08x" (Hashtbl.hash w)
+
+let cells ?placements ?(seeds = 20) ?(attack = 400) ?(max_steps = 10_000)
+    ?(seed0 = 1) ?(batch = 1) ~strategy sc =
+  let pls = match placements with Some p -> p | None -> sc.placements in
+  Array.of_list
+    (List.mapi
+       (fun li byz ->
+         {
+           Campaign.key = Printf.sprintf "byz/%s/p%d" sc.name li;
+           config =
+             Printf.sprintf
+               "byz scenario=%s schedule=%s byz=%s strategy=%s attack=%d \
+                seeds=%d seed0=%d max_steps=%d"
+               sc.name sc.schedule_name (string_of_byz byz)
+               (strategy_config strategy) attack seeds seed0 max_steps;
+           run =
+             (fun ~deadline ~attempt ->
+               let seed0 = seed0 + (attempt * Campaign.reseed_stride) in
+               if batch <= 1 then begin
+                 let measure = sc.fresh () in
+                 Array.init seeds (fun j ->
+                     if deadline () then raise Campaign.Deadline_exceeded;
+                     measure ~byz ~strategy ~attack ~seed:(seed0 + j)
+                       ~max_steps)
+               end
+               else begin
+                 let bf = sc.fresh_batch () in
+                 let out =
+                   Array.make seeds
+                     {
+                       deviant_steps = 0;
+                       deviant_nodes = 0;
+                       max_radius = -1;
+                       recovery = None;
+                     }
+                 in
+                 let lo = ref 0 in
+                 while !lo < seeds do
+                   if deadline () then raise Campaign.Deadline_exceeded;
+                   let hi = min seeds (!lo + batch) in
+                   let len = hi - !lo in
+                   let block =
+                     bf
+                       ~byzs:(Array.make len byz)
+                       ~strategy ~attack
+                       ~seeds:(Array.init len (fun t -> seed0 + !lo + t))
+                       ~max_steps
+                   in
+                   Array.blit block 0 out !lo len;
+                   lo := hi
+                 done;
+                 out
+               end);
+         })
+       pls)
+
+(* A [None] row (timed-out or errored cell) degrades to a fully
+   stabilized, zero-deviation level — shape-identical merges. *)
+let stats_of_row ~nodes ~seeds ~attack byz row =
+  let correct = nodes - List.length byz in
+  let times = ref [] and recovered = ref 0 in
+  let dev = ref 0 and stab = ref 0. and radius = ref (-1) in
+  (match row with
+  | None -> stab := float seeds
+  | Some results ->
+      for j = seeds - 1 downto 0 do
+        let r = results.(j) in
+        dev := !dev + r.deviant_steps;
+        stab :=
+          !stab
+          +.
+          if correct = 0 then 1.0
+          else float (correct - r.deviant_nodes) /. float correct;
+        if r.max_radius > !radius then radius := r.max_radius;
+        match r.recovery with
+        | Some t ->
+            incr recovered;
+            times := t :: !times
+        | None -> ()
+      done);
+  let arr = Array.of_list !times in
+  Array.sort compare arr;
+  let cnt = Array.length arr in
+  let mean =
+    if cnt = 0 then 0. else float (Array.fold_left ( + ) 0 arr) /. float cnt
   in
-  let nl = Array.length pls in
-  (* One flat placement × seed grid through Parrun.map: contexts are built
-     once per domain, results return in grid order, and aggregation is a
-     fold over that order — campaigns are identical for every [domains].
-     With [batch > 1] the same grid goes through map_batched in blocks;
-     blocks may span placement levels, so the batched context takes a
-     per-index placement array. *)
-  let results =
-    if batch <= 1 then
-      Parrun.map ~domains ~ctx:sc.fresh (nl * seeds) (fun measure idx ->
-          measure ~byz:pls.(idx / seeds) ~strategy ~attack
-            ~seed:(seed0 + (idx mod seeds))
-            ~max_steps)
-    else
-      Parrun.map_batched ~domains ~batch ~ctx:sc.fresh_batch (nl * seeds)
-        (fun bf ~lo ~hi ->
-          let len = hi - lo in
-          bf
-            ~byzs:(Array.init len (fun t -> pls.((lo + t) / seeds)))
-            ~strategy ~attack
-            ~seeds:(Array.init len (fun t -> seed0 + ((lo + t) mod seeds)))
-            ~max_steps)
+  {
+    byz;
+    runs = seeds;
+    mean_deviant = float !dev /. float (seeds * max 1 attack);
+    mean_stabilized = !stab /. float seeds;
+    worst_radius = !radius;
+    recovered = !recovered;
+    mean_recovery = mean;
+    p50 = percentile arr 0.5;
+    p95 = percentile arr 0.95;
+    worst = (if cnt = 0 then 0 else arr.(cnt - 1));
+  }
+
+let run_matrix ?placements ?(seeds = 20) ?(attack = 400) ?(max_steps = 10_000)
+    ?(domains = 1) ?(seed0 = 1) ?(batch = 1) ?policy ~strategy sc =
+  let pls = match placements with Some p -> p | None -> sc.placements in
+  let cs =
+    cells ~placements:pls ~seeds ~attack ~max_steps ~seed0 ~batch ~strategy sc
   in
+  let outcome = Campaign.run ~domains ?policy ~codec cs in
   let levels =
     List.mapi
       (fun li byz ->
-        let correct = sc.nodes - List.length byz in
-        let times = ref [] and recovered = ref 0 in
-        let dev = ref 0 and stab = ref 0. and radius = ref (-1) in
-        for j = seeds - 1 downto 0 do
-          let r = results.((li * seeds) + j) in
-          dev := !dev + r.deviant_steps;
-          stab :=
-            !stab
-            +.
-            if correct = 0 then 1.0
-            else float (correct - r.deviant_nodes) /. float correct;
-          if r.max_radius > !radius then radius := r.max_radius;
-          match r.recovery with
-          | Some t ->
-              incr recovered;
-              times := t :: !times
-          | None -> ()
-        done;
-        let arr = Array.of_list !times in
-        Array.sort compare arr;
-        let cnt = Array.length arr in
-        let mean =
-          if cnt = 0 then 0.
-          else float (Array.fold_left ( + ) 0 arr) /. float cnt
-        in
-        {
-          byz;
-          runs = seeds;
-          mean_deviant = float !dev /. float (seeds * max 1 attack);
-          mean_stabilized = !stab /. float seeds;
-          worst_radius = !radius;
-          recovered = !recovered;
-          mean_recovery = mean;
-          p50 = percentile arr 0.5;
-          p95 = percentile arr 0.95;
-          worst = (if cnt = 0 then 0 else arr.(cnt - 1));
-        })
-      (Array.to_list pls)
+        stats_of_row ~nodes:sc.nodes ~seeds ~attack byz
+          outcome.Campaign.records.(li).Campaign.result)
+      pls
   in
-  {
-    scenario_name = sc.name;
-    schedule = sc.schedule_name;
-    strategy = strategy_name strategy;
-    attack;
-    runs_per_level = seeds;
-    levels;
-  }
+  ( {
+      scenario_name = sc.name;
+      schedule = sc.schedule_name;
+      strategy = strategy_name strategy;
+      attack;
+      runs_per_level = seeds;
+      levels;
+    },
+    outcome.Campaign.counts )
+
+let run ?placements ?seeds ?attack ?max_steps ?domains ?seed0 ?batch ~strategy
+    sc =
+  fst
+    (run_matrix ?placements ?seeds ?attack ?max_steps ?domains ?seed0 ?batch
+       ~strategy sc)
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
 (* ------------------------------------------------------------------ *)
-
-let string_of_byz byz =
-  "[" ^ String.concat "," (List.map string_of_int byz) ^ "]"
 
 let print_campaign oc c =
   Printf.fprintf oc
@@ -987,8 +1096,8 @@ let print_campaign oc c =
         s.worst_radius s.recovered s.runs s.mean_recovery s.p50 s.p95 s.worst)
     c.levels
 
-let write_json ?host ?batch ?certification oc campaigns =
-  Bench_json.write ~benchmark:"byzlab" ?host ?batch ?certification oc
+let write_json ?host ?batch ?cells ?certification oc campaigns =
+  Bench_json.write ~benchmark:"byzlab" ?host ?batch ?cells ?certification oc
     (fun oc ->
       Printf.fprintf oc "  \"campaigns\": [\n";
       List.iteri

@@ -189,12 +189,54 @@ type campaign = {
   levels : level_stats list;
 }
 
+(** Journal codec for one placement row: each run stored as
+    [[deviant_steps, deviant_nodes, max_radius, recovery]] ([recovery]
+    null when the run never recovered). Int-only, exact round-trip. *)
+val codec : run_result array Stateless_campaign.Campaign.codec
+
+(** [cells ~strategy sc] compiles the placement sweep into matrix
+    cells — one per Byzantine placement, key ["byz/<scenario>/p<i>"],
+    covering the placement's whole seed block. Deadlines are polled
+    between seeds (or lock-step blocks when [batch > 1]); retries reseed
+    by [attempt * Campaign.reseed_stride]. [Replay] strategies enter the
+    config as a structural hash of the witness — journal replay across
+    processes is only meaningful for the nameable strategies. *)
+val cells :
+  ?placements:int list list ->
+  ?seeds:int ->
+  ?attack:int ->
+  ?max_steps:int ->
+  ?seed0:int ->
+  ?batch:int ->
+  strategy:strategy ->
+  scenario ->
+  run_result array Stateless_campaign.Campaign.cell array
+
+(** [run_matrix ~strategy sc] runs the placement sweep through the
+    campaign orchestrator under [policy] and merges records in matrix
+    order into the aggregated {!campaign} plus ok/timeout/error counts.
+    A placement whose cell timed out or errored degrades to a fully
+    stabilized, zero-deviation level. *)
+val run_matrix :
+  ?placements:int list list ->
+  ?seeds:int ->
+  ?attack:int ->
+  ?max_steps:int ->
+  ?domains:int ->
+  ?seed0:int ->
+  ?batch:int ->
+  ?policy:Stateless_campaign.Campaign.policy ->
+  strategy:strategy ->
+  scenario ->
+  campaign * Stateless_campaign.Campaign.counts
+
 (** [run ~strategy sc] sweeps [placements] (default [sc.placements]) ×
     [seeds] runs each (seeds [seed0 .. seed0 + seeds - 1], default
-    [seed0 = 1]) through {!Stateless_core.Parrun.map} — results are
+    [seed0 = 1]) through the campaign orchestrator — results are
     bit-identical for every [domains]. [batch] (default 1) measures
-    blocks of that many grid cells through the scenario's batched
-    context; campaigns are identical for every [batch] value. *)
+    blocks of that many seeds through the scenario's batched
+    context; campaigns are identical for every [batch] value.
+    Equivalent to [fst (run_matrix ...)] under the default policy. *)
 val run :
   ?placements:int list list ->
   ?seeds:int ->
@@ -209,15 +251,17 @@ val run :
 
 val print_campaign : out_channel -> campaign -> unit
 
-(** [write_json ?host ?batch ?certification oc campaigns] renders
+(** [write_json ?host ?batch ?cells ?certification oc campaigns] renders
     BENCH_byz JSON: a host block, an optional batch block (the lock-step
     batch size campaigns were re-run at and whether they matched the
     per-instance campaigns exactly — CI greps for
-    ["\"identical\": false"]), certification rows (prebuilt JSON
-    objects) and per-placement campaign rows. *)
+    ["\"identical\": false"]), the orchestrator's [(ok, timeout, error)]
+    cell accounting, certification rows (prebuilt JSON objects) and
+    per-placement campaign rows. *)
 val write_json :
   ?host:string ->
   ?batch:int * bool ->
+  ?cells:int * int * int ->
   ?certification:string list ->
   out_channel ->
   campaign list ->

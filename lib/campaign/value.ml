@@ -1,0 +1,205 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of t_float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+and t_float = float
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* 17 significant digits reconstruct any double exactly; the suffix
+   check keeps integral floats distinguishable from Ints on re-parse. *)
+let float_repr f =
+  if not (Float.is_finite f) then
+    invalid_arg "Value.to_string: non-finite float";
+  let s = Printf.sprintf "%.17g" f in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'n') s then s
+  else s ^ ".0"
+
+let rec print buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> Buffer.add_string buf (Printf.sprintf "%S" s)
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          print buf v)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "%S" k);
+          Buffer.add_char buf ':';
+          print buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  print buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let expect c = if peek () <> c then raise Bad else advance () in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else raise Bad
+  in
+  (* The string body runs to the first unescaped quote; OCaml escaping
+     never emits a bare '"' inside, so scanning for it is exact. *)
+  let parse_string () =
+    expect '"';
+    let start = !pos in
+    let rec find () =
+      if !pos >= n then raise Bad
+      else
+        match s.[!pos] with
+        | '"' -> ()
+        | '\\' ->
+            advance ();
+            if !pos >= n then raise Bad;
+            advance ();
+            find ()
+        | _ ->
+            advance ();
+            find ()
+    in
+    find ();
+    let body = String.sub s start (!pos - start) in
+    advance ();
+    match Scanf.unescaped body with
+    | u -> u
+    | exception Scanf.Scan_failure _ -> raise Bad
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num s.[!pos] do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    if
+      String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok
+    then
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> raise Bad
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> raise Bad
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | 'n' -> literal "null" Null
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | '"' -> String (parse_string ())
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !fields)
+        end
+    | _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then raise Bad;
+    v
+  with
+  | v -> Some v
+  | exception Bad -> None
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let to_int = function Int i -> Some i | _ -> None
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+let opt_int_list = function
+  | List items -> (
+      try
+        Some
+          (List.map
+             (function Null -> None | Int i -> Some i | _ -> raise Bad)
+             items)
+      with Bad -> None)
+  | _ -> None

@@ -1,0 +1,45 @@
+(** Self-describing values for journaled cell results.
+
+    The campaign journal stores each completed cell's result as one
+    JSON-lines record; {!t} is the wire form, {!to_string} the printer
+    and {!parse} its exact inverse. The grammar is JSON with OCaml
+    string escaping ([%S] on the way out, [Scanf.unescaped] on the way
+    back), which round-trips every OCaml string byte-exactly — the only
+    consumer is {!parse}, so interoperability with strict JSON parsers
+    matters less than [parse (to_string v) = Some v].
+
+    Resumed campaigns merge replayed values with freshly computed ones,
+    so the round-trip must be exact: integers print in decimal, finite
+    floats print with 17 significant digits (enough to reconstruct every
+    double) and always carry a ['.'] or exponent so they re-parse as
+    [Float], not [Int]. Non-finite floats are rejected by {!to_string} —
+    journaled results must be finite. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of t_float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** keys must not repeat *)
+
+and t_float = float
+
+(** Compact, deterministic rendering on one line (no newlines, so a
+    journal record is self-delimiting).
+    @raise Invalid_argument on a non-finite float. *)
+val to_string : t -> string
+
+(** [parse s] parses exactly one value and returns [None] on trailing
+    garbage or malformed input — a torn journal line never parses. *)
+val parse : string -> t option
+
+(** Accessors used by decoders: [None] when the shape doesn't match. *)
+
+val to_int : t -> int option
+val member : string -> t -> t option
+
+(** [int_list v] decodes a [List] of [Int]/[Null] items, the common
+    per-seed result row shape. *)
+val opt_int_list : t -> int option list option

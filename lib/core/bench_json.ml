@@ -38,8 +38,13 @@ let peak_rss_kb () =
     scan ()
   with _ -> -1
 
-let write ~benchmark ?host ?batch ?(certification = []) oc body =
+(* Bump when the envelope shape changes incompatibly. 2 = added
+   schema_version itself and the optional cells accounting block. *)
+let schema_version = 2
+
+let write ~benchmark ?host ?batch ?cells ?(certification = []) oc body =
   Printf.fprintf oc "{\n  \"benchmark\": %S,\n" benchmark;
+  Printf.fprintf oc "  \"schema_version\": %d,\n" schema_version;
   (match host with
   | Some h -> Printf.fprintf oc "  \"host\": %s,\n" h
   | None -> ());
@@ -47,6 +52,12 @@ let write ~benchmark ?host ?batch ?(certification = []) oc body =
   | Some (k, identical) ->
       Printf.fprintf oc "  \"batch\": { \"k\": %d, \"identical\": %b },\n" k
         identical
+  | None -> ());
+  (match cells with
+  | Some (ok, timeout, error) ->
+      Printf.fprintf oc
+        "  \"cells\": { \"ok\": %d, \"timeout\": %d, \"error\": %d },\n" ok
+        timeout error
   | None -> ());
   if certification <> [] then begin
     Printf.fprintf oc "  \"certification\": [\n";
@@ -59,3 +70,18 @@ let write ~benchmark ?host ?batch ?(certification = []) oc body =
   end;
   body oc;
   Printf.fprintf oc "}\n"
+
+(* Write-then-rename so readers (and a crash mid-write) never observe a
+   truncated file: the visible path either holds the previous complete
+   contents or the new complete contents. Same-directory rename is
+   atomic on POSIX. *)
+let to_file path emit =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try emit oc
+   with exn ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise exn);
+  close_out oc;
+  Sys.rename tmp path

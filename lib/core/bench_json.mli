@@ -23,18 +23,29 @@ val host : domains:int -> unit -> string
     order. *)
 val peak_rss_kb : unit -> int
 
-(** [write ~benchmark ?host ?batch ?certification oc body] prints the
-    envelope — opening brace, benchmark name, optional host block,
-    optional [(k, identical)] lock-step batch summary, optional
-    pre-rendered certification rows — then calls [body oc] to print the
-    leg's remaining comma-separated fields (each line indented two
-    spaces, no trailing comma after the last field), and closes the
+(** Envelope schema version, emitted as ["schema_version"] by {!write}.
+    Bumped on incompatible envelope changes. *)
+val schema_version : int
+
+(** [write ~benchmark ?host ?batch ?cells ?certification oc body] prints
+    the envelope — opening brace, benchmark name, schema version,
+    optional host block, optional [(k, identical)] lock-step batch
+    summary, optional [(ok, timeout, error)] campaign-cell accounting,
+    optional pre-rendered certification rows — then calls [body oc] to
+    print the leg's remaining comma-separated fields (each line indented
+    two spaces, no trailing comma after the last field), and closes the
     object. *)
 val write :
   benchmark:string ->
   ?host:string ->
   ?batch:int * bool ->
+  ?cells:int * int * int ->
   ?certification:string list ->
   out_channel ->
   (out_channel -> unit) ->
   unit
+
+(** [to_file path emit] writes [emit oc] to [path ^ ".tmp"] and renames
+    it over [path], so a crash mid-write never leaves a truncated file
+    at the visible path. The temp file is removed if [emit] raises. *)
+val to_file : string -> (out_channel -> unit) -> unit

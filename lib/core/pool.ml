@@ -120,10 +120,18 @@ let run ~domains ~nchunks f =
   if domains < 1 then invalid_arg "Pool.run: domains must be >= 1";
   if nchunks < 0 then invalid_arg "Pool.run: negative chunk count";
   if nchunks = 0 then ()
-  else if domains = 1 || nchunks = 1 || in_worker () then
+  else if domains = 1 || nchunks = 1 || in_worker () then begin
+    (* Same drain contract as the parallel path: a raising chunk must not
+       abandon the chunks after it, and only the first exception
+       propagates. Nested inline jobs inherit the guarantee, so a pool
+       submitter that runs inline work inside a chunk stays reusable. *)
+    let failed = ref None in
     for c = 0 to nchunks - 1 do
-      f ~slot:0 c
-    done
+      try f ~slot:0 c
+      with exn -> ( match !failed with None -> failed := Some exn | Some _ -> ())
+    done;
+    match !failed with None -> () | Some exn -> raise exn
+  end
   else begin
     Mutex.lock submit_mu;
     Fun.protect

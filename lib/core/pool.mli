@@ -28,9 +28,12 @@
     [nchunks <= 1], or when called from inside a pool job (nested parallel
     sections run sequentially rather than deadlock on the single job slot).
 
-    If a chunk raises, remaining chunks are still claimed (work already in
-    flight cannot be recalled), and the first exception is re-raised on the
-    calling domain after all chunks finish.
+    If a chunk raises, remaining chunks are still claimed and run (work
+    already in flight cannot be recalled, and later chunks must not be
+    abandoned), and the first exception is re-raised on the calling domain
+    after all chunks finish. This holds on the inline path too (single
+    domain, single chunk, or nested in-worker call), so the pool and its
+    callers stay reusable after a failing job.
 
     Concurrent top-level submitters are serialized on a submission mutex
     (there is a single job slot): the second caller blocks until the first

@@ -2,7 +2,6 @@ module Protocol = Stateless_core.Protocol
 module Engine = Stateless_core.Engine
 module Kernel = Stateless_core.Kernel
 module Batch = Stateless_core.Batch
-module Parrun = Stateless_core.Parrun
 module Schedule = Stateless_core.Schedule
 module Label = Stateless_core.Label
 module Fault = Stateless_core.Fault
@@ -11,6 +10,8 @@ module Clique_example = Stateless_core.Clique_example
 module D_counter = Stateless_counter.D_counter
 module Feedback = Stateless_games.Feedback
 module Digraph = Stateless_graph.Digraph
+module Campaign = Stateless_campaign.Campaign
+module Value = Stateless_campaign.Value
 
 type recover_fn = fraction:float -> seed:int -> max_steps:int -> int option
 
@@ -278,69 +279,128 @@ let percentile sorted q =
     let rank = int_of_float (ceil (q *. float k)) - 1 in
     sorted.(max 0 (min (k - 1) rank))
 
-let run ?(fractions = default_fractions) ?(seeds = 30) ?(max_steps = 10_000)
-    ?(domains = 1) ?(seed0 = 1) ?(batch = 1) sc =
-  (* One flat fraction × seed grid through {!Parrun.map}: measurement
-     contexts are built once per domain, results come back in grid order,
-     and the aggregation below (integer sums, then sort) is insensitive to
-     which domain ran which seed — campaigns are identical for every
-     [domains] value. With [batch > 1] the same grid goes through
-     {!Parrun.map_batched}: each block of up to [batch] consecutive grid
-     indices is measured in lock-step by the scenario's batched context,
-     which is bit-identical per index, so campaigns are also identical for
-     every [batch] value. *)
-  let fracs = Array.of_list fractions in
-  let nf = Array.length fracs in
-  let results =
-    if batch <= 1 then
-      Parrun.map ~domains ~ctx:sc.fresh (nf * seeds) (fun recover idx ->
-          recover
-            ~fraction:fracs.(idx / seeds)
-            ~seed:(seed0 + (idx mod seeds))
-            ~max_steps)
-    else
-      Parrun.map_batched ~domains ~batch ~ctx:sc.fresh_batch (nf * seeds)
-        (fun bf ~lo ~hi ->
-          let len = hi - lo in
-          bf
-            ~fractions:(Array.init len (fun t -> fracs.((lo + t) / seeds)))
-            ~seeds:(Array.init len (fun t -> seed0 + ((lo + t) mod seeds)))
-            ~max_steps)
+(* One matrix cell per fraction row covering its whole seed block: fine
+   enough that a resumed campaign skips completed rows, coarse enough
+   that a row's batched lock-step stepping stays intact. The config
+   string names everything the row's results depend on — domains and
+   batch are deliberately absent, because results are identical across
+   both by the determinism contract, so a journal written at one domain
+   count replays at any other. *)
+let codec : int option array Campaign.codec =
+  {
+    encode =
+      (fun row ->
+        Value.List
+          (Array.to_list
+             (Array.map
+                (function Some t -> Value.Int t | None -> Value.Null)
+                row)));
+    decode =
+      (fun v ->
+        Option.map
+          (fun items ->
+            Array.of_list items)
+          (Value.opt_int_list v));
+  }
+
+let cells ?(fractions = default_fractions) ?(seeds = 30) ?(max_steps = 10_000)
+    ?(seed0 = 1) ?(batch = 1) sc =
+  Array.of_list
+    (List.mapi
+       (fun fi fraction ->
+         {
+           Campaign.key = Printf.sprintf "faults/%s/f%d" sc.name fi;
+           config =
+             Printf.sprintf
+               "faults scenario=%s schedule=%s fraction=%.6g seeds=%d \
+                seed0=%d max_steps=%d"
+               sc.name sc.schedule_name fraction seeds seed0 max_steps;
+           run =
+             (fun ~deadline ~attempt ->
+               (* Retries reseed: attempt [a] shifts the whole seed block
+                  so a flaky row re-measures with fresh randomness. *)
+               let seed0 = seed0 + (attempt * Campaign.reseed_stride) in
+               if batch <= 1 then begin
+                 let recover = sc.fresh () in
+                 Array.init seeds (fun j ->
+                     if deadline () then raise Campaign.Deadline_exceeded;
+                     recover ~fraction ~seed:(seed0 + j) ~max_steps)
+               end
+               else begin
+                 let bf = sc.fresh_batch () in
+                 let out = Array.make seeds None in
+                 let lo = ref 0 in
+                 while !lo < seeds do
+                   if deadline () then raise Campaign.Deadline_exceeded;
+                   let hi = min seeds (!lo + batch) in
+                   let len = hi - !lo in
+                   let block =
+                     bf
+                       ~fractions:(Array.make len fraction)
+                       ~seeds:(Array.init len (fun t -> seed0 + !lo + t))
+                       ~max_steps
+                   in
+                   Array.blit block 0 out !lo len;
+                   lo := hi
+                 done;
+                 out
+               end);
+         })
+       fractions)
+
+(* Aggregate one fraction row. A [None] row (the cell timed out or
+   errored) degrades to zero recoveries — the merged campaign still has
+   a deterministic row for it, so resumed and degraded merges stay
+   shape-identical. *)
+let stats_of_row ~seeds fraction row =
+  let times = ref [] and recovered = ref 0 in
+  (match row with
+  | None -> ()
+  | Some results ->
+      for j = seeds - 1 downto 0 do
+        match results.(j) with
+        | Some t ->
+            incr recovered;
+            times := t :: !times
+        | None -> ()
+      done);
+  let arr = Array.of_list !times in
+  Array.sort compare arr;
+  let k = Array.length arr in
+  let mean =
+    if k = 0 then 0. else float (Array.fold_left ( + ) 0 arr) /. float k
   in
+  {
+    fraction;
+    runs = seeds;
+    recovered = !recovered;
+    mean;
+    p50 = percentile arr 0.5;
+    p95 = percentile arr 0.95;
+    worst = (if k = 0 then 0 else arr.(k - 1));
+  }
+
+let run_matrix ?(fractions = default_fractions) ?(seeds = 30)
+    ?(max_steps = 10_000) ?(domains = 1) ?(seed0 = 1) ?(batch = 1) ?policy sc =
+  let cs = cells ~fractions ~seeds ~max_steps ~seed0 ~batch sc in
+  let outcome = Campaign.run ~domains ?policy ~codec cs in
   let stats =
     List.mapi
       (fun fi fraction ->
-        let times = ref [] and recovered = ref 0 in
-        for j = seeds - 1 downto 0 do
-          match results.((fi * seeds) + j) with
-          | Some t ->
-              incr recovered;
-              times := t :: !times
-          | None -> ()
-        done;
-        let arr = Array.of_list !times in
-        Array.sort compare arr;
-        let k = Array.length arr in
-        let mean =
-          if k = 0 then 0. else float (Array.fold_left ( + ) 0 arr) /. float k
-        in
-        {
-          fraction;
-          runs = seeds;
-          recovered = !recovered;
-          mean;
-          p50 = percentile arr 0.5;
-          p95 = percentile arr 0.95;
-          worst = (if k = 0 then 0 else arr.(k - 1));
-        })
+        stats_of_row ~seeds fraction
+          outcome.Campaign.records.(fi).Campaign.result)
       fractions
   in
-  {
-    scenario_name = sc.name;
-    schedule = sc.schedule_name;
-    runs_per_fraction = seeds;
-    stats;
-  }
+  ( {
+      scenario_name = sc.name;
+      schedule = sc.schedule_name;
+      runs_per_fraction = seeds;
+      stats;
+    },
+    outcome.Campaign.counts )
+
+let run ?fractions ?seeds ?max_steps ?domains ?seed0 ?batch sc =
+  fst (run_matrix ?fractions ?seeds ?max_steps ?domains ?seed0 ?batch sc)
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
@@ -358,8 +418,8 @@ let print_campaign oc c =
         s.recovered s.runs s.mean s.p50 s.p95 s.worst)
     c.stats
 
-let write_json ?host ?batch oc campaigns =
-  Bench_json.write ~benchmark:"faults" ?host ?batch oc (fun oc ->
+let write_json ?host ?batch ?cells oc campaigns =
+  Bench_json.write ~benchmark:"faults" ?host ?batch ?cells oc (fun oc ->
       Printf.fprintf oc "  \"campaigns\": [\n";
       List.iteri
         (fun i c ->

@@ -83,16 +83,56 @@ val scenario_by_name : ?n:int -> string -> scenario option
 (** The default corruption fractions [0.1; 0.25; 0.5; 0.75; 1.0]. *)
 val default_fractions : float list
 
+(** Journal codec for one fraction row ([int option array], one slot per
+    seed): recovery times as [Int], unrecovered runs as [Null]. Exact
+    round-trip, so replayed rows merge bit-identically. *)
+val codec : int option array Stateless_campaign.Campaign.codec
+
+(** [cells scenario] compiles the fraction sweep into matrix cells — one
+    cell per fraction row, key ["faults/<scenario>/f<i>"], covering the
+    row's whole seed block. The cell polls its deadline between seeds
+    (or between lock-step blocks when [batch > 1]) and reseeds retries
+    by [attempt * Campaign.reseed_stride]. Config strings exclude
+    [domains] and [batch]: results are identical across both, so a
+    journal written at one setting replays at any other. *)
+val cells :
+  ?fractions:float list ->
+  ?seeds:int ->
+  ?max_steps:int ->
+  ?seed0:int ->
+  ?batch:int ->
+  scenario ->
+  int option array Stateless_campaign.Campaign.cell array
+
+(** [run_matrix scenario] runs the fraction sweep through the campaign
+    orchestrator under [policy] (default
+    {!Stateless_campaign.Campaign.default_policy}) and merges the
+    records — in matrix order, so the campaign is bit-identical for
+    every domain count, batch size, and kill/resume split — into the
+    aggregated {!campaign} plus the ok/timeout/error counts. A row whose
+    cell timed out or errored degrades to zero recoveries. *)
+val run_matrix :
+  ?fractions:float list ->
+  ?seeds:int ->
+  ?max_steps:int ->
+  ?domains:int ->
+  ?seed0:int ->
+  ?batch:int ->
+  ?policy:Stateless_campaign.Campaign.policy ->
+  scenario ->
+  campaign * Stateless_campaign.Campaign.counts
+
 (** [run scenario] measures [seeds] corrupted runs (default 30) at each
     fraction (default {!default_fractions}) with the given step budget
     (default 10_000) and aggregates. [domains] (default 1) spreads the
-    fraction × seed grid over that many domains, each with its own kernel;
+    fraction rows over that many domains, each with its own kernel;
     the campaign is identical for every [domains] value. [seed0] (default
     1) is the first per-run seed — runs use [seed0 .. seed0 + seeds - 1],
     so the default reproduces the historical campaigns exactly. [batch]
-    (default 1) steps blocks of that many grid cells in lock-step through
+    (default 1) steps blocks of that many seeds in lock-step through
     the scenario's batched context; every [batch] value yields the
-    identical campaign, [batch <= 1] is the per-instance path. *)
+    identical campaign, [batch <= 1] is the per-instance path.
+    Equivalent to [fst (run_matrix ...)] under the default policy. *)
 val run :
   ?fractions:float list ->
   ?seeds:int ->
@@ -110,6 +150,12 @@ val print_campaign : out_channel -> campaign -> unit
     [host] is the [Bench_json.host] provenance block. [batch], when given, is
     the lock-step batch size the campaigns were re-run at and whether they
     matched the per-instance campaigns exactly — CI greps for
-    ["\"identical\": false"]. *)
+    ["\"identical\": false"]. [cells] is the orchestrator's
+    [(ok, timeout, error)] accounting. *)
 val write_json :
-  ?host:string -> ?batch:int * bool -> out_channel -> campaign list -> unit
+  ?host:string ->
+  ?batch:int * bool ->
+  ?cells:int * int * int ->
+  out_channel ->
+  campaign list ->
+  unit

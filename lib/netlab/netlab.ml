@@ -43,11 +43,12 @@ module Kernel = Stateless_core.Kernel
 module Batch = Stateless_core.Batch
 module Schedule = Stateless_core.Schedule
 module Label = Stateless_core.Label
-module Parrun = Stateless_core.Parrun
 module Clique_example = Stateless_core.Clique_example
 module Bench_json = Stateless_core.Bench_json
 module D_counter = Stateless_counter.D_counter
 module Digraph = Stateless_graph.Digraph
+module Campaign = Stateless_campaign.Campaign
+module Value = Stateless_campaign.Value
 
 (* ------------------------------------------------------------------ *)
 (* Fault processes and the budgeted adversary                          *)
@@ -803,74 +804,159 @@ let percentile sorted q =
     let rank = int_of_float (ceil (q *. float k)) - 1 in
     sorted.(max 0 (min (k - 1) rank))
 
-let run ?(levels = default_levels) ?(seeds = 20) ?(storm = 400)
-    ?(max_steps = 10_000) ?(domains = 1) ?(seed0 = 1) ?(batch = 1) ~budget sc =
+(* One matrix cell per rate level covering its whole seed block; the
+   codec stores each run as a [degraded_steps, recovery] pair (recovery
+   [Null] when the run never re-locked). Results are int-only, so the
+   round-trip is exact and replayed merges stay bit-identical. *)
+let codec : run_result array Campaign.codec =
+  {
+    encode =
+      (fun row ->
+        Value.List
+          (Array.to_list
+             (Array.map
+                (fun r ->
+                  Value.List
+                    [
+                      Value.Int r.degraded_steps;
+                      (match r.recovery with
+                      | Some t -> Value.Int t
+                      | None -> Value.Null);
+                    ])
+                row)));
+    decode =
+      (fun v ->
+        match v with
+        | Value.List items -> (
+            try
+              Some
+                (Array.of_list
+                   (List.map
+                      (function
+                        | Value.List [ Value.Int d; Value.Int r ] ->
+                            { degraded_steps = d; recovery = Some r }
+                        | Value.List [ Value.Int d; Value.Null ] ->
+                            { degraded_steps = d; recovery = None }
+                        | _ -> raise Exit)
+                      items))
+            with Exit -> None)
+        | _ -> None);
+  }
+
+let level_config ~name ~schedule ~budget ~storm ~seeds ~seed0 ~max_steps lv =
+  Printf.sprintf
+    "netlab scenario=%s schedule=%s loss=%.6g delay=%.6g max_delay=%d \
+     dup=%.6g crash=%.6g crash_len=%d k=%d window=%d storm=%d seeds=%d \
+     seed0=%d max_steps=%d"
+    name schedule lv.loss lv.delay lv.max_delay lv.dup lv.crash lv.crash_len
+    budget.k budget.window storm seeds seed0 max_steps
+
+let cells ?(levels = default_levels) ?(seeds = 20) ?(storm = 400)
+    ?(max_steps = 10_000) ?(seed0 = 1) ?(batch = 1) ~budget sc =
   check_budget budget;
   List.iter check_rates levels;
-  (* One flat level × seed grid through Parrun.map: contexts are built once
-     per domain, results return in grid order, and aggregation is a fold
-     over that order — campaigns are identical for every [domains]. With
-     [batch > 1], blocks of the same grid go through the batched context
-     (per-instance storms, lock-step recovery), bit-identical per index. *)
-  let lv = Array.of_list levels in
-  let nl = Array.length lv in
-  let results =
-    if batch <= 1 then
-      Parrun.map ~domains ~ctx:sc.fresh (nl * seeds) (fun measure idx ->
-          measure ~rates:lv.(idx / seeds) ~budget ~storm
-            ~seed:(seed0 + (idx mod seeds))
-            ~max_steps)
-    else
-      Parrun.map_batched ~domains ~batch ~ctx:sc.fresh_batch (nl * seeds)
-        (fun bf ~lo ~hi ->
-          let len = hi - lo in
-          bf
-            ~rates:(Array.init len (fun t -> lv.((lo + t) / seeds)))
-            ~budget ~storm
-            ~seeds:(Array.init len (fun t -> seed0 + ((lo + t) mod seeds)))
-            ~max_steps)
-  in
-  let levels =
-    List.mapi
-      (fun li level ->
-        let times = ref [] and recovered = ref 0 and degr = ref 0 in
-        for j = seeds - 1 downto 0 do
-          let r = results.((li * seeds) + j) in
-          degr := !degr + r.degraded_steps;
-          match r.recovery with
-          | Some t ->
-              incr recovered;
-              times := t :: !times
-          | None -> ()
-        done;
-        let arr = Array.of_list !times in
-        Array.sort compare arr;
-        let cnt = Array.length arr in
-        let mean =
-          if cnt = 0 then 0.
-          else float (Array.fold_left ( + ) 0 arr) /. float cnt
-        in
-        {
-          level;
-          runs = seeds;
-          recovered = !recovered;
-          mean_recovery = mean;
-          p50 = percentile arr 0.5;
-          p95 = percentile arr 0.95;
-          worst = (if cnt = 0 then 0 else arr.(cnt - 1));
-          mean_degraded = float !degr /. float (seeds * max 1 storm);
-        })
-      (Array.to_list lv)
+  Array.of_list
+    (List.mapi
+       (fun li level ->
+         {
+           Campaign.key = Printf.sprintf "netlab/%s/l%d" sc.name li;
+           config =
+             level_config ~name:sc.name ~schedule:sc.schedule_name ~budget
+               ~storm ~seeds ~seed0 ~max_steps level;
+           run =
+             (fun ~deadline ~attempt ->
+               let seed0 = seed0 + (attempt * Campaign.reseed_stride) in
+               if batch <= 1 then begin
+                 let measure = sc.fresh () in
+                 Array.init seeds (fun j ->
+                     if deadline () then raise Campaign.Deadline_exceeded;
+                     measure ~rates:level ~budget ~storm ~seed:(seed0 + j)
+                       ~max_steps)
+               end
+               else begin
+                 let bf = sc.fresh_batch () in
+                 let out =
+                   Array.make seeds { degraded_steps = 0; recovery = None }
+                 in
+                 let lo = ref 0 in
+                 while !lo < seeds do
+                   if deadline () then raise Campaign.Deadline_exceeded;
+                   let hi = min seeds (!lo + batch) in
+                   let len = hi - !lo in
+                   let block =
+                     bf
+                       ~rates:(Array.make len level)
+                       ~budget ~storm
+                       ~seeds:(Array.init len (fun t -> seed0 + !lo + t))
+                       ~max_steps
+                   in
+                   Array.blit block 0 out !lo len;
+                   lo := hi
+                 done;
+                 out
+               end);
+         })
+       levels)
+
+(* A [None] row (timed-out or errored cell) degrades to zero recoveries
+   and zero degradation, keeping the merged campaign's shape. *)
+let stats_of_row ~seeds ~storm level row =
+  let times = ref [] and recovered = ref 0 and degr = ref 0 in
+  (match row with
+  | None -> ()
+  | Some results ->
+      for j = seeds - 1 downto 0 do
+        let r = results.(j) in
+        degr := !degr + r.degraded_steps;
+        match r.recovery with
+        | Some t ->
+            incr recovered;
+            times := t :: !times
+        | None -> ()
+      done);
+  let arr = Array.of_list !times in
+  Array.sort compare arr;
+  let cnt = Array.length arr in
+  let mean =
+    if cnt = 0 then 0. else float (Array.fold_left ( + ) 0 arr) /. float cnt
   in
   {
-    scenario_name = sc.name;
-    schedule = sc.schedule_name;
-    budget_k = budget.k;
-    budget_window = budget.window;
-    storm;
-    runs_per_level = seeds;
-    levels;
+    level;
+    runs = seeds;
+    recovered = !recovered;
+    mean_recovery = mean;
+    p50 = percentile arr 0.5;
+    p95 = percentile arr 0.95;
+    worst = (if cnt = 0 then 0 else arr.(cnt - 1));
+    mean_degraded = float !degr /. float (seeds * max 1 storm);
   }
+
+let run_matrix ?(levels = default_levels) ?(seeds = 20) ?(storm = 400)
+    ?(max_steps = 10_000) ?(domains = 1) ?(seed0 = 1) ?(batch = 1) ?policy
+    ~budget sc =
+  let cs = cells ~levels ~seeds ~storm ~max_steps ~seed0 ~batch ~budget sc in
+  let outcome = Campaign.run ~domains ?policy ~codec cs in
+  let level_stats =
+    List.mapi
+      (fun li level ->
+        stats_of_row ~seeds ~storm level
+          outcome.Campaign.records.(li).Campaign.result)
+      levels
+  in
+  ( {
+      scenario_name = sc.name;
+      schedule = sc.schedule_name;
+      budget_k = budget.k;
+      budget_window = budget.window;
+      storm;
+      runs_per_level = seeds;
+      levels = level_stats;
+    },
+    outcome.Campaign.counts )
+
+let run ?levels ?seeds ?storm ?max_steps ?domains ?seed0 ?batch ~budget sc =
+  fst (run_matrix ?levels ?seeds ?storm ?max_steps ?domains ?seed0 ?batch
+         ~budget sc)
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
@@ -892,8 +978,8 @@ let print_campaign oc c =
         s.runs s.mean_recovery s.p50 s.p95 s.worst (100. *. s.mean_degraded))
     c.levels
 
-let write_json ?host ?batch ?certification oc campaigns =
-  Bench_json.write ~benchmark:"netlab" ?host ?batch ?certification oc
+let write_json ?host ?batch ?cells ?certification oc campaigns =
+  Bench_json.write ~benchmark:"netlab" ?host ?batch ?cells ?certification oc
     (fun oc ->
       Printf.fprintf oc "  \"campaigns\": [\n";
       List.iteri

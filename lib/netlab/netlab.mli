@@ -232,13 +232,54 @@ type campaign = {
     duplication and a light crash process. *)
 val default_levels : rates list
 
+(** Journal codec for one level row: each run stored as a
+    [[degraded_steps, recovery]] pair ([recovery] null when the run never
+    re-locked). Int-only, so the round-trip is exact. *)
+val codec : run_result array Stateless_campaign.Campaign.codec
+
+(** [cells ~budget scenario] compiles the level sweep into matrix
+    cells — one per rate level, key ["netlab/<scenario>/l<i>"], covering
+    the level's whole seed block. Deadlines are polled between seeds (or
+    lock-step blocks when [batch > 1]); retries reseed by
+    [attempt * Campaign.reseed_stride]. Config strings exclude [domains]
+    and [batch] (results are identical across both). *)
+val cells :
+  ?levels:rates list ->
+  ?seeds:int ->
+  ?storm:int ->
+  ?max_steps:int ->
+  ?seed0:int ->
+  ?batch:int ->
+  budget:budget ->
+  scenario ->
+  run_result array Stateless_campaign.Campaign.cell array
+
+(** [run_matrix ~budget scenario] runs the level sweep through the
+    campaign orchestrator under [policy] and merges records in matrix
+    order into the aggregated {!campaign} plus ok/timeout/error counts.
+    A level whose cell timed out or errored degrades to zero
+    recoveries. *)
+val run_matrix :
+  ?levels:rates list ->
+  ?seeds:int ->
+  ?storm:int ->
+  ?max_steps:int ->
+  ?domains:int ->
+  ?seed0:int ->
+  ?batch:int ->
+  ?policy:Stateless_campaign.Campaign.policy ->
+  budget:budget ->
+  scenario ->
+  campaign * Stateless_campaign.Campaign.counts
+
 (** [run ~budget scenario] measures every level x seed cell of the grid
     (defaults: {!default_levels}, 20 seeds, storm 400, max_steps 10000)
-    through {!Stateless_core.Parrun.map}: results are bit-identical for
+    through the campaign orchestrator: results are bit-identical for
     every [domains] value. [seed0] (default 1) is the first per-run seed —
     runs use [seed0 .. seed0 + seeds - 1]. [batch] (default 1) measures
-    blocks of that many grid cells through the scenario's batched context;
-    campaigns are identical for every [batch] value. *)
+    blocks of that many seeds through the scenario's batched context;
+    campaigns are identical for every [batch] value. Equivalent to
+    [fst (run_matrix ...)] under the default policy. *)
 val run :
   ?levels:rates list ->
   ?seeds:int ->
@@ -253,15 +294,18 @@ val run :
 
 val print_campaign : out_channel -> campaign -> unit
 
-(** [write_json ?host ?batch ?certification oc campaigns] emits the
-    [BENCH_netlab.json] document. [host] is a preformatted JSON object
-    (as in [Faultlab.host_json]); [batch], when given, is the lock-step
-    batch size the campaigns were re-run at and whether they matched the
-    per-instance campaigns exactly; [certification] rows are preformatted
-    JSON objects from the bounded-adversary checker (see {!Netcheck}). *)
+(** [write_json ?host ?batch ?cells ?certification oc campaigns] emits
+    the [BENCH_netlab.json] document. [host] is a preformatted JSON
+    object (as in [Faultlab.host_json]); [batch], when given, is the
+    lock-step batch size the campaigns were re-run at and whether they
+    matched the per-instance campaigns exactly; [cells] is the
+    orchestrator's [(ok, timeout, error)] accounting; [certification]
+    rows are preformatted JSON objects from the bounded-adversary
+    checker (see {!Netcheck}). *)
 val write_json :
   ?host:string ->
   ?batch:int * bool ->
+  ?cells:int * int * int ->
   ?certification:string list ->
   out_channel ->
   campaign list ->

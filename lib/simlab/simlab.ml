@@ -135,7 +135,9 @@ type instance = {
   edges : int;
   scenario : scenario;
   topology : topology;
+  desc : string;
   run : seed:int -> horizon:float -> result;
+  run_poll : poll:(unit -> unit) -> seed:int -> horizon:float -> result;
 }
 
 (* Order-sensitive label fingerprint (same splitmix-style finalizer family
@@ -183,7 +185,52 @@ let metric_of g labels ~hit =
   done;
   !count
 
+(* Horizon slices between deadline polls on [run_poll]. Slicing does not
+   change the trajectory: the event loop's priority (earlier time first,
+   deliveries before activations at equal times; a delivery exactly at
+   the horizon is processed, an activation is not) means parking at an
+   intermediate horizon and resuming replays the same event order — so
+   [run] and [run_poll] are bit-identical. *)
+let deadline_slices = 8
+
 let build scenario topology ~graph_seed ~nodes ~rate ~latency ~faults =
+  let desc =
+    Printf.sprintf
+      "scenario=%s topology=%s graph_seed=%d nodes=%d rate=%.17g latency=%s \
+       loss=%.17g dup=%.17g crash=%.17g crash_len=%.17g"
+      (scenario_name scenario) (topology_name topology) graph_seed nodes rate
+      (latency_name latency) faults.Eventsim.loss faults.Eventsim.dup
+      faults.Eventsim.crash faults.Eventsim.crash_len
+  in
+  let make ~g ~p ~input ~init ~hit =
+    let n = Digraph.num_nodes g in
+    let max_memo_entries = if n > memo_cutoff then Some 0 else None in
+    let run_poll ~poll ~seed ~horizon =
+      let sim =
+        Eventsim.create ?max_memo_entries ~rate ~latency ~faults ~seed p
+          ~input ~init
+      in
+      for k = 1 to deadline_slices - 1 do
+        ignore
+          (Eventsim.run sim
+             ~horizon:
+               (horizon *. float_of_int k /. float_of_int deadline_slices));
+        poll ()
+      done;
+      ignore (Eventsim.run sim ~horizon);
+      let metric = metric_of g (Eventsim.labels sim) ~hit in
+      pack_result sim ~seed ~metric
+    in
+    {
+      nodes = n;
+      edges = Digraph.num_edges g;
+      scenario;
+      topology;
+      desc;
+      run = (fun ~seed ~horizon -> run_poll ~poll:ignore ~seed ~horizon);
+      run_poll;
+    }
+  in
   match scenario with
   | Contagion { threshold; seed_frac } ->
       let g = graph_of topology ~seed:graph_seed ~nodes in
@@ -194,24 +241,7 @@ let build scenario topology ~graph_seed ~nodes ~rate ~latency ~faults =
         min n (int_of_float (ceil (seed_frac *. float_of_int n)))
       in
       let init = Contagion.seeded_config p (List.init nseeds Fun.id) in
-      let max_memo_entries = if n > memo_cutoff then Some 0 else None in
-      {
-        nodes = n;
-        edges = Digraph.num_edges g;
-        scenario;
-        topology;
-        run =
-          (fun ~seed ~horizon ->
-            let sim =
-              Eventsim.create ?max_memo_entries ~rate ~latency ~faults ~seed
-                p ~input ~init
-            in
-            ignore (Eventsim.run sim ~horizon);
-            let metric =
-              metric_of g (Eventsim.labels sim) ~hit:(fun c -> c = 1)
-            in
-            pack_result sim ~seed ~metric);
-      }
+      make ~g ~p ~input ~init ~hit:(fun c -> c = 1)
   | Spp_gadget ->
       (* Disjoint tiling of the GOOD GADGET: copy c's node i is global node
          c * ng + i and its edge k is global edge c * mg + k, so per-node
@@ -244,28 +274,92 @@ let build scenario topology ~graph_seed ~nodes ~rate ~latency ~faults =
       let input = Array.make n () in
       let init = Protocol.uniform_config p [] in
       let no_route = p.Protocol.space.Label.encode [] in
-      let max_memo_entries = if n > memo_cutoff then Some 0 else None in
-      {
-        nodes = n;
-        edges = m;
-        scenario;
-        topology;
-        run =
-          (fun ~seed ~horizon ->
-            let sim =
-              Eventsim.create ?max_memo_entries ~rate ~latency ~faults ~seed
-                p ~input ~init
-            in
-            ignore (Eventsim.run sim ~horizon);
-            let metric =
-              metric_of g (Eventsim.labels sim)
-                ~hit:(fun c -> c <> no_route)
-            in
-            pack_result sim ~seed ~metric);
-      }
+      make ~g ~p ~input ~init ~hit:(fun c -> c <> no_route)
 
 let campaign ?domains inst ~seed0 ~runs ~horizon =
   Parrun.map ?domains
     ~ctx:(fun () -> ())
     runs
     (fun () idx -> inst.run ~seed:(seed0 + idx) ~horizon)
+
+(* ------------------------------------------------------------------ *)
+(* Matrix campaigns                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Campaign = Stateless_campaign.Campaign
+module Value = Stateless_campaign.Value
+
+(* One cell per seed: trajectories are independent and a single large-n
+   run is the unit of loss on a crash, so per-seed granularity is what a
+   resumed campaign wants to skip. All nine fields are ints. *)
+let codec : result Campaign.codec =
+  {
+    encode =
+      (fun r ->
+        Value.List
+          [
+            Value.Int r.seed;
+            Value.Int r.events;
+            Value.Int r.activations;
+            Value.Int r.deliveries;
+            Value.Int r.lost;
+            Value.Int r.duplicated;
+            Value.Int r.crash_windows;
+            Value.Int r.metric;
+            Value.Int r.label_hash;
+          ]);
+    decode =
+      (function
+      | Value.List
+          [
+            Value.Int seed;
+            Value.Int events;
+            Value.Int activations;
+            Value.Int deliveries;
+            Value.Int lost;
+            Value.Int duplicated;
+            Value.Int crash_windows;
+            Value.Int metric;
+            Value.Int label_hash;
+          ] ->
+          Some
+            {
+              seed;
+              events;
+              activations;
+              deliveries;
+              lost;
+              duplicated;
+              crash_windows;
+              metric;
+              label_hash;
+            }
+      | _ -> None);
+  }
+
+let cells inst ~seed0 ~runs ~horizon =
+  Array.init runs (fun idx ->
+      let seed = seed0 + idx in
+      {
+        Campaign.key =
+          Printf.sprintf "sim/%s/%s/s%d"
+            (scenario_name inst.scenario)
+            (topology_name inst.topology)
+            idx;
+        config =
+          Printf.sprintf "sim %s seed=%d horizon=%.17g" inst.desc seed horizon;
+        run =
+          (fun ~deadline ~attempt ->
+            let seed = seed + (attempt * Campaign.reseed_stride) in
+            inst.run_poll
+              ~poll:(fun () ->
+                if deadline () then raise Campaign.Deadline_exceeded)
+              ~seed ~horizon);
+      })
+
+let run_matrix ?(domains = 1) ?policy inst ~seed0 ~runs ~horizon =
+  let cs = cells inst ~seed0 ~runs ~horizon in
+  let outcome = Campaign.run ~domains ?policy ~codec cs in
+  ( Array.map (fun (r : result Campaign.record) -> r.Campaign.result)
+      outcome.Campaign.records,
+    outcome.Campaign.counts )

@@ -64,13 +64,22 @@ type result = {
 }
 
 (** A built scenario: graph and protocol constructed once (shared read-only
-    across domains), simulator per run. *)
+    across domains), simulator per run. [desc] names every build
+    parameter the results depend on (scenario, topology, graph seed,
+    node count, rate, latency, fault rates) — it seeds campaign config
+    fingerprints. [run_poll] is [run] with a cooperative hook: the
+    horizon is cut into slices and [poll] is called between them (it may
+    raise to abort the run). Slicing does not change the trajectory —
+    the simulator's event order is horizon-independent — so [run] and
+    [run_poll] return bit-identical results. *)
 type instance = {
   nodes : int;
   edges : int;
   scenario : scenario;
   topology : topology;
+  desc : string;
   run : seed:int -> horizon:float -> result;
+  run_poll : poll:(unit -> unit) -> seed:int -> horizon:float -> result;
 }
 
 (** [build scenario topology ~graph_seed ~nodes ~rate ~latency ~faults]
@@ -98,3 +107,34 @@ val campaign :
   runs:int ->
   horizon:float ->
   result array
+
+(** Journal codec for one trajectory: the nine int fields of {!result}
+    as a flat list. Exact round-trip. *)
+val codec : result Stateless_campaign.Campaign.codec
+
+(** [cells inst ~seed0 ~runs ~horizon] compiles the seed sweep into
+    matrix cells — one cell per seed (a single large-[n] trajectory is
+    the unit of loss on a crash), key
+    ["sim/<scenario>/<topology>/s<idx>"]. The cell runs through
+    {!instance.run_poll}, polling its deadline between horizon slices;
+    retries reseed by [attempt * Campaign.reseed_stride]. *)
+val cells :
+  instance ->
+  seed0:int ->
+  runs:int ->
+  horizon:float ->
+  result Stateless_campaign.Campaign.cell array
+
+(** [run_matrix inst ~seed0 ~runs ~horizon] runs the seed sweep through
+    the campaign orchestrator under [policy]. Returns per-seed results
+    in seed order ([None] where the cell timed out or errored) plus the
+    ok/timeout/error counts. With the default policy every slot is
+    [Some] and equals {!campaign}'s element bit-exactly. *)
+val run_matrix :
+  ?domains:int ->
+  ?policy:Stateless_campaign.Campaign.policy ->
+  instance ->
+  seed0:int ->
+  runs:int ->
+  horizon:float ->
+  result option array * Stateless_campaign.Campaign.counts

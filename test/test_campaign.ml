@@ -1,0 +1,392 @@
+(* The crash-tolerant campaign orchestrator: the Value wire codec's exact
+   round-trip, cooperative deadlines, reseeded retries, graceful
+   degradation to error records, journal replay without re-execution,
+   torn-tail discard, fingerprint invalidation, and the kill/resume
+   byte-identity contract on real lab matrices. *)
+
+module Campaign = Stateless_campaign.Campaign
+module Value = Stateless_campaign.Value
+module Faultlab = Stateless_faultlab.Faultlab
+module Simlab = Stateless_simlab.Simlab
+module Eventsim = Stateless_core.Eventsim
+
+let int_codec = { Campaign.encode = (fun n -> Value.Int n); decode = Value.to_int }
+
+let tmp_journal () = Filename.temp_file "campaign_test" ".jsonl"
+
+let cell key run : int Campaign.cell = { Campaign.key; config = key; run }
+
+let const_cell key v = cell key (fun ~deadline:_ ~attempt:_ -> v)
+
+(* ------------------------------------------------------------------ *)
+(* Value codec                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_roundtrip () =
+  let vals =
+    [
+      Value.Null; Value.Bool true; Value.Bool false; Value.Int 0;
+      Value.Int (-42); Value.Int max_int; Value.Int min_int; Value.Float 0.1;
+      Value.Float (-1e-300); Value.Float 3.0;
+      Value.Float 1.7976931348623157e308; Value.Float (0x1p-1074);
+      Value.String ""; Value.String "plain";
+      Value.String "quotes\" slash\\ newline\n tab\t \xc3\xa9 \x00";
+      Value.List []; Value.List [ Value.Int 1; Value.Null; Value.Float 2.5 ];
+      Value.Obj [];
+      Value.Obj
+        [
+          ("k", Value.Int 1); ("s", Value.String "v");
+          ("l", Value.List [ Value.Bool false; Value.Obj [] ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = Value.to_string v in
+      Alcotest.(check bool)
+        (Printf.sprintf "round-trip of %s" s)
+        true
+        (Value.parse s = Some v))
+    vals
+
+let test_value_rejects_garbage () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "parse %S fails" s)
+        true
+        (Value.parse s = None))
+    [ ""; "1 x"; "{\"a\":[1,"; "[1,2"; "\"unterminated"; "nul"; "{]" ];
+  (* Non-finite floats must be rejected at write time, not corrupt the
+     journal. *)
+  List.iter
+    (fun f ->
+      try
+        ignore (Value.to_string (Value.Float f));
+        Alcotest.fail "non-finite float accepted"
+      with Invalid_argument _ -> ())
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
+(* ------------------------------------------------------------------ *)
+(* Robustness policy                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_deadline_timeout () =
+  (* cell_deadline = tiny: the polling cell reads an expired deadline and
+     raises; the non-polling cell completes. The campaign completes with
+     a timeout record, not an exception. *)
+  let cells =
+    [|
+      cell "t/slow" (fun ~deadline ~attempt:_ ->
+          if deadline () then raise Campaign.Deadline_exceeded;
+          42);
+      const_cell "t/fast" 7;
+    |]
+  in
+  let policy =
+    { Campaign.default_policy with Campaign.cell_deadline = Some 1e-9 }
+  in
+  let o = Campaign.run ~policy ~codec:int_codec cells in
+  Alcotest.(check int) "one ok" 1 o.Campaign.counts.Campaign.ok;
+  Alcotest.(check int) "one timeout" 1 o.Campaign.counts.Campaign.timeout;
+  Alcotest.(check int) "no error" 0 o.Campaign.counts.Campaign.error;
+  Alcotest.(check bool) "timeout has no result" true
+    (o.Campaign.records.(0).Campaign.result = None);
+  Alcotest.(check bool) "timeout status" true
+    (o.Campaign.records.(0).Campaign.status = Campaign.Timeout);
+  Alcotest.(check bool) "fast cell kept its result" true
+    (o.Campaign.records.(1).Campaign.result = Some 7)
+
+let test_retry_succeeds () =
+  let attempts_seen = ref [] in
+  let cells =
+    [|
+      cell "r/flaky" (fun ~deadline:_ ~attempt ->
+          attempts_seen := attempt :: !attempts_seen;
+          if attempt = 0 then failwith "transient" else 100 + attempt);
+    |]
+  in
+  let policy = { Campaign.default_policy with Campaign.retries = 2 } in
+  let o = Campaign.run ~policy ~codec:int_codec cells in
+  Alcotest.(check (list int)) "attempts 0 then 1" [ 0; 1 ]
+    (List.rev !attempts_seen);
+  Alcotest.(check bool) "second attempt's result" true
+    (o.Campaign.records.(0).Campaign.result = Some 101);
+  Alcotest.(check int) "two executions recorded" 2
+    o.Campaign.records.(0).Campaign.attempts;
+  Alcotest.(check int) "counted ok" 1 o.Campaign.counts.Campaign.ok
+
+let test_error_degrades () =
+  (* A cell that fails every attempt is retired as a structured error;
+     the other cells and the campaign itself still complete. *)
+  let cells =
+    [|
+      const_cell "e/a" 1;
+      cell "e/poison" (fun ~deadline:_ ~attempt:_ -> failwith "poisoned");
+      const_cell "e/b" 2;
+    |]
+  in
+  let policy = { Campaign.default_policy with Campaign.retries = 1 } in
+  let o = Campaign.run ~policy ~codec:int_codec cells in
+  Alcotest.(check int) "two ok" 2 o.Campaign.counts.Campaign.ok;
+  Alcotest.(check int) "one error" 1 o.Campaign.counts.Campaign.error;
+  (match o.Campaign.records.(1).Campaign.status with
+  | Campaign.Error msg ->
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "error message kept" true (contains msg "poisoned")
+  | _ -> Alcotest.fail "poisoned cell not an error record");
+  Alcotest.(check int) "both retries burned" 2
+    o.Campaign.records.(1).Campaign.attempts;
+  Alcotest.(check bool) "records stay in matrix order" true
+    (o.Campaign.records.(0).Campaign.result = Some 1
+    && o.Campaign.records.(2).Campaign.result = Some 2)
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let counting_cells execs n =
+  Array.init n (fun i ->
+      {
+        Campaign.key = Printf.sprintf "j/c%d" i;
+        config = Printf.sprintf "cfg%d" i;
+        run =
+          (fun ~deadline:_ ~attempt:_ ->
+            incr execs;
+            i * i);
+      })
+
+let test_resume_replays_without_reexecution () =
+  let j = tmp_journal () in
+  let execs = ref 0 in
+  let policy = { Campaign.default_policy with Campaign.journal = Some j } in
+  let o1 = Campaign.run ~policy ~codec:int_codec (counting_cells execs 5) in
+  Alcotest.(check int) "first pass executes all" 5 !execs;
+  let o2 =
+    Campaign.run
+      ~policy:{ policy with Campaign.resume = true }
+      ~codec:int_codec (counting_cells execs 5)
+  in
+  Alcotest.(check int) "resume executes nothing" 5 !execs;
+  Alcotest.(check int) "all replayed" 5 o2.Campaign.counts.Campaign.replayed;
+  Alcotest.(check int) "all ok" 5 o2.Campaign.counts.Campaign.ok;
+  Alcotest.(check bool) "merged results identical" true
+    (Array.map (fun r -> r.Campaign.result) o1.Campaign.records
+    = Array.map (fun r -> r.Campaign.result) o2.Campaign.records);
+  Alcotest.(check bool) "replayed flag set" true
+    (Array.for_all
+       (fun (r : int Campaign.record) -> r.Campaign.replayed)
+       o2.Campaign.records);
+  Sys.remove j
+
+let test_torn_tail_discarded () =
+  let j = tmp_journal () in
+  let execs = ref 0 in
+  let policy = { Campaign.default_policy with Campaign.journal = Some j } in
+  let o1 = Campaign.run ~policy ~codec:int_codec (counting_cells execs 4) in
+  (* Tear the last record: drop its newline and a slice of its bytes, as
+     a crash mid-append would. *)
+  let ic = open_in_bin j in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let oc = open_out_bin j in
+  output_string oc (String.sub s 0 (String.length s - 10));
+  close_out oc;
+  let o2 =
+    Campaign.run
+      ~policy:{ policy with Campaign.resume = true }
+      ~codec:int_codec (counting_cells execs 4)
+  in
+  Alcotest.(check int) "exactly the torn cell re-ran" 5 !execs;
+  Alcotest.(check int) "three replayed" 3 o2.Campaign.counts.Campaign.replayed;
+  Alcotest.(check int) "all ok" 4 o2.Campaign.counts.Campaign.ok;
+  Alcotest.(check bool) "merge identical to uninterrupted run" true
+    (Array.map (fun r -> r.Campaign.result) o1.Campaign.records
+    = Array.map (fun r -> r.Campaign.result) o2.Campaign.records);
+  Sys.remove j
+
+let test_fingerprint_mismatch_reruns () =
+  let j = tmp_journal () in
+  let execs = ref 0 in
+  let mk config =
+    [|
+      {
+        Campaign.key = "f/a";
+        config;
+        run =
+          (fun ~deadline:_ ~attempt:_ ->
+            incr execs;
+            9);
+      };
+    |]
+  in
+  let policy = { Campaign.default_policy with Campaign.journal = Some j } in
+  ignore (Campaign.run ~policy ~codec:int_codec (mk "v1"));
+  let o =
+    Campaign.run
+      ~policy:{ policy with Campaign.resume = true }
+      ~codec:int_codec (mk "v2")
+  in
+  Alcotest.(check int) "config change forces re-execution" 2 !execs;
+  Alcotest.(check int) "nothing replayed" 0 o.Campaign.counts.Campaign.replayed;
+  (* Same config again: the re-run's appended record wins (last per key). *)
+  let o2 =
+    Campaign.run
+      ~policy:{ policy with Campaign.resume = true }
+      ~codec:int_codec (mk "v2")
+  in
+  Alcotest.(check int) "matching record replays" 2 !execs;
+  Alcotest.(check int) "replayed now" 1 o2.Campaign.counts.Campaign.replayed;
+  Sys.remove j
+
+let test_duplicate_keys_rejected () =
+  try
+    ignore
+      (Campaign.run ~codec:int_codec [| const_cell "d/x" 1; const_cell "d/x" 2 |]);
+    Alcotest.fail "duplicate keys accepted"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Lab matrices: kill/resume byte-identity                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_faultlab_kill_resume_identity () =
+  let sc = Faultlab.example1 ~n:3 () in
+  let fractions = [ 0.25; 0.5; 1.0 ] and seeds = 5 and max_steps = 2_000 in
+  let clean = Faultlab.run ~fractions ~seeds ~max_steps sc in
+  let j = tmp_journal () in
+  (* Simulate a campaign killed after two cells: journal only a prefix of
+     the matrix, then resume the full matrix against that journal. *)
+  let cells = Faultlab.cells ~fractions ~seeds ~max_steps sc in
+  let partial = Array.sub cells 0 2 in
+  ignore
+    (Campaign.run
+       ~policy:{ Campaign.default_policy with Campaign.journal = Some j }
+       ~codec:Faultlab.codec partial);
+  let resumed, counts =
+    Faultlab.run_matrix ~fractions ~seeds ~max_steps
+      ~policy:
+        {
+          Campaign.default_policy with
+          Campaign.journal = Some j;
+          resume = true;
+        }
+      sc
+  in
+  Alcotest.(check int) "prefix replayed" 2 counts.Campaign.replayed;
+  Alcotest.(check int) "all cells ok" 3 counts.Campaign.ok;
+  Alcotest.(check bool) "killed-and-resumed campaign identical" true
+    (resumed = clean);
+  Sys.remove j
+
+let test_faultlab_degraded_row () =
+  (* A poisoned journal is not needed to exercise degradation: a zero
+     deadline times every fraction row out, yet the campaign completes
+     with deterministic all-degraded rows. *)
+  let sc = Faultlab.example1 ~n:3 () in
+  let fractions = [ 0.5; 1.0 ] in
+  let degraded, counts =
+    Faultlab.run_matrix ~fractions ~seeds:4 ~max_steps:2_000
+      ~policy:
+        { Campaign.default_policy with Campaign.cell_deadline = Some 0.0 }
+      sc
+  in
+  Alcotest.(check int) "every row timed out" 2 counts.Campaign.timeout;
+  Alcotest.(check int) "no ok rows" 0 counts.Campaign.ok;
+  List.iter
+    (fun (s : Faultlab.fraction_stats) ->
+      Alcotest.(check int)
+        (Printf.sprintf "fraction %g degrades to zero recoveries"
+           s.Faultlab.fraction)
+        0 s.Faultlab.recovered)
+    degraded.Faultlab.stats
+
+let sim_instance () =
+  Simlab.build
+    (Simlab.Contagion { threshold = 0.5; seed_frac = 0.1 })
+    Simlab.Ring ~graph_seed:7 ~nodes:64 ~rate:1.0 ~latency:(Eventsim.Exp 0.5)
+    ~faults:{ Eventsim.no_faults with Eventsim.loss = 0.1; dup = 0.05 }
+
+let test_sim_matrix_identity () =
+  (* The orchestrated path runs through run_poll's horizon slices; it
+     must be bit-identical to the unsliced campaign. *)
+  let inst = sim_instance () in
+  let runs = 4 and horizon = 8.0 in
+  let base = Simlab.campaign inst ~seed0:1 ~runs ~horizon in
+  let results, counts = Simlab.run_matrix inst ~seed0:1 ~runs ~horizon in
+  Alcotest.(check int) "all ok" runs counts.Campaign.ok;
+  Alcotest.(check bool) "sliced = unsliced, per seed" true
+    (results = Array.map Option.some base)
+
+let test_sim_matrix_kill_resume () =
+  let inst = sim_instance () in
+  let runs = 4 and horizon = 6.0 in
+  let clean, _ = Simlab.run_matrix inst ~seed0:1 ~runs ~horizon in
+  let j = tmp_journal () in
+  let cells = Simlab.cells inst ~seed0:1 ~runs ~horizon in
+  ignore
+    (Campaign.run
+       ~policy:{ Campaign.default_policy with Campaign.journal = Some j }
+       ~codec:Simlab.codec
+       (Array.sub cells 0 2));
+  let resumed, counts =
+    Simlab.run_matrix
+      ~policy:
+        {
+          Campaign.default_policy with
+          Campaign.journal = Some j;
+          resume = true;
+        }
+      inst ~seed0:1 ~runs ~horizon
+  in
+  Alcotest.(check int) "two trajectories replayed" 2 counts.Campaign.replayed;
+  Alcotest.(check bool) "kill/resume identical" true (resumed = clean);
+  Sys.remove j
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "stateless_campaign"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "round-trip" `Quick test_value_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_value_rejects_garbage;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "deadline -> timeout" `Quick
+            test_deadline_timeout;
+          Alcotest.test_case "retry succeeds" `Quick test_retry_succeeds;
+          Alcotest.test_case "error degrades gracefully" `Quick
+            test_error_degrades;
+          Alcotest.test_case "duplicate keys rejected" `Quick
+            test_duplicate_keys_rejected;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "resume replays without re-execution" `Quick
+            test_resume_replays_without_reexecution;
+          Alcotest.test_case "torn tail discarded and re-run" `Quick
+            test_torn_tail_discarded;
+          Alcotest.test_case "fingerprint mismatch re-runs" `Quick
+            test_fingerprint_mismatch_reruns;
+        ] );
+      ( "labs",
+        [
+          Alcotest.test_case "faultlab kill/resume identity" `Quick
+            test_faultlab_kill_resume_identity;
+          Alcotest.test_case "faultlab degraded rows" `Quick
+            test_faultlab_degraded_row;
+          Alcotest.test_case "sim sliced = unsliced" `Quick
+            test_sim_matrix_identity;
+          Alcotest.test_case "sim kill/resume identity" `Quick
+            test_sim_matrix_kill_resume;
+        ] );
+    ]

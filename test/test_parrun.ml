@@ -98,6 +98,67 @@ let test_pool_nested_runs_inline () =
     !inner_saw_worker;
   Alcotest.(check bool) "in_worker clear outside jobs" false (Pool.in_worker ())
 
+exception Boom2 of int
+
+(* The drain contract: a raising chunk must not strand the job's other
+   chunks — they all still execute, the first exception is re-raised
+   after the drain, and the pool survives any number of failed jobs.
+   Regression for the worker-death drain bug (workers parked on a dead
+   job's queue left later jobs starved). *)
+let test_pool_drains_after_failure () =
+  List.iter
+    (fun domains ->
+      let nchunks = 16 in
+      let ran = Atomic.make 0 in
+      (try
+         Pool.run ~domains ~nchunks (fun ~slot:_ chunk ->
+             if chunk = 2 then raise (Boom chunk);
+             Atomic.incr ran);
+         Alcotest.fail "first exception swallowed"
+       with Boom 2 -> ());
+      Alcotest.(check int)
+        (Printf.sprintf "all other chunks drained (domains=%d)" domains)
+        (nchunks - 1) (Atomic.get ran);
+      (* A second, distinct failing job: the pool must not have retained
+         state from the first failure. *)
+      (try
+         Pool.run ~domains ~nchunks (fun ~slot:_ chunk ->
+             if chunk = 9 then raise (Boom2 chunk));
+         Alcotest.fail "second exception swallowed"
+       with Boom2 9 -> ());
+      (* And after two failed jobs, a clean job still covers everything. *)
+      let total = ref 0 in
+      let mu = Mutex.create () in
+      Pool.run ~domains ~nchunks (fun ~slot:_ chunk ->
+          Mutex.protect mu (fun () -> total := !total + chunk));
+      Alcotest.(check int)
+        (Printf.sprintf "pool reusable after two failures (domains=%d)" domains)
+        120 !total)
+    [ 1; 4 ]
+
+(* A nested (in-worker, inline) run follows the same drain contract. *)
+let test_pool_nested_inline_drains () =
+  let checked = Atomic.make false in
+  Pool.run ~domains:3 ~nchunks:3 (fun ~slot:_ _chunk ->
+      if Pool.in_worker () && not (Atomic.exchange checked true) then begin
+        let ran = Atomic.make 0 in
+        (try
+           Pool.run ~domains:3 ~nchunks:4 (fun ~slot:_ chunk ->
+               if chunk = 1 then raise (Boom chunk);
+               Atomic.incr ran);
+           Alcotest.fail "nested exception swallowed"
+         with Boom 1 -> ());
+        if Atomic.get ran <> 3 then
+          Alcotest.fail "nested inline run did not drain remaining chunks"
+      end);
+  Alcotest.(check bool) "nested drain exercised" true (Atomic.get checked);
+  (* The outer pool took no damage from the nested failure. *)
+  let total = ref 0 in
+  let mu = Mutex.create () in
+  Pool.run ~domains:3 ~nchunks:16 (fun ~slot:_ chunk ->
+      Mutex.protect mu (fun () -> total := !total + chunk));
+  Alcotest.(check int) "outer pool intact" 120 !total
+
 (* ------------------------------------------------------------------ *)
 (* Parrun.map on the pool                                              *)
 (* ------------------------------------------------------------------ *)
@@ -222,6 +283,10 @@ let () =
             test_pool_exception_propagates;
           Alcotest.test_case "nested runs inline" `Quick
             test_pool_nested_runs_inline;
+          Alcotest.test_case "drains after failure" `Quick
+            test_pool_drains_after_failure;
+          Alcotest.test_case "nested inline drains" `Quick
+            test_pool_nested_inline_drains;
           Alcotest.test_case "concurrent submitters" `Quick
             test_pool_concurrent_submitters;
         ] );
