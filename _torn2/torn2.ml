@@ -1,0 +1,36 @@
+let int_codec =
+  { Campaign.encode = (fun i -> Value.Int i);
+    decode = (function Value.Int i -> Some i | _ -> None) }
+
+let cells execs n =
+  Array.init n (fun i ->
+      { Campaign.key = Printf.sprintf "j/c%d" i;
+        config = Printf.sprintf "cfg%d" i;
+        run = (fun ~deadline:_ ~attempt:_ -> incr execs; i * i) })
+
+let () =
+  let j = Filename.temp_file "torn2" ".jsonl" in
+  let execs = ref 0 in
+  let policy = { Campaign.default_policy with Campaign.journal = Some j } in
+  ignore (Campaign.run ~policy ~codec:int_codec (cells execs 4));
+  Printf.printf "pass1 execs=%d\n" !execs;
+  (* tear the tail *)
+  let ic = open_in_bin j in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let oc = open_out_bin j in
+  output_string oc (String.sub s 0 (String.length s - 10));
+  close_out oc;
+  let policy_r = { policy with Campaign.resume = true } in
+  ignore (Campaign.run ~policy:policy_r ~codec:int_codec (cells execs 4));
+  Printf.printf "pass2 (after tear) execs=%d (expect 5)\n" !execs;
+  (* second resume, no crash in between: should replay everything, execute nothing *)
+  let o3 = Campaign.run ~policy:policy_r ~codec:int_codec (cells execs 4) in
+  Printf.printf "pass3 execs=%d (should still be 5) replayed=%d (should be 4)\n"
+    !execs o3.Campaign.counts.Campaign.replayed;
+  print_string "journal after pass2/3:\n";
+  let ic = open_in_bin j in
+  let len = in_channel_length ic in
+  print_string (really_input_string ic len);
+  close_in ic
