@@ -19,6 +19,8 @@ module Byzlab = Stateless_byzlab.Byzlab
 module Byzcheck = Stateless_byzlab.Byzcheck
 module Simlab = Stateless_simlab.Simlab
 module Campaign = Stateless_campaign.Campaign
+module Chaoslab = Stateless_chaoslab.Chaoslab
+module Fuzz = Stateless_chaoslab.Fuzz
 module Machine = Stateless_machine.Machine
 open Stateless_core
 
@@ -1069,6 +1071,119 @@ let run_sim_bench () =
   Printf.printf "  [wrote BENCH_sim.json]\n"
 
 (* ------------------------------------------------------------------ *)
+(* Chaos + differential-fuzz bench: storm resume identity and fuzzer   *)
+(* sensitivity, reported in the same envelope so CI's                  *)
+(* '"identical": false' grep guards both invariants.                   *)
+(* ------------------------------------------------------------------ *)
+
+let run_chaos_bench () =
+  print_endline "\n== chaos storms and differential fuzzing ==";
+  let rounds = if smoke then 2 else 4
+  and clean_budget = if smoke then 40 else 200
+  and mutant_budget = 30 in
+  (* Storm every lab codec; each leg must merge identical after a clean
+     resume (domains = 2 keeps the pool injection site live). *)
+  let storm_seed = 2026 in
+  let t0 = Unix.gettimeofday () in
+  let reports = Chaoslab.run_storms ~domains:2 ~rounds ~seed:storm_seed () in
+  let storm_wall = Unix.gettimeofday () -. t0 in
+  List.iter
+    (fun (r : Chaoslab.leg_report) ->
+      Printf.printf
+        "  storm %-7s crashes %d  degraded %d  injections %-3d resume %s\n"
+        r.Chaoslab.leg r.Chaoslab.crashes r.Chaoslab.degraded
+        (Chaoslab.injected r.Chaoslab.injections)
+        (if r.Chaoslab.identical then "identical" else "DIVERGED"))
+    reports;
+  (* Clean differential fuzz: zero real divergences expected. *)
+  let t1 = Unix.gettimeofday () in
+  let clean = Fuzz.run ~seed:42 ~budget:clean_budget () in
+  let fuzz_wall = Unix.gettimeofday () -. t1 in
+  Printf.printf
+    "  fuzz clean: %d scenarios, %d comparisons, %d divergence(s)\n"
+    clean.Fuzz.tried clean.Fuzz.comparisons
+    (List.length clean.Fuzz.found);
+  (* Sensitivity: each planted mutant must be found and shrink small. *)
+  let mutants =
+    List.map
+      (fun m ->
+        let rep = Fuzz.run ~mutant:m ~seed:7 ~budget:mutant_budget () in
+        let min_size (d : Fuzz.divergence) =
+          (d.Fuzz.scenario.Fuzz.nodes, d.Fuzz.scenario.Fuzz.steps)
+        in
+        let smallest =
+          List.fold_left
+            (fun acc (f : Fuzz.found) ->
+              let c = min_size f.Fuzz.shrunk in
+              match acc with Some b when b <= c -> acc | _ -> Some c)
+            None rep.Fuzz.found
+        in
+        Printf.printf
+          "  fuzz mutant %-13s found %d  mean shrink ratio %.3f%s\n"
+          (Fuzz.mutant_name m)
+          (List.length rep.Fuzz.found)
+          rep.Fuzz.mean_shrink_ratio
+          (match smallest with
+          | Some (n, s) ->
+              Printf.sprintf "  smallest witness %d nodes / %d steps" n s
+          | None -> "");
+        (m, rep, smallest))
+      [ Fuzz.Stale_read; Fuzz.Dropped_write ]
+  in
+  let storms_ok =
+    List.for_all (fun r -> r.Chaoslab.identical) reports
+  and clean_ok = clean.Fuzz.found = []
+  and mutants_ok =
+    List.for_all (fun (_, rep, _) -> rep.Fuzz.found <> []) mutants
+  in
+  Bench_json.to_file "BENCH_chaos.json" (fun file_oc ->
+      Bench_json.write ~benchmark:"chaos"
+        ~host:(Bench_json.host ~domains:2 ())
+        file_oc
+        (fun oc ->
+          Printf.fprintf oc
+            "  \"storm\": { \"seed\": %d, \"rounds\": %d, \"wall_s\": %.3f, \
+             \"legs\": [\n"
+            storm_seed rounds storm_wall;
+          List.iteri
+            (fun i (r : Chaoslab.leg_report) ->
+              Printf.fprintf oc
+                "    { \"leg\": %S, \"crashes\": %d, \"degraded\": %d, \
+                 \"injections\": %d, \"resume_identical\": %b }%s\n"
+                r.Chaoslab.leg r.Chaoslab.crashes r.Chaoslab.degraded
+                (Chaoslab.injected r.Chaoslab.injections)
+                r.Chaoslab.identical
+                (if i = List.length reports - 1 then "" else ","))
+            reports;
+          Printf.fprintf oc "  ] },\n";
+          Printf.fprintf oc
+            "  \"fuzz\": { \"seed\": %d, \"budget\": %d, \"comparisons\": \
+             %d, \"divergences\": %d, \"wall_s\": %.3f },\n"
+            clean.Fuzz.seed clean.Fuzz.budget clean.Fuzz.comparisons
+            (List.length clean.Fuzz.found)
+            fuzz_wall;
+          Printf.fprintf oc "  \"mutants\": [\n";
+          List.iteri
+            (fun i (m, (rep : Fuzz.report), smallest) ->
+              let n, s =
+                match smallest with Some (n, s) -> (n, s) | None -> (-1, -1)
+              in
+              Printf.fprintf oc
+                "    { \"mutant\": %S, \"found\": %d, \
+                 \"mean_shrink_ratio\": %.4f, \"smallest_nodes\": %d, \
+                 \"smallest_steps\": %d }%s\n"
+                (Fuzz.mutant_name m)
+                (List.length rep.Fuzz.found)
+                rep.Fuzz.mean_shrink_ratio n s
+                (if i = List.length mutants - 1 then "" else ","))
+            mutants;
+          Printf.fprintf oc "  ],\n";
+          (* The one flag CI greps: false iff any invariant broke. *)
+          Printf.fprintf oc "  \"identical\": %b\n"
+            (storms_ok && clean_ok && mutants_ok)));
+  Printf.printf "  [wrote BENCH_chaos.json]\n"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let t0 = Unix.gettimeofday () in
@@ -1096,6 +1211,10 @@ let () =
     run_sim_bench ();
     exit 0
   end;
+  if Array.exists (String.equal "--chaos-bench-only") Sys.argv then begin
+    run_chaos_bench ();
+    exit 0
+  end;
   print_endline "Stateless Computation — experiment harness";
   print_endline "(Dolev, Erdmann, Lutz, Schapira, Zair; PODC 2017)";
   List.iter
@@ -1119,4 +1238,5 @@ let () =
   run_byz_bench ();
   run_engine_bench ();
   run_sim_bench ();
+  run_chaos_bench ();
   Printf.printf "\nTotal wall time: %.1fs\n" (Unix.gettimeofday () -. t0)

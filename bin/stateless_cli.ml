@@ -16,10 +16,18 @@
                  topologies at up to millions of nodes
      campaign  — run the labs' sweeps as one crash-tolerant experiment
                  matrix with a resumable JSON-lines journal
+     chaos     — storm the campaign machinery with seeded fault injection
+                 and prove resume identity per lab
+     fuzz      — cross-engine differential fuzzing with automatic
+                 counterexample shrinking
 
    The campaign-capable subcommands (faults, netlab, byz, sim, campaign)
    share the robustness flags --journal / --resume / --cell-deadline /
-   --retries. *)
+   --retries. Exit codes: 0 success, 1 invariant violation (a fuzz
+   divergence, a non-identical chaos resume, or a missed planted
+   mutant), 2 journal locked by another campaign, 3 campaign completed
+   but degraded (some cell retired as 'error'), 124 usage error, 125
+   miscalibrated instance. *)
 
 open Cmdliner
 open Stateless_core
@@ -38,6 +46,9 @@ module Byzlab = Stateless_byzlab.Byzlab
 module Byzcheck = Stateless_byzlab.Byzcheck
 module Simlab = Stateless_simlab.Simlab
 module Campaign = Stateless_campaign.Campaign
+module Value = Stateless_campaign.Value
+module Chaoslab = Stateless_chaoslab.Chaoslab
+module Fuzz = Stateless_chaoslab.Fuzz
 module Fooling = Stateless_lowerbound.Fooling
 
 (* ------------------------------------------------------------------ *)
@@ -597,6 +608,15 @@ let report_counts (c : Campaign.counts) =
     Printf.printf "  [cells: %d ok (%d replayed), %d timeout, %d error]\n"
       c.Campaign.ok c.Campaign.replayed c.Campaign.timeout c.Campaign.error
 
+(* A campaign that completes but retires cells as 'error' (crashes that
+   exhausted their retries) exits with a distinct code so scripts and CI
+   can tell "degraded" (3) from success (0) without parsing stdout.
+   Timeouts are a budget choice, not degradation, and keep exit 0. *)
+let exit_degraded = 3
+
+let degraded_exit (c : Campaign.counts) =
+  if c.Campaign.error > 0 then exit exit_degraded
+
 let faults_cmd =
   let scenario_arg =
     let doc =
@@ -654,14 +674,15 @@ let faults_cmd =
     in
     List.iter (Faultlab.print_campaign stdout) campaigns;
     report_counts !counts;
-    match out with
+    (match out with
     | None -> ()
     | Some path ->
         Bench_json.to_file path (fun oc ->
             Faultlab.write_json
               ~host:(Bench_json.host ~domains ())
               ~cells:(cell_triple !counts) oc campaigns);
-        Printf.printf "  [wrote %s]\n" path
+        Printf.printf "  [wrote %s]\n" path);
+    degraded_exit !counts
   in
   let info =
     Cmd.info "faults"
@@ -762,14 +783,15 @@ let netlab_cmd =
     in
     List.iter (Netlab.print_campaign stdout) campaigns;
     report_counts !counts;
-    match out with
+    (match out with
     | None -> ()
     | Some path ->
         Bench_json.to_file path (fun oc ->
             Netlab.write_json
               ~host:(Bench_json.host ~domains ())
               ~cells:(cell_triple !counts) oc campaigns);
-        Printf.printf "  [wrote %s]\n" path
+        Printf.printf "  [wrote %s]\n" path);
+    degraded_exit !counts
   in
   let info =
     Cmd.info "netlab"
@@ -956,14 +978,15 @@ let byz_cmd =
     in
     List.iter (Byzlab.print_campaign stdout) campaigns;
     report_counts !counts;
-    match out with
+    (match out with
     | None -> ()
     | Some path ->
         Bench_json.to_file path (fun oc ->
             Byzlab.write_json
               ~host:(Bench_json.host ~domains ())
               ~cells:(cell_triple !counts) oc campaigns);
-        Printf.printf "  [wrote %s]\n" path
+        Printf.printf "  [wrote %s]\n" path);
+    degraded_exit !counts
   in
   let run scenario n byz strategy runs attack max_steps domains seed0 batch
       certify_p r budget policy out =
@@ -1145,7 +1168,7 @@ let sim_cmd =
               (seed0 + i))
       results;
     report_counts counts;
-    match out with
+    (match out with
     | None -> ()
     | Some path ->
         Bench_json.to_file path (fun oc ->
@@ -1153,7 +1176,8 @@ let sim_cmd =
               ~host:(Bench_json.host ~domains ())
               ~cells:(cell_triple counts) ~inst ~rate ~latency ~horizon
               ~faults oc results);
-        Printf.printf "  [wrote %s]\n" path
+        Printf.printf "  [wrote %s]\n" path);
+    degraded_exit counts
   in
   let info =
     Cmd.info "sim"
@@ -1322,7 +1346,8 @@ let campaign_cmd =
     let c = !total in
     Printf.printf "campaign complete: %d ok (%d replayed), %d timeout, %d \
                    error\n"
-      c.Campaign.ok c.Campaign.replayed c.Campaign.timeout c.Campaign.error
+      c.Campaign.ok c.Campaign.replayed c.Campaign.timeout c.Campaign.error;
+    degraded_exit c
   in
   let info =
     Cmd.info "campaign"
@@ -1338,6 +1363,175 @@ let campaign_cmd =
       $ policy_term $ out_arg)
 
 (* ------------------------------------------------------------------ *)
+(* chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let rounds_arg =
+    let doc = "Storm rounds per lab leg before the clean resume." in
+    Arg.(value & opt pos_int_conv 4 & info [ "rounds" ] ~doc ~docv:"N")
+  in
+  let chaos_domains_arg =
+    let doc =
+      "Domains for the stormed campaigns. The default 2 keeps the \
+       domain-pool injection site live ($(b,--domains 1) runs inline and \
+       bypasses the pool)."
+    in
+    Arg.(value & opt pos_int_conv 2 & info [ "domains" ] ~doc ~docv:"D")
+  in
+  let run seed rounds domains out =
+    let reports = Chaoslab.run_storms ~domains ~rounds ~seed () in
+    List.iter
+      (fun (r : Chaoslab.leg_report) ->
+        Printf.printf
+          "chaos leg %-7s rounds %d  crashes %d  degraded %d  injections \
+           %d  resume %s\n"
+          r.Chaoslab.leg r.Chaoslab.rounds r.Chaoslab.crashes
+          r.Chaoslab.degraded
+          (Chaoslab.injected r.Chaoslab.injections)
+          (if r.Chaoslab.identical then "identical" else "DIVERGED"))
+      reports;
+    (match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        List.iter
+          (fun r ->
+            output_string oc (Value.to_string (Chaoslab.report_to_value r));
+            output_char oc '\n')
+          reports;
+        close_out oc;
+        Printf.printf "  [wrote %s]\n" path);
+    if List.exists (fun r -> not r.Chaoslab.identical) reports then begin
+      prerr_endline
+        "stateless: chaos storm broke resume identity (see report above)";
+      exit 1
+    end
+  in
+  let info =
+    Cmd.info "chaos"
+      ~doc:
+        "Storm the campaign machinery with seeded fault injection — worker \
+         crashes and stalls, torn/duplicated/dropped journal appends, short \
+         reads, clock jumps — across all four lab codecs, then prove every \
+         leg's clean resume merges identical to an uninterrupted reference \
+         run (exit 1 if any leg diverges)"
+  in
+  Cmd.v info
+    Term.(const run $ seed_arg $ rounds_arg $ chaos_domains_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let budget_arg =
+    let doc = "Scenarios to generate and check." in
+    Arg.(value & opt pos_int_conv 200 & info [ "budget" ] ~doc ~docv:"N")
+  in
+  let shrink_arg =
+    let doc =
+      "Shrink every divergence to a locally minimal witness before \
+       reporting ($(b,--shrink=false) reports the raw scenario)."
+    in
+    Arg.(value & opt bool true & info [ "shrink" ] ~doc ~docv:"BOOL")
+  in
+  let mutant_conv =
+    let parse s =
+      match Fuzz.mutant_of_name s with
+      | Some m -> Ok m
+      | None ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "unknown mutant %S (expected stale_read or dropped_write)"
+                  s))
+    in
+    let print ppf m = Format.pp_print_string ppf (Fuzz.mutant_name m) in
+    Arg.conv ~docv:"MUTANT" (parse, print)
+  in
+  let mutant_arg =
+    let doc =
+      "Plant a known-broken stepper ($(b,stale_read) or \
+       $(b,dropped_write)) alongside the real engines to validate the \
+       fuzzer: the run then succeeds only if the planted bug is found."
+    in
+    Arg.(value & opt (some mutant_conv) None & info [ "mutant" ] ~doc)
+  in
+  let run seed budget shrink mutant out =
+    let report = Fuzz.run ?mutant ~shrink_found:shrink ~seed ~budget () in
+    Printf.printf
+      "fuzz: seed %d, %d scenarios, %d differential comparisons, %d \
+       divergence(s), mean shrink ratio %.3f\n"
+      report.Fuzz.seed report.Fuzz.tried report.Fuzz.comparisons
+      (List.length report.Fuzz.found)
+      report.Fuzz.mean_shrink_ratio;
+    List.iter
+      (fun (f : Fuzz.found) ->
+        let d = f.Fuzz.shrunk in
+        Printf.printf
+          "  %s vs %s diverged at step %d (%s)\n    witness: %s\n"
+          (fst d.Fuzz.pair) (snd d.Fuzz.pair) d.Fuzz.step d.Fuzz.detail
+          (Value.to_string (Fuzz.witness_to_value ?mutant d)))
+      report.Fuzz.found;
+    (match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        let witnesses =
+          List.map
+            (fun (f : Fuzz.found) ->
+              Fuzz.witness_to_value ?mutant f.Fuzz.shrunk)
+            report.Fuzz.found
+        in
+        let v =
+          Value.Obj
+            [
+              ("seed", Value.Int report.Fuzz.seed);
+              ("budget", Value.Int report.Fuzz.budget);
+              ("tried", Value.Int report.Fuzz.tried);
+              ("comparisons", Value.Int report.Fuzz.comparisons);
+              ("found", Value.Int (List.length report.Fuzz.found));
+              ( "mean_shrink_ratio",
+                Value.Float report.Fuzz.mean_shrink_ratio );
+              ("witnesses", Value.List witnesses);
+            ]
+        in
+        output_string oc (Value.to_string v);
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "  [wrote %s]\n" path);
+    match mutant with
+    | None ->
+        (* Clean mode: any divergence is a real cross-engine bug. *)
+        if report.Fuzz.found <> [] then begin
+          prerr_endline "stateless: engines diverged (see witnesses above)";
+          exit 1
+        end
+    | Some m ->
+        (* Validation mode: the planted bug must be found. *)
+        if report.Fuzz.found = [] then begin
+          Printf.eprintf
+            "stateless: fuzzer missed the planted %s mutant in %d scenarios\n"
+            (Fuzz.mutant_name m) budget;
+          exit 1
+        end
+  in
+  let info =
+    Cmd.info "fuzz"
+      ~doc:
+        "Differentially fuzz the boxed engine against the packed kernel, \
+         the batched SoA kernel, the synchronous event simulator, the \
+         channel and Byzantine twins and the checker oracle on random \
+         protocols × schedules × fault configs, shrinking any divergence \
+         to a minimal replayable witness (exit 1 on divergence; with \
+         $(b,--mutant), exit 1 if the planted bug is $(i,not) found)"
+  in
+  Cmd.v info
+    Term.(
+      const run $ seed_arg $ budget_arg $ shrink_arg $ mutant_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let info =
@@ -1345,15 +1539,18 @@ let () =
       ~doc:"Stateless computation: simulation, verification, compilation"
   in
   (* Calibration and step-bound exceptions indicate a miscalibrated
-     instance, not a crash: report them cleanly instead of a backtrace. *)
+     instance, not a crash: report them cleanly instead of a backtrace.
+     ~catch:false hands term-evaluation exceptions to the handlers
+     below (Cmdliner's default catch would swallow them first); the
+     wildcard keeps exit 125 for genuinely unexpected ones. *)
   exit
     (try
-       Cmd.eval
+       Cmd.eval ~catch:false
          (Cmd.group info
             [
               simulate_cmd; check_cmd; snake_cmd; compile_cmd; counter_cmd;
               spp_cmd; hunt_cmd; faults_cmd; netlab_cmd; byz_cmd; sim_cmd;
-              campaign_cmd;
+              campaign_cmd; chaos_cmd; fuzz_cmd;
             ])
      with
     | Snake.Step_bound_exhausted { reduction; d; max_steps } ->
@@ -1379,10 +1576,21 @@ let () =
            graph)\n"
           node;
         125
+    | Campaign.Journal_locked path ->
+        Printf.eprintf
+          "stateless: journal %s is locked by another running campaign \
+           (two campaigns must not share a journal; wait or pick another \
+           file)\n"
+          path;
+        2
     | Fooling.Empty_cut ->
         prerr_endline "stateless: fooling-set bound needs a non-empty cut";
         125
     | Fooling.Unsupported_size { fn; n } ->
         Printf.eprintf
           "stateless: no %s fooling set for n = %d\n" fn n;
+        125
+    | e ->
+        Printf.eprintf "stateless: internal error, uncaught exception: %s\n"
+          (Printexc.to_string e);
         125)

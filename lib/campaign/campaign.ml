@@ -1,7 +1,9 @@
 module Parrun = Stateless_core.Parrun
 module Bench_json = Stateless_core.Bench_json
+module Chaos = Stateless_core.Chaos
 
 exception Deadline_exceeded
+exception Journal_locked of string
 
 type status = Ok | Timeout | Error of string
 
@@ -61,7 +63,7 @@ let fingerprint s =
 let clock_last = Atomic.make 0.0
 
 let now () =
-  let t = Unix.gettimeofday () in
+  let t = Chaos.on_clock (Unix.gettimeofday ()) in
   let rec clamp () =
     let l = Atomic.get clock_last in
     if t <= l then l
@@ -152,8 +154,9 @@ let load_journal path =
   | exception Sys_error _ -> ()
   | ic ->
       let len = in_channel_length ic in
-      let data = really_input_string ic len in
+      let data = Chaos.on_journal_read (really_input_string ic len) in
       close_in ic;
+      let len = String.length data in
       let stop = ref false in
       let pos = ref 0 in
       while (not !stop) && !pos < len do
@@ -168,6 +171,42 @@ let load_journal path =
               | None -> stop := true)
       done);
   entries
+
+(* ------------------------------------------------------------------ *)
+(* Journal locking                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Two campaigns appending to one journal would interleave records and
+   poison any later resume; fail fast instead. fcntl locks only conflict
+   across processes — within one process the kernel happily re-grants
+   them — so an in-process registry of locked paths backs up [lockf]. *)
+let locked_paths : (string, unit) Hashtbl.t = Hashtbl.create 4
+let locked_mu = Mutex.create ()
+
+let lock_journal path oc =
+  let id = try Unix.realpath path with Unix.Unix_error _ -> path in
+  Mutex.lock locked_mu;
+  let mine = not (Hashtbl.mem locked_paths id) in
+  if mine then Hashtbl.add locked_paths id ();
+  Mutex.unlock locked_mu;
+  if not mine then raise (Journal_locked path);
+  (match Unix.lockf (Unix.descr_of_out_channel oc) Unix.F_TLOCK 0 with
+  | () -> ()
+  | exception Unix.Unix_error ((EAGAIN | EACCES), _, _) ->
+      Mutex.lock locked_mu;
+      Hashtbl.remove locked_paths id;
+      Mutex.unlock locked_mu;
+      raise (Journal_locked path)
+  | exception Unix.Unix_error _ ->
+      (* Filesystem without lock support: the registry still protects
+         same-process collisions, which covers every test we can run. *)
+      ());
+  id
+
+let unlock_journal id =
+  Mutex.lock locked_mu;
+  Hashtbl.remove locked_paths id;
+  Mutex.unlock locked_mu
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -217,17 +256,22 @@ let run (type r) ?(domains = 1) ?(policy = default_policy)
     if not restored then pending := i :: !pending
   done;
   let pending = Array.of_list !pending in
-  let jout =
+  let jout, jlock =
     match policy.journal with
-    | None -> None
-    | Some path ->
+    | None -> (None, None)
+    | Some path -> (
         (* Fresh campaigns truncate; resumed ones append after the last
            complete record (a torn tail is overwritten in place). *)
         let flags =
           if policy.resume then [ Open_wronly; Open_append; Open_creat ]
           else [ Open_wronly; Open_trunc; Open_creat ]
         in
-        Some (open_out_gen flags 0o644 path)
+        let oc = open_out_gen flags 0o644 path in
+        match lock_journal path oc with
+        | id -> (Some oc, Some id)
+        | exception e ->
+            close_out_noerr oc;
+            raise e)
   in
   let jmu = Mutex.create () in
   let git = Bench_json.git_rev () in
@@ -245,15 +289,44 @@ let run (type r) ?(domains = 1) ?(policy = default_policy)
         Fun.protect
           ~finally:(fun () -> Mutex.unlock jmu)
           (fun () ->
-            output_string oc line;
-            output_char oc '\n';
-            flush oc;
             (* The record is only durable once it reaches the device: a
                resumed run must never observe a half-written line that a
                crashed predecessor thought was committed. *)
-            try Unix.fsync (Unix.descr_of_out_channel oc)
-            with Unix.Unix_error _ -> ())
-    in
+            let fsync () =
+              try Unix.fsync (Unix.descr_of_out_channel oc)
+              with Unix.Unix_error _ -> ()
+            in
+            try
+              match Chaos.on_journal_write line with
+              | `Write ->
+                  output_string oc line;
+                  output_char oc '\n';
+                  flush oc;
+                  fsync ()
+              | `Dup ->
+                  output_string oc line;
+                  output_char oc '\n';
+                  output_string oc line;
+                  output_char oc '\n';
+                  flush oc;
+                  fsync ()
+              | `Enospc ->
+                  (* Simulated full disk: only durability is lost — the
+                     in-memory result stands and a resume re-runs the
+                     cell. *)
+                  ()
+              | `Torn k ->
+                  (* Crash mid-append: the torn prefix really reaches
+                     the device before the simulated death. *)
+                  output_string oc (String.sub line 0 k);
+                  flush oc;
+                  fsync ();
+                  Chaos.raise_injected Chaos.Journal_write
+            with Sys_error _ ->
+              (* A real write failure degrades the same way as ENOSPC:
+                 keep the result, lose the durability. *)
+              ())
+  in
   let exec i =
     let c = cells.(i) in
     let deadline = make_deadline policy.cell_deadline in
@@ -295,15 +368,22 @@ let run (type r) ?(domains = 1) ?(policy = default_policy)
     attempt 0
   in
   let fresh =
-    Parrun.map ~domains
-      ~ctx:(fun () -> ())
-      (Array.length pending)
-      (fun () t ->
-        let rc = exec pending.(t) in
-        journal rc;
-        rc)
+    (* Injected crashes (and anything else) must still release the
+       journal channel and lock: a chaos storm that kills the campaign
+       leaves the journal free for the resume run. *)
+    Fun.protect
+      ~finally:(fun () ->
+        (match jout with None -> () | Some oc -> close_out_noerr oc);
+        match jlock with None -> () | Some id -> unlock_journal id)
+      (fun () ->
+        Parrun.map ~domains
+          ~ctx:(fun () -> ())
+          (Array.length pending)
+          (fun () t ->
+            let rc = exec pending.(t) in
+            journal rc;
+            rc))
   in
-  (match jout with None -> () | Some oc -> close_out oc);
   Array.iteri (fun t rc -> records.(pending.(t)) <- Some rc) fresh;
   let records = Array.map Option.get records in
   let counts =

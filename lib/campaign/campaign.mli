@@ -50,6 +50,14 @@
 (** Raised by a cell's [run] when its [deadline] poll returns [true]. *)
 exception Deadline_exceeded
 
+(** Raised by {!run} when another live campaign already holds the
+    journal path named in the payload — concurrent appenders would
+    interleave records and poison any later resume. Detection uses an
+    [fcntl] write lock on the journal plus an in-process path registry
+    (fcntl locks never conflict within one process). The lock is
+    released when the campaign finishes, crashes, or is killed. *)
+exception Journal_locked of string
+
 type status = Ok | Timeout | Error of string
 
 type 'r cell = {

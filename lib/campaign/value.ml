@@ -118,8 +118,11 @@ let parse s =
       String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok
     then
       match float_of_string_opt tok with
-      | Some f -> Float f
-      | None -> raise Bad
+      (* Reject overflow-to-infinity (e.g. "1e999"): [to_string] cannot
+         render non-finite floats, so accepting one here would produce
+         an unserializable value from a parse. *)
+      | Some f when Float.is_finite f -> Float f
+      | Some _ | None -> raise Bad
     else
       match int_of_string_opt tok with
       | Some i -> Int i

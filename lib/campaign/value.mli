@@ -32,7 +32,10 @@ and t_float = float
 val to_string : t -> string
 
 (** [parse s] parses exactly one value and returns [None] on trailing
-    garbage or malformed input — a torn journal line never parses. *)
+    garbage or malformed input — a torn journal line never parses.
+    Numbers that overflow ([int] literals beyond [max_int], float
+    literals that round to infinity) are malformed: every parsed value
+    re-serializes through {!to_string}. *)
 val parse : string -> t option
 
 (** Accessors used by decoders: [None] when the shape doesn't match. *)

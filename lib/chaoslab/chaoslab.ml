@@ -1,0 +1,230 @@
+(* Storm campaigns: run every lab's matrix under a seeded injection
+   storm and prove the orchestrator's invariants survived. See
+   chaoslab.mli for the contract. *)
+
+module Chaos = Stateless_core.Chaos
+module Eventsim = Stateless_core.Eventsim
+module Campaign = Stateless_campaign.Campaign
+module Value = Stateless_campaign.Value
+module Faultlab = Stateless_faultlab.Faultlab
+module Netlab = Stateless_netlab.Netlab
+module Byzlab = Stateless_byzlab.Byzlab
+module Simlab = Stateless_simlab.Simlab
+
+type leg_report = {
+  leg : string;
+  rounds : int;
+  crashes : int;
+  degraded : int;
+  injections : (string * int) list;
+  identical : bool;
+}
+
+let injected t = List.fold_left (fun a (_, n) -> a + n) 0 t
+
+(* A leg packages one lab's matrix with its codec behind an existential,
+   so the storm driver is written once and exercises all four journal
+   codecs. [cells] rebuilds the matrix per run — cell closures carry
+   per-domain measurement contexts that must not leak across runs. *)
+type leg =
+  | Leg : {
+      name : string;
+      codec : 'r Campaign.codec;
+      cells : unit -> 'r Campaign.cell array;
+    }
+      -> leg
+
+(* Identity is over what the campaign computed, not how: key, status and
+   encoded result — never [attempts] or [replayed], which legitimately
+   differ between a stormed-and-resumed run and an uninterrupted one. *)
+let digest (type r) (codec : r Campaign.codec) (o : r Campaign.outcome) =
+  let b = Buffer.create 256 in
+  Array.iter
+    (fun (rc : r Campaign.record) ->
+      Buffer.add_string b rc.key;
+      Buffer.add_char b '=';
+      (match rc.status with
+      | Campaign.Ok -> Buffer.add_string b "ok:"
+      | Campaign.Timeout -> Buffer.add_string b "timeout:"
+      | Campaign.Error m ->
+          Buffer.add_string b "error(";
+          Buffer.add_string b m;
+          Buffer.add_string b "):");
+      (match rc.result with
+      | Some r -> Buffer.add_string b (Value.to_string (codec.encode r))
+      | None -> Buffer.add_string b "-");
+      Buffer.add_char b '\n')
+    o.records;
+  Buffer.contents b
+
+let default_legs () =
+  [
+    Leg
+      {
+        name = "faults";
+        codec = Faultlab.codec;
+        cells =
+          (fun () ->
+            Faultlab.cells ~fractions:[ 0.25; 0.75 ] ~seeds:3 ~max_steps:2000
+              (Faultlab.example1 ~n:4 ()));
+      };
+    Leg
+      {
+        name = "netlab";
+        codec = Netlab.codec;
+        cells =
+          (fun () ->
+            let levels =
+              match Netlab.default_levels with
+              | a :: b :: _ -> [ a; b ]
+              | l -> l
+            in
+            Netlab.cells ~levels ~seeds:2 ~storm:100 ~max_steps:2000
+              ~budget:{ Netlab.k = 2; window = 4 }
+              (Netlab.example1 ~n:4 ()));
+      };
+    Leg
+      {
+        name = "byz";
+        codec = Byzlab.codec;
+        cells =
+          (fun () ->
+            Byzlab.cells
+              ~placements:[ []; [ 0 ] ]
+              ~seeds:2 ~max_steps:1000 ~strategy:Byzlab.Seeded_random
+              (Byzlab.example1 ~n:4 ()));
+      };
+    Leg
+      {
+        name = "sim";
+        codec = Simlab.codec;
+        cells =
+          (fun () ->
+            let inst =
+              Simlab.build
+                (Simlab.Contagion { threshold = 0.5; seed_frac = 0.3 })
+                Simlab.Ring ~graph_seed:1 ~nodes:64 ~rate:1.0
+                ~latency:(Eventsim.Exp 1.0) ~faults:Eventsim.no_faults
+            in
+            Simlab.cells inst ~seed0:1 ~runs:4 ~horizon:6.0);
+      };
+  ]
+
+let storm_rules ~seed =
+  let st = Random.State.make [| 0xc4a05; seed |] in
+  let p hi = Random.State.float st hi in
+  [
+    (* Two scripted injections so every storm is a storm even on a tiny
+       matrix: the second journal append is duplicated, the first
+       journal load comes back short. The [Prob] rules supply the
+       seed-dependent variability on top. *)
+    {
+      Chaos.site = Chaos.Journal_write;
+      trigger = Chaos.At [ 1 ];
+      action = Chaos.Duplicate;
+    };
+    {
+      Chaos.site = Chaos.Journal_read;
+      trigger = Chaos.At [ 0 ];
+      action = Chaos.Short_read (1 + Random.State.int st 40);
+    };
+    { Chaos.site = Chaos.Pool_chunk; trigger = Chaos.Prob (p 0.12); action = Chaos.Crash };
+    {
+      Chaos.site = Chaos.Pool_chunk;
+      trigger = Chaos.Prob (p 0.1);
+      action = Chaos.Stall (0.0005 +. p 0.002);
+    };
+    {
+      Chaos.site = Chaos.Journal_write;
+      trigger = Chaos.Prob (p 0.12);
+      action = Chaos.Torn (1 + Random.State.int st 48);
+    };
+    { Chaos.site = Chaos.Journal_write; trigger = Chaos.Prob (p 0.1); action = Chaos.Enospc };
+    {
+      Chaos.site = Chaos.Journal_write;
+      trigger = Chaos.Prob (p 0.1);
+      action = Chaos.Duplicate;
+    };
+    { Chaos.site = Chaos.Journal_write; trigger = Chaos.Prob (p 0.06); action = Chaos.Crash };
+    {
+      Chaos.site = Chaos.Journal_read;
+      trigger = Chaos.Prob (p 0.35);
+      action = Chaos.Short_read (1 + Random.State.int st 80);
+    };
+    {
+      Chaos.site = Chaos.Clock_read;
+      trigger = Chaos.Prob (p 0.02);
+      action = Chaos.Jump (if Random.State.bool st then -2.5 else p 40.0);
+    };
+  ]
+
+let run_leg ?(domains = 2) ?(rounds = 4) ~seed (Leg { name; codec; cells }) =
+  (* Reference first, before any plan is armed: the uninterrupted run the
+     stormed campaign must merge back to. *)
+  let reference = Campaign.run ~domains ~codec (cells ()) in
+  let ref_digest = digest codec reference in
+  let path = Filename.temp_file "chaoslab" ".jsonl" in
+  let crashes = ref 0 and degraded = ref 0 in
+  Chaos.arm ~seed (storm_rules ~seed);
+  Fun.protect ~finally:Chaos.disarm (fun () ->
+      for round = 0 to rounds - 1 do
+        let policy =
+          {
+            Campaign.journal = Some path;
+            resume = round > 0 || !crashes > 0;
+            cell_deadline = Some 20.0;
+            retries = 1;
+          }
+        in
+        match Campaign.run ~domains ~policy ~codec (cells ()) with
+        | o ->
+            Array.iter
+              (fun (rc : _ Campaign.record) ->
+                match rc.status with
+                | Campaign.Ok -> ()
+                | Campaign.Timeout | Campaign.Error _ -> incr degraded)
+              o.records
+        | exception Chaos.Injected _ -> incr crashes
+      done);
+  let injections = Chaos.tally () in
+  (* The storm is over; one clean resume from whatever the journal holds
+     must reconstruct the reference bit-exactly. *)
+  let final =
+    Campaign.run ~domains
+      ~policy:
+        {
+          Campaign.journal = Some path;
+          resume = true;
+          cell_deadline = None;
+          retries = 0;
+        }
+      ~codec (cells ())
+  in
+  let identical = String.equal (digest codec final) ref_digest in
+  (try Sys.remove path with Sys_error _ -> ());
+  {
+    leg = name;
+    rounds;
+    crashes = !crashes;
+    degraded = !degraded;
+    injections;
+    identical;
+  }
+
+let run_storms ?domains ?rounds ?(legs = default_legs ()) ~seed () =
+  List.mapi
+    (fun i leg -> run_leg ?domains ?rounds ~seed:((seed * 31) + i) leg)
+    legs
+
+let report_to_value r =
+  Value.Obj
+    [
+      ("leg", Value.String r.leg);
+      ("rounds", Value.Int r.rounds);
+      ("crashes", Value.Int r.crashes);
+      ("degraded", Value.Int r.degraded);
+      ("injections", Value.Int (injected r.injections));
+      ( "tally",
+        Value.Obj (List.map (fun (k, n) -> (k, Value.Int n)) r.injections) );
+      ("identical", Value.Bool r.identical);
+    ]

@@ -1,0 +1,72 @@
+(** Storm campaigns: the orchestrator's crash-tolerance invariants under
+    seeded fault-injection storms.
+
+    The CI kill-and-resume smoke proves resume identity for {e one}
+    scripted SIGKILL. This module universally quantifies that check:
+    {!run_storms} arms a {!Stateless_core.Chaos} plan derived from a
+    seed — worker crashes and stalls in the domain pool, torn/duplicated/
+    dropped journal appends, short journal reads, clock jumps — and runs
+    each lab's campaign matrix through several storm rounds, resuming
+    after every simulated death. After the storm it disarms the plan and
+    performs one clean resume; the merged outcome must be {b identical}
+    (same keys, statuses and encoded results) to an uninterrupted
+    reference run computed before the storm. Graceful degradation is
+    observed on the way: rounds may retire cells as [Timeout]/[Error]
+    (counted in [degraded]) and whole rounds may die mid-flight (counted
+    in [crashes]) without ever corrupting the final merge.
+
+    All four lab codecs (faults, netlab, byz, sim) ride through the same
+    driver, so every journal decoder is exercised against torn, short,
+    duplicated and interleaved records. *)
+
+type leg_report = {
+  leg : string;
+  rounds : int;  (** storm rounds attempted *)
+  crashes : int;  (** rounds killed mid-flight by an injected crash *)
+  degraded : int;  (** non-[Ok] records observed across surviving rounds *)
+  injections : (string * int) list;  (** {!Stateless_core.Chaos.tally} *)
+  identical : bool;  (** clean resume merged bit-identical to reference *)
+}
+
+(** Total injections in a report's tally. *)
+val injected : (string * int) list -> int
+
+(** One lab matrix (cells + codec) behind an existential, so the storm
+    driver runs every codec through the same machinery. [cells] must
+    rebuild the matrix on every call (cell closures own per-domain
+    measurement contexts). *)
+type leg =
+  | Leg : {
+      name : string;
+      codec : 'r Stateless_campaign.Campaign.codec;
+      cells : unit -> 'r Stateless_campaign.Campaign.cell array;
+    }
+      -> leg
+
+(** Small instances of all four labs — the default storm targets. *)
+val default_legs : unit -> leg list
+
+(** The storm plan for a seed: every site armed with [Prob] rules whose
+    probabilities and parameters are drawn from the seed. *)
+val storm_rules : seed:int -> Stateless_core.Chaos.rule list
+
+(** [run_leg ~seed leg] storms one leg: reference run, [rounds] (default
+    4) journaled rounds under the armed plan (resuming after each
+    crash), then a clean resume compared against the reference.
+    [domains] defaults to 2 so the pool site actually fires. The plan is
+    always disarmed on exit, even if the leg raises. *)
+val run_leg : ?domains:int -> ?rounds:int -> seed:int -> leg -> leg_report
+
+(** {!run_leg} over [legs] (default {!default_legs}), with per-leg seeds
+    derived from [seed]. *)
+val run_storms :
+  ?domains:int ->
+  ?rounds:int ->
+  ?legs:leg list ->
+  seed:int ->
+  unit ->
+  leg_report list
+
+(** Report as a {!Stateless_campaign.Value} record (for the CLI and the
+    chaos bench JSON). *)
+val report_to_value : leg_report -> Stateless_campaign.Value.t

@@ -1,0 +1,236 @@
+(* Deterministic seeded fault injection. See chaos.mli for the contract.
+
+   The armed plan lives in one atomic slot so hooks on worker domains
+   see it without locks; per-site operation counters and per-action
+   tallies are atomics too. Decisions are pure functions of
+   (seed, site, op index), so a single-domain storm replays exactly. *)
+
+type site = Pool_chunk | Journal_write | Journal_read | Clock_read
+
+let site_name = function
+  | Pool_chunk -> "pool_chunk"
+  | Journal_write -> "journal_write"
+  | Journal_read -> "journal_read"
+  | Clock_read -> "clock_read"
+
+let site_index = function
+  | Pool_chunk -> 0
+  | Journal_write -> 1
+  | Journal_read -> 2
+  | Clock_read -> 3
+
+type action =
+  | Crash
+  | Stall of float
+  | Torn of int
+  | Enospc
+  | Duplicate
+  | Short_read of int
+  | Jump of float
+
+let action_name = function
+  | Crash -> "crash"
+  | Stall _ -> "stall"
+  | Torn _ -> "torn"
+  | Enospc -> "enospc"
+  | Duplicate -> "duplicate"
+  | Short_read _ -> "short_read"
+  | Jump _ -> "jump"
+
+type trigger = At of int list | Prob of float
+
+type rule = { site : site; trigger : trigger; action : action }
+
+exception Injected of { site : site; op : int }
+
+type plan = {
+  seed : int;
+  rules : rule list;
+  ops : int Atomic.t array;  (* per-site operation counters *)
+  counts : (string, int Atomic.t) Hashtbl.t;  (* per-action-name tallies *)
+  counts_mu : Mutex.t;
+  skew : float Atomic.t;  (* accumulated clock skew, seconds *)
+}
+
+let plan : plan option Atomic.t = Atomic.make None
+
+(* Tallies survive disarm so a finished storm stays inspectable. *)
+let last_plan : plan option ref = ref None
+
+(* splitmix64-style mix, constants truncated to OCaml's 63-bit native
+   int; good enough bit diffusion for independent per-(site, op) coin
+   flips. *)
+let mix seed site op =
+  let z = ref (seed lxor (site * 0x1e3779b97f4a7c15) lxor (op * 0x3f58476d1ce4e5b9)) in
+  z := (!z lxor (!z lsr 30)) * 0x3f58476d1ce4e5b9;
+  z := (!z lxor (!z lsr 27)) * 0x14d049bb133111eb;
+  (!z lxor (!z lsr 31)) land max_int
+
+let coin seed site op rule_index p =
+  let u =
+    float (mix seed ((site * 7) + rule_index) op) /. float max_int
+  in
+  u < p
+
+let valid_pair site action =
+  match (site, action) with
+  | Pool_chunk, (Crash | Stall _) -> true
+  | Journal_write, (Crash | Torn _ | Enospc | Duplicate) -> true
+  | Journal_read, Short_read _ -> true
+  | Clock_read, Jump _ -> true
+  | _ -> false
+
+let arm ~seed rules =
+  List.iter
+    (fun r ->
+      if not (valid_pair r.site r.action) then
+        invalid_arg
+          (Printf.sprintf "Chaos.arm: action %s is meaningless at site %s"
+             (action_name r.action) (site_name r.site));
+      (match r.trigger with
+      | Prob p ->
+          if not (p >= 0.0 && p <= 1.0) then
+            invalid_arg "Chaos.arm: Prob outside [0, 1]"
+      | At ks ->
+          if List.exists (fun k -> k < 0) ks then
+            invalid_arg "Chaos.arm: negative At index");
+      match r.action with
+      | Stall d when d < 0.0 -> invalid_arg "Chaos.arm: negative Stall"
+      | Short_read k when k < 0 -> invalid_arg "Chaos.arm: negative Short_read"
+      | Torn k when k < 0 -> invalid_arg "Chaos.arm: negative Torn offset"
+      | _ -> ())
+    rules;
+  let p =
+    {
+      seed;
+      rules;
+      ops = Array.init 4 (fun _ -> Atomic.make 0);
+      counts = Hashtbl.create 8;
+      counts_mu = Mutex.create ();
+      skew = Atomic.make 0.0;
+    }
+  in
+  last_plan := Some p;
+  Atomic.set plan (Some p)
+
+let disarm () = Atomic.set plan None
+
+let armed () = Atomic.get plan <> None
+
+let bump p name =
+  match Hashtbl.find_opt p.counts name with
+  | Some c -> Atomic.incr c
+  | None ->
+      Mutex.lock p.counts_mu;
+      (match Hashtbl.find_opt p.counts name with
+      | Some c -> Atomic.incr c
+      | None -> Hashtbl.add p.counts name (Atomic.make 1));
+      Mutex.unlock p.counts_mu
+
+let tally () =
+  match !last_plan with
+  | None -> []
+  | Some p ->
+      Mutex.lock p.counts_mu;
+      let l =
+        Hashtbl.fold (fun k c acc -> (k, Atomic.get c) :: acc) p.counts []
+      in
+      Mutex.unlock p.counts_mu;
+      List.sort compare l
+
+let fired () = List.fold_left (fun a (_, n) -> a + n) 0 (tally ())
+
+(* The first rule (in plan order) whose trigger fires wins the op. *)
+let decide p site op =
+  let rec go i = function
+    | [] -> None
+    | r :: rest ->
+        if
+          r.site = site
+          && (match r.trigger with
+             | At ks -> List.mem op ks
+             | Prob pr -> coin p.seed (site_index site) op i pr)
+        then Some r.action
+        else go (i + 1) rest
+  in
+  go 0 p.rules
+
+(* Each hook: one atomic load when disarmed; when armed, claim this
+   site's next op index and act on the first matching rule. *)
+
+let on_pool_chunk ~slot:_ ~chunk:_ =
+  match Atomic.get plan with
+  | None -> ()
+  | Some p -> (
+      let op = Atomic.fetch_and_add p.ops.(site_index Pool_chunk) 1 in
+      match decide p Pool_chunk op with
+      | None -> ()
+      | Some (Stall d) ->
+          bump p "stall";
+          Unix.sleepf d
+      | Some Crash ->
+          bump p "crash";
+          raise (Injected { site = Pool_chunk; op })
+      | Some _ -> ())
+
+(* The op index of the most recent Journal_write decision, for
+   [raise_injected] after the caller has flushed the torn prefix.
+   Journal writes are serialized by the campaign's journal mutex, so
+   one slot suffices. *)
+let last_write_op = Atomic.make (-1)
+
+let on_journal_write line =
+  match Atomic.get plan with
+  | None -> `Write
+  | Some p -> (
+      let op = Atomic.fetch_and_add p.ops.(site_index Journal_write) 1 in
+      Atomic.set last_write_op op;
+      match decide p Journal_write op with
+      | None -> `Write
+      | Some (Torn k) ->
+          bump p "torn";
+          (* Always a strict prefix: a tear that keeps the whole record
+             (newline included elsewhere) would not be a tear. *)
+          `Torn (min k (max 0 (String.length line - 1)))
+      | Some Enospc ->
+          bump p "enospc";
+          `Enospc
+      | Some Duplicate ->
+          bump p "duplicate";
+          `Dup
+      | Some Crash ->
+          bump p "crash";
+          raise (Injected { site = Journal_write; op })
+      | Some _ -> `Write)
+
+let raise_injected site =
+  raise (Injected { site; op = Atomic.get last_write_op })
+
+let on_journal_read data =
+  match Atomic.get plan with
+  | None -> data
+  | Some p -> (
+      let op = Atomic.fetch_and_add p.ops.(site_index Journal_read) 1 in
+      match decide p Journal_read op with
+      | Some (Short_read k) when k > 0 && String.length data > 0 ->
+          bump p "short_read";
+          String.sub data 0 (max 0 (String.length data - k))
+      | _ -> data)
+
+let on_clock t =
+  match Atomic.get plan with
+  | None -> t
+  | Some p ->
+      let op = Atomic.fetch_and_add p.ops.(site_index Clock_read) 1 in
+      (match decide p Clock_read op with
+      | Some (Jump d) ->
+          bump p "jump";
+          (* Accumulate: a jump is a step of the wall clock, visible to
+             every later reading, not a one-off blip. *)
+          let rec add () =
+            let s = Atomic.get p.skew in
+            if not (Atomic.compare_and_set p.skew s (s +. d)) then add ()
+          in
+          add ()
+      | _ -> ());
+      t +. Atomic.get p.skew

@@ -1,0 +1,123 @@
+(** Deterministic, seeded fault injection for the runtime's own
+    infrastructure.
+
+    The orchestrator's crash-tolerance guarantees (journal resume
+    identity, graceful degradation, pool drain-and-reraise) were
+    exercised by one scripted SIGKILL in CI. This module turns the
+    adversary inward: instrumented sites in {!Pool} and
+    [Stateless_campaign.Campaign] consult an armed injection plan on
+    every operation and — per a pure function of [(seed, site, op
+    index)] — crash, stall, tear a journal write at a byte offset, fail
+    with a simulated ENOSPC, duplicate a record, truncate a journal
+    read, or skew the deadline clock. Chaoslab then proves the
+    robustness invariants hold under whole storms of such injections,
+    not just one scripted kill.
+
+    {b Cost when disarmed.} Every hook is a single atomic load and
+    branch; nothing else in the runtime changes. Arming is global (all
+    domains see the plan) and is meant for tests, the [chaos] CLI
+    subcommand, and the chaos bench leg — never concurrent with an
+    unrelated campaign in the same process.
+
+    {b Determinism.} A [Prob] trigger draws from a splitmix-style
+    counter generator: the decision for the [k]-th operation at a site
+    is a pure function of [(seed, site, k)]. With one domain the full
+    injection storm is therefore an exact replayable function of the
+    seed; with several domains the interleaving (and hence which chunk
+    or record an injection lands on) varies, but the invariants chaoslab
+    checks are universally quantified over storms, so every interleaving
+    is a valid test. *)
+
+(** Instrumented sites. [Pool_chunk] fires once per pool chunk executed
+    (worker or inline); [Journal_write] once per campaign journal record
+    appended; [Journal_read] once per journal load; [Clock_read] once
+    per deadline-clock read. *)
+type site = Pool_chunk | Journal_write | Journal_read | Clock_read
+
+val site_name : site -> string
+
+(** What to inject when a rule fires. Actions only make sense at some
+    sites (e.g. [Torn] at [Journal_write]); a rule pairing an action
+    with a site that cannot interpret it is rejected by {!arm}. *)
+type action =
+  | Crash  (** raise {!Injected} — a simulated process death. At
+               [Pool_chunk] the pool records it as the chunk's failure
+               (remaining chunks still drain); at [Journal_write] the
+               record is simply never written before the raise. *)
+  | Stall of float  (** [Pool_chunk]: sleep this many seconds before
+                        running the chunk — a straggling worker. *)
+  | Torn of int  (** [Journal_write]: append only the first [k] bytes
+                     of the record (no trailing newline), fsync them,
+                     then raise {!Injected} — a crash mid-append. [k]
+                     is clamped to the record length minus one so the
+                     tear is always a real tear. *)
+  | Enospc  (** [Journal_write]: drop the record without writing — a
+                full disk. The campaign must degrade gracefully: the
+                cell's result stays in memory and only durability is
+                lost (a resume re-runs that cell). *)
+  | Duplicate  (** [Journal_write]: append the record twice. Replay
+                   must stay correct (last record per key wins). *)
+  | Short_read of int  (** [Journal_read]: drop the final [k] bytes of
+                           the loaded journal — a short read. The torn
+                           tail is discarded and its cells re-run. *)
+  | Jump of float  (** [Clock_read]: permanently add this many seconds
+                       of skew to the wall clock (negative = a backwards
+                       NTP step, which the campaign's monotone clamp
+                       must absorb). Skew accumulates across fires. *)
+
+(** When a rule fires. [At ks] fires on exactly the listed 0-based
+    operation indices of the rule's site; [Prob p] fires each operation
+    independently with probability [p], decided by the counter RNG. *)
+type trigger = At of int list | Prob of float
+
+type rule = { site : site; trigger : trigger; action : action }
+
+(** Raised by an injection whose action is a simulated crash ([Crash],
+    [Torn]). [site] and [op] identify the operation that died. *)
+exception Injected of { site : site; op : int }
+
+(** [arm ~seed rules] installs a plan; any previously armed plan is
+    replaced and all counters reset.
+    @raise Invalid_argument on an action/site pair no hook interprets,
+    a [Prob] outside [0,1], a negative [At] index, or a negative
+    [Stall]/[Short_read] parameter. *)
+val arm : seed:int -> rule list -> unit
+
+(** Remove the plan. Counters of the dismantled plan remain readable
+    through {!tally} until the next {!arm}. *)
+val disarm : unit -> unit
+
+val armed : unit -> bool
+
+(** Injections actually performed since the last {!arm}, keyed by
+    action name ([crash], [stall], [torn], [enospc], [duplicate],
+    [short_read], [jump]); absent keys never fired. *)
+val tally : unit -> (string * int) list
+
+(** Total injections performed since the last {!arm}. *)
+val fired : unit -> int
+
+(** {1 Hooks} — called by the instrumented runtime, not by users. *)
+
+(** May sleep ([Stall]) or raise {!Injected} ([Crash]). No-op when
+    disarmed. *)
+val on_pool_chunk : slot:int -> chunk:int -> unit
+
+(** The plan for appending one journal record. [`Write] is the normal
+    path; [`Torn k] means append [k] bytes then raise {!Injected} (the
+    caller performs the partial write and calls {!raise_injected} so
+    the tear is really on disk first); [`Enospc] means skip the write;
+    [`Dup] means append twice. *)
+val on_journal_write :
+  string -> [ `Write | `Torn of int | `Enospc | `Dup ]
+
+(** Possibly truncate loaded journal bytes ([Short_read]). *)
+val on_journal_read : string -> string
+
+(** Wall-clock reading with accumulated injected skew applied. *)
+val on_clock : float -> float
+
+(** Raise the {!Injected} crash recorded for the given site at its most
+    recently decided operation — used by the journal writer after it
+    has flushed a torn prefix. *)
+val raise_injected : site -> unit

@@ -55,7 +55,10 @@ let execute j ~slot =
   let rec loop () =
     let c = Atomic.fetch_and_add j.next 1 in
     if c < j.nchunks then begin
-      (try j.run ~slot c with exn -> record_failure j exn);
+      (try
+         Chaos.on_pool_chunk ~slot ~chunk:c;
+         j.run ~slot c
+       with exn -> record_failure j exn);
       if Atomic.fetch_and_add j.unfinished (-1) = 1 then begin
         Mutex.lock mu;
         Condition.broadcast done_cv;
@@ -127,7 +130,9 @@ let run ~domains ~nchunks f =
        submitter that runs inline work inside a chunk stays reusable. *)
     let failed = ref None in
     for c = 0 to nchunks - 1 do
-      try f ~slot:0 c
+      try
+        Chaos.on_pool_chunk ~slot:0 ~chunk:c;
+        f ~slot:0 c
       with exn -> ( match !failed with None -> failed := Some exn | Some _ -> ())
     done;
     match !failed with None -> () | Some exn -> raise exn

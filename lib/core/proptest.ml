@@ -35,6 +35,37 @@ let random_protocol ?(salt = 0x5ca1ab1e) ?(graph_seed_mult = 7)
   let input = Array.init n (fun _ -> Random.State.int st 3) in
   (p, input, st)
 
+(* Parameterized variant for the fuzz shrinker: structure knobs are
+   explicit arguments rather than RNG draws, so shrinking [nodes] or
+   [card] regenerates a structurally related instance from the same
+   seed. Inputs are a pure per-node hash — removing node [n-1] leaves
+   the inputs of the surviving nodes untouched. *)
+let protocol_of ?(name = "fuzz") ~seed ~nodes ~extra ~card () =
+  if nodes < 2 then invalid_arg "Proptest.protocol_of: nodes must be >= 2";
+  if card < 2 then invalid_arg "Proptest.protocol_of: card must be >= 2";
+  if extra < 0 then invalid_arg "Proptest.protocol_of: negative extra";
+  let g =
+    Builders.random_strongly_connected ~seed:((seed * 7) + 1) nodes ~extra
+  in
+  let space = Label.int card in
+  let react i x incoming =
+    let h = Hashtbl.hash (x, i, Array.to_list incoming) in
+    let d = Digraph.out_degree g i in
+    ( Array.init d (fun k -> (h + (k * 7919) + (h lsr (k land 15))) mod card),
+      h mod 5 )
+  in
+  let p =
+    {
+      Protocol.name =
+        Printf.sprintf "%s-s%d-n%d-x%d-c%d" name seed nodes extra card;
+      graph = g;
+      space;
+      react;
+    }
+  in
+  let input = Array.init nodes (fun i -> Hashtbl.hash (seed, i, "in") mod 3) in
+  (p, input)
+
 let random_config p st =
   let m = Protocol.num_edges p and n = Protocol.num_nodes p in
   let card = p.Protocol.space.Label.card in

@@ -18,6 +18,22 @@ val random_protocol :
   int ->
   (int, int) Protocol.t * int array * Random.State.t
 
+(** [protocol_of ~seed ~nodes ~extra ~card ()] is {!random_protocol}
+    with the structure knobs lifted into explicit arguments — built for
+    the fuzz shrinker, which regenerates structurally related instances
+    while walking [nodes]/[extra]/[card] down. Node inputs are a pure
+    per-node hash of [seed], so shrinking the node count leaves the
+    surviving nodes' inputs untouched.
+    @raise Invalid_argument if [nodes < 2], [card < 2] or [extra < 0]. *)
+val protocol_of :
+  ?name:string ->
+  seed:int ->
+  nodes:int ->
+  extra:int ->
+  card:int ->
+  unit ->
+  (int, int) Protocol.t * int array
+
 (** A uniformly random configuration (labels and outputs) for [p]. *)
 val random_config :
   ('x, 'l) Protocol.t -> Random.State.t -> 'l Protocol.config

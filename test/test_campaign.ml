@@ -67,6 +67,70 @@ let test_value_rejects_garbage () =
       with Invalid_argument _ -> ())
     [ Float.nan; Float.infinity; Float.neg_infinity ]
 
+let test_value_string_edge_cases () =
+  (* Every byte value, in one string: OCaml escaping must round-trip
+     raw non-ASCII bytes, control characters and NUL byte-exactly. *)
+  let all_bytes = String.init 256 Char.chr in
+  Alcotest.(check bool)
+    "all 256 bytes round-trip" true
+    (Value.parse (Value.to_string (Value.String all_bytes))
+    = Some (Value.String all_bytes));
+  (* Multi-byte UTF-8 sequences are opaque bytes to the codec. *)
+  let utf8 = "caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x90\xab" in
+  Alcotest.(check bool)
+    "utf-8 round-trips" true
+    (Value.parse (Value.to_string (Value.String utf8))
+    = Some (Value.String utf8));
+  (* Escape-looking content inside keys and values. *)
+  let tricky = Value.Obj [ ("a\"b\\c", Value.String "{\"x\":[1,\\n]}") ] in
+  Alcotest.(check bool)
+    "escape-heavy object round-trips" true
+    (Value.parse (Value.to_string tricky) = Some tricky)
+
+let test_value_deep_nesting () =
+  let deep = ref (Value.Int 7) in
+  for _ = 1 to 1000 do
+    deep := Value.List [ !deep ]
+  done;
+  let s = Value.to_string !deep in
+  Alcotest.(check bool)
+    "1000-deep list round-trips" true
+    (Value.parse s = Some !deep);
+  let wide =
+    Value.Obj
+      (List.init 500 (fun i ->
+           (Printf.sprintf "k%d" i, Value.List [ Value.Int i; Value.Null ])))
+  in
+  Alcotest.(check bool)
+    "wide object round-trips" true
+    (Value.parse (Value.to_string wide) = Some wide)
+
+let test_value_oversized_numbers_rejected () =
+  (* Ints beyond the native range cannot round-trip; the parser must
+     reject them explicitly rather than wrap or truncate. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "parse %S rejected" s)
+        true
+        (Value.parse s = None))
+    [
+      "9223372036854775808" (* max_int + 1 *);
+      "-9223372036854775809" (* min_int - 1 *);
+      "123456789012345678901234567890";
+      (* Floats that overflow to infinity are unserializable, so the
+         parser rejects them too. *)
+      "1e999";
+      "-1e999";
+    ];
+  (* The extreme representable values still round-trip. *)
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        "extreme value round-trips" true
+        (Value.parse (Value.to_string v) = Some v))
+    [ Value.Int max_int; Value.Int min_int; Value.Float 1.7976931348623157e308 ]
+
 (* ------------------------------------------------------------------ *)
 (* Robustness policy                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -358,6 +422,11 @@ let () =
           Alcotest.test_case "round-trip" `Quick test_value_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick
             test_value_rejects_garbage;
+          Alcotest.test_case "string edge cases" `Quick
+            test_value_string_edge_cases;
+          Alcotest.test_case "deep nesting" `Quick test_value_deep_nesting;
+          Alcotest.test_case "oversized numbers rejected" `Quick
+            test_value_oversized_numbers_rejected;
         ] );
       ( "policy",
         [

@@ -1,0 +1,401 @@
+(* Chaos layer + storm campaigns + differential fuzzer. *)
+
+module Chaos = Stateless_core.Chaos
+module Campaign = Stateless_campaign.Campaign
+module Chaoslab = Stateless_chaoslab.Chaoslab
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos decisions are deterministic and validated                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_disarmed_is_identity () =
+  Chaos.disarm ();
+  check_bool "disarmed" false (Chaos.armed ());
+  Chaos.on_pool_chunk ~slot:0 ~chunk:0;
+  (match Chaos.on_journal_write "line" with
+  | `Write -> ()
+  | _ -> Alcotest.fail "disarmed journal write not `Write");
+  Alcotest.(check string) "read" "abc" (Chaos.on_journal_read "abc");
+  Alcotest.(check (float 0.0)) "clock" 1.5 (Chaos.on_clock 1.5)
+
+let test_arm_rejects_nonsense () =
+  let bad rules =
+    match Chaos.arm ~seed:1 rules with
+    | () ->
+        Chaos.disarm ();
+        Alcotest.fail "arm accepted an invalid rule"
+    | exception Invalid_argument _ -> ()
+  in
+  bad [ { Chaos.site = Chaos.Clock_read; trigger = Chaos.At [ 0 ]; action = Chaos.Crash } ];
+  bad [ { Chaos.site = Chaos.Pool_chunk; trigger = Chaos.Prob 1.5; action = Chaos.Crash } ];
+  bad [ { Chaos.site = Chaos.Pool_chunk; trigger = Chaos.At [ -1 ]; action = Chaos.Crash } ];
+  bad
+    [ { Chaos.site = Chaos.Journal_read; trigger = Chaos.At [ 0 ]; action = Chaos.Short_read (-2) } ];
+  Chaos.disarm ()
+
+let test_at_trigger_fires_exactly () =
+  Chaos.arm ~seed:7
+    [ { Chaos.site = Chaos.Pool_chunk; trigger = Chaos.At [ 2 ]; action = Chaos.Crash } ];
+  Fun.protect ~finally:Chaos.disarm (fun () ->
+      Chaos.on_pool_chunk ~slot:0 ~chunk:0;
+      Chaos.on_pool_chunk ~slot:0 ~chunk:1;
+      (match Chaos.on_pool_chunk ~slot:0 ~chunk:2 with
+      | () -> Alcotest.fail "op 2 did not crash"
+      | exception Chaos.Injected { site = Chaos.Pool_chunk; op = 2 } -> ()
+      | exception Chaos.Injected _ -> Alcotest.fail "wrong injection identity");
+      Chaos.on_pool_chunk ~slot:0 ~chunk:3;
+      check "one injection" 1 (Chaos.fired ()))
+
+let test_prob_trigger_replays () =
+  let storm () =
+    Chaos.arm ~seed:99
+      [ { Chaos.site = Chaos.Pool_chunk; trigger = Chaos.Prob 0.3; action = Chaos.Crash } ];
+    Fun.protect ~finally:Chaos.disarm (fun () ->
+        let fired = ref [] in
+        for op = 0 to 63 do
+          match Chaos.on_pool_chunk ~slot:0 ~chunk:op with
+          | () -> ()
+          | exception Chaos.Injected _ -> fired := op :: !fired
+        done;
+        !fired)
+  in
+  let a = storm () and b = storm () in
+  check_bool "same decisions both storms" true (a = b);
+  check_bool "some ops fired" true (List.length a > 0);
+  check_bool "some ops survived" true (List.length a < 64)
+
+let test_torn_is_strict_prefix () =
+  Chaos.arm ~seed:3
+    [ { Chaos.site = Chaos.Journal_write; trigger = Chaos.At [ 0 ]; action = Chaos.Torn 9999 } ];
+  Fun.protect ~finally:Chaos.disarm (fun () ->
+      match Chaos.on_journal_write "short line" with
+      | `Torn k ->
+          check_bool "tear strictly inside the record" true
+            (k >= 0 && k < String.length "short line")
+      | _ -> Alcotest.fail "expected a torn write")
+
+let test_clock_jump_accumulates () =
+  Chaos.arm ~seed:5
+    [ { Chaos.site = Chaos.Clock_read; trigger = Chaos.At [ 1 ]; action = Chaos.Jump 100.0 } ];
+  Fun.protect ~finally:Chaos.disarm (fun () ->
+      Alcotest.(check (float 1e-9)) "op 0 unskewed" 10.0 (Chaos.on_clock 10.0);
+      Alcotest.(check (float 1e-9)) "op 1 jumps" 110.0 (Chaos.on_clock 10.0);
+      Alcotest.(check (float 1e-9)) "op 2 keeps skew" 120.0 (Chaos.on_clock 20.0))
+
+(* ------------------------------------------------------------------ *)
+(* Campaign survives journal-site injections                           *)
+(* ------------------------------------------------------------------ *)
+
+let int_codec =
+  {
+    Campaign.encode = (fun n -> Stateless_campaign.Value.Int n);
+    decode = Stateless_campaign.Value.to_int;
+  }
+
+let mk_cells n =
+  Array.init n (fun i ->
+      {
+        Campaign.key = Printf.sprintf "cell/%d" i;
+        config = Printf.sprintf "square %d" i;
+        run = (fun ~deadline:_ ~attempt:_ -> i * i);
+      })
+
+let tmp_journal () = Filename.temp_file "test_chaos" ".jsonl"
+
+let outcome_digest (o : int Campaign.outcome) =
+  Array.to_list o.records
+  |> List.map (fun (rc : int Campaign.record) ->
+         Printf.sprintf "%s:%s:%s" rc.key
+           (match rc.status with
+           | Campaign.Ok -> "ok"
+           | Campaign.Timeout -> "timeout"
+           | Campaign.Error _ -> "error")
+           (match rc.result with Some r -> string_of_int r | None -> "-"))
+  |> String.concat ";"
+
+let test_campaign_rides_out_torn_dup_enospc () =
+  let path = tmp_journal () in
+  let reference = Campaign.run ~codec:int_codec (mk_cells 8) in
+  (* Deterministic mixed storm on the journal site: first write torn
+     (crash), later writes duplicated and dropped. *)
+  Chaos.arm ~seed:11
+    [
+      { Chaos.site = Chaos.Journal_write; trigger = Chaos.At [ 1 ]; action = Chaos.Torn 7 };
+      { Chaos.site = Chaos.Journal_write; trigger = Chaos.At [ 3 ]; action = Chaos.Duplicate };
+      { Chaos.site = Chaos.Journal_write; trigger = Chaos.At [ 4 ]; action = Chaos.Enospc };
+    ];
+  let policy =
+    { Campaign.default_policy with journal = Some path; resume = false }
+  in
+  (match Campaign.run ~policy ~codec:int_codec (mk_cells 8) with
+  | _ -> Alcotest.fail "torn write should have crashed the campaign"
+  | exception Chaos.Injected { site = Chaos.Journal_write; _ } -> ());
+  Chaos.disarm ();
+  (* The journal now ends in a torn record; a clean resume must discard
+     the tear, replay the committed prefix and re-run the rest. *)
+  let resumed =
+    Campaign.run
+      ~policy:{ policy with resume = true }
+      ~codec:int_codec (mk_cells 8)
+  in
+  Alcotest.(check string)
+    "resume identical to uninterrupted" (outcome_digest reference)
+    (outcome_digest resumed);
+  check_bool "some cells replayed from journal" true
+    (resumed.counts.replayed >= 1);
+  Sys.remove path
+
+let test_campaign_duplicate_records_replay () =
+  let path = tmp_journal () in
+  Chaos.arm ~seed:13
+    [ { Chaos.site = Chaos.Journal_write; trigger = Chaos.Prob 1.0; action = Chaos.Duplicate } ];
+  let policy =
+    { Campaign.default_policy with journal = Some path; resume = false }
+  in
+  let first =
+    Fun.protect ~finally:Chaos.disarm (fun () ->
+        Campaign.run ~policy ~codec:int_codec (mk_cells 5))
+  in
+  check "five ok" 5 first.counts.ok;
+  let resumed =
+    Campaign.run
+      ~policy:{ policy with resume = true }
+      ~codec:int_codec (mk_cells 5)
+  in
+  check "all five replayed despite duplicates" 5 resumed.counts.replayed;
+  Alcotest.(check string)
+    "identical" (outcome_digest first) (outcome_digest resumed);
+  Sys.remove path
+
+let test_campaign_short_read_rerunning () =
+  let path = tmp_journal () in
+  let policy =
+    { Campaign.default_policy with journal = Some path; resume = false }
+  in
+  let first = Campaign.run ~policy ~codec:int_codec (mk_cells 6) in
+  (* Truncate the journal on load: the cut tail must be re-run, and the
+     merge must still match. *)
+  Chaos.arm ~seed:17
+    [ { Chaos.site = Chaos.Journal_read; trigger = Chaos.At [ 0 ]; action = Chaos.Short_read 30 } ];
+  let resumed =
+    Fun.protect ~finally:Chaos.disarm (fun () ->
+        Campaign.run
+          ~policy:{ policy with resume = true }
+          ~codec:int_codec (mk_cells 6))
+  in
+  Alcotest.(check string)
+    "identical" (outcome_digest first) (outcome_digest resumed);
+  check_bool "short read forced re-runs" true
+    (resumed.counts.replayed < 6);
+  Sys.remove path
+
+let test_backwards_clock_jump_absorbed () =
+  Chaos.arm ~seed:19
+    [ { Chaos.site = Chaos.Clock_read; trigger = Chaos.Prob 0.5; action = Chaos.Jump (-50.0) } ];
+  let o =
+    Fun.protect ~finally:Chaos.disarm (fun () ->
+        let policy =
+          { Campaign.default_policy with cell_deadline = Some 3600.0 }
+        in
+        Campaign.run ~policy ~codec:int_codec (mk_cells 6))
+  in
+  (* The monotone clamp absorbs backwards steps: nothing may time out. *)
+  check "all ok under backwards clock" 6 o.counts.ok
+
+(* ------------------------------------------------------------------ *)
+(* Journal locking                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_journal_locked_fails_fast () =
+  let path = tmp_journal () in
+  let policy =
+    { Campaign.default_policy with journal = Some path; resume = false }
+  in
+  let cells =
+    [|
+      {
+        Campaign.key = "outer";
+        config = "outer";
+        run =
+          (fun ~deadline:_ ~attempt:_ ->
+            (* A second campaign on the same journal path while the
+               first is live must fail fast, not interleave. *)
+            match Campaign.run ~policy ~codec:int_codec (mk_cells 2) with
+            | _ -> Alcotest.fail "nested campaign on locked journal ran"
+            | exception Campaign.Journal_locked _ -> 42);
+      };
+    |]
+  in
+  let o = Campaign.run ~policy ~codec:int_codec cells in
+  check "outer ok" 1 o.counts.ok;
+  (match o.records.(0).result with
+  | Some 42 -> ()
+  | _ -> Alcotest.fail "nested run did not raise Journal_locked");
+  (* The lock is released afterwards: a fresh campaign may reuse it. *)
+  let again = Campaign.run ~policy ~codec:int_codec (mk_cells 2) in
+  check "lock released" 2 again.counts.ok;
+  Sys.remove path
+
+let test_journal_lock_released_on_crash () =
+  let path = tmp_journal () in
+  let policy =
+    { Campaign.default_policy with journal = Some path; resume = false }
+  in
+  Chaos.arm ~seed:23
+    [ { Chaos.site = Chaos.Journal_write; trigger = Chaos.At [ 0 ]; action = Chaos.Crash } ];
+  (match
+     Fun.protect ~finally:Chaos.disarm (fun () ->
+         Campaign.run ~policy ~codec:int_codec (mk_cells 3))
+   with
+  | _ -> Alcotest.fail "injected journal crash did not propagate"
+  | exception Chaos.Injected _ -> ());
+  (* The dying campaign must have released the lock on its way out. *)
+  let o =
+    Campaign.run
+      ~policy:{ policy with resume = true }
+      ~codec:int_codec (mk_cells 3)
+  in
+  check "crashed campaign released its journal lock" 3 o.counts.ok;
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Storm campaigns across the four labs                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_storms_resume_identical () =
+  let domains =
+    match Stateless_core.Parrun.env_domains () with Some d -> d | None -> 2
+  in
+  let reports =
+    Chaoslab.run_storms ~domains ~rounds:3 ~seed:2026 ()
+  in
+  check "four legs" 4 (List.length reports);
+  List.iter
+    (fun (r : Chaoslab.leg_report) ->
+      check_bool
+        (Printf.sprintf "leg %s: injections landed" r.leg)
+        true
+        (Chaoslab.injected r.injections > 0);
+      check_bool
+        (Printf.sprintf "leg %s: resumed identical (crashes=%d degraded=%d)"
+           r.leg r.crashes r.degraded)
+        true r.identical)
+    reports
+
+(* ------------------------------------------------------------------ *)
+(* Differential fuzzer                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Fuzz = Stateless_chaoslab.Fuzz
+
+let test_fuzz_clean_run_agrees () =
+  let r = Fuzz.run ~seed:42 ~budget:40 () in
+  check "tried all" 40 r.tried;
+  check_bool "ran many comparisons" true (r.comparisons >= 40);
+  (match r.found with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "real cross-engine divergence: %s vs %s at step %d (%s)"
+        (fst f.original.pair) (snd f.original.pair) f.original.step
+        f.original.detail);
+  Alcotest.(check (float 1e-9)) "no shrinks" 1.0 r.mean_shrink_ratio
+
+let assert_mutant_found mutant =
+  let r = Fuzz.run ~mutant ~seed:7 ~budget:30 () in
+  check_bool
+    (Printf.sprintf "mutant %s detected" (Fuzz.mutant_name mutant))
+    true
+    (r.found <> []);
+  List.iter
+    (fun (f : Fuzz.found) ->
+      let s = f.shrunk.scenario in
+      check_bool
+        (Printf.sprintf "witness small: %d nodes, %d steps" s.nodes s.steps)
+        true
+        (s.nodes <= 4 && s.steps <= 16);
+      check_bool "shrunk no larger than original" true
+        (Fuzz.size s <= Fuzz.size f.original.scenario);
+      (* The serialized witness must reproduce the divergence. *)
+      match Fuzz.replay (Fuzz.witness_to_value ~mutant f.shrunk) with
+      | Ok (Some _) -> ()
+      | Ok None -> Alcotest.fail "witness did not replay"
+      | Error e -> Alcotest.failf "witness rejected: %s" e)
+    r.found
+
+let test_fuzz_detects_stale_read () = assert_mutant_found Fuzz.Stale_read
+let test_fuzz_detects_dropped_write () =
+  assert_mutant_found Fuzz.Dropped_write
+
+let test_fuzz_scenario_roundtrip () =
+  for i = 0 to 30 do
+    let s = Fuzz.gen ~seed:5 i in
+    match Fuzz.scenario_of_value (Fuzz.scenario_to_value s) with
+    | Some s' -> check_bool "scenario round-trips" true (s = s')
+    | None -> Alcotest.fail "scenario failed to decode"
+  done
+
+let test_fuzz_deterministic () =
+  let a = Fuzz.run ~mutant:Fuzz.Stale_read ~seed:11 ~budget:12 () in
+  let b = Fuzz.run ~mutant:Fuzz.Stale_read ~seed:11 ~budget:12 () in
+  check "same divergence count" (List.length a.found) (List.length b.found);
+  List.iter2
+    (fun (x : Fuzz.found) (y : Fuzz.found) ->
+      check_bool "same shrunk witness" true (x.shrunk = y.shrunk))
+    a.found b.found
+
+let () =
+  Alcotest.run "stateless_chaos"
+    [
+      ( "chaos",
+        [
+          Alcotest.test_case "disarmed is identity" `Quick
+            test_disarmed_is_identity;
+          Alcotest.test_case "arm rejects nonsense" `Quick
+            test_arm_rejects_nonsense;
+          Alcotest.test_case "At fires exactly" `Quick
+            test_at_trigger_fires_exactly;
+          Alcotest.test_case "Prob replays" `Quick test_prob_trigger_replays;
+          Alcotest.test_case "torn is strict prefix" `Quick
+            test_torn_is_strict_prefix;
+          Alcotest.test_case "clock jump accumulates" `Quick
+            test_clock_jump_accumulates;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "torn/dup/enospc storm" `Quick
+            test_campaign_rides_out_torn_dup_enospc;
+          Alcotest.test_case "duplicates replay" `Quick
+            test_campaign_duplicate_records_replay;
+          Alcotest.test_case "short read re-runs" `Quick
+            test_campaign_short_read_rerunning;
+          Alcotest.test_case "backwards clock absorbed" `Quick
+            test_backwards_clock_jump_absorbed;
+        ] );
+      ( "locking",
+        [
+          Alcotest.test_case "locked journal fails fast" `Quick
+            test_journal_locked_fails_fast;
+          Alcotest.test_case "lock released on crash" `Quick
+            test_journal_lock_released_on_crash;
+        ] );
+      ( "storms",
+        [
+          Alcotest.test_case "labs resume identical" `Quick
+            test_storms_resume_identical;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "clean run agrees" `Quick
+            test_fuzz_clean_run_agrees;
+          Alcotest.test_case "detects stale read" `Quick
+            test_fuzz_detects_stale_read;
+          Alcotest.test_case "detects dropped write" `Quick
+            test_fuzz_detects_dropped_write;
+          Alcotest.test_case "scenario round-trips" `Quick
+            test_fuzz_scenario_roundtrip;
+          Alcotest.test_case "deterministic" `Quick test_fuzz_deterministic;
+        ] );
+    ]
